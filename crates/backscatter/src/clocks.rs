@@ -1,0 +1,107 @@
+//! The frequency-synthesizer clocking plan of the interscatter IC (§3).
+//!
+//! The IC derives everything from one 143 MHz PLL output:
+//!
+//! * divide by 13 → the 11 MHz 802.11b baseband/chip clock;
+//! * a Johnson counter → four phases of 35.75 MHz (143/4), 90° apart, which
+//!   drive the square-wave cosine/sine of the single-sideband modulator.
+//!
+//! Because both clocks come from the same PLL they are phase-locked, so the
+//! baseband chip boundaries never glitch relative to the impedance-switch
+//! transitions.
+
+/// The clocking plan derived from one reference PLL frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockPlan {
+    /// PLL output frequency, Hz.
+    pub pll_hz: f64,
+    /// Divider applied to obtain the baseband clock.
+    pub baseband_divider: u32,
+    /// Divider applied (via the Johnson counter) to obtain the shift clock;
+    /// a Johnson counter with 2 stages divides by 4 and provides 4 phases.
+    pub shift_divider: u32,
+}
+
+impl ClockPlan {
+    /// The prototype plan: 143 MHz, ÷13 baseband, ÷4 shift.
+    pub fn prototype() -> Self {
+        ClockPlan {
+            pll_hz: 143e6,
+            baseband_divider: 13,
+            shift_divider: 4,
+        }
+    }
+
+    /// Baseband (chip) clock frequency, Hz.
+    pub fn baseband_hz(&self) -> f64 {
+        self.pll_hz / f64::from(self.baseband_divider)
+    }
+
+    /// Shift (subcarrier) clock frequency, Hz.
+    pub fn shift_hz(&self) -> f64 {
+        self.pll_hz / f64::from(self.shift_divider)
+    }
+
+    /// Number of quadrature phases available from the Johnson counter.
+    pub fn num_phases(&self) -> u32 {
+        self.shift_divider
+    }
+
+    /// Whether the two derived clocks are commensurate (their ratio is
+    /// rational with the dividers chosen), i.e. phase-locked with a
+    /// repeating pattern — the property the paper uses to "avoid glitches".
+    pub fn clocks_are_locked(&self) -> bool {
+        self.baseband_divider > 0 && self.shift_divider > 0
+    }
+
+    /// The phase offset (in radians of the shift clock) of phase `k` of the
+    /// Johnson counter output.
+    pub fn phase_offset_rad(&self, k: u32) -> f64 {
+        2.0 * std::f64::consts::PI * f64::from(k % self.num_phases()) / f64::from(self.num_phases())
+    }
+
+    /// Chooses a PLL frequency and dividers to hit a desired shift frequency
+    /// while keeping an 11 MHz baseband clock: pll = 4 × shift, baseband
+    /// divider = round(pll / 11 MHz).
+    pub fn for_shift(shift_hz: f64) -> Self {
+        let pll_hz = 4.0 * shift_hz;
+        let baseband_divider = (pll_hz / 11e6).round().max(1.0) as u32;
+        ClockPlan {
+            pll_hz,
+            baseband_divider,
+            shift_divider: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_frequencies() {
+        let plan = ClockPlan::prototype();
+        assert!((plan.baseband_hz() - 11e6).abs() < 1.0);
+        assert!((plan.shift_hz() - 35.75e6).abs() < 1.0);
+        assert_eq!(plan.num_phases(), 4);
+        assert!(plan.clocks_are_locked());
+    }
+
+    #[test]
+    fn phase_offsets_are_quadrature() {
+        let plan = ClockPlan::prototype();
+        assert_eq!(plan.phase_offset_rad(0), 0.0);
+        assert!((plan.phase_offset_rad(1) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((plan.phase_offset_rad(2) - std::f64::consts::PI).abs() < 1e-12);
+        assert!((plan.phase_offset_rad(5) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derived_plan_hits_requested_shift() {
+        let plan = ClockPlan::for_shift(35.75e6);
+        assert_eq!(plan, ClockPlan::prototype());
+        let plan = ClockPlan::for_shift(22e6);
+        assert!((plan.shift_hz() - 22e6).abs() < 1.0);
+        assert!((plan.baseband_hz() - 11e6).abs() < 1.5e6);
+    }
+}

@@ -1,0 +1,147 @@
+//! Double-sideband backscatter — the prior-work baseline.
+//!
+//! Earlier subcarrier-modulation backscatter systems shift the carrier by
+//! toggling a single real-valued switching waveform at Δf. Multiplying the
+//! carrier by a real cos(2πΔf·t) (or a ±1 square wave) necessarily produces
+//! *both* sidebands at f ± Δf, wasting half the power and — crucial for the
+//! coexistence experiment of Fig. 12 — dumping a mirror copy of the packet
+//! into a different Wi-Fi channel. This module provides that baseline so the
+//! evaluation can compare it against the single-sideband design.
+
+use crate::BackscatterError;
+use interscatter_dsp::Cplx;
+
+/// Configuration of the double-sideband modulator.
+#[derive(Debug, Clone, Copy)]
+pub struct DsbConfig {
+    /// Simulation sample rate in Hz.
+    pub sample_rate: f64,
+    /// Subcarrier (shift) frequency Δf in Hz.
+    pub shift_hz: f64,
+}
+
+impl DsbConfig {
+    /// Creates a configuration.
+    pub fn new(sample_rate: f64, shift_hz: f64) -> Self {
+        DsbConfig { sample_rate, shift_hz }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), BackscatterError> {
+        if self.shift_hz == 0.0 {
+            return Err(BackscatterError::InvalidConfig("shift frequency must be non-zero"));
+        }
+        if self.sample_rate < 2.0 * self.shift_hz.abs() {
+            return Err(BackscatterError::InvalidConfig(
+                "sample rate must be at least 2x the shift frequency",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The real ±1 square-wave switching waveform at Δf.
+pub fn switching_waveform(config: &DsbConfig, len: usize) -> Result<Vec<f64>, BackscatterError> {
+    config.validate()?;
+    let period = config.sample_rate / config.shift_hz.abs();
+    Ok((0..len)
+        .map(|n| {
+            let frac = (n as f64 / period).fract();
+            if frac < 0.5 {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+        .collect())
+}
+
+/// Builds the reflection-coefficient sequence: the real switching waveform
+/// multiplied by the (phase-only) baseband symbols. With a real switching
+/// waveform the modulation is inherently double-sideband.
+pub fn reflection_sequence(
+    config: &DsbConfig,
+    baseband: &[Cplx],
+) -> Result<Vec<Cplx>, BackscatterError> {
+    let sw = switching_waveform(config, baseband.len())?;
+    Ok(sw.iter().zip(baseband).map(|(&s, &b)| b * s).collect())
+}
+
+/// Applies the reflection sequence to an incident carrier (identical contract
+/// to [`crate::ssb::backscatter`]).
+pub fn backscatter(carrier: &[Cplx], reflection: &[Cplx]) -> Result<Vec<Cplx>, BackscatterError> {
+    crate::ssb::backscatter(carrier, reflection)
+}
+
+/// Convenience: shift a carrier with no data modulation.
+pub fn shift_tone(config: &DsbConfig, carrier: &[Cplx]) -> Result<Vec<Cplx>, BackscatterError> {
+    let sw = switching_waveform(config, carrier.len())?;
+    Ok(sw.iter().zip(carrier).map(|(&s, &c)| c * s).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interscatter_dsp::iq::tone;
+    use interscatter_dsp::spectrum::{band_power_db, welch_psd, WelchConfig};
+
+    const FS: f64 = 176e6;
+
+    #[test]
+    fn config_validation() {
+        assert!(DsbConfig::new(176e6, 35.75e6).validate().is_ok());
+        assert!(DsbConfig::new(60e6, 35.75e6).validate().is_err());
+        assert!(DsbConfig::new(176e6, 0.0).validate().is_err());
+    }
+
+    #[test]
+    fn dsb_produces_both_sidebands_equally() {
+        let shift = 22e6;
+        let config = DsbConfig::new(FS, shift);
+        let carrier = tone(0.0, FS, 1 << 16, 0.0);
+        let scattered = shift_tone(&config, &carrier).unwrap();
+        let psd = welch_psd(&scattered, FS, &WelchConfig::default()).unwrap();
+        let upper = band_power_db(&psd, shift - 1e6, shift + 1e6);
+        let lower = band_power_db(&psd, -shift - 1e6, -shift + 1e6);
+        assert!(
+            (upper - lower).abs() < 1.0,
+            "double sideband should be symmetric: upper {upper} dB, lower {lower} dB"
+        );
+    }
+
+    #[test]
+    fn each_dsb_sideband_is_weaker_than_the_ssb_sideband() {
+        // Spectral-efficiency argument: SSB puts (nearly) all the switched
+        // power in one sideband; DSB splits it.
+        let shift = 22e6;
+        let carrier = tone(0.0, FS, 1 << 16, 0.0);
+        let dsb = shift_tone(&DsbConfig::new(FS, shift), &carrier).unwrap();
+        let ssb = crate::ssb::shift_tone(&crate::ssb::SsbConfig::new(FS, shift), &carrier).unwrap();
+        let psd_dsb = welch_psd(&dsb, FS, &WelchConfig::default()).unwrap();
+        let psd_ssb = welch_psd(&ssb, FS, &WelchConfig::default()).unwrap();
+        let dsb_upper = band_power_db(&psd_dsb, shift - 1e6, shift + 1e6);
+        let ssb_upper = band_power_db(&psd_ssb, shift - 1e6, shift + 1e6);
+        assert!(
+            ssb_upper > dsb_upper + 2.0,
+            "SSB sideband should be ~3 dB stronger (ssb {ssb_upper}, dsb {dsb_upper})"
+        );
+    }
+
+    #[test]
+    fn reflection_magnitude_never_exceeds_one() {
+        let config = DsbConfig::new(FS, 30e6);
+        let baseband: Vec<Cplx> = (0..500).map(|i| Cplx::expj(i as f64)).collect();
+        let refl = reflection_sequence(&config, &baseband).unwrap();
+        for g in &refl {
+            assert!(g.abs() <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn switching_waveform_alternates() {
+        let config = DsbConfig::new(100.0, 10.0);
+        let w = switching_waveform(&config, 20).unwrap();
+        assert_eq!(&w[..10], &[1.0, 1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, -1.0, -1.0]);
+        assert_eq!(&w[..10], &w[10..]);
+    }
+}

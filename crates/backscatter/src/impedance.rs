@@ -1,0 +1,319 @@
+//! The complex-impedance reflection model of the backscatter switch network.
+//!
+//! An antenna terminated by a circuit of impedance `Zc` reflects a fraction
+//! Γ = (Za − Zc)/(Za + Zc) of the incident wave, where `Za` is the antenna
+//! impedance (50 Ω for the standard antennas, different for the contact-lens
+//! and implant loop antennas). Traditional backscatter toggles between
+//! "match" (Γ ≈ 0) and "reflect" (|Γ| ≈ 1). Interscatter instead switches
+//! among four terminations whose reflection coefficients point in four
+//! quadrature directions, which is what lets the tag realise the complex
+//! values needed for single-sideband modulation (paper §2.3.1, step 2).
+//!
+//! The prototype used a 3 pF capacitor, an open circuit, a 1 pF capacitor
+//! and a 2 nH inductor; this module computes their impedances at 2.4 GHz and
+//! the resulting reflection coefficients, and also exposes an idealised
+//! four-state constellation for the parts of the pipeline that only care
+//! about the quadrature structure.
+
+use interscatter_dsp::Cplx;
+
+/// Carrier frequency used for component impedance evaluation (2.45 GHz ISM
+/// centre).
+pub const DEFAULT_FREQ_HZ: f64 = 2.45e9;
+
+/// A circuit termination the backscatter switch can select.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Termination {
+    /// A capacitor of the given capacitance (farads).
+    Capacitor(f64),
+    /// An inductor of the given inductance (henries).
+    Inductor(f64),
+    /// An open circuit (infinite impedance).
+    Open,
+    /// A short circuit (zero impedance).
+    Short,
+    /// A resistive load (ohms) — used for the matched/absorbing state of
+    /// conventional on-off backscatter.
+    Resistor(f64),
+}
+
+impl Termination {
+    /// The complex impedance of the termination at frequency `freq_hz`.
+    /// `Open` returns a very large but finite impedance so the arithmetic
+    /// stays well-conditioned.
+    pub fn impedance(self, freq_hz: f64) -> Cplx {
+        let w = 2.0 * std::f64::consts::PI * freq_hz;
+        match self {
+            Termination::Capacitor(c) => Cplx::new(0.0, -1.0 / (w * c)),
+            Termination::Inductor(l) => Cplx::new(0.0, w * l),
+            Termination::Open => Cplx::new(1e12, 0.0),
+            Termination::Short => Cplx::ZERO,
+            Termination::Resistor(r) => Cplx::new(r, 0.0),
+        }
+    }
+}
+
+/// Reflection coefficient Γ = (Za − Zc)/(Za + Zc) of an antenna of impedance
+/// `antenna` terminated by `circuit`.
+pub fn reflection_coefficient(antenna: Cplx, circuit: Cplx) -> Cplx {
+    (antenna - circuit) / (antenna + circuit)
+}
+
+/// The four logical quadrature states of the interscatter switch network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuadratureState {
+    /// Reflection toward 1 + j.
+    PlusPlus,
+    /// Reflection toward 1 − j.
+    PlusMinus,
+    /// Reflection toward −1 + j.
+    MinusPlus,
+    /// Reflection toward −1 − j.
+    MinusMinus,
+}
+
+impl QuadratureState {
+    /// All four states.
+    pub const ALL: [QuadratureState; 4] = [
+        QuadratureState::PlusPlus,
+        QuadratureState::PlusMinus,
+        QuadratureState::MinusPlus,
+        QuadratureState::MinusMinus,
+    ];
+
+    /// The idealised (unit-magnitude-per-axis) reflection value the state
+    /// represents, normalised so |Γ| = 1: (±1 ± j)/√2.
+    pub fn ideal_reflection(self) -> Cplx {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        match self {
+            QuadratureState::PlusPlus => Cplx::new(s, s),
+            QuadratureState::PlusMinus => Cplx::new(s, -s),
+            QuadratureState::MinusPlus => Cplx::new(-s, s),
+            QuadratureState::MinusMinus => Cplx::new(-s, -s),
+        }
+    }
+
+    /// Picks the state whose ideal reflection is closest to an arbitrary
+    /// complex value — how the digital baseband quantises the desired
+    /// `I + jQ` product onto the switch.
+    pub fn nearest(value: Cplx) -> Self {
+        match (value.re >= 0.0, value.im >= 0.0) {
+            (true, true) => QuadratureState::PlusPlus,
+            (true, false) => QuadratureState::PlusMinus,
+            (false, true) => QuadratureState::MinusPlus,
+            (false, false) => QuadratureState::MinusMinus,
+        }
+    }
+}
+
+/// The physical four-termination switch network of the prototype.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchNetwork {
+    /// Antenna impedance (50 Ω for standard antennas).
+    pub antenna: Cplx,
+    /// Termination selected for each quadrature state, in
+    /// [`QuadratureState::ALL`] order.
+    pub terminations: [Termination; 4],
+    /// Operating frequency.
+    pub freq_hz: f64,
+}
+
+impl SwitchNetwork {
+    /// The prototype network from §2.3.1: 3 pF, open, 1 pF, 2 nH against a
+    /// 50 Ω antenna.
+    pub fn prototype() -> Self {
+        SwitchNetwork {
+            antenna: Cplx::real(50.0),
+            terminations: [
+                Termination::Capacitor(3e-12),
+                Termination::Open,
+                Termination::Capacitor(1e-12),
+                Termination::Inductor(2e-9),
+            ],
+            freq_hz: DEFAULT_FREQ_HZ,
+        }
+    }
+
+    /// A network re-tuned for a non-50 Ω antenna (the contact-lens and
+    /// implant loop antennas in §5 have non-standard impedances; the paper
+    /// re-optimises the terminations, which the simulation represents by
+    /// keeping the same quadrature structure around the new `Za`).
+    pub fn tuned_for_antenna(antenna: Cplx) -> Self {
+        SwitchNetwork {
+            antenna,
+            ..Self::prototype()
+        }
+    }
+
+    /// Reflection coefficient produced by selecting `state`.
+    pub fn reflection(&self, state: QuadratureState) -> Cplx {
+        let idx = QuadratureState::ALL.iter().position(|s| *s == state).expect("state in ALL");
+        reflection_coefficient(self.antenna, self.terminations[idx].impedance(self.freq_hz))
+    }
+
+    /// The four reflection coefficients in [`QuadratureState::ALL`] order.
+    pub fn constellation(&self) -> [Cplx; 4] {
+        [
+            self.reflection(QuadratureState::PlusPlus),
+            self.reflection(QuadratureState::PlusMinus),
+            self.reflection(QuadratureState::MinusPlus),
+            self.reflection(QuadratureState::MinusMinus),
+        ]
+    }
+
+    /// A scalar figure of merit in [0, 1]: how closely the physical
+    /// constellation matches an ideal quadrature constellation (1 = four
+    /// unit-magnitude points exactly 90° apart). Computed as the product of
+    /// a magnitude-balance term and a phase-spacing term.
+    pub fn quadrature_quality(&self) -> f64 {
+        let points = self.constellation();
+        let mags: Vec<f64> = points.iter().map(|p| p.abs()).collect();
+        let mean_mag = mags.iter().sum::<f64>() / 4.0;
+        if mean_mag <= 0.0 {
+            return 0.0;
+        }
+        let mag_spread = mags
+            .iter()
+            .map(|m| (m - mean_mag).abs())
+            .fold(0.0f64, f64::max)
+            / mean_mag;
+        let mag_term = (1.0 - mag_spread).max(0.0);
+
+        // Sort phases and measure deviation from 90° spacing.
+        let mut phases: Vec<f64> = points.iter().map(|p| p.arg()).collect();
+        phases.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut worst = 0.0f64;
+        for i in 0..4 {
+            let next = if i == 3 {
+                phases[0] + 2.0 * std::f64::consts::PI
+            } else {
+                phases[i + 1]
+            };
+            let gap = next - phases[i];
+            worst = worst.max((gap - std::f64::consts::FRAC_PI_2).abs());
+        }
+        let phase_term = (1.0 - worst / std::f64::consts::FRAC_PI_2).max(0.0);
+        mag_term * phase_term
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_impedances_at_2_4ghz() {
+        // 1 pF at 2.45 GHz: |Z| = 1/(ωC) ≈ 65 Ω, capacitive (negative imag).
+        let z = Termination::Capacitor(1e-12).impedance(DEFAULT_FREQ_HZ);
+        assert!(z.re.abs() < 1e-9);
+        assert!((z.im + 64.96).abs() < 1.0, "1 pF impedance {z}");
+        // 2 nH: |Z| = ωL ≈ 31 Ω, inductive (positive imag).
+        let z = Termination::Inductor(2e-9).impedance(DEFAULT_FREQ_HZ);
+        assert!((z.im - 30.79).abs() < 1.0, "2 nH impedance {z}");
+        // Open / short / resistor.
+        assert!(Termination::Open.impedance(DEFAULT_FREQ_HZ).re > 1e9);
+        assert_eq!(Termination::Short.impedance(DEFAULT_FREQ_HZ), Cplx::ZERO);
+        assert_eq!(Termination::Resistor(50.0).impedance(DEFAULT_FREQ_HZ), Cplx::real(50.0));
+    }
+
+    #[test]
+    fn matched_load_absorbs_and_extremes_reflect() {
+        let za = Cplx::real(50.0);
+        assert!(reflection_coefficient(za, Cplx::real(50.0)).abs() < 1e-12);
+        assert!((reflection_coefficient(za, Cplx::ZERO).abs() - 1.0).abs() < 1e-12);
+        assert!((reflection_coefficient(za, Cplx::real(1e12)).abs() - 1.0).abs() < 1e-6);
+        // Short and open reflect with opposite signs.
+        let short = reflection_coefficient(za, Cplx::ZERO);
+        let open = reflection_coefficient(za, Cplx::real(1e12));
+        assert!((short + open).abs() < 1e-6);
+    }
+
+    #[test]
+    fn purely_reactive_loads_give_full_magnitude_reflection() {
+        // A lossless termination reflects all power: |Γ| = 1 for any
+        // capacitor or inductor against a real antenna impedance.
+        let za = Cplx::real(50.0);
+        for termination in [
+            Termination::Capacitor(3e-12),
+            Termination::Capacitor(1e-12),
+            Termination::Inductor(2e-9),
+        ] {
+            let gamma = reflection_coefficient(za, termination.impedance(DEFAULT_FREQ_HZ));
+            assert!((gamma.abs() - 1.0).abs() < 1e-9, "{termination:?} -> |Γ| = {}", gamma.abs());
+        }
+    }
+
+    #[test]
+    fn prototype_constellation_is_roughly_quadrature() {
+        let network = SwitchNetwork::prototype();
+        let constellation = network.constellation();
+        // All four points have near-unit magnitude (reactive/open loads).
+        for p in &constellation {
+            assert!(p.abs() > 0.9, "reflection magnitude {}", p.abs());
+        }
+        // Phases span all four quadrants of the plane... the physical parts
+        // give an approximately uniform angular spread; require the largest
+        // gap below 180° and a reasonable quality score.
+        let quality = network.quadrature_quality();
+        assert!(quality > 0.3, "prototype quadrature quality {quality}");
+        // The four phases must be pairwise distinct by at least 30°.
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                let d = (constellation[i].arg() - constellation[j].arg()).abs();
+                let d = d.min(2.0 * std::f64::consts::PI - d);
+                assert!(d > 0.5, "states {i},{j} only {d} rad apart");
+            }
+        }
+    }
+
+    #[test]
+    fn ideal_states_are_exact_quadrature() {
+        let pts: Vec<Cplx> = QuadratureState::ALL.iter().map(|s| s.ideal_reflection()).collect();
+        for p in &pts {
+            assert!((p.abs() - 1.0).abs() < 1e-12);
+        }
+        // 90° apart.
+        assert!((pts[0] * pts[1].conj()).arg().abs() - std::f64::consts::FRAC_PI_2 < 1e-12);
+    }
+
+    #[test]
+    fn nearest_state_quantisation() {
+        assert_eq!(QuadratureState::nearest(Cplx::new(0.3, 0.9)), QuadratureState::PlusPlus);
+        assert_eq!(QuadratureState::nearest(Cplx::new(0.3, -0.9)), QuadratureState::PlusMinus);
+        assert_eq!(QuadratureState::nearest(Cplx::new(-0.3, 0.9)), QuadratureState::MinusPlus);
+        assert_eq!(QuadratureState::nearest(Cplx::new(-0.3, -0.1)), QuadratureState::MinusMinus);
+    }
+
+    #[test]
+    fn tuned_network_uses_new_antenna_impedance() {
+        // A small loop antenna: low radiation resistance, inductive reactance.
+        let lens_antenna = Cplx::new(10.0, 40.0);
+        let network = SwitchNetwork::tuned_for_antenna(lens_antenna);
+        assert_eq!(network.antenna, lens_antenna);
+        // Constellation still has four distinct points.
+        let c = network.constellation();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert!((c[i] - c[j]).abs() > 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn ideal_quality_is_one() {
+        // A fictitious network whose reflections are exactly the ideal
+        // constellation scores 1.0.
+        struct Ideal;
+        let pts: Vec<Cplx> = QuadratureState::ALL.iter().map(|s| s.ideal_reflection()).collect();
+        let mags: Vec<f64> = pts.iter().map(|p| p.abs()).collect();
+        assert!(mags.iter().all(|m| (m - 1.0).abs() < 1e-12));
+        let _ = Ideal;
+        // quadrature_quality of the prototype is < 1 but > 0; the ideal
+        // points by construction would give 1. (Check the math directly.)
+        let mut phases: Vec<f64> = pts.iter().map(|p| p.arg()).collect();
+        phases.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for w in phases.windows(2) {
+            assert!((w[1] - w[0] - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        }
+    }
+}

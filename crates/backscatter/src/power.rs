@@ -1,0 +1,221 @@
+//! The 65 nm IC power model (§3 of the paper).
+//!
+//! The FPGA prototype demonstrates functionality; the power argument rests
+//! on an IC implementation in TSMC 65 nm low-power CMOS. The paper reports
+//! three blocks for 2 Mbps Wi-Fi generation:
+//!
+//! | block                  | power    |
+//! |------------------------|----------|
+//! | frequency synthesizer  | 9.69 µW  |
+//! | baseband processor     | 8.51 µW  |
+//! | backscatter modulator  | 9.79 µW  |
+//! | **total**              | **28 µW** (≈27.99 µW) |
+//!
+//! This module reproduces that budget from a simple switched-capacitance
+//! model (P = C·V²·f per block plus leakage) calibrated so the 2 Mbps
+//! operating point matches the paper, and extrapolates to the other bit
+//! rates and to duty-cycled operation. It also carries the comparison
+//! numbers against active radios that motivate backscatter in the first
+//! place.
+
+/// Power consumption of one interscatter IC block, in watts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockPower {
+    /// Dynamic (switching) power, watts.
+    pub dynamic_w: f64,
+    /// Leakage power, watts.
+    pub leakage_w: f64,
+}
+
+impl BlockPower {
+    /// Total power of the block.
+    pub fn total_w(&self) -> f64 {
+        self.dynamic_w + self.leakage_w
+    }
+}
+
+/// The paper's reported block powers at the 2 Mbps operating point, watts.
+pub mod paper {
+    /// Frequency synthesizer (integer-N PLL + Johnson counter): 9.69 µW.
+    pub const FREQUENCY_SYNTHESIZER_W: f64 = 9.69e-6;
+    /// Baseband processor (802.11b scrambler, DSSS/CCK, CRC): 8.51 µW.
+    pub const BASEBAND_PROCESSOR_W: f64 = 8.51e-6;
+    /// Single-sideband backscatter modulator (mux + switch drivers): 9.79 µW.
+    pub const BACKSCATTER_MODULATOR_W: f64 = 9.79e-6;
+    /// Total power for 2 Mbps Wi-Fi packet generation: ≈28 µW.
+    pub const TOTAL_2MBPS_W: f64 =
+        FREQUENCY_SYNTHESIZER_W + BASEBAND_PROCESSOR_W + BACKSCATTER_MODULATOR_W;
+
+    /// Typical power of an active Wi-Fi transmitter on a mobile SoC, watts —
+    /// the "orders of magnitude" comparison point.
+    pub const ACTIVE_WIFI_TX_W: f64 = 300e-3;
+    /// Typical power of an active ZigBee transmitter (tens of milliwatts,
+    /// §4.5).
+    pub const ACTIVE_ZIGBEE_TX_W: f64 = 30e-3;
+    /// Typical power of an active BLE transmitter.
+    pub const ACTIVE_BLE_TX_W: f64 = 10e-3;
+}
+
+/// The interscatter IC power model.
+#[derive(Debug, Clone, Copy)]
+pub struct IcPowerModel {
+    /// Supply voltage, volts (0.7 V low-power 65 nm logic).
+    pub supply_v: f64,
+    /// Effective switched capacitance of the frequency synthesizer per clock
+    /// edge, farads.
+    pub synth_cap_f: f64,
+    /// Effective switched capacitance of the baseband processor per
+    /// processed data bit, farads.
+    pub baseband_cap_per_bit_f: f64,
+    /// Effective switched capacitance of the modulator per chip transition,
+    /// farads.
+    pub modulator_cap_per_chip_f: f64,
+    /// Per-block leakage, watts.
+    pub leakage_per_block_w: f64,
+}
+
+impl IcPowerModel {
+    /// The calibration used throughout the workspace: block powers match the
+    /// paper's 65 nm numbers at the 2 Mbps operating point (143 MHz synth
+    /// clock, 2 Mbit/s baseband, 11 Mchip/s × 4-phase modulator).
+    pub fn tsmc65nm() -> Self {
+        let supply_v = 0.7;
+        let v2 = supply_v * supply_v;
+        let leakage_per_block_w = 0.4e-6;
+        // Solve C from P = C V^2 f with the paper's P at the known f.
+        let synth_cap_f = (paper::FREQUENCY_SYNTHESIZER_W - leakage_per_block_w) / (v2 * 143e6);
+        let baseband_cap_per_bit_f = (paper::BASEBAND_PROCESSOR_W - leakage_per_block_w) / (v2 * 2e6);
+        // The modulator toggles at the chip rate times the four clock phases.
+        let modulator_cap_per_chip_f =
+            (paper::BACKSCATTER_MODULATOR_W - leakage_per_block_w) / (v2 * 11e6 * 4.0);
+        IcPowerModel {
+            supply_v,
+            synth_cap_f,
+            baseband_cap_per_bit_f,
+            modulator_cap_per_chip_f,
+            leakage_per_block_w,
+        }
+    }
+
+    /// Frequency-synthesizer power (independent of bit rate: the PLL always
+    /// runs at 143 MHz).
+    pub fn synthesizer(&self) -> BlockPower {
+        BlockPower {
+            dynamic_w: self.synth_cap_f * self.supply_v * self.supply_v * 143e6,
+            leakage_w: self.leakage_per_block_w,
+        }
+    }
+
+    /// Baseband-processor power at a given data bit rate.
+    pub fn baseband(&self, bit_rate: f64) -> BlockPower {
+        BlockPower {
+            dynamic_w: self.baseband_cap_per_bit_f * self.supply_v * self.supply_v * bit_rate,
+            leakage_w: self.leakage_per_block_w,
+        }
+    }
+
+    /// Backscatter-modulator power at a given chip rate (11 MHz for 802.11b,
+    /// 2 MHz for ZigBee).
+    pub fn modulator(&self, chip_rate: f64) -> BlockPower {
+        BlockPower {
+            dynamic_w: self.modulator_cap_per_chip_f * self.supply_v * self.supply_v * chip_rate * 4.0,
+            leakage_w: self.leakage_per_block_w,
+        }
+    }
+
+    /// Total active power while backscattering a packet at `bit_rate` with
+    /// chips at `chip_rate`.
+    pub fn total_active_w(&self, bit_rate: f64, chip_rate: f64) -> f64 {
+        self.synthesizer().total_w() + self.baseband(bit_rate).total_w() + self.modulator(chip_rate).total_w()
+    }
+
+    /// Average power when the tag is duty-cycled: active for `active_s`
+    /// every `period_s`, sleeping (leakage only, 3 blocks) otherwise.
+    pub fn duty_cycled_w(&self, bit_rate: f64, chip_rate: f64, active_s: f64, period_s: f64) -> f64 {
+        let duty = (active_s / period_s).clamp(0.0, 1.0);
+        let active = self.total_active_w(bit_rate, chip_rate);
+        let sleep = 3.0 * self.leakage_per_block_w;
+        duty * active + (1.0 - duty) * sleep
+    }
+
+    /// Energy per transmitted bit, joules.
+    pub fn energy_per_bit_j(&self, bit_rate: f64, chip_rate: f64) -> f64 {
+        self.total_active_w(bit_rate, chip_rate) / bit_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_totals() {
+        let total = paper::TOTAL_2MBPS_W;
+        assert!((total - 27.99e-6).abs() < 0.05e-6, "total {total}");
+    }
+
+    #[test]
+    fn calibrated_model_reproduces_the_paper_budget() {
+        let model = IcPowerModel::tsmc65nm();
+        let synth = model.synthesizer().total_w();
+        let baseband = model.baseband(2e6).total_w();
+        let modulator = model.modulator(11e6).total_w();
+        assert!((synth - paper::FREQUENCY_SYNTHESIZER_W).abs() < 1e-9, "synth {synth}");
+        assert!((baseband - paper::BASEBAND_PROCESSOR_W).abs() < 1e-9, "baseband {baseband}");
+        assert!((modulator - paper::BACKSCATTER_MODULATOR_W).abs() < 1e-9, "modulator {modulator}");
+        let total = model.total_active_w(2e6, 11e6);
+        assert!((total - paper::TOTAL_2MBPS_W).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn higher_rates_cost_more_baseband_but_not_more_synth() {
+        let model = IcPowerModel::tsmc65nm();
+        let p2 = model.total_active_w(2e6, 11e6);
+        let p11 = model.total_active_w(11e6, 11e6);
+        assert!(p11 > p2);
+        // Synthesizer power is rate-independent.
+        assert_eq!(model.synthesizer().total_w(), model.synthesizer().total_w());
+        // But 11 Mbps still stays well under 100 µW.
+        assert!(p11 < 100e-6, "11 Mbps total {p11}");
+        // Energy per bit *improves* at the higher rate.
+        assert!(model.energy_per_bit_j(11e6, 11e6) < model.energy_per_bit_j(2e6, 11e6));
+    }
+
+    #[test]
+    fn zigbee_operating_point_is_cheaper_than_wifi() {
+        let model = IcPowerModel::tsmc65nm();
+        let zigbee = model.total_active_w(250e3, 2e6);
+        let wifi = model.total_active_w(2e6, 11e6);
+        assert!(zigbee < wifi);
+        assert!(zigbee > model.synthesizer().total_w(), "must include all blocks");
+    }
+
+    #[test]
+    fn orders_of_magnitude_below_active_radios() {
+        let model = IcPowerModel::tsmc65nm();
+        let backscatter = model.total_active_w(2e6, 11e6);
+        assert!(paper::ACTIVE_WIFI_TX_W / backscatter > 1_000.0);
+        assert!(paper::ACTIVE_ZIGBEE_TX_W / backscatter > 100.0);
+        assert!(paper::ACTIVE_BLE_TX_W / backscatter > 100.0);
+    }
+
+    #[test]
+    fn duty_cycling_reduces_average_power() {
+        let model = IcPowerModel::tsmc65nm();
+        // One 248 µs backscatter window every 20 ms advertising interval.
+        let avg = model.duty_cycled_w(2e6, 11e6, 248e-6, 20e-3);
+        assert!(avg < model.total_active_w(2e6, 11e6) / 10.0);
+        assert!(avg > 3.0 * model.leakage_per_block_w);
+        // Degenerate cases clamp.
+        let always_on = model.duty_cycled_w(2e6, 11e6, 1.0, 0.5);
+        assert!((always_on - model.total_active_w(2e6, 11e6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_per_bit_is_picojoules() {
+        let model = IcPowerModel::tsmc65nm();
+        let epb = model.energy_per_bit_j(2e6, 11e6);
+        // 28 µW / 2 Mbps = 14 pJ/bit.
+        assert!((epb - 14e-12).abs() < 0.5e-12, "energy/bit {epb}");
+    }
+}

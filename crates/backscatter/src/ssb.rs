@@ -1,0 +1,309 @@
+//! Single-sideband backscatter modulation (§2.3.1–§2.3.2).
+//!
+//! The tag must move the incident Bluetooth tone by tens of MHz to land in
+//! the target Wi-Fi/ZigBee channel. A real-valued (on/off or ±1) switching
+//! waveform at Δf multiplies the carrier by cos(2πΔf·t), producing *two*
+//! sidebands at f ± Δf. The interscatter insight is that a *complex*
+//! reflection coefficient approximating e^{j2πΔf·t} produces only the +Δf
+//! sideband. The tag cannot generate smooth sinusoids, so it approximates
+//! cos and sin with square waves 90° apart and quantises the resulting
+//! complex value onto its four impedance states; the odd harmonics of the
+//! square wave are 9.5 dB (3rd) and 14 dB (5th) down, which every 802.11b
+//! rate tolerates.
+//!
+//! On top of the shift, the tag multiplies in the baseband 802.11b or ZigBee
+//! symbol stream. Because both PHYs are pure phase modulations, the product
+//! still lands on the four achievable states.
+
+use crate::impedance::QuadratureState;
+use crate::BackscatterError;
+use interscatter_dsp::Cplx;
+
+/// The frequency shift used by the prototype: 35.75 MHz, chosen so the
+/// backscattered Wi-Fi packet sits in channel 11 while the Bluetooth RF
+/// source on BLE channel 38 stays far from the Wi-Fi receiver's passband
+/// (§3, FPGA design).
+pub const PROTOTYPE_SHIFT_HZ: f64 = 35.75e6;
+
+/// Configuration of the single-sideband modulator.
+#[derive(Debug, Clone, Copy)]
+pub struct SsbConfig {
+    /// Simulation sample rate in Hz (must be at least 4× the shift so the
+    /// quadrature square waves are representable).
+    pub sample_rate: f64,
+    /// Frequency shift Δf in Hz (positive = up-shift, negative = down-shift;
+    /// the ZigBee experiment shifts down by 6 MHz).
+    pub shift_hz: f64,
+    /// When true the complex product is quantised onto the four impedance
+    /// states (the physical tag); when false the ideal complex exponential is
+    /// used (for ablation benchmarks).
+    pub quantize_to_states: bool,
+}
+
+impl SsbConfig {
+    /// Creates a configuration with quantisation enabled.
+    pub fn new(sample_rate: f64, shift_hz: f64) -> Self {
+        SsbConfig {
+            sample_rate,
+            shift_hz,
+            quantize_to_states: true,
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), BackscatterError> {
+        if self.shift_hz == 0.0 {
+            return Err(BackscatterError::InvalidConfig("shift frequency must be non-zero"));
+        }
+        if self.sample_rate < 4.0 * self.shift_hz.abs() {
+            return Err(BackscatterError::InvalidConfig(
+                "sample rate must be at least 4x the shift frequency",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A ±1 square wave of frequency `freq_hz` evaluated at sample `n`, with an
+/// optional quarter-period delay (used to derive the "sine" wave from the
+/// "cosine" wave).
+fn square_wave(n: usize, freq_hz: f64, sample_rate: f64, quarter_delay: bool) -> f64 {
+    let period_samples = sample_rate / freq_hz.abs();
+    let mut t = n as f64 / period_samples;
+    if quarter_delay {
+        t -= 0.25;
+    }
+    let frac = t - t.floor();
+    if frac < 0.5 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// Generates the tag's complex switching waveform approximating
+/// `e^{j·2π·shift·t}`: square-wave cosine on I, square-wave sine on Q,
+/// optionally quantised to the four impedance states. For a negative shift
+/// the quadrature component is negated (conjugate), moving energy to the
+/// lower sideband instead.
+pub fn switching_waveform(config: &SsbConfig, len: usize) -> Result<Vec<Cplx>, BackscatterError> {
+    config.validate()?;
+    let sign = config.shift_hz.signum();
+    let out = (0..len)
+        .map(|n| {
+            let i = square_wave(n, config.shift_hz, config.sample_rate, false);
+            let q = sign * square_wave(n, config.shift_hz, config.sample_rate, true);
+            let value = Cplx::new(i, q);
+            if config.quantize_to_states {
+                QuadratureState::nearest(value).ideal_reflection()
+            } else {
+                // Ideal complex exponential for the ablation baseline.
+                Cplx::expj(2.0 * std::f64::consts::PI * config.shift_hz * n as f64 / config.sample_rate)
+            }
+        })
+        .collect();
+    Ok(out)
+}
+
+/// Combines the frequency-shifting waveform with a baseband symbol stream
+/// (one complex value per output sample, typically a sample-and-hold
+/// upsampled 802.11b chip stream) to produce the reflection-coefficient
+/// sequence Γ[n] the tag applies. Each product is re-quantised onto the four
+/// achievable states when `quantize_to_states` is set.
+pub fn reflection_sequence(
+    config: &SsbConfig,
+    baseband: &[Cplx],
+) -> Result<Vec<Cplx>, BackscatterError> {
+    let shift = switching_waveform(config, baseband.len())?;
+    Ok(shift
+        .iter()
+        .zip(baseband)
+        .map(|(&s, &b)| {
+            let product = s * b;
+            if config.quantize_to_states {
+                QuadratureState::nearest(product).ideal_reflection()
+            } else {
+                product
+            }
+        })
+        .collect())
+}
+
+/// Applies a reflection-coefficient sequence to an incident carrier: the
+/// scattered field is `Γ[n] · carrier[n]` (the tag re-radiates a copy of the
+/// incident wave weighted by its instantaneous reflection coefficient).
+///
+/// The incident carrier must be at least as long as the reflection sequence.
+pub fn backscatter(
+    carrier: &[Cplx],
+    reflection: &[Cplx],
+) -> Result<Vec<Cplx>, BackscatterError> {
+    if carrier.len() < reflection.len() {
+        return Err(BackscatterError::CarrierTooShort {
+            have: carrier.len(),
+            need: reflection.len(),
+        });
+    }
+    Ok(reflection
+        .iter()
+        .zip(carrier)
+        .map(|(&g, &c)| g * c)
+        .collect())
+}
+
+/// Convenience: shift an incident carrier by Δf with single-sideband
+/// backscatter and no data modulation (a pure tone shift), returning the
+/// scattered waveform. Used by the spectral-efficiency experiments (Fig. 6).
+pub fn shift_tone(
+    config: &SsbConfig,
+    carrier: &[Cplx],
+) -> Result<Vec<Cplx>, BackscatterError> {
+    let reflection = switching_waveform(config, carrier.len())?;
+    backscatter(carrier, &reflection)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interscatter_dsp::iq::tone;
+    use interscatter_dsp::spectrum::{band_power_db, welch_psd, WelchConfig};
+
+    const FS: f64 = 176e6;
+
+    fn psd_of(signal: &[Cplx]) -> Vec<interscatter_dsp::spectrum::SpectrumPoint> {
+        welch_psd(signal, FS, &WelchConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SsbConfig::new(176e6, 35.75e6).validate().is_ok());
+        assert!(SsbConfig::new(100e6, 35.75e6).validate().is_err());
+        assert!(SsbConfig::new(176e6, 0.0).validate().is_err());
+    }
+
+    #[test]
+    fn square_wave_has_correct_period_and_quadrature() {
+        let fs = 100.0;
+        let f = 10.0; // 10-sample period
+        let w: Vec<f64> = (0..40).map(|n| square_wave(n, f, fs, false)).collect();
+        assert_eq!(&w[..10], &[1.0, 1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, -1.0, -1.0]);
+        assert_eq!(&w[..10], &w[10..20]);
+        // Quarter delay shifts by 2.5 samples.
+        let d: Vec<f64> = (0..10).map(|n| square_wave(n, f, fs, true)).collect();
+        assert_ne!(d, w[..10].to_vec());
+    }
+
+    #[test]
+    fn ssb_shifts_a_tone_to_one_side_only() {
+        // The Fig. 6 property: energy appears at +Δf and the mirror at −Δf is
+        // suppressed by a large factor.
+        let shift = 22e6;
+        let config = SsbConfig::new(FS, shift);
+        let carrier = tone(0.0, FS, 1 << 16, 0.0);
+        let scattered = shift_tone(&config, &carrier).unwrap();
+        let psd = psd_of(&scattered);
+        let upper = band_power_db(&psd, shift - 1e6, shift + 1e6);
+        let lower = band_power_db(&psd, -shift - 1e6, -shift + 1e6);
+        assert!(
+            upper - lower > 15.0,
+            "mirror suppression only {} dB (upper {upper}, lower {lower})",
+            upper - lower
+        );
+    }
+
+    #[test]
+    fn negative_shift_moves_energy_down() {
+        // The ZigBee case: BLE 38 (2426 MHz) down to ZigBee 14 (2420 MHz).
+        let config = SsbConfig::new(FS, -6e6);
+        let carrier = tone(0.0, FS, 1 << 15, 0.0);
+        let scattered = shift_tone(&config, &carrier).unwrap();
+        let psd = psd_of(&scattered);
+        let lower = band_power_db(&psd, -7e6, -5e6);
+        let upper = band_power_db(&psd, 5e6, 7e6);
+        assert!(lower - upper > 15.0, "down-shift suppression {}", lower - upper);
+    }
+
+    #[test]
+    fn third_and_fifth_harmonics_match_square_wave_analysis() {
+        // §2.3.1 step 1: the square-wave approximation leaves odd harmonics
+        // whose power falls as 1/n² — 9.5 dB down for n = 3 and 14 dB down
+        // for n = 5. For the complex (quadrature) square-wave pair the 3rd
+        // harmonic lands at −3Δf and the 5th at +5Δf.
+        let shift = 11e6;
+        let config = SsbConfig::new(FS, shift);
+        let carrier = tone(0.0, FS, 1 << 16, 0.0);
+        let scattered = shift_tone(&config, &carrier).unwrap();
+        let psd = psd_of(&scattered);
+        let fundamental = band_power_db(&psd, shift - 0.5e6, shift + 0.5e6);
+        let third = band_power_db(&psd, -3.0 * shift - 0.5e6, -3.0 * shift + 0.5e6);
+        let fifth = band_power_db(&psd, 5.0 * shift - 0.5e6, 5.0 * shift + 0.5e6);
+        let d3 = fundamental - third;
+        let d5 = fundamental - fifth;
+        assert!((d3 - 9.5).abs() < 2.0, "3rd harmonic at {d3} dB");
+        assert!((d5 - 14.0).abs() < 2.0, "5th harmonic at {d5} dB");
+    }
+
+    #[test]
+    fn ideal_exponential_has_no_harmonics() {
+        let shift = 11e6;
+        let config = SsbConfig {
+            quantize_to_states: false,
+            ..SsbConfig::new(FS, shift)
+        };
+        let carrier = tone(0.0, FS, 1 << 15, 0.0);
+        let scattered = shift_tone(&config, &carrier).unwrap();
+        let psd = psd_of(&scattered);
+        let fundamental = band_power_db(&psd, shift - 0.5e6, shift + 0.5e6);
+        let third = band_power_db(&psd, -3.0 * shift - 0.5e6, -3.0 * shift + 0.5e6);
+        assert!(fundamental - third > 30.0, "ideal shift should have clean spectrum");
+    }
+
+    #[test]
+    fn reflection_sequence_stays_on_achievable_states() {
+        let config = SsbConfig::new(FS, PROTOTYPE_SHIFT_HZ);
+        let baseband: Vec<Cplx> = (0..1000)
+            .map(|i| Cplx::expj(i as f64 * 0.37))
+            .collect();
+        let refl = reflection_sequence(&config, &baseband).unwrap();
+        let states: Vec<Cplx> = QuadratureState::ALL.iter().map(|s| s.ideal_reflection()).collect();
+        for g in &refl {
+            assert!(
+                states.iter().any(|s| (*s - *g).abs() < 1e-12),
+                "reflection {g} is not one of the four achievable states"
+            );
+            assert!(g.abs() <= 1.0 + 1e-12, "passive tag cannot amplify");
+        }
+    }
+
+    #[test]
+    fn backscatter_requires_long_enough_carrier() {
+        let carrier = tone(0.0, FS, 10, 0.0);
+        let reflection = vec![Cplx::ONE; 20];
+        assert!(matches!(
+            backscatter(&carrier, &reflection),
+            Err(BackscatterError::CarrierTooShort { have: 10, need: 20 })
+        ));
+        let ok = backscatter(&tone(0.0, FS, 30, 0.0), &reflection).unwrap();
+        assert_eq!(ok.len(), 20);
+    }
+
+    #[test]
+    fn data_modulation_appears_around_the_shifted_carrier() {
+        // Modulate a BPSK-like ±1 pattern at ~1 MHz on top of the shift: the
+        // energy should sit around +Δf, not around 0 or −Δf.
+        let shift = 20e6;
+        let config = SsbConfig::new(FS, shift);
+        let symbols: Vec<Cplx> = (0..(1 << 15))
+            .map(|n| if (n / 88) % 2 == 0 { Cplx::ONE } else { -Cplx::ONE })
+            .collect();
+        let carrier = tone(0.0, FS, symbols.len(), 0.0);
+        let refl = reflection_sequence(&config, &symbols).unwrap();
+        let scattered = backscatter(&carrier, &refl).unwrap();
+        let psd = psd_of(&scattered);
+        let around_shift = band_power_db(&psd, shift - 3e6, shift + 3e6);
+        let around_mirror = band_power_db(&psd, -shift - 3e6, -shift + 3e6);
+        let around_dc = band_power_db(&psd, -3e6, 3e6);
+        assert!(around_shift > around_mirror + 10.0);
+        assert!(around_shift > around_dc + 10.0);
+    }
+}

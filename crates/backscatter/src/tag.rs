@@ -1,0 +1,412 @@
+//! The interscatter tag: the device that sits between the Bluetooth source
+//! and the Wi-Fi/ZigBee receiver and performs the on-air translation.
+//!
+//! The tag's uplink pipeline (paper §2.2–§2.3):
+//!
+//! 1. the envelope detector notices the Bluetooth packet's energy;
+//! 2. the tag waits out the non-controllable header fields plus a 4 µs guard
+//!    interval so backscatter only overlaps the single-tone payload;
+//! 3. the baseband processor synthesizes a complete 802.11b (or ZigBee)
+//!    packet as a chip stream;
+//! 4. the single-sideband modulator combines the chips with the ±Δf shift
+//!    and maps the result onto the four impedance states, producing the
+//!    reflection-coefficient sequence applied to the antenna;
+//! 5. the scattered signal — the incident tone times the reflection sequence
+//!    — radiates toward the receiver.
+//!
+//! The tag here works on discrete-time complex baseband referenced to the
+//! Bluetooth carrier; the `sim` crate positions it in space and applies path
+//! losses on both hops.
+
+use crate::envelope::EnvelopeDetector;
+use crate::ssb::{reflection_sequence, SsbConfig};
+use crate::{dsb, BackscatterError};
+use interscatter_dsp::filter::upsample_hold;
+use interscatter_dsp::Cplx;
+use interscatter_wifi::dot11b::{DsssRate, Dot11bTransmitter};
+use interscatter_zigbee::ZigbeeTransmitter;
+
+/// Which sideband architecture the tag uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SidebandMode {
+    /// The paper's single-sideband design.
+    Single,
+    /// The prior-work double-sideband baseline.
+    Double,
+}
+
+/// Which packet format the tag synthesizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetPhy {
+    /// 802.11b at the given DSSS rate.
+    Wifi(DsssRate),
+    /// IEEE 802.15.4 (ZigBee).
+    Zigbee,
+}
+
+/// Interscatter tag configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TagConfig {
+    /// Simulation sample rate of the incident/scattered waveforms, Hz.
+    pub sample_rate: f64,
+    /// Frequency shift from the Bluetooth tone to the target channel, Hz.
+    pub shift_hz: f64,
+    /// Target packet format.
+    pub target: TargetPhy,
+    /// Sideband architecture.
+    pub sideband: SidebandMode,
+    /// Guard interval added after the detected payload start (§2.2).
+    pub guard_interval_s: f64,
+}
+
+impl TagConfig {
+    /// The prototype configuration: 2 Mbps Wi-Fi, single sideband,
+    /// +35.75 MHz shift, 4 µs guard.
+    pub fn prototype_wifi(sample_rate: f64) -> Self {
+        TagConfig {
+            sample_rate,
+            shift_hz: crate::ssb::PROTOTYPE_SHIFT_HZ,
+            target: TargetPhy::Wifi(DsssRate::Mbps2),
+            sideband: SidebandMode::Single,
+            guard_interval_s: 4e-6,
+        }
+    }
+
+    /// The ZigBee configuration of §4.5: −6 MHz shift (BLE 38 → ZigBee 14).
+    pub fn prototype_zigbee(sample_rate: f64) -> Self {
+        TagConfig {
+            sample_rate,
+            shift_hz: -6e6,
+            target: TargetPhy::Zigbee,
+            sideband: SidebandMode::Single,
+            guard_interval_s: 4e-6,
+        }
+    }
+
+    fn chip_rate(&self) -> f64 {
+        match self.target {
+            TargetPhy::Wifi(_) => interscatter_wifi::dot11b::CHIP_RATE,
+            TargetPhy::Zigbee => interscatter_zigbee::oqpsk::CHIP_RATE,
+        }
+    }
+
+    /// Samples per chip at the simulation rate.
+    pub fn samples_per_chip(&self) -> usize {
+        (self.sample_rate / self.chip_rate()).round() as usize
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), BackscatterError> {
+        let spc = self.sample_rate / self.chip_rate();
+        if spc < 1.0 || (spc - spc.round()).abs() > 1e-6 {
+            return Err(BackscatterError::InvalidConfig(
+                "sample rate must be an integer multiple of the target chip rate",
+            ));
+        }
+        if self.guard_interval_s < 0.0 {
+            return Err(BackscatterError::InvalidConfig("guard interval must be non-negative"));
+        }
+        Ok(())
+    }
+}
+
+/// The result of one backscatter operation.
+#[derive(Debug, Clone)]
+pub struct BackscatterResult {
+    /// The scattered waveform, time-aligned with the incident waveform (zero
+    /// before the tag starts reflecting and after it stops).
+    pub scattered: Vec<Cplx>,
+    /// Sample index at which backscatter began.
+    pub start_sample: usize,
+    /// Number of samples of active backscatter.
+    pub active_samples: usize,
+    /// The synthesized payload chips (before the frequency shift), useful
+    /// for debugging and for the IC power accounting.
+    pub baseband_chips: usize,
+}
+
+/// The interscatter tag.
+#[derive(Debug, Clone, Copy)]
+pub struct InterscatterTag {
+    /// Tag configuration.
+    pub config: TagConfig,
+    /// The envelope detector used for packet detection.
+    pub detector: EnvelopeDetector,
+}
+
+impl InterscatterTag {
+    /// Creates a tag with a detector matched to the configuration's sample
+    /// rate.
+    pub fn new(config: TagConfig) -> Result<Self, BackscatterError> {
+        config.validate()?;
+        Ok(InterscatterTag {
+            config,
+            detector: EnvelopeDetector::new(config.sample_rate),
+        })
+    }
+
+    /// Synthesizes the baseband chip stream of the target packet, upsampled
+    /// (sample-and-hold, matching the digital switch drive) to the
+    /// simulation rate.
+    pub fn synthesize_baseband(&self, payload: &[u8]) -> Result<Vec<Cplx>, BackscatterError> {
+        let spc = self.config.samples_per_chip();
+        let chips: Vec<Cplx> = match self.config.target {
+            TargetPhy::Wifi(rate) => {
+                let tx = Dot11bTransmitter::new(rate);
+                tx.transmit(payload)?.chips
+            }
+            TargetPhy::Zigbee => {
+                let tx = ZigbeeTransmitter::new(self.config.sample_rate);
+                // The ZigBee transmitter already produces samples at the
+                // simulation rate; return them directly (no further
+                // upsampling below).
+                return Ok(tx.transmit(payload)?.samples);
+            }
+        };
+        Ok(upsample_hold(&chips, spc)?)
+    }
+
+    /// Builds the reflection-coefficient sequence for a payload (shift +
+    /// data, quantised to the impedance states for the single-sideband mode,
+    /// real switching waveform for the double-sideband baseline).
+    pub fn reflection_for_payload(&self, payload: &[u8]) -> Result<Vec<Cplx>, BackscatterError> {
+        let baseband = self.synthesize_baseband(payload)?;
+        match self.config.sideband {
+            SidebandMode::Single => {
+                let ssb = SsbConfig::new(self.config.sample_rate, self.config.shift_hz);
+                reflection_sequence(&ssb, &baseband)
+            }
+            SidebandMode::Double => {
+                let cfg = dsb::DsbConfig::new(self.config.sample_rate, self.config.shift_hz);
+                dsb::reflection_sequence(&cfg, &baseband)
+            }
+        }
+    }
+
+    /// Full uplink operation against an incident waveform: detect the
+    /// Bluetooth packet with the envelope detector, wait
+    /// `payload_offset_s + guard`, then backscatter the synthesized packet.
+    ///
+    /// `payload_offset_s` is the time from the start of the Bluetooth packet
+    /// to the start of its controllable payload (104 µs for a standard
+    /// advertising PDU); the tag cannot decode the packet, so this constant
+    /// is configured, not measured.
+    pub fn backscatter_packet(
+        &self,
+        incident: &[Cplx],
+        payload: &[u8],
+        payload_offset_s: f64,
+    ) -> Result<BackscatterResult, BackscatterError> {
+        let detect_start =
+            self.detector
+                .detect_packet_start(incident, 8e-6, 6.0)?;
+        let offset_samples =
+            ((payload_offset_s + self.config.guard_interval_s) * self.config.sample_rate).round() as usize;
+        let start_sample = detect_start + offset_samples;
+        let reflection = self.reflection_for_payload(payload)?;
+        if start_sample + reflection.len() > incident.len() {
+            return Err(BackscatterError::CarrierTooShort {
+                have: incident.len(),
+                need: start_sample + reflection.len(),
+            });
+        }
+        let carrier_window = &incident[start_sample..start_sample + reflection.len()];
+        let scattered_active = crate::ssb::backscatter(carrier_window, &reflection)?;
+        let mut scattered = vec![Cplx::ZERO; incident.len()];
+        scattered[start_sample..start_sample + scattered_active.len()]
+            .copy_from_slice(&scattered_active);
+        Ok(BackscatterResult {
+            scattered,
+            start_sample,
+            active_samples: reflection.len(),
+            baseband_chips: reflection.len() / self.config.samples_per_chip().max(1),
+        })
+    }
+
+    /// Maximum payload bytes (before FCS) that fit in a backscatter window of
+    /// `window_s` seconds at the configured target rate — the §2.3.3 packing
+    /// rule the tag firmware must respect.
+    pub fn max_payload_bytes(&self, window_s: f64) -> usize {
+        match self.config.target {
+            TargetPhy::Wifi(rate) => {
+                interscatter_wifi::dot11b::rates::payload_fit_in_ble_window(rate, window_s)
+                    .unwrap_or(0)
+                    .saturating_sub(4)
+            }
+            TargetPhy::Zigbee => {
+                // ZigBee PPDU overhead: 6 bytes header + 2 FCS at 250 kbps.
+                let bytes = (window_s * interscatter_zigbee::phy::BIT_RATE / 8.0).floor() as usize;
+                bytes.saturating_sub(8)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interscatter_dsp::iq::{delay, scale, tone};
+
+    /// 88 MS/s: an integer multiple of both 11 Mchip/s and 2 Mchip/s and
+    /// comfortably above 2×35.75 MHz... (the SSB modulator requires ≥4×Δf,
+    /// so Wi-Fi tests use 176 MS/s; ZigBee's 6 MHz shift is fine at 88 MS/s).
+    const FS_WIFI: f64 = 176e6;
+    const FS_ZIGBEE: f64 = 88e6;
+
+    fn incident_tone(fs: f64, duration_s: f64, amplitude: f64) -> Vec<Cplx> {
+        scale(&tone(0.0, fs, (duration_s * fs) as usize, 0.0), amplitude)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(TagConfig::prototype_wifi(FS_WIFI).validate().is_ok());
+        assert!(TagConfig::prototype_zigbee(FS_ZIGBEE).validate().is_ok());
+        let bad = TagConfig {
+            sample_rate: 10e6,
+            ..TagConfig::prototype_wifi(FS_WIFI)
+        };
+        assert!(bad.validate().is_err());
+        let bad = TagConfig {
+            guard_interval_s: -1e-6,
+            ..TagConfig::prototype_wifi(FS_WIFI)
+        };
+        assert!(bad.validate().is_err());
+        assert_eq!(TagConfig::prototype_wifi(FS_WIFI).samples_per_chip(), 16);
+    }
+
+    #[test]
+    fn synthesized_wifi_baseband_has_unit_envelope() {
+        let tag = InterscatterTag::new(TagConfig::prototype_wifi(FS_WIFI)).unwrap();
+        let baseband = tag.synthesize_baseband(&[0xAB; 20]).unwrap();
+        for s in baseband.iter().step_by(97) {
+            assert!((s.abs() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reflection_is_passive_for_both_modes_and_targets() {
+        for (config, payload) in [
+            (TagConfig::prototype_wifi(FS_WIFI), vec![0x42u8; 10]),
+            (TagConfig::prototype_zigbee(FS_ZIGBEE), vec![0x42u8; 10]),
+            (
+                TagConfig {
+                    sideband: SidebandMode::Double,
+                    ..TagConfig::prototype_wifi(FS_WIFI)
+                },
+                vec![0x42u8; 10],
+            ),
+        ] {
+            let tag = InterscatterTag::new(config).unwrap();
+            let reflection = tag.reflection_for_payload(&payload).unwrap();
+            for g in reflection.iter().step_by(173) {
+                assert!(g.abs() <= 1.0 + 1e-9, "passive constraint violated: {}", g.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn backscatter_packet_waits_for_detection_plus_guard() {
+        let tag = InterscatterTag::new(TagConfig::prototype_wifi(FS_WIFI)).unwrap();
+        // Incident: 50 µs of silence, then a strong tone for 400 µs.
+        let silence = vec![Cplx::new(1e-6, 0.0); (50e-6 * FS_WIFI) as usize];
+        let burst = incident_tone(FS_WIFI, 400e-6, 0.1);
+        let incident = {
+            let mut v = silence.clone();
+            v.extend(burst);
+            v
+        };
+        let result = tag.backscatter_packet(&incident, &[0x11; 20], 104e-6).unwrap();
+        let detect_expected = silence.len();
+        let offset_expected = ((104e-6 + 4e-6) * FS_WIFI) as usize;
+        assert!(
+            result.start_sample >= detect_expected + offset_expected
+                && result.start_sample <= detect_expected + offset_expected + (5e-6 * FS_WIFI) as usize,
+            "start sample {} not within the expected window",
+            result.start_sample
+        );
+        assert_eq!(result.scattered.len(), incident.len());
+        // Before the start the scattered waveform is silent.
+        assert!(result.scattered[..result.start_sample].iter().all(|s| s.abs() == 0.0));
+        // During the active window it is not.
+        let active = &result.scattered[result.start_sample..result.start_sample + result.active_samples];
+        assert!(interscatter_dsp::iq::mean_power(active) > 0.0);
+    }
+
+    #[test]
+    fn scattered_power_scales_with_incident_power() {
+        let tag = InterscatterTag::new(TagConfig::prototype_wifi(FS_WIFI)).unwrap();
+        // Both levels stay above the tag's -32 dBm detection floor; the
+        // leading silence keeps the adaptive threshold meaningful.
+        let make_incident =
+            |amp: f64| delay(&incident_tone(FS_WIFI, 400e-6, amp), (20e-6 * FS_WIFI) as usize);
+        let strong = tag
+            .backscatter_packet(&make_incident(0.5), &[0x11; 10], 104e-6)
+            .unwrap();
+        let weak = tag
+            .backscatter_packet(&make_incident(0.05), &[0x11; 10], 104e-6)
+            .unwrap();
+        let p_strong = interscatter_dsp::iq::mean_power(
+            &strong.scattered[strong.start_sample..strong.start_sample + strong.active_samples],
+        );
+        let p_weak = interscatter_dsp::iq::mean_power(
+            &weak.scattered[weak.start_sample..weak.start_sample + weak.active_samples],
+        );
+        let ratio_db = interscatter_dsp::units::ratio_to_db(p_strong / p_weak);
+        assert!((ratio_db - 20.0).abs() < 0.5, "scattered power ratio {ratio_db} dB");
+    }
+
+    #[test]
+    fn no_detection_means_no_backscatter() {
+        let tag = InterscatterTag::new(TagConfig::prototype_wifi(FS_WIFI)).unwrap();
+        let incident = vec![Cplx::new(1e-6, 0.0); (200e-6 * FS_WIFI) as usize];
+        assert!(matches!(
+            tag.backscatter_packet(&incident, &[1, 2, 3], 104e-6),
+            Err(BackscatterError::NoPacketDetected)
+        ));
+    }
+
+    #[test]
+    fn carrier_too_short_for_the_payload() {
+        let tag = InterscatterTag::new(TagConfig::prototype_wifi(FS_WIFI)).unwrap();
+        // Burst long enough to detect but far too short for a whole packet.
+        let incident = delay(&incident_tone(FS_WIFI, 150e-6, 0.1), (10e-6 * FS_WIFI) as usize);
+        assert!(matches!(
+            tag.backscatter_packet(&incident, &[0u8; 200], 104e-6),
+            Err(BackscatterError::CarrierTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn zigbee_target_produces_a_packet() {
+        let tag = InterscatterTag::new(TagConfig::prototype_zigbee(FS_ZIGBEE)).unwrap();
+        let incident = delay(
+            &incident_tone(FS_ZIGBEE, 2000e-6, 0.1),
+            (20e-6 * FS_ZIGBEE) as usize,
+        );
+        let result = tag.backscatter_packet(&incident, &[0x5A; 20], 104e-6).unwrap();
+        assert!(result.active_samples > 0);
+    }
+
+    #[test]
+    fn payload_packing_rule() {
+        let tag_wifi = InterscatterTag::new(TagConfig::prototype_wifi(FS_WIFI)).unwrap();
+        // In a 248 µs window at 2 Mbps: ~38-byte PSDU minus 4-byte FCS.
+        let b = tag_wifi.max_payload_bytes(248e-6);
+        assert!((32..=36).contains(&b), "2 Mbps payload fit {b}");
+        let tag_11 = InterscatterTag::new(TagConfig {
+            target: TargetPhy::Wifi(DsssRate::Mbps11),
+            ..TagConfig::prototype_wifi(FS_WIFI)
+        })
+        .unwrap();
+        assert!(tag_11.max_payload_bytes(248e-6) > 3 * b);
+        // 1 Mbps does not fit at all.
+        let tag_1 = InterscatterTag::new(TagConfig {
+            target: TargetPhy::Wifi(DsssRate::Mbps1),
+            ..TagConfig::prototype_wifi(FS_WIFI)
+        })
+        .unwrap();
+        assert_eq!(tag_1.max_payload_bytes(248e-6), 0);
+        let tag_z = InterscatterTag::new(TagConfig::prototype_zigbee(FS_ZIGBEE)).unwrap();
+        assert!(tag_z.max_payload_bytes(1e-3) > 0);
+    }
+}

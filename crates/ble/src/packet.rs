@@ -1,0 +1,298 @@
+//! BLE advertising-packet framing and whitening.
+//!
+//! The over-the-air structure (paper Fig. 5) is:
+//!
+//! ```text
+//! | Preamble | Access Address | PDU header | AdvA     | AdvData   | CRC    |
+//! |  1 byte  |    4 bytes     |  2 bytes   | 6 bytes  | 0–31 B    | 3 bytes|
+//! ```
+//!
+//! Only `AdvData` can be set freely by an application (and on Android only 24
+//! of the 31 bytes, which the single-tone planner accounts for). The PDU
+//! (header + AdvA + AdvData) and CRC are whitened with the x^7+x^4+1 LFSR
+//! seeded from the RF channel index; the preamble and access address are
+//! transmitted unwhitened.
+
+use crate::channels::BleChannel;
+use crate::BleError;
+use interscatter_dsp::bits::{bits_to_bytes_lsb, bytes_to_bits_lsb};
+use interscatter_dsp::crc::{ble_crc24, BLE_ADV_CRC_INIT};
+use interscatter_dsp::lfsr::Lfsr7;
+
+/// The fixed advertising-channel access address.
+pub const ADV_ACCESS_ADDRESS: u32 = 0x8E89_BED6;
+
+/// The BLE preamble byte for advertising packets (alternating 0/1 pattern;
+/// 0xAA when the first access-address bit is 0).
+pub const ADV_PREAMBLE: u8 = 0xAA;
+
+/// Maximum number of AdvData bytes in a legacy advertising PDU.
+pub const MAX_ADV_DATA_LEN: usize = 31;
+
+/// Number of AdvData bytes an unprivileged Android application can control
+/// (the OS claims some AD structure overhead — paper §2.2 footnote 3).
+pub const ANDROID_CONTROLLABLE_BYTES: usize = 24;
+
+/// Advertising PDU types (the 4-bit `PDU Type` field of the header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdvPduType {
+    /// Connectable undirected advertising (ADV_IND).
+    AdvInd,
+    /// Non-connectable undirected advertising (ADV_NONCONN_IND) — what a
+    /// broadcast-only interscatter source uses.
+    AdvNonconnInd,
+    /// Scannable undirected advertising (ADV_SCAN_IND).
+    AdvScanInd,
+}
+
+impl AdvPduType {
+    fn code(self) -> u8 {
+        match self {
+            AdvPduType::AdvInd => 0b0000,
+            AdvPduType::AdvNonconnInd => 0b0010,
+            AdvPduType::AdvScanInd => 0b0110,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code & 0x0F {
+            0b0000 => Some(AdvPduType::AdvInd),
+            0b0010 => Some(AdvPduType::AdvNonconnInd),
+            0b0110 => Some(AdvPduType::AdvScanInd),
+            _ => None,
+        }
+    }
+}
+
+/// A BLE advertising packet with all fields the interscatter source needs to
+/// control.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdvertisingPacket {
+    /// PDU type.
+    pub pdu_type: AdvPduType,
+    /// 6-byte advertiser (MAC) address, little-endian on air.
+    pub advertiser_address: [u8; 6],
+    /// Application-controlled advertising data (0–31 bytes).
+    pub adv_data: Vec<u8>,
+}
+
+impl AdvertisingPacket {
+    /// Creates a non-connectable advertising packet with the given payload.
+    pub fn new(advertiser_address: [u8; 6], adv_data: &[u8]) -> Result<Self, BleError> {
+        if adv_data.len() > MAX_ADV_DATA_LEN {
+            return Err(BleError::PayloadTooLong {
+                requested: adv_data.len(),
+                max: MAX_ADV_DATA_LEN,
+            });
+        }
+        Ok(AdvertisingPacket {
+            pdu_type: AdvPduType::AdvNonconnInd,
+            advertiser_address,
+            adv_data: adv_data.to_vec(),
+        })
+    }
+
+    /// The 2-byte PDU header: PDU type, TxAdd/RxAdd flags (zero here), and
+    /// the payload length (AdvA + AdvData).
+    pub fn header(&self) -> [u8; 2] {
+        let length = (6 + self.adv_data.len()) as u8;
+        [self.pdu_type.code(), length]
+    }
+
+    /// The unwhitened PDU bytes: header, advertiser address, advertising
+    /// data.
+    pub fn pdu_bytes(&self) -> Vec<u8> {
+        let mut pdu = Vec::with_capacity(2 + 6 + self.adv_data.len());
+        pdu.extend_from_slice(&self.header());
+        pdu.extend_from_slice(&self.advertiser_address);
+        pdu.extend_from_slice(&self.adv_data);
+        pdu
+    }
+
+    /// The CRC-24 over the unwhitened PDU, in transmission order.
+    pub fn crc(&self) -> [u8; 3] {
+        ble_crc24(&self.pdu_bytes(), BLE_ADV_CRC_INIT)
+    }
+
+    /// Serialises the packet to its on-air bit stream (LSB-first per byte)
+    /// for transmission on `channel`: preamble and access address are sent
+    /// in the clear, then the whitened PDU and CRC.
+    pub fn to_air_bits(&self, channel: BleChannel) -> Result<Vec<u8>, BleError> {
+        let channel = channel.require_advertising()?;
+        let mut bits = Vec::new();
+        bits.extend(bytes_to_bits_lsb(&[ADV_PREAMBLE]));
+        bits.extend(bytes_to_bits_lsb(&ADV_ACCESS_ADDRESS.to_le_bytes()));
+
+        let mut unwhitened = bytes_to_bits_lsb(&self.pdu_bytes());
+        unwhitened.extend(bytes_to_bits_lsb(&self.crc()));
+        let mut whitener = Lfsr7::ble_whitening_for_channel(channel.index());
+        bits.extend(whitener.whiten(&unwhitened));
+        Ok(bits)
+    }
+
+    /// Number of on-air bits of the packet (1 µs per bit at LE 1M).
+    pub fn air_bits_len(&self) -> usize {
+        8 * (1 + 4 + 2 + 6 + self.adv_data.len() + 3)
+    }
+
+    /// Parses a packet back from on-air bits (the output of
+    /// [`AdvertisingPacket::to_air_bits`] or a demodulated stream), verifying
+    /// the CRC.
+    pub fn from_air_bits(bits: &[u8], channel: BleChannel) -> Result<Self, BleError> {
+        let channel = channel.require_advertising()?;
+        // Minimum: preamble + AA + header + AdvA + CRC = 1+4+2+6+3 = 16 bytes.
+        if bits.len() < 16 * 8 {
+            return Err(BleError::TruncatedWaveform {
+                have: bits.len(),
+                need: 16 * 8,
+            });
+        }
+        let after_aa = &bits[(1 + 4) * 8..];
+        let mut whitener = Lfsr7::ble_whitening_for_channel(channel.index());
+        let dewhitened = whitener.whiten(after_aa);
+        let bytes = bits_to_bytes_lsb(&dewhitened);
+        let pdu_type = AdvPduType::from_code(bytes[0]).ok_or(BleError::CrcMismatch)?;
+        let length = bytes[1] as usize;
+        if length < 6 || length > 6 + MAX_ADV_DATA_LEN || bytes.len() < 2 + length + 3 {
+            return Err(BleError::TruncatedWaveform {
+                have: bytes.len(),
+                need: 2 + length.max(6) + 3,
+            });
+        }
+        let mut advertiser_address = [0u8; 6];
+        advertiser_address.copy_from_slice(&bytes[2..8]);
+        let adv_data = bytes[8..2 + length].to_vec();
+        let packet = AdvertisingPacket {
+            pdu_type,
+            advertiser_address,
+            adv_data,
+        };
+        let expected_crc = packet.crc();
+        let got_crc = &bytes[2 + length..2 + length + 3];
+        if got_crc != expected_crc {
+            return Err(BleError::CrcMismatch);
+        }
+        Ok(packet)
+    }
+
+    /// The bit offset (from the start of the packet) at which the AdvData
+    /// payload begins on air. This is the instant from which the tag can
+    /// start backscattering: everything before it — preamble, access
+    /// address, header and advertiser address — is fixed by the standard.
+    pub fn payload_bit_offset() -> usize {
+        (1 + 4 + 2 + 6) * 8
+    }
+
+    /// The bit offset at which the CRC begins, i.e. the end of the
+    /// controllable payload window.
+    pub fn crc_bit_offset(&self) -> usize {
+        Self::payload_bit_offset() + self.adv_data.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_packet(len: usize) -> AdvertisingPacket {
+        let data: Vec<u8> = (0..len as u8).collect();
+        AdvertisingPacket::new([0x10, 0x32, 0x54, 0x76, 0x98, 0xBA], &data).unwrap()
+    }
+
+    #[test]
+    fn payload_length_limit_is_enforced() {
+        assert!(AdvertisingPacket::new([0; 6], &[0u8; 31]).is_ok());
+        let err = AdvertisingPacket::new([0; 6], &[0u8; 32]).unwrap_err();
+        assert_eq!(err, BleError::PayloadTooLong { requested: 32, max: 31 });
+    }
+
+    #[test]
+    fn header_encodes_type_and_length() {
+        let p = sample_packet(10);
+        let h = p.header();
+        assert_eq!(h[0], 0b0010); // ADV_NONCONN_IND
+        assert_eq!(h[1], 16); // 6-byte AdvA + 10-byte AdvData
+    }
+
+    #[test]
+    fn air_bits_length_matches_field_sum() {
+        let p = sample_packet(31);
+        let bits = p.to_air_bits(BleChannel::ADV_38).unwrap();
+        assert_eq!(bits.len(), p.air_bits_len());
+        // 1+4+2+6+31+3 = 47 bytes = 376 bits = 376 µs at 1 Mbit/s.
+        assert_eq!(bits.len(), 376);
+    }
+
+    #[test]
+    fn round_trip_on_every_advertising_channel() {
+        for ch in crate::channels::ADVERTISING_CHANNELS {
+            let p = sample_packet(24);
+            let bits = p.to_air_bits(ch).unwrap();
+            let back = AdvertisingPacket::from_air_bits(&bits, ch).unwrap();
+            assert_eq!(back, p);
+        }
+    }
+
+    #[test]
+    fn wrong_channel_dewhitening_fails_crc() {
+        let p = sample_packet(20);
+        let bits = p.to_air_bits(BleChannel::ADV_38).unwrap();
+        let result = AdvertisingPacket::from_air_bits(&bits, BleChannel::ADV_37);
+        assert!(result.is_err(), "dewhitening with the wrong channel must not validate");
+    }
+
+    #[test]
+    fn corrupted_bit_fails_crc() {
+        let p = sample_packet(16);
+        let mut bits = p.to_air_bits(BleChannel::ADV_39).unwrap();
+        let idx = AdvertisingPacket::payload_bit_offset() + 5;
+        bits[idx] ^= 1;
+        assert_eq!(
+            AdvertisingPacket::from_air_bits(&bits, BleChannel::ADV_39).unwrap_err(),
+            BleError::CrcMismatch
+        );
+    }
+
+    #[test]
+    fn data_channel_is_rejected_for_advertising() {
+        let p = sample_packet(4);
+        assert!(p.to_air_bits(BleChannel::new(10).unwrap()).is_err());
+    }
+
+    #[test]
+    fn truncated_bits_are_rejected() {
+        let p = sample_packet(4);
+        let bits = p.to_air_bits(BleChannel::ADV_38).unwrap();
+        let err = AdvertisingPacket::from_air_bits(&bits[..100], BleChannel::ADV_38).unwrap_err();
+        assert!(matches!(err, BleError::TruncatedWaveform { .. }));
+    }
+
+    #[test]
+    fn preamble_and_access_address_are_unwhitened() {
+        let p = sample_packet(0);
+        let bits = p.to_air_bits(BleChannel::ADV_37).unwrap();
+        assert_eq!(bits_to_bytes_lsb(&bits[..8]), vec![ADV_PREAMBLE]);
+        assert_eq!(
+            bits_to_bytes_lsb(&bits[8..40]),
+            ADV_ACCESS_ADDRESS.to_le_bytes().to_vec()
+        );
+    }
+
+    #[test]
+    fn payload_offset_is_56_bits_after_preamble_and_aa_plus_header_and_adva() {
+        // Paper §2.2: the tag uses preamble + access address + header
+        // (56 µs) for detection; the payload then starts after AdvA. With the
+        // 6-byte AdvA included the controllable region begins at 104 µs.
+        assert_eq!(AdvertisingPacket::payload_bit_offset(), 104);
+        let p = sample_packet(31);
+        assert_eq!(p.crc_bit_offset(), 104 + 31 * 8);
+    }
+
+    #[test]
+    fn different_payloads_produce_different_crcs() {
+        let a = sample_packet(8);
+        let mut b = a.clone();
+        b.adv_data[3] ^= 0xFF;
+        assert_ne!(a.crc(), b.crc());
+    }
+}

@@ -1,0 +1,274 @@
+//! Turning a commodity BLE transmitter into a single-tone RF source (§2.2).
+//!
+//! BLE GFSK encodes a `1` as +250 kHz and a `0` as −250 kHz from the channel
+//! centre. A long run of identical on-air bits therefore produces a constant
+//! frequency — a single tone the backscatter tag can use as its carrier. The
+//! obstacle is data whitening: the link layer XORs the PDU with the output of
+//! the x^7+x^4+1 LFSR precisely so that long runs do not appear on air.
+//!
+//! Because the whitening sequence is fully determined by the advertising
+//! channel number, we can invert it: setting each payload bit to the
+//! corresponding whitening bit makes the *whitened* bit `0` (a −250 kHz
+//! tone); setting it to the complement makes it `1` (+250 kHz). This module
+//! computes those payload bytes for a given channel and payload length, and
+//! provides a verifier that measures how pure the resulting tone is.
+
+use crate::channels::BleChannel;
+use crate::gfsk::{GfskConfig, GfskModulator};
+use crate::packet::{AdvertisingPacket, MAX_ADV_DATA_LEN};
+use crate::BleError;
+use interscatter_dsp::bits::bits_to_bytes_lsb;
+use interscatter_dsp::iq::instantaneous_frequency;
+use interscatter_dsp::lfsr::Lfsr7;
+use interscatter_dsp::Cplx;
+
+/// Which of the two GFSK tones the crafted payload produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TonePolarity {
+    /// All whitened payload bits are `1`: the carrier sits ≈ +250 kHz above
+    /// the channel centre.
+    High,
+    /// All whitened payload bits are `0`: the carrier sits ≈ −250 kHz below
+    /// the channel centre.
+    Low,
+}
+
+impl TonePolarity {
+    /// The frequency offset from the channel centre this polarity produces.
+    pub fn frequency_offset_hz(self) -> f64 {
+        match self {
+            TonePolarity::High => crate::channels::BLE_FREQ_DEVIATION_HZ,
+            TonePolarity::Low => -crate::channels::BLE_FREQ_DEVIATION_HZ,
+        }
+    }
+}
+
+/// Computes the AdvData payload bytes that produce a constant on-air bit
+/// stream during the payload section of an advertising packet transmitted on
+/// `channel`.
+///
+/// The whitening register is seeded from the channel index and clocked over
+/// the header (2 bytes) and advertiser address (6 bytes) before reaching the
+/// payload, so the returned bytes depend on the channel but not on the
+/// header/address *values* (whitening consumes one bit per transmitted bit
+/// regardless of value).
+pub fn single_tone_payload(
+    channel: BleChannel,
+    payload_len: usize,
+    polarity: TonePolarity,
+) -> Result<Vec<u8>, BleError> {
+    let channel = channel.require_advertising()?;
+    if payload_len > MAX_ADV_DATA_LEN {
+        return Err(BleError::PayloadTooLong {
+            requested: payload_len,
+            max: MAX_ADV_DATA_LEN,
+        });
+    }
+    let mut whitener = Lfsr7::ble_whitening_for_channel(channel.index());
+    // Skip the whitening bits consumed by the header and advertiser address
+    // (8 bytes = 64 bits) so we align with the payload section.
+    let _ = whitener.sequence((2 + 6) * 8);
+    let wseq = whitener.sequence(payload_len * 8);
+    let payload_bits: Vec<u8> = wseq
+        .iter()
+        .map(|&w| match polarity {
+            // data ^ whitening = 0  =>  data = whitening
+            TonePolarity::Low => w,
+            // data ^ whitening = 1  =>  data = !whitening
+            TonePolarity::High => w ^ 1,
+        })
+        .collect();
+    Ok(bits_to_bytes_lsb(&payload_bits))
+}
+
+/// Builds a complete advertising packet whose payload section is a single
+/// tone on the given channel.
+pub fn single_tone_packet(
+    channel: BleChannel,
+    advertiser_address: [u8; 6],
+    payload_len: usize,
+    polarity: TonePolarity,
+) -> Result<AdvertisingPacket, BleError> {
+    let payload = single_tone_payload(channel, payload_len, polarity)?;
+    AdvertisingPacket::new(advertiser_address, &payload)
+}
+
+/// The result of analysing how tone-like the payload section of a modulated
+/// packet is.
+#[derive(Debug, Clone, Copy)]
+pub struct ToneQuality {
+    /// Mean instantaneous frequency over the payload window, Hz from the
+    /// channel centre.
+    pub mean_frequency_hz: f64,
+    /// Standard deviation of the instantaneous frequency over the window, Hz.
+    /// A pure tone has (near-)zero deviation; a random payload has hundreds
+    /// of kilohertz.
+    pub frequency_std_hz: f64,
+    /// Fraction of payload samples whose instantaneous frequency is within
+    /// 50 kHz of the mean — a simple "tone purity" score in [0, 1].
+    pub purity: f64,
+}
+
+/// Modulates the packet with the given GFSK configuration and measures the
+/// tone quality over its payload window.
+pub fn analyze_payload_tone(
+    packet: &AdvertisingPacket,
+    channel: BleChannel,
+    config: GfskConfig,
+) -> Result<ToneQuality, BleError> {
+    let bits = packet.to_air_bits(channel)?;
+    let modulator = GfskModulator::new(config)?;
+    let wave = modulator.modulate(&bits, 0.0);
+    let spb = config.samples_per_bit();
+    let start = AdvertisingPacket::payload_bit_offset() * spb;
+    let end = packet.crc_bit_offset() * spb;
+    if wave.len() < end || end <= start {
+        return Err(BleError::TruncatedWaveform {
+            have: wave.len(),
+            need: end,
+        });
+    }
+    Ok(tone_quality(&wave[start..end], config.sample_rate))
+}
+
+/// Measures tone quality over an arbitrary IQ window.
+pub fn tone_quality(window: &[Cplx], sample_rate: f64) -> ToneQuality {
+    let inst = instantaneous_frequency(window, sample_rate);
+    if inst.is_empty() {
+        return ToneQuality {
+            mean_frequency_hz: 0.0,
+            frequency_std_hz: 0.0,
+            purity: 0.0,
+        };
+    }
+    let mean = inst.iter().sum::<f64>() / inst.len() as f64;
+    let var = inst.iter().map(|f| (f - mean) * (f - mean)).sum::<f64>() / inst.len() as f64;
+    let within = inst.iter().filter(|f| (**f - mean).abs() < 50e3).count();
+    ToneQuality {
+        mean_frequency_hz: mean,
+        frequency_std_hz: var.sqrt(),
+        purity: within as f64 / inst.len() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channels::ADVERTISING_CHANNELS;
+    use interscatter_dsp::lfsr::Lfsr7;
+    use rand::{Rng, SeedableRng};
+
+    const ADDR: [u8; 6] = [0xC0, 0xFF, 0xEE, 0x12, 0x34, 0x56];
+
+    #[test]
+    fn payload_produces_constant_whitened_bits() {
+        for ch in ADVERTISING_CHANNELS {
+            for (polarity, expected) in [(TonePolarity::Low, 0u8), (TonePolarity::High, 1u8)] {
+                let packet = single_tone_packet(ch, ADDR, 24, polarity).unwrap();
+                let bits = packet.to_air_bits(ch).unwrap();
+                let start = AdvertisingPacket::payload_bit_offset();
+                let end = packet.crc_bit_offset();
+                for (i, &b) in bits[start..end].iter().enumerate() {
+                    assert_eq!(
+                        b, expected,
+                        "channel {} polarity {:?} bit {} not constant",
+                        ch.index(),
+                        polarity,
+                        i
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn payload_differs_per_channel() {
+        let p37 = single_tone_payload(BleChannel::ADV_37, 24, TonePolarity::Low).unwrap();
+        let p38 = single_tone_payload(BleChannel::ADV_38, 24, TonePolarity::Low).unwrap();
+        let p39 = single_tone_payload(BleChannel::ADV_39, 24, TonePolarity::Low).unwrap();
+        assert_ne!(p37, p38);
+        assert_ne!(p38, p39);
+    }
+
+    #[test]
+    fn high_and_low_polarities_are_bit_complements() {
+        let lo = single_tone_payload(BleChannel::ADV_38, 16, TonePolarity::Low).unwrap();
+        let hi = single_tone_payload(BleChannel::ADV_38, 16, TonePolarity::High).unwrap();
+        for (a, b) in lo.iter().zip(&hi) {
+            assert_eq!(a ^ b, 0xFF);
+        }
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        assert!(single_tone_payload(BleChannel::ADV_38, 32, TonePolarity::Low).is_err());
+        assert!(single_tone_payload(BleChannel::new(3).unwrap(), 10, TonePolarity::Low).is_err());
+    }
+
+    #[test]
+    fn crafted_packet_round_trips_through_framing() {
+        // The crafted payload is an ordinary valid packet: it must survive
+        // serialisation and CRC validation like any other.
+        let packet = single_tone_packet(BleChannel::ADV_38, ADDR, 31, TonePolarity::High).unwrap();
+        let bits = packet.to_air_bits(BleChannel::ADV_38).unwrap();
+        let back = AdvertisingPacket::from_air_bits(&bits, BleChannel::ADV_38).unwrap();
+        assert_eq!(back, packet);
+    }
+
+    #[test]
+    fn tone_purity_beats_random_payload() {
+        // This is the Fig. 9 comparison in miniature: the crafted payload
+        // must produce a far purer tone than a random advertisement.
+        let cfg = GfskConfig::default();
+        let crafted = single_tone_packet(BleChannel::ADV_38, ADDR, 31, TonePolarity::High).unwrap();
+        let crafted_q = analyze_payload_tone(&crafted, BleChannel::ADV_38, cfg).unwrap();
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let random_payload: Vec<u8> = (0..31).map(|_| rng.gen()).collect();
+        let random = AdvertisingPacket::new(ADDR, &random_payload).unwrap();
+        let random_q = analyze_payload_tone(&random, BleChannel::ADV_38, cfg).unwrap();
+
+        assert!(crafted_q.purity > 0.98, "crafted purity {}", crafted_q.purity);
+        assert!(crafted_q.frequency_std_hz < 20e3, "crafted std {}", crafted_q.frequency_std_hz);
+        assert!(
+            (crafted_q.mean_frequency_hz - 250e3).abs() < 20e3,
+            "crafted tone at {}",
+            crafted_q.mean_frequency_hz
+        );
+        assert!(
+            random_q.frequency_std_hz > 5.0 * crafted_q.frequency_std_hz.max(1.0),
+            "random payload should spread energy (std {})",
+            random_q.frequency_std_hz
+        );
+    }
+
+    #[test]
+    fn low_polarity_tone_sits_below_the_carrier() {
+        let cfg = GfskConfig::default();
+        let packet = single_tone_packet(BleChannel::ADV_37, ADDR, 31, TonePolarity::Low).unwrap();
+        let q = analyze_payload_tone(&packet, BleChannel::ADV_37, cfg).unwrap();
+        assert!((q.mean_frequency_hz + 250e3).abs() < 20e3, "tone at {}", q.mean_frequency_hz);
+        assert_eq!(TonePolarity::Low.frequency_offset_hz(), -250e3);
+        assert_eq!(TonePolarity::High.frequency_offset_hz(), 250e3);
+    }
+
+    #[test]
+    fn whitening_skip_matches_packet_layout() {
+        // Cross-check the 64-bit skip against the actual packet: whiten a
+        // zero payload and confirm the payload section of the air bits equals
+        // the whitening sequence at that offset.
+        let packet = AdvertisingPacket::new(ADDR, &[0u8; 10]).unwrap();
+        let bits = packet.to_air_bits(BleChannel::ADV_39).unwrap();
+        let mut w = Lfsr7::ble_whitening_for_channel(39);
+        let _ = w.sequence(64);
+        let expected = w.sequence(80);
+        let start = AdvertisingPacket::payload_bit_offset();
+        assert_eq!(&bits[start..start + 80], expected.as_slice());
+    }
+
+    #[test]
+    fn tone_quality_of_empty_window() {
+        let q = tone_quality(&[], 1e6);
+        assert_eq!(q.purity, 0.0);
+    }
+}

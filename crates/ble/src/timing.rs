@@ -1,0 +1,113 @@
+//! Advertising-packet timing used by the backscatter tag (§2.2, §2.3.3).
+//!
+//! The tag cannot decode Bluetooth; it only detects packet energy with an
+//! envelope detector. The timing budget is therefore derived from the fixed
+//! structure of an advertising packet at 1 µs per bit:
+//!
+//! * 8 µs preamble + 32 µs access address + 16 µs header = 56 µs that the
+//!   paper uses for detection (the advertiser address adds another 48 µs
+//!   before the controllable payload starts),
+//! * up to 31 bytes = 248 µs of controllable payload — the window in which
+//!   the synthesized Wi-Fi/ZigBee packet must fit,
+//! * 24 µs of CRC that the tag must not overlap,
+//! * a 4 µs guard interval to absorb the error of energy-based detection.
+
+use crate::packet::AdvertisingPacket;
+
+/// Duration of one BLE LE 1M bit in seconds (1 µs).
+pub const BIT_DURATION_S: f64 = 1e-6;
+
+/// Duration of the preamble + access address + PDU header in seconds
+/// (56 µs) — the detection window mentioned in §2.2 of the paper.
+pub const DETECTION_HEADER_S: f64 = 56e-6;
+
+/// Guard interval the tag adds to its payload-start estimate (§2.2).
+pub const GUARD_INTERVAL_S: f64 = 4e-6;
+
+/// Separation between successive advertising-channel transmissions of the
+/// same advertising event for TI chipsets (§2.3.3, optimisation 2).
+pub const INTER_CHANNEL_GAP_S: f64 = 400e-6;
+
+/// Maximum payload duration (31 bytes × 8 µs) = 248 µs.
+pub const MAX_PAYLOAD_DURATION_S: f64 = 248e-6;
+
+/// Timing breakdown of a specific advertising packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdvTiming {
+    /// Time from the start of the packet to the first payload bit.
+    pub payload_start_s: f64,
+    /// Duration of the payload (backscatter window).
+    pub payload_duration_s: f64,
+    /// Time from the start of the packet to the first CRC bit.
+    pub crc_start_s: f64,
+    /// Total on-air duration of the packet.
+    pub total_duration_s: f64,
+}
+
+impl AdvTiming {
+    /// Computes the timing of the given packet.
+    pub fn of(packet: &AdvertisingPacket) -> Self {
+        let payload_start_s = AdvertisingPacket::payload_bit_offset() as f64 * BIT_DURATION_S;
+        let payload_duration_s = packet.adv_data.len() as f64 * 8.0 * BIT_DURATION_S;
+        let crc_start_s = packet.crc_bit_offset() as f64 * BIT_DURATION_S;
+        let total_duration_s = packet.air_bits_len() as f64 * BIT_DURATION_S;
+        AdvTiming {
+            payload_start_s,
+            payload_duration_s,
+            crc_start_s,
+            total_duration_s,
+        }
+    }
+
+    /// The window available for backscatter after applying the guard
+    /// interval at the start (the tag starts `GUARD_INTERVAL_S` late to be
+    /// sure the payload has begun, and must stop before the CRC).
+    pub fn backscatter_window_s(&self) -> f64 {
+        (self.payload_duration_s - GUARD_INTERVAL_S).max(0.0)
+    }
+}
+
+/// Duration in seconds that the RTS/CTS-style reservation of §2.3.3
+/// (optimisation 2) buys: two inter-channel gaps plus one more packet.
+pub fn reservation_window_s(packet_duration_s: f64) -> f64 {
+    2.0 * INTER_CHANNEL_GAP_S + packet_duration_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::AdvertisingPacket;
+
+    #[test]
+    fn full_packet_timing() {
+        let p = AdvertisingPacket::new([0; 6], &[0u8; 31]).unwrap();
+        let t = AdvTiming::of(&p);
+        assert!((t.payload_start_s - 104e-6).abs() < 1e-12);
+        assert!((t.payload_duration_s - MAX_PAYLOAD_DURATION_S).abs() < 1e-12);
+        assert!((t.crc_start_s - 352e-6).abs() < 1e-12);
+        assert!((t.total_duration_s - 376e-6).abs() < 1e-12);
+        assert!((t.backscatter_window_s() - 244e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_payload_has_zero_backscatter_window() {
+        let p = AdvertisingPacket::new([0; 6], &[]).unwrap();
+        let t = AdvTiming::of(&p);
+        assert_eq!(t.payload_duration_s, 0.0);
+        assert_eq!(t.backscatter_window_s(), 0.0);
+        assert!((t.total_duration_s - 128e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detection_header_is_56_microseconds() {
+        // Preamble (8) + access address (32) + header (16) = 56 bits = 56 µs.
+        assert!((DETECTION_HEADER_S - 56e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reservation_window_matches_paper_formula() {
+        // 2ΔT + T_bluetooth with ΔT = 400 µs.
+        let t = reservation_window_s(376e-6);
+        assert!((t - (800e-6 + 376e-6)).abs() < 1e-12);
+    }
+}

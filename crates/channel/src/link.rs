@@ -1,0 +1,245 @@
+//! The backscatter link budget.
+//!
+//! A backscatter link has two hops: the RF source (Bluetooth device)
+//! illuminates the tag, and the tag re-radiates a modulated copy toward the
+//! receiver. The received power is therefore
+//!
+//! ```text
+//! P_rx = P_tx + G_tx + G_tag − L(d_tx→tag) − L_tissue(tx→tag)
+//!              + G_tag + G_rx − L(d_tag→rx) − L_tissue(tag→rx)
+//!              − L_conversion
+//! ```
+//!
+//! where `L_conversion` captures the tag's modulation loss: the reflection
+//! coefficient magnitude (≤ 1), the fraction of scattered power placed in
+//! the wanted sideband (the single-sideband design roughly doubles this
+//! fraction relative to double-sideband), and the square-wave harmonic loss.
+//! This multiplicative two-hop structure is why backscatter RSSI falls off
+//! much faster with either distance than a conventional one-hop link, which
+//! is the dominant shape of Figures 10, 15 and 16.
+
+use crate::antenna::Antenna;
+use crate::noise::NoiseModel;
+use crate::pathloss::LogDistanceModel;
+use crate::tissue::TissuePath;
+use crate::ChannelError;
+use rand::Rng;
+
+/// Conversion losses of the tag's modulation process, in dB.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConversionLoss {
+    /// Loss from the reflection coefficient and switch network (dB).
+    pub reflection_db: f64,
+    /// Loss from the fraction of power placed in the wanted sideband (dB):
+    /// ≈ 0.9 dB for single-sideband (square-wave fundamental), ≈ 3.9 dB for
+    /// double-sideband (half the power in the unwanted mirror).
+    pub sideband_db: f64,
+}
+
+impl ConversionLoss {
+    /// Conversion loss of the single-sideband interscatter tag.
+    pub fn single_sideband() -> Self {
+        ConversionLoss {
+            reflection_db: 1.0,
+            sideband_db: 0.9,
+        }
+    }
+
+    /// Conversion loss of the double-sideband baseline (per sideband).
+    pub fn double_sideband() -> Self {
+        ConversionLoss {
+            reflection_db: 1.0,
+            sideband_db: 3.9,
+        }
+    }
+
+    /// Total conversion loss in dB.
+    pub fn total_db(&self) -> f64 {
+        self.reflection_db + self.sideband_db
+    }
+}
+
+/// A complete backscatter link description.
+#[derive(Debug, Clone)]
+pub struct BackscatterLink {
+    /// Transmit power of the RF source (Bluetooth device), dBm.
+    pub tx_power_dbm: f64,
+    /// Antenna of the RF source.
+    pub tx_antenna: Antenna,
+    /// Antenna of the backscatter tag.
+    pub tag_antenna: Antenna,
+    /// Antenna of the receiver.
+    pub rx_antenna: Antenna,
+    /// Propagation model for the source→tag hop.
+    pub source_to_tag: LogDistanceModel,
+    /// Propagation model for the tag→receiver hop.
+    pub tag_to_rx: LogDistanceModel,
+    /// Tissue on the source→tag path (traversed once each way through the
+    /// tag's covering medium).
+    pub tissue_source_to_tag: TissuePath,
+    /// Tissue on the tag→receiver path.
+    pub tissue_tag_to_rx: TissuePath,
+    /// Tag conversion loss.
+    pub conversion: ConversionLoss,
+}
+
+impl BackscatterLink {
+    /// A bench link: monopole antennas, indoor line-of-sight propagation, no
+    /// tissue, single-sideband tag — the Fig. 10 setup.
+    pub fn bench(tx_power_dbm: f64, freq_hz: f64) -> Self {
+        BackscatterLink {
+            tx_power_dbm,
+            tx_antenna: Antenna::monopole_2dbi(),
+            tag_antenna: Antenna::monopole_2dbi(),
+            rx_antenna: Antenna::monopole_2dbi(),
+            source_to_tag: LogDistanceModel::indoor_los(freq_hz),
+            tag_to_rx: LogDistanceModel::indoor_los(freq_hz),
+            tissue_source_to_tag: TissuePath::new(),
+            tissue_tag_to_rx: TissuePath::new(),
+            conversion: ConversionLoss::single_sideband(),
+        }
+    }
+
+    /// Validates the constituent models.
+    pub fn validate(&self) -> Result<(), ChannelError> {
+        self.tx_antenna.validate()?;
+        self.tag_antenna.validate()?;
+        self.rx_antenna.validate()?;
+        self.source_to_tag.validate()?;
+        self.tag_to_rx.validate()?;
+        Ok(())
+    }
+
+    /// Power arriving at the tag antenna terminals, dBm.
+    pub fn power_at_tag_dbm(&self, source_to_tag_m: f64) -> f64 {
+        self.tx_power_dbm
+            + self.tx_antenna.effective_gain_dbi()
+            + self.tag_antenna.effective_gain_dbi()
+            - self.source_to_tag.path_loss_db(source_to_tag_m)
+            - self.tissue_source_to_tag.attenuation_db(self.source_to_tag.freq_hz)
+    }
+
+    /// Median received power at the receiver, dBm, for the given geometry.
+    pub fn received_power_dbm(&self, source_to_tag_m: f64, tag_to_rx_m: f64) -> f64 {
+        self.power_at_tag_dbm(source_to_tag_m)
+            - self.conversion.total_db()
+            + self.tag_antenna.effective_gain_dbi()
+            + self.rx_antenna.effective_gain_dbi()
+            - self.tag_to_rx.path_loss_db(tag_to_rx_m)
+            - self.tissue_tag_to_rx.attenuation_db(self.tag_to_rx.freq_hz)
+    }
+
+    /// Received power with shadowing drawn on both hops.
+    pub fn received_power_shadowed_dbm<R: Rng>(
+        &self,
+        source_to_tag_m: f64,
+        tag_to_rx_m: f64,
+        rng: &mut R,
+    ) -> f64 {
+        let median = self.received_power_dbm(source_to_tag_m, tag_to_rx_m);
+        let extra1 = self.source_to_tag.path_loss_shadowed_db(source_to_tag_m, rng)
+            - self.source_to_tag.path_loss_db(source_to_tag_m);
+        let extra2 = self.tag_to_rx.path_loss_shadowed_db(tag_to_rx_m, rng)
+            - self.tag_to_rx.path_loss_db(tag_to_rx_m);
+        median - extra1 - extra2
+    }
+
+    /// SNR at a receiver with the given noise model, dB.
+    pub fn snr_db(&self, source_to_tag_m: f64, tag_to_rx_m: f64, noise: &NoiseModel) -> f64 {
+        noise.snr_db(self.received_power_dbm(source_to_tag_m, tag_to_rx_m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interscatter_dsp::units::feet_to_meters;
+    use rand::SeedableRng;
+
+    const FREQ: f64 = 2.462e9; // Wi-Fi channel 11
+
+    #[test]
+    fn conversion_losses() {
+        assert!(ConversionLoss::single_sideband().total_db() < ConversionLoss::double_sideband().total_db());
+        let delta = ConversionLoss::double_sideband().total_db() - ConversionLoss::single_sideband().total_db();
+        assert!((delta - 3.0).abs() < 0.2, "SSB advantage {delta} dB");
+    }
+
+    #[test]
+    fn bench_link_validates_and_orders_with_power() {
+        let link = BackscatterLink::bench(0.0, FREQ);
+        assert!(link.validate().is_ok());
+        let d_tag = feet_to_meters(1.0);
+        let d_rx = feet_to_meters(30.0);
+        let p0 = link.received_power_dbm(d_tag, d_rx);
+        let link20 = BackscatterLink::bench(20.0, FREQ);
+        let p20 = link20.received_power_dbm(d_tag, d_rx);
+        assert!((p20 - p0 - 20.0).abs() < 1e-9, "TX power should shift RSSI one-for-one");
+    }
+
+    #[test]
+    fn rssi_decreases_with_either_distance() {
+        let link = BackscatterLink::bench(4.0, FREQ);
+        let mut prev = f64::INFINITY;
+        for feet in [5.0, 10.0, 20.0, 40.0, 80.0] {
+            let p = link.received_power_dbm(feet_to_meters(1.0), feet_to_meters(feet));
+            assert!(p < prev);
+            prev = p;
+        }
+        // Moving the tag from 1 ft to 3 ft from the source costs ~10 dB
+        // (paper Fig. 10a vs 10b show a similar drop).
+        let near = link.received_power_dbm(feet_to_meters(1.0), feet_to_meters(30.0));
+        let far = link.received_power_dbm(feet_to_meters(3.0), feet_to_meters(30.0));
+        assert!((near - far) > 8.0 && (near - far) < 14.0, "1ft->3ft drop {}", near - far);
+    }
+
+    #[test]
+    fn fig10_magnitudes_are_plausible() {
+        // Sanity-check the absolute numbers against Fig. 10a: with a 0 dBm
+        // source 1 ft from the tag, the Wi-Fi RSSI at ~10 ft should be in the
+        // -45..-75 dBm range, and still above -95 dBm at 90 ft with 20 dBm.
+        let link0 = BackscatterLink::bench(0.0, FREQ);
+        let rssi_10ft = link0.received_power_dbm(feet_to_meters(1.0), feet_to_meters(10.0));
+        assert!((-80.0..=-40.0).contains(&rssi_10ft), "0 dBm @ 10 ft: {rssi_10ft} dBm");
+        let link20 = BackscatterLink::bench(20.0, FREQ);
+        let rssi_90ft = link20.received_power_dbm(feet_to_meters(1.0), feet_to_meters(90.0));
+        assert!(rssi_90ft > -95.0, "20 dBm @ 90 ft: {rssi_90ft} dBm");
+        assert!(rssi_90ft < -60.0, "20 dBm @ 90 ft: {rssi_90ft} dBm");
+    }
+
+    #[test]
+    fn snr_uses_receiver_noise_model() {
+        let link = BackscatterLink::bench(10.0, FREQ);
+        let noise = NoiseModel::wifi_dsss();
+        let snr = link.snr_db(feet_to_meters(1.0), feet_to_meters(20.0), &noise);
+        let rssi = link.received_power_dbm(feet_to_meters(1.0), feet_to_meters(20.0));
+        assert!((snr - (rssi - noise.noise_floor_dbm())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shadowing_spreads_around_the_median() {
+        let link = BackscatterLink::bench(4.0, FREQ);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let median = link.received_power_dbm(feet_to_meters(1.0), feet_to_meters(20.0));
+        let draws: Vec<f64> = (0..500)
+            .map(|_| link.received_power_shadowed_dbm(feet_to_meters(1.0), feet_to_meters(20.0), &mut rng))
+            .collect();
+        let mean: f64 = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - median).abs() < 0.6);
+        assert!(draws.iter().any(|&d| d > median + 1.0));
+        assert!(draws.iter().any(|&d| d < median - 1.0));
+    }
+
+    #[test]
+    fn tissue_on_the_tag_hurts_both_hops() {
+        let mut implant = BackscatterLink::bench(10.0, FREQ);
+        implant.tissue_source_to_tag = TissuePath::neural_implant();
+        implant.tissue_tag_to_rx = TissuePath::neural_implant();
+        implant.tag_antenna = Antenna::implant_loop();
+        let bench = BackscatterLink::bench(10.0, FREQ);
+        let d1 = feet_to_meters(0.25);
+        let d2 = feet_to_meters(3.0);
+        let loss = bench.received_power_dbm(d1, d2) - implant.received_power_dbm(d1, d2);
+        assert!(loss > 4.0, "implant penalty {loss} dB");
+    }
+}

@@ -1,0 +1,233 @@
+//! Attenuation of 2.4 GHz signals in biological tissue and saline.
+//!
+//! The implanted-device scenarios (§5.1, §5.2) place the backscatter antenna
+//! inside lossy dielectric media: a contact-lens antenna immersed in contact
+//! lens solution (saline), and a neural-recording antenna implanted under
+//! 1/16 inch of muscle tissue (the in-vitro pork-chop experiment, chosen
+//! because muscle's dielectric properties at 2.4 GHz are similar to grey
+//! matter). Electromagnetic fields in a lossy dielectric decay exponentially
+//! with depth; the skin depth at 2.4 GHz is on the order of a centimetre for
+//! high-water-content tissue, so even a few millimetres of cover cost
+//! several dB per traversal — the reason the Fig. 15/16 ranges are tens of
+//! inches rather than the tens of feet of Fig. 10.
+
+use crate::ChannelError;
+use interscatter_dsp::units::ratio_to_db;
+
+/// Dielectric description of a medium at 2.4 GHz.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TissueMedium {
+    /// Name of the medium (for reports).
+    pub name: &'static str,
+    /// Relative permittivity ε_r at 2.4 GHz.
+    pub relative_permittivity: f64,
+    /// Conductivity σ in S/m at 2.4 GHz.
+    pub conductivity_s_per_m: f64,
+}
+
+impl TissueMedium {
+    /// Skeletal muscle at 2.45 GHz (Gabriel et al. 1996): ε_r ≈ 52.7,
+    /// σ ≈ 1.74 S/m.
+    pub fn muscle() -> Self {
+        TissueMedium {
+            name: "muscle",
+            relative_permittivity: 52.7,
+            conductivity_s_per_m: 1.74,
+        }
+    }
+
+    /// Grey matter at 2.45 GHz: ε_r ≈ 48.9, σ ≈ 1.81 S/m — close to muscle,
+    /// which is why the paper uses pork muscle as the in-vitro stand-in.
+    pub fn grey_matter() -> Self {
+        TissueMedium {
+            name: "grey matter",
+            relative_permittivity: 48.9,
+            conductivity_s_per_m: 1.81,
+        }
+    }
+
+    /// Physiological saline / contact-lens solution at 2.45 GHz.
+    pub fn saline() -> Self {
+        TissueMedium {
+            name: "saline",
+            relative_permittivity: 74.0,
+            conductivity_s_per_m: 3.0,
+        }
+    }
+
+    /// Skin (dry) at 2.45 GHz.
+    pub fn skin() -> Self {
+        TissueMedium {
+            name: "skin",
+            relative_permittivity: 38.0,
+            conductivity_s_per_m: 1.46,
+        }
+    }
+
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<(), ChannelError> {
+        if self.relative_permittivity < 1.0 {
+            return Err(ChannelError::InvalidParameter("relative permittivity must be >= 1"));
+        }
+        if self.conductivity_s_per_m < 0.0 {
+            return Err(ChannelError::InvalidParameter("conductivity must be non-negative"));
+        }
+        Ok(())
+    }
+
+    /// The attenuation constant α (nepers/metre) of a plane wave at
+    /// `freq_hz` in this medium, from the standard lossy-dielectric
+    /// expression.
+    pub fn attenuation_constant(&self, freq_hz: f64) -> f64 {
+        let eps0 = 8.854_187_8128e-12;
+        let mu0 = 4.0e-7 * std::f64::consts::PI;
+        let w = 2.0 * std::f64::consts::PI * freq_hz;
+        let eps = self.relative_permittivity * eps0;
+        let loss_tangent = self.conductivity_s_per_m / (w * eps);
+        w * (mu0 * eps / 2.0).sqrt() * ((1.0 + loss_tangent * loss_tangent).sqrt() - 1.0).sqrt()
+    }
+
+    /// Skin depth (1/α) in metres at `freq_hz`.
+    pub fn skin_depth_m(&self, freq_hz: f64) -> f64 {
+        1.0 / self.attenuation_constant(freq_hz)
+    }
+
+    /// One-way power attenuation in dB for a propagation depth of `depth_m`
+    /// metres at `freq_hz`.
+    pub fn attenuation_db(&self, depth_m: f64, freq_hz: f64) -> f64 {
+        if depth_m <= 0.0 {
+            return 0.0;
+        }
+        // Field decays as e^{-α d}; power as e^{-2 α d}.
+        ratio_to_db((2.0 * self.attenuation_constant(freq_hz) * depth_m).exp())
+    }
+}
+
+/// A layered tissue path (e.g. skin over muscle), summing the per-layer
+/// attenuations.
+#[derive(Debug, Clone, Default)]
+pub struct TissuePath {
+    layers: Vec<(TissueMedium, f64)>,
+}
+
+impl TissuePath {
+    /// Creates an empty path (no tissue: 0 dB).
+    pub fn new() -> Self {
+        TissuePath { layers: Vec::new() }
+    }
+
+    /// Adds a layer of `medium` with thickness `depth_m`.
+    pub fn with_layer(mut self, medium: TissueMedium, depth_m: f64) -> Self {
+        self.layers.push((medium, depth_m));
+        self
+    }
+
+    /// Total one-way attenuation in dB at `freq_hz`.
+    pub fn attenuation_db(&self, freq_hz: f64) -> f64 {
+        self.layers
+            .iter()
+            .map(|(m, d)| m.attenuation_db(*d, freq_hz))
+            .sum()
+    }
+
+    /// The neural-implant scenario of §5.2: the antenna sits 1/16 inch
+    /// (≈1.6 mm) under the surface of muscle tissue.
+    pub fn neural_implant() -> Self {
+        TissuePath::new().with_layer(TissueMedium::muscle(), 0.0625 * 0.0254)
+    }
+
+    /// The contact-lens scenario of §5.1: the loop antenna is immersed in
+    /// contact-lens solution; the effective covering depth is a few
+    /// millimetres of saline.
+    pub fn contact_lens() -> Self {
+        TissuePath::new().with_layer(TissueMedium::saline(), 3e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: f64 = 2.45e9;
+
+    #[test]
+    fn skin_depth_is_centimetre_scale() {
+        // High-water-content tissue at 2.45 GHz has a skin depth of roughly
+        // 1–3 cm.
+        for medium in [TissueMedium::muscle(), TissueMedium::grey_matter(), TissueMedium::saline()] {
+            let d = medium.skin_depth_m(F);
+            assert!(
+                (0.005..0.05).contains(&d),
+                "{} skin depth {d} m out of expected range",
+                medium.name
+            );
+            assert!(medium.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn muscle_approximates_grey_matter() {
+        // The paper's justification for the pork-chop in-vitro setup: the
+        // attenuation through 5 mm of muscle is within ~1.5 dB of grey matter.
+        let a_muscle = TissueMedium::muscle().attenuation_db(5e-3, F);
+        let a_grey = TissueMedium::grey_matter().attenuation_db(5e-3, F);
+        assert!((a_muscle - a_grey).abs() < 1.5, "muscle {a_muscle} dB vs grey {a_grey} dB");
+    }
+
+    #[test]
+    fn attenuation_grows_with_depth_and_zero_at_surface() {
+        let muscle = TissueMedium::muscle();
+        assert_eq!(muscle.attenuation_db(0.0, F), 0.0);
+        assert_eq!(muscle.attenuation_db(-1.0, F), 0.0);
+        let mut prev = 0.0;
+        for i in 1..20 {
+            let a = muscle.attenuation_db(i as f64 * 1e-3, F);
+            assert!(a > prev);
+            prev = a;
+        }
+        // Attenuation through one skin depth is ~8.7 dB of field loss.
+        let one_depth = muscle.attenuation_db(muscle.skin_depth_m(F), F);
+        assert!((one_depth - 8.686).abs() < 0.1, "one-skin-depth loss {one_depth}");
+    }
+
+    #[test]
+    fn implant_path_costs_single_digit_db() {
+        // 1.6 mm of muscle: around 1–3 dB one-way — small but measurable,
+        // consistent with the Fig. 16 ranges being shorter than Fig. 10 but
+        // still tens of inches.
+        let a = TissuePath::neural_implant().attenuation_db(F);
+        assert!((0.5..4.0).contains(&a), "implant path loss {a} dB");
+    }
+
+    #[test]
+    fn lens_path_costs_a_few_db() {
+        let a = TissuePath::contact_lens().attenuation_db(F);
+        assert!((1.0..8.0).contains(&a), "lens path loss {a} dB");
+    }
+
+    #[test]
+    fn layered_path_sums_layers() {
+        let path = TissuePath::new()
+            .with_layer(TissueMedium::skin(), 2e-3)
+            .with_layer(TissueMedium::muscle(), 5e-3);
+        let sum = TissueMedium::skin().attenuation_db(2e-3, F) + TissueMedium::muscle().attenuation_db(5e-3, F);
+        assert!((path.attenuation_db(F) - sum).abs() < 1e-12);
+        assert_eq!(TissuePath::new().attenuation_db(F), 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        let bad = TissueMedium {
+            name: "bad",
+            relative_permittivity: 0.5,
+            conductivity_s_per_m: 1.0,
+        };
+        assert!(bad.validate().is_err());
+        let bad = TissueMedium {
+            name: "bad",
+            relative_permittivity: 50.0,
+            conductivity_s_per_m: -1.0,
+        };
+        assert!(bad.validate().is_err());
+    }
+}

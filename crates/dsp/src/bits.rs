@@ -1,0 +1,165 @@
+//! Bit/byte packing helpers shared by every framing implementation.
+//!
+//! The 802.x family is inconsistent about bit ordering: BLE and 802.11
+//! transmit each octet least-significant-bit first, while CRCs are usually
+//! specified in polynomial (MSB-first) form. Keeping the conversions in one
+//! audited place avoids an entire class of off-by-reversal bugs.
+
+/// Expands a byte slice into bits, least-significant bit of each byte first
+/// (the over-the-air order used by BLE and 802.11b).
+pub fn bytes_to_bits_lsb(bytes: &[u8]) -> Vec<u8> {
+    let mut bits = Vec::with_capacity(bytes.len() * 8);
+    for &b in bytes {
+        for i in 0..8 {
+            bits.push((b >> i) & 1);
+        }
+    }
+    bits
+}
+
+/// Expands a byte slice into bits, most-significant bit of each byte first.
+pub fn bytes_to_bits_msb(bytes: &[u8]) -> Vec<u8> {
+    let mut bits = Vec::with_capacity(bytes.len() * 8);
+    for &b in bytes {
+        for i in (0..8).rev() {
+            bits.push((b >> i) & 1);
+        }
+    }
+    bits
+}
+
+/// Packs bits (LSB-first per byte) back into bytes. The final partial byte,
+/// if any, is zero-padded in its high bits.
+pub fn bits_to_bytes_lsb(bits: &[u8]) -> Vec<u8> {
+    let mut bytes = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &bit) in bits.iter().enumerate() {
+        if bit & 1 == 1 {
+            bytes[i / 8] |= 1 << (i % 8);
+        }
+    }
+    bytes
+}
+
+/// Packs bits (MSB-first per byte) back into bytes. The final partial byte,
+/// if any, is zero-padded in its low bits.
+pub fn bits_to_bytes_msb(bits: &[u8]) -> Vec<u8> {
+    let mut bytes = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &bit) in bits.iter().enumerate() {
+        if bit & 1 == 1 {
+            bytes[i / 8] |= 1 << (7 - (i % 8));
+        }
+    }
+    bytes
+}
+
+/// XORs two equal-length bit (or byte) slices element-wise.
+///
+/// # Panics
+/// Panics if the slices have different lengths; callers in this workspace
+/// always construct both operands from the same frame length.
+pub fn xor_bits(a: &[u8], b: &[u8]) -> Vec<u8> {
+    assert_eq!(a.len(), b.len(), "xor_bits requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| x ^ y).collect()
+}
+
+/// Counts positions where two equal-length bit slices differ (Hamming
+/// distance). Slices of unequal length compare only the overlapping prefix
+/// and count every extra position as an error, which is the convention the
+/// BER measurements in the evaluation use.
+pub fn hamming_distance(a: &[u8], b: &[u8]) -> usize {
+    let overlap = a.len().min(b.len());
+    let differing = a[..overlap]
+        .iter()
+        .zip(&b[..overlap])
+        .filter(|(x, y)| (**x & 1) != (**y & 1))
+        .count();
+    differing + (a.len().max(b.len()) - overlap)
+}
+
+/// Reverses the bit order of the low `width` bits of `value`.
+/// Used when CRC registers are specified MSB-first but transmitted LSB-first.
+pub fn reverse_bits(value: u32, width: u32) -> u32 {
+    let mut out = 0u32;
+    for i in 0..width {
+        if (value >> i) & 1 == 1 {
+            out |= 1 << (width - 1 - i);
+        }
+    }
+    out
+}
+
+/// Converts a bit slice (each element 0/1) into an integer, first bit =
+/// least-significant.
+pub fn bits_to_u32_lsb(bits: &[u8]) -> u32 {
+    assert!(bits.len() <= 32, "at most 32 bits fit in a u32");
+    bits.iter()
+        .enumerate()
+        .fold(0u32, |acc, (i, &b)| acc | ((u32::from(b & 1)) << i))
+}
+
+/// Converts an integer into `width` bits, least-significant first.
+pub fn u32_to_bits_lsb(value: u32, width: usize) -> Vec<u8> {
+    assert!(width <= 32, "at most 32 bits fit in a u32");
+    (0..width).map(|i| ((value >> i) & 1) as u8).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsb_round_trip() {
+        let data = [0x8Eu8, 0x89, 0xBE, 0xD6, 0x00, 0xFF, 0x55];
+        let bits = bytes_to_bits_lsb(&data);
+        assert_eq!(bits.len(), data.len() * 8);
+        assert_eq!(bits_to_bytes_lsb(&bits), data);
+    }
+
+    #[test]
+    fn msb_round_trip() {
+        let data = [0xA5u8, 0x01, 0x80, 0x7E];
+        let bits = bytes_to_bits_msb(&data);
+        assert_eq!(bits_to_bytes_msb(&bits), data);
+    }
+
+    #[test]
+    fn lsb_ordering_of_single_byte() {
+        // 0xAA = 0b10101010 transmitted LSB first -> 0,1,0,1,0,1,0,1
+        assert_eq!(bytes_to_bits_lsb(&[0xAA]), vec![0, 1, 0, 1, 0, 1, 0, 1]);
+        // MSB first -> 1,0,1,0,...
+        assert_eq!(bytes_to_bits_msb(&[0xAA]), vec![1, 0, 1, 0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn partial_byte_padding() {
+        let bits = [1u8, 1, 0, 1]; // 0b1011 LSB-first = 0x0B
+        assert_eq!(bits_to_bytes_lsb(&bits), vec![0x0B]);
+        // MSB-first packing: 1101 in the top nibble = 0xD0
+        assert_eq!(bits_to_bytes_msb(&bits), vec![0xD0]);
+    }
+
+    #[test]
+    fn xor_and_hamming() {
+        let a = [1u8, 0, 1, 1, 0];
+        let b = [1u8, 1, 1, 0, 0];
+        assert_eq!(xor_bits(&a, &b), vec![0, 1, 0, 1, 0]);
+        assert_eq!(hamming_distance(&a, &b), 2);
+        // Unequal lengths: extra positions count as errors.
+        assert_eq!(hamming_distance(&a, &b[..3]), 1 + 2);
+    }
+
+    #[test]
+    fn reverse_bits_works() {
+        assert_eq!(reverse_bits(0b001, 3), 0b100);
+        assert_eq!(reverse_bits(0x1, 32), 0x8000_0000);
+        assert_eq!(reverse_bits(reverse_bits(0xDEAD_BEEF, 32), 32), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn u32_bits_round_trip() {
+        let v = 0x00B5_55AD;
+        let bits = u32_to_bits_lsb(v, 24);
+        assert_eq!(bits.len(), 24);
+        assert_eq!(bits_to_u32_lsb(&bits), v);
+    }
+}

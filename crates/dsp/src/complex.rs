@@ -1,0 +1,348 @@
+//! A minimal `f64` complex number type.
+//!
+//! The Interscatter pipelines manipulate complex-baseband IQ samples
+//! everywhere: the BLE GFSK modulator produces them, the backscatter tag
+//! multiplies them by a reflection coefficient, and the Wi-Fi / ZigBee
+//! receivers correlate against them. The workspace keeps its own small type
+//! instead of pulling in an external numerics crate so that every operation
+//! used in the reproduction is visible in this file.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real (in-phase) and imaginary (quadrature)
+/// parts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cplx {
+    /// Real / in-phase component.
+    pub re: f64,
+    /// Imaginary / quadrature component.
+    pub im: f64,
+}
+
+impl Cplx {
+    /// The additive identity, `0 + 0j`.
+    pub const ZERO: Cplx = Cplx { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0j`.
+    pub const ONE: Cplx = Cplx { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1j`.
+    pub const J: Cplx = Cplx { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Cplx { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Cplx { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates (magnitude, phase in
+    /// radians).
+    #[inline]
+    pub fn from_polar(mag: f64, phase: f64) -> Self {
+        Cplx {
+            re: mag * phase.cos(),
+            im: mag * phase.sin(),
+        }
+    }
+
+    /// `e^{jθ}` — a unit phasor at angle `theta` radians. This is the
+    /// workhorse of every mixer and oscillator in the workspace.
+    #[inline]
+    pub fn expj(theta: f64) -> Self {
+        Cplx {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Cplx {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Magnitude (absolute value).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude, `|z|^2` — the instantaneous power of an IQ sample.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Phase angle in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Cplx {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// Returns the multiplicative inverse `1/z`. Returns `None` when the
+    /// magnitude is zero (division would produce NaNs).
+    #[inline]
+    pub fn inv(self) -> Option<Self> {
+        let d = self.norm_sq();
+        if d == 0.0 {
+            None
+        } else {
+            Some(Cplx {
+                re: self.re / d,
+                im: -self.im / d,
+            })
+        }
+    }
+
+    /// True if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// True if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Cplx {
+    type Output = Cplx;
+    #[inline]
+    fn add(self, rhs: Cplx) -> Cplx {
+        Cplx::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Cplx {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cplx) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Cplx {
+    type Output = Cplx;
+    #[inline]
+    fn sub(self, rhs: Cplx) -> Cplx {
+        Cplx::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Cplx {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cplx) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Cplx {
+    type Output = Cplx;
+    #[inline]
+    fn mul(self, rhs: Cplx) -> Cplx {
+        Cplx::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Cplx {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Cplx) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Cplx {
+    type Output = Cplx;
+    #[inline]
+    fn mul(self, rhs: f64) -> Cplx {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Cplx> for f64 {
+    type Output = Cplx;
+    #[inline]
+    fn mul(self, rhs: Cplx) -> Cplx {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Cplx {
+    type Output = Cplx;
+    /// Complex division. Dividing by zero yields a NaN-filled value, matching
+    /// `f64` semantics; use [`Cplx::inv`] for a checked variant.
+    #[inline]
+    fn div(self, rhs: Cplx) -> Cplx {
+        let d = rhs.norm_sq();
+        Cplx::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Div<f64> for Cplx {
+    type Output = Cplx;
+    #[inline]
+    fn div(self, rhs: f64) -> Cplx {
+        Cplx::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl DivAssign<f64> for Cplx {
+    #[inline]
+    fn div_assign(&mut self, rhs: f64) {
+        self.re /= rhs;
+        self.im /= rhs;
+    }
+}
+
+impl Neg for Cplx {
+    type Output = Cplx;
+    #[inline]
+    fn neg(self) -> Cplx {
+        Cplx::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Cplx {
+    fn sum<I: Iterator<Item = Cplx>>(iter: I) -> Cplx {
+        iter.fold(Cplx::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl From<f64> for Cplx {
+    fn from(re: f64) -> Self {
+        Cplx::real(re)
+    }
+}
+
+impl core::fmt::Display for Cplx {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn constructors_match() {
+        assert_eq!(Cplx::new(1.0, 2.0), Cplx { re: 1.0, im: 2.0 });
+        assert_eq!(Cplx::real(3.0), Cplx::new(3.0, 0.0));
+        assert_eq!(Cplx::from(4.0), Cplx::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Cplx::from_polar(2.0, std::f64::consts::FRAC_PI_3);
+        assert!((z.abs() - 2.0).abs() < EPS);
+        assert!((z.arg() - std::f64::consts::FRAC_PI_3).abs() < EPS);
+    }
+
+    #[test]
+    fn expj_is_unit_magnitude() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.5;
+            let z = Cplx::expj(theta);
+            assert!((z.abs() - 1.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn multiplication_matches_hand_computation() {
+        // (1 + 2j)(3 + 4j) = 3 + 4j + 6j - 8 = -5 + 10j
+        let z = Cplx::new(1.0, 2.0) * Cplx::new(3.0, 4.0);
+        assert!((z.re + 5.0).abs() < EPS);
+        assert!((z.im - 10.0).abs() < EPS);
+    }
+
+    #[test]
+    fn conjugate_multiplication_gives_power() {
+        let z = Cplx::new(3.0, -4.0);
+        let p = z * z.conj();
+        assert!((p.re - 25.0).abs() < EPS);
+        assert!(p.im.abs() < EPS);
+        assert!((z.norm_sq() - 25.0).abs() < EPS);
+        assert!((z.abs() - 5.0).abs() < EPS);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Cplx::new(1.5, -0.25);
+        let b = Cplx::new(-2.0, 0.75);
+        let c = a * b;
+        let back = c / b;
+        assert!((back.re - a.re).abs() < 1e-10);
+        assert!((back.im - a.im).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inv_of_zero_is_none() {
+        assert!(Cplx::ZERO.inv().is_none());
+        let z = Cplx::new(0.0, 2.0);
+        let inv = z.inv().unwrap();
+        let prod = z * inv;
+        assert!((prod.re - 1.0).abs() < EPS && prod.im.abs() < EPS);
+    }
+
+    #[test]
+    fn scalar_ops_and_neg() {
+        let z = Cplx::new(1.0, -2.0);
+        assert_eq!(z * 2.0, Cplx::new(2.0, -4.0));
+        assert_eq!(2.0 * z, Cplx::new(2.0, -4.0));
+        assert_eq!(z / 2.0, Cplx::new(0.5, -1.0));
+        assert_eq!(-z, Cplx::new(-1.0, 2.0));
+        let mut w = z;
+        w += Cplx::ONE;
+        w -= Cplx::J;
+        w *= Cplx::new(0.0, 1.0);
+        w /= 2.0;
+        assert!(w.is_finite() && !w.is_nan());
+    }
+
+    #[test]
+    fn sum_of_phasors_cancels() {
+        // Sum of the 8th roots of unity is zero.
+        let total: Cplx = (0..8)
+            .map(|k| Cplx::expj(2.0 * std::f64::consts::PI * k as f64 / 8.0))
+            .sum();
+        assert!(total.abs() < 1e-10);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Cplx::new(1.0, 2.0).to_string(), "1+2j");
+        assert_eq!(Cplx::new(1.0, -2.0).to_string(), "1-2j");
+    }
+}

@@ -1,0 +1,270 @@
+//! Constellation mapping for the 802.11g OFDM downlink and the DSSS/CCK
+//! phase modulations.
+//!
+//! The downlink AM trick (§2.4 of the paper) works at any 802.11g
+//! constellation; the paper uses 16/64-QAM to keep the "random" OFDM symbols
+//! high-amplitude. The uplink 802.11b synthesis only needs (D)BPSK and
+//! (D)QPSK points. Mapping here follows the IEEE 802.11 Gray-coded
+//! constellations with the standard per-constellation normalisation factors
+//! so that every scheme has unit average symbol energy.
+
+use crate::Cplx;
+
+/// Supported modulation orders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Modulation {
+    /// Binary phase shift keying, 1 bit/symbol.
+    Bpsk,
+    /// Quadrature phase shift keying, 2 bits/symbol.
+    Qpsk,
+    /// 16-point quadrature amplitude modulation, 4 bits/symbol.
+    Qam16,
+    /// 64-point quadrature amplitude modulation, 6 bits/symbol.
+    Qam64,
+}
+
+impl Modulation {
+    /// Number of coded bits carried per constellation symbol.
+    pub fn bits_per_symbol(self) -> usize {
+        match self {
+            Modulation::Bpsk => 1,
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+        }
+    }
+
+    /// Normalisation factor K such that mapped points have unit average
+    /// energy (IEEE 802.11-2016 Table 17-10: 1, 1/√2, 1/√10, 1/√42).
+    pub fn normalization(self) -> f64 {
+        match self {
+            Modulation::Bpsk => 1.0,
+            Modulation::Qpsk => 1.0 / 2f64.sqrt(),
+            Modulation::Qam16 => 1.0 / 10f64.sqrt(),
+            Modulation::Qam64 => 1.0 / 42f64.sqrt(),
+        }
+    }
+
+    /// Maps a group of `bits_per_symbol` bits to a constellation point.
+    ///
+    /// Bits are consumed in transmission order; for QAM the first half of the
+    /// group selects the I coordinate and the second half the Q coordinate,
+    /// Gray-coded as in the standard.
+    ///
+    /// # Panics
+    /// Panics if `bits.len() != self.bits_per_symbol()`.
+    pub fn map(self, bits: &[u8]) -> Cplx {
+        assert_eq!(bits.len(), self.bits_per_symbol(), "wrong number of bits for {self:?}");
+        let k = self.normalization();
+        match self {
+            Modulation::Bpsk => {
+                let v = if bits[0] & 1 == 1 { 1.0 } else { -1.0 };
+                Cplx::new(v * k, 0.0)
+            }
+            Modulation::Qpsk => {
+                let i = if bits[0] & 1 == 1 { 1.0 } else { -1.0 };
+                let q = if bits[1] & 1 == 1 { 1.0 } else { -1.0 };
+                Cplx::new(i * k, q * k)
+            }
+            Modulation::Qam16 => {
+                let i = gray_amplitude_2bit(bits[0], bits[1]);
+                let q = gray_amplitude_2bit(bits[2], bits[3]);
+                Cplx::new(i * k, q * k)
+            }
+            Modulation::Qam64 => {
+                let i = gray_amplitude_3bit(bits[0], bits[1], bits[2]);
+                let q = gray_amplitude_3bit(bits[3], bits[4], bits[5]);
+                Cplx::new(i * k, q * k)
+            }
+        }
+    }
+
+    /// Maps a full bit stream; the length must be a multiple of
+    /// `bits_per_symbol`.
+    ///
+    /// # Panics
+    /// Panics on a length mismatch (framing layers always pad to symbol
+    /// boundaries before mapping).
+    pub fn map_stream(self, bits: &[u8]) -> Vec<Cplx> {
+        let bps = self.bits_per_symbol();
+        assert_eq!(bits.len() % bps, 0, "bit stream not a multiple of {bps}");
+        bits.chunks(bps).map(|chunk| self.map(chunk)).collect()
+    }
+
+    /// Hard-decision demapping of a single received point back into bits.
+    pub fn demap(self, point: Cplx) -> Vec<u8> {
+        let k = self.normalization();
+        let x = point.re / k;
+        let y = point.im / k;
+        match self {
+            Modulation::Bpsk => vec![(x >= 0.0) as u8],
+            Modulation::Qpsk => vec![(x >= 0.0) as u8, (y >= 0.0) as u8],
+            Modulation::Qam16 => {
+                let (b0, b1) = degray_amplitude_2bit(x);
+                let (b2, b3) = degray_amplitude_2bit(y);
+                vec![b0, b1, b2, b3]
+            }
+            Modulation::Qam64 => {
+                let (b0, b1, b2) = degray_amplitude_3bit(x);
+                let (b3, b4, b5) = degray_amplitude_3bit(y);
+                vec![b0, b1, b2, b3, b4, b5]
+            }
+        }
+    }
+
+    /// Demaps a stream of received points.
+    pub fn demap_stream(self, points: &[Cplx]) -> Vec<u8> {
+        points.iter().flat_map(|&p| self.demap(p)).collect()
+    }
+}
+
+/// 16-QAM per-axis Gray mapping: (b0,b1) -> {-3,-1,1,3}.
+fn gray_amplitude_2bit(b0: u8, b1: u8) -> f64 {
+    match (b0 & 1, b1 & 1) {
+        (0, 0) => -3.0,
+        (0, 1) => -1.0,
+        (1, 1) => 1.0,
+        (1, 0) => 3.0,
+        _ => unreachable!(),
+    }
+}
+
+fn degray_amplitude_2bit(x: f64) -> (u8, u8) {
+    if x < -2.0 {
+        (0, 0)
+    } else if x < 0.0 {
+        (0, 1)
+    } else if x < 2.0 {
+        (1, 1)
+    } else {
+        (1, 0)
+    }
+}
+
+/// 64-QAM per-axis Gray mapping: (b0,b1,b2) -> {-7,...,7}.
+fn gray_amplitude_3bit(b0: u8, b1: u8, b2: u8) -> f64 {
+    match (b0 & 1, b1 & 1, b2 & 1) {
+        (0, 0, 0) => -7.0,
+        (0, 0, 1) => -5.0,
+        (0, 1, 1) => -3.0,
+        (0, 1, 0) => -1.0,
+        (1, 1, 0) => 1.0,
+        (1, 1, 1) => 3.0,
+        (1, 0, 1) => 5.0,
+        (1, 0, 0) => 7.0,
+        _ => unreachable!(),
+    }
+}
+
+fn degray_amplitude_3bit(x: f64) -> (u8, u8, u8) {
+    if x < -6.0 {
+        (0, 0, 0)
+    } else if x < -4.0 {
+        (0, 0, 1)
+    } else if x < -2.0 {
+        (0, 1, 1)
+    } else if x < 0.0 {
+        (0, 1, 0)
+    } else if x < 2.0 {
+        (1, 1, 0)
+    } else if x < 4.0 {
+        (1, 1, 1)
+    } else if x < 6.0 {
+        (1, 0, 1)
+    } else {
+        (1, 0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_modulations() -> [Modulation; 4] {
+        [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64]
+    }
+
+    #[test]
+    fn bits_per_symbol_counts() {
+        assert_eq!(Modulation::Bpsk.bits_per_symbol(), 1);
+        assert_eq!(Modulation::Qpsk.bits_per_symbol(), 2);
+        assert_eq!(Modulation::Qam16.bits_per_symbol(), 4);
+        assert_eq!(Modulation::Qam64.bits_per_symbol(), 6);
+    }
+
+    #[test]
+    fn map_demap_round_trip_all_points() {
+        for m in all_modulations() {
+            let bps = m.bits_per_symbol();
+            for v in 0..(1u32 << bps) {
+                let bits: Vec<u8> = (0..bps).map(|i| ((v >> i) & 1) as u8).collect();
+                let point = m.map(&bits);
+                assert_eq!(m.demap(point), bits, "{m:?} point {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn average_energy_is_unity() {
+        for m in all_modulations() {
+            let bps = m.bits_per_symbol();
+            let mut total = 0.0;
+            let count = 1u32 << bps;
+            for v in 0..count {
+                let bits: Vec<u8> = (0..bps).map(|i| ((v >> i) & 1) as u8).collect();
+                total += m.map(&bits).norm_sq();
+            }
+            let avg = total / count as f64;
+            assert!((avg - 1.0).abs() < 1e-12, "{m:?} average energy {avg}");
+        }
+    }
+
+    #[test]
+    fn constant_bits_give_constant_symbols() {
+        // The downlink trick relies on a run of identical coded bits mapping
+        // to the *same* constellation point in every bin.
+        for m in all_modulations() {
+            let bps = m.bits_per_symbol();
+            let ones = vec![1u8; bps * 48];
+            let pts = m.map_stream(&ones);
+            for p in &pts {
+                assert_eq!(*p, pts[0], "{m:?} should map constant bits to a constant point");
+            }
+            let zeros = vec![0u8; bps * 48];
+            let pts0 = m.map_stream(&zeros);
+            for p in &pts0 {
+                assert_eq!(*p, pts0[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn gray_coding_adjacent_amplitudes_differ_by_one_bit() {
+        // 16-QAM axis levels in increasing order and their bit labels.
+        let labels = [(0u8, 0u8), (0, 1), (1, 1), (1, 0)];
+        for w in labels.windows(2) {
+            let differing = (w[0].0 ^ w[1].0) + (w[0].1 ^ w[1].1);
+            assert_eq!(differing, 1, "adjacent 16-QAM levels must differ in one bit");
+        }
+    }
+
+    #[test]
+    fn demap_stream_matches_per_symbol() {
+        let m = Modulation::Qam16;
+        let bits: Vec<u8> = (0..64).map(|i| ((i * 5) % 3 == 0) as u8).collect();
+        let pts = m.map_stream(&bits);
+        assert_eq!(m.demap_stream(&pts), bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of bits")]
+    fn wrong_bit_count_panics() {
+        let _ = Modulation::Qpsk.map(&[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn misaligned_stream_panics() {
+        let _ = Modulation::Qam64.map_stream(&[1, 0, 1]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Correlation utilities used by the PHY receivers.
+//!
+//! The 802.11b receiver despreads by correlating against the 11-chip Barker
+//! sequence, the ZigBee receiver matches 32-chip PN sequences, and packet
+//! detection at every receiver correlates against a known preamble. These are
+//! all expressed through the small set of helpers in this module.
+
+use crate::Cplx;
+
+/// Cross-correlates `signal` with `pattern` at every alignment where the
+/// pattern fits entirely inside the signal. Output length is
+/// `signal.len() - pattern.len() + 1`; an oversized pattern yields an empty
+/// vector.
+pub fn cross_correlate(signal: &[Cplx], pattern: &[Cplx]) -> Vec<Cplx> {
+    if pattern.is_empty() || signal.len() < pattern.len() {
+        return Vec::new();
+    }
+    let n = signal.len() - pattern.len() + 1;
+    (0..n)
+        .map(|i| {
+            pattern
+                .iter()
+                .enumerate()
+                .map(|(j, &p)| signal[i + j] * p.conj())
+                .sum()
+        })
+        .collect()
+}
+
+/// Normalised correlation magnitude in [0, 1] at each alignment: the
+/// correlation divided by the energies of both windows. A value near 1 means
+/// the signal window is a scaled/rotated copy of the pattern.
+pub fn normalized_correlation(signal: &[Cplx], pattern: &[Cplx]) -> Vec<f64> {
+    if pattern.is_empty() || signal.len() < pattern.len() {
+        return Vec::new();
+    }
+    let pattern_energy: f64 = pattern.iter().map(|p| p.norm_sq()).sum();
+    if pattern_energy <= 0.0 {
+        return vec![0.0; signal.len() - pattern.len() + 1];
+    }
+    let raw = cross_correlate(signal, pattern);
+    raw.iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let window_energy: f64 = signal[i..i + pattern.len()].iter().map(|s| s.norm_sq()).sum();
+            if window_energy <= 0.0 {
+                0.0
+            } else {
+                c.abs() / (window_energy * pattern_energy).sqrt()
+            }
+        })
+        .collect()
+}
+
+/// Returns the index and value of the peak magnitude of a correlation
+/// output. `None` for an empty input.
+pub fn peak(correlation: &[Cplx]) -> Option<(usize, f64)> {
+    correlation
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, c.abs()))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+}
+
+/// Correlates a ±1 chip sequence against a hard-decision chip stream and
+/// returns the number of agreeing positions minus disagreeing positions
+/// (the despreading metric used by the DSSS decoders).
+pub fn bipolar_correlation(chips: &[i8], reference: &[i8]) -> i32 {
+    chips
+        .iter()
+        .zip(reference)
+        .map(|(&c, &r)| i32::from(c) * i32::from(r))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iq::tone;
+
+    #[test]
+    fn empty_and_oversized_patterns() {
+        let sig = vec![Cplx::ONE; 4];
+        assert!(cross_correlate(&sig, &[]).is_empty());
+        assert!(cross_correlate(&sig, &vec![Cplx::ONE; 5]).is_empty());
+        assert!(normalized_correlation(&sig, &vec![Cplx::ONE; 5]).is_empty());
+        assert!(peak(&[]).is_none());
+    }
+
+    #[test]
+    fn correlation_peaks_at_embedded_pattern() {
+        let pattern: Vec<Cplx> = tone(0.17e6, 1e6, 32, 0.4);
+        let mut sig = vec![Cplx::ZERO; 100];
+        sig.extend_from_slice(&pattern);
+        sig.extend(vec![Cplx::ZERO; 50]);
+        let corr = cross_correlate(&sig, &pattern);
+        let (idx, _) = peak(&corr).unwrap();
+        assert_eq!(idx, 100);
+    }
+
+    #[test]
+    fn normalized_correlation_is_one_for_exact_match() {
+        let pattern: Vec<Cplx> = tone(0.1e6, 1e6, 16, 0.0);
+        // Scale and rotate the embedded copy; normalised correlation should
+        // still be ~1.
+        let embedded: Vec<Cplx> = pattern.iter().map(|&p| p * Cplx::from_polar(3.0, 1.2)).collect();
+        let mut sig = vec![Cplx::new(0.01, 0.0); 20];
+        sig.extend_from_slice(&embedded);
+        sig.extend(vec![Cplx::new(0.01, 0.0); 20]);
+        let norm = normalized_correlation(&sig, &pattern);
+        let best = norm.iter().cloned().fold(0.0, f64::max);
+        assert!(best > 0.999, "best normalised correlation {best}");
+        let best_idx = norm.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert_eq!(best_idx, 20);
+    }
+
+    #[test]
+    fn zero_energy_pattern_gives_zero() {
+        let sig = vec![Cplx::ONE; 10];
+        let norm = normalized_correlation(&sig, &[Cplx::ZERO; 3]);
+        assert!(norm.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn bipolar_correlation_counts_agreements() {
+        let barker: [i8; 11] = [1, -1, 1, 1, -1, 1, 1, 1, -1, -1, -1];
+        assert_eq!(bipolar_correlation(&barker, &barker), 11);
+        let inverted: Vec<i8> = barker.iter().map(|&c| -c).collect();
+        assert_eq!(bipolar_correlation(&inverted, &barker), -11);
+        // Barker sequences have low off-peak autocorrelation: shifting by one
+        // must give a small magnitude.
+        let shifted: Vec<i8> = barker[1..].iter().chain(&barker[..1]).copied().collect();
+        assert!(bipolar_correlation(&shifted, &barker).abs() <= 1);
+    }
+}

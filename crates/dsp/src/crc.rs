@@ -1,0 +1,212 @@
+//! Cyclic-redundancy checks used across the workspace.
+//!
+//! * CRC-24 as used by the BLE link layer on advertising packets (3-byte CRC,
+//!   polynomial 0x00065B, initialised from 0x555555 on advertising channels).
+//! * CRC-16 CCITT as used by the 802.11b PLCP header and the 802.15.4 FCS.
+//! * CRC-32 (IEEE 802.3) as used by the 802.11 MAC FCS.
+//!
+//! All of these are implemented as generic bitwise shift registers rather
+//! than table-driven versions: frame sizes in this workspace are tiny (tens
+//! of bytes), and the bitwise form mirrors the hardware registers described
+//! in the standards, which keeps the implementation reviewable against them.
+
+/// A generic bit-serial CRC register, processing input LSB-first per byte
+/// (the over-the-air order of BLE and 802.11) with a reflected polynomial.
+#[derive(Debug, Clone)]
+pub struct CrcEngine {
+    /// Reflected generator polynomial (bit i set = term x^i after reflection).
+    poly_reflected: u32,
+    /// Register width in bits (16, 24 or 32).
+    width: u32,
+    /// Current register contents.
+    state: u32,
+    /// Value XORed into the register at the end.
+    final_xor: u32,
+    /// Mask of `width` ones.
+    mask: u32,
+}
+
+impl CrcEngine {
+    /// Creates a CRC engine.
+    ///
+    /// `poly` is the conventional MSB-first polynomial representation (e.g.
+    /// `0x00065B` for BLE CRC-24); it is reflected internally because this
+    /// engine consumes bits LSB-first.
+    pub fn new(poly: u32, width: u32, init: u32, final_xor: u32) -> Self {
+        assert!(width == 16 || width == 24 || width == 32, "supported widths: 16/24/32");
+        let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        CrcEngine {
+            poly_reflected: crate::bits::reverse_bits(poly & mask, width),
+            width,
+            state: init & mask,
+            final_xor: final_xor & mask,
+            mask,
+        }
+    }
+
+    /// Feeds a single bit (0 or 1) into the register.
+    pub fn push_bit(&mut self, bit: u8) {
+        let fb = (self.state ^ u32::from(bit & 1)) & 1;
+        self.state >>= 1;
+        if fb == 1 {
+            self.state ^= self.poly_reflected;
+        }
+        self.state &= self.mask;
+    }
+
+    /// Feeds a byte, least-significant bit first.
+    pub fn push_byte(&mut self, byte: u8) {
+        for i in 0..8 {
+            self.push_bit((byte >> i) & 1);
+        }
+    }
+
+    /// Feeds a byte slice.
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.push_byte(b);
+        }
+    }
+
+    /// Returns the final CRC value (register XOR final value). Does not
+    /// consume the engine so streaming use remains possible.
+    pub fn value(&self) -> u32 {
+        (self.state ^ self.final_xor) & self.mask
+    }
+
+    /// Register width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+}
+
+/// Computes the BLE link-layer CRC-24 over a PDU (header + payload bytes).
+///
+/// The polynomial is x^24 + x^10 + x^9 + x^6 + x^4 + x^3 + x + 1 (0x00065B)
+/// and the shift register is preset to `init` (0x555555 for advertising
+/// channel packets). The result is returned as three bytes in transmission
+/// order (LSB of the register first).
+pub fn ble_crc24(pdu: &[u8], init: u32) -> [u8; 3] {
+    let mut eng = CrcEngine::new(0x00065B, 24, reflect24(init), 0);
+    eng.push_bytes(pdu);
+    let v = eng.value();
+    // The register shifts LSB-first; transmission order is the register
+    // content from LSB upward.
+    [(v & 0xFF) as u8, ((v >> 8) & 0xFF) as u8, ((v >> 16) & 0xFF) as u8]
+}
+
+/// BLE specifies the CRC preset MSB-first (0x555555); our reflected register
+/// needs the bit-reversed preset.
+fn reflect24(init: u32) -> u32 {
+    crate::bits::reverse_bits(init & 0x00FF_FFFF, 24)
+}
+
+/// Default CRC-24 initialiser for BLE advertising channel packets.
+pub const BLE_ADV_CRC_INIT: u32 = 0x555555;
+
+/// Computes the IEEE 802.3 / 802.11 FCS CRC-32 over a byte slice.
+///
+/// Polynomial 0x04C11DB7, init all-ones, output complemented, reflected
+/// input and output — i.e. the standard Ethernet CRC. Returned in the
+/// little-endian byte order in which it is appended to 802.11 frames.
+pub fn crc32_ieee(data: &[u8]) -> [u8; 4] {
+    let mut eng = CrcEngine::new(0x04C1_1DB7, 32, u32::MAX, u32::MAX);
+    eng.push_bytes(data);
+    eng.value().to_le_bytes()
+}
+
+/// Computes the CRC-32 and returns it as a `u32` (reflected/output-inverted,
+/// little-endian semantics as used in software implementations).
+pub fn crc32_ieee_u32(data: &[u8]) -> u32 {
+    let mut eng = CrcEngine::new(0x04C1_1DB7, 32, u32::MAX, u32::MAX);
+    eng.push_bytes(data);
+    eng.value()
+}
+
+/// Computes the CCITT CRC-16 used by the 802.11b PLCP header and the
+/// 802.15.4 frame check sequence.
+///
+/// Polynomial x^16 + x^12 + x^5 + 1 (0x1021), init all-ones, ones-complement
+/// output, reflected processing per the 802.11 long-preamble PLCP spec.
+pub fn crc16_ccitt(data: &[u8]) -> u16 {
+    let mut eng = CrcEngine::new(0x1021, 16, 0xFFFF, 0xFFFF);
+    eng.push_bytes(data);
+    eng.value() as u16
+}
+
+/// CRC-16 variant used by IEEE 802.15.4 (init zero, no output inversion).
+pub fn crc16_802154(data: &[u8]) -> u16 {
+    let mut eng = CrcEngine::new(0x1021, 16, 0x0000, 0x0000);
+    eng.push_bytes(data);
+    eng.value() as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical check value: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32_ieee_u32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_bytes_are_little_endian_of_u32() {
+        let b = crc32_ieee(b"123456789");
+        assert_eq!(b, 0xCBF4_3926u32.to_le_bytes());
+    }
+
+    #[test]
+    fn crc16_known_vectors() {
+        // X-25 style (reflected, init 0xFFFF, xorout 0xFFFF): check = 0x906E.
+        assert_eq!(crc16_ccitt(b"123456789"), 0x906E);
+        // KERMIT style (reflected, init 0, xorout 0): check = 0x2189.
+        assert_eq!(crc16_802154(b"123456789"), 0x2189);
+    }
+
+    #[test]
+    fn ble_crc24_is_deterministic_and_sensitive() {
+        let pdu = [0x42u8, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, 0x00];
+        let a = ble_crc24(&pdu, BLE_ADV_CRC_INIT);
+        let b = ble_crc24(&pdu, BLE_ADV_CRC_INIT);
+        assert_eq!(a, b);
+        let mut pdu2 = pdu;
+        pdu2[3] ^= 0x01;
+        assert_ne!(ble_crc24(&pdu2, BLE_ADV_CRC_INIT), a);
+        // Different init (data channel) must give a different CRC.
+        assert_ne!(ble_crc24(&pdu, 0x123456), a);
+    }
+
+    #[test]
+    fn ble_crc24_detects_burst_errors() {
+        // A CRC-24 must detect any single-bit and any two-bit error in a
+        // short packet. Exhaustively check single-bit flips on a 16-byte PDU.
+        let pdu: Vec<u8> = (0u8..16).collect();
+        let good = ble_crc24(&pdu, BLE_ADV_CRC_INIT);
+        for byte in 0..pdu.len() {
+            for bit in 0..8 {
+                let mut bad = pdu.clone();
+                bad[byte] ^= 1 << bit;
+                assert_ne!(ble_crc24(&bad, BLE_ADV_CRC_INIT), good, "undetected single-bit error");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_streaming_equals_oneshot() {
+        let data = b"interscatter backscatters bluetooth into wifi";
+        let mut eng = CrcEngine::new(0x04C1_1DB7, 32, u32::MAX, u32::MAX);
+        for chunk in data.chunks(5) {
+            eng.push_bytes(chunk);
+        }
+        assert_eq!(eng.value(), crc32_ieee_u32(data));
+        assert_eq!(eng.width(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "supported widths")]
+    fn unsupported_width_panics() {
+        let _ = CrcEngine::new(0x07, 8, 0, 0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Radix-2 decimation-in-time FFT and inverse FFT.
+//!
+//! Used by the 802.11g OFDM modulator (64-point IFFT per symbol, §2.4 of the
+//! paper) and by the spectrum estimators that regenerate Figures 6 and 9.
+//! The implementation is an in-place iterative Cooley–Tukey transform with
+//! precomputed twiddle factors; sizes are restricted to powers of two, which
+//! is all the workspace needs (64 for OFDM, 1024–65536 for spectra).
+
+use crate::{Cplx, DspError};
+
+/// A planned FFT of a fixed power-of-two size.
+///
+/// Planning precomputes the bit-reversal permutation and twiddle factors so
+/// repeated transforms (one per OFDM symbol, one per Welch segment) only pay
+/// for the butterflies.
+#[derive(Debug, Clone)]
+pub struct Fft {
+    n: usize,
+    // twiddles[k] = exp(-j 2π k / n) for k in 0..n/2
+    twiddles: Vec<Cplx>,
+    bitrev: Vec<usize>,
+}
+
+impl Fft {
+    /// Plans a forward/inverse FFT of size `n` (must be a power of two ≥ 1).
+    pub fn new(n: usize) -> Result<Self, DspError> {
+        if n == 0 || !n.is_power_of_two() {
+            return Err(DspError::InvalidFftLength(n));
+        }
+        let twiddles = (0..n / 2)
+            .map(|k| Cplx::expj(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        let bits = n.trailing_zeros();
+        let bitrev = if bits == 0 {
+            vec![0]
+        } else {
+            (0..n)
+                .map(|i| (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1))
+                .collect()
+        };
+        Ok(Fft { n, twiddles, bitrev })
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns true for the degenerate size-1 transform.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn permute(&self, data: &mut [Cplx]) {
+        for i in 0..self.n {
+            let j = self.bitrev[i];
+            if j > i {
+                data.swap(i, j);
+            }
+        }
+    }
+
+    fn transform(&self, data: &mut [Cplx], inverse: bool) -> Result<(), DspError> {
+        if data.len() != self.n {
+            return Err(DspError::LengthMismatch {
+                left: data.len(),
+                right: self.n,
+            });
+        }
+        if self.n == 1 {
+            return Ok(());
+        }
+        self.permute(data);
+        let mut len = 2;
+        while len <= self.n {
+            let half = len / 2;
+            let step = self.n / len;
+            for start in (0..self.n).step_by(len) {
+                for k in 0..half {
+                    let tw = if inverse {
+                        self.twiddles[k * step].conj()
+                    } else {
+                        self.twiddles[k * step]
+                    };
+                    let a = data[start + k];
+                    let b = data[start + k + half] * tw;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len *= 2;
+        }
+        if inverse {
+            let scale = 1.0 / self.n as f64;
+            for x in data.iter_mut() {
+                *x = *x * scale;
+            }
+        }
+        Ok(())
+    }
+
+    /// In-place forward FFT (no normalisation).
+    pub fn forward(&self, data: &mut [Cplx]) -> Result<(), DspError> {
+        self.transform(data, false)
+    }
+
+    /// In-place inverse FFT with 1/N normalisation, so
+    /// `inverse(forward(x)) == x`.
+    pub fn inverse(&self, data: &mut [Cplx]) -> Result<(), DspError> {
+        self.transform(data, true)
+    }
+
+    /// Convenience: forward FFT of a slice, returning a new vector.
+    pub fn forward_vec(&self, input: &[Cplx]) -> Result<Vec<Cplx>, DspError> {
+        let mut buf = input.to_vec();
+        self.forward(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Convenience: inverse FFT of a slice, returning a new vector.
+    pub fn inverse_vec(&self, input: &[Cplx]) -> Result<Vec<Cplx>, DspError> {
+        let mut buf = input.to_vec();
+        self.inverse(&mut buf)?;
+        Ok(buf)
+    }
+}
+
+/// One-shot forward FFT for callers that do not reuse a plan.
+pub fn fft(input: &[Cplx]) -> Result<Vec<Cplx>, DspError> {
+    Fft::new(input.len())?.forward_vec(input)
+}
+
+/// One-shot inverse FFT (1/N normalised).
+pub fn ifft(input: &[Cplx]) -> Result<Vec<Cplx>, DspError> {
+    Fft::new(input.len())?.inverse_vec(input)
+}
+
+/// Reorders an FFT output so that the zero-frequency bin sits in the middle
+/// (negative frequencies first), which is how spectra are plotted in the
+/// paper's figures.
+pub fn fft_shift<T: Copy>(data: &[T]) -> Vec<T> {
+    let n = data.len();
+    let half = n.div_ceil(2);
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&data[half..]);
+    out.extend_from_slice(&data[..half]);
+    out
+}
+
+/// The frequency (in Hz) associated with each bin of an `n`-point FFT at
+/// sample rate `fs`, in the same shifted ordering as [`fft_shift`].
+pub fn fft_shift_freqs(n: usize, fs: f64) -> Vec<f64> {
+    let mut freqs: Vec<f64> = (0..n)
+        .map(|k| {
+            let k = k as isize;
+            let n_i = n as isize;
+            let idx = if k < n_i.div_euclid(2) + n_i % 2 { k } else { k - n_i };
+            idx as f64 * fs / n as f64
+        })
+        .collect();
+    freqs = fft_shift(&freqs);
+    freqs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Cplx, b: Cplx, eps: f64) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert_eq!(Fft::new(0).unwrap_err(), DspError::InvalidFftLength(0));
+        assert_eq!(Fft::new(12).unwrap_err(), DspError::InvalidFftLength(12));
+        assert!(Fft::new(64).is_ok());
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let n = 64;
+        let mut x = vec![Cplx::ZERO; n];
+        x[0] = Cplx::ONE;
+        let plan = Fft::new(n).unwrap();
+        plan.forward(&mut x).unwrap();
+        for bin in &x {
+            assert!(close(*bin, Cplx::ONE, 1e-10));
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 256;
+        let k0 = 37;
+        let x: Vec<Cplx> = (0..n)
+            .map(|i| Cplx::expj(2.0 * std::f64::consts::PI * k0 as f64 * i as f64 / n as f64))
+            .collect();
+        let spec = fft(&x).unwrap();
+        for (k, bin) in spec.iter().enumerate() {
+            if k == k0 {
+                assert!((bin.abs() - n as f64).abs() < 1e-6);
+            } else {
+                assert!(bin.abs() < 1e-6, "leakage at bin {k}: {}", bin.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        let n = 128;
+        let x: Vec<Cplx> = (0..n)
+            .map(|i| Cplx::new((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let back = ifft(&fft(&x).unwrap()).unwrap();
+        for (a, b) in x.iter().zip(&back) {
+            assert!(close(*a, *b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 512;
+        let x: Vec<Cplx> = (0..n)
+            .map(|i| Cplx::new(((i * i) as f64).sin(), (i as f64).cos()))
+            .collect();
+        let time_energy: f64 = x.iter().map(|s| s.norm_sq()).sum();
+        let spec = fft(&x).unwrap();
+        let freq_energy: f64 = spec.iter().map(|s| s.norm_sq()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-10);
+    }
+
+    #[test]
+    fn length_mismatch_is_reported() {
+        let plan = Fft::new(64).unwrap();
+        let mut buf = vec![Cplx::ZERO; 32];
+        assert!(matches!(
+            plan.forward(&mut buf),
+            Err(DspError::LengthMismatch { left: 32, right: 64 })
+        ));
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let plan = Fft::new(1).unwrap();
+        let mut buf = vec![Cplx::new(2.0, -3.0)];
+        plan.forward(&mut buf).unwrap();
+        assert_eq!(buf[0], Cplx::new(2.0, -3.0));
+        assert!(!plan.is_empty());
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn fft_shift_centres_dc() {
+        let data = [0, 1, 2, 3, 4, 5, 6, 7];
+        let shifted = fft_shift(&data);
+        assert_eq!(shifted, vec![4, 5, 6, 7, 0, 1, 2, 3]);
+        let freqs = fft_shift_freqs(8, 8.0);
+        assert_eq!(freqs, vec![-4.0, -3.0, -2.0, -1.0, 0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn fft_shift_freqs_odd_length() {
+        let freqs = fft_shift_freqs(5, 5.0);
+        assert_eq!(freqs, vec![-2.0, -1.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 64;
+        let a: Vec<Cplx> = (0..n).map(|i| Cplx::new(i as f64, 0.0)).collect();
+        let b: Vec<Cplx> = (0..n).map(|i| Cplx::new(0.0, (n - i) as f64)).collect();
+        let sum: Vec<Cplx> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let fa = fft(&a).unwrap();
+        let fb = fft(&b).unwrap();
+        let fsum = fft(&sum).unwrap();
+        for k in 0..n {
+            assert!(close(fsum[k], fa[k] + fb[k], 1e-8));
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! FIR filter design, filtering and rational resampling.
+//!
+//! The PHY models need three things from this module:
+//!
+//! * a low-pass windowed-sinc design for channel-selection filtering at the
+//!   receivers (e.g. the 22 MHz Wi-Fi channel filter, the 2 MHz BLE filter),
+//! * straightforward FIR convolution of complex sample streams, and
+//! * integer up/down sampling so waveforms generated at their natural chip
+//!   rates (11 Mchip/s for 802.11b, 1 Msym/s for BLE, 2 Mchip/s for ZigBee)
+//!   can be mixed onto a common simulation sample rate.
+
+use crate::{Cplx, DspError};
+use crate::window::Window;
+
+/// A finite-impulse-response filter with real taps, applied to complex
+/// samples.
+#[derive(Debug, Clone)]
+pub struct Fir {
+    taps: Vec<f64>,
+}
+
+impl Fir {
+    /// Creates a filter from explicit taps.
+    pub fn from_taps(taps: Vec<f64>) -> Result<Self, DspError> {
+        if taps.is_empty() {
+            return Err(DspError::InvalidFilterSpec("FIR must have at least one tap"));
+        }
+        Ok(Fir { taps })
+    }
+
+    /// Designs a low-pass filter with the windowed-sinc method.
+    ///
+    /// * `cutoff` — normalised cutoff frequency in cycles/sample, 0 < cutoff < 0.5.
+    /// * `num_taps` — number of taps (odd lengths give a symmetric, linear-phase
+    ///   filter with an integer group delay of `(num_taps-1)/2`).
+    /// * `window` — tapering window controlling stop-band attenuation.
+    pub fn lowpass(cutoff: f64, num_taps: usize, window: Window) -> Result<Self, DspError> {
+        if !(cutoff > 0.0 && cutoff < 0.5) {
+            return Err(DspError::InvalidFilterSpec("cutoff must be in (0, 0.5)"));
+        }
+        if num_taps == 0 {
+            return Err(DspError::InvalidFilterSpec("num_taps must be >= 1"));
+        }
+        let mid = (num_taps - 1) as f64 / 2.0;
+        let mut taps: Vec<f64> = (0..num_taps)
+            .map(|n| {
+                let x = n as f64 - mid;
+                let sinc = if x.abs() < 1e-12 {
+                    2.0 * cutoff
+                } else {
+                    (2.0 * std::f64::consts::PI * cutoff * x).sin() / (std::f64::consts::PI * x)
+                };
+                sinc * window.coeff(n, num_taps)
+            })
+            .collect();
+        // Normalise to unity DC gain so filtering does not change signal power
+        // in the pass band.
+        let sum: f64 = taps.iter().sum();
+        if sum.abs() > 1e-12 {
+            for t in &mut taps {
+                *t /= sum;
+            }
+        }
+        Ok(Fir { taps })
+    }
+
+    /// The filter taps.
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// Group delay in samples for a symmetric (linear-phase) design.
+    pub fn group_delay(&self) -> f64 {
+        (self.taps.len() - 1) as f64 / 2.0
+    }
+
+    /// Filters a complex sample stream ("same" mode: output has the same
+    /// length as the input, aligned so that the group delay is compensated
+    /// for symmetric filters).
+    pub fn filter(&self, input: &[Cplx]) -> Vec<Cplx> {
+        let full = self.filter_full(input);
+        let delay = (self.taps.len() - 1) / 2;
+        full.into_iter().skip(delay).take(input.len()).collect()
+    }
+
+    /// Full linear convolution: output length is `input.len() + taps.len() - 1`.
+    pub fn filter_full(&self, input: &[Cplx]) -> Vec<Cplx> {
+        if input.is_empty() {
+            return Vec::new();
+        }
+        let n = input.len() + self.taps.len() - 1;
+        let mut out = vec![Cplx::ZERO; n];
+        for (i, &x) in input.iter().enumerate() {
+            for (j, &h) in self.taps.iter().enumerate() {
+                out[i + j] += x * h;
+            }
+        }
+        out
+    }
+
+    /// Evaluates the filter's frequency response (complex gain) at the
+    /// normalised frequency `f` (cycles/sample).
+    pub fn response_at(&self, f: f64) -> Cplx {
+        self.taps
+            .iter()
+            .enumerate()
+            .map(|(n, &h)| Cplx::expj(-2.0 * std::f64::consts::PI * f * n as f64) * h)
+            .sum()
+    }
+}
+
+/// Inserts `factor - 1` zeros between consecutive samples (zero-stuffing
+/// upsampler). Follow with a low-pass filter to interpolate.
+pub fn upsample(input: &[Cplx], factor: usize) -> Result<Vec<Cplx>, DspError> {
+    if factor == 0 {
+        return Err(DspError::InvalidResampleRatio { up: factor, down: 1 });
+    }
+    let mut out = vec![Cplx::ZERO; input.len() * factor];
+    for (i, &x) in input.iter().enumerate() {
+        out[i * factor] = x;
+    }
+    Ok(out)
+}
+
+/// Repeats each sample `factor` times (sample-and-hold upsampling).
+///
+/// This models the behaviour of the backscatter switch network and of square
+/// digital waveforms: the FPGA drives the switch with a piecewise-constant
+/// control signal, so rectangular interpolation — not band-limited
+/// interpolation — is the physically accurate model.
+pub fn upsample_hold(input: &[Cplx], factor: usize) -> Result<Vec<Cplx>, DspError> {
+    if factor == 0 {
+        return Err(DspError::InvalidResampleRatio { up: factor, down: 1 });
+    }
+    let mut out = Vec::with_capacity(input.len() * factor);
+    for &x in input {
+        for _ in 0..factor {
+            out.push(x);
+        }
+    }
+    Ok(out)
+}
+
+/// Keeps every `factor`-th sample (decimation without filtering; apply an
+/// anti-alias filter first if the signal is not already band-limited).
+pub fn downsample(input: &[Cplx], factor: usize) -> Result<Vec<Cplx>, DspError> {
+    if factor == 0 {
+        return Err(DspError::InvalidResampleRatio { up: 1, down: factor });
+    }
+    Ok(input.iter().copied().step_by(factor).collect())
+}
+
+/// Interpolating upsampler: zero-stuff by `factor` and low-pass filter at the
+/// original Nyquist frequency. `taps_per_phase` controls filter quality.
+pub fn interpolate(input: &[Cplx], factor: usize, taps_per_phase: usize) -> Result<Vec<Cplx>, DspError> {
+    if factor == 0 {
+        return Err(DspError::InvalidResampleRatio { up: factor, down: 1 });
+    }
+    if factor == 1 {
+        return Ok(input.to_vec());
+    }
+    let stuffed = upsample(input, factor)?;
+    let num_taps = (taps_per_phase * factor) | 1; // force odd for linear phase
+    let fir = Fir::lowpass(0.5 / factor as f64 * 0.9, num_taps, Window::Hamming)?;
+    // Compensate the 1/factor amplitude loss of zero stuffing.
+    Ok(fir
+        .filter(&stuffed)
+        .into_iter()
+        .map(|x| x * factor as f64)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowpass_rejects_bad_specs() {
+        assert!(Fir::lowpass(0.0, 31, Window::Hamming).is_err());
+        assert!(Fir::lowpass(0.6, 31, Window::Hamming).is_err());
+        assert!(Fir::lowpass(0.25, 0, Window::Hamming).is_err());
+        assert!(Fir::from_taps(vec![]).is_err());
+    }
+
+    #[test]
+    fn lowpass_has_unity_dc_gain() {
+        let fir = Fir::lowpass(0.1, 63, Window::Hamming).unwrap();
+        let dc = fir.response_at(0.0);
+        assert!((dc.abs() - 1.0).abs() < 1e-9);
+        assert!((fir.taps().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lowpass_passes_low_and_rejects_high_frequencies() {
+        let fir = Fir::lowpass(0.1, 101, Window::Blackman).unwrap();
+        let pass = fir.response_at(0.02).abs();
+        let stop = fir.response_at(0.35).abs();
+        assert!(pass > 0.95, "passband gain {pass}");
+        assert!(stop < 0.01, "stopband gain {stop}");
+    }
+
+    #[test]
+    fn filter_preserves_length_in_same_mode() {
+        let fir = Fir::lowpass(0.2, 31, Window::Hann).unwrap();
+        let input: Vec<Cplx> = (0..200).map(|i| Cplx::new((i as f64 * 0.1).sin(), 0.0)).collect();
+        let out = fir.filter(&input);
+        assert_eq!(out.len(), input.len());
+        let full = fir.filter_full(&input);
+        assert_eq!(full.len(), input.len() + 30);
+    }
+
+    #[test]
+    fn filtering_a_constant_returns_the_constant() {
+        let fir = Fir::lowpass(0.15, 41, Window::Hamming).unwrap();
+        let input = vec![Cplx::new(2.0, -1.0); 300];
+        let out = fir.filter(&input);
+        // Away from the edges the output equals the input (unity DC gain).
+        for s in &out[40..260] {
+            assert!((s.re - 2.0).abs() < 1e-6 && (s.im + 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn group_delay_is_half_filter_length() {
+        let fir = Fir::lowpass(0.2, 31, Window::Hann).unwrap();
+        assert_eq!(fir.group_delay(), 15.0);
+    }
+
+    #[test]
+    fn upsample_and_downsample_shapes() {
+        let x: Vec<Cplx> = (0..10).map(|i| Cplx::real(i as f64)).collect();
+        let up = upsample(&x, 4).unwrap();
+        assert_eq!(up.len(), 40);
+        assert_eq!(up[0], Cplx::real(0.0));
+        assert_eq!(up[4], Cplx::real(1.0));
+        assert_eq!(up[5], Cplx::ZERO);
+        let held = upsample_hold(&x, 3).unwrap();
+        assert_eq!(held.len(), 30);
+        assert_eq!(held[0], held[2]);
+        let down = downsample(&up, 4).unwrap();
+        assert_eq!(down, x);
+        assert!(upsample(&x, 0).is_err());
+        assert!(downsample(&x, 0).is_err());
+        assert!(upsample_hold(&x, 0).is_err());
+    }
+
+    #[test]
+    fn interpolate_preserves_a_slow_tone() {
+        // A slow complex tone should survive 4x interpolation with roughly
+        // unchanged amplitude.
+        let n = 256;
+        let tone: Vec<Cplx> = (0..n)
+            .map(|i| Cplx::expj(2.0 * std::f64::consts::PI * 0.02 * i as f64))
+            .collect();
+        let interp = interpolate(&tone, 4, 16).unwrap();
+        assert_eq!(interp.len(), n * 4);
+        // Check amplitude in the central region.
+        let mid = &interp[256..768];
+        let avg_amp: f64 = mid.iter().map(|s| s.abs()).sum::<f64>() / mid.len() as f64;
+        assert!((avg_amp - 1.0).abs() < 0.05, "avg amplitude {avg_amp}");
+    }
+
+    #[test]
+    fn interpolate_factor_one_is_identity() {
+        let x: Vec<Cplx> = (0..5).map(|i| Cplx::real(i as f64)).collect();
+        assert_eq!(interpolate(&x, 1, 8).unwrap(), x);
+        assert!(interpolate(&x, 0, 8).is_err());
+    }
+
+    #[test]
+    fn empty_input_filtering() {
+        let fir = Fir::lowpass(0.2, 11, Window::Hann).unwrap();
+        assert!(fir.filter_full(&[]).is_empty());
+        assert!(fir.filter(&[]).is_empty());
+    }
+}

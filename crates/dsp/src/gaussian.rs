@@ -1,0 +1,170 @@
+//! Gaussian pulse shaping for GFSK (Bluetooth LE).
+//!
+//! BLE modulates bits with Gaussian Frequency Shift Keying: the ±1 NRZ bit
+//! stream is filtered by a Gaussian low-pass with bandwidth–time product
+//! BT = 0.5 before driving the frequency modulator with a modulation index of
+//! approximately 0.5 (±250 kHz deviation at 1 Mbit/s). The paper's
+//! single-tone observation (§2.2) is that a constant bit stream is unchanged
+//! by this filter: the Gaussian filter only smooths *transitions*, so a run
+//! of identical bits produces a constant frequency, i.e. a pure tone.
+
+use crate::DspError;
+
+/// A Gaussian pulse-shaping filter sampled at `samples_per_symbol`.
+#[derive(Debug, Clone)]
+pub struct GaussianPulse {
+    taps: Vec<f64>,
+    samples_per_symbol: usize,
+}
+
+impl GaussianPulse {
+    /// Designs the filter.
+    ///
+    /// * `bt` — bandwidth–time product (0.5 for BLE, 0.3 for classic Bluetooth).
+    /// * `samples_per_symbol` — oversampling factor of the symbol stream.
+    /// * `span_symbols` — filter length in symbols (the impulse response is
+    ///   truncated to this span; 3–4 symbols is standard).
+    pub fn new(bt: f64, samples_per_symbol: usize, span_symbols: usize) -> Result<Self, DspError> {
+        if bt <= 0.0 {
+            return Err(DspError::InvalidFilterSpec("BT product must be positive"));
+        }
+        if samples_per_symbol == 0 || span_symbols == 0 {
+            return Err(DspError::InvalidFilterSpec(
+                "samples_per_symbol and span_symbols must be >= 1",
+            ));
+        }
+        let n = samples_per_symbol * span_symbols + 1;
+        let mid = (n - 1) as f64 / 2.0;
+        // Standard Gaussian impulse response: h(t) = sqrt(2π/ln2)·B·exp(−2π²B²t²/ln2)
+        // with t in symbol periods and B = BT (bandwidth normalised to symbol rate).
+        let ln2 = std::f64::consts::LN_2;
+        let alpha = 2.0 * std::f64::consts::PI * std::f64::consts::PI * bt * bt / ln2;
+        let mut taps: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = (i as f64 - mid) / samples_per_symbol as f64;
+                (-alpha * t * t).exp()
+            })
+            .collect();
+        let sum: f64 = taps.iter().sum();
+        for t in &mut taps {
+            *t /= sum;
+        }
+        Ok(GaussianPulse {
+            taps,
+            samples_per_symbol,
+        })
+    }
+
+    /// The filter taps (normalised to unit sum).
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// Oversampling factor the filter was designed for.
+    pub fn samples_per_symbol(&self) -> usize {
+        self.samples_per_symbol
+    }
+
+    /// Filters a real-valued sample stream (typically the NRZ ±1 bit stream
+    /// upsampled by sample-and-hold) and returns the smoothed frequency
+    /// trajectory. "Same" alignment: output length equals input length.
+    pub fn filter(&self, input: &[f64]) -> Vec<f64> {
+        if input.is_empty() {
+            return Vec::new();
+        }
+        let delay = (self.taps.len() - 1) / 2;
+        let n = input.len();
+        let mut out = vec![0.0; n];
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (j, &h) in self.taps.iter().enumerate() {
+                // index into input corresponding to output sample i with the
+                // group delay compensated; clamp at the edges (hold first /
+                // last value) so constant streams stay exactly constant.
+                let idx = (i + j).saturating_sub(delay).min(n - 1);
+                acc += input[idx] * h;
+            }
+            *o = acc;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(GaussianPulse::new(0.0, 8, 3).is_err());
+        assert!(GaussianPulse::new(0.5, 0, 3).is_err());
+        assert!(GaussianPulse::new(0.5, 8, 0).is_err());
+    }
+
+    #[test]
+    fn taps_are_normalised_symmetric_and_peaked() {
+        let g = GaussianPulse::new(0.5, 8, 4).unwrap();
+        let taps = g.taps();
+        let sum: f64 = taps.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        let n = taps.len();
+        for i in 0..n {
+            assert!((taps[i] - taps[n - 1 - i]).abs() < 1e-12);
+        }
+        let peak = taps.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((peak - taps[n / 2]).abs() < 1e-15);
+        assert_eq!(g.samples_per_symbol(), 8);
+    }
+
+    #[test]
+    fn constant_input_is_unchanged() {
+        // This is the heart of the paper's single-tone argument: a constant
+        // frequency command passes through the Gaussian filter untouched.
+        let g = GaussianPulse::new(0.5, 8, 3).unwrap();
+        let input = vec![1.0; 200];
+        let out = g.filter(&input);
+        assert_eq!(out.len(), input.len());
+        for &v in &out {
+            assert!((v - 1.0).abs() < 1e-9, "constant stream distorted: {v}");
+        }
+    }
+
+    #[test]
+    fn transitions_are_smoothed() {
+        // An abrupt -1 -> +1 transition must be turned into a gradual ramp:
+        // intermediate samples strictly between -1 and 1 must exist.
+        let g = GaussianPulse::new(0.5, 8, 3).unwrap();
+        let mut input = vec![-1.0; 80];
+        input.extend(vec![1.0; 80]);
+        let out = g.filter(&input);
+        let intermediate = out
+            .iter()
+            .filter(|&&v| v > -0.9 && v < 0.9)
+            .count();
+        assert!(intermediate >= 4, "expected a smooth ramp, got {intermediate} intermediate samples");
+        // Far from the transition the levels are preserved.
+        assert!((out[10] + 1.0).abs() < 1e-6);
+        assert!((out[150] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn narrower_bt_smooths_more() {
+        let sharp = GaussianPulse::new(0.5, 8, 4).unwrap();
+        let smooth = GaussianPulse::new(0.3, 8, 4).unwrap();
+        let mut input = vec![-1.0; 64];
+        input.extend(vec![1.0; 64]);
+        let rise = |out: &[f64]| -> usize {
+            out.iter().filter(|&&v| v > -0.9 && v < 0.9).count()
+        };
+        assert!(
+            rise(&smooth.filter(&input)) > rise(&sharp.filter(&input)),
+            "BT=0.3 should have a longer transition than BT=0.5"
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = GaussianPulse::new(0.5, 4, 3).unwrap();
+        assert!(g.filter(&[]).is_empty());
+    }
+}

@@ -1,0 +1,235 @@
+//! Complex-baseband sample-stream utilities.
+//!
+//! A backscatter simulation is at its core a chain of operations on IQ
+//! buffers: generate the BLE tone, shift it in frequency at the tag, scale it
+//! by path losses, add thermal noise, and measure its power at the receiver.
+//! This module provides those stream-level operations.
+
+use crate::units::{ratio_to_db, watts_to_dbm};
+use crate::Cplx;
+
+/// Multiplies a sample stream by a complex exponential, shifting its spectrum
+/// by `freq_offset_hz` (positive values move energy toward higher
+/// frequencies). `phase0` is the starting oscillator phase in radians.
+pub fn frequency_shift(input: &[Cplx], freq_offset_hz: f64, sample_rate: f64, phase0: f64) -> Vec<Cplx> {
+    let w = 2.0 * std::f64::consts::PI * freq_offset_hz / sample_rate;
+    input
+        .iter()
+        .enumerate()
+        .map(|(n, &x)| x * Cplx::expj(phase0 + w * n as f64))
+        .collect()
+}
+
+/// Generates a complex tone `exp(j(2π f t + φ0))` of `len` samples.
+pub fn tone(freq_hz: f64, sample_rate: f64, len: usize, phase0: f64) -> Vec<Cplx> {
+    let w = 2.0 * std::f64::consts::PI * freq_hz / sample_rate;
+    (0..len).map(|n| Cplx::expj(phase0 + w * n as f64)).collect()
+}
+
+/// Mean power of a sample stream (mean of |x|²). Returns 0 for an empty
+/// buffer.
+pub fn mean_power(input: &[Cplx]) -> f64 {
+    if input.is_empty() {
+        return 0.0;
+    }
+    input.iter().map(|x| x.norm_sq()).sum::<f64>() / input.len() as f64
+}
+
+/// Peak instantaneous power of a stream.
+pub fn peak_power(input: &[Cplx]) -> f64 {
+    input.iter().map(|x| x.norm_sq()).fold(0.0, f64::max)
+}
+
+/// Mean power expressed in dB relative to unit power.
+pub fn mean_power_db(input: &[Cplx]) -> f64 {
+    ratio_to_db(mean_power(input))
+}
+
+/// Mean power expressed in dBm under the convention used throughout the
+/// workspace: a unit-amplitude complex sample represents 1 mW (0 dBm) at the
+/// antenna reference plane. Transmit powers are therefore applied by scaling
+/// amplitudes with `db_to_amplitude(tx_dbm)`.
+pub fn rssi_dbm(input: &[Cplx]) -> f64 {
+    watts_to_dbm(mean_power(input) * 1e-3)
+}
+
+/// Scales a stream by a real gain factor (amplitude, not power).
+pub fn scale(input: &[Cplx], gain: f64) -> Vec<Cplx> {
+    input.iter().map(|&x| x * gain).collect()
+}
+
+/// Adds two streams sample-by-sample. The shorter stream is treated as being
+/// followed by silence, which is how overlapping transmissions combine on the
+/// air.
+pub fn add(a: &[Cplx], b: &[Cplx]) -> Vec<Cplx> {
+    let n = a.len().max(b.len());
+    (0..n)
+        .map(|i| {
+            let x = a.get(i).copied().unwrap_or(Cplx::ZERO);
+            let y = b.get(i).copied().unwrap_or(Cplx::ZERO);
+            x + y
+        })
+        .collect()
+}
+
+/// Element-wise product of two equal-length streams (e.g. applying a
+/// time-varying reflection coefficient to an incident carrier).
+///
+/// # Panics
+/// Panics if the streams have different lengths.
+pub fn multiply(a: &[Cplx], b: &[Cplx]) -> Vec<Cplx> {
+    assert_eq!(a.len(), b.len(), "multiply requires equal lengths");
+    a.iter().zip(b).map(|(&x, &y)| x * y).collect()
+}
+
+/// Normalises a stream to unit mean power. A silent stream is returned
+/// unchanged.
+pub fn normalize_power(input: &[Cplx]) -> Vec<Cplx> {
+    let p = mean_power(input);
+    if p <= 0.0 {
+        return input.to_vec();
+    }
+    scale(input, 1.0 / p.sqrt())
+}
+
+/// Delays a stream by `samples`, padding with zeros in front (models
+/// propagation delay / the tag's guard interval).
+pub fn delay(input: &[Cplx], samples: usize) -> Vec<Cplx> {
+    let mut out = vec![Cplx::ZERO; samples];
+    out.extend_from_slice(input);
+    out
+}
+
+/// Extracts the instantaneous amplitude (envelope) of a stream — the quantity
+/// a passive envelope-detector receiver observes.
+pub fn envelope(input: &[Cplx]) -> Vec<f64> {
+    input.iter().map(|x| x.abs()).collect()
+}
+
+/// Computes the instantaneous frequency (Hz) between consecutive samples by
+/// phase differencing — a simple FM discriminator used by the BLE receiver
+/// model and by the single-tone verification tests.
+pub fn instantaneous_frequency(input: &[Cplx], sample_rate: f64) -> Vec<f64> {
+    if input.len() < 2 {
+        return Vec::new();
+    }
+    input
+        .windows(2)
+        .map(|w| {
+            let dphi = (w[1] * w[0].conj()).arg();
+            dphi * sample_rate / (2.0 * std::f64::consts::PI)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tone_has_unit_power_and_correct_frequency() {
+        let fs = 1e6;
+        let f = 125e3;
+        let t = tone(f, fs, 4096, 0.0);
+        assert!((mean_power(&t) - 1.0).abs() < 1e-12);
+        let inst = instantaneous_frequency(&t, fs);
+        for &fi in &inst {
+            assert!((fi - f).abs() < 1.0, "instantaneous frequency {fi}");
+        }
+    }
+
+    #[test]
+    fn frequency_shift_moves_a_tone() {
+        let fs = 10e6;
+        let t = tone(1e6, fs, 2048, 0.3);
+        let shifted = frequency_shift(&t, 2e6, fs, 0.0);
+        let inst = instantaneous_frequency(&shifted, fs);
+        let mean: f64 = inst.iter().sum::<f64>() / inst.len() as f64;
+        assert!((mean - 3e6).abs() < 1e3, "shifted tone at {mean} Hz");
+    }
+
+    #[test]
+    fn negative_shift_and_phase_continuity() {
+        let fs = 8e6;
+        let t = tone(1e6, fs, 1024, 0.0);
+        let down = frequency_shift(&t, -1e6, fs, 0.0);
+        // Shifting a 1 MHz tone down by 1 MHz gives DC: all samples equal.
+        for s in &down {
+            assert!((*s - down[0]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn power_and_rssi_conventions() {
+        // Unit amplitude tone => 1.0 mean power => 0 dBm by convention.
+        let t = tone(0.0, 1e6, 100, 0.0);
+        assert!((rssi_dbm(&t) - 0.0).abs() < 1e-9);
+        // Scaling amplitude by 10 raises power by 20 dB.
+        let loud = scale(&t, 10.0);
+        assert!((rssi_dbm(&loud) - 20.0).abs() < 1e-9);
+        assert!((mean_power_db(&loud) - 20.0).abs() < 1e-9);
+        assert!((peak_power(&loud) - 100.0).abs() < 1e-9);
+        assert_eq!(mean_power(&[]), 0.0);
+    }
+
+    #[test]
+    fn add_handles_unequal_lengths() {
+        let a = vec![Cplx::ONE; 3];
+        let b = vec![Cplx::J; 5];
+        let s = add(&a, &b);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[0], Cplx::new(1.0, 1.0));
+        assert_eq!(s[4], Cplx::J);
+    }
+
+    #[test]
+    fn multiply_applies_reflection() {
+        let carrier = tone(0.0, 1e6, 4, 0.0);
+        let gamma = vec![Cplx::new(0.5, 0.5); 4];
+        let out = multiply(&carrier, &gamma);
+        for s in &out {
+            assert!((*s - Cplx::new(0.5, 0.5)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn multiply_rejects_mismatch() {
+        let _ = multiply(&[Cplx::ONE], &[Cplx::ONE, Cplx::ONE]);
+    }
+
+    #[test]
+    fn normalize_power_gives_unit_power() {
+        let x = scale(&tone(1e3, 1e6, 500, 0.0), 7.3);
+        let n = normalize_power(&x);
+        assert!((mean_power(&n) - 1.0).abs() < 1e-9);
+        // Silence unchanged.
+        let silent = vec![Cplx::ZERO; 10];
+        assert_eq!(normalize_power(&silent), silent);
+    }
+
+    #[test]
+    fn delay_pads_with_zeros() {
+        let x = vec![Cplx::ONE; 3];
+        let d = delay(&x, 2);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d[0], Cplx::ZERO);
+        assert_eq!(d[1], Cplx::ZERO);
+        assert_eq!(d[2], Cplx::ONE);
+    }
+
+    #[test]
+    fn envelope_of_scaled_tone() {
+        let x = scale(&tone(1e3, 1e6, 64, 0.0), 2.5);
+        let env = envelope(&x);
+        for &e in &env {
+            assert!((e - 2.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn instantaneous_frequency_short_input() {
+        assert!(instantaneous_frequency(&[], 1e6).is_empty());
+        assert!(instantaneous_frequency(&[Cplx::ONE], 1e6).is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! Linear-feedback shift registers.
+//!
+//! Both the BLE data-whitening circuit (§2.2 of the paper) and the 802.11
+//! scrambler (§2.4) use the same 7-bit LFSR with polynomial x^7 + x^4 + 1.
+//! The Interscatter tricks rely on being able to *predict* these sequences:
+//! the BLE payload is chosen as (whitening sequence) or its complement so
+//! the on-air bits are constant, and the Wi-Fi downlink payload is chosen
+//! so the scrambled bits are all ones or all zeros within an OFDM symbol.
+//!
+//! The generic [`Lfsr`] type supports arbitrary Fibonacci-style registers,
+//! and [`Lfsr7`] is the specialised x^7+x^4+1 register both standards use.
+
+/// A Fibonacci linear-feedback shift register of up to 32 bits.
+///
+/// Bit 0 of `state` is the register labelled "0" in the standards diagrams.
+/// On each step the feedback is the XOR of the tapped positions; the register
+/// shifts toward higher indices and the output bit is the bit shifted out of
+/// the highest position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr {
+    state: u32,
+    taps: Vec<u32>,
+    len: u32,
+}
+
+impl Lfsr {
+    /// Creates an LFSR of `len` bits with feedback taps at the given bit
+    /// positions (0-based, position `len-1` is the output stage).
+    ///
+    /// # Panics
+    /// Panics if `len` is 0 or greater than 32, or any tap is out of range.
+    pub fn new(len: u32, taps: &[u32], seed: u32) -> Self {
+        assert!(len >= 1 && len <= 32, "LFSR length must be 1..=32");
+        assert!(taps.iter().all(|&t| t < len), "tap positions must be < len");
+        Lfsr {
+            state: seed & Self::mask(len),
+            taps: taps.to_vec(),
+            len,
+        }
+    }
+
+    fn mask(len: u32) -> u32 {
+        if len == 32 {
+            u32::MAX
+        } else {
+            (1 << len) - 1
+        }
+    }
+
+    /// Current register contents.
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// Advances the register one step and returns the output bit (the bit
+    /// that was in the highest position).
+    pub fn step(&mut self) -> u8 {
+        let out = ((self.state >> (self.len - 1)) & 1) as u8;
+        let fb = self
+            .taps
+            .iter()
+            .fold(0u32, |acc, &t| acc ^ ((self.state >> t) & 1))
+            & 1;
+        self.state = ((self.state << 1) | fb) & Self::mask(self.len);
+        out
+    }
+
+    /// Generates `n` output bits.
+    pub fn generate(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.step()).collect()
+    }
+
+    /// The sequence period: steps until the state repeats (at most 2^len - 1
+    /// for a maximal-length register). Returns `None` if the register is
+    /// stuck in the all-zero state.
+    pub fn period(&self) -> Option<usize> {
+        if self.state == 0 {
+            return None;
+        }
+        let mut probe = self.clone();
+        let start = probe.state;
+        for i in 1..=(1usize << self.len) {
+            probe.step();
+            if probe.state == start {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+/// The 7-bit x^7 + x^4 + 1 register shared by BLE whitening and the 802.11
+/// scrambler (Fig. 4 of the paper).
+///
+/// This specialisation matches the standards' register diagrams exactly:
+/// position 0 holds the newest bit, the output is taken from position 6, and
+/// the feedback into position 0 is `bit6 XOR bit3` (x^7 and x^4 taps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lfsr7 {
+    /// Register contents; bit i of this word is register position i.
+    state: u8,
+}
+
+impl Lfsr7 {
+    /// Creates the register with the given 7-bit initial state.
+    ///
+    /// For BLE whitening on channel `c`, position 0 is set to 1 and positions
+    /// 1..=6 hold the binary representation of `c` (MSB in position 1), which
+    /// is what [`Lfsr7::ble_whitening_for_channel`] computes.
+    pub fn new(state: u8) -> Self {
+        Lfsr7 { state: state & 0x7F }
+    }
+
+    /// Initial state of the BLE whitening register for an RF channel index
+    /// (0–39). Per the Bluetooth Core specification, position 0 = 1 and
+    /// positions 1..6 carry the channel number MSB-first.
+    pub fn ble_whitening_for_channel(channel: u8) -> Self {
+        let ch = channel & 0x3F;
+        let mut state = 1u8; // position 0 = 1
+        for i in 0..6 {
+            // channel bit 5 (MSB) goes to position 1, ... bit 0 to position 6.
+            let bit = (ch >> (5 - i)) & 1;
+            state |= bit << (i + 1);
+        }
+        Lfsr7 { state }
+    }
+
+    /// Current register contents (7 bits).
+    pub fn state(&self) -> u8 {
+        self.state
+    }
+
+    /// Advances one step, returning the output bit (register position 6).
+    /// The feedback `pos6 ^ pos3` enters position 0.
+    pub fn step(&mut self) -> u8 {
+        let out = (self.state >> 6) & 1;
+        let fb = out ^ ((self.state >> 3) & 1);
+        self.state = ((self.state << 1) | fb) & 0x7F;
+        out
+    }
+
+    /// Generates `n` output bits of the whitening / scrambling sequence.
+    pub fn sequence(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.step()).collect()
+    }
+
+    /// Whitens (or de-whitens — the operation is its own inverse) a bit
+    /// stream by XORing it with the register output.
+    pub fn whiten(&mut self, bits: &[u8]) -> Vec<u8> {
+        bits.iter().map(|&b| (b & 1) ^ self.step()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lfsr7_is_maximal_length() {
+        // x^7 + x^4 + 1 is primitive: the period must be 2^7 - 1 = 127 for
+        // any non-zero seed.
+        let reg = Lfsr::new(7, &[6, 3], 0b0100101);
+        assert_eq!(reg.period(), Some(127));
+        // Degenerate all-zero state never changes.
+        let reg = Lfsr::new(7, &[6, 3], 0);
+        assert_eq!(reg.period(), None);
+    }
+
+    #[test]
+    fn lfsr7_specialisation_matches_generic() {
+        // The Lfsr7 register (taps at positions 6 and 3, shifting up) should
+        // produce the same output stream as the generic register configured
+        // the same way, for the same seed.
+        let seed = 0b1010011u8;
+        let mut spec = Lfsr7::new(seed);
+        let mut gen = Lfsr::new(7, &[6, 3], u32::from(seed));
+        for _ in 0..300 {
+            assert_eq!(spec.step(), gen.step());
+        }
+    }
+
+    #[test]
+    fn whitening_is_involutive() {
+        let data: Vec<u8> = (0..200).map(|i| (i * 7 % 3 == 0) as u8).collect();
+        let mut w1 = Lfsr7::ble_whitening_for_channel(37);
+        let whitened = w1.whiten(&data);
+        assert_ne!(whitened, data, "whitening should change a structured stream");
+        let mut w2 = Lfsr7::ble_whitening_for_channel(37);
+        let recovered = w2.whiten(&whitened);
+        assert_eq!(recovered, data);
+    }
+
+    #[test]
+    fn ble_channel_seeds_differ() {
+        let s37 = Lfsr7::ble_whitening_for_channel(37).state();
+        let s38 = Lfsr7::ble_whitening_for_channel(38).state();
+        let s39 = Lfsr7::ble_whitening_for_channel(39).state();
+        assert_ne!(s37, s38);
+        assert_ne!(s38, s39);
+        assert_ne!(s37, s39);
+        // Position 0 must always be 1 per the spec.
+        assert_eq!(s37 & 1, 1);
+        assert_eq!(s38 & 1, 1);
+        assert_eq!(s39 & 1, 1);
+    }
+
+    #[test]
+    fn channel_37_seed_encodes_channel_number() {
+        // Channel 37 = 0b100101. Position 1 holds the MSB (1), position 6 the
+        // LSB (1). Expected state bits: p0=1, p1=1,p2=0,p3=0,p4=1,p5=0,p6=1.
+        let s = Lfsr7::ble_whitening_for_channel(37).state();
+        assert_eq!(s & 1, 1);
+        assert_eq!((s >> 1) & 1, 1);
+        assert_eq!((s >> 2) & 1, 0);
+        assert_eq!((s >> 3) & 1, 0);
+        assert_eq!((s >> 4) & 1, 1);
+        assert_eq!((s >> 5) & 1, 0);
+        assert_eq!((s >> 6) & 1, 1);
+    }
+
+    #[test]
+    fn whitening_sequence_is_deterministic_and_balanced() {
+        let mut w = Lfsr7::ble_whitening_for_channel(38);
+        let seq = w.sequence(127);
+        // One full period of a maximal-length 7-bit LFSR has 64 ones and 63
+        // zeros.
+        let ones: usize = seq.iter().map(|&b| b as usize).sum();
+        assert_eq!(ones, 64);
+        let mut w2 = Lfsr7::ble_whitening_for_channel(38);
+        assert_eq!(w2.sequence(127), seq);
+    }
+
+    #[test]
+    fn generic_lfsr_generate_matches_step() {
+        let mut a = Lfsr::new(7, &[6, 3], 0x5A);
+        let mut b = Lfsr::new(7, &[6, 3], 0x5A);
+        let bits = a.generate(50);
+        let manual: Vec<u8> = (0..50).map(|_| b.step()).collect();
+        assert_eq!(bits, manual);
+        assert_eq!(a.state(), b.state());
+    }
+
+    #[test]
+    #[should_panic(expected = "tap positions")]
+    fn out_of_range_tap_panics() {
+        let _ = Lfsr::new(7, &[7], 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! Power-spectral-density estimation.
+//!
+//! Figures 6 and 9 of the paper are spectra measured on a spectrum analyzer:
+//! the BLE single tone versus a random advertisement, and the
+//! single-sideband versus double-sideband backscattered Wi-Fi signal. This
+//! module provides the Welch-averaged periodogram the experiment runners use
+//! to regenerate those plots, with output in dB/dBm so mirror-image
+//! suppression can be read off directly.
+
+use crate::fft::{fft_shift, fft_shift_freqs, Fft};
+use crate::units::ratio_to_db;
+use crate::window::Window;
+use crate::{Cplx, DspError};
+
+/// One point of a power spectral density estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectrumPoint {
+    /// Frequency offset from the centre of the analysis band, in Hz.
+    pub freq_hz: f64,
+    /// Power in dB relative to a unit-amplitude (1 mW by workspace
+    /// convention) tone, i.e. effectively dBm per bin.
+    pub power_db: f64,
+}
+
+/// Configuration for Welch PSD estimation.
+#[derive(Debug, Clone, Copy)]
+pub struct WelchConfig {
+    /// FFT size per segment (power of two).
+    pub nfft: usize,
+    /// Overlap between segments, as a fraction of `nfft` in [0, 1).
+    pub overlap: f64,
+    /// Window applied to each segment.
+    pub window: Window,
+}
+
+impl Default for WelchConfig {
+    fn default() -> Self {
+        WelchConfig {
+            nfft: 4096,
+            overlap: 0.5,
+            window: Window::Blackman,
+        }
+    }
+}
+
+/// Computes a Welch-averaged power spectral density of a complex baseband
+/// stream sampled at `sample_rate`. The result is fft-shifted so negative
+/// frequency offsets come first, matching how the paper plots spectra around
+/// the carrier.
+pub fn welch_psd(
+    input: &[Cplx],
+    sample_rate: f64,
+    config: &WelchConfig,
+) -> Result<Vec<SpectrumPoint>, DspError> {
+    if input.is_empty() {
+        return Err(DspError::EmptyInput("welch_psd input"));
+    }
+    if config.nfft == 0 || !config.nfft.is_power_of_two() {
+        return Err(DspError::InvalidFftLength(config.nfft));
+    }
+    if !(0.0..1.0).contains(&config.overlap) {
+        return Err(DspError::InvalidFilterSpec("overlap must be in [0,1)"));
+    }
+    let nfft = config.nfft.min(input.len().next_power_of_two());
+    let nfft = if nfft > input.len() { nfft / 2 } else { nfft };
+    let nfft = nfft.max(1);
+    if nfft < 2 {
+        return Err(DspError::EmptyInput("input shorter than one FFT segment"));
+    }
+    let plan = Fft::new(nfft)?;
+    let win = config.window.coefficients(nfft);
+    let win_power: f64 = win.iter().map(|w| w * w).sum::<f64>();
+    let hop = ((nfft as f64) * (1.0 - config.overlap)).max(1.0) as usize;
+
+    let mut acc = vec![0.0f64; nfft];
+    let mut segments = 0usize;
+    let mut start = 0usize;
+    let mut buf = vec![Cplx::ZERO; nfft];
+    while start + nfft <= input.len() {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = input[start + i] * win[i];
+        }
+        plan.forward(&mut buf)?;
+        for (i, s) in buf.iter().enumerate() {
+            acc[i] += s.norm_sq();
+        }
+        segments += 1;
+        start += hop;
+    }
+    if segments == 0 {
+        // Input shorter than nfft: single zero-padded segment.
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = input.get(i).copied().unwrap_or(Cplx::ZERO) * win.get(i).copied().unwrap_or(0.0);
+        }
+        plan.forward(&mut buf)?;
+        for (i, s) in buf.iter().enumerate() {
+            acc[i] += s.norm_sq();
+        }
+        segments = 1;
+    }
+
+    // Normalise so that a unit-amplitude tone integrates to ~0 dB total.
+    let norm = 1.0 / (segments as f64 * win_power * nfft as f64 / nfft as f64);
+    let shifted_power = fft_shift(&acc);
+    let freqs = fft_shift_freqs(nfft, sample_rate);
+    Ok(freqs
+        .into_iter()
+        .zip(shifted_power)
+        .map(|(freq_hz, p)| SpectrumPoint {
+            freq_hz,
+            power_db: ratio_to_db(p * norm),
+        })
+        .collect())
+}
+
+/// Returns the total power (linear, relative to the unit-amplitude
+/// convention) contained in `[f_lo, f_hi]` of a PSD estimate.
+pub fn band_power(psd: &[SpectrumPoint], f_lo: f64, f_hi: f64) -> f64 {
+    psd.iter()
+        .filter(|p| p.freq_hz >= f_lo && p.freq_hz <= f_hi)
+        .map(|p| crate::units::db_to_ratio(p.power_db))
+        .sum()
+}
+
+/// Returns the total band power in dB. Negative infinity if the band is
+/// empty.
+pub fn band_power_db(psd: &[SpectrumPoint], f_lo: f64, f_hi: f64) -> f64 {
+    ratio_to_db(band_power(psd, f_lo, f_hi))
+}
+
+/// Finds the frequency of the strongest PSD bin — used to verify the BLE
+/// single-tone and the backscatter frequency shift.
+pub fn peak_frequency(psd: &[SpectrumPoint]) -> Option<f64> {
+    psd.iter()
+        .max_by(|a, b| a.power_db.partial_cmp(&b.power_db).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|p| p.freq_hz)
+}
+
+/// Occupied bandwidth: the smallest symmetric-percentile bandwidth containing
+/// `fraction` (e.g. 0.99) of the total power. Returns 0 for an empty PSD.
+pub fn occupied_bandwidth(psd: &[SpectrumPoint], fraction: f64) -> f64 {
+    if psd.is_empty() {
+        return 0.0;
+    }
+    let powers: Vec<f64> = psd.iter().map(|p| crate::units::db_to_ratio(p.power_db)).collect();
+    let total: f64 = powers.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let target = total * fraction;
+    // Grow a window outward from the strongest bin until the target power is
+    // enclosed.
+    let peak_idx = powers
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let mut lo = peak_idx;
+    let mut hi = peak_idx;
+    let mut acc = powers[peak_idx];
+    while acc < target && (lo > 0 || hi + 1 < powers.len()) {
+        let grow_lo = if lo > 0 { powers[lo - 1] } else { f64::MIN };
+        let grow_hi = if hi + 1 < powers.len() { powers[hi + 1] } else { f64::MIN };
+        if grow_lo >= grow_hi && lo > 0 {
+            lo -= 1;
+            acc += powers[lo];
+        } else if hi + 1 < powers.len() {
+            hi += 1;
+            acc += powers[hi];
+        } else if lo > 0 {
+            lo -= 1;
+            acc += powers[lo];
+        }
+    }
+    psd[hi].freq_hz - psd[lo].freq_hz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iq::{add, scale, tone};
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let cfg = WelchConfig::default();
+        assert!(welch_psd(&[], 1e6, &cfg).is_err());
+        let bad = WelchConfig { nfft: 1000, ..cfg };
+        assert!(welch_psd(&[Cplx::ONE; 2048], 1e6, &bad).is_err());
+        let bad = WelchConfig { overlap: 1.5, ..cfg };
+        assert!(welch_psd(&[Cplx::ONE; 2048], 1e6, &bad).is_err());
+    }
+
+    #[test]
+    fn tone_peak_is_at_tone_frequency() {
+        let fs = 8e6;
+        let f0 = 1.5e6;
+        let sig = tone(f0, fs, 32768, 0.0);
+        let cfg = WelchConfig { nfft: 4096, overlap: 0.5, window: Window::Blackman };
+        let psd = welch_psd(&sig, fs, &cfg).unwrap();
+        let peak = peak_frequency(&psd).unwrap();
+        assert!((peak - f0).abs() < fs / 4096.0 * 2.0, "peak at {peak}");
+    }
+
+    #[test]
+    fn negative_frequency_tone_is_resolved() {
+        let fs = 8e6;
+        let f0 = -2.25e6;
+        let sig = tone(f0, fs, 16384, 0.0);
+        let psd = welch_psd(&sig, fs, &WelchConfig::default()).unwrap();
+        let peak = peak_frequency(&psd).unwrap();
+        assert!((peak - f0).abs() < 2.0 * fs / 4096.0);
+    }
+
+    #[test]
+    fn two_tone_power_ratio_is_preserved() {
+        // A -20 dB second tone must show up ~20 dB below the main tone.
+        let fs = 16e6;
+        let strong = tone(2e6, fs, 65536, 0.0);
+        let weak = scale(&tone(-4e6, fs, 65536, 0.0), 0.1);
+        let sig = add(&strong, &weak);
+        let psd = welch_psd(&sig, fs, &WelchConfig::default()).unwrap();
+        let p_strong = band_power_db(&psd, 1.5e6, 2.5e6);
+        let p_weak = band_power_db(&psd, -4.5e6, -3.5e6);
+        let diff = p_strong - p_weak;
+        assert!((diff - 20.0).abs() < 1.0, "power difference {diff} dB");
+    }
+
+    #[test]
+    fn band_power_sums_to_total() {
+        let fs = 4e6;
+        let sig = tone(0.5e6, fs, 8192, 0.0);
+        let psd = welch_psd(&sig, fs, &WelchConfig::default()).unwrap();
+        let total = band_power(&psd, -fs / 2.0, fs / 2.0);
+        let inband = band_power(&psd, 0.4e6, 0.6e6);
+        assert!(inband / total > 0.95, "tone energy should be concentrated");
+    }
+
+    #[test]
+    fn occupied_bandwidth_of_tone_is_narrow() {
+        let fs = 8e6;
+        let sig = tone(1e6, fs, 32768, 0.0);
+        let psd = welch_psd(&sig, fs, &WelchConfig::default()).unwrap();
+        let bw = occupied_bandwidth(&psd, 0.99);
+        assert!(bw < 50e3, "tone occupied bandwidth {bw} Hz");
+        assert_eq!(occupied_bandwidth(&[], 0.99), 0.0);
+    }
+
+    #[test]
+    fn short_input_is_zero_padded() {
+        let fs = 1e6;
+        let sig = tone(100e3, fs, 512, 0.0);
+        let cfg = WelchConfig { nfft: 4096, overlap: 0.5, window: Window::Hann };
+        let psd = welch_psd(&sig, fs, &cfg).unwrap();
+        let peak = peak_frequency(&psd).unwrap();
+        assert!((peak - 100e3).abs() < 10e3);
+    }
+}

@@ -1,0 +1,148 @@
+//! Unit conversions for link-budget arithmetic.
+//!
+//! The evaluation figures mix dBm transmit powers, dB path losses, distances
+//! in feet and inches, and linear signal amplitudes. These helpers keep the
+//! conversions explicit so the channel and simulation crates never silently
+//! mix linear and logarithmic quantities.
+
+/// Converts a power ratio to decibels. Returns negative infinity for a
+/// non-positive ratio, matching the physical meaning of "no power".
+pub fn ratio_to_db(ratio: f64) -> f64 {
+    if ratio <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        10.0 * ratio.log10()
+    }
+}
+
+/// Converts decibels to a power ratio.
+pub fn db_to_ratio(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a power in watts to dBm.
+pub fn watts_to_dbm(watts: f64) -> f64 {
+    ratio_to_db(watts * 1e3)
+}
+
+/// Converts dBm to watts.
+pub fn dbm_to_watts(dbm: f64) -> f64 {
+    db_to_ratio(dbm) * 1e-3
+}
+
+/// Converts milliwatts to dBm.
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    ratio_to_db(mw)
+}
+
+/// Converts dBm to milliwatts.
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    db_to_ratio(dbm)
+}
+
+/// Converts an amplitude (voltage-like) ratio to decibels (20·log10).
+pub fn amplitude_to_db(ratio: f64) -> f64 {
+    if ratio <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        20.0 * ratio.log10()
+    }
+}
+
+/// Converts decibels to an amplitude ratio.
+pub fn db_to_amplitude(db: f64) -> f64 {
+    10f64.powf(db / 20.0)
+}
+
+/// Feet to metres (the paper reports ranges in feet and inches).
+pub fn feet_to_meters(feet: f64) -> f64 {
+    feet * 0.3048
+}
+
+/// Metres to feet.
+pub fn meters_to_feet(m: f64) -> f64 {
+    m / 0.3048
+}
+
+/// Inches to metres.
+pub fn inches_to_meters(inches: f64) -> f64 {
+    inches * 0.0254
+}
+
+/// Metres to inches.
+pub fn meters_to_inches(m: f64) -> f64 {
+    m / 0.0254
+}
+
+/// Speed of light in vacuum, m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Boltzmann constant, J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Wavelength (metres) of a carrier at `freq_hz`.
+pub fn wavelength(freq_hz: f64) -> f64 {
+    SPEED_OF_LIGHT / freq_hz
+}
+
+/// Thermal noise power in dBm for a bandwidth in Hz at temperature `temp_k`.
+///
+/// `kTB`: at 290 K this is the familiar −174 dBm/Hz noise density.
+pub fn thermal_noise_dbm(bandwidth_hz: f64, temp_k: f64) -> f64 {
+    watts_to_dbm(BOLTZMANN * temp_k * bandwidth_hz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_round_trips() {
+        for &db in &[-30.0, -3.0, 0.0, 3.0, 10.0, 20.0] {
+            assert!((ratio_to_db(db_to_ratio(db)) - db).abs() < 1e-9);
+            assert!((amplitude_to_db(db_to_amplitude(db)) - db).abs() < 1e-9);
+        }
+        assert_eq!(ratio_to_db(0.0), f64::NEG_INFINITY);
+        assert_eq!(amplitude_to_db(-1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn dbm_watts_known_points() {
+        assert!((watts_to_dbm(1.0) - 30.0).abs() < 1e-9);
+        assert!((watts_to_dbm(1e-3) - 0.0).abs() < 1e-9);
+        assert!((dbm_to_watts(0.0) - 1e-3).abs() < 1e-12);
+        assert!((dbm_to_watts(20.0) - 0.1).abs() < 1e-9);
+        assert!((mw_to_dbm(100.0) - 20.0).abs() < 1e-9);
+        assert!((dbm_to_mw(10.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_db_is_a_factor_of_two() {
+        assert!((db_to_ratio(3.0103) - 2.0).abs() < 1e-3);
+        assert!((db_to_amplitude(6.0206) - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn distance_conversions() {
+        assert!((feet_to_meters(1.0) - 0.3048).abs() < 1e-12);
+        assert!((meters_to_feet(0.3048) - 1.0).abs() < 1e-12);
+        assert!((inches_to_meters(12.0) - feet_to_meters(1.0)).abs() < 1e-12);
+        assert!((meters_to_inches(0.0254) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wavelength_at_2_4_ghz_is_12_5_cm() {
+        let lambda = wavelength(2.4e9);
+        assert!((lambda - 0.1249).abs() < 1e-3);
+    }
+
+    #[test]
+    fn thermal_noise_floor() {
+        // kTB at 290 K over 1 Hz is -173.98 dBm/Hz.
+        let n = thermal_noise_dbm(1.0, 290.0);
+        assert!((n + 174.0).abs() < 0.2, "noise density {n} dBm/Hz");
+        // Over a 22 MHz Wi-Fi channel: about -100.5 dBm.
+        let n_wifi = thermal_noise_dbm(22e6, 290.0);
+        assert!((n_wifi + 100.5).abs() < 0.5, "Wi-Fi noise floor {n_wifi} dBm");
+    }
+}

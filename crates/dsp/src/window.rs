@@ -1,0 +1,106 @@
+//! Window functions for FIR design and spectral estimation.
+
+/// Supported window shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Window {
+    /// Rectangular (no weighting).
+    Rectangular,
+    /// Hann (raised cosine) — good general-purpose spectral window.
+    Hann,
+    /// Hamming — slightly better first-sidelobe suppression than Hann.
+    Hamming,
+    /// Blackman — wide main lobe, very low sidelobes; used for the paper-style
+    /// spectra where the mirror-image suppression of single-sideband
+    /// backscatter (≳ 20 dB) must be measurable.
+    Blackman,
+}
+
+impl Window {
+    /// Evaluates the window at sample `n` of `len` (0-based, symmetric form).
+    pub fn coeff(self, n: usize, len: usize) -> f64 {
+        if len <= 1 {
+            return 1.0;
+        }
+        let x = n as f64 / (len - 1) as f64;
+        let tau = 2.0 * std::f64::consts::PI;
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Hann => 0.5 - 0.5 * (tau * x).cos(),
+            Window::Hamming => 0.54 - 0.46 * (tau * x).cos(),
+            Window::Blackman => 0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos(),
+        }
+    }
+
+    /// Generates the full window as a vector of `len` coefficients.
+    pub fn coefficients(self, len: usize) -> Vec<f64> {
+        (0..len).map(|n| self.coeff(n, len)).collect()
+    }
+
+    /// Sum of squared coefficients — the noise-equivalent scaling used when
+    /// normalising a periodogram computed with this window.
+    pub fn power_gain(self, len: usize) -> f64 {
+        self.coefficients(len).iter().map(|c| c * c).sum()
+    }
+
+    /// Coherent (amplitude) gain: mean of the coefficients.
+    pub fn coherent_gain(self, len: usize) -> f64 {
+        self.coefficients(len).iter().sum::<f64>() / len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        let w = Window::Rectangular.coefficients(17);
+        assert!(w.iter().all(|&c| (c - 1.0).abs() < 1e-15));
+        assert!((Window::Rectangular.power_gain(17) - 17.0).abs() < 1e-12);
+        assert!((Window::Rectangular.coherent_gain(17) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hann_is_symmetric_and_zero_at_edges() {
+        let n = 65;
+        let w = Window::Hann.coefficients(n);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[n - 1].abs() < 1e-12);
+        assert!((w[n / 2] - 1.0).abs() < 1e-12);
+        for i in 0..n {
+            assert!((w[i] - w[n - 1 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hamming_edges_are_nonzero() {
+        let w = Window::Hamming.coefficients(33);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+        assert!(w.iter().all(|&c| c > 0.0));
+    }
+
+    #[test]
+    fn blackman_is_nonnegative_and_peaks_in_middle() {
+        let n = 129;
+        let w = Window::Blackman.coefficients(n);
+        assert!(w.iter().all(|&c| c >= -1e-12));
+        let peak = w.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((peak - w[n / 2]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert_eq!(Window::Hann.coefficients(1), vec![1.0]);
+        assert_eq!(Window::Blackman.coefficients(0), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn coherent_gain_ordering() {
+        // Narrower windows concentrate less energy: Blackman < Hamming ~ Hann < Rect.
+        let n = 256;
+        let g_rect = Window::Rectangular.coherent_gain(n);
+        let g_hann = Window::Hann.coherent_gain(n);
+        let g_black = Window::Blackman.coherent_gain(n);
+        assert!(g_rect > g_hann && g_hann > g_black);
+    }
+}

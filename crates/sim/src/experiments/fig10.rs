@@ -1,0 +1,156 @@
+//! Figure 10: Wi-Fi RSSI versus distance between the backscatter device and
+//! the Wi-Fi receiver, for Bluetooth transmit powers of 0, 4, 10 and 20 dBm
+//! and for Bluetooth-to-tag distances of 1 and 3 feet.
+
+use crate::uplink::UplinkScenario;
+use crate::SimError;
+use interscatter_ble::device::FIG10_TX_POWERS_DBM;
+
+/// One point of the Fig. 10 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RssiPoint {
+    /// Bluetooth transmit power, dBm.
+    pub tx_power_dbm: f64,
+    /// Bluetooth-to-tag distance, feet.
+    pub source_to_tag_ft: f64,
+    /// Tag-to-receiver distance, feet.
+    pub tag_to_rx_ft: f64,
+    /// Median Wi-Fi RSSI reported by the receiver, dBm.
+    pub rssi_dbm: f64,
+    /// Whether the RSSI is above the Wi-Fi card's −92 dBm DSSS sensitivity,
+    /// i.e. whether packets are reported at all at this distance.
+    pub detectable: bool,
+}
+
+/// Parameters of the sweep.
+#[derive(Debug, Clone)]
+pub struct Fig10Params {
+    /// Receiver distances to sweep, feet.
+    pub rx_distances_ft: Vec<f64>,
+    /// Bluetooth-to-tag distances, feet (1 and 3 in the paper).
+    pub source_to_tag_ft: Vec<f64>,
+    /// Transmit powers, dBm.
+    pub tx_powers_dbm: Vec<f64>,
+}
+
+impl Default for Fig10Params {
+    fn default() -> Self {
+        Fig10Params {
+            rx_distances_ft: (1..=18).map(|i| i as f64 * 5.0).collect(),
+            source_to_tag_ft: vec![1.0, 3.0],
+            tx_powers_dbm: FIG10_TX_POWERS_DBM.to_vec(),
+        }
+    }
+}
+
+/// Wi-Fi DSSS receive sensitivity used for the "detectable" flag, dBm.
+pub const WIFI_SENSITIVITY_DBM: f64 = -92.0;
+
+/// Runs the Fig. 10 sweep.
+pub fn run(params: &Fig10Params) -> Result<Vec<RssiPoint>, SimError> {
+    let mut rows = Vec::new();
+    for &d_tag in &params.source_to_tag_ft {
+        for &power in &params.tx_powers_dbm {
+            for &d_rx in &params.rx_distances_ft {
+                let scenario = UplinkScenario::fig10_bench(power, d_tag, d_rx);
+                scenario.validate()?;
+                let rssi = scenario.rssi_dbm();
+                rows.push(RssiPoint {
+                    tx_power_dbm: power,
+                    source_to_tag_ft: d_tag,
+                    tag_to_rx_ft: d_rx,
+                    rssi_dbm: rssi,
+                    detectable: rssi >= WIFI_SENSITIVITY_DBM,
+                });
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Maximum detectable range (feet) for a given power / tag distance in a set
+/// of sweep results.
+pub fn max_range_ft(rows: &[RssiPoint], tx_power_dbm: f64, source_to_tag_ft: f64) -> f64 {
+    rows.iter()
+        .filter(|r| {
+            r.tx_power_dbm == tx_power_dbm && r.source_to_tag_ft == source_to_tag_ft && r.detectable
+        })
+        .map(|r| r.tag_to_rx_ft)
+        .fold(0.0, f64::max)
+}
+
+/// Plain-text report (one table per tag distance).
+pub fn report(rows: &[RssiPoint]) -> String {
+    let mut out = String::from("Fig. 10 — Wi-Fi RSSI vs distance\n");
+    let mut tag_distances: Vec<f64> = rows.iter().map(|r| r.source_to_tag_ft).collect();
+    tag_distances.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    tag_distances.dedup();
+    for d_tag in tag_distances {
+        out.push_str(&format!("\nBluetooth-to-tag distance: {d_tag} ft\n"));
+        out.push_str("rx distance (ft)  0 dBm    4 dBm    10 dBm   20 dBm\n");
+        let mut rx_distances: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.source_to_tag_ft == d_tag)
+            .map(|r| r.tag_to_rx_ft)
+            .collect();
+        rx_distances.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        rx_distances.dedup();
+        for d_rx in rx_distances {
+            let mut line = format!("{d_rx:>16}");
+            for power in FIG10_TX_POWERS_DBM {
+                let point = rows.iter().find(|r| {
+                    r.source_to_tag_ft == d_tag && r.tag_to_rx_ft == d_rx && r.tx_power_dbm == power
+                });
+                match point {
+                    Some(p) if p.detectable => line.push_str(&format!("  {:>7}", super::f1(p.rssi_dbm))),
+                    _ => line.push_str("        -"),
+                }
+            }
+            line.push('\n');
+            out.push_str(&line);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_reproduces_fig10_shape() {
+        let rows = run(&Fig10Params::default()).unwrap();
+        // 2 tag distances × 4 powers × 18 rx distances.
+        assert_eq!(rows.len(), 2 * 4 * 18);
+
+        // Higher power ⇒ longer detectable range; 20 dBm reaches ~90 ft.
+        let range_0 = max_range_ft(&rows, 0.0, 1.0);
+        let range_20 = max_range_ft(&rows, 20.0, 1.0);
+        assert!(range_20 > range_0, "range at 20 dBm {range_20} vs 0 dBm {range_0}");
+        assert!(range_20 >= 85.0, "20 dBm range {range_20} ft");
+
+        // Larger Bluetooth-to-tag distance ⇒ lower RSSI at the same point.
+        let near_tag = rows
+            .iter()
+            .find(|r| r.source_to_tag_ft == 1.0 && r.tx_power_dbm == 10.0 && r.tag_to_rx_ft == 30.0)
+            .unwrap();
+        let far_tag = rows
+            .iter()
+            .find(|r| r.source_to_tag_ft == 3.0 && r.tx_power_dbm == 10.0 && r.tag_to_rx_ft == 30.0)
+            .unwrap();
+        assert!(near_tag.rssi_dbm > far_tag.rssi_dbm + 5.0);
+
+        // RSSI decreases monotonically with receiver distance.
+        let series: Vec<&RssiPoint> = rows
+            .iter()
+            .filter(|r| r.source_to_tag_ft == 1.0 && r.tx_power_dbm == 4.0)
+            .collect();
+        for w in series.windows(2) {
+            assert!(w[1].rssi_dbm <= w[0].rssi_dbm);
+        }
+
+        let text = report(&rows);
+        assert!(text.contains("Bluetooth-to-tag distance: 1 ft"));
+        assert!(text.contains("Bluetooth-to-tag distance: 3 ft"));
+    }
+}

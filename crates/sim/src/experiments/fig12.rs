@@ -1,0 +1,128 @@
+//! Figure 12: effect of backscatter on a concurrent Wi-Fi flow.
+//!
+//! An iperf TCP flow runs between an AP and a phone on Wi-Fi channel 6 while
+//! the backscatter device generates 2 Mbps packets at 50, 650 and 1000
+//! packets/s. Three configurations are compared: no backscatter (baseline),
+//! the single-sideband interscatter design, and the double-sideband
+//! baseline whose mirror copy lands in channel 6.
+
+use crate::mac::{simulate_coexistence, CoexistenceConfig, InterferenceMode};
+use crate::SimError;
+use rand::SeedableRng;
+
+/// One bar of the Fig. 12 chart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputPoint {
+    /// Backscatter packet rate, packets per second.
+    pub backscatter_rate_pps: f64,
+    /// Interference configuration.
+    pub mode: InterferenceMode,
+    /// Achieved iperf throughput, Mbps.
+    pub throughput_mbps: f64,
+    /// Fraction of Wi-Fi frames that collided.
+    pub collision_fraction: f64,
+}
+
+/// Parameters of the experiment.
+#[derive(Debug, Clone)]
+pub struct Fig12Params {
+    /// Backscatter rates to evaluate (50/650/1000 in the paper).
+    pub rates_pps: Vec<f64>,
+    /// Simulated flow duration per point, seconds.
+    pub duration_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig12Params {
+    fn default() -> Self {
+        Fig12Params {
+            rates_pps: vec![50.0, 650.0, 1000.0],
+            duration_s: 2.0,
+            seed: 0x12,
+        }
+    }
+}
+
+/// Runs the experiment. The baseline (no backscatter) is included once with
+/// `backscatter_rate_pps = 0`.
+pub fn run(params: &Fig12Params) -> Result<Vec<ThroughputPoint>, SimError> {
+    let config = CoexistenceConfig::default();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
+    let mut rows = Vec::new();
+    let baseline = simulate_coexistence(&config, InterferenceMode::None, 0.0, params.duration_s, &mut rng);
+    rows.push(ThroughputPoint {
+        backscatter_rate_pps: 0.0,
+        mode: InterferenceMode::None,
+        throughput_mbps: baseline.throughput_mbps,
+        collision_fraction: baseline.collision_fraction,
+    });
+    for &rate in &params.rates_pps {
+        for mode in [InterferenceMode::SingleSideband, InterferenceMode::DoubleSideband] {
+            let r = simulate_coexistence(&config, mode, rate, params.duration_s, &mut rng);
+            rows.push(ThroughputPoint {
+                backscatter_rate_pps: rate,
+                mode,
+                throughput_mbps: r.throughput_mbps,
+                collision_fraction: r.collision_fraction,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Plain-text report.
+pub fn report(rows: &[ThroughputPoint]) -> String {
+    let mut out = String::from("Fig. 12 — iperf throughput vs backscatter rate\n");
+    out.push_str("rate(pkts/s)  configuration      throughput(Mbps)  collisions\n");
+    for r in rows {
+        let mode = match r.mode {
+            InterferenceMode::None => "baseline",
+            InterferenceMode::SingleSideband => "single-sideband",
+            InterferenceMode::DoubleSideband => "double-sideband",
+        };
+        out.push_str(&format!(
+            "{:>12}  {:<18} {:>16} {:>11}\n",
+            r.backscatter_rate_pps,
+            mode,
+            super::f1(r.throughput_mbps),
+            super::f3(r.collision_fraction)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_shape() {
+        let params = Fig12Params {
+            duration_s: 1.0,
+            ..Default::default()
+        };
+        let rows = run(&params).unwrap();
+        assert_eq!(rows.len(), 1 + 3 * 2);
+        let baseline = rows[0].throughput_mbps;
+        assert!(baseline > 15.0);
+
+        let get = |rate: f64, mode: InterferenceMode| {
+            rows.iter()
+                .find(|r| r.backscatter_rate_pps == rate && r.mode == mode)
+                .unwrap()
+                .throughput_mbps
+        };
+        // Single-sideband never hurts the flow.
+        for rate in [50.0, 650.0, 1000.0] {
+            assert!((get(rate, InterferenceMode::SingleSideband) - baseline).abs() < 1.0);
+        }
+        // Double-sideband at 50 pps is negligible, at 650/1000 pps it is not.
+        assert!(get(50.0, InterferenceMode::DoubleSideband) > 0.85 * baseline);
+        assert!(get(650.0, InterferenceMode::DoubleSideband) < 0.8 * baseline);
+        assert!(get(1000.0, InterferenceMode::DoubleSideband) <= get(650.0, InterferenceMode::DoubleSideband) + 1.0);
+
+        let text = report(&rows);
+        assert!(text.contains("baseline") && text.contains("double-sideband"));
+    }
+}

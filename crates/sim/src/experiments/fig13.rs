@@ -1,0 +1,109 @@
+//! Figure 13: bit error rate of the OFDM-AM downlink versus the distance
+//! between the 802.11g transmitter and the tag's peak-detector receiver.
+//!
+//! The paper reports BER below 0.01 up to roughly 18 feet with a −32 dBm
+//! detector; beyond the sensitivity range the BER collapses rapidly. The
+//! reproduction sweeps the transmitter-to-tag distance and runs crafted AM
+//! frames through the envelope detector at each point.
+
+use crate::downlink::DownlinkScenario;
+use crate::SimError;
+use interscatter_dsp::units::feet_to_meters;
+use rand::SeedableRng;
+
+/// One point of the Fig. 13 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DownlinkBerPoint {
+    /// Transmitter-to-detector distance, feet.
+    pub distance_ft: f64,
+    /// Received power at the detector, dBm.
+    pub received_dbm: f64,
+    /// Measured bit error rate in [0, 1].
+    pub ber: f64,
+}
+
+/// Parameters of the sweep.
+#[derive(Debug, Clone)]
+pub struct Fig13Params {
+    /// Distances to sweep, feet.
+    pub distances_ft: Vec<f64>,
+    /// Wi-Fi transmit power, dBm.
+    pub wifi_tx_power_dbm: f64,
+    /// AM frames per distance.
+    pub frames: usize,
+    /// Downlink bits per frame.
+    pub bits_per_frame: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig13Params {
+    fn default() -> Self {
+        Fig13Params {
+            distances_ft: vec![2.0, 5.0, 8.0, 11.0, 14.0, 17.0, 20.0, 24.0, 28.0, 34.0],
+            wifi_tx_power_dbm: 20.0,
+            frames: 3,
+            bits_per_frame: 32,
+            seed: 0x13,
+        }
+    }
+}
+
+/// Runs the sweep.
+pub fn run(params: &Fig13Params) -> Result<Vec<DownlinkBerPoint>, SimError> {
+    let scenario = DownlinkScenario::fig13_bench(params.wifi_tx_power_dbm);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
+    let mut rows = Vec::new();
+    for &d_ft in &params.distances_ft {
+        let d_m = feet_to_meters(d_ft);
+        let counter = scenario.bit_error_rate(d_m, params.frames, params.bits_per_frame, &mut rng)?;
+        rows.push(DownlinkBerPoint {
+            distance_ft: d_ft,
+            received_dbm: scenario.received_power_dbm(d_m),
+            ber: counter.ber(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Plain-text report.
+pub fn report(rows: &[DownlinkBerPoint]) -> String {
+    let mut out = String::from("Fig. 13 — downlink BER vs distance (802.11g AM → peak detector)\n");
+    out.push_str("distance(ft)  rx power(dBm)  BER\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:>12} {:>14} {:>7}\n",
+            r.distance_ft,
+            super::f1(r.received_dbm),
+            super::f3(r.ber)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ber_is_low_in_range_and_high_beyond() {
+        let params = Fig13Params {
+            distances_ft: vec![5.0, 15.0, 60.0],
+            frames: 2,
+            bits_per_frame: 24,
+            ..Default::default()
+        };
+        let rows = run(&params).unwrap();
+        assert_eq!(rows.len(), 3);
+        // Within the paper's working range: (near-)error-free.
+        assert!(rows[0].ber < 0.05, "5 ft BER {}", rows[0].ber);
+        assert!(rows[1].ber < 0.1, "15 ft BER {}", rows[1].ber);
+        // Far beyond the sensitivity range: the link collapses.
+        assert!(rows[2].ber > 0.3, "60 ft BER {}", rows[2].ber);
+        // Received power decreases with distance.
+        assert!(rows[0].received_dbm > rows[1].received_dbm);
+        assert!(rows[1].received_dbm > rows[2].received_dbm);
+        let text = report(&rows);
+        assert!(text.contains("BER"));
+    }
+}

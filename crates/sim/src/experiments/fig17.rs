@@ -1,0 +1,108 @@
+//! Figure 17: bit error rate of card-to-card communication.
+//!
+//! Two credit-card form-factor tags communicate by backscattering the single
+//! tone produced by a 10 dBm Bluetooth device (phone-class). The transmit
+//! card sits 3 inches from the Bluetooth device; the receiving card's
+//! distance is swept in inches and the BER of an 18-bit payload at 100 kbps
+//! is measured. The paper reports working links up to about 30 inches.
+
+use crate::applications::CardToCardScenario;
+use crate::measurements::BitErrorCounter;
+use crate::SimError;
+use rand::{Rng, SeedableRng};
+
+/// One point of the Fig. 17 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CardBerPoint {
+    /// Card-to-card distance, inches.
+    pub distance_in: f64,
+    /// Received tone power at the receiving card, dBm.
+    pub received_dbm: f64,
+    /// Measured bit error rate in [0, 1].
+    pub ber: f64,
+}
+
+/// Parameters of the sweep.
+#[derive(Debug, Clone)]
+pub struct Fig17Params {
+    /// Card-to-card distances, inches.
+    pub distances_in: Vec<f64>,
+    /// Number of 18-bit payloads per distance.
+    pub payloads_per_distance: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig17Params {
+    fn default() -> Self {
+        Fig17Params {
+            distances_in: vec![5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 45.0, 60.0],
+            payloads_per_distance: 10,
+            seed: 0x17,
+        }
+    }
+}
+
+/// Runs the sweep.
+pub fn run(params: &Fig17Params) -> Result<Vec<CardBerPoint>, SimError> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
+    let mut rows = Vec::new();
+    for &d in &params.distances_in {
+        let scenario = CardToCardScenario::fig17(d);
+        let mut counter = BitErrorCounter::default();
+        for _ in 0..params.payloads_per_distance {
+            let bits: Vec<u8> = (0..18).map(|_| rng.gen_range(0..=1u8)).collect();
+            let errors = scenario.simulate_bits(&bits, &mut rng)?;
+            counter.record(bits.len(), errors);
+        }
+        rows.push(CardBerPoint {
+            distance_in: d,
+            received_dbm: scenario.received_power_dbm(),
+            ber: counter.ber(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Plain-text report.
+pub fn report(rows: &[CardBerPoint]) -> String {
+    let mut out = String::from("Fig. 17 — card-to-card BER vs distance (10 dBm Bluetooth)\n");
+    out.push_str("distance(in)  rx power(dBm)  BER\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:>12} {:>14} {:>7}\n",
+            r.distance_in,
+            super::f1(r.received_dbm),
+            super::f3(r.ber)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn card_ber_shape() {
+        let params = Fig17Params {
+            distances_in: vec![5.0, 20.0, 30.0, 90.0],
+            payloads_per_distance: 4,
+            ..Default::default()
+        };
+        let rows = run(&params).unwrap();
+        assert_eq!(rows.len(), 4);
+        // Within the paper's range (up to 30 inches): low BER.
+        assert!(rows[0].ber < 0.05, "5 in BER {}", rows[0].ber);
+        assert!(rows[1].ber < 0.1, "20 in BER {}", rows[1].ber);
+        assert!(rows[2].ber < 0.2, "30 in BER {}", rows[2].ber);
+        // Far beyond it: the link fails.
+        assert!(rows[3].ber > 0.3, "90 in BER {}", rows[3].ber);
+        // Received power decreases with distance.
+        for w in rows.windows(2) {
+            assert!(w[1].received_dbm < w[0].received_dbm);
+        }
+        let text = report(&rows);
+        assert!(text.contains("card-to-card"));
+    }
+}

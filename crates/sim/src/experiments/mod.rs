@@ -1,0 +1,50 @@
+//! Experiment runners — one module per table/figure of the paper.
+//!
+//! Each module exposes a `run*` function that returns structured rows and a
+//! `report` helper producing the plain-text table the bench harness and the
+//! `run_experiments` example print. Runtime scales with the `trials`/length
+//! parameters so the benches can use reduced settings while the example can
+//! run the full versions; the *shape* of each result (who wins, slopes,
+//! crossovers) is stable across those settings.
+//!
+//! | module | paper result |
+//! |---|---|
+//! | [`fig06`]  | Fig. 6 — single- vs double-sideband backscatter spectrum |
+//! | [`fig09`]  | Fig. 9 — BLE single tone vs random advertisement, 3 devices |
+//! | [`fig10`]  | Fig. 10 — Wi-Fi RSSI vs distance at 0/4/10/20 dBm |
+//! | [`fig11`]  | Fig. 11 — CDF of Wi-Fi packet error rate at 2 and 11 Mbps |
+//! | [`fig12`]  | Fig. 12 — iperf throughput vs backscatter rate |
+//! | [`fig13`]  | Fig. 13 — downlink BER vs distance |
+//! | [`fig14`]  | Fig. 14 — CDF of ZigBee RSSI at five locations |
+//! | [`fig15`]  | Fig. 15 — contact-lens RSSI vs distance |
+//! | [`fig16`]  | Fig. 16 — neural-implant RSSI vs distance |
+//! | [`fig17`]  | Fig. 17 — card-to-card BER vs distance |
+//! | [`power`]  | §3 — IC power budget table |
+//! | [`packet_fit`] | §2.3.3 — Wi-Fi payload bytes per BLE advertisement |
+//! | [`scrambler_seed`] | §4.4 — scrambler-seed predictability |
+//! | [`ablations`] | design-choice ablations (square wave, guard interval, shift, downlink encoding) |
+
+pub mod ablations;
+pub mod fig06;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod packet_fit;
+pub mod power;
+pub mod scrambler_seed;
+
+/// Formats a floating-point value with one decimal for report tables.
+pub(crate) fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a floating-point value with three decimals for report tables.
+pub(crate) fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}

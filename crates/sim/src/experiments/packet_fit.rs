@@ -1,0 +1,80 @@
+//! Section 2.3.3 table: how many Wi-Fi payload bytes fit within a single
+//! Bluetooth advertising packet at each 802.11b rate.
+
+use interscatter_ble::timing::MAX_PAYLOAD_DURATION_S;
+use interscatter_wifi::dot11b::rates::{payload_fit_in_ble_window, DsssRate};
+
+/// One row of the packet-fit table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketFitRow {
+    /// 802.11b rate.
+    pub rate: DsssRate,
+    /// Maximum PSDU bytes that fit in the advertising payload window
+    /// (`None` when no useful packet fits, the 1 Mbps case).
+    pub max_psdu_bytes: Option<usize>,
+    /// The value the paper reports for this rate (`None` for 1 Mbps).
+    pub paper_bytes: Option<usize>,
+}
+
+/// Runs the packet-fit computation against the paper's reported values
+/// (38 / 104 / 209 bytes at 2 / 5.5 / 11 Mbps, nothing at 1 Mbps).
+pub fn run() -> Vec<PacketFitRow> {
+    let window = MAX_PAYLOAD_DURATION_S;
+    vec![
+        PacketFitRow {
+            rate: DsssRate::Mbps1,
+            max_psdu_bytes: payload_fit_in_ble_window(DsssRate::Mbps1, window),
+            paper_bytes: None,
+        },
+        PacketFitRow {
+            rate: DsssRate::Mbps2,
+            max_psdu_bytes: payload_fit_in_ble_window(DsssRate::Mbps2, window),
+            paper_bytes: Some(38),
+        },
+        PacketFitRow {
+            rate: DsssRate::Mbps5_5,
+            max_psdu_bytes: payload_fit_in_ble_window(DsssRate::Mbps5_5, window),
+            paper_bytes: Some(104),
+        },
+        PacketFitRow {
+            rate: DsssRate::Mbps11,
+            max_psdu_bytes: payload_fit_in_ble_window(DsssRate::Mbps11, window),
+            paper_bytes: Some(209),
+        },
+    ]
+}
+
+/// Plain-text report.
+pub fn report(rows: &[PacketFitRow]) -> String {
+    let mut out = String::from("§2.3.3 — Wi-Fi payload fitting in one BLE advertising packet\n");
+    out.push_str("rate       computed(bytes)  paper(bytes)\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:>15} {:>13}\n",
+            format!("{:?}", r.rate),
+            r.max_psdu_bytes.map_or("-".to_string(), |b| b.to_string()),
+            r.paper_bytes.map_or("-".to_string(), |b| b.to_string()),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computed_values_match_the_paper() {
+        let rows = run();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].max_psdu_bytes, None);
+        for r in &rows[1..] {
+            let computed = r.max_psdu_bytes.unwrap();
+            let paper = r.paper_bytes.unwrap();
+            let err = (computed as i64 - paper as i64).abs();
+            assert!(err <= 2, "{:?}: computed {computed}, paper {paper}", r.rate);
+        }
+        let text = report(&rows);
+        assert!(text.contains("Mbps11") && text.contains("209"));
+    }
+}

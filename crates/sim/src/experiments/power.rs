@@ -1,0 +1,130 @@
+//! Section 3 power table: the interscatter IC power budget and the
+//! comparison against active radios.
+
+use interscatter_backscatter::power::{paper, IcPowerModel};
+
+/// One row of the power budget table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerRow {
+    /// Block name.
+    pub block: &'static str,
+    /// Power reported by the paper, watts.
+    pub paper_w: f64,
+    /// Power produced by the calibrated model, watts.
+    pub model_w: f64,
+}
+
+/// The operating points reported alongside the table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Description.
+    pub name: &'static str,
+    /// Total active power, watts.
+    pub total_w: f64,
+    /// Energy per transmitted bit, joules.
+    pub energy_per_bit_j: f64,
+}
+
+/// Runs the power-budget reproduction.
+pub fn run() -> (Vec<PowerRow>, Vec<OperatingPoint>) {
+    let model = IcPowerModel::tsmc65nm();
+    let rows = vec![
+        PowerRow {
+            block: "frequency synthesizer",
+            paper_w: paper::FREQUENCY_SYNTHESIZER_W,
+            model_w: model.synthesizer().total_w(),
+        },
+        PowerRow {
+            block: "baseband processor (2 Mbps)",
+            paper_w: paper::BASEBAND_PROCESSOR_W,
+            model_w: model.baseband(2e6).total_w(),
+        },
+        PowerRow {
+            block: "backscatter modulator",
+            paper_w: paper::BACKSCATTER_MODULATOR_W,
+            model_w: model.modulator(11e6).total_w(),
+        },
+        PowerRow {
+            block: "total (2 Mbps Wi-Fi)",
+            paper_w: paper::TOTAL_2MBPS_W,
+            model_w: model.total_active_w(2e6, 11e6),
+        },
+    ];
+    let points = vec![
+        OperatingPoint {
+            name: "2 Mbps 802.11b",
+            total_w: model.total_active_w(2e6, 11e6),
+            energy_per_bit_j: model.energy_per_bit_j(2e6, 11e6),
+        },
+        OperatingPoint {
+            name: "11 Mbps 802.11b",
+            total_w: model.total_active_w(11e6, 11e6),
+            energy_per_bit_j: model.energy_per_bit_j(11e6, 11e6),
+        },
+        OperatingPoint {
+            name: "250 kbps 802.15.4",
+            total_w: model.total_active_w(250e3, 2e6),
+            energy_per_bit_j: model.energy_per_bit_j(250e3, 2e6),
+        },
+        OperatingPoint {
+            name: "duty-cycled (248 µs per 20 ms)",
+            total_w: model.duty_cycled_w(2e6, 11e6, 248e-6, 20e-3),
+            energy_per_bit_j: model.energy_per_bit_j(2e6, 11e6),
+        },
+    ];
+    (rows, points)
+}
+
+/// Plain-text report.
+pub fn report(rows: &[PowerRow], points: &[OperatingPoint]) -> String {
+    let mut out = String::from("§3 — interscatter IC power budget (65 nm)\n");
+    out.push_str("block                           paper(µW)  model(µW)\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<30} {:>10} {:>10}\n",
+            r.block,
+            super::f1(r.paper_w * 1e6),
+            super::f1(r.model_w * 1e6)
+        ));
+    }
+    out.push_str("\noperating point                    power(µW)  energy/bit(pJ)\n");
+    for p in points {
+        out.push_str(&format!(
+            "{:<34} {:>9} {:>15}\n",
+            p.name,
+            super::f1(p.total_w * 1e6),
+            super::f1(p.energy_per_bit_j * 1e12)
+        ));
+    }
+    out.push_str(&format!(
+        "\nactive Wi-Fi TX power for comparison: {} µW (≈{}x interscatter)\n",
+        super::f1(paper::ACTIVE_WIFI_TX_W * 1e6),
+        super::f1(paper::ACTIVE_WIFI_TX_W / paper::TOTAL_2MBPS_W)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_matches_paper_within_tolerance() {
+        let (rows, points) = run();
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            let err = (r.model_w - r.paper_w).abs() / r.paper_w;
+            assert!(err < 0.02, "{}: model {} vs paper {}", r.block, r.model_w, r.paper_w);
+        }
+        // The total is ~28 µW and the energy per bit ~14 pJ.
+        let total = rows.last().unwrap().model_w;
+        assert!((total - 28e-6).abs() < 0.5e-6);
+        let two_mbps = &points[0];
+        assert!((two_mbps.energy_per_bit_j - 14e-12).abs() < 1e-12);
+        // Duty cycling brings the average well below the active power.
+        let duty = points.iter().find(|p| p.name.starts_with("duty")).unwrap();
+        assert!(duty.total_w < total / 5.0);
+        let text = report(&rows, &points);
+        assert!(text.contains("frequency synthesizer") && text.contains("energy/bit"));
+    }
+}

@@ -1,0 +1,227 @@
+//! Measurement bookkeeping shared by the experiment runners.
+//!
+//! The paper reports its results as RSSI-vs-distance curves, packet/bit
+//! error rates, and CDFs over repeated trials; this module provides the
+//! small statistics toolkit those reports need.
+
+/// A packet-error-rate counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PacketErrorCounter {
+    /// Packets transmitted.
+    pub transmitted: usize,
+    /// Packets received with the correct payload.
+    pub received_ok: usize,
+}
+
+impl PacketErrorCounter {
+    /// Records one transmission attempt and whether it was received
+    /// correctly.
+    pub fn record(&mut self, ok: bool) {
+        self.transmitted += 1;
+        if ok {
+            self.received_ok += 1;
+        }
+    }
+
+    /// Packet error rate in [0, 1]; 0 when nothing has been transmitted.
+    pub fn per(&self) -> f64 {
+        if self.transmitted == 0 {
+            0.0
+        } else {
+            1.0 - self.received_ok as f64 / self.transmitted as f64
+        }
+    }
+}
+
+/// A bit-error-rate counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BitErrorCounter {
+    /// Bits transmitted.
+    pub transmitted: usize,
+    /// Bits received in error.
+    pub errors: usize,
+}
+
+impl BitErrorCounter {
+    /// Records a block of `bits` transmitted bits with `errors` errors.
+    pub fn record(&mut self, bits: usize, errors: usize) {
+        self.transmitted += bits;
+        self.errors += errors.min(bits);
+    }
+
+    /// Bit error rate in [0, 1]; 0 when nothing has been transmitted.
+    pub fn ber(&self) -> f64 {
+        if self.transmitted == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.transmitted as f64
+        }
+    }
+}
+
+/// An empirical cumulative distribution function over f64 samples.
+#[derive(Debug, Clone, Default)]
+pub struct Cdf {
+    samples: Vec<f64>,
+}
+
+impl Cdf {
+    /// Creates an empty CDF.
+    pub fn new() -> Self {
+        Cdf { samples: Vec::new() }
+    }
+
+    /// Builds a CDF from a sample collection.
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut cdf = Cdf::new();
+        for s in samples {
+            cdf.push(s);
+        }
+        cdf
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, value: f64) {
+        self.samples.push(value);
+    }
+
+    /// Number of samples collected.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The fraction of samples ≤ `value`.
+    pub fn fraction_at_or_below(&self, value: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|&&s| s <= value).count() as f64 / self.samples.len() as f64
+    }
+
+    /// The `q`-quantile (q in [0, 1]) of the samples; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(sorted[idx])
+    }
+
+    /// The median of the samples.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// The minimum and maximum of the samples.
+    pub fn range(&self) -> Option<(f64, f64)> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let min = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Some((min, max))
+    }
+
+    /// Evaluates the CDF at `n` evenly spaced points between the sample
+    /// minimum and maximum, returning `(value, cumulative fraction)` pairs —
+    /// the series format of the paper's CDF plots (Figs. 11 and 14).
+    pub fn curve(&self, n: usize) -> Vec<(f64, f64)> {
+        let Some((min, max)) = self.range() else {
+            return Vec::new();
+        };
+        if n < 2 || (max - min).abs() < f64::EPSILON {
+            return vec![(min, 1.0)];
+        }
+        (0..n)
+            .map(|i| {
+                let v = min + (max - min) * i as f64 / (n - 1) as f64;
+                (v, self.fraction_at_or_below(v))
+            })
+            .collect()
+    }
+}
+
+/// Mean of a slice; 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_counter() {
+        let mut c = PacketErrorCounter::default();
+        assert_eq!(c.per(), 0.0);
+        for i in 0..10 {
+            c.record(i % 4 != 0);
+        }
+        assert_eq!(c.transmitted, 10);
+        assert_eq!(c.received_ok, 7);
+        assert!((c.per() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ber_counter() {
+        let mut c = BitErrorCounter::default();
+        assert_eq!(c.ber(), 0.0);
+        c.record(1000, 13);
+        c.record(1000, 7);
+        assert!((c.ber() - 0.01).abs() < 1e-12);
+        // Errors are clamped to the block size.
+        c.record(10, 50);
+        assert_eq!(c.errors, 30);
+    }
+
+    #[test]
+    fn cdf_quantiles_and_curve() {
+        let cdf = Cdf::from_samples((1..=100).map(|i| i as f64));
+        assert_eq!(cdf.len(), 100);
+        assert!(!cdf.is_empty());
+        assert!((cdf.median().unwrap() - 50.0).abs() <= 1.0);
+        assert!((cdf.quantile(0.9).unwrap() - 90.0).abs() <= 1.0);
+        assert_eq!(cdf.range(), Some((1.0, 100.0)));
+        assert!((cdf.fraction_at_or_below(25.0) - 0.25).abs() < 0.01);
+        assert_eq!(cdf.fraction_at_or_below(0.0), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(1000.0), 1.0);
+        let curve = cdf.curve(11);
+        assert_eq!(curve.len(), 11);
+        assert_eq!(curve[0].0, 1.0);
+        assert_eq!(curve[10].0, 100.0);
+        assert!((curve[10].1 - 1.0).abs() < 1e-12);
+        // Monotone non-decreasing.
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn cdf_edge_cases() {
+        let empty = Cdf::new();
+        assert!(empty.is_empty());
+        assert!(empty.median().is_none());
+        assert!(empty.range().is_none());
+        assert!(empty.curve(10).is_empty());
+        assert_eq!(empty.fraction_at_or_below(0.0), 0.0);
+        let constant = Cdf::from_samples([3.0, 3.0, 3.0]);
+        assert_eq!(constant.curve(10), vec![(3.0, 1.0)]);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

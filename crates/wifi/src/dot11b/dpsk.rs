@@ -1,0 +1,212 @@
+//! Differential BPSK / QPSK for 802.11b.
+//!
+//! 802.11b conveys information in the *phase change* between consecutive
+//! symbols rather than in absolute phase. This is exactly why the
+//! backscatter tag can ignore the constant π/4 rotation between its four
+//! achievable impedance points {1+j, 1−j, −1+j, −1−j} and the nominal QPSK
+//! points {1, j, −1, −j} (paper §2.3.2): a constant rotation cancels in the
+//! differential decoder.
+
+use interscatter_dsp::Cplx;
+
+/// Differential phase encoder used for both DBPSK (1 bit/symbol) and DQPSK
+/// (2 bits/symbol).
+#[derive(Debug, Clone, Copy)]
+pub struct DifferentialEncoder {
+    phase: f64,
+}
+
+/// Phase increments for DQPSK dibits per IEEE 802.11-2016 (Table 16-2),
+/// dibit order (d0, d1): 00 -> 0, 01 -> π/2, 11 -> π, 10 -> 3π/2.
+fn dqpsk_phase(d0: u8, d1: u8) -> f64 {
+    match (d0 & 1, d1 & 1) {
+        (0, 0) => 0.0,
+        (0, 1) => std::f64::consts::FRAC_PI_2,
+        (1, 1) => std::f64::consts::PI,
+        (1, 0) => 3.0 * std::f64::consts::FRAC_PI_2,
+        _ => unreachable!(),
+    }
+}
+
+/// Phase increment for a DBPSK bit: 0 -> 0, 1 -> π.
+fn dbpsk_phase(bit: u8) -> f64 {
+    if bit & 1 == 1 {
+        std::f64::consts::PI
+    } else {
+        0.0
+    }
+}
+
+impl DifferentialEncoder {
+    /// Creates an encoder with the given reference phase (the phase of the
+    /// last preamble/header symbol).
+    pub fn new(initial_phase: f64) -> Self {
+        DifferentialEncoder { phase: initial_phase }
+    }
+
+    /// Current accumulated phase.
+    pub fn phase(&self) -> f64 {
+        self.phase
+    }
+
+    /// Encodes a DBPSK bit, returning the next symbol.
+    pub fn encode_dbpsk(&mut self, bit: u8) -> Cplx {
+        self.phase += dbpsk_phase(bit);
+        Cplx::expj(self.phase)
+    }
+
+    /// Encodes a DQPSK dibit, returning the next symbol.
+    pub fn encode_dqpsk(&mut self, d0: u8, d1: u8) -> Cplx {
+        self.phase += dqpsk_phase(d0, d1);
+        Cplx::expj(self.phase)
+    }
+
+    /// Encodes a full bit stream as DBPSK symbols.
+    pub fn encode_dbpsk_stream(&mut self, bits: &[u8]) -> Vec<Cplx> {
+        bits.iter().map(|&b| self.encode_dbpsk(b)).collect()
+    }
+
+    /// Encodes a full bit stream as DQPSK symbols; the bit count must be
+    /// even.
+    ///
+    /// # Panics
+    /// Panics on an odd number of bits (framing always produces whole
+    /// octets).
+    pub fn encode_dqpsk_stream(&mut self, bits: &[u8]) -> Vec<Cplx> {
+        assert_eq!(bits.len() % 2, 0, "DQPSK needs an even number of bits");
+        bits.chunks(2).map(|d| self.encode_dqpsk(d[0], d[1])).collect()
+    }
+}
+
+/// Differential decoder: recovers bits from the phase difference between
+/// consecutive symbols.
+#[derive(Debug, Clone, Copy)]
+pub struct DifferentialDecoder {
+    previous: Cplx,
+}
+
+impl DifferentialDecoder {
+    /// Creates a decoder seeded with the reference symbol (the last symbol
+    /// of the preceding field).
+    pub fn new(reference: Cplx) -> Self {
+        DifferentialDecoder { previous: reference }
+    }
+
+    /// Decodes one DBPSK symbol into a bit.
+    pub fn decode_dbpsk(&mut self, symbol: Cplx) -> u8 {
+        let diff = (symbol * self.previous.conj()).arg();
+        self.previous = symbol;
+        u8::from(diff.abs() > std::f64::consts::FRAC_PI_2)
+    }
+
+    /// Decodes one DQPSK symbol into a dibit.
+    pub fn decode_dqpsk(&mut self, symbol: Cplx) -> (u8, u8) {
+        let diff = (symbol * self.previous.conj()).arg();
+        self.previous = symbol;
+        // Quantise the phase difference to the nearest multiple of π/2.
+        let sector = ((diff / std::f64::consts::FRAC_PI_2).round().rem_euclid(4.0)) as u8;
+        match sector {
+            0 => (0, 0),
+            1 => (0, 1),
+            2 => (1, 1),
+            3 => (1, 0),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Decodes a DBPSK symbol stream.
+    pub fn decode_dbpsk_stream(&mut self, symbols: &[Cplx]) -> Vec<u8> {
+        symbols.iter().map(|&s| self.decode_dbpsk(s)).collect()
+    }
+
+    /// Decodes a DQPSK symbol stream.
+    pub fn decode_dqpsk_stream(&mut self, symbols: &[Cplx]) -> Vec<u8> {
+        symbols
+            .iter()
+            .flat_map(|&s| {
+                let (a, b) = self.decode_dqpsk(s);
+                [a, b]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn dbpsk_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let bits: Vec<u8> = (0..200).map(|_| rng.gen_range(0..=1u8)).collect();
+        let mut enc = DifferentialEncoder::new(0.0);
+        let reference = Cplx::expj(0.0);
+        let symbols = enc.encode_dbpsk_stream(&bits);
+        let mut dec = DifferentialDecoder::new(reference);
+        assert_eq!(dec.decode_dbpsk_stream(&symbols), bits);
+    }
+
+    #[test]
+    fn dqpsk_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let bits: Vec<u8> = (0..400).map(|_| rng.gen_range(0..=1u8)).collect();
+        let mut enc = DifferentialEncoder::new(0.3);
+        let reference = Cplx::expj(0.3);
+        let symbols = enc.encode_dqpsk_stream(&bits);
+        let mut dec = DifferentialDecoder::new(reference);
+        assert_eq!(dec.decode_dqpsk_stream(&symbols), bits);
+    }
+
+    #[test]
+    fn constant_rotation_is_transparent() {
+        // The tag's π/4-rotated constellation: rotating every symbol (and the
+        // reference) by a constant must not change the decoded bits. This is
+        // the paper's argument for mapping {1,j,-1,-j} onto {1+j,1-j,-1+j,-1-j}.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let bits: Vec<u8> = (0..300).map(|_| rng.gen_range(0..=1u8)).collect();
+        let mut enc = DifferentialEncoder::new(0.0);
+        let symbols = enc.encode_dqpsk_stream(&bits);
+        let rotation = Cplx::expj(std::f64::consts::FRAC_PI_4);
+        let rotated: Vec<Cplx> = symbols.iter().map(|&s| s * rotation).collect();
+        let mut dec = DifferentialDecoder::new(Cplx::expj(0.0) * rotation);
+        assert_eq!(dec.decode_dqpsk_stream(&rotated), bits);
+    }
+
+    #[test]
+    fn amplitude_scaling_is_transparent() {
+        // Backscattered signals are much weaker than regular Wi-Fi; the
+        // differential decoder only uses phase.
+        let bits = vec![1, 0, 1, 1, 0, 0, 1, 0];
+        let mut enc = DifferentialEncoder::new(1.0);
+        let symbols: Vec<Cplx> = enc.encode_dqpsk_stream(&bits).iter().map(|&s| s * 1e-4).collect();
+        let mut dec = DifferentialDecoder::new(Cplx::expj(1.0) * 1e-4);
+        assert_eq!(dec.decode_dqpsk_stream(&symbols), bits);
+    }
+
+    #[test]
+    fn phase_increments_match_the_standard() {
+        assert_eq!(dqpsk_phase(0, 0), 0.0);
+        assert_eq!(dqpsk_phase(0, 1), std::f64::consts::FRAC_PI_2);
+        assert_eq!(dqpsk_phase(1, 1), std::f64::consts::PI);
+        assert_eq!(dqpsk_phase(1, 0), 3.0 * std::f64::consts::FRAC_PI_2);
+        assert_eq!(dbpsk_phase(0), 0.0);
+        assert_eq!(dbpsk_phase(1), std::f64::consts::PI);
+    }
+
+    #[test]
+    fn encoder_accumulates_phase() {
+        let mut enc = DifferentialEncoder::new(0.0);
+        let _ = enc.encode_dqpsk(1, 1); // +π
+        let _ = enc.encode_dqpsk(1, 1); // +π
+        // Total 2π: back to the start.
+        assert!((Cplx::expj(enc.phase()) - Cplx::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "even number")]
+    fn odd_dqpsk_bits_panic() {
+        let mut enc = DifferentialEncoder::new(0.0);
+        let _ = enc.encode_dqpsk_stream(&[1, 0, 1]);
+    }
+}

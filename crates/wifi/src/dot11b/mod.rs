@@ -1,0 +1,38 @@
+//! The 802.11b DSSS/CCK physical layer.
+//!
+//! This is the waveform the backscatter tag synthesizes (paper §2.3.2): data
+//! bits are scrambled, spread — with the 11-chip Barker sequence at 1 and
+//! 2 Mbps or with 8-chip CCK code words at 5.5 and 11 Mbps — and phase
+//! modulated with DBPSK or DQPSK. Because the modulation is differential,
+//! the tag's four complex impedance states can represent every required
+//! constellation point up to an irrelevant constant π/4 rotation.
+//!
+//! Sub-modules:
+//!
+//! * [`scrambler`] — the self-synchronising 802.11b scrambler.
+//! * [`barker`] — Barker-sequence spreading and despreading.
+//! * [`cck`] — complementary-code-keying code words for 5.5/11 Mbps.
+//! * [`dpsk`] — differential BPSK/QPSK encoding and decoding.
+//! * [`plcp`] — long-preamble PLCP framing (sync, SFD, header, CRC-16).
+//! * [`rates`] — rate/timing arithmetic, including how many payload bytes
+//!   fit inside one Bluetooth advertising packet (§2.3.3).
+//! * [`tx`] / [`rx`] — the complete baseband transmitter and receiver.
+
+pub mod barker;
+pub mod cck;
+pub mod dpsk;
+pub mod plcp;
+pub mod rates;
+pub mod rx;
+pub mod scrambler;
+pub mod tx;
+
+pub use rates::DsssRate;
+pub use rx::{Dot11bReceiver, ReceivedFrame};
+pub use tx::Dot11bTransmitter;
+
+/// 802.11b chip rate: 11 Mchip/s for every rate.
+pub const CHIP_RATE: f64 = 11e6;
+
+/// Occupied bandwidth of an 802.11b channel in Hz.
+pub const CHANNEL_BANDWIDTH_HZ: f64 = 22e6;

@@ -1,0 +1,218 @@
+//! PLCP (Physical Layer Convergence Procedure) framing for 802.11b.
+//!
+//! Every 802.11b PPDU begins with a preamble and a header that are always
+//! sent at 1 Mbps DBPSK (long preamble) so that any receiver can decode the
+//! rate and length of the payload that follows. The backscatter tag must
+//! synthesize this framing for the packet to be "standards-compliant" and
+//! accepted by a commodity Wi-Fi card.
+//!
+//! Long preamble format:
+//!
+//! * SYNC: 128 scrambled `1` bits,
+//! * SFD: `0xF3A0` (transmitted LSB-first),
+//! * PLCP header: SIGNAL (8 bits), SERVICE (8 bits), LENGTH (16 bits,
+//!   microseconds of payload airtime), CRC-16 over the header fields.
+
+use super::rates::DsssRate;
+use crate::WifiError;
+use interscatter_dsp::bits::{bits_to_u32_lsb, bytes_to_bits_lsb, u32_to_bits_lsb};
+use interscatter_dsp::crc::crc16_ccitt;
+
+/// Number of SYNC bits in the long preamble.
+pub const LONG_SYNC_BITS: usize = 128;
+
+/// The long-preamble start-frame delimiter, transmitted LSB first.
+pub const LONG_SFD: u16 = 0xF3A0;
+
+/// Number of bits in the PLCP header (SIGNAL + SERVICE + LENGTH + CRC).
+pub const PLCP_HEADER_BITS: usize = 48;
+
+/// Total number of 1 Mbps bits in the long preamble + header.
+pub const LONG_PREAMBLE_HEADER_BITS: usize = LONG_SYNC_BITS + 16 + PLCP_HEADER_BITS;
+
+/// The decoded contents of a PLCP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlcpHeader {
+    /// PSDU rate.
+    pub rate: DsssRate,
+    /// SERVICE field (bit 2 = locked clocks, bit 7 = length extension for
+    /// 11 Mbps; zero in this workspace).
+    pub service: u8,
+    /// PSDU airtime in microseconds.
+    pub length_us: u16,
+}
+
+impl PlcpHeader {
+    /// Builds the header for a payload of `psdu_bytes` at `rate`.
+    ///
+    /// At 11 Mbps the LENGTH field (microseconds, rounded up) can be
+    /// ambiguous by one octet; per the standard, bit 7 of the SERVICE field
+    /// (the length-extension bit) disambiguates it.
+    pub fn for_payload(rate: DsssRate, psdu_bytes: usize) -> Result<Self, WifiError> {
+        let airtime_us = (psdu_bytes as f64 * 8.0 / rate.bits_per_second() * 1e6).ceil();
+        if airtime_us > f64::from(u16::MAX) {
+            return Err(WifiError::PayloadTooLong {
+                requested: psdu_bytes,
+                max: (f64::from(u16::MAX) * 1e-6 * rate.bits_per_second() / 8.0) as usize,
+            });
+        }
+        let length_us = airtime_us as u16;
+        let mut service = 0u8;
+        if rate == DsssRate::Mbps11 {
+            let implied = (f64::from(length_us) * 11.0 / 8.0 + 1e-9).floor() as usize;
+            if implied > psdu_bytes {
+                service |= 0x80;
+            }
+        }
+        Ok(PlcpHeader {
+            rate,
+            service,
+            length_us,
+        })
+    }
+
+    /// Number of PSDU bytes implied by the header (inverse of
+    /// [`PlcpHeader::for_payload`]).
+    pub fn psdu_bytes(&self) -> usize {
+        // The small epsilon keeps exact-airtime cases (e.g. 15 bytes at
+        // 2 Mbps = 60 µs) from landing a hair below the integer and losing a
+        // byte to the floor; at 11 Mbps the length-extension bit in the
+        // SERVICE field removes the remaining one-octet ambiguity.
+        let implied = (f64::from(self.length_us) * 1e-6 * self.rate.bits_per_second() / 8.0 + 1e-9)
+            .floor() as usize;
+        if self.rate == DsssRate::Mbps11 && (self.service & 0x80) != 0 {
+            implied.saturating_sub(1)
+        } else {
+            implied
+        }
+    }
+
+    /// Serialises the header to its 48 unscrambled bits (LSB-first fields,
+    /// CRC-16 appended).
+    pub fn to_bits(&self) -> Vec<u8> {
+        let mut fields = Vec::with_capacity(4);
+        fields.push(self.rate.plcp_signal_field());
+        fields.push(self.service);
+        fields.extend_from_slice(&self.length_us.to_le_bytes());
+        let crc = crc16_ccitt(&fields);
+        let mut bits = bytes_to_bits_lsb(&fields);
+        bits.extend(u32_to_bits_lsb(u32::from(crc), 16));
+        bits
+    }
+
+    /// Parses and validates 48 header bits.
+    pub fn from_bits(bits: &[u8]) -> Result<Self, WifiError> {
+        if bits.len() < PLCP_HEADER_BITS {
+            return Err(WifiError::TruncatedWaveform {
+                have: bits.len(),
+                need: PLCP_HEADER_BITS,
+            });
+        }
+        let signal = bits_to_u32_lsb(&bits[0..8]) as u8;
+        let service = bits_to_u32_lsb(&bits[8..16]) as u8;
+        let length_us = bits_to_u32_lsb(&bits[16..32]) as u16;
+        let crc = bits_to_u32_lsb(&bits[32..48]) as u16;
+        let mut fields = vec![signal, service];
+        fields.extend_from_slice(&length_us.to_le_bytes());
+        if crc16_ccitt(&fields) != crc {
+            return Err(WifiError::InvalidHeader("PLCP header CRC mismatch"));
+        }
+        let rate = DsssRate::from_plcp_signal_field(signal)?;
+        Ok(PlcpHeader {
+            rate,
+            service,
+            length_us,
+        })
+    }
+}
+
+/// The unscrambled bit content of the long preamble: 128 ones followed by
+/// the SFD (LSB first).
+pub fn long_preamble_bits() -> Vec<u8> {
+    let mut bits = vec![1u8; LONG_SYNC_BITS];
+    bits.extend(u32_to_bits_lsb(u32::from(LONG_SFD), 16));
+    bits
+}
+
+/// Locates the SFD in a descrambled 1 Mbps bit stream, returning the index
+/// of the first bit *after* the SFD (i.e. the start of the PLCP header).
+pub fn find_sfd(bits: &[u8]) -> Result<usize, WifiError> {
+    let sfd = u32_to_bits_lsb(u32::from(LONG_SFD), 16);
+    if bits.len() < sfd.len() {
+        return Err(WifiError::PreambleNotFound);
+    }
+    for start in 0..=bits.len() - sfd.len() {
+        if bits[start..start + sfd.len()] == sfd[..] {
+            return Ok(start + sfd.len());
+        }
+    }
+    Err(WifiError::PreambleNotFound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips_for_all_rates() {
+        for rate in DsssRate::ALL {
+            let h = PlcpHeader::for_payload(rate, 77).unwrap();
+            let bits = h.to_bits();
+            assert_eq!(bits.len(), PLCP_HEADER_BITS);
+            let back = PlcpHeader::from_bits(&bits).unwrap();
+            assert_eq!(back, h);
+            // Recovered byte count matches (within rounding of the µs field).
+            assert!((back.psdu_bytes() as i64 - 77).abs() <= 1, "rate {rate:?}");
+        }
+    }
+
+    #[test]
+    fn header_crc_detects_corruption() {
+        let h = PlcpHeader::for_payload(DsssRate::Mbps2, 31).unwrap();
+        let mut bits = h.to_bits();
+        bits[5] ^= 1;
+        assert!(matches!(
+            PlcpHeader::from_bits(&bits),
+            Err(WifiError::InvalidHeader(_))
+        ));
+    }
+
+    #[test]
+    fn header_length_is_airtime_in_microseconds() {
+        // 31 bytes at 2 Mbps = 124 µs; 77 bytes at 11 Mbps = 56 µs.
+        assert_eq!(PlcpHeader::for_payload(DsssRate::Mbps2, 31).unwrap().length_us, 124);
+        assert_eq!(PlcpHeader::for_payload(DsssRate::Mbps11, 77).unwrap().length_us, 56);
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected() {
+        // 65536 µs at 1 Mbps would overflow the 16-bit length field.
+        assert!(PlcpHeader::for_payload(DsssRate::Mbps1, 10_000).is_err());
+    }
+
+    #[test]
+    fn preamble_bits_and_sfd_detection() {
+        let bits = long_preamble_bits();
+        assert_eq!(bits.len(), LONG_SYNC_BITS + 16);
+        assert!(bits[..128].iter().all(|&b| b == 1));
+        let after = find_sfd(&bits).unwrap();
+        assert_eq!(after, bits.len());
+    }
+
+    #[test]
+    fn sfd_not_found_in_random_ones() {
+        let bits = vec![1u8; 200];
+        assert!(matches!(find_sfd(&bits), Err(WifiError::PreambleNotFound)));
+        assert!(matches!(find_sfd(&bits[..4]), Err(WifiError::PreambleNotFound)));
+    }
+
+    #[test]
+    fn truncated_header_is_rejected() {
+        let h = PlcpHeader::for_payload(DsssRate::Mbps5_5, 10).unwrap();
+        let bits = h.to_bits();
+        assert!(matches!(
+            PlcpHeader::from_bits(&bits[..30]),
+            Err(WifiError::TruncatedWaveform { .. })
+        ));
+    }
+}

@@ -1,0 +1,202 @@
+//! 802.11b rate and timing arithmetic.
+//!
+//! The table in §2.3.3 of the paper follows directly from this arithmetic:
+//! a Bluetooth advertising payload lasts at most 248 µs, so after the
+//! 96 µs short PLCP preamble+header the remaining airtime bounds the Wi-Fi
+//! PSDU to roughly 38 bytes at 2 Mbps, 104 bytes at 5.5 Mbps, and 209 bytes
+//! at 11 Mbps — and a 1 Mbps packet cannot fit at all.
+
+use crate::WifiError;
+
+/// The four 802.11b data rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DsssRate {
+    /// 1 Mbps: Barker spreading, DBPSK.
+    Mbps1,
+    /// 2 Mbps: Barker spreading, DQPSK.
+    Mbps2,
+    /// 5.5 Mbps: CCK, 4 bits per code word.
+    Mbps5_5,
+    /// 11 Mbps: CCK, 8 bits per code word.
+    Mbps11,
+}
+
+impl DsssRate {
+    /// All four rates, slowest first.
+    pub const ALL: [DsssRate; 4] = [
+        DsssRate::Mbps1,
+        DsssRate::Mbps2,
+        DsssRate::Mbps5_5,
+        DsssRate::Mbps11,
+    ];
+
+    /// Data rate in bits per second.
+    pub fn bits_per_second(self) -> f64 {
+        match self {
+            DsssRate::Mbps1 => 1e6,
+            DsssRate::Mbps2 => 2e6,
+            DsssRate::Mbps5_5 => 5.5e6,
+            DsssRate::Mbps11 => 11e6,
+        }
+    }
+
+    /// Data bits carried per modulation symbol (per 11-chip Barker symbol or
+    /// per 8-chip CCK code word).
+    pub fn bits_per_symbol(self) -> usize {
+        match self {
+            DsssRate::Mbps1 => 1,
+            DsssRate::Mbps2 => 2,
+            DsssRate::Mbps5_5 => 4,
+            DsssRate::Mbps11 => 8,
+        }
+    }
+
+    /// Chips per modulation symbol.
+    pub fn chips_per_symbol(self) -> usize {
+        match self {
+            DsssRate::Mbps1 | DsssRate::Mbps2 => 11,
+            DsssRate::Mbps5_5 | DsssRate::Mbps11 => 8,
+        }
+    }
+
+    /// Symbol rate in symbols per second (1 MSps for Barker, 1.375 MSps for
+    /// CCK).
+    pub fn symbols_per_second(self) -> f64 {
+        self.bits_per_second() / self.bits_per_symbol() as f64
+    }
+
+    /// The SIGNAL field value identifying the rate in the PLCP header
+    /// (rate in units of 100 kbps).
+    pub fn plcp_signal_field(self) -> u8 {
+        match self {
+            DsssRate::Mbps1 => 0x0A,
+            DsssRate::Mbps2 => 0x14,
+            DsssRate::Mbps5_5 => 0x37,
+            DsssRate::Mbps11 => 0x6E,
+        }
+    }
+
+    /// Parses a SIGNAL field back into a rate.
+    pub fn from_plcp_signal_field(value: u8) -> Result<Self, WifiError> {
+        match value {
+            0x0A => Ok(DsssRate::Mbps1),
+            0x14 => Ok(DsssRate::Mbps2),
+            0x37 => Ok(DsssRate::Mbps5_5),
+            0x6E => Ok(DsssRate::Mbps11),
+            _ => Err(WifiError::InvalidHeader("unknown SIGNAL rate")),
+        }
+    }
+
+    /// Airtime in seconds for a PSDU of `payload_bytes` at this rate
+    /// (payload only, excluding the PLCP preamble and header).
+    pub fn payload_airtime_s(self, payload_bytes: usize) -> f64 {
+        payload_bytes as f64 * 8.0 / self.bits_per_second()
+    }
+
+    /// The largest PSDU (in bytes) whose airtime fits within `window_s`
+    /// seconds.
+    pub fn max_payload_bytes_in(self, window_s: f64) -> usize {
+        if window_s <= 0.0 {
+            return 0;
+        }
+        ((window_s * self.bits_per_second()) / 8.0).floor() as usize
+    }
+}
+
+/// Duration of the short PLCP preamble + header in seconds (72 bits at
+/// 1 Mbps + 48 bits at 2 Mbps = 96 µs).
+pub const SHORT_PLCP_DURATION_S: f64 = 96e-6;
+
+/// Duration of the long PLCP preamble + header in seconds (144 + 48 bits at
+/// 1 Mbps = 192 µs).
+pub const LONG_PLCP_DURATION_S: f64 = 192e-6;
+
+/// How many Wi-Fi payload bytes fit within a single Bluetooth advertising
+/// payload window of `ble_window_s` seconds, assuming the short PLCP
+/// preamble+header occupies the first 96 µs of the window. This reproduces
+/// the packet-size table in §2.3.3 of the paper. Returns `None` when not even
+/// an empty PSDU fits (the 1 Mbps case).
+pub fn payload_fit_in_ble_window(rate: DsssRate, ble_window_s: f64) -> Option<usize> {
+    let remaining = ble_window_s - SHORT_PLCP_DURATION_S;
+    if remaining <= 0.0 {
+        return None;
+    }
+    let bytes = rate.max_payload_bytes_in(remaining);
+    // A useful PSDU needs at least a minimal MAC header (24 bytes) plus the
+    // 4-byte FCS; anything smaller cannot carry data, which is why the paper
+    // concludes a 1 Mbps packet does not fit in one advertising payload.
+    if bytes <= 28 {
+        None
+    } else {
+        Some(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Maximum BLE advertising payload duration (31 bytes × 8 µs); kept as a
+    /// local constant so this crate does not depend on the BLE crate.
+    const MAX_PAYLOAD_DURATION_S: f64 = 248e-6;
+
+    #[test]
+    fn rate_arithmetic() {
+        assert_eq!(DsssRate::Mbps1.bits_per_symbol(), 1);
+        assert_eq!(DsssRate::Mbps2.bits_per_symbol(), 2);
+        assert_eq!(DsssRate::Mbps5_5.bits_per_symbol(), 4);
+        assert_eq!(DsssRate::Mbps11.bits_per_symbol(), 8);
+        assert_eq!(DsssRate::Mbps2.chips_per_symbol(), 11);
+        assert_eq!(DsssRate::Mbps11.chips_per_symbol(), 8);
+        assert!((DsssRate::Mbps1.symbols_per_second() - 1e6).abs() < 1.0);
+        assert!((DsssRate::Mbps2.symbols_per_second() - 1e6).abs() < 1.0);
+        assert!((DsssRate::Mbps5_5.symbols_per_second() - 1.375e6).abs() < 1.0);
+        assert!((DsssRate::Mbps11.symbols_per_second() - 1.375e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn plcp_signal_fields_round_trip() {
+        for rate in DsssRate::ALL {
+            assert_eq!(DsssRate::from_plcp_signal_field(rate.plcp_signal_field()).unwrap(), rate);
+        }
+        assert!(DsssRate::from_plcp_signal_field(0x55).is_err());
+    }
+
+    #[test]
+    fn paper_packet_fit_table() {
+        // §2.3.3: within one 31-byte (248 µs) BLE advertising payload, the
+        // Wi-Fi payload can be ~38, ~104 and ~209 bytes at 2, 5.5 and
+        // 11 Mbps, and a 1 Mbps packet does not fit.
+        let window = MAX_PAYLOAD_DURATION_S;
+        assert_eq!(payload_fit_in_ble_window(DsssRate::Mbps1, window), None);
+        let b2 = payload_fit_in_ble_window(DsssRate::Mbps2, window).unwrap();
+        let b55 = payload_fit_in_ble_window(DsssRate::Mbps5_5, window).unwrap();
+        let b11 = payload_fit_in_ble_window(DsssRate::Mbps11, window).unwrap();
+        assert!((36..=40).contains(&b2), "2 Mbps fit {b2} bytes");
+        assert!((100..=108).contains(&b55), "5.5 Mbps fit {b55} bytes");
+        assert!((205..=212).contains(&b11), "11 Mbps fit {b11} bytes");
+    }
+
+    #[test]
+    fn airtime_is_inverse_of_fit() {
+        for rate in DsssRate::ALL {
+            let bytes = 50;
+            let t = rate.payload_airtime_s(bytes);
+            assert!(rate.max_payload_bytes_in(t) >= bytes);
+            assert!(rate.max_payload_bytes_in(t) <= bytes + 1);
+        }
+        assert_eq!(DsssRate::Mbps2.max_payload_bytes_in(-1.0), 0);
+    }
+
+    #[test]
+    fn empty_window_fits_nothing() {
+        assert_eq!(payload_fit_in_ble_window(DsssRate::Mbps11, 50e-6), None);
+        assert_eq!(payload_fit_in_ble_window(DsssRate::Mbps11, 0.0), None);
+    }
+
+    #[test]
+    fn plcp_durations() {
+        assert!((SHORT_PLCP_DURATION_S - 96e-6).abs() < 1e-12);
+        assert!((LONG_PLCP_DURATION_S - 192e-6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,131 @@
+//! The 802.11b self-synchronising scrambler.
+//!
+//! 802.11b (HR/DSSS) scrambles the whole PPDU — preamble, header and PSDU —
+//! with a 7-bit self-synchronising scrambler using the polynomial
+//! z^-7 + z^-4 + 1. Unlike the frame-synchronous 802.11a/g scrambler, the
+//! feedback here is taken from the *scrambled* output, so a receiver
+//! descrambles correctly from any starting point after seven bits. The tag
+//! must implement this exactly (it is part of "standards-compliant"
+//! 802.11b), and the receiver model undoes it.
+
+/// Initial scrambler register state for the long preamble (per the standard,
+/// 0b1101100 when the register is written s6..s0).
+pub const LONG_PREAMBLE_SCRAMBLER_INIT: u8 = 0b110_1100;
+
+/// A self-synchronising 802.11b scrambler / descrambler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DsssScrambler {
+    /// Shift register; bit i holds the bit transmitted (i+1) bit-times ago,
+    /// i.e. bit 3 is z^-4 and bit 6 is z^-7.
+    state: u8,
+}
+
+impl DsssScrambler {
+    /// Creates a scrambler with the given 7-bit seed.
+    pub fn new(seed: u8) -> Self {
+        DsssScrambler { state: seed & 0x7F }
+    }
+
+    /// Creates a scrambler with the standard long-preamble seed.
+    pub fn long_preamble() -> Self {
+        Self::new(LONG_PREAMBLE_SCRAMBLER_INIT)
+    }
+
+    /// Current register contents.
+    pub fn state(&self) -> u8 {
+        self.state
+    }
+
+    /// Scrambles one bit: output = input ⊕ s4 ⊕ s7, and the *output* is fed
+    /// back into the register.
+    pub fn scramble_bit(&mut self, bit: u8) -> u8 {
+        let s4 = (self.state >> 3) & 1;
+        let s7 = (self.state >> 6) & 1;
+        let out = (bit & 1) ^ s4 ^ s7;
+        self.state = ((self.state << 1) | out) & 0x7F;
+        out
+    }
+
+    /// Descrambles one bit: output = input ⊕ s4 ⊕ s7, and the *input*
+    /// (received scrambled bit) is fed back, which is what makes the
+    /// scrambler self-synchronising.
+    pub fn descramble_bit(&mut self, bit: u8) -> u8 {
+        let s4 = (self.state >> 3) & 1;
+        let s7 = (self.state >> 6) & 1;
+        let out = (bit & 1) ^ s4 ^ s7;
+        self.state = ((self.state << 1) | (bit & 1)) & 0x7F;
+        out
+    }
+
+    /// Scrambles a bit slice.
+    pub fn scramble(&mut self, bits: &[u8]) -> Vec<u8> {
+        bits.iter().map(|&b| self.scramble_bit(b)).collect()
+    }
+
+    /// Descrambles a bit slice.
+    pub fn descramble(&mut self, bits: &[u8]) -> Vec<u8> {
+        bits.iter().map(|&b| self.descramble_bit(b)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn scramble_descramble_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let bits: Vec<u8> = (0..500).map(|_| rng.gen_range(0..=1u8)).collect();
+        let mut tx = DsssScrambler::long_preamble();
+        let mut rx = DsssScrambler::long_preamble();
+        let scrambled = tx.scramble(&bits);
+        assert_ne!(scrambled, bits);
+        let recovered = rx.descramble(&scrambled);
+        assert_eq!(recovered, bits);
+    }
+
+    #[test]
+    fn descrambler_self_synchronises_with_wrong_seed() {
+        // After 7 bits the descrambler register contains only received bits,
+        // so a wrong seed corrupts at most the first 7 output bits.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let bits: Vec<u8> = (0..200).map(|_| rng.gen_range(0..=1u8)).collect();
+        let mut tx = DsssScrambler::long_preamble();
+        let scrambled = tx.scramble(&bits);
+        let mut rx = DsssScrambler::new(0b0000000); // wrong seed
+        let recovered = rx.descramble(&scrambled);
+        assert_eq!(&recovered[7..], &bits[7..]);
+    }
+
+    #[test]
+    fn scrambling_breaks_up_constant_runs() {
+        let zeros = vec![0u8; 256];
+        let mut s = DsssScrambler::long_preamble();
+        let out = s.scramble(&zeros);
+        let ones: usize = out.iter().map(|&b| b as usize).sum();
+        // A maximal-length scrambler output over all-zero input is roughly
+        // balanced.
+        assert!(ones > 100 && ones < 156, "scrambled all-zeros has {ones} ones");
+    }
+
+    #[test]
+    fn state_tracks_output_feedback() {
+        let mut s = DsssScrambler::new(0);
+        // With a zero seed and zero input the output stays zero.
+        for _ in 0..10 {
+            assert_eq!(s.scramble_bit(0), 0);
+        }
+        assert_eq!(s.state(), 0);
+        // A single one input perturbs the register permanently.
+        assert_eq!(s.scramble_bit(1), 1);
+        assert_ne!(s.state(), 0);
+    }
+
+    #[test]
+    fn long_preamble_seed_constant() {
+        assert_eq!(DsssScrambler::long_preamble().state(), LONG_PREAMBLE_SCRAMBLER_INIT);
+        // Seeds are masked to 7 bits.
+        assert_eq!(DsssScrambler::new(0xFF).state(), 0x7F);
+    }
+}

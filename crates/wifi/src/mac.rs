@@ -1,0 +1,147 @@
+//! The small slice of the 802.11 MAC that the coexistence evaluation needs.
+//!
+//! Fig. 12 of the paper measures how backscatter-generated packets affect a
+//! concurrent TCP flow, with and without the mirror copy produced by
+//! double-sideband backscatter, and §2.3.3 describes three
+//! channel-reservation optimisations built on CTS-to-Self and RTS/CTS. This
+//! module provides the frame-duration arithmetic and virtual carrier-sense
+//! (NAV) rules the event-driven MAC simulator in the `sim` crate uses; it
+//! does not attempt a full MAC implementation.
+
+use crate::dot11b::rates::DsssRate;
+
+/// Short interframe space for 2.4 GHz OFDM/DSSS, seconds.
+pub const SIFS_S: f64 = 10e-6;
+
+/// DCF interframe space (SIFS + 2 slots), seconds.
+pub const DIFS_S: f64 = 50e-6;
+
+/// Slot time for 802.11b/g mixed mode, seconds.
+pub const SLOT_TIME_S: f64 = 20e-6;
+
+/// Minimum contention window (number of slots) for DCF.
+pub const CW_MIN: u32 = 31;
+
+/// Maximum contention window for DCF.
+pub const CW_MAX: u32 = 1023;
+
+/// Length in bytes of MAC control frames.
+pub mod control_frame_len {
+    /// RTS frame length (bytes).
+    pub const RTS: usize = 20;
+    /// CTS (and CTS-to-Self) frame length (bytes).
+    pub const CTS: usize = 14;
+    /// ACK frame length (bytes).
+    pub const ACK: usize = 14;
+}
+
+/// Airtime of a DSSS control frame at the basic rate, including the short
+/// PLCP preamble.
+pub fn control_frame_airtime_s(frame_bytes: usize, rate: DsssRate) -> f64 {
+    crate::dot11b::rates::SHORT_PLCP_DURATION_S + rate.payload_airtime_s(frame_bytes)
+}
+
+/// Airtime of a data frame (PSDU of `payload_bytes` + 28 bytes of MAC
+/// header/FCS overhead) at the given DSSS rate.
+pub fn data_frame_airtime_s(payload_bytes: usize, rate: DsssRate) -> f64 {
+    crate::dot11b::rates::SHORT_PLCP_DURATION_S + rate.payload_airtime_s(payload_bytes + 28)
+}
+
+/// A CTS-to-Self reservation: the duration field reserves the medium for the
+/// given time, and every station that decodes it defers (sets its NAV).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CtsToSelf {
+    /// Time the medium is reserved for after the CTS frame ends, seconds.
+    pub reserved_duration_s: f64,
+}
+
+impl CtsToSelf {
+    /// Builds a CTS-to-Self that protects one Bluetooth advertising packet
+    /// of the given duration — the paper's first optimisation: the commodity
+    /// device's Wi-Fi radio clears the channel just before its Bluetooth
+    /// radio transmits the advertisement the tag will backscatter.
+    pub fn protecting(ble_packet_duration_s: f64) -> Self {
+        CtsToSelf {
+            reserved_duration_s: ble_packet_duration_s + SIFS_S,
+        }
+    }
+
+    /// Total airtime cost: the CTS frame itself (sent at 2 Mbps DSSS) plus
+    /// the reservation.
+    pub fn total_occupancy_s(&self) -> f64 {
+        control_frame_airtime_s(control_frame_len::CTS, DsssRate::Mbps2) + self.reserved_duration_s
+    }
+}
+
+/// An RTS/CTS exchange initiated *by the backscatter tag* (the paper's second
+/// optimisation): the tag backscatters an RTS on the target Wi-Fi channel
+/// while the advertisement is on BLE channel 37; if the Wi-Fi device answers
+/// with a CTS the channel is reserved for the next `2ΔT + T_bluetooth`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TagRtsReservation {
+    /// The inter-advertising-channel gap ΔT of the BLE transmitter, seconds.
+    pub inter_channel_gap_s: f64,
+    /// Duration of one Bluetooth advertising packet, seconds.
+    pub ble_packet_duration_s: f64,
+}
+
+impl TagRtsReservation {
+    /// The reservation duration requested in the RTS: 2ΔT + T_bluetooth
+    /// (paper §2.3.3).
+    pub fn reservation_s(&self) -> f64 {
+        2.0 * self.inter_channel_gap_s + self.ble_packet_duration_s
+    }
+
+    /// Whether a backscatter transmission starting `offset_s` after the RTS
+    /// completes still falls inside the reservation.
+    pub fn covers(&self, offset_s: f64) -> bool {
+        offset_s >= 0.0 && offset_s <= self.reservation_s()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interframe_spacing_ordering() {
+        assert!(SIFS_S < DIFS_S);
+        assert!((DIFS_S - (SIFS_S + 2.0 * SLOT_TIME_S)).abs() < 1e-12);
+        assert!(CW_MIN < CW_MAX);
+    }
+
+    #[test]
+    fn control_frame_airtimes() {
+        // CTS at 2 Mbps: 96 µs PLCP + 14*8/2e6 = 96 + 56 = 152 µs.
+        let t = control_frame_airtime_s(control_frame_len::CTS, DsssRate::Mbps2);
+        assert!((t - 152e-6).abs() < 1e-9);
+        // ACK equals CTS length.
+        assert_eq!(
+            control_frame_airtime_s(control_frame_len::ACK, DsssRate::Mbps2),
+            t
+        );
+        // Data frame adds the 28-byte MAC overhead.
+        let d = data_frame_airtime_s(100, DsssRate::Mbps11);
+        assert!((d - (96e-6 + 128.0 * 8.0 / 11e6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cts_to_self_protects_the_ble_packet() {
+        let cts = CtsToSelf::protecting(376e-6);
+        assert!(cts.reserved_duration_s > 376e-6);
+        assert!(cts.total_occupancy_s() > cts.reserved_duration_s);
+    }
+
+    #[test]
+    fn tag_rts_reservation_formula() {
+        let r = TagRtsReservation {
+            inter_channel_gap_s: 400e-6,
+            ble_packet_duration_s: 376e-6,
+        };
+        assert!((r.reservation_s() - 1176e-6).abs() < 1e-12);
+        assert!(r.covers(0.0));
+        assert!(r.covers(1.0e-3));
+        assert!(!r.covers(1.3e-3));
+        assert!(!r.covers(-1e-6));
+    }
+}

@@ -1,0 +1,370 @@
+//! Turning an 802.11g transmitter into an amplitude modulator (§2.4).
+//!
+//! A passive peak-detector receiver cannot decode OFDM, but it can tell a
+//! high-envelope symbol from a low-envelope one. This module crafts the
+//! DATA-field bits so that selected OFDM symbols are:
+//!
+//! * **constant** — every scrambled bit in the symbol is identical, so after
+//!   coding, interleaving and QAM mapping every data subcarrier carries the
+//!   same point and the IFFT compresses the energy into the first time
+//!   sample (low envelope for the rest of the symbol), or
+//! * **random** — ordinary pseudo-random bits, spreading energy over the
+//!   whole symbol (high envelope).
+//!
+//! A downlink `1` bit is encoded as a random symbol followed by a constant
+//! symbol; a `0` bit as two random symbols (Fig. 8), giving 125 kbps at 4 µs
+//! per symbol. Two practical details from the paper are reproduced: the six
+//! data bits preceding a constant symbol are forced to one so the
+//! convolutional encoder's memory does not leak randomness into it, and the
+//! random symbol preceding a constant one is chosen so its last time sample
+//! has a high amplitude, avoiding a false low during the constant symbol's
+//! (all-zero) cyclic prefix.
+
+use super::ppdu::{OfdmFrame, OfdmRate, OfdmTransmitter};
+use super::scrambler::OfdmScrambler;
+use super::symbol::SYMBOL_LEN;
+use crate::WifiError;
+use rand::Rng;
+
+/// Downlink bit rate achieved by the two-symbol encoding (1 bit per 8 µs).
+pub const DOWNLINK_BIT_RATE: f64 = 125e3;
+
+/// Which envelope class an OFDM symbol should belong to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymbolClass {
+    /// High-envelope symbol built from pseudo-random bits.
+    Random,
+    /// Impulse-like symbol built from constant scrambled bits.
+    Constant,
+}
+
+/// Expands downlink bits into the per-symbol class schedule of Fig. 8:
+/// `1` → Random, Constant; `0` → Random, Random.
+pub fn symbol_schedule(bits: &[u8]) -> Vec<SymbolClass> {
+    let mut schedule = Vec::with_capacity(bits.len() * 2);
+    for &b in bits {
+        schedule.push(SymbolClass::Random);
+        schedule.push(if b & 1 == 1 {
+            SymbolClass::Constant
+        } else {
+            SymbolClass::Random
+        });
+    }
+    schedule
+}
+
+/// Crafts the DATA-field bits realising a given symbol-class schedule for a
+/// transmitter whose scrambler seed is known/predicted.
+///
+/// For a **constant** symbol the data bits are set to the complement of the
+/// scrambling sequence so the scrambled bits are all *ones* — the all-ones
+/// case of the paper's construction. All-ones is preferred over all-zeros
+/// because the Gray-coded 16/64-QAM constellations map the all-ones label to
+/// their lowest-energy point, which minimises the residual envelope that the
+/// uncontrollable pilots and band-edge nulls leave in the "constant" symbol.
+/// For a **random** symbol the bits are drawn from `rng`, except that the
+/// last six bits are forced so the scrambled bits are one (flushing the
+/// convolutional encoder's memory with ones ahead of a constant symbol, as
+/// §2.4 prescribes).
+pub fn craft_data_bits<R: Rng>(
+    rate: OfdmRate,
+    scrambler_seed: u8,
+    schedule: &[SymbolClass],
+    rng: &mut R,
+) -> Vec<u8> {
+    let n_dbps = rate.data_bits_per_symbol();
+    let mut scrambler = OfdmScrambler::new(scrambler_seed);
+    let mut data_bits = Vec::with_capacity(schedule.len() * n_dbps);
+    for (idx, class) in schedule.iter().enumerate() {
+        let scramble_seq = scrambler.sequence(n_dbps);
+        match class {
+            SymbolClass::Constant => {
+                // data ^ scramble = 1  =>  data = scramble ^ 1.
+                data_bits.extend(scramble_seq.iter().map(|&s| s ^ 1));
+            }
+            SymbolClass::Random => {
+                let next_is_constant = schedule.get(idx + 1) == Some(&SymbolClass::Constant);
+                for (k, &s) in scramble_seq.iter().enumerate() {
+                    let forced_tail = next_is_constant && k >= n_dbps - 6;
+                    let bit = if forced_tail {
+                        // Scrambled bit must be 1: data = scramble ^ 1.
+                        s ^ 1
+                    } else {
+                        rng.gen_range(0..=1u8)
+                    };
+                    data_bits.push(bit);
+                }
+            }
+        }
+    }
+    data_bits
+}
+
+/// A crafted AM downlink frame: the OFDM waveform plus the schedule it
+/// encodes.
+#[derive(Debug, Clone)]
+pub struct AmFrame {
+    /// The underlying OFDM frame.
+    pub frame: OfdmFrame,
+    /// Per-symbol classes.
+    pub schedule: Vec<SymbolClass>,
+    /// The downlink bits the schedule encodes.
+    pub downlink_bits: Vec<u8>,
+}
+
+/// Builds an AM downlink frame carrying `downlink_bits` using the given
+/// transmitter (rate + seed) — the full §2.4 pipeline.
+pub fn build_am_frame<R: Rng>(
+    tx: &OfdmTransmitter,
+    downlink_bits: &[u8],
+    rng: &mut R,
+) -> Result<AmFrame, WifiError> {
+    if downlink_bits.is_empty() {
+        return Err(WifiError::InvalidHeader("downlink frame needs at least one bit"));
+    }
+    let schedule = symbol_schedule(downlink_bits);
+    let data_bits = craft_data_bits(tx.rate, tx.scrambler_seed, &schedule, rng);
+    let frame = tx.transmit_raw_bits(&data_bits)?;
+    Ok(AmFrame {
+        frame,
+        schedule,
+        downlink_bits: downlink_bits.to_vec(),
+    })
+}
+
+/// Measures the sustained envelope of each OFDM symbol *body* as the median
+/// of the per-sample magnitudes.
+///
+/// A "constant" symbol concentrates its energy near the first body sample
+/// (plus the uncontrollable pilots and the Dirichlet-kernel sidelobes of the
+/// unused band-edge subcarriers), so its *median* envelope is several times
+/// lower than that of a random symbol even though its peak is higher. The
+/// median is therefore the software analogue of what the slow peak-detector
+/// comparator integrates over a symbol.
+pub fn per_symbol_envelope(samples: &[interscatter_dsp::Cplx]) -> Vec<f64> {
+    samples
+        .chunks(SYMBOL_LEN)
+        .filter(|c| c.len() == SYMBOL_LEN)
+        .map(|symbol| {
+            let body = &symbol[super::symbol::CP_LEN + 1..];
+            let mut mags: Vec<f64> = body.iter().map(|s| s.abs()).collect();
+            mags.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            mags[mags.len() / 2]
+        })
+        .collect()
+}
+
+/// Classifies each symbol of a received waveform by thresholding its mean
+/// envelope halfway between the observed minimum and maximum — a software
+/// stand-in for the comparator in the peak-detector receiver. Returns one
+/// class per symbol.
+pub fn classify_symbols(samples: &[interscatter_dsp::Cplx]) -> Vec<SymbolClass> {
+    let envelopes = per_symbol_envelope(samples);
+    if envelopes.is_empty() {
+        return Vec::new();
+    }
+    let max = envelopes.iter().cloned().fold(f64::MIN, f64::max);
+    let min = envelopes.iter().cloned().fold(f64::MAX, f64::min);
+    let threshold = (max + min) / 2.0;
+    envelopes
+        .iter()
+        .map(|&e| {
+            if e < threshold {
+                SymbolClass::Constant
+            } else {
+                SymbolClass::Random
+            }
+        })
+        .collect()
+}
+
+/// Decodes downlink bits from a received symbol-class sequence (inverse of
+/// [`symbol_schedule`]): every pair (Random, X) decodes to `1` if X is
+/// Constant and `0` otherwise. Trailing unpaired symbols are ignored.
+pub fn decode_schedule(classes: &[SymbolClass]) -> Vec<u8> {
+    classes
+        .chunks(2)
+        .filter(|c| c.len() == 2)
+        .map(|pair| u8::from(pair[1] == SymbolClass::Constant))
+        .collect()
+}
+
+/// Ratio below which the second symbol of a pair is declared "constant"
+/// relative to the first (always-random) symbol of the pair.
+pub const PAIRWISE_DECISION_RATIO: f64 = 0.55;
+
+/// Decodes downlink bits directly from a received waveform using the
+/// pairwise structure of the encoding: within each 2-symbol pair the first
+/// symbol is always random, so it doubles as an amplitude reference for the
+/// second. This differential decision is what makes the scheme robust to the
+/// absolute signal level at the peak detector (which varies with distance in
+/// Fig. 13).
+pub fn decode_downlink_bits(samples: &[interscatter_dsp::Cplx]) -> Vec<u8> {
+    let envelopes = per_symbol_envelope(samples);
+    envelopes
+        .chunks(2)
+        .filter(|c| c.len() == 2)
+        .map(|pair| {
+            let reference = pair[0].max(1e-30);
+            u8::from(pair[1] / reference < PAIRWISE_DECISION_RATIO)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use super::super::symbol::papr_db;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xA11CE)
+    }
+
+    #[test]
+    fn schedule_expansion_matches_fig8() {
+        let schedule = symbol_schedule(&[1, 0, 1]);
+        assert_eq!(
+            schedule,
+            vec![
+                SymbolClass::Random,
+                SymbolClass::Constant,
+                SymbolClass::Random,
+                SymbolClass::Random,
+                SymbolClass::Random,
+                SymbolClass::Constant,
+            ]
+        );
+        assert_eq!(decode_schedule(&schedule), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn crafted_constant_symbols_have_constant_scrambled_bits() {
+        let rate = OfdmRate::Mbps36;
+        let seed = 0x45;
+        let schedule = vec![SymbolClass::Random, SymbolClass::Constant, SymbolClass::Constant];
+        let data = craft_data_bits(rate, seed, &schedule, &mut rng());
+        let mut scrambler = OfdmScrambler::new(seed);
+        let scrambled = scrambler.scramble(&data);
+        let n = rate.data_bits_per_symbol();
+        // Symbols 1 and 2 are constant: their scrambled bits are all ones.
+        assert!(scrambled[n..2 * n].iter().all(|&b| b == 1));
+        assert!(scrambled[2 * n..3 * n].iter().all(|&b| b == 1));
+        // The random symbol preceding a constant one ends with six scrambled
+        // ones (encoder flush).
+        assert!(scrambled[n - 6..n].iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn am_frame_envelope_separates_classes() {
+        // The crux of Fig. 7: constant symbols must have a visibly lower
+        // envelope than random symbols at the peak-detector output.
+        let tx = OfdmTransmitter::new(OfdmRate::Mbps36, 0x2D);
+        let bits = vec![1, 0, 1, 1, 0, 1, 0, 0, 1, 1];
+        let am = build_am_frame(&tx, &bits, &mut rng()).unwrap();
+        assert_eq!(am.frame.num_symbols, bits.len() * 2);
+        let envelopes = per_symbol_envelope(&am.frame.samples);
+        assert_eq!(envelopes.len(), am.schedule.len());
+        let min_random = envelopes
+            .iter()
+            .zip(&am.schedule)
+            .filter(|(_, c)| **c == SymbolClass::Random)
+            .map(|(e, _)| *e)
+            .fold(f64::MAX, f64::min);
+        let max_constant = envelopes
+            .iter()
+            .zip(&am.schedule)
+            .filter(|(_, c)| **c == SymbolClass::Constant)
+            .map(|(e, _)| *e)
+            .fold(f64::MIN, f64::max);
+        assert!(
+            min_random > 2.0 * max_constant,
+            "envelope classes overlap: min random {min_random}, max constant {max_constant}"
+        );
+    }
+
+    #[test]
+    fn clean_downlink_round_trip() {
+        let tx = OfdmTransmitter::new(OfdmRate::Mbps36, 0x51);
+        let bits: Vec<u8> = (0..64).map(|i| ((i * 7) % 3 == 0) as u8).collect();
+        let am = build_am_frame(&tx, &bits, &mut rng()).unwrap();
+        assert_eq!(decode_downlink_bits(&am.frame.samples), bits);
+    }
+
+    #[test]
+    fn works_at_64qam_rates_too() {
+        let tx = OfdmTransmitter::new(OfdmRate::Mbps54, 0x33);
+        let bits = vec![0, 1, 1, 0, 1];
+        let am = build_am_frame(&tx, &bits, &mut rng()).unwrap();
+        assert_eq!(decode_downlink_bits(&am.frame.samples), bits);
+    }
+
+    #[test]
+    fn pairwise_decode_is_scale_invariant() {
+        let tx = OfdmTransmitter::new(OfdmRate::Mbps36, 0x51);
+        let bits = vec![1, 0, 0, 1, 1, 0, 1];
+        let am = build_am_frame(&tx, &bits, &mut rng()).unwrap();
+        let attenuated: Vec<interscatter_dsp::Cplx> =
+            am.frame.samples.iter().map(|&s| s * 3.2e-4).collect();
+        assert_eq!(decode_downlink_bits(&attenuated), bits);
+    }
+
+    #[test]
+    fn threshold_classification_agrees_on_strong_contrast() {
+        // classify_symbols (global threshold) should agree with the pairwise
+        // decoder when the frame contains both classes.
+        let tx = OfdmTransmitter::new(OfdmRate::Mbps36, 0x51);
+        let bits = vec![1, 1, 1, 0, 1, 1];
+        let am = build_am_frame(&tx, &bits, &mut rng()).unwrap();
+        let classes = classify_symbols(&am.frame.samples);
+        assert_eq!(decode_schedule(&classes), bits);
+    }
+
+    #[test]
+    fn constant_symbol_has_much_higher_papr() {
+        let tx = OfdmTransmitter::new(OfdmRate::Mbps36, 0x22);
+        let am = build_am_frame(&tx, &[1], &mut rng()).unwrap();
+        let random_sym = &am.frame.samples[..SYMBOL_LEN];
+        let constant_sym = &am.frame.samples[SYMBOL_LEN..2 * SYMBOL_LEN];
+        assert!(papr_db(constant_sym) > papr_db(random_sym) + 6.0);
+    }
+
+    #[test]
+    fn wrong_seed_prediction_destroys_the_am_structure() {
+        // If the tag-side planner predicts the wrong scrambler seed the
+        // "constant" symbols are scrambled into ordinary random symbols and
+        // the envelope contrast collapses — the reason §4.4 studies seed
+        // predictability.
+        let rate = OfdmRate::Mbps36;
+        let schedule = symbol_schedule(&[1, 1, 1, 1]);
+        let data = craft_data_bits(rate, 0x10, &schedule, &mut rng());
+        let tx_wrong = OfdmTransmitter::new(rate, 0x4B);
+        let frame = tx_wrong.transmit_raw_bits(&data).unwrap();
+        let envelopes = per_symbol_envelope(&frame.samples);
+        let max = envelopes.iter().cloned().fold(f64::MIN, f64::max);
+        let min = envelopes.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max / min < 2.0,
+            "with a wrong seed there should be no strong envelope contrast (max {max}, min {min})"
+        );
+    }
+
+    #[test]
+    fn empty_downlink_bits_rejected() {
+        let tx = OfdmTransmitter::new(OfdmRate::Mbps36, 0x2D);
+        assert!(build_am_frame(&tx, &[], &mut rng()).is_err());
+    }
+
+    #[test]
+    fn downlink_bit_rate_is_125_kbps() {
+        // 2 symbols × 4 µs per bit.
+        assert!((DOWNLINK_BIT_RATE - 1.0 / 8e-6).abs() < 1.0);
+    }
+
+    #[test]
+    fn classify_handles_empty_input() {
+        assert!(classify_symbols(&[]).is_empty());
+        assert!(per_symbol_envelope(&[]).is_empty());
+        assert!(decode_schedule(&[SymbolClass::Random]).is_empty());
+    }
+}

@@ -1,0 +1,311 @@
+//! The 802.11a/g convolutional code (K = 7, rate 1/2, generators 133/171
+//! octal) with puncturing to rates 2/3 and 3/4, plus a hard-decision Viterbi
+//! decoder.
+//!
+//! The Interscatter downlink relies on one specific algebraic property of
+//! this code (paper §2.4): both generator polynomials have an odd number of
+//! taps (five each), so an all-ones input produces all-ones coded output and
+//! an all-zeros input produces all-zeros output. That is what lets the AM
+//! payload crafter control the *coded* bits of a whole OFDM symbol even
+//! though the encoder is a 1-to-2 mapping. The full encoder/decoder is still
+//! implemented so the OFDM chain can round-trip arbitrary frames in tests
+//! and in the downlink BER experiments.
+
+use crate::WifiError;
+
+/// Constraint length of the 802.11 convolutional code.
+pub const CONSTRAINT_LENGTH: usize = 7;
+
+/// Generator polynomial g0 = 133 octal (0b1011011).
+pub const G0: u8 = 0o133;
+
+/// Generator polynomial g1 = 171 octal (0b1111001).
+pub const G1: u8 = 0o171;
+
+/// Coding rates supported by 802.11a/g.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodeRate {
+    /// Rate 1/2 (no puncturing).
+    Half,
+    /// Rate 2/3 (puncture every fourth output bit).
+    TwoThirds,
+    /// Rate 3/4 (puncture two of every six output bits).
+    ThreeQuarters,
+}
+
+impl CodeRate {
+    /// Numerator/denominator of the rate.
+    pub fn as_fraction(self) -> (usize, usize) {
+        match self {
+            CodeRate::Half => (1, 2),
+            CodeRate::TwoThirds => (2, 3),
+            CodeRate::ThreeQuarters => (3, 4),
+        }
+    }
+
+    /// The puncturing pattern applied to the rate-1/2 output, as a repeating
+    /// mask over (A, B) output pairs: `true` = transmit, `false` = puncture.
+    /// Patterns follow IEEE 802.11-2016 §17.3.5.7.
+    fn puncture_pattern(self) -> &'static [(bool, bool)] {
+        match self {
+            CodeRate::Half => &[(true, true)],
+            CodeRate::TwoThirds => &[(true, true), (true, false)],
+            CodeRate::ThreeQuarters => &[(true, true), (true, false), (false, true)],
+        }
+    }
+
+    /// Number of coded bits produced per data bit × denominator (used for
+    /// sizing buffers): for rate k/n, `coded_len(data) = data * n / k`.
+    pub fn coded_len(self, data_bits: usize) -> usize {
+        let (k, n) = self.as_fraction();
+        data_bits * n / k
+    }
+}
+
+/// Number of parity bits produced by the two generators for a given encoder
+/// state+input window (7 bits, newest bit in the LSB).
+fn parity(window: u8, generator: u8) -> u8 {
+    (window & generator).count_ones() as u8 & 1
+}
+
+/// Encodes a bit stream at rate 1/2. The encoder starts from the all-zero
+/// state; callers append 6 tail zeros if they need the decoder to terminate
+/// (the PPDU layer does).
+pub fn encode_half_rate(data: &[u8]) -> Vec<u8> {
+    let mut window: u8 = 0; // bit i = input from i steps ago, bit 0 = current
+    let mut out = Vec::with_capacity(data.len() * 2);
+    for &bit in data {
+        window = ((window << 1) | (bit & 1)) & 0x7F;
+        out.push(parity(window, G0));
+        out.push(parity(window, G1));
+    }
+    out
+}
+
+/// Encodes and punctures to the requested rate.
+pub fn encode(data: &[u8], rate: CodeRate) -> Vec<u8> {
+    let coded = encode_half_rate(data);
+    let pattern = rate.puncture_pattern();
+    let mut out = Vec::with_capacity(rate.coded_len(data.len()));
+    for (i, pair) in coded.chunks(2).enumerate() {
+        let (keep_a, keep_b) = pattern[i % pattern.len()];
+        if keep_a {
+            out.push(pair[0]);
+        }
+        if keep_b && pair.len() > 1 {
+            out.push(pair[1]);
+        }
+    }
+    out
+}
+
+/// Re-inserts erasures (value 2) where puncturing removed bits, recovering a
+/// rate-1/2-shaped stream for the Viterbi decoder.
+fn depuncture(coded: &[u8], rate: CodeRate) -> Vec<u8> {
+    let pattern = rate.puncture_pattern();
+    let mut out = Vec::new();
+    let mut idx = 0;
+    let mut pair = 0usize;
+    while idx < coded.len() {
+        let (keep_a, keep_b) = pattern[pair % pattern.len()];
+        if keep_a {
+            out.push(coded[idx]);
+            idx += 1;
+        } else {
+            out.push(2);
+        }
+        if idx <= coded.len() {
+            if keep_b {
+                if idx < coded.len() {
+                    out.push(coded[idx]);
+                    idx += 1;
+                } else {
+                    out.push(2);
+                }
+            } else {
+                out.push(2);
+            }
+        }
+        pair += 1;
+    }
+    out
+}
+
+/// Hard-decision Viterbi decoder for the 802.11 convolutional code.
+///
+/// `coded` contains hard bits (0/1) — or, after depuncturing, erasures
+/// marked as 2 which contribute no branch metric. The decoder assumes the
+/// encoder started in the all-zero state and, if `terminated` is true, also
+/// ended there (the caller appended 6 tail zeros before encoding).
+pub fn viterbi_decode(coded: &[u8], rate: CodeRate, terminated: bool) -> Result<Vec<u8>, WifiError> {
+    if rate == CodeRate::Half && coded.len() % 2 != 0 {
+        return Err(WifiError::InvalidHeader("rate-1/2 coded stream must have even length"));
+    }
+    let half_rate = depuncture(coded, rate);
+    if half_rate.len() % 2 != 0 {
+        return Err(WifiError::InvalidHeader("coded stream length not a multiple of the code rate"));
+    }
+    let steps = half_rate.len() / 2;
+    if steps == 0 {
+        return Ok(Vec::new());
+    }
+    const NUM_STATES: usize = 64;
+    let inf = u32::MAX / 2;
+    let mut metrics = vec![inf; NUM_STATES];
+    metrics[0] = 0;
+    // survivors[t][state] = (previous state, input bit)
+    let mut survivors: Vec<Vec<(u8, u8)>> = Vec::with_capacity(steps);
+
+    for t in 0..steps {
+        let obs_a = half_rate[2 * t];
+        let obs_b = half_rate[2 * t + 1];
+        let mut next = vec![inf; NUM_STATES];
+        let mut surv = vec![(0u8, 0u8); NUM_STATES];
+        for (state, &m) in metrics.iter().enumerate() {
+            if m >= inf {
+                continue;
+            }
+            for input in 0..2u8 {
+                // The encoder window is (new bit, 6 previous bits) = 7 bits.
+                let window = (((state as u8) << 1) | input) & 0x7F;
+                let a = parity(window, G0);
+                let b = parity(window, G1);
+                let mut branch = 0u32;
+                if obs_a != 2 && a != obs_a {
+                    branch += 1;
+                }
+                if obs_b != 2 && b != obs_b {
+                    branch += 1;
+                }
+                let next_state = (window & 0x3F) as usize;
+                let candidate = m + branch;
+                if candidate < next[next_state] {
+                    next[next_state] = candidate;
+                    surv[next_state] = (state as u8, input);
+                }
+            }
+        }
+        metrics = next;
+        survivors.push(surv);
+    }
+
+    // Pick the final state: zero if terminated, otherwise the best metric.
+    let mut state = if terminated {
+        0usize
+    } else {
+        metrics
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &m)| m)
+            .map(|(s, _)| s)
+            .unwrap_or(0)
+    };
+
+    let mut decoded = vec![0u8; steps];
+    for t in (0..steps).rev() {
+        let (prev, input) = survivors[t][state];
+        decoded[t] = input;
+        state = prev as usize;
+    }
+    Ok(decoded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bits(n: usize, seed: u64) -> Vec<u8> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..=1u8)).collect()
+    }
+
+    #[test]
+    fn generators_have_odd_tap_counts() {
+        // The property §2.4 depends on: all-ones in produces all-ones out.
+        assert_eq!(u32::from(G0).count_ones() % 2, 1);
+        assert_eq!(u32::from(G1).count_ones() % 2, 1);
+    }
+
+    #[test]
+    fn all_ones_input_gives_all_ones_output_in_steady_state() {
+        let coded = encode_half_rate(&vec![1u8; 40]);
+        // After the 6-bit warm-up the window is all ones and both parities
+        // are 1 (odd tap count).
+        assert!(coded[12..].iter().all(|&b| b == 1));
+        let coded0 = encode_half_rate(&vec![0u8; 40]);
+        assert!(coded0.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn half_rate_round_trip() {
+        let mut data = random_bits(200, 1);
+        data.extend(vec![0u8; 6]); // termination tail
+        let coded = encode(&data, CodeRate::Half);
+        assert_eq!(coded.len(), data.len() * 2);
+        let decoded = viterbi_decode(&coded, CodeRate::Half, true).unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn punctured_rates_round_trip() {
+        for rate in [CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            let mut data = random_bits(240, 2);
+            data.extend(vec![0u8; 6]);
+            let coded = encode(&data, rate);
+            let decoded = viterbi_decode(&coded, rate, true).unwrap();
+            assert_eq!(decoded, data, "rate {rate:?}");
+        }
+    }
+
+    #[test]
+    fn coded_length_matches_rate() {
+        let data = random_bits(246, 7); // divisible by 2 and 3 after +6? 246 ok
+        assert_eq!(encode(&data, CodeRate::Half).len(), 492);
+        assert_eq!(encode(&data, CodeRate::TwoThirds).len(), 369);
+        assert_eq!(encode(&data, CodeRate::ThreeQuarters).len(), 328);
+        assert_eq!(CodeRate::Half.coded_len(100), 200);
+        assert_eq!(CodeRate::TwoThirds.coded_len(100), 150);
+        assert_eq!(CodeRate::ThreeQuarters.coded_len(99), 132);
+    }
+
+    #[test]
+    fn corrects_scattered_bit_errors() {
+        let mut data = random_bits(150, 3);
+        data.extend(vec![0u8; 6]);
+        let mut coded = encode(&data, CodeRate::Half);
+        // Flip well-separated bits — a free-distance-10 code corrects these.
+        for idx in [10, 60, 110, 170, 230, 290] {
+            coded[idx] ^= 1;
+        }
+        let decoded = viterbi_decode(&coded, CodeRate::Half, true).unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn unterminated_decoding_works() {
+        let data = random_bits(100, 4);
+        let coded = encode(&data, CodeRate::Half);
+        let decoded = viterbi_decode(&coded, CodeRate::Half, false).unwrap();
+        // The tail (last few bits) may be ambiguous without termination, but
+        // the body must match.
+        assert_eq!(&decoded[..90], &data[..90]);
+    }
+
+    #[test]
+    fn odd_length_stream_is_rejected() {
+        let coded = vec![0u8; 7];
+        assert!(viterbi_decode(&coded, CodeRate::Half, true).is_err());
+        assert!(viterbi_decode(&[], CodeRate::Half, true).unwrap().is_empty());
+    }
+
+    #[test]
+    fn known_vector_first_bits() {
+        // Encoding a single 1 from the zero state: window = 0000001,
+        // A = parity(1 & 133o=1011011b) = 1, B = parity(1 & 171o=1111001b) = 1.
+        assert_eq!(encode_half_rate(&[1]), vec![1, 1]);
+        // Then a 0: window = 0000010 -> A = taps bit1 of G0 (1) -> 1,
+        // B = bit1 of G1 (0) -> 0.
+        assert_eq!(encode_half_rate(&[1, 0]), vec![1, 1, 1, 0]);
+    }
+}

@@ -1,0 +1,45 @@
+//! The 802.11g (ERP-OFDM) physical layer and the Interscatter AM downlink.
+//!
+//! The downlink direction of Interscatter (§2.4 of the paper) cannot use a
+//! conventional Wi-Fi receiver at the tag: decoding OFDM needs an accurate
+//! RF oscillator and consumes milliwatts. Instead, the Wi-Fi *transmitter*
+//! is coaxed into producing an amplitude-modulated signal that a passive
+//! envelope detector can decode. The trick exploits each stage of the
+//! 802.11g encoding chain:
+//!
+//! 1. the frame-synchronous **scrambler** is predictable (and on Atheros
+//!    chipsets either incrementing or fixable), so the app-layer payload can
+//!    be pre-compensated;
+//! 2. the rate-1/2 **convolutional coder** maps an all-ones (all-zeros)
+//!    input to an all-ones (all-zeros) output;
+//! 3. the **interleaver** permutes an all-equal bit sequence onto itself;
+//! 4. the **QAM mapper** then places the same point on every data
+//!    subcarrier, and the 64-point IFFT of a constant spectrum is an
+//!    impulse — a "constant OFDM symbol" with almost no envelope except its
+//!    first sample.
+//!
+//! Modules: [`scrambler`], [`convolutional`], [`interleaver`], [`symbol`]
+//! (subcarrier mapping + IFFT + cyclic prefix), [`ppdu`] (rates and the
+//! full TX/RX chain) and [`am`] (payload crafting for the AM downlink and
+//! the scrambler-seed predictor of §4.4).
+
+pub mod am;
+pub mod convolutional;
+pub mod interleaver;
+pub mod ppdu;
+pub mod scrambler;
+pub mod symbol;
+
+pub use ppdu::{OfdmRate, OfdmTransmitter};
+
+/// OFDM sample rate for 20 MHz 802.11g channels.
+pub const OFDM_SAMPLE_RATE: f64 = 20e6;
+
+/// Duration of one OFDM symbol including the cyclic prefix (4 µs).
+pub const SYMBOL_DURATION_S: f64 = 4e-6;
+
+/// Number of data subcarriers per OFDM symbol.
+pub const DATA_SUBCARRIERS: usize = 48;
+
+/// Number of pilot subcarriers per OFDM symbol.
+pub const PILOT_SUBCARRIERS: usize = 4;

@@ -1,0 +1,185 @@
+//! The 802.11a/g frame-synchronous scrambler.
+//!
+//! Unlike the self-synchronising 802.11b scrambler, the OFDM PHY scrambles
+//! the DATA field with a free-running 7-bit LFSR (x^7 + x^4 + 1) whose seed
+//! is chosen per frame and conveyed implicitly through the SERVICE field's
+//! seven zero bits. The Interscatter downlink needs to *predict* the
+//! scrambling sequence so the application payload can be chosen to make the
+//! scrambled bits all-ones or all-zeros within selected OFDM symbols (§2.4).
+//! §4.4 of the paper observes that several Atheros chipsets simply increment
+//! the seed between frames, and that ath5k cards can pin it; both behaviours
+//! are modelled in [`SeedPolicy`].
+
+use interscatter_dsp::lfsr::Lfsr7;
+
+/// A frame-synchronous scrambler for the OFDM DATA field.
+#[derive(Debug, Clone, Copy)]
+pub struct OfdmScrambler {
+    register: Lfsr7,
+}
+
+impl OfdmScrambler {
+    /// Creates a scrambler with a 7-bit non-zero seed.
+    ///
+    /// A zero seed would generate the all-zero sequence, which the standard
+    /// forbids; it is accepted here (the hardware register cannot express it
+    /// being "invalid") but [`OfdmScrambler::is_valid_seed`] reports it.
+    pub fn new(seed: u8) -> Self {
+        OfdmScrambler {
+            register: Lfsr7::new(seed),
+        }
+    }
+
+    /// Whether a seed is valid per the standard (non-zero, 7 bits).
+    pub fn is_valid_seed(seed: u8) -> bool {
+        seed != 0 && seed < 128
+    }
+
+    /// Generates the next scrambling bit.
+    pub fn next_bit(&mut self) -> u8 {
+        // The 802.11 scrambler output is the XOR of taps x^7 and x^4, which
+        // for the Fibonacci register in `Lfsr7` equals the feedback bit. The
+        // register output bit (position 6) XOR position 3 gives the same
+        // value one step earlier; stepping the register and XORing the two
+        // monitored positions keeps the implementation aligned with the
+        // standard's schematic.
+        let state = self.register.state();
+        let out = ((state >> 6) & 1) ^ ((state >> 3) & 1);
+        let _ = self.register.step();
+        out
+    }
+
+    /// Generates `n` scrambling bits.
+    pub fn sequence(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.next_bit()).collect()
+    }
+
+    /// Scrambles (or descrambles — XOR is involutive) a bit stream.
+    pub fn scramble(&mut self, bits: &[u8]) -> Vec<u8> {
+        bits.iter().map(|&b| (b & 1) ^ self.next_bit()).collect()
+    }
+}
+
+/// How a chipset chooses scrambler seeds across frames (paper §4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedPolicy {
+    /// The seed increments by one between frames (observed on Atheros
+    /// AR5001G / AR5007G / AR9580), wrapping within 1..=127.
+    Incrementing {
+        /// Seed used for the first frame.
+        start: u8,
+    },
+    /// The seed is pinned to a fixed value (achievable on ath5k by setting
+    /// the scrambler-control register).
+    Fixed {
+        /// The pinned seed.
+        seed: u8,
+    },
+    /// The seed is drawn pseudorandomly per frame — the standard-compliant
+    /// behaviour that defeats prediction (used as a baseline).
+    Random,
+}
+
+impl SeedPolicy {
+    /// The seed the chipset will use for frame number `frame_index`
+    /// (0-based). For [`SeedPolicy::Random`] this models an unknown seed by
+    /// hashing the index; callers that need true unpredictability should
+    /// treat the return value as unknown.
+    pub fn seed_for_frame(&self, frame_index: u64) -> u8 {
+        match self {
+            SeedPolicy::Incrementing { start } => {
+                let offset = (frame_index % 127) as u16;
+                let s = (u16::from(*start) - 1 + offset) % 127 + 1;
+                s as u8
+            }
+            SeedPolicy::Fixed { seed } => *seed,
+            SeedPolicy::Random => {
+                // A small integer hash standing in for an unpredictable seed.
+                let mut x = frame_index.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x5851);
+                x ^= x >> 33;
+                ((x % 127) + 1) as u8
+            }
+        }
+    }
+
+    /// Whether an observer who has seen the seed of frame `n` can predict
+    /// the seed of frame `n+1`.
+    pub fn is_predictable(&self) -> bool {
+        !matches!(self, SeedPolicy::Random)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrambling_is_involutive() {
+        let data: Vec<u8> = (0..300).map(|i| ((i * 31) % 7 == 0) as u8).collect();
+        let mut a = OfdmScrambler::new(0x5D);
+        let scrambled = a.scramble(&data);
+        assert_ne!(scrambled, data);
+        let mut b = OfdmScrambler::new(0x5D);
+        assert_eq!(b.scramble(&scrambled), data);
+    }
+
+    #[test]
+    fn sequence_has_period_127() {
+        let mut s = OfdmScrambler::new(0x01);
+        let seq = s.sequence(254);
+        assert_eq!(&seq[..127], &seq[127..]);
+        // Balanced: 64 ones per period for a maximal-length LFSR.
+        let ones: usize = seq[..127].iter().map(|&b| usize::from(b)).sum();
+        assert_eq!(ones, 64);
+    }
+
+    #[test]
+    fn different_seeds_give_shifted_sequences() {
+        let mut a = OfdmScrambler::new(0x11);
+        let mut b = OfdmScrambler::new(0x12);
+        assert_ne!(a.sequence(64), b.sequence(64));
+    }
+
+    #[test]
+    fn seed_validity() {
+        assert!(!OfdmScrambler::is_valid_seed(0));
+        assert!(OfdmScrambler::is_valid_seed(1));
+        assert!(OfdmScrambler::is_valid_seed(127));
+        assert!(!OfdmScrambler::is_valid_seed(128));
+    }
+
+    #[test]
+    fn incrementing_policy_wraps_within_1_to_127() {
+        let policy = SeedPolicy::Incrementing { start: 125 };
+        assert_eq!(policy.seed_for_frame(0), 125);
+        assert_eq!(policy.seed_for_frame(1), 126);
+        assert_eq!(policy.seed_for_frame(2), 127);
+        assert_eq!(policy.seed_for_frame(3), 1);
+        assert!(policy.is_predictable());
+        for i in 0..300 {
+            let s = policy.seed_for_frame(i);
+            assert!((1..=127).contains(&s));
+        }
+    }
+
+    #[test]
+    fn fixed_policy_never_changes() {
+        let policy = SeedPolicy::Fixed { seed: 0x2A };
+        for i in 0..10 {
+            assert_eq!(policy.seed_for_frame(i), 0x2A);
+        }
+        assert!(policy.is_predictable());
+    }
+
+    #[test]
+    fn random_policy_is_unpredictable_and_in_range() {
+        let policy = SeedPolicy::Random;
+        assert!(!policy.is_predictable());
+        let seeds: Vec<u8> = (0..50).map(|i| policy.seed_for_frame(i)).collect();
+        assert!(seeds.iter().all(|&s| (1..=127).contains(&s)));
+        // Not all equal, and not simply incrementing.
+        assert!(seeds.windows(2).any(|w| w[1] != w[0].wrapping_add(1)));
+        let distinct: std::collections::HashSet<u8> = seeds.iter().copied().collect();
+        assert!(distinct.len() > 10);
+    }
+}

@@ -1,0 +1,227 @@
+//! OFDM symbol assembly: subcarrier mapping, 64-point IFFT, cyclic prefix.
+//!
+//! Each 802.11g OFDM symbol carries 48 data subcarriers and 4 pilots on a
+//! 64-point IFFT grid (subcarriers −26..−1 and 1..26; DC and the band edges
+//! are unused). The time-domain symbol is 64 samples plus a 16-sample cyclic
+//! prefix at 20 MS/s — the 4 µs granularity at which the downlink AM
+//! encoding operates (paper §2.4 and Fig. 7/8).
+
+use crate::WifiError;
+use interscatter_dsp::constellation::Modulation;
+use interscatter_dsp::fft::Fft;
+use interscatter_dsp::Cplx;
+
+/// IFFT size.
+pub const FFT_SIZE: usize = 64;
+
+/// Cyclic-prefix length in samples.
+pub const CP_LEN: usize = 16;
+
+/// Samples per OFDM symbol including the cyclic prefix.
+pub const SYMBOL_LEN: usize = FFT_SIZE + CP_LEN;
+
+/// Logical indices (−26..=26, excluding 0 and pilots) of the 48 data
+/// subcarriers, in the order coded bits are mapped onto them.
+pub fn data_subcarrier_indices() -> Vec<i32> {
+    let pilots = [-21, -7, 7, 21];
+    (-26..=26)
+        .filter(|&k| k != 0 && !pilots.contains(&k))
+        .collect()
+}
+
+/// Logical indices of the four pilot subcarriers.
+pub const PILOT_INDICES: [i32; 4] = [-21, -7, 7, 21];
+
+/// Pilot polarity values for the first few symbols (the standard cycles a
+/// 127-element PN sequence; the repeating prefix used here is enough for the
+/// envelope-domain behaviour the downlink experiments need).
+const PILOT_POLARITY: [f64; 8] = [1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, 1.0];
+
+/// Converts a logical subcarrier index (−32..=31) to an FFT bin (0..=63).
+fn bin_of(logical: i32) -> usize {
+    ((logical + FFT_SIZE as i32) % FFT_SIZE as i32) as usize
+}
+
+/// An OFDM symbol modulator/demodulator pair sharing one FFT plan.
+#[derive(Debug, Clone)]
+pub struct OfdmSymbolProcessor {
+    fft: Fft,
+    modulation: Modulation,
+}
+
+impl OfdmSymbolProcessor {
+    /// Creates a processor for the given data-subcarrier modulation.
+    pub fn new(modulation: Modulation) -> Result<Self, WifiError> {
+        Ok(OfdmSymbolProcessor {
+            fft: Fft::new(FFT_SIZE)?,
+            modulation,
+        })
+    }
+
+    /// Data-subcarrier modulation.
+    pub fn modulation(&self) -> Modulation {
+        self.modulation
+    }
+
+    /// Coded bits carried per OFDM symbol (N_CBPS).
+    pub fn coded_bits_per_symbol(&self) -> usize {
+        48 * self.modulation.bits_per_symbol()
+    }
+
+    /// Maps one symbol's worth of interleaved coded bits to time-domain
+    /// samples (CP + 64 samples). `symbol_index` selects the pilot polarity.
+    pub fn modulate_symbol(&self, coded_bits: &[u8], symbol_index: usize) -> Result<Vec<Cplx>, WifiError> {
+        let n_cbps = self.coded_bits_per_symbol();
+        if coded_bits.len() != n_cbps {
+            return Err(WifiError::TruncatedWaveform {
+                have: coded_bits.len(),
+                need: n_cbps,
+            });
+        }
+        let points = self.modulation.map_stream(coded_bits);
+        let mut bins = vec![Cplx::ZERO; FFT_SIZE];
+        for (idx, &point) in data_subcarrier_indices().iter().zip(points.iter()) {
+            bins[bin_of(*idx)] = point;
+        }
+        let polarity = PILOT_POLARITY[symbol_index % PILOT_POLARITY.len()];
+        for &p in &PILOT_INDICES {
+            bins[bin_of(p)] = Cplx::real(polarity);
+        }
+        let time = self.fft.inverse_vec(&bins)?;
+        // Scale so the average sample power is comparable across symbols
+        // (IFFT normalisation already divides by N; multiply back by sqrt(N)
+        // to keep unit average power for a unit-energy constellation).
+        let scale = (FFT_SIZE as f64).sqrt();
+        let time: Vec<Cplx> = time.into_iter().map(|s| s * scale).collect();
+        let mut out = Vec::with_capacity(SYMBOL_LEN);
+        out.extend_from_slice(&time[FFT_SIZE - CP_LEN..]);
+        out.extend_from_slice(&time);
+        Ok(out)
+    }
+
+    /// Demodulates one received symbol (CP + 64 samples, perfectly aligned)
+    /// back into hard-decision interleaved coded bits.
+    pub fn demodulate_symbol(&self, samples: &[Cplx]) -> Result<Vec<u8>, WifiError> {
+        if samples.len() < SYMBOL_LEN {
+            return Err(WifiError::TruncatedWaveform {
+                have: samples.len(),
+                need: SYMBOL_LEN,
+            });
+        }
+        let body = &samples[CP_LEN..SYMBOL_LEN];
+        let scale = 1.0 / (FFT_SIZE as f64).sqrt();
+        let scaled: Vec<Cplx> = body.iter().map(|&s| s * scale).collect();
+        let bins = self.fft.forward_vec(&scaled)?;
+        let mut bits = Vec::with_capacity(self.coded_bits_per_symbol());
+        for &idx in &data_subcarrier_indices() {
+            bits.extend(self.modulation.demap(bins[bin_of(idx)]));
+        }
+        Ok(bits)
+    }
+}
+
+/// The peak-to-average-power ratio of a sample window in dB — the metric that
+/// distinguishes "random" from "constant" OFDM symbols in Fig. 7.
+pub fn papr_db(samples: &[Cplx]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mean = interscatter_dsp::iq::mean_power(samples);
+    let peak = interscatter_dsp::iq::peak_power(samples);
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    interscatter_dsp::units::ratio_to_db(peak / mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn subcarrier_plan_has_48_data_and_4_pilots() {
+        let data = data_subcarrier_indices();
+        assert_eq!(data.len(), 48);
+        assert!(!data.contains(&0));
+        for p in PILOT_INDICES {
+            assert!(!data.contains(&p));
+        }
+        // All within the occupied -26..=26 range.
+        assert!(data.iter().all(|&k| (-26..=26).contains(&k)));
+    }
+
+    #[test]
+    fn symbol_round_trip_all_modulations() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        for modulation in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let proc = OfdmSymbolProcessor::new(modulation).unwrap();
+            let n = proc.coded_bits_per_symbol();
+            let bits: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=1u8)).collect();
+            let symbol = proc.modulate_symbol(&bits, 0).unwrap();
+            assert_eq!(symbol.len(), SYMBOL_LEN);
+            let back = proc.demodulate_symbol(&symbol).unwrap();
+            assert_eq!(back, bits, "{modulation:?}");
+        }
+    }
+
+    #[test]
+    fn cyclic_prefix_is_a_copy_of_the_tail() {
+        let proc = OfdmSymbolProcessor::new(Modulation::Qam16).unwrap();
+        let bits: Vec<u8> = (0..proc.coded_bits_per_symbol()).map(|i| (i % 2) as u8).collect();
+        let symbol = proc.modulate_symbol(&bits, 3).unwrap();
+        for i in 0..CP_LEN {
+            assert!((symbol[i] - symbol[FFT_SIZE + i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn wrong_bit_count_is_rejected() {
+        let proc = OfdmSymbolProcessor::new(Modulation::Qpsk).unwrap();
+        assert!(proc.modulate_symbol(&[1, 0, 1], 0).is_err());
+        assert!(proc.demodulate_symbol(&[Cplx::ZERO; 10]).is_err());
+    }
+
+    #[test]
+    fn constant_bits_compress_energy_into_the_first_sample() {
+        // This is Fig. 7: an all-equal constellation across subcarriers IFFTs
+        // into (nearly) an impulse, so the symbol body's first sample carries
+        // most of the energy. Pilots prevent it from being exact.
+        let proc = OfdmSymbolProcessor::new(Modulation::Qam16).unwrap();
+        let ones = vec![1u8; proc.coded_bits_per_symbol()];
+        let symbol = proc.modulate_symbol(&ones, 0).unwrap();
+        let body = &symbol[CP_LEN..];
+        let first_power = body[0].norm_sq();
+        let rest_power: f64 = body[1..].iter().map(|s| s.norm_sq()).sum();
+        assert!(
+            first_power > rest_power,
+            "first sample should dominate: first {first_power}, rest {rest_power}"
+        );
+    }
+
+    #[test]
+    fn random_bits_spread_energy_across_the_symbol() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let proc = OfdmSymbolProcessor::new(Modulation::Qam16).unwrap();
+        let bits: Vec<u8> = (0..proc.coded_bits_per_symbol()).map(|_| rng.gen_range(0..=1u8)).collect();
+        let symbol = proc.modulate_symbol(&bits, 0).unwrap();
+        let body = &symbol[CP_LEN..];
+        let first_power = body[0].norm_sq();
+        let total: f64 = body.iter().map(|s| s.norm_sq()).sum();
+        assert!(
+            first_power < 0.5 * total,
+            "random symbol should not be impulse-like"
+        );
+        // PAPR of a random symbol is well below that of the constant symbol.
+        let ones = vec![1u8; proc.coded_bits_per_symbol()];
+        let constant = proc.modulate_symbol(&ones, 0).unwrap();
+        assert!(papr_db(&constant) > papr_db(&symbol) + 6.0);
+    }
+
+    #[test]
+    fn papr_edge_cases() {
+        assert_eq!(papr_db(&[]), 0.0);
+        assert_eq!(papr_db(&[Cplx::ZERO; 8]), 0.0);
+        assert!((papr_db(&[Cplx::ONE; 8]) - 0.0).abs() < 1e-12);
+    }
+}

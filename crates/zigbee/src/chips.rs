@@ -1,0 +1,183 @@
+//! The IEEE 802.15.4 2.4 GHz DSSS chip sequences.
+//!
+//! Each 4-bit symbol is spread to a 32-chip pseudo-noise sequence. The 16
+//! sequences are cyclic shifts (and conjugations) of a single base sequence,
+//! which gives them low cross-correlation and lets a receiver decode by
+//! picking the best-correlating candidate — the same structure the
+//! backscatter tag exploits: the chips are binary, so they can be produced
+//! by the impedance switch just like 802.11b chips.
+
+/// Number of chips per 802.15.4 symbol.
+pub const CHIPS_PER_SYMBOL: usize = 32;
+
+/// Number of data bits per symbol.
+pub const BITS_PER_SYMBOL: usize = 4;
+
+/// The base chip sequence for symbol 0, as specified by IEEE 802.15.4-2015
+/// Table 12-1 (chip c0 first).
+pub const SYMBOL0_CHIPS: [u8; 32] = [
+    1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0,
+];
+
+/// Returns the 32-chip sequence for a 4-bit symbol value (0–15).
+///
+/// Symbols 1–7 are cyclic right-shifts of symbol 0 by 4·k chips; symbols
+/// 8–15 are the same shifts of symbol 0 with the odd-indexed chips inverted
+/// (equivalently, the quadrature chips negated), per the standard.
+pub fn chip_sequence(symbol: u8) -> [u8; 32] {
+    assert!(symbol < 16, "802.15.4 symbols are 4 bits");
+    let shift = usize::from(symbol & 0x7) * 4;
+    let mut out = [0u8; 32];
+    for (i, slot) in out.iter_mut().enumerate() {
+        // Cyclic right shift: out[i] = base[(i - shift) mod 32].
+        let src = (i + 32 - shift) % 32;
+        let mut chip = SYMBOL0_CHIPS[src];
+        if symbol >= 8 && i % 2 == 1 {
+            chip ^= 1;
+        }
+        *slot = chip;
+    }
+    out
+}
+
+/// Correlates a received hard-decision chip sequence against all 16
+/// candidates and returns `(best_symbol, agreements)` where `agreements` is
+/// the number of matching chip positions for the winner (32 = perfect).
+pub fn best_symbol(received: &[u8]) -> (u8, usize) {
+    assert_eq!(received.len(), CHIPS_PER_SYMBOL, "expected 32 chips");
+    let mut best = (0u8, 0usize);
+    for candidate in 0..16u8 {
+        let seq = chip_sequence(candidate);
+        let agreements = seq
+            .iter()
+            .zip(received)
+            .filter(|(a, b)| (**a & 1) == (**b & 1))
+            .count();
+        if agreements > best.1 {
+            best = (candidate, agreements);
+        }
+    }
+    best
+}
+
+/// Converts a nibble stream (two symbols per byte, low nibble first as the
+/// standard transmits) to a chip stream.
+pub fn spread_bytes(bytes: &[u8]) -> Vec<u8> {
+    let mut chips = Vec::with_capacity(bytes.len() * 2 * CHIPS_PER_SYMBOL);
+    for &b in bytes {
+        chips.extend_from_slice(&chip_sequence(b & 0x0F));
+        chips.extend_from_slice(&chip_sequence(b >> 4));
+    }
+    chips
+}
+
+/// Despreads a hard-decision chip stream back to bytes. Trailing chips that
+/// do not complete a byte are ignored. Also returns the minimum per-symbol
+/// agreement count observed (a link-quality indicator).
+pub fn despread_bytes(chips: &[u8]) -> (Vec<u8>, usize) {
+    let mut bytes = Vec::new();
+    let mut min_agreement = CHIPS_PER_SYMBOL;
+    let mut symbols = Vec::new();
+    for block in chips.chunks_exact(CHIPS_PER_SYMBOL) {
+        let (sym, agree) = best_symbol(block);
+        min_agreement = min_agreement.min(agree);
+        symbols.push(sym);
+    }
+    for pair in symbols.chunks_exact(2) {
+        bytes.push(pair[0] | (pair[1] << 4));
+    }
+    if symbols.is_empty() {
+        min_agreement = 0;
+    }
+    (bytes, min_agreement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sixteen_distinct_sequences() {
+        let seqs: Vec<[u8; 32]> = (0..16).map(chip_sequence).collect();
+        for i in 0..16 {
+            for j in (i + 1)..16 {
+                assert_ne!(seqs[i], seqs[j], "symbols {i} and {j} share a sequence");
+            }
+        }
+    }
+
+    #[test]
+    fn sequences_are_balanced_and_low_cross_correlation() {
+        for s in 0..16u8 {
+            let seq = chip_sequence(s);
+            let ones: usize = seq.iter().map(|&c| usize::from(c)).sum();
+            assert!((12..=20).contains(&ones), "symbol {s} has {ones} ones");
+        }
+        // Cross-correlation (agreement count) between different symbols stays
+        // well below 32.
+        for i in 0..16u8 {
+            for j in 0..16u8 {
+                if i == j {
+                    continue;
+                }
+                let a = chip_sequence(i);
+                let b = chip_sequence(j);
+                let agree = a.iter().zip(&b).filter(|(x, y)| x == y).count();
+                assert!(agree <= 24, "symbols {i}/{j} agree on {agree} chips");
+            }
+        }
+    }
+
+    #[test]
+    fn best_symbol_recovers_clean_chips() {
+        for s in 0..16u8 {
+            let (sym, agree) = best_symbol(&chip_sequence(s));
+            assert_eq!(sym, s);
+            assert_eq!(agree, 32);
+        }
+    }
+
+    #[test]
+    fn despreading_tolerates_chip_errors() {
+        // Flip 6 of 32 chips: the correct symbol still wins thanks to the
+        // ≥8-chip separation between sequences.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for s in 0..16u8 {
+            let mut chips = chip_sequence(s);
+            let mut flipped = 0;
+            while flipped < 6 {
+                let idx = rng.gen_range(0..32);
+                chips[idx] ^= 1;
+                flipped += 1;
+            }
+            let (sym, agree) = best_symbol(&chips);
+            assert_eq!(sym, s, "symbol {s} misdecoded with 6 chip errors");
+            assert!(agree >= 26);
+        }
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let bytes: Vec<u8> = (0..40).map(|_| rng.gen()).collect();
+        let chips = spread_bytes(&bytes);
+        assert_eq!(chips.len(), bytes.len() * 64);
+        let (back, min_agree) = despread_bytes(&chips);
+        assert_eq!(back, bytes);
+        assert_eq!(min_agree, 32);
+    }
+
+    #[test]
+    fn empty_despread() {
+        let (bytes, agree) = despread_bytes(&[]);
+        assert!(bytes.is_empty());
+        assert_eq!(agree, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "4 bits")]
+    fn symbol_out_of_range_panics() {
+        let _ = chip_sequence(16);
+    }
+}

@@ -1,0 +1,173 @@
+//! IEEE 802.15.4 PPDU framing.
+//!
+//! A 2.4 GHz 802.15.4 frame consists of a synchronisation header (4-byte
+//! preamble of zeros plus the 0xA7 start-of-frame delimiter), a one-byte
+//! frame-length field, and the PSDU whose last two bytes are the CRC-16
+//! frame check sequence. The backscatter tag synthesizes this framing so a
+//! commodity CC2531 receiver accepts the packet (paper §4.5).
+
+use crate::ZigbeeError;
+use interscatter_dsp::crc::crc16_802154;
+
+/// Preamble length in bytes (all zero).
+pub const PREAMBLE_BYTES: usize = 4;
+
+/// The start-of-frame delimiter.
+pub const SFD: u8 = 0xA7;
+
+/// Maximum PSDU length in bytes (including the 2-byte FCS).
+pub const MAX_PSDU_BYTES: usize = 127;
+
+/// A ZigBee PHY frame (PSDU = MAC payload + FCS).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZigbeeFrame {
+    /// MAC-layer payload (FCS excluded).
+    pub payload: Vec<u8>,
+}
+
+impl ZigbeeFrame {
+    /// Creates a frame, validating the payload length (≤ 125 bytes so the
+    /// PSDU with FCS fits in 127).
+    pub fn new(payload: &[u8]) -> Result<Self, ZigbeeError> {
+        if payload.len() + 2 > MAX_PSDU_BYTES {
+            return Err(ZigbeeError::PayloadTooLong {
+                requested: payload.len(),
+                max: MAX_PSDU_BYTES - 2,
+            });
+        }
+        Ok(ZigbeeFrame {
+            payload: payload.to_vec(),
+        })
+    }
+
+    /// The PSDU: payload followed by the little-endian CRC-16 FCS.
+    pub fn psdu(&self) -> Vec<u8> {
+        let mut psdu = self.payload.clone();
+        let fcs = crc16_802154(&self.payload);
+        psdu.extend_from_slice(&fcs.to_le_bytes());
+        psdu
+    }
+
+    /// Serialises the full PPDU byte stream: preamble, SFD, length, PSDU.
+    pub fn to_ppdu_bytes(&self) -> Vec<u8> {
+        let psdu = self.psdu();
+        let mut bytes = vec![0u8; PREAMBLE_BYTES];
+        bytes.push(SFD);
+        bytes.push(psdu.len() as u8);
+        bytes.extend(psdu);
+        bytes
+    }
+
+    /// Parses a PPDU byte stream (as produced by [`ZigbeeFrame::to_ppdu_bytes`]
+    /// or recovered by the receiver), locating the SFD and verifying the FCS.
+    pub fn from_ppdu_bytes(bytes: &[u8]) -> Result<Self, ZigbeeError> {
+        // Find the SFD: the first non-zero byte after at least one preamble
+        // byte must be the SFD.
+        let sfd_pos = bytes
+            .iter()
+            .position(|&b| b == SFD)
+            .ok_or(ZigbeeError::SfdNotFound)?;
+        if sfd_pos + 2 > bytes.len() {
+            return Err(ZigbeeError::TruncatedWaveform {
+                have: bytes.len(),
+                need: sfd_pos + 2,
+            });
+        }
+        let length = bytes[sfd_pos + 1] as usize;
+        if length > MAX_PSDU_BYTES || length < 2 {
+            return Err(ZigbeeError::SfdNotFound);
+        }
+        let psdu_start = sfd_pos + 2;
+        if bytes.len() < psdu_start + length {
+            return Err(ZigbeeError::TruncatedWaveform {
+                have: bytes.len(),
+                need: psdu_start + length,
+            });
+        }
+        let psdu = &bytes[psdu_start..psdu_start + length];
+        let (payload, fcs_bytes) = psdu.split_at(length - 2);
+        let expected = crc16_802154(payload).to_le_bytes();
+        if fcs_bytes != expected {
+            return Err(ZigbeeError::FcsMismatch);
+        }
+        Ok(ZigbeeFrame {
+            payload: payload.to_vec(),
+        })
+    }
+
+    /// Number of PPDU bytes on the air.
+    pub fn ppdu_len_bytes(&self) -> usize {
+        PREAMBLE_BYTES + 1 + 1 + self.payload.len() + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let payload: Vec<u8> = (0..50u8).collect();
+        let frame = ZigbeeFrame::new(&payload).unwrap();
+        let bytes = frame.to_ppdu_bytes();
+        assert_eq!(bytes.len(), frame.ppdu_len_bytes());
+        let back = ZigbeeFrame::from_ppdu_bytes(&bytes).unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn payload_length_limit() {
+        assert!(ZigbeeFrame::new(&[0u8; 125]).is_ok());
+        assert!(matches!(
+            ZigbeeFrame::new(&[0u8; 126]),
+            Err(ZigbeeError::PayloadTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn fcs_detects_corruption() {
+        let frame = ZigbeeFrame::new(&[1, 2, 3, 4, 5]).unwrap();
+        let mut bytes = frame.to_ppdu_bytes();
+        let payload_start = PREAMBLE_BYTES + 2;
+        bytes[payload_start + 2] ^= 0x40;
+        assert_eq!(
+            ZigbeeFrame::from_ppdu_bytes(&bytes).unwrap_err(),
+            ZigbeeError::FcsMismatch
+        );
+    }
+
+    #[test]
+    fn missing_sfd_and_truncation() {
+        assert!(matches!(
+            ZigbeeFrame::from_ppdu_bytes(&[0, 0, 0, 0, 0, 0]),
+            Err(ZigbeeError::SfdNotFound)
+        ));
+        let frame = ZigbeeFrame::new(&[9u8; 20]).unwrap();
+        let bytes = frame.to_ppdu_bytes();
+        assert!(matches!(
+            ZigbeeFrame::from_ppdu_bytes(&bytes[..10]),
+            Err(ZigbeeError::TruncatedWaveform { .. })
+        ));
+        assert!(matches!(
+            ZigbeeFrame::from_ppdu_bytes(&bytes[..PREAMBLE_BYTES + 1]),
+            Err(ZigbeeError::TruncatedWaveform { .. })
+        ));
+    }
+
+    #[test]
+    fn header_layout() {
+        let frame = ZigbeeFrame::new(&[0xAA; 10]).unwrap();
+        let bytes = frame.to_ppdu_bytes();
+        assert!(bytes[..PREAMBLE_BYTES].iter().all(|&b| b == 0));
+        assert_eq!(bytes[PREAMBLE_BYTES], SFD);
+        assert_eq!(bytes[PREAMBLE_BYTES + 1], 12); // 10 + 2-byte FCS
+    }
+
+    #[test]
+    fn empty_payload_is_valid() {
+        let frame = ZigbeeFrame::new(&[]).unwrap();
+        let bytes = frame.to_ppdu_bytes();
+        let back = ZigbeeFrame::from_ppdu_bytes(&bytes).unwrap();
+        assert!(back.payload.is_empty());
+    }
+}

@@ -1,0 +1,236 @@
+//! The complete 802.15.4 2.4 GHz transmitter and receiver.
+//!
+//! Chain: PPDU bytes → nibble spreading (32-chip PN sequences) → O-QPSK
+//! half-sine modulation at 2 Mchip/s, and the inverse on receive. The
+//! receiver also reports RSSI, which is what the Fig. 14 experiment records
+//! at five tag-to-receiver distances.
+
+use crate::chips::{despread_bytes, spread_bytes, CHIPS_PER_SYMBOL};
+use crate::frame::ZigbeeFrame;
+use crate::oqpsk::{demodulate, modulate, OqpskConfig};
+use crate::ZigbeeError;
+use interscatter_dsp::iq::rssi_dbm;
+use interscatter_dsp::Cplx;
+
+/// 802.15.4 2.4 GHz bit rate (250 kbps).
+pub const BIT_RATE: f64 = 250e3;
+
+/// Channel spacing in the 2.4 GHz band (5 MHz).
+pub const CHANNEL_SPACING_HZ: f64 = 5e6;
+
+/// Occupied bandwidth of a 2.4 GHz 802.15.4 channel (~2 MHz).
+pub const OCCUPIED_BANDWIDTH_HZ: f64 = 2e6;
+
+/// A ZigBee PHY transmitter.
+#[derive(Debug, Clone, Copy)]
+pub struct ZigbeeTransmitter {
+    /// Modulator configuration (sample rate).
+    pub config: OqpskConfig,
+}
+
+impl Default for ZigbeeTransmitter {
+    fn default() -> Self {
+        ZigbeeTransmitter {
+            config: OqpskConfig::default(),
+        }
+    }
+}
+
+impl ZigbeeTransmitter {
+    /// Creates a transmitter producing samples at `sample_rate`.
+    pub fn new(sample_rate: f64) -> Self {
+        ZigbeeTransmitter {
+            config: OqpskConfig { sample_rate },
+        }
+    }
+
+    /// Generates the baseband waveform for a MAC payload.
+    pub fn transmit(&self, payload: &[u8]) -> Result<ZigbeeWaveform, ZigbeeError> {
+        let frame = ZigbeeFrame::new(payload)?;
+        let ppdu = frame.to_ppdu_bytes();
+        let chips = spread_bytes(&ppdu);
+        let samples = modulate(&chips, self.config)?;
+        Ok(ZigbeeWaveform {
+            samples,
+            num_chips: chips.len(),
+            frame,
+        })
+    }
+}
+
+/// A generated ZigBee waveform together with its framing metadata.
+#[derive(Debug, Clone)]
+pub struct ZigbeeWaveform {
+    /// Baseband samples.
+    pub samples: Vec<Cplx>,
+    /// Number of chips in the waveform.
+    pub num_chips: usize,
+    /// The frame the waveform encodes.
+    pub frame: ZigbeeFrame,
+}
+
+impl ZigbeeWaveform {
+    /// Airtime in seconds.
+    pub fn airtime_s(&self) -> f64 {
+        self.num_chips as f64 / crate::oqpsk::CHIP_RATE
+    }
+}
+
+/// A received ZigBee frame with link-quality metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReceivedZigbeeFrame {
+    /// The decoded MAC payload.
+    pub payload: Vec<u8>,
+    /// RSSI over the frame, dBm (workspace convention).
+    pub rssi_dbm: f64,
+    /// Link-quality indicator: minimum per-symbol chip agreement (32 = clean).
+    pub lqi: usize,
+}
+
+/// A ZigBee PHY receiver.
+#[derive(Debug, Clone, Copy)]
+pub struct ZigbeeReceiver {
+    /// Demodulator configuration (must match the incoming sample rate).
+    pub config: OqpskConfig,
+    /// Receiver sensitivity in dBm (the CC2531 datasheet value is −97 dBm;
+    /// ZigBee's DSSS gives it better sensitivity than Wi-Fi, as §4.5 notes).
+    pub sensitivity_dbm: f64,
+}
+
+impl Default for ZigbeeReceiver {
+    fn default() -> Self {
+        ZigbeeReceiver {
+            config: OqpskConfig::default(),
+            sensitivity_dbm: -97.0,
+        }
+    }
+}
+
+impl ZigbeeReceiver {
+    /// Creates a receiver for the given sample rate.
+    pub fn new(sample_rate: f64) -> Self {
+        ZigbeeReceiver {
+            config: OqpskConfig { sample_rate },
+            ..Default::default()
+        }
+    }
+
+    /// Receives a frame from a waveform aligned to the start of the PPDU.
+    pub fn receive(&self, samples: &[Cplx]) -> Result<ReceivedZigbeeFrame, ZigbeeError> {
+        let rssi = rssi_dbm(samples);
+        if rssi < self.sensitivity_dbm {
+            return Err(ZigbeeError::SfdNotFound);
+        }
+        let spc = self.config.samples_per_chip();
+        // Conservative upper bound on how many whole chips the waveform holds.
+        let num_chips = (samples.len() / spc).saturating_sub(1);
+        let usable_chips = num_chips - (num_chips % (2 * CHIPS_PER_SYMBOL));
+        if usable_chips == 0 {
+            return Err(ZigbeeError::TruncatedWaveform {
+                have: samples.len(),
+                need: 2 * CHIPS_PER_SYMBOL * spc,
+            });
+        }
+        let chips = demodulate(samples, usable_chips, self.config)?;
+        let (bytes, lqi) = despread_bytes(&chips);
+        let frame = ZigbeeFrame::from_ppdu_bytes(&bytes)?;
+        Ok(ReceivedZigbeeFrame {
+            payload: frame.payload,
+            rssi_dbm: rssi,
+            lqi,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interscatter_dsp::iq::scale;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn clean_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let payload: Vec<u8> = (0..60).map(|_| rng.gen()).collect();
+        let tx = ZigbeeTransmitter::default();
+        let wave = tx.transmit(&payload).unwrap();
+        let rx = ZigbeeReceiver::default();
+        let frame = rx.receive(&wave.samples).unwrap();
+        assert_eq!(frame.payload, payload);
+        assert_eq!(frame.lqi, 32);
+        assert!((frame.rssi_dbm - rssi_dbm(&wave.samples)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn airtime_matches_250kbps() {
+        // PPDU of (4+1+1+20+2)=28 bytes = 56 symbols = 1792 chips = 896 µs;
+        // equivalently 28·8 bits / 250 kbps = 896 µs.
+        let tx = ZigbeeTransmitter::default();
+        let wave = tx.transmit(&[0u8; 20]).unwrap();
+        assert!((wave.airtime_s() - 896e-6).abs() < 1e-9);
+        let implied_rate = (wave.frame.ppdu_len_bytes() * 8) as f64 / wave.airtime_s();
+        assert!((implied_rate - BIT_RATE).abs() < 1.0);
+    }
+
+    #[test]
+    fn weak_signals_down_to_sensitivity() {
+        let tx = ZigbeeTransmitter::default();
+        let wave = tx.transmit(&[0x5Au8; 30]).unwrap();
+        let rx = ZigbeeReceiver::default();
+        // -80 dBm equivalent.
+        let weak = scale(&wave.samples, 1e-4);
+        let frame = rx.receive(&weak).unwrap();
+        assert_eq!(frame.payload, vec![0x5Au8; 30]);
+        // Below sensitivity is rejected.
+        let too_weak = scale(&wave.samples, 1e-6);
+        assert!(rx.receive(&too_weak).is_err());
+    }
+
+    #[test]
+    fn noise_tolerance() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let payload: Vec<u8> = (0..40).map(|_| rng.gen()).collect();
+        let tx = ZigbeeTransmitter::default();
+        let wave = tx.transmit(&payload).unwrap();
+        let noisy: Vec<Cplx> = wave
+            .samples
+            .iter()
+            .map(|&s| {
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let r = (-2.0 * u1.ln()).sqrt() * 0.25;
+                s + Cplx::new(
+                    r * (2.0 * std::f64::consts::PI * u2).cos(),
+                    r * (2.0 * std::f64::consts::PI * u2).sin(),
+                )
+            })
+            .collect();
+        let rx = ZigbeeReceiver::default();
+        let frame = rx.receive(&noisy).unwrap();
+        assert_eq!(frame.payload, payload);
+        assert!(frame.lqi >= 20, "LQI degraded to {}", frame.lqi);
+    }
+
+    #[test]
+    fn truncated_waveform_is_rejected() {
+        let tx = ZigbeeTransmitter::default();
+        let wave = tx.transmit(&[1u8; 10]).unwrap();
+        let rx = ZigbeeReceiver::default();
+        assert!(rx.receive(&wave.samples[..50]).is_err());
+    }
+
+    #[test]
+    fn oversized_payload_rejected_at_transmit() {
+        let tx = ZigbeeTransmitter::default();
+        assert!(tx.transmit(&[0u8; 126]).is_err());
+    }
+
+    #[test]
+    fn higher_sample_rate_round_trip() {
+        let payload = vec![0xC3u8; 25];
+        let tx = ZigbeeTransmitter::new(16e6);
+        let wave = tx.transmit(&payload).unwrap();
+        let rx = ZigbeeReceiver::new(16e6);
+        assert_eq!(rx.receive(&wave.samples).unwrap().payload, payload);
+    }
+}

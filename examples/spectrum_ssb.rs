@@ -1,0 +1,48 @@
+//! Single-sideband versus double-sideband backscatter spectra (Fig. 6) and
+//! the BLE single-tone spectra (Fig. 9), rendered as ASCII plots.
+//!
+//! Run with `cargo run --example spectrum_ssb`.
+
+use interscatter::sim::experiments::{fig06, fig09};
+
+/// Renders a PSD as a coarse ASCII spectrum (power vs frequency).
+fn ascii_spectrum(points: &[interscatter::dsp::spectrum::SpectrumPoint], bins: usize, width: usize) -> String {
+    if points.is_empty() || bins == 0 {
+        return String::new();
+    }
+    let f_min = points.first().unwrap().freq_hz;
+    let f_max = points.last().unwrap().freq_hz;
+    let mut grid = vec![f64::NEG_INFINITY; bins];
+    for p in points {
+        let idx = (((p.freq_hz - f_min) / (f_max - f_min)) * (bins - 1) as f64).round() as usize;
+        let linear = interscatter::dsp::units::db_to_ratio(p.power_db);
+        let current = interscatter::dsp::units::db_to_ratio(grid[idx]);
+        grid[idx] = interscatter::dsp::units::ratio_to_db(current.max(linear) + if current.is_finite() { 0.0 } else { 0.0 });
+        if grid[idx] < p.power_db {
+            grid[idx] = p.power_db;
+        }
+    }
+    let peak = grid.iter().cloned().fold(f64::MIN, f64::max);
+    let floor = peak - 40.0;
+    let mut out = String::new();
+    for (i, &db) in grid.iter().enumerate() {
+        let freq_mhz = (f_min + (f_max - f_min) * i as f64 / (bins - 1) as f64) / 1e6;
+        let norm = ((db - floor) / (peak - floor)).clamp(0.0, 1.0);
+        let bar = "#".repeat((norm * width as f64).round() as usize);
+        out.push_str(&format!("{freq_mhz:>8.1} MHz |{bar}\n"));
+    }
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let results = fig06::run(&fig06::Fig06Params::default())?;
+    println!("{}", fig06::report(&results));
+    for r in &results {
+        println!("--- {} spectrum (40 dB dynamic range) ---", r.design);
+        println!("{}", ascii_spectrum(&r.psd, 33, 50));
+    }
+
+    let rows = fig09::run(0x5EED)?;
+    println!("{}", fig09::report(&rows));
+    Ok(())
+}

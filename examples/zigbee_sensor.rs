@@ -1,0 +1,48 @@
+//! Generating ZigBee instead of Wi-Fi (§4.5 / Fig. 14).
+//!
+//! The same tag hardware can synthesize IEEE 802.15.4 packets by shifting
+//! the BLE channel 38 tone down by 6 MHz into ZigBee channel 14. This
+//! example prints the Fig. 14 RSSI summary and then delivers a series of
+//! sensor reports to a simulated CC2531-class ZigBee hub.
+
+use interscatter::prelude::*;
+use interscatter::sim::experiments::fig14;
+use interscatter::sim::uplink::UplinkScenario;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (rows, cdf) = fig14::run(&fig14::Fig14Params::default())?;
+    println!("{}", fig14::report(&rows, &cdf));
+
+    // A temperature/humidity sensor 10 ft from the hub, tag 2 ft from the
+    // phone providing the Bluetooth carrier.
+    let scenario = UplinkScenario::fig14_zigbee(10.0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x21CB);
+    let mut delivered = 0usize;
+    let reports = 15usize;
+    for r in 0..reports {
+        let temperature_c_x10 = 215 + (r as i32 % 7) - 3;
+        let humidity_pct = 40 + (r % 20) as u8;
+        let payload = [
+            r as u8,
+            (temperature_c_x10 & 0xFF) as u8,
+            (temperature_c_x10 >> 8) as u8,
+            humidity_pct,
+        ];
+        let rssi = scenario.rssi_shadowed_dbm(&mut rng);
+        let (ok, _) = scenario.simulate_zigbee_packet(&payload, rssi, &mut rng)?;
+        if ok {
+            delivered += 1;
+        }
+    }
+    println!("sensor reports delivered over backscattered ZigBee at 10 ft: {delivered}/{reports}");
+
+    // The energy argument from §4.5: an active ZigBee radio draws tens of
+    // milliwatts; the interscatter tag draws tens of microwatts.
+    let system = Interscatter::zigbee();
+    println!(
+        "tag power while transmitting ZigBee: {:.1} µW (active ZigBee radio: ~30,000 µW)",
+        system.ic_power_w() * 1e6
+    );
+    Ok(())
+}

@@ -1,0 +1,171 @@
+//! Property-based tests on the workspace's core invariants, using proptest.
+//!
+//! These complement the unit tests by exercising the framing, coding and
+//! modulation round trips on arbitrary inputs, and the tag's passivity
+//! constraint on arbitrary payloads.
+
+use interscatter::backscatter::ssb::{reflection_sequence, SsbConfig};
+use interscatter::ble::channels::BleChannel;
+use interscatter::ble::packet::AdvertisingPacket;
+use interscatter::dsp::bits::{bits_to_bytes_lsb, bytes_to_bits_lsb};
+use interscatter::dsp::crc::{ble_crc24, crc16_ccitt, crc32_ieee_u32, BLE_ADV_CRC_INIT};
+use interscatter::dsp::fft::{fft, ifft};
+use interscatter::dsp::lfsr::Lfsr7;
+use interscatter::dsp::Cplx;
+use interscatter::wifi::dot11b::scrambler::DsssScrambler;
+use interscatter::wifi::dot11b::{Dot11bReceiver, Dot11bTransmitter, DsssRate};
+use interscatter::wifi::ofdm::convolutional::{encode, viterbi_decode, CodeRate};
+use interscatter::wifi::ofdm::interleaver::{deinterleave, interleave};
+use interscatter::zigbee::{ZigbeeReceiver, ZigbeeTransmitter};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Bit/byte packing round-trips for arbitrary byte strings.
+    #[test]
+    fn bits_bytes_round_trip(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let bits = bytes_to_bits_lsb(&data);
+        prop_assert_eq!(bits_to_bytes_lsb(&bits), data);
+    }
+
+    /// CRCs change when any single bit of the input changes.
+    #[test]
+    fn crc_detects_single_bit_flips(
+        data in proptest::collection::vec(any::<u8>(), 1..48),
+        byte_idx in 0usize..48,
+        bit_idx in 0u8..8,
+    ) {
+        let byte_idx = byte_idx % data.len();
+        let mut corrupted = data.clone();
+        corrupted[byte_idx] ^= 1 << bit_idx;
+        prop_assert_ne!(crc32_ieee_u32(&data), crc32_ieee_u32(&corrupted));
+        prop_assert_ne!(crc16_ccitt(&data), crc16_ccitt(&corrupted));
+        prop_assert_ne!(
+            ble_crc24(&data, BLE_ADV_CRC_INIT),
+            ble_crc24(&corrupted, BLE_ADV_CRC_INIT)
+        );
+    }
+
+    /// BLE whitening is always an involution, for every channel and payload.
+    #[test]
+    fn whitening_is_involutive(
+        channel in 0u8..40,
+        bits in proptest::collection::vec(0u8..=1, 0..256),
+    ) {
+        let mut a = Lfsr7::ble_whitening_for_channel(channel);
+        let whitened = a.whiten(&bits);
+        let mut b = Lfsr7::ble_whitening_for_channel(channel);
+        prop_assert_eq!(b.whiten(&whitened), bits);
+    }
+
+    /// The FFT/IFFT pair is the identity for arbitrary signals.
+    #[test]
+    fn fft_round_trip(values in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 64..=64)) {
+        let x: Vec<Cplx> = values.iter().map(|&(re, im)| Cplx::new(re, im)).collect();
+        let back = ifft(&fft(&x).unwrap()).unwrap();
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    /// BLE advertising packets round-trip through framing and whitening for
+    /// arbitrary payloads and addresses on every advertising channel.
+    #[test]
+    fn ble_packet_round_trip(
+        address in proptest::array::uniform6(any::<u8>()),
+        payload in proptest::collection::vec(any::<u8>(), 0..=31),
+        channel_idx in 0usize..3,
+    ) {
+        let channel = [BleChannel::ADV_37, BleChannel::ADV_38, BleChannel::ADV_39][channel_idx];
+        let packet = AdvertisingPacket::new(address, &payload).unwrap();
+        let bits = packet.to_air_bits(channel).unwrap();
+        let back = AdvertisingPacket::from_air_bits(&bits, channel).unwrap();
+        prop_assert_eq!(back, packet);
+    }
+
+    /// The 802.11b self-synchronising scrambler round-trips for any seed.
+    #[test]
+    fn dsss_scrambler_round_trip(
+        seed in 0u8..128,
+        bits in proptest::collection::vec(0u8..=1, 0..512),
+    ) {
+        let mut tx = DsssScrambler::new(seed);
+        let scrambled = tx.scramble(&bits);
+        let mut rx = DsssScrambler::new(seed);
+        prop_assert_eq!(rx.descramble(&scrambled), bits);
+    }
+
+    /// The 802.11a/g convolutional code round-trips at every rate for
+    /// arbitrary terminated inputs.
+    #[test]
+    fn convolutional_round_trip(
+        data in proptest::collection::vec(0u8..=1, 24..240),
+        rate_idx in 0usize..3,
+    ) {
+        let rate = [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters][rate_idx];
+        // Pad to a multiple of 6 so every punctured rate stays aligned, then
+        // terminate.
+        let mut data = data;
+        while data.len() % 6 != 0 {
+            data.push(0);
+        }
+        data.extend([0u8; 6]);
+        let coded = encode(&data, rate);
+        let decoded = viterbi_decode(&coded, rate, true).unwrap();
+        prop_assert_eq!(decoded, data);
+    }
+
+    /// The OFDM interleaver is a bijection for every supported constellation.
+    #[test]
+    fn interleaver_round_trip(
+        bits in proptest::collection::vec(0u8..=1, 288..=288),
+        n_bpsc_idx in 0usize..4,
+    ) {
+        let n_bpsc = [1usize, 2, 4, 6][n_bpsc_idx];
+        let n_cbps = 48 * n_bpsc;
+        let symbol = &bits[..n_cbps];
+        let inter = interleave(symbol, n_cbps, n_bpsc);
+        prop_assert_eq!(deinterleave(&inter, n_cbps, n_bpsc), symbol.to_vec());
+    }
+
+    /// A noiseless 802.11b link is error-free for arbitrary payloads at
+    /// every rate — the "standards-compliant" invariant of the synthesized
+    /// packets.
+    #[test]
+    fn dot11b_round_trip(
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        rate_idx in 0usize..4,
+    ) {
+        let rate = [DsssRate::Mbps1, DsssRate::Mbps2, DsssRate::Mbps5_5, DsssRate::Mbps11][rate_idx];
+        let tx = Dot11bTransmitter::new(rate);
+        let frame = tx.transmit(&payload).unwrap();
+        let rx = Dot11bReceiver::default();
+        let received = rx.receive(&frame.chips).unwrap();
+        prop_assert_eq!(received.payload, payload);
+        prop_assert!(received.fcs_ok);
+    }
+
+    /// A noiseless 802.15.4 link is error-free for arbitrary payloads.
+    #[test]
+    fn zigbee_round_trip(payload in proptest::collection::vec(any::<u8>(), 0..100)) {
+        let tx = ZigbeeTransmitter::default();
+        let wave = tx.transmit(&payload).unwrap();
+        let rx = ZigbeeReceiver::default();
+        prop_assert_eq!(rx.receive(&wave.samples).unwrap().payload, payload);
+    }
+
+    /// The tag is passive for arbitrary baseband inputs: no reflection
+    /// coefficient ever exceeds unit magnitude.
+    #[test]
+    fn tag_reflection_is_passive(
+        phases in proptest::collection::vec(0.0f64..std::f64::consts::TAU, 64..512),
+    ) {
+        let baseband: Vec<Cplx> = phases.iter().map(|&p| Cplx::expj(p)).collect();
+        let config = SsbConfig::new(176e6, 35.75e6);
+        let reflection = reflection_sequence(&config, &baseband).unwrap();
+        for g in reflection {
+            prop_assert!(g.abs() <= 1.0 + 1e-9);
+        }
+    }
+}
