@@ -23,13 +23,18 @@ pub struct DsbConfig {
 impl DsbConfig {
     /// Creates a configuration.
     pub fn new(sample_rate: f64, shift_hz: f64) -> Self {
-        DsbConfig { sample_rate, shift_hz }
+        DsbConfig {
+            sample_rate,
+            shift_hz,
+        }
     }
 
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), BackscatterError> {
         if self.shift_hz == 0.0 {
-            return Err(BackscatterError::InvalidConfig("shift frequency must be non-zero"));
+            return Err(BackscatterError::InvalidConfig(
+                "shift frequency must be non-zero",
+            ));
         }
         if self.sample_rate < 2.0 * self.shift_hz.abs() {
             return Err(BackscatterError::InvalidConfig(
@@ -141,7 +146,10 @@ mod tests {
     fn switching_waveform_alternates() {
         let config = DsbConfig::new(100.0, 10.0);
         let w = switching_waveform(&config, 20).unwrap();
-        assert_eq!(&w[..10], &[1.0, 1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, -1.0, -1.0]);
+        assert_eq!(
+            &w[..10],
+            &[1.0, 1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, -1.0, -1.0]
+        );
         assert_eq!(&w[..10], &w[10..]);
     }
 }

@@ -127,7 +127,9 @@ impl EnvelopeDetector {
     ) -> Result<Vec<u8>, BackscatterError> {
         self.validate()?;
         if samples_per_symbol == 0 {
-            return Err(BackscatterError::InvalidConfig("samples_per_symbol must be positive"));
+            return Err(BackscatterError::InvalidConfig(
+                "samples_per_symbol must be positive",
+            ));
         }
         let env = self.envelope(samples)?;
         // Per-symbol sustained envelope = median of the smoothed envelope

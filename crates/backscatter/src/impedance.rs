@@ -147,7 +147,10 @@ impl SwitchNetwork {
 
     /// Reflection coefficient produced by selecting `state`.
     pub fn reflection(&self, state: QuadratureState) -> Cplx {
-        let idx = QuadratureState::ALL.iter().position(|s| *s == state).expect("state in ALL");
+        let idx = QuadratureState::ALL
+            .iter()
+            .position(|s| *s == state)
+            .expect("state in ALL");
         reflection_coefficient(self.antenna, self.terminations[idx].impedance(self.freq_hz))
     }
 
@@ -213,7 +216,10 @@ mod tests {
         // Open / short / resistor.
         assert!(Termination::Open.impedance(DEFAULT_FREQ_HZ).re > 1e9);
         assert_eq!(Termination::Short.impedance(DEFAULT_FREQ_HZ), Cplx::ZERO);
-        assert_eq!(Termination::Resistor(50.0).impedance(DEFAULT_FREQ_HZ), Cplx::real(50.0));
+        assert_eq!(
+            Termination::Resistor(50.0).impedance(DEFAULT_FREQ_HZ),
+            Cplx::real(50.0)
+        );
     }
 
     #[test]
@@ -239,7 +245,11 @@ mod tests {
             Termination::Inductor(2e-9),
         ] {
             let gamma = reflection_coefficient(za, termination.impedance(DEFAULT_FREQ_HZ));
-            assert!((gamma.abs() - 1.0).abs() < 1e-9, "{termination:?} -> |Γ| = {}", gamma.abs());
+            assert!(
+                (gamma.abs() - 1.0).abs() < 1e-9,
+                "{termination:?} -> |Γ| = {}",
+                gamma.abs()
+            );
         }
     }
 
@@ -268,7 +278,10 @@ mod tests {
 
     #[test]
     fn ideal_states_are_exact_quadrature() {
-        let pts: Vec<Cplx> = QuadratureState::ALL.iter().map(|s| s.ideal_reflection()).collect();
+        let pts: Vec<Cplx> = QuadratureState::ALL
+            .iter()
+            .map(|s| s.ideal_reflection())
+            .collect();
         for p in &pts {
             assert!((p.abs() - 1.0).abs() < 1e-12);
         }
@@ -278,10 +291,22 @@ mod tests {
 
     #[test]
     fn nearest_state_quantisation() {
-        assert_eq!(QuadratureState::nearest(Cplx::new(0.3, 0.9)), QuadratureState::PlusPlus);
-        assert_eq!(QuadratureState::nearest(Cplx::new(0.3, -0.9)), QuadratureState::PlusMinus);
-        assert_eq!(QuadratureState::nearest(Cplx::new(-0.3, 0.9)), QuadratureState::MinusPlus);
-        assert_eq!(QuadratureState::nearest(Cplx::new(-0.3, -0.1)), QuadratureState::MinusMinus);
+        assert_eq!(
+            QuadratureState::nearest(Cplx::new(0.3, 0.9)),
+            QuadratureState::PlusPlus
+        );
+        assert_eq!(
+            QuadratureState::nearest(Cplx::new(0.3, -0.9)),
+            QuadratureState::PlusMinus
+        );
+        assert_eq!(
+            QuadratureState::nearest(Cplx::new(-0.3, 0.9)),
+            QuadratureState::MinusPlus
+        );
+        assert_eq!(
+            QuadratureState::nearest(Cplx::new(-0.3, -0.1)),
+            QuadratureState::MinusMinus
+        );
     }
 
     #[test]
@@ -304,7 +329,10 @@ mod tests {
         // A fictitious network whose reflections are exactly the ideal
         // constellation scores 1.0.
         struct Ideal;
-        let pts: Vec<Cplx> = QuadratureState::ALL.iter().map(|s| s.ideal_reflection()).collect();
+        let pts: Vec<Cplx> = QuadratureState::ALL
+            .iter()
+            .map(|s| s.ideal_reflection())
+            .collect();
         let mags: Vec<f64> = pts.iter().map(|p| p.abs()).collect();
         assert!(mags.iter().all(|m| (m - 1.0).abs() < 1e-12));
         let _ = Ideal;

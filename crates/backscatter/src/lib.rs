@@ -70,7 +70,10 @@ impl core::fmt::Display for BackscatterError {
         match self {
             BackscatterError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
             BackscatterError::CarrierTooShort { have, need } => {
-                write!(f, "incident carrier too short: have {have} samples, need {need}")
+                write!(
+                    f,
+                    "incident carrier too short: have {have} samples, need {need}"
+                )
             }
             BackscatterError::NoPacketDetected => write!(f, "no Bluetooth packet detected"),
             BackscatterError::Wifi(e) => write!(f, "Wi-Fi PHY error: {e}"),
@@ -106,9 +109,15 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(BackscatterError::InvalidConfig("shift").to_string().contains("shift"));
-        assert!(BackscatterError::CarrierTooShort { have: 1, need: 2 }.to_string().contains('2'));
-        assert!(BackscatterError::NoPacketDetected.to_string().contains("Bluetooth"));
+        assert!(BackscatterError::InvalidConfig("shift")
+            .to_string()
+            .contains("shift"));
+        assert!(BackscatterError::CarrierTooShort { have: 1, need: 2 }
+            .to_string()
+            .contains('2'));
+        assert!(BackscatterError::NoPacketDetected
+            .to_string()
+            .contains("Bluetooth"));
         let e: BackscatterError = interscatter_dsp::DspError::EmptyInput("x").into();
         assert!(e.to_string().contains("DSP"));
         let e: BackscatterError = interscatter_wifi::WifiError::PreambleNotFound.into();

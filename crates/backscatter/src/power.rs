@@ -84,7 +84,8 @@ impl IcPowerModel {
         let leakage_per_block_w = 0.4e-6;
         // Solve C from P = C V^2 f with the paper's P at the known f.
         let synth_cap_f = (paper::FREQUENCY_SYNTHESIZER_W - leakage_per_block_w) / (v2 * 143e6);
-        let baseband_cap_per_bit_f = (paper::BASEBAND_PROCESSOR_W - leakage_per_block_w) / (v2 * 2e6);
+        let baseband_cap_per_bit_f =
+            (paper::BASEBAND_PROCESSOR_W - leakage_per_block_w) / (v2 * 2e6);
         // The modulator toggles at the chip rate times the four clock phases.
         let modulator_cap_per_chip_f =
             (paper::BACKSCATTER_MODULATOR_W - leakage_per_block_w) / (v2 * 11e6 * 4.0);
@@ -118,7 +119,11 @@ impl IcPowerModel {
     /// 2 MHz for ZigBee).
     pub fn modulator(&self, chip_rate: f64) -> BlockPower {
         BlockPower {
-            dynamic_w: self.modulator_cap_per_chip_f * self.supply_v * self.supply_v * chip_rate * 4.0,
+            dynamic_w: self.modulator_cap_per_chip_f
+                * self.supply_v
+                * self.supply_v
+                * chip_rate
+                * 4.0,
             leakage_w: self.leakage_per_block_w,
         }
     }
@@ -126,12 +131,20 @@ impl IcPowerModel {
     /// Total active power while backscattering a packet at `bit_rate` with
     /// chips at `chip_rate`.
     pub fn total_active_w(&self, bit_rate: f64, chip_rate: f64) -> f64 {
-        self.synthesizer().total_w() + self.baseband(bit_rate).total_w() + self.modulator(chip_rate).total_w()
+        self.synthesizer().total_w()
+            + self.baseband(bit_rate).total_w()
+            + self.modulator(chip_rate).total_w()
     }
 
     /// Average power when the tag is duty-cycled: active for `active_s`
     /// every `period_s`, sleeping (leakage only, 3 blocks) otherwise.
-    pub fn duty_cycled_w(&self, bit_rate: f64, chip_rate: f64, active_s: f64, period_s: f64) -> f64 {
+    pub fn duty_cycled_w(
+        &self,
+        bit_rate: f64,
+        chip_rate: f64,
+        active_s: f64,
+        period_s: f64,
+    ) -> f64 {
         let duty = (active_s / period_s).clamp(0.0, 1.0);
         let active = self.total_active_w(bit_rate, chip_rate);
         let sleep = 3.0 * self.leakage_per_block_w;
@@ -160,9 +173,18 @@ mod tests {
         let synth = model.synthesizer().total_w();
         let baseband = model.baseband(2e6).total_w();
         let modulator = model.modulator(11e6).total_w();
-        assert!((synth - paper::FREQUENCY_SYNTHESIZER_W).abs() < 1e-9, "synth {synth}");
-        assert!((baseband - paper::BASEBAND_PROCESSOR_W).abs() < 1e-9, "baseband {baseband}");
-        assert!((modulator - paper::BACKSCATTER_MODULATOR_W).abs() < 1e-9, "modulator {modulator}");
+        assert!(
+            (synth - paper::FREQUENCY_SYNTHESIZER_W).abs() < 1e-9,
+            "synth {synth}"
+        );
+        assert!(
+            (baseband - paper::BASEBAND_PROCESSOR_W).abs() < 1e-9,
+            "baseband {baseband}"
+        );
+        assert!(
+            (modulator - paper::BACKSCATTER_MODULATOR_W).abs() < 1e-9,
+            "modulator {modulator}"
+        );
         let total = model.total_active_w(2e6, 11e6);
         assert!((total - paper::TOTAL_2MBPS_W).abs() < 1e-9, "total {total}");
     }
@@ -187,7 +209,10 @@ mod tests {
         let zigbee = model.total_active_w(250e3, 2e6);
         let wifi = model.total_active_w(2e6, 11e6);
         assert!(zigbee < wifi);
-        assert!(zigbee > model.synthesizer().total_w(), "must include all blocks");
+        assert!(
+            zigbee > model.synthesizer().total_w(),
+            "must include all blocks"
+        );
     }
 
     #[test]

@@ -53,7 +53,9 @@ impl SsbConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), BackscatterError> {
         if self.shift_hz == 0.0 {
-            return Err(BackscatterError::InvalidConfig("shift frequency must be non-zero"));
+            return Err(BackscatterError::InvalidConfig(
+                "shift frequency must be non-zero",
+            ));
         }
         if self.sample_rate < 4.0 * self.shift_hz.abs() {
             return Err(BackscatterError::InvalidConfig(
@@ -98,7 +100,9 @@ pub fn switching_waveform(config: &SsbConfig, len: usize) -> Result<Vec<Cplx>, B
                 QuadratureState::nearest(value).ideal_reflection()
             } else {
                 // Ideal complex exponential for the ablation baseline.
-                Cplx::expj(2.0 * std::f64::consts::PI * config.shift_hz * n as f64 / config.sample_rate)
+                Cplx::expj(
+                    2.0 * std::f64::consts::PI * config.shift_hz * n as f64 / config.sample_rate,
+                )
             }
         })
         .collect();
@@ -134,10 +138,7 @@ pub fn reflection_sequence(
 /// incident wave weighted by its instantaneous reflection coefficient).
 ///
 /// The incident carrier must be at least as long as the reflection sequence.
-pub fn backscatter(
-    carrier: &[Cplx],
-    reflection: &[Cplx],
-) -> Result<Vec<Cplx>, BackscatterError> {
+pub fn backscatter(carrier: &[Cplx], reflection: &[Cplx]) -> Result<Vec<Cplx>, BackscatterError> {
     if carrier.len() < reflection.len() {
         return Err(BackscatterError::CarrierTooShort {
             have: carrier.len(),
@@ -154,10 +155,7 @@ pub fn backscatter(
 /// Convenience: shift an incident carrier by Δf with single-sideband
 /// backscatter and no data modulation (a pure tone shift), returning the
 /// scattered waveform. Used by the spectral-efficiency experiments (Fig. 6).
-pub fn shift_tone(
-    config: &SsbConfig,
-    carrier: &[Cplx],
-) -> Result<Vec<Cplx>, BackscatterError> {
+pub fn shift_tone(config: &SsbConfig, carrier: &[Cplx]) -> Result<Vec<Cplx>, BackscatterError> {
     let reflection = switching_waveform(config, carrier.len())?;
     backscatter(carrier, &reflection)
 }
@@ -186,7 +184,10 @@ mod tests {
         let fs = 100.0;
         let f = 10.0; // 10-sample period
         let w: Vec<f64> = (0..40).map(|n| square_wave(n, f, fs, false)).collect();
-        assert_eq!(&w[..10], &[1.0, 1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, -1.0, -1.0]);
+        assert_eq!(
+            &w[..10],
+            &[1.0, 1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, -1.0, -1.0]
+        );
         assert_eq!(&w[..10], &w[10..20]);
         // Quarter delay shifts by 2.5 samples.
         let d: Vec<f64> = (0..10).map(|n| square_wave(n, f, fs, true)).collect();
@@ -220,7 +221,11 @@ mod tests {
         let psd = psd_of(&scattered);
         let lower = band_power_db(&psd, -7e6, -5e6);
         let upper = band_power_db(&psd, 5e6, 7e6);
-        assert!(lower - upper > 15.0, "down-shift suppression {}", lower - upper);
+        assert!(
+            lower - upper > 15.0,
+            "down-shift suppression {}",
+            lower - upper
+        );
     }
 
     #[test]
@@ -255,17 +260,21 @@ mod tests {
         let psd = psd_of(&scattered);
         let fundamental = band_power_db(&psd, shift - 0.5e6, shift + 0.5e6);
         let third = band_power_db(&psd, -3.0 * shift - 0.5e6, -3.0 * shift + 0.5e6);
-        assert!(fundamental - third > 30.0, "ideal shift should have clean spectrum");
+        assert!(
+            fundamental - third > 30.0,
+            "ideal shift should have clean spectrum"
+        );
     }
 
     #[test]
     fn reflection_sequence_stays_on_achievable_states() {
         let config = SsbConfig::new(FS, PROTOTYPE_SHIFT_HZ);
-        let baseband: Vec<Cplx> = (0..1000)
-            .map(|i| Cplx::expj(i as f64 * 0.37))
-            .collect();
+        let baseband: Vec<Cplx> = (0..1000).map(|i| Cplx::expj(i as f64 * 0.37)).collect();
         let refl = reflection_sequence(&config, &baseband).unwrap();
-        let states: Vec<Cplx> = QuadratureState::ALL.iter().map(|s| s.ideal_reflection()).collect();
+        let states: Vec<Cplx> = QuadratureState::ALL
+            .iter()
+            .map(|s| s.ideal_reflection())
+            .collect();
         for g in &refl {
             assert!(
                 states.iter().any(|s| (*s - *g).abs() < 1e-12),
@@ -294,7 +303,13 @@ mod tests {
         let shift = 20e6;
         let config = SsbConfig::new(FS, shift);
         let symbols: Vec<Cplx> = (0..(1 << 15))
-            .map(|n| if (n / 88) % 2 == 0 { Cplx::ONE } else { -Cplx::ONE })
+            .map(|n| {
+                if (n / 88) % 2 == 0 {
+                    Cplx::ONE
+                } else {
+                    -Cplx::ONE
+                }
+            })
             .collect();
         let carrier = tone(0.0, FS, symbols.len(), 0.0);
         let refl = reflection_sequence(&config, &symbols).unwrap();

@@ -23,7 +23,7 @@ use crate::ssb::{reflection_sequence, SsbConfig};
 use crate::{dsb, BackscatterError};
 use interscatter_dsp::filter::upsample_hold;
 use interscatter_dsp::Cplx;
-use interscatter_wifi::dot11b::{DsssRate, Dot11bTransmitter};
+use interscatter_wifi::dot11b::{Dot11bTransmitter, DsssRate};
 use interscatter_zigbee::ZigbeeTransmitter;
 
 /// Which sideband architecture the tag uses.
@@ -104,7 +104,9 @@ impl TagConfig {
             ));
         }
         if self.guard_interval_s < 0.0 {
-            return Err(BackscatterError::InvalidConfig("guard interval must be non-negative"));
+            return Err(BackscatterError::InvalidConfig(
+                "guard interval must be non-negative",
+            ));
         }
         Ok(())
     }
@@ -197,11 +199,10 @@ impl InterscatterTag {
         payload: &[u8],
         payload_offset_s: f64,
     ) -> Result<BackscatterResult, BackscatterError> {
-        let detect_start =
-            self.detector
-                .detect_packet_start(incident, 8e-6, 6.0)?;
-        let offset_samples =
-            ((payload_offset_s + self.config.guard_interval_s) * self.config.sample_rate).round() as usize;
+        let detect_start = self.detector.detect_packet_start(incident, 8e-6, 6.0)?;
+        let offset_samples = ((payload_offset_s + self.config.guard_interval_s)
+            * self.config.sample_rate)
+            .round() as usize;
         let start_sample = detect_start + offset_samples;
         let reflection = self.reflection_for_payload(payload)?;
         if start_sample + reflection.len() > incident.len() {
@@ -299,7 +300,11 @@ mod tests {
             let tag = InterscatterTag::new(config).unwrap();
             let reflection = tag.reflection_for_payload(&payload).unwrap();
             for g in reflection.iter().step_by(173) {
-                assert!(g.abs() <= 1.0 + 1e-9, "passive constraint violated: {}", g.abs());
+                assert!(
+                    g.abs() <= 1.0 + 1e-9,
+                    "passive constraint violated: {}",
+                    g.abs()
+                );
             }
         }
     }
@@ -315,20 +320,26 @@ mod tests {
             v.extend(burst);
             v
         };
-        let result = tag.backscatter_packet(&incident, &[0x11; 20], 104e-6).unwrap();
+        let result = tag
+            .backscatter_packet(&incident, &[0x11; 20], 104e-6)
+            .unwrap();
         let detect_expected = silence.len();
         let offset_expected = ((104e-6 + 4e-6) * FS_WIFI) as usize;
         assert!(
             result.start_sample >= detect_expected + offset_expected
-                && result.start_sample <= detect_expected + offset_expected + (5e-6 * FS_WIFI) as usize,
+                && result.start_sample
+                    <= detect_expected + offset_expected + (5e-6 * FS_WIFI) as usize,
             "start sample {} not within the expected window",
             result.start_sample
         );
         assert_eq!(result.scattered.len(), incident.len());
         // Before the start the scattered waveform is silent.
-        assert!(result.scattered[..result.start_sample].iter().all(|s| s.abs() == 0.0));
+        assert!(result.scattered[..result.start_sample]
+            .iter()
+            .all(|s| s.abs() == 0.0));
         // During the active window it is not.
-        let active = &result.scattered[result.start_sample..result.start_sample + result.active_samples];
+        let active =
+            &result.scattered[result.start_sample..result.start_sample + result.active_samples];
         assert!(interscatter_dsp::iq::mean_power(active) > 0.0);
     }
 
@@ -337,8 +348,12 @@ mod tests {
         let tag = InterscatterTag::new(TagConfig::prototype_wifi(FS_WIFI)).unwrap();
         // Both levels stay above the tag's -32 dBm detection floor; the
         // leading silence keeps the adaptive threshold meaningful.
-        let make_incident =
-            |amp: f64| delay(&incident_tone(FS_WIFI, 400e-6, amp), (20e-6 * FS_WIFI) as usize);
+        let make_incident = |amp: f64| {
+            delay(
+                &incident_tone(FS_WIFI, 400e-6, amp),
+                (20e-6 * FS_WIFI) as usize,
+            )
+        };
         let strong = tag
             .backscatter_packet(&make_incident(0.5), &[0x11; 10], 104e-6)
             .unwrap();
@@ -352,7 +367,10 @@ mod tests {
             &weak.scattered[weak.start_sample..weak.start_sample + weak.active_samples],
         );
         let ratio_db = interscatter_dsp::units::ratio_to_db(p_strong / p_weak);
-        assert!((ratio_db - 20.0).abs() < 0.5, "scattered power ratio {ratio_db} dB");
+        assert!(
+            (ratio_db - 20.0).abs() < 0.5,
+            "scattered power ratio {ratio_db} dB"
+        );
     }
 
     #[test]
@@ -369,7 +387,10 @@ mod tests {
     fn carrier_too_short_for_the_payload() {
         let tag = InterscatterTag::new(TagConfig::prototype_wifi(FS_WIFI)).unwrap();
         // Burst long enough to detect but far too short for a whole packet.
-        let incident = delay(&incident_tone(FS_WIFI, 150e-6, 0.1), (10e-6 * FS_WIFI) as usize);
+        let incident = delay(
+            &incident_tone(FS_WIFI, 150e-6, 0.1),
+            (10e-6 * FS_WIFI) as usize,
+        );
         assert!(matches!(
             tag.backscatter_packet(&incident, &[0u8; 200], 104e-6),
             Err(BackscatterError::CarrierTooShort { .. })
@@ -383,7 +404,9 @@ mod tests {
             &incident_tone(FS_ZIGBEE, 2000e-6, 0.1),
             (20e-6 * FS_ZIGBEE) as usize,
         );
-        let result = tag.backscatter_packet(&incident, &[0x5A; 20], 104e-6).unwrap();
+        let result = tag
+            .backscatter_packet(&incident, &[0x5A; 20], 104e-6)
+            .unwrap();
         assert!(result.active_samples > 0);
     }
 

@@ -22,7 +22,11 @@ fn ablation_squarewave(c: &mut Criterion) {
 
 fn ablation_guard_interval(c: &mut Criterion) {
     c.bench_function("ablation_guard_interval", |b| {
-        b.iter(|| ablations::guard_interval_ablation(&[0.0, 2e-6, 4e-6, 8e-6, 16e-6, 32e-6, 64e-6, 128e-6]))
+        b.iter(|| {
+            ablations::guard_interval_ablation(&[
+                0.0, 2e-6, 4e-6, 8e-6, 16e-6, 32e-6, 64e-6, 128e-6,
+            ])
+        })
     });
 }
 
@@ -51,9 +55,16 @@ fn ablation_downlink_encoding(c: &mut Criterion) {
     // One-symbol variant: build a schedule with exactly one symbol per bit.
     let schedule: Vec<SymbolClass> = bits
         .iter()
-        .map(|&b| if b == 1 { SymbolClass::Constant } else { SymbolClass::Random })
+        .map(|&b| {
+            if b == 1 {
+                SymbolClass::Constant
+            } else {
+                SymbolClass::Random
+            }
+        })
         .collect();
-    let data = interscatter_wifi::ofdm::am::craft_data_bits(OfdmRate::Mbps36, 0x2D, &schedule, &mut rng);
+    let data =
+        interscatter_wifi::ofdm::am::craft_data_bits(OfdmRate::Mbps36, 0x2D, &schedule, &mut rng);
     let frame = tx.transmit_raw_bits(&data).unwrap();
     let classes = interscatter_wifi::ofdm::am::classify_symbols(&frame.samples);
     let one_symbol_errors = classes

@@ -27,7 +27,9 @@ fn fig09_single_tone(c: &mut Criterion) {
     let report = ReportOnce::new();
     let rows = exp::fig09::run(0x5EED).unwrap();
     report.print(&exp::fig09::report(&rows));
-    c.bench_function("fig09_single_tone", |b| b.iter(|| exp::fig09::run(0x5EED).unwrap()));
+    c.bench_function("fig09_single_tone", |b| {
+        b.iter(|| exp::fig09::run(0x5EED).unwrap())
+    });
 }
 
 fn packet_fit_table(c: &mut Criterion) {
@@ -70,7 +72,9 @@ fn fig12_iperf(c: &mut Criterion) {
         duration_s: 0.5,
         ..Default::default()
     };
-    c.bench_function("fig12_iperf", |b| b.iter(|| exp::fig12::run(&reduced).unwrap()));
+    c.bench_function("fig12_iperf", |b| {
+        b.iter(|| exp::fig12::run(&reduced).unwrap())
+    });
 }
 
 fn fig13_downlink_ber(c: &mut Criterion) {
@@ -85,7 +89,9 @@ fn fig13_downlink_ber(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("fig13_downlink_ber");
     group.sample_size(10);
-    group.bench_function("ber_sweep", |b| b.iter(|| exp::fig13::run(&reduced).unwrap()));
+    group.bench_function("ber_sweep", |b| {
+        b.iter(|| exp::fig13::run(&reduced).unwrap())
+    });
     group.finish();
 }
 
@@ -100,7 +106,9 @@ fn fig14_zigbee(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("fig14_zigbee");
     group.sample_size(10);
-    group.bench_function("rssi_cdf", |b| b.iter(|| exp::fig14::run(&reduced).unwrap()));
+    group.bench_function("rssi_cdf", |b| {
+        b.iter(|| exp::fig14::run(&reduced).unwrap())
+    });
     group.finish();
 }
 
@@ -132,7 +140,9 @@ fn fig17_cards(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("fig17_cards");
     group.sample_size(10);
-    group.bench_function("ber_sweep", |b| b.iter(|| exp::fig17::run(&reduced).unwrap()));
+    group.bench_function("ber_sweep", |b| {
+        b.iter(|| exp::fig17::run(&reduced).unwrap())
+    });
     group.finish();
 }
 
@@ -147,7 +157,9 @@ fn scrambler_seed(c: &mut Criterion) {
     let report = ReportOnce::new();
     let rows = exp::scrambler_seed::run(1000);
     report.print(&exp::scrambler_seed::report(&rows));
-    c.bench_function("scrambler_seed", |b| b.iter(|| exp::scrambler_seed::run(200)));
+    c.bench_function("scrambler_seed", |b| {
+        b.iter(|| exp::scrambler_seed::run(200))
+    });
 }
 
 criterion_group! {

@@ -38,7 +38,9 @@ fn bench_ble_single_tone(c: &mut Criterion) {
     )
     .unwrap();
     let bits = packet.to_air_bits(BleChannel::ADV_38).unwrap();
-    c.bench_function("ble_single_tone_modulate", |b| b.iter(|| modulator.modulate(&bits, 0.0)));
+    c.bench_function("ble_single_tone_modulate", |b| {
+        b.iter(|| modulator.modulate(&bits, 0.0))
+    });
 }
 
 fn bench_dot11b(c: &mut Criterion) {
@@ -49,8 +51,12 @@ fn bench_dot11b(c: &mut Criterion) {
         let data = vec![0xA5u8; payload];
         let frame = tx.transmit(&data).unwrap();
         let rx = Dot11bReceiver::default();
-        group.bench_function(format!("tx_{rate:?}"), |b| b.iter(|| tx.transmit(&data).unwrap()));
-        group.bench_function(format!("rx_{rate:?}"), |b| b.iter(|| rx.receive(&frame.chips).unwrap()));
+        group.bench_function(format!("tx_{rate:?}"), |b| {
+            b.iter(|| tx.transmit(&data).unwrap())
+        });
+        group.bench_function(format!("rx_{rate:?}"), |b| {
+            b.iter(|| rx.receive(&frame.chips).unwrap())
+        });
     }
     group.finish();
 }
@@ -77,7 +83,9 @@ fn bench_zigbee(c: &mut Criterion) {
     let wave = tx.transmit(&payload).unwrap();
     let rx = ZigbeeReceiver::default();
     group.bench_function("tx_250kbps", |b| b.iter(|| tx.transmit(&payload).unwrap()));
-    group.bench_function("rx_250kbps", |b| b.iter(|| rx.receive(&wave.samples).unwrap()));
+    group.bench_function("rx_250kbps", |b| {
+        b.iter(|| rx.receive(&wave.samples).unwrap())
+    });
     group.finish();
 }
 

@@ -46,7 +46,7 @@ impl BleChannel {
 
     /// True for the three advertising channels.
     pub fn is_advertising(self) -> bool {
-        matches!(self.0, 37 | 38 | 39)
+        matches!(self.0, 37..=39)
     }
 
     /// Centre frequency in Hz.
@@ -97,7 +97,10 @@ pub fn wifi_channel_freq_hz(channel: u8) -> f64 {
 /// Centre frequency in Hz of an IEEE 802.15.4 (ZigBee) 2.4 GHz channel
 /// (11–26).
 pub fn zigbee_channel_freq_hz(channel: u8) -> f64 {
-    assert!((11..=26).contains(&channel), "ZigBee channel must be 11..=26");
+    assert!(
+        (11..=26).contains(&channel),
+        "ZigBee channel must be 11..=26"
+    );
     (2405.0 + 5.0 * f64::from(channel - 11)) * 1e6
 }
 
@@ -133,13 +136,19 @@ mod tests {
             .collect();
         freqs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for w in freqs.windows(2) {
-            assert!(w[1] - w[0] >= 2e6 - 1.0, "channels closer than 2 MHz: {w:?}");
+            assert!(
+                w[1] - w[0] >= 2e6 - 1.0,
+                "channels closer than 2 MHz: {w:?}"
+            );
         }
     }
 
     #[test]
     fn invalid_channel_is_rejected() {
-        assert_eq!(BleChannel::new(40).unwrap_err(), BleError::InvalidChannel(40));
+        assert_eq!(
+            BleChannel::new(40).unwrap_err(),
+            BleError::InvalidChannel(40)
+        );
     }
 
     #[test]

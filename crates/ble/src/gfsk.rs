@@ -50,14 +50,16 @@ impl GfskConfig {
     pub fn validate(&self) -> Result<(), BleError> {
         let spb = self.sample_rate / self.bit_rate;
         if spb < 2.0 || (spb - spb.round()).abs() > 1e-9 {
-            return Err(BleError::Dsp(interscatter_dsp::DspError::InvalidFilterSpec(
-                "sample_rate must be an integer multiple (>=2) of bit_rate",
-            )));
+            return Err(BleError::Dsp(
+                interscatter_dsp::DspError::InvalidFilterSpec(
+                    "sample_rate must be an integer multiple (>=2) of bit_rate",
+                ),
+            ));
         }
         if self.bt <= 0.0 || self.deviation_hz <= 0.0 {
-            return Err(BleError::Dsp(interscatter_dsp::DspError::InvalidFilterSpec(
-                "BT and deviation must be positive",
-            )));
+            return Err(BleError::Dsp(
+                interscatter_dsp::DspError::InvalidFilterSpec("BT and deviation must be positive"),
+            ));
         }
         Ok(())
     }
@@ -91,7 +93,7 @@ impl GfskModulator {
         let mut nrz = Vec::with_capacity(bits.len() * spb);
         for &b in bits {
             let level = if b & 1 == 1 { 1.0 } else { -1.0 };
-            nrz.extend(std::iter::repeat(level).take(spb));
+            nrz.extend(std::iter::repeat_n(level, spb));
         }
         // Gaussian-smooth the frequency command.
         let freq_cmd = self.pulse.filter(&nrz);
@@ -161,11 +163,20 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(config().validate().is_ok());
-        let bad = GfskConfig { sample_rate: 1.5e6, ..config() };
+        let bad = GfskConfig {
+            sample_rate: 1.5e6,
+            ..config()
+        };
         assert!(bad.validate().is_err());
-        let bad = GfskConfig { bt: 0.0, ..config() };
+        let bad = GfskConfig {
+            bt: 0.0,
+            ..config()
+        };
         assert!(bad.validate().is_err());
-        let bad = GfskConfig { sample_rate: 1e6, ..config() };
+        let bad = GfskConfig {
+            sample_rate: 1e6,
+            ..config()
+        };
         assert!(bad.validate().is_err(), "1 sample per bit is too few");
         assert_eq!(config().samples_per_bit(), 8);
     }
@@ -176,7 +187,10 @@ mod tests {
         let bits: Vec<u8> = (0..64).map(|i| (i % 3 == 0) as u8).collect();
         let wave = modulator.modulate(&bits, 0.2);
         for s in &wave {
-            assert!((s.abs() - 1.0).abs() < 1e-12, "GFSK must be constant envelope");
+            assert!(
+                (s.abs() - 1.0).abs() < 1e-12,
+                "GFSK must be constant envelope"
+            );
         }
         assert!((mean_power(&wave) - 1.0).abs() < 1e-12);
         assert_eq!(wave.len(), bits.len() * 8);
@@ -191,27 +205,29 @@ mod tests {
         let wave = modulator.modulate(&bits, 0.0);
         let decoded = demodulator.demodulate(&wave);
         assert_eq!(decoded.len(), bits.len());
-        let errors: usize = decoded
-            .iter()
-            .zip(&bits)
-            .filter(|(a, b)| a != b)
-            .count();
+        let errors: usize = decoded.iter().zip(&bits).filter(|(a, b)| a != b).count();
         assert_eq!(errors, 0, "noiseless GFSK round trip must be error-free");
     }
 
     #[test]
     fn all_ones_is_a_positive_tone_and_all_zeros_negative() {
         let modulator = GfskModulator::new(config()).unwrap();
-        let ones = modulator.modulate(&vec![1u8; 100], 0.0);
+        let ones = modulator.modulate(&[1u8; 100], 0.0);
         let inst = instantaneous_frequency(&ones, config().sample_rate);
         // Skip the filter edges and check the steady state.
         for &f in &inst[40..inst.len() - 40] {
-            assert!((f - BLE_FREQ_DEVIATION_HZ).abs() < 1e3, "expected +250 kHz tone, got {f}");
+            assert!(
+                (f - BLE_FREQ_DEVIATION_HZ).abs() < 1e3,
+                "expected +250 kHz tone, got {f}"
+            );
         }
-        let zeros = modulator.modulate(&vec![0u8; 100], 0.0);
+        let zeros = modulator.modulate(&[0u8; 100], 0.0);
         let inst = instantaneous_frequency(&zeros, config().sample_rate);
         for &f in &inst[40..inst.len() - 40] {
-            assert!((f + BLE_FREQ_DEVIATION_HZ).abs() < 1e3, "expected -250 kHz tone, got {f}");
+            assert!(
+                (f + BLE_FREQ_DEVIATION_HZ).abs() < 1e3,
+                "expected -250 kHz tone, got {f}"
+            );
         }
     }
 
@@ -243,7 +259,10 @@ mod tests {
 
     #[test]
     fn higher_sample_rates_work() {
-        let cfg = GfskConfig { sample_rate: 88e6, ..config() };
+        let cfg = GfskConfig {
+            sample_rate: 88e6,
+            ..config()
+        };
         let modulator = GfskModulator::new(cfg).unwrap();
         let demodulator = GfskDemodulator::new(cfg).unwrap();
         let bits = vec![1, 0, 1, 1, 0, 0, 1, 0, 1, 1];

@@ -65,11 +65,17 @@ impl core::fmt::Display for BleError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             BleError::PayloadTooLong { requested, max } => {
-                write!(f, "advertising payload of {requested} bytes exceeds the {max}-byte limit")
+                write!(
+                    f,
+                    "advertising payload of {requested} bytes exceeds the {max}-byte limit"
+                )
             }
             BleError::InvalidChannel(c) => write!(f, "invalid BLE RF channel {c}"),
             BleError::NotAdvertisingChannel(c) => {
-                write!(f, "BLE channel {c} is not an advertising channel (37/38/39)")
+                write!(
+                    f,
+                    "BLE channel {c} is not an advertising channel (37/38/39)"
+                )
             }
             BleError::CrcMismatch => write!(f, "BLE CRC-24 mismatch"),
             BleError::TruncatedWaveform { have, need } => {
@@ -94,10 +100,15 @@ mod tests {
 
     #[test]
     fn error_messages_mention_key_fields() {
-        let e = BleError::PayloadTooLong { requested: 40, max: 31 };
+        let e = BleError::PayloadTooLong {
+            requested: 40,
+            max: 31,
+        };
         assert!(e.to_string().contains("40") && e.to_string().contains("31"));
         assert!(BleError::InvalidChannel(99).to_string().contains("99"));
-        assert!(BleError::NotAdvertisingChannel(12).to_string().contains("12"));
+        assert!(BleError::NotAdvertisingChannel(12)
+            .to_string()
+            .contains("12"));
         assert!(BleError::CrcMismatch.to_string().contains("CRC"));
         let e = BleError::TruncatedWaveform { have: 1, need: 2 };
         assert!(e.to_string().contains('1') && e.to_string().contains('2'));

@@ -153,7 +153,7 @@ impl AdvertisingPacket {
         let bytes = bits_to_bytes_lsb(&dewhitened);
         let pdu_type = AdvPduType::from_code(bytes[0]).ok_or(BleError::CrcMismatch)?;
         let length = bytes[1] as usize;
-        if length < 6 || length > 6 + MAX_ADV_DATA_LEN || bytes.len() < 2 + length + 3 {
+        if !(6..=6 + MAX_ADV_DATA_LEN).contains(&length) || bytes.len() < 2 + length + 3 {
             return Err(BleError::TruncatedWaveform {
                 have: bytes.len(),
                 need: 2 + length.max(6) + 3,
@@ -203,7 +203,13 @@ mod tests {
     fn payload_length_limit_is_enforced() {
         assert!(AdvertisingPacket::new([0; 6], &[0u8; 31]).is_ok());
         let err = AdvertisingPacket::new([0; 6], &[0u8; 32]).unwrap_err();
-        assert_eq!(err, BleError::PayloadTooLong { requested: 32, max: 31 });
+        assert_eq!(
+            err,
+            BleError::PayloadTooLong {
+                requested: 32,
+                max: 31
+            }
+        );
     }
 
     #[test]
@@ -238,7 +244,10 @@ mod tests {
         let p = sample_packet(20);
         let bits = p.to_air_bits(BleChannel::ADV_38).unwrap();
         let result = AdvertisingPacket::from_air_bits(&bits, BleChannel::ADV_37);
-        assert!(result.is_err(), "dewhitening with the wrong channel must not validate");
+        assert!(
+            result.is_err(),
+            "dewhitening with the wrong channel must not validate"
+        );
     }
 
     #[test]

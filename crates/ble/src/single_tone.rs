@@ -170,7 +170,8 @@ mod tests {
                 let end = packet.crc_bit_offset();
                 for (i, &b) in bits[start..end].iter().enumerate() {
                     assert_eq!(
-                        b, expected,
+                        b,
+                        expected,
                         "channel {} polarity {:?} bit {} not constant",
                         ch.index(),
                         polarity,
@@ -228,8 +229,16 @@ mod tests {
         let random = AdvertisingPacket::new(ADDR, &random_payload).unwrap();
         let random_q = analyze_payload_tone(&random, BleChannel::ADV_38, cfg).unwrap();
 
-        assert!(crafted_q.purity > 0.98, "crafted purity {}", crafted_q.purity);
-        assert!(crafted_q.frequency_std_hz < 20e3, "crafted std {}", crafted_q.frequency_std_hz);
+        assert!(
+            crafted_q.purity > 0.98,
+            "crafted purity {}",
+            crafted_q.purity
+        );
+        assert!(
+            crafted_q.frequency_std_hz < 20e3,
+            "crafted std {}",
+            crafted_q.frequency_std_hz
+        );
         assert!(
             (crafted_q.mean_frequency_hz - 250e3).abs() < 20e3,
             "crafted tone at {}",
@@ -247,7 +256,11 @@ mod tests {
         let cfg = GfskConfig::default();
         let packet = single_tone_packet(BleChannel::ADV_37, ADDR, 31, TonePolarity::Low).unwrap();
         let q = analyze_payload_tone(&packet, BleChannel::ADV_37, cfg).unwrap();
-        assert!((q.mean_frequency_hz + 250e3).abs() < 20e3, "tone at {}", q.mean_frequency_hz);
+        assert!(
+            (q.mean_frequency_hz + 250e3).abs() < 20e3,
+            "tone at {}",
+            q.mean_frequency_hz
+        );
         assert_eq!(TonePolarity::Low.frequency_offset_hz(), -250e3);
         assert_eq!(TonePolarity::High.frequency_offset_hz(), 250e3);
     }

@@ -73,10 +73,14 @@ impl Antenna {
     /// Validates the model.
     pub fn validate(&self) -> Result<(), ChannelError> {
         if !(self.efficiency > 0.0 && self.efficiency <= 1.0) {
-            return Err(ChannelError::InvalidParameter("efficiency must be in (0, 1]"));
+            return Err(ChannelError::InvalidParameter(
+                "efficiency must be in (0, 1]",
+            ));
         }
         if self.mismatch_loss_db < 0.0 {
-            return Err(ChannelError::InvalidParameter("mismatch loss must be non-negative"));
+            return Err(ChannelError::InvalidParameter(
+                "mismatch loss must be non-negative",
+            ));
         }
         Ok(())
     }
@@ -104,7 +108,11 @@ mod tests {
 
     #[test]
     fn standard_antennas_validate() {
-        for a in [Antenna::monopole_2dbi(), Antenna::contact_lens_loop(), Antenna::implant_loop()] {
+        for a in [
+            Antenna::monopole_2dbi(),
+            Antenna::contact_lens_loop(),
+            Antenna::implant_loop(),
+        ] {
             assert!(a.validate().is_ok(), "{}", a.name);
         }
     }
@@ -117,7 +125,10 @@ mod tests {
         let monopole = Antenna::monopole_2dbi().effective_gain_dbi();
         let implant = Antenna::implant_loop().effective_gain_dbi();
         let lens = Antenna::contact_lens_loop().effective_gain_dbi();
-        assert!(monopole > implant, "monopole {monopole} vs implant {implant}");
+        assert!(
+            monopole > implant,
+            "monopole {monopole} vs implant {implant}"
+        );
         assert!(implant > lens, "implant {implant} vs lens {lens}");
         // The lens antenna pays a double-digit dB penalty relative to the
         // monopole.

@@ -53,6 +53,8 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ChannelError::InvalidParameter("distance").to_string().contains("distance"));
+        assert!(ChannelError::InvalidParameter("distance")
+            .to_string()
+            .contains("distance"));
     }
 }

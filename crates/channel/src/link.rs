@@ -116,13 +116,14 @@ impl BackscatterLink {
             + self.tx_antenna.effective_gain_dbi()
             + self.tag_antenna.effective_gain_dbi()
             - self.source_to_tag.path_loss_db(source_to_tag_m)
-            - self.tissue_source_to_tag.attenuation_db(self.source_to_tag.freq_hz)
+            - self
+                .tissue_source_to_tag
+                .attenuation_db(self.source_to_tag.freq_hz)
     }
 
     /// Median received power at the receiver, dBm, for the given geometry.
     pub fn received_power_dbm(&self, source_to_tag_m: f64, tag_to_rx_m: f64) -> f64 {
-        self.power_at_tag_dbm(source_to_tag_m)
-            - self.conversion.total_db()
+        self.power_at_tag_dbm(source_to_tag_m) - self.conversion.total_db()
             + self.tag_antenna.effective_gain_dbi()
             + self.rx_antenna.effective_gain_dbi()
             - self.tag_to_rx.path_loss_db(tag_to_rx_m)
@@ -137,7 +138,9 @@ impl BackscatterLink {
         rng: &mut R,
     ) -> f64 {
         let median = self.received_power_dbm(source_to_tag_m, tag_to_rx_m);
-        let extra1 = self.source_to_tag.path_loss_shadowed_db(source_to_tag_m, rng)
+        let extra1 = self
+            .source_to_tag
+            .path_loss_shadowed_db(source_to_tag_m, rng)
             - self.source_to_tag.path_loss_db(source_to_tag_m);
         let extra2 = self.tag_to_rx.path_loss_shadowed_db(tag_to_rx_m, rng)
             - self.tag_to_rx.path_loss_db(tag_to_rx_m);
@@ -160,8 +163,12 @@ mod tests {
 
     #[test]
     fn conversion_losses() {
-        assert!(ConversionLoss::single_sideband().total_db() < ConversionLoss::double_sideband().total_db());
-        let delta = ConversionLoss::double_sideband().total_db() - ConversionLoss::single_sideband().total_db();
+        assert!(
+            ConversionLoss::single_sideband().total_db()
+                < ConversionLoss::double_sideband().total_db()
+        );
+        let delta = ConversionLoss::double_sideband().total_db()
+            - ConversionLoss::single_sideband().total_db();
         assert!((delta - 3.0).abs() < 0.2, "SSB advantage {delta} dB");
     }
 
@@ -174,7 +181,10 @@ mod tests {
         let p0 = link.received_power_dbm(d_tag, d_rx);
         let link20 = BackscatterLink::bench(20.0, FREQ);
         let p20 = link20.received_power_dbm(d_tag, d_rx);
-        assert!((p20 - p0 - 20.0).abs() < 1e-9, "TX power should shift RSSI one-for-one");
+        assert!(
+            (p20 - p0 - 20.0).abs() < 1e-9,
+            "TX power should shift RSSI one-for-one"
+        );
     }
 
     #[test]
@@ -190,7 +200,11 @@ mod tests {
         // (paper Fig. 10a vs 10b show a similar drop).
         let near = link.received_power_dbm(feet_to_meters(1.0), feet_to_meters(30.0));
         let far = link.received_power_dbm(feet_to_meters(3.0), feet_to_meters(30.0));
-        assert!((near - far) > 8.0 && (near - far) < 14.0, "1ft->3ft drop {}", near - far);
+        assert!(
+            (near - far) > 8.0 && (near - far) < 14.0,
+            "1ft->3ft drop {}",
+            near - far
+        );
     }
 
     #[test]
@@ -200,7 +214,10 @@ mod tests {
         // -45..-75 dBm range, and still above -95 dBm at 90 ft with 20 dBm.
         let link0 = BackscatterLink::bench(0.0, FREQ);
         let rssi_10ft = link0.received_power_dbm(feet_to_meters(1.0), feet_to_meters(10.0));
-        assert!((-80.0..=-40.0).contains(&rssi_10ft), "0 dBm @ 10 ft: {rssi_10ft} dBm");
+        assert!(
+            (-80.0..=-40.0).contains(&rssi_10ft),
+            "0 dBm @ 10 ft: {rssi_10ft} dBm"
+        );
         let link20 = BackscatterLink::bench(20.0, FREQ);
         let rssi_90ft = link20.received_power_dbm(feet_to_meters(1.0), feet_to_meters(90.0));
         assert!(rssi_90ft > -95.0, "20 dBm @ 90 ft: {rssi_90ft} dBm");
@@ -222,7 +239,13 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let median = link.received_power_dbm(feet_to_meters(1.0), feet_to_meters(20.0));
         let draws: Vec<f64> = (0..500)
-            .map(|_| link.received_power_shadowed_dbm(feet_to_meters(1.0), feet_to_meters(20.0), &mut rng))
+            .map(|_| {
+                link.received_power_shadowed_dbm(
+                    feet_to_meters(1.0),
+                    feet_to_meters(20.0),
+                    &mut rng,
+                )
+            })
             .collect();
         let mean: f64 = draws.iter().sum::<f64>() / draws.len() as f64;
         assert!((mean - median).abs() < 0.6);

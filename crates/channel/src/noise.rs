@@ -126,12 +126,18 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         // A -80 dBm tone in -93.5 dBm noise: SNR ~13.5 dB.
         let amplitude = db_to_amplitude(-80.0);
-        let signal: Vec<Cplx> = tone(1e6, 44e6, 50_000, 0.0).iter().map(|&s| s * amplitude).collect();
+        let signal: Vec<Cplx> = tone(1e6, 44e6, 50_000, 0.0)
+            .iter()
+            .map(|&s| s * amplitude)
+            .collect();
         let noisy = model.add_noise(&signal, &mut rng);
         let total = mean_power(&noisy);
         let noise = mean_power(&noisy) - mean_power(&signal);
         let snr_measured = 10.0 * ((total - noise) / noise).log10();
-        assert!((snr_measured - model.snr_db(-80.0)).abs() < 1.5, "measured SNR {snr_measured}");
+        assert!(
+            (snr_measured - model.snr_db(-80.0)).abs() < 1.5,
+            "measured SNR {snr_measured}"
+        );
     }
 
     #[test]

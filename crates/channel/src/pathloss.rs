@@ -65,13 +65,19 @@ impl LogDistanceModel {
             return Err(ChannelError::InvalidParameter("frequency must be positive"));
         }
         if self.exponent < 1.0 || self.exponent > 6.0 {
-            return Err(ChannelError::InvalidParameter("path-loss exponent must be in [1, 6]"));
+            return Err(ChannelError::InvalidParameter(
+                "path-loss exponent must be in [1, 6]",
+            ));
         }
         if self.reference_m <= 0.0 {
-            return Err(ChannelError::InvalidParameter("reference distance must be positive"));
+            return Err(ChannelError::InvalidParameter(
+                "reference distance must be positive",
+            ));
         }
         if self.shadowing_sigma_db < 0.0 {
-            return Err(ChannelError::InvalidParameter("shadowing sigma must be non-negative"));
+            return Err(ChannelError::InvalidParameter(
+                "shadowing sigma must be non-negative",
+            ));
         }
         Ok(())
     }
@@ -132,7 +138,10 @@ mod tests {
     fn log_distance_reduces_to_friis_in_free_space() {
         let model = LogDistanceModel::free_space(2.45e9);
         for &d in &[0.5, 1.0, 3.0, 10.0, 30.0] {
-            assert!((model.path_loss_db(d) - friis_db(d, 2.45e9)).abs() < 1e-9, "distance {d}");
+            assert!(
+                (model.path_loss_db(d) - friis_db(d, 2.45e9)).abs() < 1e-9,
+                "distance {d}"
+            );
         }
     }
 
@@ -178,7 +187,9 @@ mod tests {
             .map(|_| model.path_loss_shadowed_db(10.0, &mut rng) - median)
             .collect();
         let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
-        let std = (samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64).sqrt();
+        let std = (samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64)
+            .sqrt();
         assert!(mean.abs() < 0.5, "shadowing mean {mean}");
         assert!((std - 4.0).abs() < 0.5, "shadowing std {std}");
     }

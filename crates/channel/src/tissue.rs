@@ -67,10 +67,14 @@ impl TissueMedium {
     /// Validates the parameters.
     pub fn validate(&self) -> Result<(), ChannelError> {
         if self.relative_permittivity < 1.0 {
-            return Err(ChannelError::InvalidParameter("relative permittivity must be >= 1"));
+            return Err(ChannelError::InvalidParameter(
+                "relative permittivity must be >= 1",
+            ));
         }
         if self.conductivity_s_per_m < 0.0 {
-            return Err(ChannelError::InvalidParameter("conductivity must be non-negative"));
+            return Err(ChannelError::InvalidParameter(
+                "conductivity must be non-negative",
+            ));
         }
         Ok(())
     }
@@ -79,7 +83,7 @@ impl TissueMedium {
     /// `freq_hz` in this medium, from the standard lossy-dielectric
     /// expression.
     pub fn attenuation_constant(&self, freq_hz: f64) -> f64 {
-        let eps0 = 8.854_187_8128e-12;
+        let eps0 = 8.854_187_812_8e-12;
         let mu0 = 4.0e-7 * std::f64::consts::PI;
         let w = 2.0 * std::f64::consts::PI * freq_hz;
         let eps = self.relative_permittivity * eps0;
@@ -154,7 +158,11 @@ mod tests {
     fn skin_depth_is_centimetre_scale() {
         // High-water-content tissue at 2.45 GHz has a skin depth of roughly
         // 1–3 cm.
-        for medium in [TissueMedium::muscle(), TissueMedium::grey_matter(), TissueMedium::saline()] {
+        for medium in [
+            TissueMedium::muscle(),
+            TissueMedium::grey_matter(),
+            TissueMedium::saline(),
+        ] {
             let d = medium.skin_depth_m(F);
             assert!(
                 (0.005..0.05).contains(&d),
@@ -171,7 +179,10 @@ mod tests {
         // attenuation through 5 mm of muscle is within ~1.5 dB of grey matter.
         let a_muscle = TissueMedium::muscle().attenuation_db(5e-3, F);
         let a_grey = TissueMedium::grey_matter().attenuation_db(5e-3, F);
-        assert!((a_muscle - a_grey).abs() < 1.5, "muscle {a_muscle} dB vs grey {a_grey} dB");
+        assert!(
+            (a_muscle - a_grey).abs() < 1.5,
+            "muscle {a_muscle} dB vs grey {a_grey} dB"
+        );
     }
 
     #[test]
@@ -187,7 +198,10 @@ mod tests {
         }
         // Attenuation through one skin depth is ~8.7 dB of field loss.
         let one_depth = muscle.attenuation_db(muscle.skin_depth_m(F), F);
-        assert!((one_depth - 8.686).abs() < 0.1, "one-skin-depth loss {one_depth}");
+        assert!(
+            (one_depth - 8.686).abs() < 0.1,
+            "one-skin-depth loss {one_depth}"
+        );
     }
 
     #[test]
@@ -210,7 +224,8 @@ mod tests {
         let path = TissuePath::new()
             .with_layer(TissueMedium::skin(), 2e-3)
             .with_layer(TissueMedium::muscle(), 5e-3);
-        let sum = TissueMedium::skin().attenuation_db(2e-3, F) + TissueMedium::muscle().attenuation_db(5e-3, F);
+        let sum = TissueMedium::skin().attenuation_db(2e-3, F)
+            + TissueMedium::muscle().attenuation_db(5e-3, F);
         assert!((path.attenuation_db(F) - sum).abs() < 1e-12);
         assert_eq!(TissuePath::new().attenuation_db(F), 0.0);
     }

@@ -25,6 +25,7 @@
 //! | [`backscatter`] | impedance model, single/double-sideband modulators, tag, envelope detector, IC power |
 //! | [`channel`] | path loss, noise, tissue attenuation, antennas, link budget |
 //! | [`sim`] | end-to-end scenarios, MAC coexistence, per-figure experiments |
+//! | [`net`] | deterministic event-driven multi-tag network engine and Monte-Carlo runner |
 //!
 //! # Quick start
 //!
@@ -52,6 +53,7 @@ pub use interscatter_backscatter as backscatter;
 pub use interscatter_ble as ble;
 pub use interscatter_channel as channel;
 pub use interscatter_dsp as dsp;
+pub use interscatter_net as net;
 pub use interscatter_sim as sim;
 pub use interscatter_wifi as wifi;
 pub use interscatter_zigbee as zigbee;
@@ -189,8 +191,14 @@ impl Interscatter {
     /// * `ble_tx_power_dbm` — transmit power of the Bluetooth source.
     /// * `source_to_tag_ft` — Bluetooth-to-tag distance in feet.
     /// * `tag_to_rx_ft` — tag-to-receiver distance in feet.
-    pub fn uplink_rssi_dbm(&self, ble_tx_power_dbm: f64, source_to_tag_ft: f64, tag_to_rx_ft: f64) -> f64 {
-        let mut scenario = UplinkScenario::fig10_bench(ble_tx_power_dbm, source_to_tag_ft, tag_to_rx_ft);
+    pub fn uplink_rssi_dbm(
+        &self,
+        ble_tx_power_dbm: f64,
+        source_to_tag_ft: f64,
+        tag_to_rx_ft: f64,
+    ) -> f64 {
+        let mut scenario =
+            UplinkScenario::fig10_bench(ble_tx_power_dbm, source_to_tag_ft, tag_to_rx_ft);
         scenario.target = self.target;
         scenario.sideband = self.sideband;
         scenario.rssi_dbm()
@@ -201,7 +209,9 @@ impl Interscatter {
     pub fn ic_power_w(&self) -> f64 {
         let model = backscatter::power::IcPowerModel::tsmc65nm();
         match self.target {
-            TargetPhy::Wifi(rate) => model.total_active_w(rate.bits_per_second(), wifi::dot11b::CHIP_RATE),
+            TargetPhy::Wifi(rate) => {
+                model.total_active_w(rate.bits_per_second(), wifi::dot11b::CHIP_RATE)
+            }
             TargetPhy::Zigbee => {
                 model.total_active_w(zigbee::phy::BIT_RATE, zigbee::oqpsk::CHIP_RATE)
             }
@@ -225,7 +235,9 @@ mod tests {
     #[test]
     fn quickstart_pipeline_works() {
         let system = Interscatter::default();
-        let advert = system.single_tone_advertisement([1, 2, 3, 4, 5, 6]).unwrap();
+        let advert = system
+            .single_tone_advertisement([1, 2, 3, 4, 5, 6])
+            .unwrap();
         assert_eq!(advert.adv_data.len(), 31);
         let reflection = system.wifi_reflection_sequence(b"test payload").unwrap();
         assert!(!reflection.is_empty());
@@ -246,7 +258,10 @@ mod tests {
     #[test]
     fn ic_power_is_tens_of_microwatts() {
         let wifi_power = Interscatter::default().ic_power_w();
-        assert!((20e-6..60e-6).contains(&wifi_power), "Wi-Fi power {wifi_power}");
+        assert!(
+            (20e-6..60e-6).contains(&wifi_power),
+            "Wi-Fi power {wifi_power}"
+        );
         let zigbee_power = Interscatter::zigbee().ic_power_w();
         assert!(zigbee_power < wifi_power);
     }

@@ -20,6 +20,9 @@ pub use crate::channel::antenna::Antenna;
 pub use crate::channel::link::BackscatterLink;
 pub use crate::channel::pathloss::LogDistanceModel;
 pub use crate::dsp::Cplx;
+pub use crate::net::engine::{NetRunResult, NetworkSim};
+pub use crate::net::runner::{MonteCarlo, MonteCarloReport};
+pub use crate::net::scenario::Scenario;
 pub use crate::sim::downlink::DownlinkScenario;
 pub use crate::sim::uplink::UplinkScenario;
 pub use crate::wifi::dot11b::{Dot11bReceiver, Dot11bTransmitter, DsssRate};

@@ -54,7 +54,11 @@ impl Modulation {
     /// # Panics
     /// Panics if `bits.len() != self.bits_per_symbol()`.
     pub fn map(self, bits: &[u8]) -> Cplx {
-        assert_eq!(bits.len(), self.bits_per_symbol(), "wrong number of bits for {self:?}");
+        assert_eq!(
+            bits.len(),
+            self.bits_per_symbol(),
+            "wrong number of bits for {self:?}"
+        );
         let k = self.normalization();
         match self {
             Modulation::Bpsk => {
@@ -181,7 +185,12 @@ mod tests {
     use super::*;
 
     fn all_modulations() -> [Modulation; 4] {
-        [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64]
+        [
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ]
     }
 
     #[test]
@@ -228,7 +237,10 @@ mod tests {
             let ones = vec![1u8; bps * 48];
             let pts = m.map_stream(&ones);
             for p in &pts {
-                assert_eq!(*p, pts[0], "{m:?} should map constant bits to a constant point");
+                assert_eq!(
+                    *p, pts[0],
+                    "{m:?} should map constant bits to a constant point"
+                );
             }
             let zeros = vec![0u8; bps * 48];
             let pts0 = m.map_stream(&zeros);
@@ -244,7 +256,10 @@ mod tests {
         let labels = [(0u8, 0u8), (0, 1), (1, 1), (1, 0)];
         for w in labels.windows(2) {
             let differing = (w[0].0 ^ w[1].0) + (w[0].1 ^ w[1].1);
-            assert_eq!(differing, 1, "adjacent 16-QAM levels must differ in one bit");
+            assert_eq!(
+                differing, 1,
+                "adjacent 16-QAM levels must differ in one bit"
+            );
         }
     }
 

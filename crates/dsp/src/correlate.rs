@@ -42,7 +42,10 @@ pub fn normalized_correlation(signal: &[Cplx], pattern: &[Cplx]) -> Vec<f64> {
     raw.iter()
         .enumerate()
         .map(|(i, c)| {
-            let window_energy: f64 = signal[i..i + pattern.len()].iter().map(|s| s.norm_sq()).sum();
+            let window_energy: f64 = signal[i..i + pattern.len()]
+                .iter()
+                .map(|s| s.norm_sq())
+                .sum();
             if window_energy <= 0.0 {
                 0.0
             } else {
@@ -82,8 +85,8 @@ mod tests {
     fn empty_and_oversized_patterns() {
         let sig = vec![Cplx::ONE; 4];
         assert!(cross_correlate(&sig, &[]).is_empty());
-        assert!(cross_correlate(&sig, &vec![Cplx::ONE; 5]).is_empty());
-        assert!(normalized_correlation(&sig, &vec![Cplx::ONE; 5]).is_empty());
+        assert!(cross_correlate(&sig, &[Cplx::ONE; 5]).is_empty());
+        assert!(normalized_correlation(&sig, &[Cplx::ONE; 5]).is_empty());
         assert!(peak(&[]).is_none());
     }
 
@@ -103,14 +106,22 @@ mod tests {
         let pattern: Vec<Cplx> = tone(0.1e6, 1e6, 16, 0.0);
         // Scale and rotate the embedded copy; normalised correlation should
         // still be ~1.
-        let embedded: Vec<Cplx> = pattern.iter().map(|&p| p * Cplx::from_polar(3.0, 1.2)).collect();
+        let embedded: Vec<Cplx> = pattern
+            .iter()
+            .map(|&p| p * Cplx::from_polar(3.0, 1.2))
+            .collect();
         let mut sig = vec![Cplx::new(0.01, 0.0); 20];
         sig.extend_from_slice(&embedded);
         sig.extend(vec![Cplx::new(0.01, 0.0); 20]);
         let norm = normalized_correlation(&sig, &pattern);
         let best = norm.iter().cloned().fold(0.0, f64::max);
         assert!(best > 0.999, "best normalised correlation {best}");
-        let best_idx = norm.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let best_idx = norm
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
         assert_eq!(best_idx, 20);
     }
 

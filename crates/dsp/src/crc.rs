@@ -33,8 +33,15 @@ impl CrcEngine {
     /// `0x00065B` for BLE CRC-24); it is reflected internally because this
     /// engine consumes bits LSB-first.
     pub fn new(poly: u32, width: u32, init: u32, final_xor: u32) -> Self {
-        assert!(width == 16 || width == 24 || width == 32, "supported widths: 16/24/32");
-        let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        assert!(
+            width == 16 || width == 24 || width == 32,
+            "supported widths: 16/24/32"
+        );
+        let mask = if width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << width) - 1
+        };
         CrcEngine {
             poly_reflected: crate::bits::reverse_bits(poly & mask, width),
             width,
@@ -92,7 +99,11 @@ pub fn ble_crc24(pdu: &[u8], init: u32) -> [u8; 3] {
     let v = eng.value();
     // The register shifts LSB-first; transmission order is the register
     // content from LSB upward.
-    [(v & 0xFF) as u8, ((v >> 8) & 0xFF) as u8, ((v >> 16) & 0xFF) as u8]
+    [
+        (v & 0xFF) as u8,
+        ((v >> 8) & 0xFF) as u8,
+        ((v >> 16) & 0xFF) as u8,
+    ]
 }
 
 /// BLE specifies the CRC preset MSB-first (0x555555); our reflected register
@@ -188,7 +199,11 @@ mod tests {
             for bit in 0..8 {
                 let mut bad = pdu.clone();
                 bad[byte] ^= 1 << bit;
-                assert_ne!(ble_crc24(&bad, BLE_ADV_CRC_INIT), good, "undetected single-bit error");
+                assert_ne!(
+                    ble_crc24(&bad, BLE_ADV_CRC_INIT),
+                    good,
+                    "undetected single-bit error"
+                );
             }
         }
     }

@@ -38,7 +38,11 @@ impl Fft {
                 .map(|i| (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1))
                 .collect()
         };
-        Ok(Fft { n, twiddles, bitrev })
+        Ok(Fft {
+            n,
+            twiddles,
+            bitrev,
+        })
     }
 
     /// Transform size.
@@ -154,7 +158,11 @@ pub fn fft_shift_freqs(n: usize, fs: f64) -> Vec<f64> {
         .map(|k| {
             let k = k as isize;
             let n_i = n as isize;
-            let idx = if k < n_i.div_euclid(2) + n_i % 2 { k } else { k - n_i };
+            let idx = if k < n_i.div_euclid(2) + n_i % 2 {
+                k
+            } else {
+                k - n_i
+            };
             idx as f64 * fs / n as f64
         })
         .collect();
@@ -236,7 +244,10 @@ mod tests {
         let mut buf = vec![Cplx::ZERO; 32];
         assert!(matches!(
             plan.forward(&mut buf),
-            Err(DspError::LengthMismatch { left: 32, right: 64 })
+            Err(DspError::LengthMismatch {
+                left: 32,
+                right: 64
+            })
         ));
     }
 

@@ -9,8 +9,8 @@
 //!   rates (11 Mchip/s for 802.11b, 1 Msym/s for BLE, 2 Mchip/s for ZigBee)
 //!   can be mixed onto a common simulation sample rate.
 
-use crate::{Cplx, DspError};
 use crate::window::Window;
+use crate::{Cplx, DspError};
 
 /// A finite-impulse-response filter with real taps, applied to complex
 /// samples.
@@ -23,7 +23,9 @@ impl Fir {
     /// Creates a filter from explicit taps.
     pub fn from_taps(taps: Vec<f64>) -> Result<Self, DspError> {
         if taps.is_empty() {
-            return Err(DspError::InvalidFilterSpec("FIR must have at least one tap"));
+            return Err(DspError::InvalidFilterSpec(
+                "FIR must have at least one tap",
+            ));
         }
         Ok(Fir { taps })
     }
@@ -113,7 +115,10 @@ impl Fir {
 /// upsampler). Follow with a low-pass filter to interpolate.
 pub fn upsample(input: &[Cplx], factor: usize) -> Result<Vec<Cplx>, DspError> {
     if factor == 0 {
-        return Err(DspError::InvalidResampleRatio { up: factor, down: 1 });
+        return Err(DspError::InvalidResampleRatio {
+            up: factor,
+            down: 1,
+        });
     }
     let mut out = vec![Cplx::ZERO; input.len() * factor];
     for (i, &x) in input.iter().enumerate() {
@@ -130,7 +135,10 @@ pub fn upsample(input: &[Cplx], factor: usize) -> Result<Vec<Cplx>, DspError> {
 /// interpolation — is the physically accurate model.
 pub fn upsample_hold(input: &[Cplx], factor: usize) -> Result<Vec<Cplx>, DspError> {
     if factor == 0 {
-        return Err(DspError::InvalidResampleRatio { up: factor, down: 1 });
+        return Err(DspError::InvalidResampleRatio {
+            up: factor,
+            down: 1,
+        });
     }
     let mut out = Vec::with_capacity(input.len() * factor);
     for &x in input {
@@ -145,16 +153,26 @@ pub fn upsample_hold(input: &[Cplx], factor: usize) -> Result<Vec<Cplx>, DspErro
 /// anti-alias filter first if the signal is not already band-limited).
 pub fn downsample(input: &[Cplx], factor: usize) -> Result<Vec<Cplx>, DspError> {
     if factor == 0 {
-        return Err(DspError::InvalidResampleRatio { up: 1, down: factor });
+        return Err(DspError::InvalidResampleRatio {
+            up: 1,
+            down: factor,
+        });
     }
     Ok(input.iter().copied().step_by(factor).collect())
 }
 
 /// Interpolating upsampler: zero-stuff by `factor` and low-pass filter at the
 /// original Nyquist frequency. `taps_per_phase` controls filter quality.
-pub fn interpolate(input: &[Cplx], factor: usize, taps_per_phase: usize) -> Result<Vec<Cplx>, DspError> {
+pub fn interpolate(
+    input: &[Cplx],
+    factor: usize,
+    taps_per_phase: usize,
+) -> Result<Vec<Cplx>, DspError> {
     if factor == 0 {
-        return Err(DspError::InvalidResampleRatio { up: factor, down: 1 });
+        return Err(DspError::InvalidResampleRatio {
+            up: factor,
+            down: 1,
+        });
     }
     if factor == 1 {
         return Ok(input.to_vec());
@@ -202,7 +220,9 @@ mod tests {
     #[test]
     fn filter_preserves_length_in_same_mode() {
         let fir = Fir::lowpass(0.2, 31, Window::Hann).unwrap();
-        let input: Vec<Cplx> = (0..200).map(|i| Cplx::new((i as f64 * 0.1).sin(), 0.0)).collect();
+        let input: Vec<Cplx> = (0..200)
+            .map(|i| Cplx::new((i as f64 * 0.1).sin(), 0.0))
+            .collect();
         let out = fir.filter(&input);
         assert_eq!(out.len(), input.len());
         let full = fir.filter_full(&input);

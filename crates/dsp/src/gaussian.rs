@@ -137,11 +137,11 @@ mod tests {
         let mut input = vec![-1.0; 80];
         input.extend(vec![1.0; 80]);
         let out = g.filter(&input);
-        let intermediate = out
-            .iter()
-            .filter(|&&v| v > -0.9 && v < 0.9)
-            .count();
-        assert!(intermediate >= 4, "expected a smooth ramp, got {intermediate} intermediate samples");
+        let intermediate = out.iter().filter(|&&v| v > -0.9 && v < 0.9).count();
+        assert!(
+            intermediate >= 4,
+            "expected a smooth ramp, got {intermediate} intermediate samples"
+        );
         // Far from the transition the levels are preserved.
         assert!((out[10] + 1.0).abs() < 1e-6);
         assert!((out[150] - 1.0).abs() < 1e-6);
@@ -153,9 +153,7 @@ mod tests {
         let smooth = GaussianPulse::new(0.3, 8, 4).unwrap();
         let mut input = vec![-1.0; 64];
         input.extend(vec![1.0; 64]);
-        let rise = |out: &[f64]| -> usize {
-            out.iter().filter(|&&v| v > -0.9 && v < 0.9).count()
-        };
+        let rise = |out: &[f64]| -> usize { out.iter().filter(|&&v| v > -0.9 && v < 0.9).count() };
         assert!(
             rise(&smooth.filter(&input)) > rise(&sharp.filter(&input)),
             "BT=0.3 should have a longer transition than BT=0.5"

@@ -11,7 +11,12 @@ use crate::Cplx;
 /// Multiplies a sample stream by a complex exponential, shifting its spectrum
 /// by `freq_offset_hz` (positive values move energy toward higher
 /// frequencies). `phase0` is the starting oscillator phase in radians.
-pub fn frequency_shift(input: &[Cplx], freq_offset_hz: f64, sample_rate: f64, phase0: f64) -> Vec<Cplx> {
+pub fn frequency_shift(
+    input: &[Cplx],
+    freq_offset_hz: f64,
+    sample_rate: f64,
+    phase0: f64,
+) -> Vec<Cplx> {
     let w = 2.0 * std::f64::consts::PI * freq_offset_hz / sample_rate;
     input
         .iter()
@@ -23,7 +28,9 @@ pub fn frequency_shift(input: &[Cplx], freq_offset_hz: f64, sample_rate: f64, ph
 /// Generates a complex tone `exp(j(2π f t + φ0))` of `len` samples.
 pub fn tone(freq_hz: f64, sample_rate: f64, len: usize, phase0: f64) -> Vec<Cplx> {
     let w = 2.0 * std::f64::consts::PI * freq_hz / sample_rate;
-    (0..len).map(|n| Cplx::expj(phase0 + w * n as f64)).collect()
+    (0..len)
+        .map(|n| Cplx::expj(phase0 + w * n as f64))
+        .collect()
 }
 
 /// Mean power of a sample stream (mean of |x|²). Returns 0 for an empty

@@ -30,7 +30,7 @@ impl Lfsr {
     /// # Panics
     /// Panics if `len` is 0 or greater than 32, or any tap is out of range.
     pub fn new(len: u32, taps: &[u32], seed: u32) -> Self {
-        assert!(len >= 1 && len <= 32, "LFSR length must be 1..=32");
+        assert!((1..=32).contains(&len), "LFSR length must be 1..=32");
         assert!(taps.iter().all(|&t| t < len), "tap positions must be < len");
         Lfsr {
             state: seed & Self::mask(len),
@@ -108,7 +108,9 @@ impl Lfsr7 {
     /// 1..=6 hold the binary representation of `c` (MSB in position 1), which
     /// is what [`Lfsr7::ble_whitening_for_channel`] computes.
     pub fn new(state: u8) -> Self {
-        Lfsr7 { state: state & 0x7F }
+        Lfsr7 {
+            state: state & 0x7F,
+        }
     }
 
     /// Initial state of the BLE whitening register for an RF channel index
@@ -184,7 +186,10 @@ mod tests {
         let data: Vec<u8> = (0..200).map(|i| (i * 7 % 3 == 0) as u8).collect();
         let mut w1 = Lfsr7::ble_whitening_for_channel(37);
         let whitened = w1.whiten(&data);
-        assert_ne!(whitened, data, "whitening should change a structured stream");
+        assert_ne!(
+            whitened, data,
+            "whitening should change a structured stream"
+        );
         let mut w2 = Lfsr7::ble_whitening_for_channel(37);
         let recovered = w2.whiten(&whitened);
         assert_eq!(recovered, data);

@@ -132,7 +132,11 @@ pub fn band_power_db(psd: &[SpectrumPoint], f_lo: f64, f_hi: f64) -> f64 {
 /// single-tone and the backscatter frequency shift.
 pub fn peak_frequency(psd: &[SpectrumPoint]) -> Option<f64> {
     psd.iter()
-        .max_by(|a, b| a.power_db.partial_cmp(&b.power_db).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|a, b| {
+            a.power_db
+                .partial_cmp(&b.power_db)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
         .map(|p| p.freq_hz)
 }
 
@@ -142,7 +146,10 @@ pub fn occupied_bandwidth(psd: &[SpectrumPoint], fraction: f64) -> f64 {
     if psd.is_empty() {
         return 0.0;
     }
-    let powers: Vec<f64> = psd.iter().map(|p| crate::units::db_to_ratio(p.power_db)).collect();
+    let powers: Vec<f64> = psd
+        .iter()
+        .map(|p| crate::units::db_to_ratio(p.power_db))
+        .collect();
     let total: f64 = powers.iter().sum();
     if total <= 0.0 {
         return 0.0;
@@ -161,7 +168,11 @@ pub fn occupied_bandwidth(psd: &[SpectrumPoint], fraction: f64) -> f64 {
     let mut acc = powers[peak_idx];
     while acc < target && (lo > 0 || hi + 1 < powers.len()) {
         let grow_lo = if lo > 0 { powers[lo - 1] } else { f64::MIN };
-        let grow_hi = if hi + 1 < powers.len() { powers[hi + 1] } else { f64::MIN };
+        let grow_hi = if hi + 1 < powers.len() {
+            powers[hi + 1]
+        } else {
+            f64::MIN
+        };
         if grow_lo >= grow_hi && lo > 0 {
             lo -= 1;
             acc += powers[lo];
@@ -187,7 +198,10 @@ mod tests {
         assert!(welch_psd(&[], 1e6, &cfg).is_err());
         let bad = WelchConfig { nfft: 1000, ..cfg };
         assert!(welch_psd(&[Cplx::ONE; 2048], 1e6, &bad).is_err());
-        let bad = WelchConfig { overlap: 1.5, ..cfg };
+        let bad = WelchConfig {
+            overlap: 1.5,
+            ..cfg
+        };
         assert!(welch_psd(&[Cplx::ONE; 2048], 1e6, &bad).is_err());
     }
 
@@ -196,7 +210,11 @@ mod tests {
         let fs = 8e6;
         let f0 = 1.5e6;
         let sig = tone(f0, fs, 32768, 0.0);
-        let cfg = WelchConfig { nfft: 4096, overlap: 0.5, window: Window::Blackman };
+        let cfg = WelchConfig {
+            nfft: 4096,
+            overlap: 0.5,
+            window: Window::Blackman,
+        };
         let psd = welch_psd(&sig, fs, &cfg).unwrap();
         let peak = peak_frequency(&psd).unwrap();
         assert!((peak - f0).abs() < fs / 4096.0 * 2.0, "peak at {peak}");
@@ -250,7 +268,11 @@ mod tests {
     fn short_input_is_zero_padded() {
         let fs = 1e6;
         let sig = tone(100e3, fs, 512, 0.0);
-        let cfg = WelchConfig { nfft: 4096, overlap: 0.5, window: Window::Hann };
+        let cfg = WelchConfig {
+            nfft: 4096,
+            overlap: 0.5,
+            window: Window::Hann,
+        };
         let psd = welch_psd(&sig, fs, &cfg).unwrap();
         let peak = peak_frequency(&psd).unwrap();
         assert!((peak - 100e3).abs() < 10e3);

@@ -143,6 +143,9 @@ mod tests {
         assert!((n + 174.0).abs() < 0.2, "noise density {n} dBm/Hz");
         // Over a 22 MHz Wi-Fi channel: about -100.5 dBm.
         let n_wifi = thermal_noise_dbm(22e6, 290.0);
-        assert!((n_wifi + 100.5).abs() < 0.5, "Wi-Fi noise floor {n_wifi} dBm");
+        assert!(
+            (n_wifi + 100.5).abs() < 0.5,
+            "Wi-Fi noise floor {n_wifi} dBm"
+        );
     }
 }

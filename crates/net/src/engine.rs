@@ -1,0 +1,489 @@
+//! The discrete-event simulation loop.
+//!
+//! One [`NetworkSim`] owns the event queue, the medium, the link matrix
+//! and every entity's runtime state (packet queues, round-robin cursors,
+//! per-entity RNG streams). Determinism comes from three rules:
+//!
+//! 1. time is integer nanoseconds and event ties resolve by scheduling
+//!    order ([`crate::event::EventQueue`]);
+//! 2. every random draw comes from the RNG of the entity the event
+//!    belongs to, seeded from `(scenario seed, entity kind, entity
+//!    index)` — never from a shared stream whose consumption order could
+//!    drift;
+//! 3. entity iteration is always by index.
+
+use crate::entities::NetPhy;
+use crate::event::{EventKind, EventQueue, EventTrace};
+use crate::links::LinkMatrix;
+use crate::medium::{Band, Medium};
+use crate::metrics::NetworkMetrics;
+use crate::scenario::Scenario;
+use crate::time::Time;
+use crate::NetError;
+use interscatter_backscatter::tag::SidebandMode;
+use interscatter_sim::mac::backscatter_delivery_probability;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// How much stronger than the sum of its interferers a packet must be at
+/// its receiver to survive a collision (capture effect), dB.
+pub const CAPTURE_MARGIN_DB: f64 = 10.0;
+
+/// A packet waiting in a tag's queue.
+#[derive(Debug, Clone, Copy)]
+struct QueuedPacket {
+    arrived: Time,
+    retries: u32,
+}
+
+/// Runtime state of one tag.
+#[derive(Debug)]
+struct TagState {
+    queue: VecDeque<QueuedPacket>,
+    rng: SmallRng,
+}
+
+/// Runtime state of one carrier.
+#[derive(Debug)]
+struct CarrierState {
+    /// Tags assigned to this carrier, in index order.
+    members: Vec<usize>,
+    /// Round-robin cursor into `members`.
+    cursor: usize,
+    rng: SmallRng,
+}
+
+/// The result of one run: metrics plus (optionally) the full event trace.
+#[derive(Debug, Clone)]
+pub struct NetRunResult {
+    /// Aggregated counters and distributions.
+    pub metrics: NetworkMetrics,
+    /// The event trace (empty if tracing was disabled).
+    pub trace: EventTrace,
+}
+
+/// A configured simulation, ready to run.
+#[derive(Debug, Clone)]
+pub struct NetworkSim<'a> {
+    scenario: &'a Scenario,
+    seed: u64,
+    record_trace: bool,
+}
+
+impl<'a> NetworkSim<'a> {
+    /// Prepares a run of `scenario` with the given seed. Tracing is on by
+    /// default; disable it with [`NetworkSim::with_trace`] for large
+    /// Monte-Carlo sweeps.
+    pub fn new(scenario: &'a Scenario, seed: u64) -> Self {
+        NetworkSim {
+            scenario,
+            seed,
+            record_trace: true,
+        }
+    }
+
+    /// Enables or disables event-trace recording.
+    pub fn with_trace(mut self, record: bool) -> Self {
+        self.record_trace = record;
+        self
+    }
+
+    /// Runs the simulation to its horizon.
+    pub fn run(self) -> Result<NetRunResult, NetError> {
+        let scenario = self.scenario;
+        scenario.validate()?;
+        let links = LinkMatrix::build(scenario)?;
+        let horizon = Time::from_secs(scenario.duration_s);
+
+        let mut queue = EventQueue::new();
+        let mut medium = Medium::new();
+        let mut trace = EventTrace::new(self.record_trace);
+        let mut metrics = NetworkMetrics::new(
+            scenario.tags.len(),
+            scenario.receivers.len(),
+            scenario.duration_s,
+        );
+        let mut tags: Vec<TagState> = (0..scenario.tags.len())
+            .map(|t| TagState {
+                queue: VecDeque::new(),
+                rng: SmallRng::seed_from_u64(derive_seed(self.seed, 1, t)),
+            })
+            .collect();
+        let mut carriers: Vec<CarrierState> = (0..scenario.carriers.len())
+            .map(|c| CarrierState {
+                members: scenario
+                    .tags
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, tag)| tag.carrier == c)
+                    .map(|(t, _)| t)
+                    .collect(),
+                cursor: 0,
+                rng: SmallRng::seed_from_u64(derive_seed(self.seed, 2, c)),
+            })
+            .collect();
+
+        // Prime the queue: first packet arrival per tag, first slot per
+        // carrier (staggered within one interval so co-located carriers do
+        // not fire in lockstep), and the horizon.
+        for (t, state) in tags.iter_mut().enumerate() {
+            let dt = exponential_s(&mut state.rng, scenario.tags[t].arrival_rate_pps);
+            queue.schedule(
+                Time::ZERO.after_secs(dt),
+                EventKind::PacketArrival { tag: t },
+            );
+        }
+        for (c, state) in carriers.iter_mut().enumerate() {
+            let offset = state
+                .rng
+                .gen_range(0.0..scenario.carriers[c].slot_interval_s);
+            queue.schedule(
+                Time::ZERO.after_secs(offset),
+                EventKind::CarrierSlot { carrier: c },
+            );
+        }
+        queue.schedule(horizon, EventKind::Horizon);
+
+        while let Some(event) = queue.pop() {
+            match event.kind {
+                EventKind::Horizon => break,
+                EventKind::PacketArrival { tag } => {
+                    let now = event.at;
+                    let rate = scenario.tags[tag].arrival_rate_pps;
+                    let state = &mut tags[tag];
+                    metrics.tags[tag].offered += 1;
+                    if state.queue.len() < scenario.max_queue {
+                        state.queue.push_back(QueuedPacket {
+                            arrived: now,
+                            retries: 0,
+                        });
+                        let depth = state.queue.len();
+                        trace.record(now, || format!("tag {tag} arrival (queue {depth})"));
+                    } else {
+                        metrics.tags[tag].dropped += 1;
+                        trace.record(now, || format!("tag {tag} arrival dropped (queue full)"));
+                    }
+                    let dt = exponential_s(&mut state.rng, rate);
+                    queue.schedule(now.after_secs(dt), EventKind::PacketArrival { tag });
+                }
+                EventKind::CarrierSlot { carrier } => {
+                    let now = event.at;
+                    let spec = &scenario.carriers[carrier];
+                    queue.schedule(
+                        now.after_secs(spec.slot_interval_s),
+                        EventKind::CarrierSlot { carrier },
+                    );
+                    let Some(tag) = next_backlogged_tag(&carriers[carrier], &tags) else {
+                        continue;
+                    };
+                    let tag_spec = &scenario.tags[tag];
+                    let airtime = tag_spec.phy.airtime_s(tag_spec.payload_bytes);
+                    let carrier_freq = spec.carrier_freq_hz();
+                    let primary = Band::new(
+                        tag_spec.phy.center_freq_hz(carrier_freq),
+                        tag_spec.phy.bandwidth_hz(),
+                    );
+                    if medium.busy(primary, now) {
+                        metrics.tags[tag].csma_defers += 1;
+                        trace.record(now, || {
+                            format!("carrier {carrier} slot: tag {tag} defers (band busy)")
+                        });
+                        continue;
+                    }
+                    // Grant: advance the round-robin cursor past this tag.
+                    advance_cursor(&mut carriers[carrier], tag);
+                    let end = now.after_secs(airtime);
+                    if scenario.cts_to_self {
+                        // The §2.3.3 NAV covers the inter-channel gaps
+                        // around the packet, so it outlives the emission
+                        // itself and keeps other tags off the band while
+                        // the next trigger is being set up.
+                        let nav = interscatter_ble::timing::reservation_window_s(airtime);
+                        medium.reserve(primary, now.after_secs(nav));
+                    }
+                    let mirror =
+                        mirror_band(tag_spec.sideband, &tag_spec.phy, carrier_freq, primary);
+                    if let Some(m) = mirror {
+                        // Charge the mirror copy's airtime to every
+                        // receiver whose channel it punctures (Fig. 12's
+                        // coexistence cost).
+                        for (r, rx) in scenario.receivers.iter().enumerate() {
+                            let rx_band =
+                                Band::new(rx.center_freq_hz(carrier_freq), rx.bandwidth_hz());
+                            if r != tag_spec.receiver && m.overlaps(&rx_band) {
+                                metrics.mirror_airtime_s[r] += airtime;
+                            }
+                        }
+                    }
+                    let tx_id = medium.start(tag, primary, mirror, now, end);
+                    queue.schedule(
+                        end,
+                        EventKind::TxEnd {
+                            tag,
+                            tx_id,
+                            started: now,
+                        },
+                    );
+                    trace.record(now, || {
+                        format!(
+                            "carrier {carrier} slot: tag {tag} tx start ({} ns airtime{})",
+                            Time::from_secs(airtime).as_nanos(),
+                            if mirror.is_some() { ", dsb mirror" } else { "" }
+                        )
+                    });
+                }
+                EventKind::TxEnd {
+                    tag,
+                    tx_id,
+                    started,
+                } => {
+                    let now = event.at;
+                    let report = medium.finish(tx_id);
+                    let tag_spec = &scenario.tags[tag];
+                    let rx = &scenario.receivers[tag_spec.receiver];
+                    let budget = links.budget(tag);
+                    metrics.tags[tag].attempts += 1;
+
+                    // 1. Tag-to-tag (or mirror-copy) collision, with
+                    //    capture: the packet survives if it outpowers the
+                    //    summed overlapping emissions at ITS receiver by
+                    //    the capture margin. Only interferers whose bands
+                    //    actually land in this tag's receiver channel
+                    //    count — an overlap recorded on the *interferer's*
+                    //    side of the spectrum (e.g. our mirror copy hit
+                    //    them) does not corrupt our own reception.
+                    let own_carrier_freq = scenario.carriers[tag_spec.carrier].carrier_freq_hz();
+                    let rx_band = Band::new(rx.center_freq_hz(own_carrier_freq), rx.bandwidth_hz());
+                    let total_interference_mw: f64 = report
+                        .interferers
+                        .iter()
+                        .filter(|&&other| {
+                            let o_spec = &scenario.tags[other];
+                            let o_carrier = scenario.carriers[o_spec.carrier].carrier_freq_hz();
+                            let o_primary = Band::new(
+                                o_spec.phy.center_freq_hz(o_carrier),
+                                o_spec.phy.bandwidth_hz(),
+                            );
+                            o_primary.overlaps(&rx_band)
+                                || mirror_band(o_spec.sideband, &o_spec.phy, o_carrier, o_primary)
+                                    .is_some_and(|m| m.overlaps(&rx_band))
+                        })
+                        .map(|&other| {
+                            10f64.powf(links.interference_dbm(other, tag_spec.receiver) / 10.0)
+                        })
+                        .sum();
+                    let captured = budget.median_rssi_dbm
+                        >= 10.0 * total_interference_mw.log10() + CAPTURE_MARGIN_DB;
+                    let outcome = if !report.interferers.is_empty() && !captured {
+                        metrics.tags[tag].collided += 1;
+                        "collision"
+                    } else {
+                        // 2. Collision with external (unmodelled) Wi-Fi
+                        //    traffic on the receiver's channel, tamed by
+                        //    the §2.3.3 reservation.
+                        let p_deliver = backscatter_delivery_probability(
+                            rx.external_occupancy,
+                            scenario.cts_to_self,
+                        );
+                        let external_hit = tags[tag].rng.gen_range(0.0..1.0) >= p_deliver;
+                        if external_hit {
+                            metrics.tags[tag].external_collisions += 1;
+                            "external collision"
+                        } else {
+                            // 3. The link budget itself.
+                            let (ok, _rssi) = budget.packet_outcome(&mut tags[tag].rng);
+                            if !ok {
+                                metrics.tags[tag].link_losses += 1;
+                                "link loss"
+                            } else {
+                                "delivered"
+                            }
+                        }
+                    };
+
+                    let state = &mut tags[tag];
+                    if outcome == "delivered" {
+                        if let Some(packet) = state.queue.pop_front() {
+                            metrics.tags[tag].delivered += 1;
+                            metrics.tags[tag].delivered_bits +=
+                                tag_spec.phy.payload_bits(tag_spec.payload_bytes);
+                            let latency_ms = now.since(packet.arrived).as_secs() * 1e3;
+                            metrics.latency_ms.push(latency_ms);
+                        }
+                    } else if let Some(packet) = state.queue.front_mut() {
+                        packet.retries += 1;
+                        if packet.retries > tag_spec.max_retries {
+                            state.queue.pop_front();
+                            metrics.tags[tag].dropped += 1;
+                        }
+                    }
+                    trace.record(now, || {
+                        format!(
+                            "tag {tag} tx end ({outcome}, started {} ns, {} interferer(s))",
+                            started.as_nanos(),
+                            report.interferers.len()
+                        )
+                    });
+                }
+            }
+        }
+
+        Ok(NetRunResult { metrics, trace })
+    }
+}
+
+/// The mirror-copy band a double-sideband tag also occupies: the carrier's
+/// reflection places the same modulation at `2·f_carrier − f_primary`
+/// (§2.3.1). Single-sideband tags and card OOK (whose "primary" already
+/// straddles the carrier) have none.
+fn mirror_band(
+    sideband: SidebandMode,
+    phy: &NetPhy,
+    carrier_freq_hz: f64,
+    primary: Band,
+) -> Option<Band> {
+    match (sideband, phy) {
+        (SidebandMode::Double, NetPhy::Wifi { .. } | NetPhy::Zigbee { .. }) => Some(Band::new(
+            2.0 * carrier_freq_hz - primary.center_hz,
+            primary.bandwidth_hz,
+        )),
+        _ => None,
+    }
+}
+
+/// Picks the next member tag (round-robin from the cursor) with queued
+/// traffic.
+fn next_backlogged_tag(carrier: &CarrierState, tags: &[TagState]) -> Option<usize> {
+    let n = carrier.members.len();
+    (0..n)
+        .map(|k| carrier.members[(carrier.cursor + k) % n.max(1)])
+        .find(|&t| !tags[t].queue.is_empty())
+}
+
+/// Moves the round-robin cursor to the member after `granted`.
+fn advance_cursor(carrier: &mut CarrierState, granted: usize) {
+    if let Some(pos) = carrier.members.iter().position(|&t| t == granted) {
+        carrier.cursor = (pos + 1) % carrier.members.len();
+    }
+}
+
+/// An exponential inter-arrival draw with mean `1/rate_pps` seconds.
+fn exponential_s<R: Rng>(rng: &mut R, rate_pps: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate_pps
+}
+
+/// Mixes a scenario seed with an entity's kind and index into an
+/// independent stream seed (SplitMix64-style finalizer).
+pub(crate) fn derive_seed(base: u64, stream: u64, index: usize) -> u64 {
+    let mut z = base
+        .wrapping_add(stream.wrapping_mul(0xD6E8_FEB8_6659_FD93))
+        .wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn runs_and_delivers_traffic() {
+        let scenario = Scenario::hospital_ward(12);
+        let result = NetworkSim::new(&scenario, 7).run().unwrap();
+        let m = &result.metrics;
+        // ~12 tags × 2 pps × 10 s ≈ 240 offered packets.
+        assert!(m.offered_packets() > 120, "offered {}", m.offered_packets());
+        assert!(m.delivered_packets() > 0);
+        assert!(m.throughput_bps() > 0.0);
+        assert!(m.jain_fairness() > 0.0 && m.jain_fairness() <= 1.0);
+        assert!(!result.trace.records().is_empty());
+    }
+
+    #[test]
+    fn same_seed_reproduces_different_seed_diverges() {
+        let scenario = Scenario::hospital_ward(8);
+        let a = NetworkSim::new(&scenario, 99).run().unwrap();
+        let b = NetworkSim::new(&scenario, 99).run().unwrap();
+        assert_eq!(a.trace.to_bytes(), b.trace.to_bytes());
+        assert_eq!(format!("{:?}", a.metrics), format!("{:?}", b.metrics));
+        let c = NetworkSim::new(&scenario, 100).run().unwrap();
+        assert_ne!(a.trace.to_bytes(), c.trace.to_bytes());
+    }
+
+    #[test]
+    fn trace_can_be_disabled() {
+        let scenario = Scenario::contact_lens_fleet(6);
+        let result = NetworkSim::new(&scenario, 3)
+            .with_trace(false)
+            .run()
+            .unwrap();
+        assert!(result.trace.records().is_empty());
+        assert!(result.metrics.offered_packets() > 0);
+    }
+
+    #[test]
+    fn contention_grows_with_fleet_size() {
+        // More tags per carrier slot supply → lower delivery ratio.
+        let small = NetworkSim::new(&Scenario::contact_lens_fleet(2), 5)
+            .with_trace(false)
+            .run()
+            .unwrap();
+        let mut big_scenario = Scenario::contact_lens_fleet(48);
+        // Stress: one carrier only, so 48 tags share 100 slots/s.
+        for tag in &mut big_scenario.tags {
+            tag.carrier = 0;
+        }
+        big_scenario.carriers.truncate(1);
+        let big = NetworkSim::new(&big_scenario, 5)
+            .with_trace(false)
+            .run()
+            .unwrap();
+        assert!(
+            big.metrics.delivery_ratio() < small.metrics.delivery_ratio(),
+            "small {} vs big {}",
+            small.metrics.delivery_ratio(),
+            big.metrics.delivery_ratio()
+        );
+        // Saturated carriers leave latency well above the idle case.
+        let p50_small = small.metrics.latency_ms.median().unwrap_or(0.0);
+        let p50_big = big.metrics.latency_ms.median().unwrap_or(f64::INFINITY);
+        assert!(p50_big > p50_small, "latency {p50_small} vs {p50_big}");
+    }
+
+    #[test]
+    fn card_room_runs_on_shared_spectrum() {
+        let scenario = Scenario::card_to_card_room(9);
+        let result = NetworkSim::new(&scenario, 11).run().unwrap();
+        // All pairs share one band: carrier-slot scheduling must still
+        // deliver most packets (one tx at a time).
+        assert!(result.metrics.delivered_packets() > 0);
+        assert!(
+            result.metrics.per() < 0.5,
+            "card room PER {}",
+            result.metrics.per()
+        );
+    }
+
+    #[test]
+    fn zigbee_wing_delivers() {
+        let scenario = Scenario::zigbee_wing(10);
+        let result = NetworkSim::new(&scenario, 21)
+            .with_trace(false)
+            .run()
+            .unwrap();
+        assert!(result.metrics.delivered_packets() > 0);
+    }
+
+    #[test]
+    fn derive_seed_separates_streams() {
+        let a = derive_seed(1, 1, 0);
+        let b = derive_seed(1, 1, 1);
+        let c = derive_seed(1, 2, 0);
+        let d = derive_seed(2, 1, 0);
+        assert!(a != b && a != c && a != d && b != c);
+    }
+}

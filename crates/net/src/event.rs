@@ -1,0 +1,201 @@
+//! The event queue and the trace it leaves behind.
+//!
+//! Events are ordered by `(time, sequence)`: the sequence number is the
+//! order of scheduling, so ties at the same nanosecond resolve identically
+//! on every run. The queue is a binary heap (`O(log n)` push/pop), the
+//! classic discrete-event-simulation structure.
+
+use crate::time::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A tag's application produced a packet.
+    PacketArrival {
+        /// Index of the tag.
+        tag: usize,
+    },
+    /// A carrier activates and may grant its slot to a tag.
+    CarrierSlot {
+        /// Index of the carrier.
+        carrier: usize,
+    },
+    /// A tag's transmission (started in a carrier slot) completes.
+    TxEnd {
+        /// Index of the tag.
+        tag: usize,
+        /// Identifier of the in-flight transmission in the medium.
+        tx_id: u64,
+        /// When the transmission went on the air.
+        started: Time,
+    },
+    /// End of the simulated horizon; processing stops here.
+    Horizon,
+}
+
+/// An event scheduled at a point in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// When the event fires.
+    pub at: Time,
+    /// Scheduling order, used as a deterministic tie-break.
+    pub seq: u64,
+    /// What fires.
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic binary-heap event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `kind` at time `at`.
+    pub fn schedule(&mut self, at: Time, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Event { at, seq, kind }));
+    }
+
+    /// Pops the earliest event; ties resolve in scheduling order.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// One line of the run's event trace.
+///
+/// Records are compact, fixed-format strings so two runs can be compared
+/// byte-for-byte. Formatting floats is avoided: everything recorded is an
+/// integer (times in ns, ids, counters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the recorded step happened.
+    pub at: Time,
+    /// The formatted description of the step.
+    pub what: String,
+}
+
+/// The ordered event trace of a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventTrace {
+    records: Vec<TraceRecord>,
+    enabled: bool,
+}
+
+impl EventTrace {
+    /// Creates a trace; a disabled trace records nothing (used by the
+    /// Monte-Carlo runner and benches, where only metrics matter).
+    pub fn new(enabled: bool) -> Self {
+        EventTrace {
+            records: Vec::new(),
+            enabled,
+        }
+    }
+
+    /// Whether records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends a record (no-op when disabled).
+    pub fn record(&mut self, at: Time, what: impl FnOnce() -> String) {
+        if self.enabled {
+            self.records.push(TraceRecord { at, what: what() });
+        }
+    }
+
+    /// The recorded lines.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Serializes the trace to one newline-separated byte string, the form
+    /// the determinism tests compare.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for r in &self.records {
+            out.extend_from_slice(format!("[{:>12}] {}\n", r.at.as_nanos(), r.what).as_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time(30), EventKind::Horizon);
+        q.schedule(Time(10), EventKind::PacketArrival { tag: 0 });
+        q.schedule(Time(20), EventKind::CarrierSlot { carrier: 1 });
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().at, Time(10));
+        assert_eq!(q.pop().unwrap().at, Time(20));
+        assert_eq!(q.pop().unwrap().at, Time(30));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_resolve_in_scheduling_order() {
+        let mut q = EventQueue::new();
+        for tag in 0..100 {
+            q.schedule(Time(5), EventKind::PacketArrival { tag });
+        }
+        for expected in 0..100 {
+            let e = q.pop().unwrap();
+            assert_eq!(e.kind, EventKind::PacketArrival { tag: expected });
+        }
+    }
+
+    #[test]
+    fn trace_serializes_and_respects_enable() {
+        let mut on = EventTrace::new(true);
+        on.record(Time(7), || "tag 1 tx".to_string());
+        assert_eq!(on.records().len(), 1);
+        let bytes = on.to_bytes();
+        assert!(String::from_utf8(bytes.clone())
+            .unwrap()
+            .contains("tag 1 tx"));
+
+        let mut off = EventTrace::new(false);
+        off.record(Time(7), || "tag 1 tx".to_string());
+        assert!(off.records().is_empty());
+        assert!(off.to_bytes().is_empty());
+        assert_ne!(bytes, off.to_bytes());
+    }
+}

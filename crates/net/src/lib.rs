@@ -1,0 +1,132 @@
+//! # interscatter-net
+//!
+//! A deterministic, event-driven **network** engine for the Interscatter
+//! reproduction: where `interscatter-sim` studies one link at a time (one
+//! BLE carrier, one tag, one receiver — the regime of the paper's figures),
+//! this crate simulates *fleets* of backscatter tags sharing the 2.4 GHz
+//! medium with multiple BLE carrier providers and multiple Wi-Fi/ZigBee
+//! receivers.
+//!
+//! ## Entity model
+//!
+//! A [`scenario::Scenario`] instantiates three kinds of entities, each with
+//! a position in metres:
+//!
+//! * [`entities::CarrierSource`] — a Bluetooth device emitting the
+//!   single-tone advertisement the tags modulate. Each carrier activates
+//!   periodically (its *slot cadence*); one slot illuminates exactly one
+//!   tag, selected round-robin among the tags assigned to that carrier
+//!   that have traffic queued (§2.3.3's helper-device scheduling,
+//!   generalized to N tags).
+//! * [`entities::TagNode`] — a backscatter tag with an application traffic
+//!   source (Poisson arrivals into a FIFO queue), an antenna/tissue profile
+//!   (bench monopole, contact lens, neural implant, printed card), a
+//!   sideband architecture (single or double) and a target PHY
+//!   ([`entities::NetPhy`]: 802.11b at a Wi-Fi channel, ZigBee, or
+//!   card-to-card OOK).
+//! * [`entities::SinkReceiver`] — a commodity radio (Wi-Fi AP, ZigBee hub,
+//!   or a peer card's envelope detector) that decodes what the tags
+//!   synthesize. Each tag delivers to the receiver its scenario assigns
+//!   (the builders use round-robin channel striping or nearest-hub
+//!   assignment, per scenario).
+//!
+//! ## Event model
+//!
+//! The engine ([`engine::NetworkSim`]) is a classic discrete-event
+//! simulation: a binary-heap [`event::EventQueue`] orders
+//! [`event::EventKind`]s by integer-nanosecond timestamps
+//! ([`time::Time`]), with a monotone sequence number breaking ties so the
+//! execution order is total and reproducible. Three event kinds drive
+//! everything:
+//!
+//! * `PacketArrival` — a tag's application emits a packet and schedules the
+//!   next arrival from its *own* seeded RNG stream.
+//! * `CarrierSlot` — a carrier activates: the arbiter picks a tag, checks
+//!   the medium (CSMA, optionally a CTS-to-Self reservation), and starts a
+//!   transmission.
+//! * `TxEnd` — a transmission completes: the [`medium::Medium`] reports
+//!   tag-to-tag collisions (including the *mirror copies* double-sideband
+//!   tags place on the opposite side of the carrier), the link budget
+//!   ([`links::LinkMatrix`], built from `interscatter-channel`'s pathloss,
+//!   tissue and noise models) draws per-packet shadowing, and the outcome
+//!   lands in [`metrics::NetworkMetrics`].
+//!
+//! Every entity owns a `SmallRng` seeded from the scenario seed and its
+//! entity id, so identical seeds reproduce byte-identical event traces and
+//! metrics — see [`engine::NetRunResult::trace`] and the
+//! `net_determinism` integration test — while different seeds decorrelate.
+//!
+//! ## Monte-Carlo runs
+//!
+//! [`runner::MonteCarlo`] fans trials out across threads (one derived seed
+//! per trial) and aggregates throughput, PER, latency and Jain fairness
+//! into a [`runner::MonteCarloReport`].
+//!
+//! ```
+//! use interscatter_net::prelude::*;
+//!
+//! let scenario = Scenario::hospital_ward(8);
+//! let result = NetworkSim::new(&scenario, 42).run().unwrap();
+//! assert!(result.metrics.offered_packets() > 0);
+//! let replay = NetworkSim::new(&scenario, 42).run().unwrap();
+//! assert_eq!(result.trace.to_bytes(), replay.trace.to_bytes());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod entities;
+pub mod event;
+pub mod links;
+pub mod medium;
+pub mod metrics;
+pub mod runner;
+pub mod scenario;
+pub mod time;
+
+/// Errors surfaced by the network engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// A scenario parameter was invalid.
+    InvalidScenario(String),
+    /// An error from the channel layer while building link budgets.
+    Channel(interscatter_channel::ChannelError),
+    /// An error from the simulation layer.
+    Sim(interscatter_sim::SimError),
+}
+
+impl core::fmt::Display for NetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NetError::InvalidScenario(what) => write!(f, "invalid scenario: {what}"),
+            NetError::Channel(e) => write!(f, "channel error: {e}"),
+            NetError::Sim(e) => write!(f, "sim error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<interscatter_channel::ChannelError> for NetError {
+    fn from(e: interscatter_channel::ChannelError) -> Self {
+        NetError::Channel(e)
+    }
+}
+
+impl From<interscatter_sim::SimError> for NetError {
+    fn from(e: interscatter_sim::SimError) -> Self {
+        NetError::Sim(e)
+    }
+}
+
+/// The commonly used types in one import.
+pub mod prelude {
+    pub use crate::engine::{NetRunResult, NetworkSim};
+    pub use crate::entities::{CarrierSource, NetPhy, SinkReceiver, TagNode, TagProfile};
+    pub use crate::metrics::NetworkMetrics;
+    pub use crate::runner::{MonteCarlo, MonteCarloReport};
+    pub use crate::scenario::Scenario;
+    pub use crate::time::Time;
+    pub use crate::NetError;
+}

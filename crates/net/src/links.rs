@@ -1,0 +1,192 @@
+//! Position-dependent link budgets, precomputed once per scenario.
+//!
+//! Every tag's uplink is the two-hop backscatter budget of
+//! [`interscatter_channel::link::BackscatterLink`]: carrier → tag (at the
+//! BLE tone frequency, through the tag's tissue) and tag → receiver (at the
+//! synthesized packet's frequency). The engine draws per-packet lognormal
+//! shadowing around the median, so packet success is a function of where
+//! the entities sit — near tags see PER ≈ 0, far tags fall off the
+//! sensitivity cliff, exactly like the range curves of Figs. 10/14/15/16
+//! but evaluated across a whole fleet at once.
+//!
+//! The matrix also precomputes every tag's signal strength at every *other*
+//! receiver: that is what turns an overlapping transmission into a
+//! measurable interferer during collision arbitration (capture effect).
+
+use crate::entities::TagProfile;
+use crate::scenario::Scenario;
+use crate::NetError;
+use interscatter_backscatter::tag::SidebandMode;
+use interscatter_channel::link::{BackscatterLink, ConversionLoss};
+use interscatter_channel::pathloss::{gaussian, LogDistanceModel};
+use rand::Rng;
+
+/// The budget of one tag's uplink to its destination receiver.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkBudget {
+    /// Median RSSI at the destination receiver, dBm.
+    pub median_rssi_dbm: f64,
+    /// Combined lognormal shadowing standard deviation of both hops, dB.
+    pub shadow_sigma_db: f64,
+    /// The destination receiver's sensitivity, dBm.
+    pub sensitivity_dbm: f64,
+    /// The destination receiver's noise floor, dBm.
+    pub noise_floor_dbm: f64,
+}
+
+impl LinkBudget {
+    /// Median SNR at the destination receiver, dB.
+    pub fn median_snr_db(&self) -> f64 {
+        self.median_rssi_dbm - self.noise_floor_dbm
+    }
+
+    /// Median margin above the sensitivity cliff, dB.
+    pub fn margin_db(&self) -> f64 {
+        self.median_rssi_dbm - self.sensitivity_dbm
+    }
+
+    /// Draws one packet's shadowed RSSI and whether the receiver decodes
+    /// it, `(ok, rssi_dbm)`.
+    pub fn packet_outcome<R: Rng>(&self, rng: &mut R) -> (bool, f64) {
+        let rssi = self.median_rssi_dbm + gaussian(rng) * self.shadow_sigma_db;
+        (rssi >= self.sensitivity_dbm, rssi)
+    }
+}
+
+/// Precomputed budgets for every tag, and every tag's interference power
+/// at every receiver.
+#[derive(Debug, Clone)]
+pub struct LinkMatrix {
+    budgets: Vec<LinkBudget>,
+    /// `interference_dbm[tag][rx]`: median power of `tag`'s emission at
+    /// receiver `rx`, dBm.
+    interference_dbm: Vec<Vec<f64>>,
+}
+
+impl LinkMatrix {
+    /// Builds the matrix for a validated scenario.
+    pub fn build(scenario: &Scenario) -> Result<LinkMatrix, NetError> {
+        let mut budgets = Vec::with_capacity(scenario.tags.len());
+        let mut interference_dbm = Vec::with_capacity(scenario.tags.len());
+        for tag in &scenario.tags {
+            let carrier = &scenario.carriers[tag.carrier];
+            let carrier_freq = carrier.carrier_freq_hz();
+            let emission_freq = tag.phy.center_freq_hz(carrier_freq);
+            let conversion = match (tag.profile, tag.sideband) {
+                // Card-to-card OOK is energy detection of both sidebands.
+                (TagProfile::Card, _) => ConversionLoss::double_sideband(),
+                (_, SidebandMode::Single) => ConversionLoss::single_sideband(),
+                (_, SidebandMode::Double) => ConversionLoss::double_sideband(),
+            };
+            let link = BackscatterLink {
+                tx_power_dbm: carrier.tx_power_dbm,
+                tx_antenna: interscatter_channel::antenna::Antenna::monopole_2dbi(),
+                tag_antenna: tag.profile.antenna(),
+                rx_antenna: interscatter_channel::antenna::Antenna::monopole_2dbi(),
+                source_to_tag: LogDistanceModel::indoor_los(carrier_freq),
+                tag_to_rx: LogDistanceModel::indoor_los(emission_freq),
+                tissue_source_to_tag: tag.profile.tissue(),
+                tissue_tag_to_rx: tag.profile.tissue(),
+                conversion,
+            };
+            link.validate()?;
+            let d_carrier_tag = carrier.position.distance_m(&tag.position);
+            let noise = tag.phy.noise_model();
+
+            let mut row = Vec::with_capacity(scenario.receivers.len());
+            for rx in &scenario.receivers {
+                let d_tag_rx = tag.position.distance_m(&rx.position);
+                row.push(link.received_power_dbm(d_carrier_tag, d_tag_rx));
+            }
+
+            let destination = &scenario.receivers[tag.receiver];
+            let s1 = link.source_to_tag.shadowing_sigma_db;
+            let s2 = link.tag_to_rx.shadowing_sigma_db;
+            budgets.push(LinkBudget {
+                median_rssi_dbm: row[tag.receiver],
+                shadow_sigma_db: (s1 * s1 + s2 * s2).sqrt(),
+                sensitivity_dbm: destination.sensitivity_dbm,
+                noise_floor_dbm: noise.noise_floor_dbm(),
+            });
+            interference_dbm.push(row);
+        }
+        Ok(LinkMatrix {
+            budgets,
+            interference_dbm,
+        })
+    }
+
+    /// The budget of `tag`'s uplink.
+    pub fn budget(&self, tag: usize) -> &LinkBudget {
+        &self.budgets[tag]
+    }
+
+    /// Median power of `tag`'s emission at receiver `rx`, dBm.
+    pub fn interference_dbm(&self, tag: usize, rx: usize) -> f64 {
+        self.interference_dbm[tag][rx]
+    }
+
+    /// Number of tags covered.
+    pub fn len(&self) -> usize {
+        self.budgets.len()
+    }
+
+    /// True when the scenario had no tags.
+    pub fn is_empty(&self) -> bool {
+        self.budgets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nearer_tags_have_stronger_links() {
+        let scenario = Scenario::hospital_ward(16);
+        let matrix = LinkMatrix::build(&scenario).unwrap();
+        assert_eq!(matrix.len(), 16);
+        assert!(!matrix.is_empty());
+        // Budgets must be position-dependent: not all medians equal.
+        let medians: Vec<f64> = (0..16).map(|t| matrix.budget(t).median_rssi_dbm).collect();
+        let min = medians.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = medians.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 1.0, "spread {min}..{max}");
+    }
+
+    #[test]
+    fn interference_weakens_with_receiver_distance() {
+        let scenario = Scenario::hospital_ward(4);
+        let matrix = LinkMatrix::build(&scenario).unwrap();
+        for t in 0..4 {
+            let own = matrix.interference_dbm(t, scenario.tags[t].receiver);
+            assert!((own - matrix.budget(t).median_rssi_dbm).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn packet_outcomes_follow_the_margin() {
+        let strong = LinkBudget {
+            median_rssi_dbm: -60.0,
+            shadow_sigma_db: 2.8,
+            sensitivity_dbm: -88.0,
+            noise_floor_dbm: -93.6,
+        };
+        let weak = LinkBudget {
+            median_rssi_dbm: -95.0,
+            ..strong
+        };
+        assert!(strong.margin_db() > 20.0);
+        assert!(strong.median_snr_db() > strong.margin_db());
+        let mut rng = SmallRng::seed_from_u64(1);
+        let strong_ok = (0..200)
+            .filter(|_| strong.packet_outcome(&mut rng).0)
+            .count();
+        let weak_ok = (0..200).filter(|_| weak.packet_outcome(&mut rng).0).count();
+        assert_eq!(strong_ok, 200);
+        assert!(weak_ok < 20, "weak link delivered {weak_ok}/200");
+    }
+}

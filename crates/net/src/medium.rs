@@ -1,0 +1,246 @@
+//! The shared 2.4 GHz medium: who is on the air where, and who overlaps
+//! whom.
+//!
+//! The medium tracks every in-flight emission as one or two frequency
+//! bands: the synthesized packet itself, and — for double-sideband tags —
+//! the *mirror copy* at `2·f_carrier − f_packet` (§2.3.1: the unwanted
+//! sideband single-sideband backscatter exists to eliminate). Two emissions
+//! interfere when any of their bands overlap in frequency while both are on
+//! the air; the engine then applies a capture margin at the victim's
+//! receiver to decide who survives.
+//!
+//! CSMA and the §2.3.3 CTS-to-Self optimisation are modelled here too: a
+//! carrier checks [`Medium::busy`] before granting a slot (carrier-sense),
+//! and may place a [`Medium::reserve`] entry that keeps *other* in-model
+//! tags off the band for the packet's duration.
+
+use crate::time::Time;
+
+/// A frequency band, centre ± half the bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Band {
+    /// Centre frequency, Hz.
+    pub center_hz: f64,
+    /// Occupied bandwidth, Hz.
+    pub bandwidth_hz: f64,
+}
+
+impl Band {
+    /// Builds a band.
+    pub fn new(center_hz: f64, bandwidth_hz: f64) -> Self {
+        Band {
+            center_hz,
+            bandwidth_hz,
+        }
+    }
+
+    /// True when the two bands' occupied spectra overlap.
+    pub fn overlaps(&self, other: &Band) -> bool {
+        (self.center_hz - other.center_hz).abs() < (self.bandwidth_hz + other.bandwidth_hz) / 2.0
+    }
+}
+
+/// One in-flight tag transmission.
+#[derive(Debug, Clone)]
+struct Emission {
+    tx_id: u64,
+    tag: usize,
+    primary: Band,
+    mirror: Option<Band>,
+    end: Time,
+    /// Tags whose emissions overlapped this one while it was on the air.
+    interferers: Vec<usize>,
+}
+
+impl Emission {
+    fn bands(&self) -> impl Iterator<Item = &Band> {
+        std::iter::once(&self.primary).chain(self.mirror.as_ref())
+    }
+
+    fn overlaps(&self, other: &Emission) -> bool {
+        self.bands().any(|a| other.bands().any(|b| a.overlaps(b)))
+    }
+}
+
+/// A CTS-to-Self reservation keeping other tags off a band.
+#[derive(Debug, Clone, Copy)]
+struct Reservation {
+    band: Band,
+    end: Time,
+}
+
+/// What the medium observed about a finished transmission.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TxReport {
+    /// Tags whose emissions overlapped this one (dedup'd, in first-overlap
+    /// order).
+    pub interferers: Vec<usize>,
+}
+
+/// The shared-medium arbiter.
+#[derive(Debug, Default)]
+pub struct Medium {
+    active: Vec<Emission>,
+    reservations: Vec<Reservation>,
+    next_tx_id: u64,
+}
+
+impl Medium {
+    /// An idle medium.
+    pub fn new() -> Self {
+        Medium::default()
+    }
+
+    /// Drops emissions and reservations that ended at or before `now`.
+    ///
+    /// Finished emissions are only pruned after [`Medium::finish`] collects
+    /// them, so this keeps `active` sized to the true in-flight set.
+    fn prune(&mut self, now: Time) {
+        self.reservations.retain(|r| r.end > now);
+    }
+
+    /// Carrier-sense: is any emission or reservation occupying a band that
+    /// overlaps `band` at time `now`?
+    pub fn busy(&mut self, band: Band, now: Time) -> bool {
+        self.prune(now);
+        self.active
+            .iter()
+            .filter(|e| e.end > now)
+            .any(|e| e.bands().any(|b| b.overlaps(&band)))
+            || self.reservations.iter().any(|r| r.band.overlaps(&band))
+    }
+
+    /// Places a CTS-to-Self reservation on `band` until `end`.
+    pub fn reserve(&mut self, band: Band, end: Time) {
+        self.reservations.push(Reservation { band, end });
+    }
+
+    /// Puts a transmission on the air and returns its id. Any already
+    /// active overlapping emission is recorded as interference on *both*
+    /// sides.
+    pub fn start(
+        &mut self,
+        tag: usize,
+        primary: Band,
+        mirror: Option<Band>,
+        now: Time,
+        end: Time,
+    ) -> u64 {
+        self.prune(now);
+        let tx_id = self.next_tx_id;
+        self.next_tx_id += 1;
+        let mut emission = Emission {
+            tx_id,
+            tag,
+            primary,
+            mirror,
+            end,
+            interferers: Vec::new(),
+        };
+        for other in self.active.iter_mut().filter(|e| e.end > now) {
+            if other.overlaps(&emission) {
+                if !emission.interferers.contains(&other.tag) {
+                    emission.interferers.push(other.tag);
+                }
+                if !other.interferers.contains(&tag) {
+                    other.interferers.push(tag);
+                }
+            }
+        }
+        self.active.push(emission);
+        tx_id
+    }
+
+    /// Takes a finished transmission off the air, returning what the
+    /// medium observed about it.
+    pub fn finish(&mut self, tx_id: u64) -> TxReport {
+        let Some(idx) = self.active.iter().position(|e| e.tx_id == tx_id) else {
+            return TxReport::default();
+        };
+        let emission = self.active.swap_remove(idx);
+        TxReport {
+            interferers: emission.interferers,
+        }
+    }
+
+    /// Number of transmissions currently on the air.
+    pub fn on_air(&self) -> usize {
+        self.active.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CH6: f64 = 2.437e9;
+    const CH11: f64 = 2.462e9;
+
+    fn wifi(center: f64) -> Band {
+        Band::new(center, 22e6)
+    }
+
+    #[test]
+    fn band_overlap_geometry() {
+        // Adjacent Wi-Fi channels (25 MHz apart, 22 MHz wide) do not
+        // overlap at their centres' separation ≥ 22 MHz.
+        assert!(!wifi(CH6).overlaps(&wifi(CH11)));
+        assert!(wifi(CH6).overlaps(&wifi(2.442e9)));
+        // A narrow ZigBee band inside a Wi-Fi channel overlaps it.
+        assert!(wifi(CH6).overlaps(&Band::new(2.430e9, 2e6)));
+    }
+
+    #[test]
+    fn overlapping_transmissions_interfere_both_ways() {
+        let mut medium = Medium::new();
+        let a = medium.start(0, wifi(CH11), None, Time(0), Time(200_000));
+        let b = medium.start(1, wifi(CH11), None, Time(50_000), Time(250_000));
+        assert_eq!(medium.on_air(), 2);
+        assert_eq!(medium.finish(a).interferers, vec![1]);
+        assert_eq!(medium.finish(b).interferers, vec![0]);
+        assert_eq!(medium.on_air(), 0);
+    }
+
+    #[test]
+    fn disjoint_channels_do_not_interfere() {
+        let mut medium = Medium::new();
+        let a = medium.start(0, wifi(CH11), None, Time(0), Time(200_000));
+        let b = medium.start(1, wifi(CH6), None, Time(0), Time(200_000));
+        assert!(medium.finish(a).interferers.is_empty());
+        assert!(medium.finish(b).interferers.is_empty());
+    }
+
+    #[test]
+    fn mirror_copy_collides_on_the_mirror_channel() {
+        let mut medium = Medium::new();
+        // DSB tag: primary on ch 1 (2.412 GHz), mirror at 2.440 GHz
+        // (carrier 2.426 GHz), which lands inside channel 6.
+        let dsb = medium.start(
+            0,
+            wifi(2.412e9),
+            Some(wifi(2.440e9)),
+            Time(0),
+            Time(200_000),
+        );
+        let victim = medium.start(1, wifi(CH6), None, Time(0), Time(200_000));
+        assert_eq!(medium.finish(victim).interferers, vec![0]);
+        assert_eq!(medium.finish(dsb).interferers, vec![1]);
+    }
+
+    #[test]
+    fn csma_sees_emissions_and_reservations() {
+        let mut medium = Medium::new();
+        assert!(!medium.busy(wifi(CH11), Time(0)));
+        medium.start(0, wifi(CH11), None, Time(0), Time(100_000));
+        assert!(medium.busy(wifi(CH11), Time(50_000)));
+        assert!(!medium.busy(wifi(CH6), Time(50_000)));
+        // After the emission ends it no longer blocks the band (even while
+        // un-finished, i.e. still awaiting its TxEnd event).
+        assert!(!medium.busy(wifi(CH11), Time(150_000)));
+
+        medium.reserve(wifi(CH6), Time(300_000));
+        assert!(medium.busy(wifi(CH6), Time(200_000)));
+        // Reservations expire.
+        assert!(!medium.busy(wifi(CH6), Time(300_000)));
+    }
+}

@@ -1,0 +1,236 @@
+//! Network-level bookkeeping: per-tag counters, aggregate throughput/PER,
+//! latency distribution and Jain fairness, built on the statistics toolkit
+//! of `interscatter-sim`'s [`measurements`](interscatter_sim::measurements).
+
+use interscatter_sim::measurements::Cdf;
+
+/// Counters for one tag.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TagStats {
+    /// Packets the application generated.
+    pub offered: usize,
+    /// Packets delivered to the destination receiver.
+    pub delivered: usize,
+    /// Packets dropped (queue overflow or retry budget exhausted).
+    pub dropped: usize,
+    /// Transmission attempts (grants that went on the air).
+    pub attempts: usize,
+    /// Attempts lost to tag-to-tag (or mirror-copy) collisions.
+    pub collided: usize,
+    /// Attempts lost to collisions with external (unmodelled) Wi-Fi
+    /// traffic.
+    pub external_collisions: usize,
+    /// Attempts lost to the link budget (shadowed RSSI under sensitivity).
+    pub link_losses: usize,
+    /// Carrier slots skipped because carrier-sense found the band busy.
+    pub csma_defers: usize,
+    /// Application bits delivered.
+    pub delivered_bits: usize,
+}
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkMetrics {
+    /// Simulated duration, seconds.
+    pub duration_s: f64,
+    /// Per-tag counters, indexed like the scenario's tag list.
+    pub tags: Vec<TagStats>,
+    /// Delivery latency samples, milliseconds (arrival → delivery).
+    pub latency_ms: Cdf,
+    /// Per-receiver airtime punctured by double-sideband mirror copies,
+    /// seconds — the coexistence cost the §2.3.1 single-sideband design
+    /// removes (cf. Fig. 12).
+    pub mirror_airtime_s: Vec<f64>,
+}
+
+impl NetworkMetrics {
+    /// Creates zeroed metrics for `n_tags` tags and `n_receivers`
+    /// receivers over `duration_s` simulated seconds.
+    pub fn new(n_tags: usize, n_receivers: usize, duration_s: f64) -> Self {
+        NetworkMetrics {
+            duration_s,
+            tags: vec![TagStats::default(); n_tags],
+            latency_ms: Cdf::new(),
+            mirror_airtime_s: vec![0.0; n_receivers],
+        }
+    }
+
+    /// Total packets the applications offered.
+    pub fn offered_packets(&self) -> usize {
+        self.tags.iter().map(|t| t.offered).sum()
+    }
+
+    /// Total packets delivered.
+    pub fn delivered_packets(&self) -> usize {
+        self.tags.iter().map(|t| t.delivered).sum()
+    }
+
+    /// Total transmission attempts.
+    pub fn attempts(&self) -> usize {
+        self.tags.iter().map(|t| t.attempts).sum()
+    }
+
+    /// Aggregate network throughput, application bits per second.
+    pub fn throughput_bps(&self) -> f64 {
+        if self.duration_s <= 0.0 {
+            return 0.0;
+        }
+        self.tags.iter().map(|t| t.delivered_bits).sum::<usize>() as f64 / self.duration_s
+    }
+
+    /// Packet error rate over the air: failed attempts / attempts.
+    pub fn per(&self) -> f64 {
+        let attempts = self.attempts();
+        if attempts == 0 {
+            return 0.0;
+        }
+        1.0 - self.delivered_packets() as f64 / attempts as f64
+    }
+
+    /// End-to-end delivery ratio: delivered / offered (includes queue and
+    /// retry drops, unlike [`NetworkMetrics::per`]).
+    pub fn delivery_ratio(&self) -> f64 {
+        let offered = self.offered_packets();
+        if offered == 0 {
+            return 1.0;
+        }
+        self.delivered_packets() as f64 / offered as f64
+    }
+
+    /// Jain's fairness index over per-tag delivered bits: 1 when every tag
+    /// got the same throughput, → 1/n when one tag starved the rest.
+    pub fn jain_fairness(&self) -> f64 {
+        let xs: Vec<f64> = self.tags.iter().map(|t| t.delivered_bits as f64).collect();
+        jain_index(&xs)
+    }
+
+    /// Mirror-copy duty cycle at receiver `rx`: the fraction of airtime
+    /// punctured by double-sideband mirror copies.
+    pub fn mirror_duty(&self, rx: usize) -> f64 {
+        if self.duration_s <= 0.0 {
+            return 0.0;
+        }
+        self.mirror_airtime_s.get(rx).copied().unwrap_or(0.0) / self.duration_s
+    }
+
+    /// A plain-text report of the aggregates.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "tags {}  duration {:.1}s  offered {}  attempts {}  delivered {}\n",
+            self.tags.len(),
+            self.duration_s,
+            self.offered_packets(),
+            self.attempts(),
+            self.delivered_packets(),
+        ));
+        out.push_str(&format!(
+            "throughput {:.1} bit/s  PER {:.3}  delivery {:.3}  fairness {:.3}\n",
+            self.throughput_bps(),
+            self.per(),
+            self.delivery_ratio(),
+            self.jain_fairness(),
+        ));
+        if let (Some(p50), Some(p95)) = (self.latency_ms.median(), self.latency_ms.quantile(0.95)) {
+            out.push_str(&format!("latency p50 {p50:.2} ms  p95 {p95:.2} ms\n"));
+        }
+        let collided: usize = self.tags.iter().map(|t| t.collided).sum();
+        let external: usize = self.tags.iter().map(|t| t.external_collisions).sum();
+        let link: usize = self.tags.iter().map(|t| t.link_losses).sum();
+        let defers: usize = self.tags.iter().map(|t| t.csma_defers).sum();
+        out.push_str(&format!(
+            "losses: {collided} tag-tag, {external} external, {link} link; {defers} CSMA defers\n"
+        ));
+        for (rx, _) in self
+            .mirror_airtime_s
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a > 0.0)
+        {
+            out.push_str(&format!(
+                "receiver {rx}: mirror-copy duty {:.4}\n",
+                self.mirror_duty(rx)
+            ));
+        }
+        out
+    }
+}
+
+/// Jain's fairness index of a sample set; 1.0 for empty or all-zero input.
+pub fn jain_index(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_from_tag_stats() {
+        let mut m = NetworkMetrics::new(2, 1, 10.0);
+        m.tags[0] = TagStats {
+            offered: 10,
+            delivered: 8,
+            attempts: 10,
+            collided: 1,
+            link_losses: 1,
+            delivered_bits: 8 * 248,
+            ..Default::default()
+        };
+        m.tags[1] = TagStats {
+            offered: 10,
+            delivered: 8,
+            attempts: 10,
+            external_collisions: 2,
+            delivered_bits: 8 * 248,
+            ..Default::default()
+        };
+        assert_eq!(m.offered_packets(), 20);
+        assert_eq!(m.delivered_packets(), 16);
+        assert_eq!(m.attempts(), 20);
+        assert!((m.per() - 0.2).abs() < 1e-12);
+        assert!((m.delivery_ratio() - 0.8).abs() < 1e-12);
+        assert!((m.throughput_bps() - 2.0 * 8.0 * 248.0 / 10.0).abs() < 1e-9);
+        // Equal split → perfectly fair.
+        assert!((m.jain_fairness() - 1.0).abs() < 1e-12);
+        let report = m.report();
+        assert!(report.contains("PER 0.200"));
+        assert!(report.contains("fairness 1.000"));
+    }
+
+    #[test]
+    fn fairness_detects_starvation() {
+        assert!((jain_index(&[]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[0.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One tag hogs everything: index → 1/n.
+        let hog = jain_index(&[100.0, 0.0, 0.0, 0.0]);
+        assert!((hog - 0.25).abs() < 1e-12);
+        let skew = jain_index(&[4.0, 1.0]);
+        assert!(skew < 0.8 && skew > 0.25 + 1e-12, "skew {skew}");
+    }
+
+    #[test]
+    fn mirror_duty_and_empty_cases() {
+        let mut m = NetworkMetrics::new(1, 2, 10.0);
+        m.mirror_airtime_s[1] = 0.5;
+        assert_eq!(m.mirror_duty(0), 0.0);
+        assert!((m.mirror_duty(1) - 0.05).abs() < 1e-12);
+        assert_eq!(m.mirror_duty(99), 0.0);
+
+        let empty = NetworkMetrics::default();
+        assert_eq!(empty.per(), 0.0);
+        assert_eq!(empty.delivery_ratio(), 1.0);
+        assert_eq!(empty.throughput_bps(), 0.0);
+        assert_eq!(empty.jain_fairness(), 1.0);
+    }
+}

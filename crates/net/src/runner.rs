@@ -1,0 +1,191 @@
+//! The parallel Monte-Carlo runner: many independent trials of one
+//! scenario, one derived seed per trial, fanned out across worker threads
+//! and aggregated into a fleet-level report.
+
+use crate::engine::NetworkSim;
+use crate::metrics::NetworkMetrics;
+use crate::scenario::Scenario;
+use crate::NetError;
+use interscatter_sim::measurements::{mean, Cdf};
+use rayon::prelude::*;
+
+/// A Monte-Carlo experiment over one scenario.
+#[derive(Debug, Clone)]
+pub struct MonteCarlo {
+    /// The scenario every trial runs.
+    pub scenario: Scenario,
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Base seed; trial `i` runs with a seed derived from `(base_seed, i)`.
+    pub base_seed: u64,
+}
+
+impl MonteCarlo {
+    /// Builds a runner with the given trial count and base seed.
+    pub fn new(scenario: Scenario, trials: usize, base_seed: u64) -> Self {
+        MonteCarlo {
+            scenario,
+            trials,
+            base_seed,
+        }
+    }
+
+    /// The seed trial `i` runs with: the engine's entity-seed derivation
+    /// on a stream reserved for trials, so neighbouring trials get
+    /// decorrelated streams.
+    pub fn trial_seed(&self, trial: usize) -> u64 {
+        crate::engine::derive_seed(self.base_seed, 0, trial)
+    }
+
+    /// Runs every trial (in parallel, traces disabled) and aggregates.
+    pub fn run(&self) -> Result<MonteCarloReport, NetError> {
+        self.scenario.validate()?;
+        let results: Vec<Result<NetworkMetrics, NetError>> = (0..self.trials)
+            .into_par_iter()
+            .map(|trial| {
+                NetworkSim::new(&self.scenario, self.trial_seed(trial))
+                    .with_trace(false)
+                    .run()
+                    .map(|r| r.metrics)
+            })
+            .collect();
+        let mut trials = Vec::with_capacity(results.len());
+        for r in results {
+            trials.push(r?);
+        }
+        Ok(MonteCarloReport::aggregate(&self.scenario, trials))
+    }
+}
+
+/// Aggregates over a set of Monte-Carlo trials.
+#[derive(Debug, Clone)]
+pub struct MonteCarloReport {
+    /// Scenario name the trials ran.
+    pub scenario_name: String,
+    /// Per-trial metrics, in trial order.
+    pub trials: Vec<NetworkMetrics>,
+    /// Per-trial aggregate throughput samples, bits per second.
+    pub throughput_bps: Cdf,
+    /// Per-trial packet-error-rate samples.
+    pub per: Cdf,
+    /// Per-trial Jain fairness samples.
+    pub fairness: Cdf,
+    /// Pooled delivery-latency samples across all trials, milliseconds.
+    pub latency_ms: Cdf,
+}
+
+impl MonteCarloReport {
+    fn aggregate(scenario: &Scenario, trials: Vec<NetworkMetrics>) -> Self {
+        let mut throughput = Cdf::new();
+        let mut per = Cdf::new();
+        let mut fairness = Cdf::new();
+        let mut latency = Cdf::new();
+        for m in &trials {
+            throughput.push(m.throughput_bps());
+            per.push(m.per());
+            fairness.push(m.jain_fairness());
+            for &sample in m.latency_ms.samples() {
+                latency.push(sample);
+            }
+        }
+        MonteCarloReport {
+            scenario_name: scenario.name.clone(),
+            trials,
+            throughput_bps: throughput,
+            per,
+            fairness,
+            latency_ms: latency,
+        }
+    }
+
+    /// Mean aggregate throughput across trials, bits per second.
+    pub fn mean_throughput_bps(&self) -> f64 {
+        mean(
+            &self
+                .trials
+                .iter()
+                .map(|m| m.throughput_bps())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Mean packet error rate across trials.
+    pub fn mean_per(&self) -> f64 {
+        mean(&self.trials.iter().map(|m| m.per()).collect::<Vec<_>>())
+    }
+
+    /// Mean Jain fairness across trials.
+    pub fn mean_fairness(&self) -> f64 {
+        mean(
+            &self
+                .trials
+                .iter()
+                .map(|m| m.jain_fairness())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// A plain-text summary table.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "=== {} ({} trials) ===\n",
+            self.scenario_name,
+            self.trials.len()
+        ));
+        out.push_str(&format!(
+            "throughput {:.1} bit/s (median {:.1})\n",
+            self.mean_throughput_bps(),
+            self.throughput_bps.median().unwrap_or(0.0),
+        ));
+        out.push_str(&format!(
+            "PER {:.3} (median {:.3})  fairness {:.3}\n",
+            self.mean_per(),
+            self.per.median().unwrap_or(0.0),
+            self.mean_fairness(),
+        ));
+        if let (Some(p50), Some(p95)) = (self.latency_ms.median(), self.latency_ms.quantile(0.95)) {
+            out.push_str(&format!("latency p50 {p50:.2} ms  p95 {p95:.2} ms\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trials_are_reproducible_and_decorrelated() {
+        let mc = MonteCarlo::new(Scenario::hospital_ward(6), 4, 1234);
+        let a = mc.run().unwrap();
+        let b = mc.run().unwrap();
+        assert_eq!(a.trials.len(), 4);
+        assert_eq!(format!("{:?}", a.trials), format!("{:?}", b.trials));
+        // Different trials are different runs.
+        assert_ne!(format!("{:?}", a.trials[0]), format!("{:?}", a.trials[1]));
+        // Different base seed, different results.
+        let c = MonteCarlo::new(Scenario::hospital_ward(6), 4, 999)
+            .run()
+            .unwrap();
+        assert_ne!(format!("{:?}", a.trials), format!("{:?}", c.trials));
+    }
+
+    #[test]
+    fn report_summarizes() {
+        let mc = MonteCarlo::new(Scenario::card_to_card_room(4), 3, 7);
+        let report = mc.run().unwrap();
+        assert!(report.mean_throughput_bps() >= 0.0);
+        assert!((0.0..=1.0).contains(&report.mean_per()));
+        assert!((0.0..=1.0).contains(&report.mean_fairness()));
+        let text = report.report();
+        assert!(text.contains("card-to-card-4"));
+        assert!(text.contains("throughput"));
+    }
+
+    #[test]
+    fn trial_seeds_differ() {
+        let mc = MonteCarlo::new(Scenario::hospital_ward(2), 2, 42);
+        assert_ne!(mc.trial_seed(0), mc.trial_seed(1));
+    }
+}

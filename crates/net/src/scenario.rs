@@ -1,0 +1,475 @@
+//! The scenario library: deployments of many tags, carriers and receivers,
+//! built on the application profiles of `interscatter-sim`'s §5 scenarios.
+//!
+//! All builders are pure functions of their arguments — positions and
+//! assignments are laid out deterministically, so a scenario plus a seed
+//! fully determines a run. Layouts respect the paper's link geometry: a
+//! backscatter tag must sit within roughly a metre of its illuminating
+//! carrier (Figs. 10/15/16 place the Bluetooth source inches to feet from
+//! the tag), while the receiver can be across the room.
+
+use crate::entities::{CarrierSource, NetPhy, Position, SinkReceiver, TagNode, TagProfile};
+use crate::NetError;
+use interscatter_backscatter::tag::SidebandMode;
+use interscatter_wifi::dot11b::DsssRate;
+
+/// A complete network scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable name, used in reports.
+    pub name: String,
+    /// Simulated duration, seconds.
+    pub duration_s: f64,
+    /// The BLE carrier providers.
+    pub carriers: Vec<CarrierSource>,
+    /// The backscatter tags.
+    pub tags: Vec<TagNode>,
+    /// The receivers.
+    pub receivers: Vec<SinkReceiver>,
+    /// Whether carriers place CTS-to-Self reservations before triggering a
+    /// tag (§2.3.3).
+    pub cts_to_self: bool,
+    /// Per-tag queue capacity; arrivals beyond this are dropped.
+    pub max_queue: usize,
+}
+
+impl Scenario {
+    /// Checks indices, capacities and timing so the engine can assume a
+    /// well-formed scenario.
+    pub fn validate(&self) -> Result<(), NetError> {
+        if self.duration_s <= 0.0 {
+            return Err(NetError::InvalidScenario(
+                "duration must be positive".into(),
+            ));
+        }
+        if self.carriers.is_empty() || self.tags.is_empty() || self.receivers.is_empty() {
+            return Err(NetError::InvalidScenario(
+                "need at least one carrier, tag and receiver".into(),
+            ));
+        }
+        if self.max_queue == 0 {
+            return Err(NetError::InvalidScenario(
+                "max_queue must be at least 1".into(),
+            ));
+        }
+        for (c, carrier) in self.carriers.iter().enumerate() {
+            if carrier.slot_interval_s <= 0.0 || carrier.slot_window_s <= 0.0 {
+                return Err(NetError::InvalidScenario(format!(
+                    "carrier {c}: slot interval and window must be positive"
+                )));
+            }
+        }
+        for (t, tag) in self.tags.iter().enumerate() {
+            let Some(carrier) = self.carriers.get(tag.carrier) else {
+                return Err(NetError::InvalidScenario(format!(
+                    "tag {t}: carrier index {} out of range",
+                    tag.carrier
+                )));
+            };
+            let Some(receiver) = self.receivers.get(tag.receiver) else {
+                return Err(NetError::InvalidScenario(format!(
+                    "tag {t}: receiver index {} out of range",
+                    tag.receiver
+                )));
+            };
+            if !receiver.accepts(&tag.phy) {
+                return Err(NetError::InvalidScenario(format!(
+                    "tag {t}: receiver {} cannot decode its PHY",
+                    tag.receiver
+                )));
+            }
+            if tag.arrival_rate_pps <= 0.0 {
+                return Err(NetError::InvalidScenario(format!(
+                    "tag {t}: arrival rate must be positive"
+                )));
+            }
+            if tag.payload_bytes == 0 {
+                return Err(NetError::InvalidScenario(format!("tag {t}: empty payload")));
+            }
+            let airtime = tag.phy.airtime_s(tag.payload_bytes);
+            if airtime > carrier.slot_window_s {
+                return Err(NetError::InvalidScenario(format!(
+                    "tag {t}: airtime {airtime:.1e}s exceeds carrier {}'s window {:.1e}s",
+                    tag.carrier, carrier.slot_window_s
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// A hospital ward of implanted sensors (cf. the in-body sub-network
+    /// regime): `n_tags` neural-implant tags in beds across a 16 m × 12 m
+    /// ward. Every pair of adjacent beds shares a bedside 20 dBm helper
+    /// beacon (§2.3.3) about 1 m from each implant, and three Wi-Fi APs on
+    /// channels 1, 6 and 11 line the far wall.
+    ///
+    /// Tags cycle through the three AP channels; every fifth tag is a
+    /// legacy double-sideband tag, whose mirror copy from the BLE-38
+    /// carrier lands near an adjacent channel (ch 1 → mirror in ch 6,
+    /// ch 6 → mirror in ch 1) — the coexistence problem §2.3.1
+    /// quantifies.
+    pub fn hospital_ward(n_tags: usize) -> Scenario {
+        let n = n_tags.max(1);
+        let (width, depth) = (12.0, 9.0);
+        let (beds, bedsides) = couple_positions(n, width, depth, 1.0, 1.0);
+
+        // One helper beacon between each pair of beds (5 ms cadence: 200
+        // crafted advertisements per second per helper).
+        let carriers: Vec<CarrierSource> = bedsides
+            .into_iter()
+            .map(|p| CarrierSource::helper(p, 5e-3))
+            .collect();
+
+        let ap_channels = [1u8, 6, 11];
+        let receivers: Vec<SinkReceiver> = ap_channels
+            .iter()
+            .enumerate()
+            .map(|(i, &ch)| {
+                let x = width * (i as f64 + 0.5) / 3.0;
+                let mut ap = SinkReceiver::wifi_ap(Position::new(x, depth - 0.5, 2.5), ch);
+                // Hospital Wi-Fi keeps channel 6 the busiest.
+                ap.external_occupancy = if ch == 6 { 0.2 } else { 0.05 };
+                ap
+            })
+            .collect();
+
+        let tags: Vec<TagNode> = beds
+            .iter()
+            .enumerate()
+            .map(|(t, &position)| {
+                let rx = t % receivers.len();
+                TagNode {
+                    position,
+                    profile: TagProfile::NeuralImplant,
+                    sideband: if t % 5 == 4 {
+                        SidebandMode::Double
+                    } else {
+                        SidebandMode::Single
+                    },
+                    phy: NetPhy::Wifi {
+                        rate: DsssRate::Mbps2,
+                        channel: ap_channels[rx],
+                    },
+                    carrier: t / 2,
+                    receiver: rx,
+                    payload_bytes: 31,
+                    arrival_rate_pps: 2.0,
+                    max_retries: 8,
+                }
+            })
+            .collect();
+
+        Scenario {
+            name: format!("hospital-ward-{n}"),
+            duration_s: 10.0,
+            carriers,
+            tags,
+            receivers,
+            cts_to_self: true,
+            max_queue: 64,
+        }
+    }
+
+    /// A fleet of smart contact lenses (§5.1) in a 5 m × 5 m clinic room:
+    /// pairs of patients share a 20 dBm desk hub ~0.6 m from each lens,
+    /// all backscattering 2 Mbps Wi-Fi to a single channel-11 AP on the
+    /// ceiling.
+    pub fn contact_lens_fleet(n_tags: usize) -> Scenario {
+        let n = n_tags.max(1);
+        let side = 3.0;
+        let (seats, desks) = couple_positions(n, side, side, 1.2, 0.6);
+        let carriers: Vec<CarrierSource> = desks
+            .into_iter()
+            .map(|p| CarrierSource::helper(p, 10e-3))
+            .collect();
+        let receivers = vec![SinkReceiver::wifi_ap(
+            Position::new(side / 2.0, side / 2.0, 2.0),
+            11,
+        )];
+        let tags: Vec<TagNode> = seats
+            .iter()
+            .enumerate()
+            .map(|(t, &position)| TagNode {
+                position,
+                profile: TagProfile::ContactLens,
+                sideband: SidebandMode::Single,
+                phy: NetPhy::Wifi {
+                    rate: DsssRate::Mbps2,
+                    channel: 11,
+                },
+                carrier: t / 2,
+                receiver: 0,
+                payload_bytes: 16,
+                arrival_rate_pps: 1.0,
+                max_retries: 8,
+            })
+            .collect();
+        Scenario {
+            name: format!("contact-lens-fleet-{n}"),
+            duration_s: 10.0,
+            carriers,
+            tags,
+            receivers,
+            cts_to_self: true,
+            max_queue: 32,
+        }
+    }
+
+    /// A table of card-to-card pairs (§5.3): `n_pairs` transmitting cards
+    /// ringed around one smartphone carrier, each 0.25 m from its
+    /// receiving card's envelope detector. OOK does not shift the carrier,
+    /// so every pair contends for the same spectrum — carrier-slot
+    /// scheduling is what keeps them apart.
+    pub fn card_to_card_room(n_pairs: usize) -> Scenario {
+        let n = n_pairs.max(1);
+        let center = Position::new(1.0, 1.0, 0.8);
+        let carriers = vec![CarrierSource {
+            slot_window_s: 1.2e-3,
+            ..CarrierSource::phone(center, 2e-3)
+        }];
+        let mut receivers = Vec::with_capacity(n);
+        let tags: Vec<TagNode> = (0..n)
+            .map(|t| {
+                // Cards fan out on the table: radius grows slowly with the
+                // index so far pairs see a weaker tone (position-dependent
+                // PER, like Fig. 17's distance sweep).
+                let angle = std::f64::consts::TAU * t as f64 / n as f64;
+                let radius = 0.10 + 0.02 * t as f64;
+                let position = Position::new(
+                    center.x + radius * angle.cos(),
+                    center.y + radius * angle.sin(),
+                    0.8,
+                );
+                receivers.push(SinkReceiver::card_detector(Position::new(
+                    center.x + (radius + 0.25) * angle.cos(),
+                    center.y + (radius + 0.25) * angle.sin(),
+                    0.8,
+                )));
+                TagNode {
+                    position,
+                    profile: TagProfile::Card,
+                    sideband: SidebandMode::Double,
+                    phy: NetPhy::CardOok {
+                        bit_rate_bps: 100e3,
+                    },
+                    carrier: 0,
+                    receiver: t,
+                    payload_bytes: 8,
+                    arrival_rate_pps: 0.5,
+                    max_retries: 4,
+                }
+            })
+            .collect();
+        Scenario {
+            name: format!("card-to-card-{n}"),
+            duration_s: 10.0,
+            carriers,
+            tags,
+            receivers,
+            cts_to_self: false,
+            max_queue: 16,
+        }
+    }
+
+    /// A ZigBee sensor wing: implant tags generating 802.15.4 frames on
+    /// ZigBee channel 14 for hubs along the wall, with bedside helpers
+    /// configured for an extended 2 ms tone window to fit the 250 kbps
+    /// frames (§4.5's rate mismatch).
+    pub fn zigbee_wing(n_tags: usize) -> Scenario {
+        let n = n_tags.max(1);
+        let (width, depth) = (14.0, 10.0);
+        let (beds, bedsides) = couple_positions(n, width, depth, 1.0, 1.0);
+        let carriers: Vec<CarrierSource> = bedsides
+            .into_iter()
+            .map(|p| CarrierSource {
+                slot_window_s: 2e-3,
+                ..CarrierSource::helper(p, 8e-3)
+            })
+            .collect();
+        let n_hubs = n / 25 + 1;
+        let receivers: Vec<SinkReceiver> = (0..n_hubs)
+            .map(|h| {
+                let x = width * (h as f64 + 0.5) / n_hubs as f64;
+                SinkReceiver::zigbee_hub(Position::new(x, depth - 0.5, 2.0), 14)
+            })
+            .collect();
+        let tags: Vec<TagNode> = beds
+            .iter()
+            .enumerate()
+            .map(|(t, &position)| TagNode {
+                position,
+                profile: TagProfile::NeuralImplant,
+                sideband: SidebandMode::Single,
+                phy: NetPhy::Zigbee { channel: 14 },
+                carrier: t / 2,
+                receiver: nearest_index(&receivers, &position),
+                payload_bytes: 20,
+                arrival_rate_pps: 1.0,
+                max_retries: 6,
+            })
+            .collect();
+        Scenario {
+            name: format!("zigbee-wing-{n}"),
+            duration_s: 10.0,
+            carriers,
+            tags,
+            receivers,
+            cts_to_self: false,
+            max_queue: 32,
+        }
+    }
+}
+
+/// Lays `n` tag positions out as *couples*: `ceil(n/2)` couple centres on
+/// a grid filling `width × depth`, each couple's two tags `gap` metres
+/// apart in x. Returns `(tag_positions, couple_centres)`; tag `t` belongs
+/// to couple `t / 2`, so a carrier at each centre sits `gap / 2` from its
+/// tags — inside the ~1 m illumination range backscatter needs.
+fn couple_positions(
+    n: usize,
+    width: f64,
+    depth: f64,
+    z: f64,
+    gap: f64,
+) -> (Vec<Position>, Vec<Position>) {
+    let couples = n.div_ceil(2);
+    let cols = (couples as f64).sqrt().ceil() as usize;
+    let rows = couples.div_ceil(cols);
+    let centres: Vec<Position> = (0..couples)
+        .map(|c| {
+            Position::new(
+                width * ((c % cols) as f64 + 0.5) / cols as f64,
+                depth * ((c / cols) as f64 + 0.5) / rows as f64,
+                z,
+            )
+        })
+        .collect();
+    let tags = (0..n)
+        .map(|t| {
+            let centre = centres[t / 2];
+            let side = if t % 2 == 0 { -1.0 } else { 1.0 };
+            Position::new(centre.x + side * gap / 2.0, centre.y, centre.z)
+        })
+        .collect();
+    (tags, centres)
+}
+
+/// Index of the receiver nearest to `position`.
+fn nearest_index(receivers: &[SinkReceiver], position: &Position) -> usize {
+    receivers
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.position
+                .distance_m(position)
+                .partial_cmp(&b.position.distance_m(position))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_valid_scenarios() {
+        for scenario in [
+            Scenario::hospital_ward(1),
+            Scenario::hospital_ward(50),
+            Scenario::contact_lens_fleet(12),
+            Scenario::card_to_card_room(9),
+            Scenario::zigbee_wing(30),
+        ] {
+            scenario
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        }
+    }
+
+    #[test]
+    fn hospital_ward_scales_entities() {
+        let small = Scenario::hospital_ward(8);
+        let large = Scenario::hospital_ward(64);
+        assert_eq!(small.tags.len(), 8);
+        assert_eq!(large.tags.len(), 64);
+        assert!(large.carriers.len() > small.carriers.len());
+        assert_eq!(large.receivers.len(), 3);
+        // The legacy fraction exists and is the minority.
+        let dsb = large
+            .tags
+            .iter()
+            .filter(|t| t.sideband == SidebandMode::Double)
+            .count();
+        assert!(dsb > 0 && dsb < large.tags.len() / 3, "dsb {dsb}");
+    }
+
+    #[test]
+    fn tags_sit_close_to_their_carriers() {
+        for scenario in [
+            Scenario::hospital_ward(50),
+            Scenario::contact_lens_fleet(16),
+            Scenario::zigbee_wing(24),
+        ] {
+            for (t, tag) in scenario.tags.iter().enumerate() {
+                let d = scenario.carriers[tag.carrier]
+                    .position
+                    .distance_m(&tag.position);
+                assert!(
+                    d < 1.6,
+                    "{}: tag {t} is {d:.2} m from its carrier",
+                    scenario.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn builders_are_deterministic() {
+        let a = Scenario::hospital_ward(20);
+        let b = Scenario::hospital_ward(20);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn validation_rejects_bad_indices_and_timing() {
+        let mut s = Scenario::hospital_ward(4);
+        s.tags[0].carrier = 99;
+        assert!(matches!(s.validate(), Err(NetError::InvalidScenario(_))));
+
+        let mut s = Scenario::hospital_ward(4);
+        s.tags[1].receiver = 99;
+        assert!(s.validate().is_err());
+
+        // A ZigBee frame cannot fit the default 248 µs tone window (and a
+        // Wi-Fi AP cannot decode it either way).
+        let mut s = Scenario::hospital_ward(4);
+        s.tags[2].phy = NetPhy::Zigbee { channel: 14 };
+        assert!(
+            s.validate().is_err(),
+            "zigbee tag in a wifi ward must be rejected"
+        );
+
+        // A fitting PHY but an overlong airtime is rejected by the window
+        // check.
+        let mut s = Scenario::zigbee_wing(4);
+        s.tags[0].payload_bytes = 127;
+        assert!(
+            s.validate().is_err(),
+            "127-byte zigbee frame exceeds the 2 ms window"
+        );
+
+        let mut s = Scenario::hospital_ward(4);
+        s.duration_s = 0.0;
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::hospital_ward(4);
+        s.max_queue = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::hospital_ward(4);
+        s.tags[0].arrival_rate_pps = 0.0;
+        assert!(s.validate().is_err());
+    }
+}

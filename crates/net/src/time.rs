@@ -1,0 +1,79 @@
+//! Integer simulation time.
+//!
+//! The engine keeps time in whole nanoseconds so that event ordering is
+//! exact: floating-point timestamps accumulate rounding that can reorder
+//! ties across otherwise identical runs, which would break the
+//! byte-identical-trace guarantee.
+
+/// A point in simulated time, nanoseconds since the start of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The start of the simulation.
+    pub const ZERO: Time = Time(0);
+
+    /// Converts a duration in seconds to integer nanoseconds (rounded).
+    pub fn from_secs(seconds: f64) -> Time {
+        debug_assert!(seconds >= 0.0, "negative duration");
+        Time((seconds * 1e9).round() as u64)
+    }
+
+    /// This instant as fractional seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Nanoseconds since the start of the run.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant advanced by `seconds`.
+    pub fn after_secs(self, seconds: f64) -> Time {
+        Time(self.0 + Time::from_secs(seconds).0)
+    }
+
+    /// This instant advanced by `nanos` nanoseconds.
+    pub fn after_nanos(self, nanos: u64) -> Time {
+        Time(self.0 + nanos)
+    }
+
+    /// The elapsed time since `earlier`, saturating at zero.
+    pub fn since(self, earlier: Time) -> Time {
+        Time(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl core::fmt::Display for Time {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = Time::from_secs(1.5);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert!((t.as_secs() - 1.5).abs() < 1e-12);
+        assert_eq!(Time::ZERO.as_nanos(), 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::from_secs(1.0).after_secs(0.25).after_nanos(10);
+        assert_eq!(t.as_nanos(), 1_250_000_010);
+        assert_eq!(t.since(Time::from_secs(1.0)).as_nanos(), 250_000_010);
+        assert_eq!(Time::ZERO.since(t), Time::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        assert!(Time(1) < Time(2));
+        assert_eq!(Time::from_secs(96e-6).as_nanos(), 96_000);
+    }
+}

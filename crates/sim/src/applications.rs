@@ -206,7 +206,10 @@ mod tests {
     fn card_link_budget_and_bits() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         let near = CardToCardScenario::fig17(5.0);
-        assert!(near.received_power_dbm() > -58.0, "near cards must be above detector sensitivity");
+        assert!(
+            near.received_power_dbm() > -58.0,
+            "near cards must be above detector sensitivity"
+        );
         let bits: Vec<u8> = (0..64).map(|i| (i % 3 == 0) as u8).collect();
         let errors = near.simulate_bits(&bits, &mut rng).unwrap();
         assert_eq!(errors, 0, "5-inch card link should be clean");
@@ -222,6 +225,9 @@ mod tests {
         assert!(far.received_power_dbm() < -58.0);
         let bits: Vec<u8> = (0..64).map(|i| (i % 2) as u8).collect();
         let errors = far.simulate_bits(&bits, &mut rng).unwrap();
-        assert!(errors as f64 >= 0.3 * bits.len() as f64, "far card link errors {errors}");
+        assert!(
+            errors as f64 >= 0.3 * bits.len() as f64,
+            "far card link errors {errors}"
+        );
     }
 }

@@ -117,7 +117,9 @@ impl DownlinkScenario {
         self.validate()?;
         let mut counter = BitErrorCounter::default();
         for f in 0..frames {
-            let bits: Vec<u8> = (0..bits_per_frame).map(|_| rng.gen_range(0..=1u8)).collect();
+            let bits: Vec<u8> = (0..bits_per_frame)
+                .map(|_| rng.gen_range(0..=1u8))
+                .collect();
             let errors = self.simulate_frame(&bits, distance_m, f as u64, rng)?;
             counter.record(bits_per_frame, errors);
         }
@@ -171,9 +173,7 @@ mod tests {
         let s = DownlinkScenario::fig13_bench(15.0);
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let range = s.sensitivity_range_m();
-        let ber = s
-            .bit_error_rate(range * 3.0, 2, 32, &mut rng)
-            .unwrap();
+        let ber = s.bit_error_rate(range * 3.0, 2, 32, &mut rng).unwrap();
         assert!(ber.ber() > 0.3, "far-range BER {}", ber.ber());
     }
 
@@ -184,7 +184,10 @@ mod tests {
         // 10-40 foot range for a 15 dBm transmitter.
         let s = DownlinkScenario::fig13_bench(15.0);
         let range_ft = interscatter_dsp::units::meters_to_feet(s.sensitivity_range_m());
-        assert!((8.0..60.0).contains(&range_ft), "sensitivity range {range_ft} ft");
+        assert!(
+            (8.0..60.0).contains(&range_ft),
+            "sensitivity range {range_ft} ft"
+        );
     }
 
     #[test]

@@ -185,7 +185,10 @@ mod tests {
         assert!(rows[0].packet_fits && rows[1].packet_fits);
         let full = rows[0].max_psdu_bytes.unwrap();
         let with_guard = rows[1].max_psdu_bytes.unwrap();
-        assert!(full - with_guard <= 2, "4 µs guard should cost at most 2 bytes");
+        assert!(
+            full - with_guard <= 2,
+            "4 µs guard should cost at most 2 bytes"
+        );
         assert!(!rows[3].packet_fits);
         // Usable payload decreases monotonically with the guard.
         for w in rows.windows(2) {
@@ -198,14 +201,22 @@ mod tests {
         let rows = shift_ablation(&[22e6, 35.75e6, 36e6, 60e6]);
         let prototype = &rows[1];
         assert!(prototype.inside_ism_band);
-        assert!(prototype.offset_from_channel11_hz.abs() < 1e6, "offset {}", prototype.offset_from_channel11_hz);
+        assert!(
+            prototype.offset_from_channel11_hz.abs() < 1e6,
+            "offset {}",
+            prototype.offset_from_channel11_hz
+        );
         // A 22 MHz shift leaves the packet far from channel 11.
         assert!(rows[0].offset_from_channel11_hz.abs() > 10e6);
         // A 60 MHz shift falls outside the ISM band.
         assert!(!rows[3].inside_ism_band);
         // The source rejection for channel 38 -> channel 11 is 25 MHz.
         assert!((prototype.source_rejection_hz - 25e6).abs() < 1.0);
-        let text = report(&square_wave_ablation().unwrap(), &guard_interval_ablation(&[4e-6]), &rows);
+        let text = report(
+            &square_wave_ablation().unwrap(),
+            &guard_interval_ablation(&[4e-6]),
+            &rows,
+        );
         assert!(text.contains("Square-wave"));
     }
 }

@@ -7,10 +7,10 @@
 //! power in the wanted sideband, the mirror sideband, and the residual at
 //! the carrier for both designs.
 
+use crate::SimError;
 use interscatter_backscatter::{dsb, ssb};
 use interscatter_dsp::iq::tone;
 use interscatter_dsp::spectrum::{band_power_db, welch_psd, SpectrumPoint, WelchConfig};
-use crate::SimError;
 
 /// Result of the Fig. 6 experiment for one modulator design.
 #[derive(Debug, Clone)]
@@ -106,8 +106,16 @@ mod tests {
             ..Default::default()
         };
         let [ssb, dsb] = run(&params).unwrap();
-        assert!(ssb.suppression_db > 15.0, "SSB suppression {}", ssb.suppression_db);
-        assert!(dsb.suppression_db.abs() < 1.0, "DSB should be symmetric: {}", dsb.suppression_db);
+        assert!(
+            ssb.suppression_db > 15.0,
+            "SSB suppression {}",
+            ssb.suppression_db
+        );
+        assert!(
+            dsb.suppression_db.abs() < 1.0,
+            "DSB should be symmetric: {}",
+            dsb.suppression_db
+        );
         // SSB puts more power in the wanted sideband than DSB does.
         assert!(ssb.wanted_db > dsb.wanted_db + 2.0);
         let text = report(&[ssb, dsb]);

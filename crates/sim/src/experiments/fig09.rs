@@ -53,7 +53,14 @@ pub fn run(seed: u64) -> Result<Vec<ToneRow>, SimError> {
             let end = packet.crc_bit_offset() * spb;
             let payload_wave = &wave[start..end];
             let quality = tone_quality(payload_wave, cfg.sample_rate);
-            let psd = welch_psd(payload_wave, cfg.sample_rate, &WelchConfig { nfft: 1024, ..Default::default() })?;
+            let psd = welch_psd(
+                payload_wave,
+                cfg.sample_rate,
+                &WelchConfig {
+                    nfft: 1024,
+                    ..Default::default()
+                },
+            )?;
             rows.push(ToneRow {
                 device: device.name,
                 payload: payload_kind,

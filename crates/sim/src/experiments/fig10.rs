@@ -102,7 +102,9 @@ pub fn report(rows: &[RssiPoint]) -> String {
                     r.source_to_tag_ft == d_tag && r.tag_to_rx_ft == d_rx && r.tx_power_dbm == power
                 });
                 match point {
-                    Some(p) if p.detectable => line.push_str(&format!("  {:>7}", super::f1(p.rssi_dbm))),
+                    Some(p) if p.detectable => {
+                        line.push_str(&format!("  {:>7}", super::f1(p.rssi_dbm)))
+                    }
                     _ => line.push_str("        -"),
                 }
             }
@@ -126,7 +128,10 @@ mod tests {
         // Higher power ⇒ longer detectable range; 20 dBm reaches ~90 ft.
         let range_0 = max_range_ft(&rows, 0.0, 1.0);
         let range_20 = max_range_ft(&rows, 20.0, 1.0);
-        assert!(range_20 > range_0, "range at 20 dBm {range_20} vs 0 dBm {range_0}");
+        assert!(
+            range_20 > range_0,
+            "range at 20 dBm {range_20} vs 0 dBm {range_0}"
+        );
         assert!(range_20 >= 85.0, "20 dBm range {range_20} ft");
 
         // Larger Bluetooth-to-tag distance ⇒ lower RSSI at the same point.

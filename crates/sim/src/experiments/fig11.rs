@@ -69,7 +69,9 @@ pub fn run(params: &Fig11Params) -> Result<Vec<PerPoint>, SimError> {
             scenario.target = TargetPhy::Wifi(rate);
             let mut errors = 0usize;
             for p in 0..params.packets_per_location {
-                let payload: Vec<u8> = (0..payload_len).map(|i| ((i * 7 + p + loc) % 251) as u8).collect();
+                let payload: Vec<u8> = (0..payload_len)
+                    .map(|i| ((i * 7 + p + loc) % 251) as u8)
+                    .collect();
                 let (ok, _, _) = scenario.simulate_wifi_packet(&payload, rssi, &mut rng)?;
                 if !ok {
                     errors += 1;
@@ -134,7 +136,10 @@ mod tests {
         let delta = (cdf2.median().unwrap() - cdf11.median().unwrap()).abs();
         assert!(delta < 0.25, "median PER difference {delta}");
         // PER is non-increasing as RSSI improves (check the 2 Mbps series).
-        let mut two: Vec<&PerPoint> = points.iter().filter(|p| p.rate == DsssRate::Mbps2).collect();
+        let mut two: Vec<&PerPoint> = points
+            .iter()
+            .filter(|p| p.rate == DsssRate::Mbps2)
+            .collect();
         two.sort_by(|a, b| a.rssi_dbm.partial_cmp(&b.rssi_dbm).unwrap());
         assert!(two.first().unwrap().per >= two.last().unwrap().per);
         let text = report(&points);

@@ -50,7 +50,13 @@ pub fn run(params: &Fig12Params) -> Result<Vec<ThroughputPoint>, SimError> {
     let config = CoexistenceConfig::default();
     let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
     let mut rows = Vec::new();
-    let baseline = simulate_coexistence(&config, InterferenceMode::None, 0.0, params.duration_s, &mut rng);
+    let baseline = simulate_coexistence(
+        &config,
+        InterferenceMode::None,
+        0.0,
+        params.duration_s,
+        &mut rng,
+    );
     rows.push(ThroughputPoint {
         backscatter_rate_pps: 0.0,
         mode: InterferenceMode::None,
@@ -58,7 +64,10 @@ pub fn run(params: &Fig12Params) -> Result<Vec<ThroughputPoint>, SimError> {
         collision_fraction: baseline.collision_fraction,
     });
     for &rate in &params.rates_pps {
-        for mode in [InterferenceMode::SingleSideband, InterferenceMode::DoubleSideband] {
+        for mode in [
+            InterferenceMode::SingleSideband,
+            InterferenceMode::DoubleSideband,
+        ] {
             let r = simulate_coexistence(&config, mode, rate, params.duration_s, &mut rng);
             rows.push(ThroughputPoint {
                 backscatter_rate_pps: rate,
@@ -120,7 +129,10 @@ mod tests {
         // Double-sideband at 50 pps is negligible, at 650/1000 pps it is not.
         assert!(get(50.0, InterferenceMode::DoubleSideband) > 0.85 * baseline);
         assert!(get(650.0, InterferenceMode::DoubleSideband) < 0.8 * baseline);
-        assert!(get(1000.0, InterferenceMode::DoubleSideband) <= get(650.0, InterferenceMode::DoubleSideband) + 1.0);
+        assert!(
+            get(1000.0, InterferenceMode::DoubleSideband)
+                <= get(650.0, InterferenceMode::DoubleSideband) + 1.0
+        );
 
         let text = report(&rows);
         assert!(text.contains("baseline") && text.contains("double-sideband"));

@@ -56,7 +56,8 @@ pub fn run(params: &Fig13Params) -> Result<Vec<DownlinkBerPoint>, SimError> {
     let mut rows = Vec::new();
     for &d_ft in &params.distances_ft {
         let d_m = feet_to_meters(d_ft);
-        let counter = scenario.bit_error_rate(d_m, params.frames, params.bits_per_frame, &mut rng)?;
+        let counter =
+            scenario.bit_error_rate(d_m, params.frames, params.bits_per_frame, &mut rng)?;
         rows.push(DownlinkBerPoint {
             distance_ft: d_ft,
             received_dbm: scenario.received_power_dbm(d_m),

@@ -121,8 +121,17 @@ mod tests {
             assert!(w[1].rssi_dbm < w[0].rssi_dbm);
         }
         for r in &rows {
-            assert!(r.rssi_dbm > -97.0, "{} ft below ZigBee sensitivity", r.distance_ft);
-            assert!(r.delivery_ratio > 0.99, "{} ft delivery {}", r.distance_ft, r.delivery_ratio);
+            assert!(
+                r.rssi_dbm > -97.0,
+                "{} ft below ZigBee sensitivity",
+                r.distance_ft
+            );
+            assert!(
+                r.delivery_ratio > 0.99,
+                "{} ft delivery {}",
+                r.distance_ft,
+                r.delivery_ratio
+            );
         }
         // The paper's CDF spans roughly -90..-55 dBm; ours should cover a
         // similar span of tens of dB.

@@ -77,7 +77,9 @@ pub fn report(rows: &[LensRssiPoint]) -> String {
                 .iter()
                 .find(|r| r.distance_in == d && r.tx_power_dbm == power)
             {
-                Some(p) if p.detectable => line.push_str(&format!("  {:>7}", super::f1(p.rssi_dbm))),
+                Some(p) if p.detectable => {
+                    line.push_str(&format!("  {:>7}", super::f1(p.rssi_dbm)))
+                }
                 _ => line.push_str("        -"),
             }
         }
@@ -102,12 +104,21 @@ mod tests {
                 .filter(|r| r.tx_power_dbm == power && r.detectable)
                 .map(|r| r.distance_in)
                 .fold(0.0, f64::max);
-            assert!(max_detectable >= 24.0, "{power} dBm range {max_detectable} in");
+            assert!(
+                max_detectable >= 24.0,
+                "{power} dBm range {max_detectable} in"
+            );
         }
         // 20 dBm is exactly 10 dB stronger than 10 dBm at every distance.
         for d in [5.0, 25.0, 40.0] {
-            let p10 = rows.iter().find(|r| r.distance_in == d && r.tx_power_dbm == 10.0).unwrap();
-            let p20 = rows.iter().find(|r| r.distance_in == d && r.tx_power_dbm == 20.0).unwrap();
+            let p10 = rows
+                .iter()
+                .find(|r| r.distance_in == d && r.tx_power_dbm == 10.0)
+                .unwrap();
+            let p20 = rows
+                .iter()
+                .find(|r| r.distance_in == d && r.tx_power_dbm == 20.0)
+                .unwrap();
             assert!((p20.rssi_dbm - p10.rssi_dbm - 10.0).abs() < 1e-9);
         }
         // The RSSI values are tens of dB lower than the bench setup at

@@ -77,7 +77,9 @@ pub fn report(rows: &[ImplantRssiPoint]) -> String {
                 .iter()
                 .find(|r| r.distance_in == d && r.tx_power_dbm == power)
             {
-                Some(p) if p.detectable => line.push_str(&format!("  {:>7}", super::f1(p.rssi_dbm))),
+                Some(p) if p.detectable => {
+                    line.push_str(&format!("  {:>7}", super::f1(p.rssi_dbm)))
+                }
                 _ => line.push_str("        -"),
             }
         }
@@ -107,7 +109,8 @@ mod tests {
         // readers.
         assert!(range_10dbm > 10.0 * 0.8);
         // RSSI decreases monotonically with distance.
-        let series: Vec<&ImplantRssiPoint> = rows.iter().filter(|r| r.tx_power_dbm == 20.0).collect();
+        let series: Vec<&ImplantRssiPoint> =
+            rows.iter().filter(|r| r.tx_power_dbm == 20.0).collect();
         for w in series.windows(2) {
             assert!(w[1].rssi_dbm <= w[0].rssi_dbm);
         }

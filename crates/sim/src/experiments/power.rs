@@ -114,7 +114,13 @@ mod tests {
         assert_eq!(rows.len(), 4);
         for r in &rows {
             let err = (r.model_w - r.paper_w).abs() / r.paper_w;
-            assert!(err < 0.02, "{}: model {} vs paper {}", r.block, r.model_w, r.paper_w);
+            assert!(
+                err < 0.02,
+                "{}: model {} vs paper {}",
+                r.block,
+                r.model_w,
+                r.paper_w
+            );
         }
         // The total is ~28 µW and the energy per bit ~14 pJ.
         let total = rows.last().unwrap().model_w;

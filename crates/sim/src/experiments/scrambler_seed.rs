@@ -23,8 +23,14 @@ pub struct SeedPredictability {
 /// Runs the predictability study over `frames` consecutive frames.
 pub fn run(frames: u64) -> Vec<SeedPredictability> {
     let policies: [(&'static str, SeedPolicy); 3] = [
-        ("Atheros AR5001G/AR5007G/AR9580 (incrementing)", SeedPolicy::Incrementing { start: 37 }),
-        ("ath5k with pinned GEN_SCRAMBLER (fixed)", SeedPolicy::Fixed { seed: 0x2C }),
+        (
+            "Atheros AR5001G/AR5007G/AR9580 (incrementing)",
+            SeedPolicy::Incrementing { start: 37 },
+        ),
+        (
+            "ath5k with pinned GEN_SCRAMBLER (fixed)",
+            SeedPolicy::Fixed { seed: 0x2C },
+        ),
         ("standard-compliant random seed", SeedPolicy::Random),
     ];
     policies
@@ -88,7 +94,11 @@ mod tests {
         assert!(incrementing.usable_for_downlink);
         assert_eq!(fixed.prediction_accuracy, 1.0);
         assert!(fixed.usable_for_downlink);
-        assert!(random.prediction_accuracy < 0.2, "random accuracy {}", random.prediction_accuracy);
+        assert!(
+            random.prediction_accuracy < 0.2,
+            "random accuracy {}",
+            random.prediction_accuracy
+        );
         assert!(!random.usable_for_downlink);
         let text = report(&rows);
         assert!(text.contains("Atheros") && text.contains("random"));

@@ -92,7 +92,9 @@ mod tests {
 
     #[test]
     fn error_display_and_conversions() {
-        assert!(SimError::InvalidScenario("distance").to_string().contains("distance"));
+        assert!(SimError::InvalidScenario("distance")
+            .to_string()
+            .contains("distance"));
         let e: SimError = interscatter_ble::BleError::CrcMismatch.into();
         assert!(e.to_string().contains("BLE"));
         let e: SimError = interscatter_wifi::WifiError::PreambleNotFound.into();

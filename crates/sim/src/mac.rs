@@ -128,7 +128,11 @@ pub fn simulate_coexistence<R: Rng>(
     let clean_efficiency = config.wifi_frame_airtime_s / (config.wifi_frame_airtime_s + DIFS_S);
     CoexistenceResult {
         throughput_mbps: clean_throughput * (efficiency / clean_efficiency).min(1.0),
-        collision_fraction: if frames == 0 { 0.0 } else { collisions as f64 / frames as f64 },
+        collision_fraction: if frames == 0 {
+            0.0
+        } else {
+            collisions as f64 / frames as f64
+        },
     }
 }
 
@@ -162,7 +166,11 @@ mod tests {
     #[test]
     fn baseline_matches_a_typical_iperf_number() {
         let r = run(InterferenceMode::None, 0.0);
-        assert!((20.0..26.0).contains(&r.throughput_mbps), "baseline {} Mbps", r.throughput_mbps);
+        assert!(
+            (20.0..26.0).contains(&r.throughput_mbps),
+            "baseline {} Mbps",
+            r.throughput_mbps
+        );
         assert_eq!(r.collision_fraction, 0.0);
     }
 
@@ -171,7 +179,11 @@ mod tests {
         let baseline = run(InterferenceMode::None, 0.0).throughput_mbps;
         for pps in [50.0, 650.0, 1000.0] {
             let r = run(InterferenceMode::SingleSideband, pps);
-            assert!((r.throughput_mbps - baseline).abs() < 0.5, "{pps} pps: {}", r.throughput_mbps);
+            assert!(
+                (r.throughput_mbps - baseline).abs() < 0.5,
+                "{pps} pps: {}",
+                r.throughput_mbps
+            );
         }
     }
 
@@ -182,10 +194,18 @@ mod tests {
         let mid = run(InterferenceMode::DoubleSideband, 650.0);
         let high = run(InterferenceMode::DoubleSideband, 1000.0);
         // At 50 pps the impact is small.
-        assert!(low.throughput_mbps > 0.85 * baseline, "50 pps: {}", low.throughput_mbps);
+        assert!(
+            low.throughput_mbps > 0.85 * baseline,
+            "50 pps: {}",
+            low.throughput_mbps
+        );
         // At 650 and 1000 pps the mirror copy costs a large fraction of the
         // throughput, and more at the higher rate.
-        assert!(mid.throughput_mbps < 0.8 * baseline, "650 pps: {}", mid.throughput_mbps);
+        assert!(
+            mid.throughput_mbps < 0.8 * baseline,
+            "650 pps: {}",
+            mid.throughput_mbps
+        );
         assert!(high.throughput_mbps < mid.throughput_mbps + 1.0);
         assert!(high.collision_fraction > mid.collision_fraction * 0.8);
         assert!(high.collision_fraction > 0.3);

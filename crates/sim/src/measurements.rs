@@ -68,7 +68,9 @@ pub struct Cdf {
 impl Cdf {
     /// Creates an empty CDF.
     pub fn new() -> Self {
-        Cdf { samples: Vec::new() }
+        Cdf {
+            samples: Vec::new(),
+        }
     }
 
     /// Builds a CDF from a sample collection.
@@ -88,6 +90,11 @@ impl Cdf {
     /// Number of samples collected.
     pub fn len(&self) -> usize {
         self.samples.len()
+    }
+
+    /// The raw samples, in insertion order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
     }
 
     /// True if no samples have been collected.
@@ -125,7 +132,11 @@ impl Cdf {
             return None;
         }
         let min = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = self.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max = self
+            .samples
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         Some((min, max))
     }
 

@@ -120,7 +120,8 @@ impl UplinkScenario {
 
     /// Median RSSI at the receiver, dBm.
     pub fn rssi_dbm(&self) -> f64 {
-        self.link().received_power_dbm(self.source_to_tag_m, self.tag_to_rx_m)
+        self.link()
+            .received_power_dbm(self.source_to_tag_m, self.tag_to_rx_m)
     }
 
     /// RSSI with per-trial shadowing (location-to-location variation).
@@ -144,7 +145,9 @@ impl UplinkScenario {
         rng: &mut R,
     ) -> Result<(bool, usize, usize), SimError> {
         let TargetPhy::Wifi(rate) = self.target else {
-            return Err(SimError::InvalidScenario("simulate_wifi_packet requires a Wi-Fi target"));
+            return Err(SimError::InvalidScenario(
+                "simulate_wifi_packet requires a Wi-Fi target",
+            ));
         };
         let tx = Dot11bTransmitter::new(rate);
         let frame = tx.transmit(payload)?;
@@ -156,7 +159,8 @@ impl UplinkScenario {
         match rx.receive(&noisy) {
             Ok(received) => {
                 let ok = received.fcs_ok && received.payload == payload;
-                let errors = interscatter_wifi::dot11b::rx::payload_bit_errors(&frame, &received.payload);
+                let errors =
+                    interscatter_wifi::dot11b::rx::payload_bit_errors(&frame, &received.payload);
                 Ok((ok, errors, payload.len() * 8))
             }
             Err(_) => Ok((false, payload.len() * 8, payload.len() * 8)),
@@ -172,7 +176,9 @@ impl UplinkScenario {
         rng: &mut R,
     ) -> Result<(bool, usize), SimError> {
         if self.target != TargetPhy::Zigbee {
-            return Err(SimError::InvalidScenario("simulate_zigbee_packet requires a ZigBee target"));
+            return Err(SimError::InvalidScenario(
+                "simulate_zigbee_packet requires a ZigBee target",
+            ));
         }
         let tx = ZigbeeTransmitter::default();
         let wave = tx.transmit(payload)?;
@@ -215,7 +221,9 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(UplinkScenario::fig10_bench(0.0, 1.0, 10.0).validate().is_ok());
+        assert!(UplinkScenario::fig10_bench(0.0, 1.0, 10.0)
+            .validate()
+            .is_ok());
         let mut s = UplinkScenario::fig10_bench(0.0, 1.0, 10.0);
         s.tag_to_rx_m = 0.0;
         assert!(s.validate().is_err());
@@ -281,9 +289,13 @@ mod tests {
     fn target_mismatch_is_an_error() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let wifi = UplinkScenario::fig10_bench(0.0, 1.0, 10.0);
-        assert!(wifi.simulate_zigbee_packet(&[0u8; 4], -50.0, &mut rng).is_err());
+        assert!(wifi
+            .simulate_zigbee_packet(&[0u8; 4], -50.0, &mut rng)
+            .is_err());
         let zigbee = UplinkScenario::fig14_zigbee(5.0);
-        assert!(zigbee.simulate_wifi_packet(&[0u8; 4], -50.0, &mut rng).is_err());
+        assert!(zigbee
+            .simulate_wifi_packet(&[0u8; 4], -50.0, &mut rng)
+            .is_err());
     }
 
     #[test]

@@ -74,7 +74,10 @@ mod tests {
     fn sequence_has_unit_sidelobes() {
         assert_eq!(autocorrelation(0), 11);
         for lag in 1..11 {
-            assert!(autocorrelation(lag).abs() <= 1, "lag {lag} sidelobe too high");
+            assert!(
+                autocorrelation(lag).abs() <= 1,
+                "lag {lag} sidelobe too high"
+            );
         }
         assert_eq!(autocorrelation(11), 0);
     }
@@ -112,7 +115,10 @@ mod tests {
             );
         }
         let est = despread_symbol(&chips);
-        assert!((est - symbol).abs() < noise_amp, "despreading should average out noise");
+        assert!(
+            (est - symbol).abs() < noise_amp,
+            "despreading should average out noise"
+        );
     }
 
     #[test]

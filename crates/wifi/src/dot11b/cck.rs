@@ -69,7 +69,9 @@ impl CckModulator {
     /// Creates a modulator whose φ1 reference is the phase of the last
     /// header symbol.
     pub fn new(reference_phase: f64) -> Self {
-        CckModulator { phi1: reference_phase }
+        CckModulator {
+            phi1: reference_phase,
+        }
     }
 
     /// Encodes 8 bits into one 11 Mbps code word.
@@ -106,7 +108,9 @@ impl CckModulator {
     /// Encodes a full bit stream at 5.5 Mbps (length must be a multiple of 4).
     pub fn encode_stream_5_5mbps(&mut self, bits: &[u8]) -> Vec<Cplx> {
         assert_eq!(bits.len() % 4, 0);
-        bits.chunks(4).flat_map(|c| self.encode_5_5mbps(c)).collect()
+        bits.chunks(4)
+            .flat_map(|c| self.encode_5_5mbps(c))
+            .collect()
     }
 }
 
@@ -120,7 +124,9 @@ pub struct CckDemodulator {
 impl CckDemodulator {
     /// Creates a demodulator with the same φ1 reference as the modulator.
     pub fn new(reference_phase: f64) -> Self {
-        CckDemodulator { phi1: reference_phase }
+        CckDemodulator {
+            phi1: reference_phase,
+        }
     }
 
     fn best_candidate(

@@ -41,7 +41,9 @@ impl DifferentialEncoder {
     /// Creates an encoder with the given reference phase (the phase of the
     /// last preamble/header symbol).
     pub fn new(initial_phase: f64) -> Self {
-        DifferentialEncoder { phase: initial_phase }
+        DifferentialEncoder {
+            phase: initial_phase,
+        }
     }
 
     /// Current accumulated phase.
@@ -74,7 +76,9 @@ impl DifferentialEncoder {
     /// octets).
     pub fn encode_dqpsk_stream(&mut self, bits: &[u8]) -> Vec<Cplx> {
         assert_eq!(bits.len() % 2, 0, "DQPSK needs an even number of bits");
-        bits.chunks(2).map(|d| self.encode_dqpsk(d[0], d[1])).collect()
+        bits.chunks(2)
+            .map(|d| self.encode_dqpsk(d[0], d[1]))
+            .collect()
     }
 }
 
@@ -89,7 +93,9 @@ impl DifferentialDecoder {
     /// Creates a decoder seeded with the reference symbol (the last symbol
     /// of the preceding field).
     pub fn new(reference: Cplx) -> Self {
-        DifferentialDecoder { previous: reference }
+        DifferentialDecoder {
+            previous: reference,
+        }
     }
 
     /// Decodes one DBPSK symbol into a bit.
@@ -179,7 +185,11 @@ mod tests {
         // differential decoder only uses phase.
         let bits = vec![1, 0, 1, 1, 0, 0, 1, 0];
         let mut enc = DifferentialEncoder::new(1.0);
-        let symbols: Vec<Cplx> = enc.encode_dqpsk_stream(&bits).iter().map(|&s| s * 1e-4).collect();
+        let symbols: Vec<Cplx> = enc
+            .encode_dqpsk_stream(&bits)
+            .iter()
+            .map(|&s| s * 1e-4)
+            .collect();
         let mut dec = DifferentialDecoder::new(Cplx::expj(1.0) * 1e-4);
         assert_eq!(dec.decode_dqpsk_stream(&symbols), bits);
     }
@@ -199,7 +209,7 @@ mod tests {
         let mut enc = DifferentialEncoder::new(0.0);
         let _ = enc.encode_dqpsk(1, 1); // +π
         let _ = enc.encode_dqpsk(1, 1); // +π
-        // Total 2π: back to the start.
+                                        // Total 2π: back to the start.
         assert!((Cplx::expj(enc.phase()) - Cplx::ONE).abs() < 1e-12);
     }
 

@@ -180,8 +180,18 @@ mod tests {
     #[test]
     fn header_length_is_airtime_in_microseconds() {
         // 31 bytes at 2 Mbps = 124 µs; 77 bytes at 11 Mbps = 56 µs.
-        assert_eq!(PlcpHeader::for_payload(DsssRate::Mbps2, 31).unwrap().length_us, 124);
-        assert_eq!(PlcpHeader::for_payload(DsssRate::Mbps11, 77).unwrap().length_us, 56);
+        assert_eq!(
+            PlcpHeader::for_payload(DsssRate::Mbps2, 31)
+                .unwrap()
+                .length_us,
+            124
+        );
+        assert_eq!(
+            PlcpHeader::for_payload(DsssRate::Mbps11, 77)
+                .unwrap()
+                .length_us,
+            56
+        );
     }
 
     #[test]
@@ -203,7 +213,10 @@ mod tests {
     fn sfd_not_found_in_random_ones() {
         let bits = vec![1u8; 200];
         assert!(matches!(find_sfd(&bits), Err(WifiError::PreambleNotFound)));
-        assert!(matches!(find_sfd(&bits[..4]), Err(WifiError::PreambleNotFound)));
+        assert!(matches!(
+            find_sfd(&bits[..4]),
+            Err(WifiError::PreambleNotFound)
+        ));
     }
 
     #[test]

@@ -157,7 +157,10 @@ mod tests {
     #[test]
     fn plcp_signal_fields_round_trip() {
         for rate in DsssRate::ALL {
-            assert_eq!(DsssRate::from_plcp_signal_field(rate.plcp_signal_field()).unwrap(), rate);
+            assert_eq!(
+                DsssRate::from_plcp_signal_field(rate.plcp_signal_field()).unwrap(),
+                rate
+            );
         }
         assert!(DsssRate::from_plcp_signal_field(0x55).is_err());
     }

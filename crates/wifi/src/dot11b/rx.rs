@@ -97,7 +97,8 @@ impl Dot11bReceiver {
                 need: header_start + PLCP_HEADER_BITS,
             });
         }
-        let header = PlcpHeader::from_bits(&plcp_bits[header_start..header_start + PLCP_HEADER_BITS])?;
+        let header =
+            PlcpHeader::from_bits(&plcp_bits[header_start..header_start + PLCP_HEADER_BITS])?;
 
         // --- PSDU section ---
         // The PLCP section we consumed is (1 reference + decoded bits); the
@@ -109,8 +110,8 @@ impl Dot11bReceiver {
         let psdu_chip_start = psdu_symbol_start * barker::CHIPS_PER_SYMBOL;
         let psdu_bytes = header.psdu_bytes();
         let psdu_bits_expected = psdu_bytes * 8;
-        let psdu_chips_expected = psdu_bits_expected / header.rate.bits_per_symbol()
-            * header.rate.chips_per_symbol();
+        let psdu_chips_expected =
+            psdu_bits_expected / header.rate.bits_per_symbol() * header.rate.chips_per_symbol();
         if chips.len() < psdu_chip_start + psdu_chips_expected {
             return Err(WifiError::TruncatedWaveform {
                 have: chips.len(),
@@ -223,7 +224,10 @@ mod tests {
         assert!((received.rssi_dbm + 60.0).abs() < 0.5);
         // Below sensitivity: rejected.
         let too_weak = scale(&frame.chips, 1e-5);
-        assert!(matches!(rx.receive(&too_weak), Err(WifiError::PreambleNotFound)));
+        assert!(matches!(
+            rx.receive(&too_weak),
+            Err(WifiError::PreambleNotFound)
+        ));
     }
 
     #[test]
@@ -247,9 +251,9 @@ mod tests {
         let frame = tx.transmit(&payload).unwrap();
         let noisy = awgn(&frame.chips, 1.6, 3);
         let rx = Dot11bReceiver::default();
-        match rx.receive(&noisy) {
-            Ok(received) => assert!(!received.fcs_ok || received.payload != payload),
-            Err(_) => {} // header corruption is also an acceptable failure mode
+        // Header corruption (an Err) is also an acceptable failure mode.
+        if let Ok(received) = rx.receive(&noisy) {
+            assert!(!received.fcs_ok || received.payload != payload);
         }
         let strict = Dot11bReceiver {
             require_fcs: true,

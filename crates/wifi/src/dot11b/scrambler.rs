@@ -106,7 +106,10 @@ mod tests {
         let ones: usize = out.iter().map(|&b| b as usize).sum();
         // A maximal-length scrambler output over all-zero input is roughly
         // balanced.
-        assert!(ones > 100 && ones < 156, "scrambled all-zeros has {ones} ones");
+        assert!(
+            ones > 100 && ones < 156,
+            "scrambled all-zeros has {ones} ones"
+        );
     }
 
     #[test]
@@ -124,7 +127,10 @@ mod tests {
 
     #[test]
     fn long_preamble_seed_constant() {
-        assert_eq!(DsssScrambler::long_preamble().state(), LONG_PREAMBLE_SCRAMBLER_INIT);
+        assert_eq!(
+            DsssScrambler::long_preamble().state(),
+            LONG_PREAMBLE_SCRAMBLER_INIT
+        );
         // Seeds are masked to 7 bits.
         assert_eq!(DsssScrambler::new(0xFF).state(), 0x7F);
     }

@@ -94,14 +94,23 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(WifiError::PayloadTooLong { requested: 300, max: 209 }
-            .to_string()
-            .contains("209"));
+        assert!(WifiError::PayloadTooLong {
+            requested: 300,
+            max: 209
+        }
+        .to_string()
+        .contains("209"));
         assert!(WifiError::PreambleNotFound.to_string().contains("preamble"));
         assert!(WifiError::CrcMismatch.to_string().contains("check"));
-        assert!(WifiError::InvalidHeader("length").to_string().contains("length"));
-        assert!(WifiError::UnsupportedRate("1 Mbps").to_string().contains("1 Mbps"));
-        assert!(WifiError::TruncatedWaveform { have: 10, need: 20 }.to_string().contains("20"));
+        assert!(WifiError::InvalidHeader("length")
+            .to_string()
+            .contains("length"));
+        assert!(WifiError::UnsupportedRate("1 Mbps")
+            .to_string()
+            .contains("1 Mbps"));
+        assert!(WifiError::TruncatedWaveform { have: 10, need: 20 }
+            .to_string()
+            .contains("20"));
         let e: WifiError = interscatter_dsp::DspError::EmptyInput("x").into();
         assert!(e.to_string().contains("DSP"));
     }

@@ -105,9 +105,9 @@ mod tests {
 
     #[test]
     fn interframe_spacing_ordering() {
-        assert!(SIFS_S < DIFS_S);
+        const { assert!(SIFS_S < DIFS_S) };
         assert!((DIFS_S - (SIFS_S + 2.0 * SLOT_TIME_S)).abs() < 1e-12);
-        assert!(CW_MIN < CW_MAX);
+        const { assert!(CW_MIN < CW_MAX) };
     }
 
     #[test]

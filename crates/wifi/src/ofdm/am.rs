@@ -120,7 +120,9 @@ pub fn build_am_frame<R: Rng>(
     rng: &mut R,
 ) -> Result<AmFrame, WifiError> {
     if downlink_bits.is_empty() {
-        return Err(WifiError::InvalidHeader("downlink frame needs at least one bit"));
+        return Err(WifiError::InvalidHeader(
+            "downlink frame needs at least one bit",
+        ));
     }
     let schedule = symbol_schedule(downlink_bits);
     let data_bits = craft_data_bits(tx.rate, tx.scrambler_seed, &schedule, rng);
@@ -213,8 +215,8 @@ pub fn decode_downlink_bits(samples: &[interscatter_dsp::Cplx]) -> Vec<u8> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::symbol::papr_db;
+    use super::*;
     use rand::SeedableRng;
 
     fn rng() -> rand::rngs::StdRng {
@@ -242,7 +244,11 @@ mod tests {
     fn crafted_constant_symbols_have_constant_scrambled_bits() {
         let rate = OfdmRate::Mbps36;
         let seed = 0x45;
-        let schedule = vec![SymbolClass::Random, SymbolClass::Constant, SymbolClass::Constant];
+        let schedule = vec![
+            SymbolClass::Random,
+            SymbolClass::Constant,
+            SymbolClass::Constant,
+        ];
         let data = craft_data_bits(rate, seed, &schedule, &mut rng());
         let mut scrambler = OfdmScrambler::new(seed);
         let scrambled = scrambler.scramble(&data);

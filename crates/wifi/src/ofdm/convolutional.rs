@@ -137,13 +137,21 @@ fn depuncture(coded: &[u8], rate: CodeRate) -> Vec<u8> {
 /// marked as 2 which contribute no branch metric. The decoder assumes the
 /// encoder started in the all-zero state and, if `terminated` is true, also
 /// ended there (the caller appended 6 tail zeros before encoding).
-pub fn viterbi_decode(coded: &[u8], rate: CodeRate, terminated: bool) -> Result<Vec<u8>, WifiError> {
-    if rate == CodeRate::Half && coded.len() % 2 != 0 {
-        return Err(WifiError::InvalidHeader("rate-1/2 coded stream must have even length"));
+pub fn viterbi_decode(
+    coded: &[u8],
+    rate: CodeRate,
+    terminated: bool,
+) -> Result<Vec<u8>, WifiError> {
+    if rate == CodeRate::Half && !coded.len().is_multiple_of(2) {
+        return Err(WifiError::InvalidHeader(
+            "rate-1/2 coded stream must have even length",
+        ));
     }
     let half_rate = depuncture(coded, rate);
-    if half_rate.len() % 2 != 0 {
-        return Err(WifiError::InvalidHeader("coded stream length not a multiple of the code rate"));
+    if !half_rate.len().is_multiple_of(2) {
+        return Err(WifiError::InvalidHeader(
+            "coded stream length not a multiple of the code rate",
+        ));
     }
     let steps = half_rate.len() / 2;
     if steps == 0 {
@@ -229,11 +237,11 @@ mod tests {
 
     #[test]
     fn all_ones_input_gives_all_ones_output_in_steady_state() {
-        let coded = encode_half_rate(&vec![1u8; 40]);
+        let coded = encode_half_rate(&[1u8; 40]);
         // After the 6-bit warm-up the window is all ones and both parities
         // are 1 (odd tap count).
         assert!(coded[12..].iter().all(|&b| b == 1));
-        let coded0 = encode_half_rate(&vec![0u8; 40]);
+        let coded0 = encode_half_rate(&[0u8; 40]);
         assert!(coded0.iter().all(|&b| b == 0));
     }
 
@@ -296,7 +304,9 @@ mod tests {
     fn odd_length_stream_is_rejected() {
         let coded = vec![0u8; 7];
         assert!(viterbi_decode(&coded, CodeRate::Half, true).is_err());
-        assert!(viterbi_decode(&[], CodeRate::Half, true).unwrap().is_empty());
+        assert!(viterbi_decode(&[], CodeRate::Half, true)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

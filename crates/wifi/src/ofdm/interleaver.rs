@@ -14,6 +14,7 @@
 pub fn permutation(n_cbps: usize, n_bpsc: usize) -> Vec<usize> {
     let s = (n_bpsc / 2).max(1);
     let mut perm = vec![0usize; n_cbps];
+    #[allow(clippy::needless_range_loop)] // k is the spec's symbol index; indexing mirrors 17.3.5.7
     for k in 0..n_cbps {
         // First permutation.
         let i = (n_cbps / 16) * (k % 16) + (k / 16);
@@ -30,7 +31,11 @@ pub fn permutation(n_cbps: usize, n_bpsc: usize) -> Vec<usize> {
 /// Panics if `bits.len() != n_cbps` — symbol assembly always supplies whole
 /// symbols.
 pub fn interleave(bits: &[u8], n_cbps: usize, n_bpsc: usize) -> Vec<u8> {
-    assert_eq!(bits.len(), n_cbps, "interleaver needs exactly one symbol of bits");
+    assert_eq!(
+        bits.len(),
+        n_cbps,
+        "interleaver needs exactly one symbol of bits"
+    );
     let perm = permutation(n_cbps, n_bpsc);
     let mut out = vec![0u8; n_cbps];
     for (k, &bit) in bits.iter().enumerate() {
@@ -44,7 +49,11 @@ pub fn interleave(bits: &[u8], n_cbps: usize, n_bpsc: usize) -> Vec<u8> {
 /// # Panics
 /// Panics if `bits.len() != n_cbps`.
 pub fn deinterleave(bits: &[u8], n_cbps: usize, n_bpsc: usize) -> Vec<u8> {
-    assert_eq!(bits.len(), n_cbps, "deinterleaver needs exactly one symbol of bits");
+    assert_eq!(
+        bits.len(),
+        n_cbps,
+        "deinterleaver needs exactly one symbol of bits"
+    );
     let perm = permutation(n_cbps, n_bpsc);
     let mut out = vec![0u8; n_cbps];
     for (k, &p) in perm.iter().enumerate() {

@@ -161,8 +161,10 @@ impl OfdmTransmitter {
     /// this entry point because it needs symbol-exact control of the bits.
     pub fn transmit_raw_bits(&self, data_bits: &[u8]) -> Result<OfdmFrame, WifiError> {
         let n_dbps = self.rate.data_bits_per_symbol();
-        if data_bits.is_empty() || data_bits.len() % n_dbps != 0 {
-            return Err(WifiError::InvalidHeader("DATA bits must be a non-empty multiple of N_DBPS"));
+        if data_bits.is_empty() || !data_bits.len().is_multiple_of(n_dbps) {
+            return Err(WifiError::InvalidHeader(
+                "DATA bits must be a non-empty multiple of N_DBPS",
+            ));
         }
         let num_symbols = data_bits.len() / n_dbps;
         // Scramble the whole data field with the frame-synchronous scrambler.
@@ -303,15 +305,18 @@ mod tests {
         let frame = tx.transmit(&psdu).unwrap();
         let rx = OfdmReceiver::new(OfdmRate::Mbps12, 0x20);
         let back = rx.receive_psdu(&frame.samples, psdu.len()).unwrap();
-        assert_ne!(back, psdu, "a wrong frame-synchronous seed must corrupt the payload");
+        assert_ne!(
+            back, psdu,
+            "a wrong frame-synchronous seed must corrupt the payload"
+        );
     }
 
     #[test]
     fn raw_bits_must_be_symbol_aligned() {
         let tx = OfdmTransmitter::new(OfdmRate::Mbps36, 0x11);
         assert!(tx.transmit_raw_bits(&[]).is_err());
-        assert!(tx.transmit_raw_bits(&vec![0u8; 100]).is_err());
-        assert!(tx.transmit_raw_bits(&vec![0u8; 144]).is_ok());
+        assert!(tx.transmit_raw_bits(&[0u8; 100]).is_err());
+        assert!(tx.transmit_raw_bits(&[0u8; 144]).is_ok());
     }
 
     #[test]
@@ -337,7 +342,10 @@ mod tests {
                 let u1: f64 = rng.gen_range(1e-12..1.0);
                 let u2: f64 = rng.gen_range(0.0..1.0);
                 let r = (-2.0 * u1.ln()).sqrt() * sigma;
-                s + Cplx::new(r * (2.0 * std::f64::consts::PI * u2).cos(), r * (2.0 * std::f64::consts::PI * u2).sin())
+                s + Cplx::new(
+                    r * (2.0 * std::f64::consts::PI * u2).cos(),
+                    r * (2.0 * std::f64::consts::PI * u2).sin(),
+                )
             })
             .collect();
         let rx = OfdmReceiver::new(OfdmRate::Mbps36, 0x2F);

@@ -95,7 +95,9 @@ impl SeedPolicy {
             SeedPolicy::Fixed { seed } => *seed,
             SeedPolicy::Random => {
                 // A small integer hash standing in for an unpredictable seed.
-                let mut x = frame_index.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x5851);
+                let mut x = frame_index
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(0x5851);
                 x ^= x >> 33;
                 ((x % 127) + 1) as u8
             }

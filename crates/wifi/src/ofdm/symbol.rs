@@ -70,7 +70,11 @@ impl OfdmSymbolProcessor {
 
     /// Maps one symbol's worth of interleaved coded bits to time-domain
     /// samples (CP + 64 samples). `symbol_index` selects the pilot polarity.
-    pub fn modulate_symbol(&self, coded_bits: &[u8], symbol_index: usize) -> Result<Vec<Cplx>, WifiError> {
+    pub fn modulate_symbol(
+        &self,
+        coded_bits: &[u8],
+        symbol_index: usize,
+    ) -> Result<Vec<Cplx>, WifiError> {
         let n_cbps = self.coded_bits_per_symbol();
         if coded_bits.len() != n_cbps {
             return Err(WifiError::TruncatedWaveform {
@@ -154,7 +158,12 @@ mod tests {
     #[test]
     fn symbol_round_trip_all_modulations() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(10);
-        for modulation in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+        for modulation in [
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ] {
             let proc = OfdmSymbolProcessor::new(modulation).unwrap();
             let n = proc.coded_bits_per_symbol();
             let bits: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=1u8)).collect();
@@ -168,7 +177,9 @@ mod tests {
     #[test]
     fn cyclic_prefix_is_a_copy_of_the_tail() {
         let proc = OfdmSymbolProcessor::new(Modulation::Qam16).unwrap();
-        let bits: Vec<u8> = (0..proc.coded_bits_per_symbol()).map(|i| (i % 2) as u8).collect();
+        let bits: Vec<u8> = (0..proc.coded_bits_per_symbol())
+            .map(|i| (i % 2) as u8)
+            .collect();
         let symbol = proc.modulate_symbol(&bits, 3).unwrap();
         for i in 0..CP_LEN {
             assert!((symbol[i] - symbol[FFT_SIZE + i]).abs() < 1e-12);
@@ -203,7 +214,9 @@ mod tests {
     fn random_bits_spread_energy_across_the_symbol() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(77);
         let proc = OfdmSymbolProcessor::new(Modulation::Qam16).unwrap();
-        let bits: Vec<u8> = (0..proc.coded_bits_per_symbol()).map(|_| rng.gen_range(0..=1u8)).collect();
+        let bits: Vec<u8> = (0..proc.coded_bits_per_symbol())
+            .map(|_| rng.gen_range(0..=1u8))
+            .collect();
         let symbol = proc.modulate_symbol(&bits, 0).unwrap();
         let body = &symbol[CP_LEN..];
         let first_power = body[0].norm_sq();

@@ -147,7 +147,7 @@ mod tests {
             let mut chips = chip_sequence(s);
             let mut flipped = 0;
             while flipped < 6 {
-                let idx = rng.gen_range(0..32);
+                let idx = rng.gen_range(0..32usize);
                 chips[idx] ^= 1;
                 flipped += 1;
             }

@@ -74,7 +74,7 @@ impl ZigbeeFrame {
             });
         }
         let length = bytes[sfd_pos + 1] as usize;
-        if length > MAX_PSDU_BYTES || length < 2 {
+        if !(2..=MAX_PSDU_BYTES).contains(&length) {
             return Err(ZigbeeError::SfdNotFound);
         }
         let psdu_start = sfd_pos + 2;

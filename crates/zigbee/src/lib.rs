@@ -61,7 +61,10 @@ impl core::fmt::Display for ZigbeeError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             ZigbeeError::PayloadTooLong { requested, max } => {
-                write!(f, "PSDU of {requested} bytes exceeds the {max}-byte maximum")
+                write!(
+                    f,
+                    "PSDU of {requested} bytes exceeds the {max}-byte maximum"
+                )
             }
             ZigbeeError::SfdNotFound => write!(f, "no 802.15.4 SFD found"),
             ZigbeeError::FcsMismatch => write!(f, "802.15.4 FCS mismatch"),
@@ -87,10 +90,17 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ZigbeeError::PayloadTooLong { requested: 200, max: 127 }.to_string().contains("127"));
+        assert!(ZigbeeError::PayloadTooLong {
+            requested: 200,
+            max: 127
+        }
+        .to_string()
+        .contains("127"));
         assert!(ZigbeeError::SfdNotFound.to_string().contains("SFD"));
         assert!(ZigbeeError::FcsMismatch.to_string().contains("FCS"));
-        assert!(ZigbeeError::TruncatedWaveform { have: 5, need: 9 }.to_string().contains('9'));
+        assert!(ZigbeeError::TruncatedWaveform { have: 5, need: 9 }
+            .to_string()
+            .contains('9'));
         let e: ZigbeeError = interscatter_dsp::DspError::EmptyInput("x").into();
         assert!(e.to_string().contains("DSP"));
     }

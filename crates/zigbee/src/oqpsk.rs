@@ -37,9 +37,11 @@ impl OqpskConfig {
     pub fn validate(&self) -> Result<(), ZigbeeError> {
         let spc = self.sample_rate / CHIP_RATE;
         if spc < 2.0 || (spc - spc.round()).abs() > 1e-9 {
-            return Err(ZigbeeError::Dsp(interscatter_dsp::DspError::InvalidFilterSpec(
-                "sample_rate must be an integer multiple (>=2) of the 2 Mchip/s chip rate",
-            )));
+            return Err(ZigbeeError::Dsp(
+                interscatter_dsp::DspError::InvalidFilterSpec(
+                    "sample_rate must be an integer multiple (>=2) of the 2 Mchip/s chip rate",
+                ),
+            ));
         }
         Ok(())
     }
@@ -87,7 +89,11 @@ pub fn modulate(chips: &[u8], config: OqpskConfig) -> Result<Vec<Cplx>, ZigbeeEr
 /// Demodulates O-QPSK samples back into hard chip decisions by sampling each
 /// rail at its pulse centre. The waveform must start at the first chip (the
 /// frame layer handles SFD alignment).
-pub fn demodulate(samples: &[Cplx], num_chips: usize, config: OqpskConfig) -> Result<Vec<u8>, ZigbeeError> {
+pub fn demodulate(
+    samples: &[Cplx],
+    num_chips: usize,
+    config: OqpskConfig,
+) -> Result<Vec<u8>, ZigbeeError> {
     config.validate()?;
     let spc = config.samples_per_chip();
     let mut chips = Vec::with_capacity(num_chips);
@@ -172,8 +178,12 @@ mod tests {
         let cfg = OqpskConfig { sample_rate: 8e6 };
         let wave = modulate(&[1, 1], cfg).unwrap();
         let spc = cfg.samples_per_chip();
-        let i_peak = (0..wave.len()).max_by(|&a, &b| wave[a].re.partial_cmp(&wave[b].re).unwrap()).unwrap();
-        let q_peak = (0..wave.len()).max_by(|&a, &b| wave[a].im.partial_cmp(&wave[b].im).unwrap()).unwrap();
+        let i_peak = (0..wave.len())
+            .max_by(|&a, &b| wave[a].re.partial_cmp(&wave[b].re).unwrap())
+            .unwrap();
+        let q_peak = (0..wave.len())
+            .max_by(|&a, &b| wave[a].im.partial_cmp(&wave[b].im).unwrap())
+            .unwrap();
         assert_eq!(q_peak as i64 - i_peak as i64, spc as i64);
     }
 }

@@ -22,18 +22,10 @@ pub const CHANNEL_SPACING_HZ: f64 = 5e6;
 pub const OCCUPIED_BANDWIDTH_HZ: f64 = 2e6;
 
 /// A ZigBee PHY transmitter.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ZigbeeTransmitter {
     /// Modulator configuration (sample rate).
     pub config: OqpskConfig,
-}
-
-impl Default for ZigbeeTransmitter {
-    fn default() -> Self {
-        ZigbeeTransmitter {
-            config: OqpskConfig::default(),
-        }
-    }
 }
 
 impl ZigbeeTransmitter {

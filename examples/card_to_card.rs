@@ -16,7 +16,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Transfer an 18-bit token (as in the paper's prototype) at 10 inches.
     let scenario = CardToCardScenario::fig17(10.0);
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xCA2D);
-    let token: Vec<u8> = (0..18).map(|i| ((0b1011_0010_1101_0011_01u32 >> i) & 1) as u8).collect();
+    let token: Vec<u8> = (0..18)
+        .map(|i| ((0b10_1100_1011_0100_1101_u32 >> i) & 1) as u8)
+        .collect();
     let mut error_free_transfers = 0usize;
     let attempts = 25usize;
     for _ in 0..attempts {

@@ -6,7 +6,11 @@
 use interscatter::sim::experiments::{fig06, fig09};
 
 /// Renders a PSD as a coarse ASCII spectrum (power vs frequency).
-fn ascii_spectrum(points: &[interscatter::dsp::spectrum::SpectrumPoint], bins: usize, width: usize) -> String {
+fn ascii_spectrum(
+    points: &[interscatter::dsp::spectrum::SpectrumPoint],
+    bins: usize,
+    width: usize,
+) -> String {
     if points.is_empty() || bins == 0 {
         return String::new();
     }
@@ -17,7 +21,7 @@ fn ascii_spectrum(points: &[interscatter::dsp::spectrum::SpectrumPoint], bins: u
         let idx = (((p.freq_hz - f_min) / (f_max - f_min)) * (bins - 1) as f64).round() as usize;
         let linear = interscatter::dsp::units::db_to_ratio(p.power_db);
         let current = interscatter::dsp::units::db_to_ratio(grid[idx]);
-        grid[idx] = interscatter::dsp::units::ratio_to_db(current.max(linear) + if current.is_finite() { 0.0 } else { 0.0 });
+        grid[idx] = interscatter::dsp::units::ratio_to_db(current.max(linear));
         if grid[idx] < p.power_db {
             grid[idx] = p.power_db;
         }

@@ -28,7 +28,10 @@ fn ofdm_am_downlink_end_to_end() {
     assert_eq!(decode_downlink_bits(&am.frame.samples), command);
 
     // Envelope-detector decode at -25 dBm received power.
-    let received = scale(&am.frame.samples, interscatter::dsp::units::db_to_amplitude(-25.0));
+    let received = scale(
+        &am.frame.samples,
+        interscatter::dsp::units::db_to_amplitude(-25.0),
+    );
     let detector = EnvelopeDetector::new(interscatter::wifi::ofdm::OFDM_SAMPLE_RATE);
     let decoded = detector.decode_am_downlink(&received, SYMBOL_LEN).unwrap();
     assert_eq!(decoded, command);
@@ -47,8 +50,20 @@ fn coexistence_and_reservations() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0E1);
     let config = CoexistenceConfig::default();
     let baseline = simulate_coexistence(&config, InterferenceMode::None, 0.0, 1.0, &mut rng);
-    let ssb = simulate_coexistence(&config, InterferenceMode::SingleSideband, 1000.0, 1.0, &mut rng);
-    let dsb = simulate_coexistence(&config, InterferenceMode::DoubleSideband, 1000.0, 1.0, &mut rng);
+    let ssb = simulate_coexistence(
+        &config,
+        InterferenceMode::SingleSideband,
+        1000.0,
+        1.0,
+        &mut rng,
+    );
+    let dsb = simulate_coexistence(
+        &config,
+        InterferenceMode::DoubleSideband,
+        1000.0,
+        1.0,
+        &mut rng,
+    );
     assert!(ssb.throughput_mbps > 0.95 * baseline.throughput_mbps);
     assert!(dsb.throughput_mbps < 0.6 * baseline.throughput_mbps);
     assert!(dsb.collision_fraction > ssb.collision_fraction);
@@ -154,7 +169,11 @@ fn experiments_md_headline_numbers() {
 
     let (power_rows, _) = exp::power::run();
     for row in &power_rows {
-        assert!((row.model_w - row.paper_w).abs() / row.paper_w < 0.02, "{}", row.block);
+        assert!(
+            (row.model_w - row.paper_w).abs() / row.paper_w < 0.02,
+            "{}",
+            row.block
+        );
     }
 
     let [ssb, dsb] = exp::fig06::run(&exp::fig06::Fig06Params {

@@ -2,11 +2,11 @@
 //! together exactly as a deployment would use them, at full waveform
 //! fidelity where that is the point of the test.
 
-use interscatter::prelude::*;
 use interscatter::backscatter::ssb::{backscatter, reflection_sequence, SsbConfig};
+use interscatter::dsp::filter::downsample;
 use interscatter::dsp::iq::{frequency_shift, mean_power, rssi_dbm};
 use interscatter::dsp::spectrum::{band_power_db, welch_psd, WelchConfig};
-use interscatter::dsp::filter::downsample;
+use interscatter::prelude::*;
 use interscatter::sim::uplink::UplinkScenario;
 use rand::SeedableRng;
 
@@ -35,8 +35,7 @@ fn bluetooth_becomes_wifi_end_to_end() {
 
     // --- Tag side: synthesize a 2 Mbps Wi-Fi packet in the payload window --
     let spb = ble_cfg.samples_per_bit();
-    let payload_start =
-        interscatter::ble::packet::AdvertisingPacket::payload_bit_offset() * spb;
+    let payload_start = interscatter::ble::packet::AdvertisingPacket::payload_bit_offset() * spb;
     let payload_end = advert.crc_bit_offset() * spb;
     let carrier = &ble_waveform[payload_start..payload_end];
 
@@ -66,7 +65,9 @@ fn bluetooth_becomes_wifi_end_to_end() {
     let downconverted = frequency_shift(&scattered, -(shift + 250e3), sample_rate, 0.0);
     let chips = downsample(&downconverted, spc).unwrap();
     let rx = Dot11bReceiver::with_sensitivity(-120.0);
-    let received = rx.receive(&chips).expect("backscattered Wi-Fi packet should decode");
+    let received = rx
+        .receive(&chips)
+        .expect("backscattered Wi-Fi packet should decode");
     assert_eq!(received.payload, wifi_payload);
     assert!(received.fcs_ok, "FCS must validate end to end");
     assert_eq!(received.rate, DsssRate::Mbps2);
@@ -110,10 +111,17 @@ fn tag_state_machine_times_backscatter_into_the_payload_window() {
         .unwrap();
     let start_time_s = result.start_sample as f64 / sample_rate;
     // Packet detected at ~30 µs, payload offset 104 µs + 4 µs guard.
-    assert!(start_time_s > 30e-6 + 104e-6, "backscatter started too early: {start_time_s}");
-    assert!(start_time_s < 30e-6 + 104e-6 + 10e-6, "backscatter started too late: {start_time_s}");
+    assert!(
+        start_time_s > 30e-6 + 104e-6,
+        "backscatter started too early: {start_time_s}"
+    );
+    assert!(
+        start_time_s < 30e-6 + 104e-6 + 10e-6,
+        "backscatter started too late: {start_time_s}"
+    );
     // The scattered waveform is weaker than the incident one (passive tag).
-    let incident_power = mean_power(&incident[result.start_sample..result.start_sample + result.active_samples]);
+    let incident_power =
+        mean_power(&incident[result.start_sample..result.start_sample + result.active_samples]);
     let scattered_power = mean_power(
         &result.scattered[result.start_sample..result.start_sample + result.active_samples],
     );
@@ -125,7 +133,9 @@ fn tag_state_machine_times_backscatter_into_the_payload_window() {
 #[test]
 fn facade_configures_consistent_pipelines() {
     let system = Interscatter::default();
-    let advert = system.single_tone_advertisement([9, 8, 7, 6, 5, 4]).unwrap();
+    let advert = system
+        .single_tone_advertisement([9, 8, 7, 6, 5, 4])
+        .unwrap();
     assert_eq!(advert.advertiser_address, [9, 8, 7, 6, 5, 4]);
     let tag = system.tag().unwrap();
     assert_eq!(tag.config.shift_hz, system.shift_hz);
@@ -174,7 +184,9 @@ fn bluetooth_becomes_zigbee_end_to_end() {
     let spc = (sample_rate / interscatter::zigbee::oqpsk::CHIP_RATE).round() as usize;
     let at_8msps = downsample(&recentred, spc / 4).unwrap(); // ZigbeeReceiver default runs at 8 MS/s
     let rx = ZigbeeReceiver::default();
-    let received = rx.receive(&at_8msps).expect("backscattered ZigBee packet should decode");
+    let received = rx
+        .receive(&at_8msps)
+        .expect("backscattered ZigBee packet should decode");
     assert_eq!(received.payload, payload);
     assert!(rssi_dbm(&at_8msps) > -40.0);
 }

@@ -1,8 +1,12 @@
-//! Property-based tests on the workspace's core invariants, using proptest.
+//! Property-style tests on the workspace's core invariants.
 //!
 //! These complement the unit tests by exercising the framing, coding and
-//! modulation round trips on arbitrary inputs, and the tag's passivity
-//! constraint on arbitrary payloads.
+//! modulation round trips on randomized inputs, and the tag's passivity
+//! constraint on randomized payloads. The seed version of this file used
+//! `proptest`; the build environment has no registry access, so each
+//! property now draws its 32 cases from a seeded [`rand::rngs::StdRng`] —
+//! fully deterministic, with the failing input printable from the case
+//! index.
 
 use interscatter::backscatter::ssb::{reflection_sequence, SsbConfig};
 use interscatter::ble::channels::BleChannel;
@@ -17,155 +21,215 @@ use interscatter::wifi::dot11b::{Dot11bReceiver, Dot11bTransmitter, DsssRate};
 use interscatter::wifi::ofdm::convolutional::{encode, viterbi_decode, CodeRate};
 use interscatter::wifi::ofdm::interleaver::{deinterleave, interleave};
 use interscatter::zigbee::{ZigbeeReceiver, ZigbeeTransmitter};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: usize = 32;
 
-    /// Bit/byte packing round-trips for arbitrary byte strings.
-    #[test]
-    fn bits_bytes_round_trip(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+fn rng_for(test_seed: u64) -> StdRng {
+    StdRng::seed_from_u64(0x5EED_0000 ^ test_seed)
+}
+
+fn random_bytes(rng: &mut StdRng, len_range: std::ops::Range<usize>) -> Vec<u8> {
+    let len = rng.gen_range(len_range);
+    (0..len).map(|_| rng.gen()).collect()
+}
+
+fn random_bits(rng: &mut StdRng, len_range: std::ops::Range<usize>) -> Vec<u8> {
+    let len = rng.gen_range(len_range);
+    (0..len).map(|_| rng.gen_range(0..=1u8)).collect()
+}
+
+/// Bit/byte packing round-trips for arbitrary byte strings.
+#[test]
+fn bits_bytes_round_trip() {
+    let mut rng = rng_for(1);
+    for case in 0..CASES {
+        let data = random_bytes(&mut rng, 0..64);
         let bits = bytes_to_bits_lsb(&data);
-        prop_assert_eq!(bits_to_bytes_lsb(&bits), data);
+        assert_eq!(bits_to_bytes_lsb(&bits), data, "case {case}");
     }
+}
 
-    /// CRCs change when any single bit of the input changes.
-    #[test]
-    fn crc_detects_single_bit_flips(
-        data in proptest::collection::vec(any::<u8>(), 1..48),
-        byte_idx in 0usize..48,
-        bit_idx in 0u8..8,
-    ) {
-        let byte_idx = byte_idx % data.len();
+/// CRCs change when any single bit of the input changes.
+#[test]
+fn crc_detects_single_bit_flips() {
+    let mut rng = rng_for(2);
+    for case in 0..CASES {
+        let data = random_bytes(&mut rng, 1..48);
+        let byte_idx = rng.gen_range(0..data.len());
+        let bit_idx = rng.gen_range(0u8..8);
         let mut corrupted = data.clone();
         corrupted[byte_idx] ^= 1 << bit_idx;
-        prop_assert_ne!(crc32_ieee_u32(&data), crc32_ieee_u32(&corrupted));
-        prop_assert_ne!(crc16_ccitt(&data), crc16_ccitt(&corrupted));
-        prop_assert_ne!(
+        assert_ne!(
+            crc32_ieee_u32(&data),
+            crc32_ieee_u32(&corrupted),
+            "case {case}"
+        );
+        assert_ne!(crc16_ccitt(&data), crc16_ccitt(&corrupted), "case {case}");
+        assert_ne!(
             ble_crc24(&data, BLE_ADV_CRC_INIT),
-            ble_crc24(&corrupted, BLE_ADV_CRC_INIT)
+            ble_crc24(&corrupted, BLE_ADV_CRC_INIT),
+            "case {case}"
         );
     }
+}
 
-    /// BLE whitening is always an involution, for every channel and payload.
-    #[test]
-    fn whitening_is_involutive(
-        channel in 0u8..40,
-        bits in proptest::collection::vec(0u8..=1, 0..256),
-    ) {
+/// BLE whitening is always an involution, for every channel and payload.
+#[test]
+fn whitening_is_involutive() {
+    let mut rng = rng_for(3);
+    for case in 0..CASES {
+        let channel = rng.gen_range(0u8..40);
+        let bits = random_bits(&mut rng, 0..256);
         let mut a = Lfsr7::ble_whitening_for_channel(channel);
         let whitened = a.whiten(&bits);
         let mut b = Lfsr7::ble_whitening_for_channel(channel);
-        prop_assert_eq!(b.whiten(&whitened), bits);
+        assert_eq!(b.whiten(&whitened), bits, "case {case} channel {channel}");
     }
+}
 
-    /// The FFT/IFFT pair is the identity for arbitrary signals.
-    #[test]
-    fn fft_round_trip(values in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 64..=64)) {
-        let x: Vec<Cplx> = values.iter().map(|&(re, im)| Cplx::new(re, im)).collect();
+/// The FFT/IFFT pair is the identity for arbitrary signals.
+#[test]
+fn fft_round_trip() {
+    let mut rng = rng_for(4);
+    for case in 0..CASES {
+        let x: Vec<Cplx> = (0..64)
+            .map(|_| Cplx::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
         let back = ifft(&fft(&x).unwrap()).unwrap();
         for (a, b) in x.iter().zip(&back) {
-            prop_assert!((*a - *b).abs() < 1e-9);
+            assert!((*a - *b).abs() < 1e-9, "case {case}");
         }
     }
+}
 
-    /// BLE advertising packets round-trip through framing and whitening for
-    /// arbitrary payloads and addresses on every advertising channel.
-    #[test]
-    fn ble_packet_round_trip(
-        address in proptest::array::uniform6(any::<u8>()),
-        payload in proptest::collection::vec(any::<u8>(), 0..=31),
-        channel_idx in 0usize..3,
-    ) {
-        let channel = [BleChannel::ADV_37, BleChannel::ADV_38, BleChannel::ADV_39][channel_idx];
+/// BLE advertising packets round-trip through framing and whitening for
+/// arbitrary payloads and addresses on every advertising channel.
+#[test]
+fn ble_packet_round_trip() {
+    let mut rng = rng_for(5);
+    for case in 0..CASES {
+        let mut address = [0u8; 6];
+        for b in &mut address {
+            *b = rng.gen();
+        }
+        let payload = random_bytes(&mut rng, 0..32);
+        let channel =
+            [BleChannel::ADV_37, BleChannel::ADV_38, BleChannel::ADV_39][rng.gen_range(0..3usize)];
         let packet = AdvertisingPacket::new(address, &payload).unwrap();
         let bits = packet.to_air_bits(channel).unwrap();
         let back = AdvertisingPacket::from_air_bits(&bits, channel).unwrap();
-        prop_assert_eq!(back, packet);
+        assert_eq!(back, packet, "case {case}");
     }
+}
 
-    /// The 802.11b self-synchronising scrambler round-trips for any seed.
-    #[test]
-    fn dsss_scrambler_round_trip(
-        seed in 0u8..128,
-        bits in proptest::collection::vec(0u8..=1, 0..512),
-    ) {
+/// The 802.11b self-synchronising scrambler round-trips for any seed.
+#[test]
+fn dsss_scrambler_round_trip() {
+    let mut rng = rng_for(6);
+    for case in 0..CASES {
+        let seed = rng.gen_range(0u8..128);
+        let bits = random_bits(&mut rng, 0..512);
         let mut tx = DsssScrambler::new(seed);
         let scrambled = tx.scramble(&bits);
         let mut rx = DsssScrambler::new(seed);
-        prop_assert_eq!(rx.descramble(&scrambled), bits);
+        assert_eq!(rx.descramble(&scrambled), bits, "case {case} seed {seed}");
     }
+}
 
-    /// The 802.11a/g convolutional code round-trips at every rate for
-    /// arbitrary terminated inputs.
-    #[test]
-    fn convolutional_round_trip(
-        data in proptest::collection::vec(0u8..=1, 24..240),
-        rate_idx in 0usize..3,
-    ) {
-        let rate = [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters][rate_idx];
+/// The 802.11a/g convolutional code round-trips at every rate for arbitrary
+/// terminated inputs.
+#[test]
+fn convolutional_round_trip() {
+    let mut rng = rng_for(7);
+    for case in 0..CASES {
+        let mut data = random_bits(&mut rng, 24..240);
+        let rate = [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters]
+            [rng.gen_range(0..3usize)];
         // Pad to a multiple of 6 so every punctured rate stays aligned, then
         // terminate.
-        let mut data = data;
-        while data.len() % 6 != 0 {
+        while !data.len().is_multiple_of(6) {
             data.push(0);
         }
         data.extend([0u8; 6]);
         let coded = encode(&data, rate);
         let decoded = viterbi_decode(&coded, rate, true).unwrap();
-        prop_assert_eq!(decoded, data);
+        assert_eq!(decoded, data, "case {case} rate {rate:?}");
     }
+}
 
-    /// The OFDM interleaver is a bijection for every supported constellation.
-    #[test]
-    fn interleaver_round_trip(
-        bits in proptest::collection::vec(0u8..=1, 288..=288),
-        n_bpsc_idx in 0usize..4,
-    ) {
-        let n_bpsc = [1usize, 2, 4, 6][n_bpsc_idx];
+/// The OFDM interleaver is a bijection for every supported constellation.
+#[test]
+fn interleaver_round_trip() {
+    let mut rng = rng_for(8);
+    for case in 0..CASES {
+        let bits = random_bits(&mut rng, 288..289);
+        let n_bpsc = [1usize, 2, 4, 6][rng.gen_range(0..4usize)];
         let n_cbps = 48 * n_bpsc;
         let symbol = &bits[..n_cbps];
         let inter = interleave(symbol, n_cbps, n_bpsc);
-        prop_assert_eq!(deinterleave(&inter, n_cbps, n_bpsc), symbol.to_vec());
+        assert_eq!(
+            deinterleave(&inter, n_cbps, n_bpsc),
+            symbol.to_vec(),
+            "case {case}"
+        );
     }
+}
 
-    /// A noiseless 802.11b link is error-free for arbitrary payloads at
-    /// every rate — the "standards-compliant" invariant of the synthesized
-    /// packets.
-    #[test]
-    fn dot11b_round_trip(
-        payload in proptest::collection::vec(any::<u8>(), 1..64),
-        rate_idx in 0usize..4,
-    ) {
-        let rate = [DsssRate::Mbps1, DsssRate::Mbps2, DsssRate::Mbps5_5, DsssRate::Mbps11][rate_idx];
+/// A noiseless 802.11b link is error-free for arbitrary payloads at every
+/// rate — the "standards-compliant" invariant of the synthesized packets.
+#[test]
+fn dot11b_round_trip() {
+    let mut rng = rng_for(9);
+    for case in 0..CASES {
+        let payload = random_bytes(&mut rng, 1..64);
+        let rate = [
+            DsssRate::Mbps1,
+            DsssRate::Mbps2,
+            DsssRate::Mbps5_5,
+            DsssRate::Mbps11,
+        ][rng.gen_range(0..4usize)];
         let tx = Dot11bTransmitter::new(rate);
         let frame = tx.transmit(&payload).unwrap();
         let rx = Dot11bReceiver::default();
         let received = rx.receive(&frame.chips).unwrap();
-        prop_assert_eq!(received.payload, payload);
-        prop_assert!(received.fcs_ok);
+        assert_eq!(received.payload, payload, "case {case} rate {rate:?}");
+        assert!(received.fcs_ok, "case {case} rate {rate:?}");
     }
+}
 
-    /// A noiseless 802.15.4 link is error-free for arbitrary payloads.
-    #[test]
-    fn zigbee_round_trip(payload in proptest::collection::vec(any::<u8>(), 0..100)) {
+/// A noiseless 802.15.4 link is error-free for arbitrary payloads.
+#[test]
+fn zigbee_round_trip() {
+    let mut rng = rng_for(10);
+    for case in 0..CASES {
+        let payload = random_bytes(&mut rng, 0..100);
         let tx = ZigbeeTransmitter::default();
         let wave = tx.transmit(&payload).unwrap();
         let rx = ZigbeeReceiver::default();
-        prop_assert_eq!(rx.receive(&wave.samples).unwrap().payload, payload);
+        assert_eq!(
+            rx.receive(&wave.samples).unwrap().payload,
+            payload,
+            "case {case}"
+        );
     }
+}
 
-    /// The tag is passive for arbitrary baseband inputs: no reflection
-    /// coefficient ever exceeds unit magnitude.
-    #[test]
-    fn tag_reflection_is_passive(
-        phases in proptest::collection::vec(0.0f64..std::f64::consts::TAU, 64..512),
-    ) {
-        let baseband: Vec<Cplx> = phases.iter().map(|&p| Cplx::expj(p)).collect();
+/// The tag is passive for arbitrary baseband inputs: no reflection
+/// coefficient ever exceeds unit magnitude.
+#[test]
+fn tag_reflection_is_passive() {
+    let mut rng = rng_for(11);
+    for case in 0..CASES {
+        let len = rng.gen_range(64..512);
+        let baseband: Vec<Cplx> = (0..len)
+            .map(|_| Cplx::expj(rng.gen_range(0.0..std::f64::consts::TAU)))
+            .collect();
         let config = SsbConfig::new(176e6, 35.75e6);
         let reflection = reflection_sequence(&config, &baseband).unwrap();
         for g in reflection {
-            prop_assert!(g.abs() <= 1.0 + 1e-9);
+            assert!(g.abs() <= 1.0 + 1e-9, "case {case}");
         }
     }
 }
