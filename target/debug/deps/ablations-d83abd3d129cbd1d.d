@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-d83abd3d129cbd1d.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/libablations-d83abd3d129cbd1d.rmeta: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

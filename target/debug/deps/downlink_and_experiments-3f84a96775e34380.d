@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/downlink_and_experiments-3f84a96775e34380.d: tests/downlink_and_experiments.rs
+
+/root/repo/target/debug/deps/downlink_and_experiments-3f84a96775e34380: tests/downlink_and_experiments.rs
+
+tests/downlink_and_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/downlink_and_experiments-bdef7caf487669dc.d: tests/downlink_and_experiments.rs
+
+/root/repo/target/debug/deps/downlink_and_experiments-bdef7caf487669dc: tests/downlink_and_experiments.rs
+
+tests/downlink_and_experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/downlink_and_experiments-c4b6c51bd62d2bcf.d: tests/downlink_and_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdownlink_and_experiments-c4b6c51bd62d2bcf.rmeta: tests/downlink_and_experiments.rs Cargo.toml
+
+tests/downlink_and_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/downlink_and_experiments-fb5ea952dcde72f3.d: tests/downlink_and_experiments.rs
+
+/root/repo/target/debug/deps/libdownlink_and_experiments-fb5ea952dcde72f3.rmeta: tests/downlink_and_experiments.rs
+
+tests/downlink_and_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-861e975ba496013c.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-861e975ba496013c: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ce8f7bb14dd9ba01.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ce8f7bb14dd9ba01: tests/end_to_end.rs
+
+tests/end_to_end.rs:

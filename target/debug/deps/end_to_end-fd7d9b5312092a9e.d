@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-fd7d9b5312092a9e.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-fd7d9b5312092a9e.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

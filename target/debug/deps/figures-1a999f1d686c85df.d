@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-1a999f1d686c85df.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/libfigures-1a999f1d686c85df.rmeta: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/interscatter-149f4c3b0b76f7d1.d: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+/root/repo/target/debug/deps/libinterscatter-149f4c3b0b76f7d1.rlib: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+/root/repo/target/debug/deps/libinterscatter-149f4c3b0b76f7d1.rmeta: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+crates/core/src/lib.rs:
+crates/core/src/prelude.rs:

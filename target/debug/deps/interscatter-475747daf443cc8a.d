@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/interscatter-475747daf443cc8a.d: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+/root/repo/target/debug/deps/libinterscatter-475747daf443cc8a.rlib: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+/root/repo/target/debug/deps/libinterscatter-475747daf443cc8a.rmeta: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+crates/core/src/lib.rs:
+crates/core/src/prelude.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/interscatter-6d7032259a176ad8.d: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+/root/repo/target/debug/deps/interscatter-6d7032259a176ad8: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+crates/core/src/lib.rs:
+crates/core/src/prelude.rs:

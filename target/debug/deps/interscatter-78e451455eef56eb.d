@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/interscatter-78e451455eef56eb.d: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+/root/repo/target/debug/deps/libinterscatter-78e451455eef56eb.rmeta: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+crates/core/src/lib.rs:
+crates/core/src/prelude.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/interscatter-9d5cfdea96b78cf4.d: crates/core/src/lib.rs crates/core/src/prelude.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterscatter-9d5cfdea96b78cf4.rmeta: crates/core/src/lib.rs crates/core/src/prelude.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/prelude.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

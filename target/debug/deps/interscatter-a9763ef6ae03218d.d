@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/interscatter-a9763ef6ae03218d.d: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+/root/repo/target/debug/deps/interscatter-a9763ef6ae03218d: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+crates/core/src/lib.rs:
+crates/core/src/prelude.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/interscatter-d23b796a0083a4fe.d: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+/root/repo/target/debug/deps/libinterscatter-d23b796a0083a4fe.rmeta: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+crates/core/src/lib.rs:
+crates/core/src/prelude.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/interscatter_backscatter-2e35d4f36750edc9.d: crates/backscatter/src/lib.rs crates/backscatter/src/clocks.rs crates/backscatter/src/dsb.rs crates/backscatter/src/envelope.rs crates/backscatter/src/impedance.rs crates/backscatter/src/power.rs crates/backscatter/src/ssb.rs crates/backscatter/src/tag.rs
+
+/root/repo/target/debug/deps/libinterscatter_backscatter-2e35d4f36750edc9.rlib: crates/backscatter/src/lib.rs crates/backscatter/src/clocks.rs crates/backscatter/src/dsb.rs crates/backscatter/src/envelope.rs crates/backscatter/src/impedance.rs crates/backscatter/src/power.rs crates/backscatter/src/ssb.rs crates/backscatter/src/tag.rs
+
+/root/repo/target/debug/deps/libinterscatter_backscatter-2e35d4f36750edc9.rmeta: crates/backscatter/src/lib.rs crates/backscatter/src/clocks.rs crates/backscatter/src/dsb.rs crates/backscatter/src/envelope.rs crates/backscatter/src/impedance.rs crates/backscatter/src/power.rs crates/backscatter/src/ssb.rs crates/backscatter/src/tag.rs
+
+crates/backscatter/src/lib.rs:
+crates/backscatter/src/clocks.rs:
+crates/backscatter/src/dsb.rs:
+crates/backscatter/src/envelope.rs:
+crates/backscatter/src/impedance.rs:
+crates/backscatter/src/power.rs:
+crates/backscatter/src/ssb.rs:
+crates/backscatter/src/tag.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/interscatter_backscatter-a86f7210f85395c3.d: crates/backscatter/src/lib.rs crates/backscatter/src/clocks.rs crates/backscatter/src/dsb.rs crates/backscatter/src/envelope.rs crates/backscatter/src/impedance.rs crates/backscatter/src/power.rs crates/backscatter/src/ssb.rs crates/backscatter/src/tag.rs
+
+/root/repo/target/debug/deps/libinterscatter_backscatter-a86f7210f85395c3.rmeta: crates/backscatter/src/lib.rs crates/backscatter/src/clocks.rs crates/backscatter/src/dsb.rs crates/backscatter/src/envelope.rs crates/backscatter/src/impedance.rs crates/backscatter/src/power.rs crates/backscatter/src/ssb.rs crates/backscatter/src/tag.rs
+
+crates/backscatter/src/lib.rs:
+crates/backscatter/src/clocks.rs:
+crates/backscatter/src/dsb.rs:
+crates/backscatter/src/envelope.rs:
+crates/backscatter/src/impedance.rs:
+crates/backscatter/src/power.rs:
+crates/backscatter/src/ssb.rs:
+crates/backscatter/src/tag.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/interscatter_backscatter-c7f88533d084aee7.d: crates/backscatter/src/lib.rs crates/backscatter/src/clocks.rs crates/backscatter/src/dsb.rs crates/backscatter/src/envelope.rs crates/backscatter/src/impedance.rs crates/backscatter/src/power.rs crates/backscatter/src/ssb.rs crates/backscatter/src/tag.rs
+
+/root/repo/target/debug/deps/interscatter_backscatter-c7f88533d084aee7: crates/backscatter/src/lib.rs crates/backscatter/src/clocks.rs crates/backscatter/src/dsb.rs crates/backscatter/src/envelope.rs crates/backscatter/src/impedance.rs crates/backscatter/src/power.rs crates/backscatter/src/ssb.rs crates/backscatter/src/tag.rs
+
+crates/backscatter/src/lib.rs:
+crates/backscatter/src/clocks.rs:
+crates/backscatter/src/dsb.rs:
+crates/backscatter/src/envelope.rs:
+crates/backscatter/src/impedance.rs:
+crates/backscatter/src/power.rs:
+crates/backscatter/src/ssb.rs:
+crates/backscatter/src/tag.rs:

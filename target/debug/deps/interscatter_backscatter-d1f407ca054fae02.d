@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/interscatter_backscatter-d1f407ca054fae02.d: crates/backscatter/src/lib.rs crates/backscatter/src/clocks.rs crates/backscatter/src/dsb.rs crates/backscatter/src/envelope.rs crates/backscatter/src/impedance.rs crates/backscatter/src/power.rs crates/backscatter/src/ssb.rs crates/backscatter/src/tag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterscatter_backscatter-d1f407ca054fae02.rmeta: crates/backscatter/src/lib.rs crates/backscatter/src/clocks.rs crates/backscatter/src/dsb.rs crates/backscatter/src/envelope.rs crates/backscatter/src/impedance.rs crates/backscatter/src/power.rs crates/backscatter/src/ssb.rs crates/backscatter/src/tag.rs Cargo.toml
+
+crates/backscatter/src/lib.rs:
+crates/backscatter/src/clocks.rs:
+crates/backscatter/src/dsb.rs:
+crates/backscatter/src/envelope.rs:
+crates/backscatter/src/impedance.rs:
+crates/backscatter/src/power.rs:
+crates/backscatter/src/ssb.rs:
+crates/backscatter/src/tag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interscatter_bench-10437f2509396ab8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libinterscatter_bench-10437f2509396ab8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

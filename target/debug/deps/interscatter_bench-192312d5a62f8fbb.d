@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interscatter_bench-192312d5a62f8fbb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/interscatter_bench-192312d5a62f8fbb: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

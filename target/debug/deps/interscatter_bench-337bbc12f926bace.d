@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interscatter_bench-337bbc12f926bace.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/interscatter_bench-337bbc12f926bace: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interscatter_bench-60cc109cf75035f6.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterscatter_bench-60cc109cf75035f6.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

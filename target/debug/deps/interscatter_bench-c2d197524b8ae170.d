@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/interscatter_bench-c2d197524b8ae170.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libinterscatter_bench-c2d197524b8ae170.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libinterscatter_bench-c2d197524b8ae170.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

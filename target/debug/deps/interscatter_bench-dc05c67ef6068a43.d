@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interscatter_bench-dc05c67ef6068a43.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libinterscatter_bench-dc05c67ef6068a43.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

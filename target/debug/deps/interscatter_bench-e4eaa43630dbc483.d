@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interscatter_bench-e4eaa43630dbc483.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterscatter_bench-e4eaa43630dbc483.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/interscatter_ble-4698d3a9818bedb8.d: crates/ble/src/lib.rs crates/ble/src/channels.rs crates/ble/src/device.rs crates/ble/src/gfsk.rs crates/ble/src/packet.rs crates/ble/src/single_tone.rs crates/ble/src/timing.rs
+
+/root/repo/target/debug/deps/libinterscatter_ble-4698d3a9818bedb8.rlib: crates/ble/src/lib.rs crates/ble/src/channels.rs crates/ble/src/device.rs crates/ble/src/gfsk.rs crates/ble/src/packet.rs crates/ble/src/single_tone.rs crates/ble/src/timing.rs
+
+/root/repo/target/debug/deps/libinterscatter_ble-4698d3a9818bedb8.rmeta: crates/ble/src/lib.rs crates/ble/src/channels.rs crates/ble/src/device.rs crates/ble/src/gfsk.rs crates/ble/src/packet.rs crates/ble/src/single_tone.rs crates/ble/src/timing.rs
+
+crates/ble/src/lib.rs:
+crates/ble/src/channels.rs:
+crates/ble/src/device.rs:
+crates/ble/src/gfsk.rs:
+crates/ble/src/packet.rs:
+crates/ble/src/single_tone.rs:
+crates/ble/src/timing.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/interscatter_ble-80b3afc6a0822f75.d: crates/ble/src/lib.rs crates/ble/src/channels.rs crates/ble/src/device.rs crates/ble/src/gfsk.rs crates/ble/src/packet.rs crates/ble/src/single_tone.rs crates/ble/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterscatter_ble-80b3afc6a0822f75.rmeta: crates/ble/src/lib.rs crates/ble/src/channels.rs crates/ble/src/device.rs crates/ble/src/gfsk.rs crates/ble/src/packet.rs crates/ble/src/single_tone.rs crates/ble/src/timing.rs Cargo.toml
+
+crates/ble/src/lib.rs:
+crates/ble/src/channels.rs:
+crates/ble/src/device.rs:
+crates/ble/src/gfsk.rs:
+crates/ble/src/packet.rs:
+crates/ble/src/single_tone.rs:
+crates/ble/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/interscatter_ble-821fe8e54af80926.d: crates/ble/src/lib.rs crates/ble/src/channels.rs crates/ble/src/device.rs crates/ble/src/gfsk.rs crates/ble/src/packet.rs crates/ble/src/single_tone.rs crates/ble/src/timing.rs
+
+/root/repo/target/debug/deps/libinterscatter_ble-821fe8e54af80926.rmeta: crates/ble/src/lib.rs crates/ble/src/channels.rs crates/ble/src/device.rs crates/ble/src/gfsk.rs crates/ble/src/packet.rs crates/ble/src/single_tone.rs crates/ble/src/timing.rs
+
+crates/ble/src/lib.rs:
+crates/ble/src/channels.rs:
+crates/ble/src/device.rs:
+crates/ble/src/gfsk.rs:
+crates/ble/src/packet.rs:
+crates/ble/src/single_tone.rs:
+crates/ble/src/timing.rs:

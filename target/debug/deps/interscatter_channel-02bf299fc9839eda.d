@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/interscatter_channel-02bf299fc9839eda.d: crates/channel/src/lib.rs crates/channel/src/antenna.rs crates/channel/src/link.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/tissue.rs
+
+/root/repo/target/debug/deps/interscatter_channel-02bf299fc9839eda: crates/channel/src/lib.rs crates/channel/src/antenna.rs crates/channel/src/link.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/tissue.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/antenna.rs:
+crates/channel/src/link.rs:
+crates/channel/src/noise.rs:
+crates/channel/src/pathloss.rs:
+crates/channel/src/tissue.rs:

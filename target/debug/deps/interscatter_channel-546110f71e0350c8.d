@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/interscatter_channel-546110f71e0350c8.d: crates/channel/src/lib.rs crates/channel/src/antenna.rs crates/channel/src/link.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/tissue.rs
+
+/root/repo/target/debug/deps/libinterscatter_channel-546110f71e0350c8.rlib: crates/channel/src/lib.rs crates/channel/src/antenna.rs crates/channel/src/link.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/tissue.rs
+
+/root/repo/target/debug/deps/libinterscatter_channel-546110f71e0350c8.rmeta: crates/channel/src/lib.rs crates/channel/src/antenna.rs crates/channel/src/link.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/tissue.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/antenna.rs:
+crates/channel/src/link.rs:
+crates/channel/src/noise.rs:
+crates/channel/src/pathloss.rs:
+crates/channel/src/tissue.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/interscatter_channel-ad565a9b182afead.d: crates/channel/src/lib.rs crates/channel/src/antenna.rs crates/channel/src/link.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/tissue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterscatter_channel-ad565a9b182afead.rmeta: crates/channel/src/lib.rs crates/channel/src/antenna.rs crates/channel/src/link.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/tissue.rs Cargo.toml
+
+crates/channel/src/lib.rs:
+crates/channel/src/antenna.rs:
+crates/channel/src/link.rs:
+crates/channel/src/noise.rs:
+crates/channel/src/pathloss.rs:
+crates/channel/src/tissue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

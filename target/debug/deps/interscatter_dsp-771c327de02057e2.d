@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/interscatter_dsp-771c327de02057e2.d: crates/dsp/src/lib.rs crates/dsp/src/bits.rs crates/dsp/src/complex.rs crates/dsp/src/constellation.rs crates/dsp/src/correlate.rs crates/dsp/src/crc.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/gaussian.rs crates/dsp/src/iq.rs crates/dsp/src/lfsr.rs crates/dsp/src/spectrum.rs crates/dsp/src/units.rs crates/dsp/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterscatter_dsp-771c327de02057e2.rmeta: crates/dsp/src/lib.rs crates/dsp/src/bits.rs crates/dsp/src/complex.rs crates/dsp/src/constellation.rs crates/dsp/src/correlate.rs crates/dsp/src/crc.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/gaussian.rs crates/dsp/src/iq.rs crates/dsp/src/lfsr.rs crates/dsp/src/spectrum.rs crates/dsp/src/units.rs crates/dsp/src/window.rs Cargo.toml
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/bits.rs:
+crates/dsp/src/complex.rs:
+crates/dsp/src/constellation.rs:
+crates/dsp/src/correlate.rs:
+crates/dsp/src/crc.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/gaussian.rs:
+crates/dsp/src/iq.rs:
+crates/dsp/src/lfsr.rs:
+crates/dsp/src/spectrum.rs:
+crates/dsp/src/units.rs:
+crates/dsp/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/interscatter_dsp-b26a41b33605f985.d: crates/dsp/src/lib.rs crates/dsp/src/bits.rs crates/dsp/src/complex.rs crates/dsp/src/constellation.rs crates/dsp/src/correlate.rs crates/dsp/src/crc.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/gaussian.rs crates/dsp/src/iq.rs crates/dsp/src/lfsr.rs crates/dsp/src/spectrum.rs crates/dsp/src/units.rs crates/dsp/src/window.rs
+
+/root/repo/target/debug/deps/interscatter_dsp-b26a41b33605f985: crates/dsp/src/lib.rs crates/dsp/src/bits.rs crates/dsp/src/complex.rs crates/dsp/src/constellation.rs crates/dsp/src/correlate.rs crates/dsp/src/crc.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/gaussian.rs crates/dsp/src/iq.rs crates/dsp/src/lfsr.rs crates/dsp/src/spectrum.rs crates/dsp/src/units.rs crates/dsp/src/window.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/bits.rs:
+crates/dsp/src/complex.rs:
+crates/dsp/src/constellation.rs:
+crates/dsp/src/correlate.rs:
+crates/dsp/src/crc.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/gaussian.rs:
+crates/dsp/src/iq.rs:
+crates/dsp/src/lfsr.rs:
+crates/dsp/src/spectrum.rs:
+crates/dsp/src/units.rs:
+crates/dsp/src/window.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/interscatter_net-4f6e9ecfd0bd2d82.d: crates/net/src/lib.rs crates/net/src/engine.rs crates/net/src/entities.rs crates/net/src/event.rs crates/net/src/links.rs crates/net/src/medium.rs crates/net/src/metrics.rs crates/net/src/runner.rs crates/net/src/scenario.rs crates/net/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterscatter_net-4f6e9ecfd0bd2d82.rmeta: crates/net/src/lib.rs crates/net/src/engine.rs crates/net/src/entities.rs crates/net/src/event.rs crates/net/src/links.rs crates/net/src/medium.rs crates/net/src/metrics.rs crates/net/src/runner.rs crates/net/src/scenario.rs crates/net/src/time.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/engine.rs:
+crates/net/src/entities.rs:
+crates/net/src/event.rs:
+crates/net/src/links.rs:
+crates/net/src/medium.rs:
+crates/net/src/metrics.rs:
+crates/net/src/runner.rs:
+crates/net/src/scenario.rs:
+crates/net/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interscatter_net-8152397305c47959.d: crates/net/src/lib.rs
+
+/root/repo/target/debug/deps/interscatter_net-8152397305c47959: crates/net/src/lib.rs
+
+crates/net/src/lib.rs:

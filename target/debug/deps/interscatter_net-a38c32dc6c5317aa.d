@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/interscatter_net-a38c32dc6c5317aa.d: crates/net/src/lib.rs crates/net/src/engine.rs crates/net/src/entities.rs crates/net/src/event.rs crates/net/src/links.rs crates/net/src/medium.rs crates/net/src/metrics.rs crates/net/src/runner.rs crates/net/src/scenario.rs crates/net/src/time.rs
+
+/root/repo/target/debug/deps/libinterscatter_net-a38c32dc6c5317aa.rmeta: crates/net/src/lib.rs crates/net/src/engine.rs crates/net/src/entities.rs crates/net/src/event.rs crates/net/src/links.rs crates/net/src/medium.rs crates/net/src/metrics.rs crates/net/src/runner.rs crates/net/src/scenario.rs crates/net/src/time.rs
+
+crates/net/src/lib.rs:
+crates/net/src/engine.rs:
+crates/net/src/entities.rs:
+crates/net/src/event.rs:
+crates/net/src/links.rs:
+crates/net/src/medium.rs:
+crates/net/src/metrics.rs:
+crates/net/src/runner.rs:
+crates/net/src/scenario.rs:
+crates/net/src/time.rs:

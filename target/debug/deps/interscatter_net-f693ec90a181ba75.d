@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/interscatter_net-f693ec90a181ba75.d: crates/net/src/lib.rs crates/net/src/engine.rs crates/net/src/entities.rs crates/net/src/event.rs crates/net/src/links.rs crates/net/src/medium.rs crates/net/src/metrics.rs crates/net/src/runner.rs crates/net/src/scenario.rs crates/net/src/time.rs
+
+/root/repo/target/debug/deps/libinterscatter_net-f693ec90a181ba75.rlib: crates/net/src/lib.rs crates/net/src/engine.rs crates/net/src/entities.rs crates/net/src/event.rs crates/net/src/links.rs crates/net/src/medium.rs crates/net/src/metrics.rs crates/net/src/runner.rs crates/net/src/scenario.rs crates/net/src/time.rs
+
+/root/repo/target/debug/deps/libinterscatter_net-f693ec90a181ba75.rmeta: crates/net/src/lib.rs crates/net/src/engine.rs crates/net/src/entities.rs crates/net/src/event.rs crates/net/src/links.rs crates/net/src/medium.rs crates/net/src/metrics.rs crates/net/src/runner.rs crates/net/src/scenario.rs crates/net/src/time.rs
+
+crates/net/src/lib.rs:
+crates/net/src/engine.rs:
+crates/net/src/entities.rs:
+crates/net/src/event.rs:
+crates/net/src/links.rs:
+crates/net/src/medium.rs:
+crates/net/src/metrics.rs:
+crates/net/src/runner.rs:
+crates/net/src/scenario.rs:
+crates/net/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interscatter_repro-122c3961db872b89.d: src/lib.rs
+
+/root/repo/target/debug/deps/interscatter_repro-122c3961db872b89: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interscatter_repro-4a4ef24a3acf605a.d: src/lib.rs
+
+/root/repo/target/debug/deps/interscatter_repro-4a4ef24a3acf605a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/interscatter_repro-71f171a9fa3ffb2b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libinterscatter_repro-71f171a9fa3ffb2b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libinterscatter_repro-71f171a9fa3ffb2b.rmeta: src/lib.rs
+
+src/lib.rs:

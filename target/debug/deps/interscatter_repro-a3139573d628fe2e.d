@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interscatter_repro-a3139573d628fe2e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libinterscatter_repro-a3139573d628fe2e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interscatter_repro-a344d60a01af9098.d: src/lib.rs
+
+/root/repo/target/debug/deps/libinterscatter_repro-a344d60a01af9098.rmeta: src/lib.rs
+
+src/lib.rs:

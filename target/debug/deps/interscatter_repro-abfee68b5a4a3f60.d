@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/interscatter_repro-abfee68b5a4a3f60.d: src/lib.rs
+
+/root/repo/target/debug/deps/libinterscatter_repro-abfee68b5a4a3f60.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libinterscatter_repro-abfee68b5a4a3f60.rmeta: src/lib.rs
+
+src/lib.rs:

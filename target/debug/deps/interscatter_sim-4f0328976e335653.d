@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/interscatter_sim-4f0328976e335653.d: crates/sim/src/lib.rs crates/sim/src/applications.rs crates/sim/src/downlink.rs crates/sim/src/experiments/mod.rs crates/sim/src/experiments/ablations.rs crates/sim/src/experiments/fig06.rs crates/sim/src/experiments/fig09.rs crates/sim/src/experiments/fig10.rs crates/sim/src/experiments/fig11.rs crates/sim/src/experiments/fig12.rs crates/sim/src/experiments/fig13.rs crates/sim/src/experiments/fig14.rs crates/sim/src/experiments/fig15.rs crates/sim/src/experiments/fig16.rs crates/sim/src/experiments/fig17.rs crates/sim/src/experiments/packet_fit.rs crates/sim/src/experiments/power.rs crates/sim/src/experiments/scrambler_seed.rs crates/sim/src/mac.rs crates/sim/src/measurements.rs crates/sim/src/uplink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterscatter_sim-4f0328976e335653.rmeta: crates/sim/src/lib.rs crates/sim/src/applications.rs crates/sim/src/downlink.rs crates/sim/src/experiments/mod.rs crates/sim/src/experiments/ablations.rs crates/sim/src/experiments/fig06.rs crates/sim/src/experiments/fig09.rs crates/sim/src/experiments/fig10.rs crates/sim/src/experiments/fig11.rs crates/sim/src/experiments/fig12.rs crates/sim/src/experiments/fig13.rs crates/sim/src/experiments/fig14.rs crates/sim/src/experiments/fig15.rs crates/sim/src/experiments/fig16.rs crates/sim/src/experiments/fig17.rs crates/sim/src/experiments/packet_fit.rs crates/sim/src/experiments/power.rs crates/sim/src/experiments/scrambler_seed.rs crates/sim/src/mac.rs crates/sim/src/measurements.rs crates/sim/src/uplink.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/applications.rs:
+crates/sim/src/downlink.rs:
+crates/sim/src/experiments/mod.rs:
+crates/sim/src/experiments/ablations.rs:
+crates/sim/src/experiments/fig06.rs:
+crates/sim/src/experiments/fig09.rs:
+crates/sim/src/experiments/fig10.rs:
+crates/sim/src/experiments/fig11.rs:
+crates/sim/src/experiments/fig12.rs:
+crates/sim/src/experiments/fig13.rs:
+crates/sim/src/experiments/fig14.rs:
+crates/sim/src/experiments/fig15.rs:
+crates/sim/src/experiments/fig16.rs:
+crates/sim/src/experiments/fig17.rs:
+crates/sim/src/experiments/packet_fit.rs:
+crates/sim/src/experiments/power.rs:
+crates/sim/src/experiments/scrambler_seed.rs:
+crates/sim/src/mac.rs:
+crates/sim/src/measurements.rs:
+crates/sim/src/uplink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

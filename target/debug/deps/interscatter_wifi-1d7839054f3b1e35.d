@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/interscatter_wifi-1d7839054f3b1e35.d: crates/wifi/src/lib.rs crates/wifi/src/dot11b/mod.rs crates/wifi/src/dot11b/barker.rs crates/wifi/src/dot11b/cck.rs crates/wifi/src/dot11b/dpsk.rs crates/wifi/src/dot11b/plcp.rs crates/wifi/src/dot11b/rates.rs crates/wifi/src/dot11b/rx.rs crates/wifi/src/dot11b/scrambler.rs crates/wifi/src/dot11b/tx.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm/mod.rs crates/wifi/src/ofdm/am.rs crates/wifi/src/ofdm/convolutional.rs crates/wifi/src/ofdm/interleaver.rs crates/wifi/src/ofdm/ppdu.rs crates/wifi/src/ofdm/scrambler.rs crates/wifi/src/ofdm/symbol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterscatter_wifi-1d7839054f3b1e35.rmeta: crates/wifi/src/lib.rs crates/wifi/src/dot11b/mod.rs crates/wifi/src/dot11b/barker.rs crates/wifi/src/dot11b/cck.rs crates/wifi/src/dot11b/dpsk.rs crates/wifi/src/dot11b/plcp.rs crates/wifi/src/dot11b/rates.rs crates/wifi/src/dot11b/rx.rs crates/wifi/src/dot11b/scrambler.rs crates/wifi/src/dot11b/tx.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm/mod.rs crates/wifi/src/ofdm/am.rs crates/wifi/src/ofdm/convolutional.rs crates/wifi/src/ofdm/interleaver.rs crates/wifi/src/ofdm/ppdu.rs crates/wifi/src/ofdm/scrambler.rs crates/wifi/src/ofdm/symbol.rs Cargo.toml
+
+crates/wifi/src/lib.rs:
+crates/wifi/src/dot11b/mod.rs:
+crates/wifi/src/dot11b/barker.rs:
+crates/wifi/src/dot11b/cck.rs:
+crates/wifi/src/dot11b/dpsk.rs:
+crates/wifi/src/dot11b/plcp.rs:
+crates/wifi/src/dot11b/rates.rs:
+crates/wifi/src/dot11b/rx.rs:
+crates/wifi/src/dot11b/scrambler.rs:
+crates/wifi/src/dot11b/tx.rs:
+crates/wifi/src/mac.rs:
+crates/wifi/src/ofdm/mod.rs:
+crates/wifi/src/ofdm/am.rs:
+crates/wifi/src/ofdm/convolutional.rs:
+crates/wifi/src/ofdm/interleaver.rs:
+crates/wifi/src/ofdm/ppdu.rs:
+crates/wifi/src/ofdm/scrambler.rs:
+crates/wifi/src/ofdm/symbol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/interscatter_wifi-b871014ee91294fe.d: crates/wifi/src/lib.rs crates/wifi/src/dot11b/mod.rs crates/wifi/src/dot11b/barker.rs crates/wifi/src/dot11b/cck.rs crates/wifi/src/dot11b/dpsk.rs crates/wifi/src/dot11b/plcp.rs crates/wifi/src/dot11b/rates.rs crates/wifi/src/dot11b/rx.rs crates/wifi/src/dot11b/scrambler.rs crates/wifi/src/dot11b/tx.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm/mod.rs crates/wifi/src/ofdm/am.rs crates/wifi/src/ofdm/convolutional.rs crates/wifi/src/ofdm/interleaver.rs crates/wifi/src/ofdm/ppdu.rs crates/wifi/src/ofdm/scrambler.rs crates/wifi/src/ofdm/symbol.rs
+
+/root/repo/target/debug/deps/libinterscatter_wifi-b871014ee91294fe.rlib: crates/wifi/src/lib.rs crates/wifi/src/dot11b/mod.rs crates/wifi/src/dot11b/barker.rs crates/wifi/src/dot11b/cck.rs crates/wifi/src/dot11b/dpsk.rs crates/wifi/src/dot11b/plcp.rs crates/wifi/src/dot11b/rates.rs crates/wifi/src/dot11b/rx.rs crates/wifi/src/dot11b/scrambler.rs crates/wifi/src/dot11b/tx.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm/mod.rs crates/wifi/src/ofdm/am.rs crates/wifi/src/ofdm/convolutional.rs crates/wifi/src/ofdm/interleaver.rs crates/wifi/src/ofdm/ppdu.rs crates/wifi/src/ofdm/scrambler.rs crates/wifi/src/ofdm/symbol.rs
+
+/root/repo/target/debug/deps/libinterscatter_wifi-b871014ee91294fe.rmeta: crates/wifi/src/lib.rs crates/wifi/src/dot11b/mod.rs crates/wifi/src/dot11b/barker.rs crates/wifi/src/dot11b/cck.rs crates/wifi/src/dot11b/dpsk.rs crates/wifi/src/dot11b/plcp.rs crates/wifi/src/dot11b/rates.rs crates/wifi/src/dot11b/rx.rs crates/wifi/src/dot11b/scrambler.rs crates/wifi/src/dot11b/tx.rs crates/wifi/src/mac.rs crates/wifi/src/ofdm/mod.rs crates/wifi/src/ofdm/am.rs crates/wifi/src/ofdm/convolutional.rs crates/wifi/src/ofdm/interleaver.rs crates/wifi/src/ofdm/ppdu.rs crates/wifi/src/ofdm/scrambler.rs crates/wifi/src/ofdm/symbol.rs
+
+crates/wifi/src/lib.rs:
+crates/wifi/src/dot11b/mod.rs:
+crates/wifi/src/dot11b/barker.rs:
+crates/wifi/src/dot11b/cck.rs:
+crates/wifi/src/dot11b/dpsk.rs:
+crates/wifi/src/dot11b/plcp.rs:
+crates/wifi/src/dot11b/rates.rs:
+crates/wifi/src/dot11b/rx.rs:
+crates/wifi/src/dot11b/scrambler.rs:
+crates/wifi/src/dot11b/tx.rs:
+crates/wifi/src/mac.rs:
+crates/wifi/src/ofdm/mod.rs:
+crates/wifi/src/ofdm/am.rs:
+crates/wifi/src/ofdm/convolutional.rs:
+crates/wifi/src/ofdm/interleaver.rs:
+crates/wifi/src/ofdm/ppdu.rs:
+crates/wifi/src/ofdm/scrambler.rs:
+crates/wifi/src/ofdm/symbol.rs:

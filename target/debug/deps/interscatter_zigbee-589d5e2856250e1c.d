@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/interscatter_zigbee-589d5e2856250e1c.d: crates/zigbee/src/lib.rs crates/zigbee/src/chips.rs crates/zigbee/src/frame.rs crates/zigbee/src/oqpsk.rs crates/zigbee/src/phy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterscatter_zigbee-589d5e2856250e1c.rmeta: crates/zigbee/src/lib.rs crates/zigbee/src/chips.rs crates/zigbee/src/frame.rs crates/zigbee/src/oqpsk.rs crates/zigbee/src/phy.rs Cargo.toml
+
+crates/zigbee/src/lib.rs:
+crates/zigbee/src/chips.rs:
+crates/zigbee/src/frame.rs:
+crates/zigbee/src/oqpsk.rs:
+crates/zigbee/src/phy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

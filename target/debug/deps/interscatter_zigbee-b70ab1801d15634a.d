@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/interscatter_zigbee-b70ab1801d15634a.d: crates/zigbee/src/lib.rs crates/zigbee/src/chips.rs crates/zigbee/src/frame.rs crates/zigbee/src/oqpsk.rs crates/zigbee/src/phy.rs
+
+/root/repo/target/debug/deps/libinterscatter_zigbee-b70ab1801d15634a.rlib: crates/zigbee/src/lib.rs crates/zigbee/src/chips.rs crates/zigbee/src/frame.rs crates/zigbee/src/oqpsk.rs crates/zigbee/src/phy.rs
+
+/root/repo/target/debug/deps/libinterscatter_zigbee-b70ab1801d15634a.rmeta: crates/zigbee/src/lib.rs crates/zigbee/src/chips.rs crates/zigbee/src/frame.rs crates/zigbee/src/oqpsk.rs crates/zigbee/src/phy.rs
+
+crates/zigbee/src/lib.rs:
+crates/zigbee/src/chips.rs:
+crates/zigbee/src/frame.rs:
+crates/zigbee/src/oqpsk.rs:
+crates/zigbee/src/phy.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/interscatter_zigbee-e7712e16e9b3067c.d: crates/zigbee/src/lib.rs crates/zigbee/src/chips.rs crates/zigbee/src/frame.rs crates/zigbee/src/oqpsk.rs crates/zigbee/src/phy.rs
+
+/root/repo/target/debug/deps/libinterscatter_zigbee-e7712e16e9b3067c.rlib: crates/zigbee/src/lib.rs crates/zigbee/src/chips.rs crates/zigbee/src/frame.rs crates/zigbee/src/oqpsk.rs crates/zigbee/src/phy.rs
+
+/root/repo/target/debug/deps/libinterscatter_zigbee-e7712e16e9b3067c.rmeta: crates/zigbee/src/lib.rs crates/zigbee/src/chips.rs crates/zigbee/src/frame.rs crates/zigbee/src/oqpsk.rs crates/zigbee/src/phy.rs
+
+crates/zigbee/src/lib.rs:
+crates/zigbee/src/chips.rs:
+crates/zigbee/src/frame.rs:
+crates/zigbee/src/oqpsk.rs:
+crates/zigbee/src/phy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interscatter_zigbee-fde956583e48f020.d: crates/zigbee/src/lib.rs crates/zigbee/src/chips.rs crates/zigbee/src/frame.rs crates/zigbee/src/oqpsk.rs crates/zigbee/src/phy.rs
+
+/root/repo/target/debug/deps/libinterscatter_zigbee-fde956583e48f020.rmeta: crates/zigbee/src/lib.rs crates/zigbee/src/chips.rs crates/zigbee/src/frame.rs crates/zigbee/src/oqpsk.rs crates/zigbee/src/phy.rs
+
+crates/zigbee/src/lib.rs:
+crates/zigbee/src/chips.rs:
+crates/zigbee/src/frame.rs:
+crates/zigbee/src/oqpsk.rs:
+crates/zigbee/src/phy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/net_determinism-14762a545bf22a98.d: tests/net_determinism.rs
+
+/root/repo/target/debug/deps/net_determinism-14762a545bf22a98: tests/net_determinism.rs
+
+tests/net_determinism.rs:

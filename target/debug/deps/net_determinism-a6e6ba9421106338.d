@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/net_determinism-a6e6ba9421106338.d: tests/net_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnet_determinism-a6e6ba9421106338.rmeta: tests/net_determinism.rs Cargo.toml
+
+tests/net_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/net_determinism-ebcbd80c51749a70.d: tests/net_determinism.rs
+
+/root/repo/target/debug/deps/libnet_determinism-ebcbd80c51749a70.rmeta: tests/net_determinism.rs
+
+tests/net_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/net_engine-00b1c9ef91805d20.d: crates/bench/benches/net_engine.rs
+
+/root/repo/target/debug/deps/libnet_engine-00b1c9ef91805d20.rmeta: crates/bench/benches/net_engine.rs
+
+crates/bench/benches/net_engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/net_engine-7822fb297e08d07d.d: crates/bench/benches/net_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnet_engine-7822fb297e08d07d.rmeta: crates/bench/benches/net_engine.rs Cargo.toml
+
+crates/bench/benches/net_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phy_pipelines-1284bb40da6de0ec.d: crates/bench/benches/phy_pipelines.rs
+
+/root/repo/target/debug/deps/libphy_pipelines-1284bb40da6de0ec.rmeta: crates/bench/benches/phy_pipelines.rs
+
+crates/bench/benches/phy_pipelines.rs:

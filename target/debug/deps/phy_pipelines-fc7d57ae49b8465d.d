@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phy_pipelines-fc7d57ae49b8465d.d: crates/bench/benches/phy_pipelines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphy_pipelines-fc7d57ae49b8465d.rmeta: crates/bench/benches/phy_pipelines.rs Cargo.toml
+
+crates/bench/benches/phy_pipelines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-4e83fc99a7b02269.d: crates/net/tests/probe.rs
+
+/root/repo/target/debug/deps/probe-4e83fc99a7b02269: crates/net/tests/probe.rs
+
+crates/net/tests/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0ea5e9534687c3c2.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0ea5e9534687c3c2: tests/properties.rs
+
+tests/properties.rs:

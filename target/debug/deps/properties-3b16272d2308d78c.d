@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3b16272d2308d78c.d: tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-3b16272d2308d78c.rmeta: tests/properties.rs
+
+tests/properties.rs:

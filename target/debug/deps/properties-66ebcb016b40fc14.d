@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-66ebcb016b40fc14.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-66ebcb016b40fc14: tests/properties.rs
+
+tests/properties.rs:

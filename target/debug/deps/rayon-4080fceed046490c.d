@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-4080fceed046490c.d: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-4080fceed046490c.rmeta: crates/shims/rayon/src/lib.rs
+
+crates/shims/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/card_to_card-1c8d1005680fae54.d: examples/card_to_card.rs
+
+/root/repo/target/debug/examples/card_to_card-1c8d1005680fae54: examples/card_to_card.rs
+
+examples/card_to_card.rs:

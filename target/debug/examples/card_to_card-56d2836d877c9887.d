@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/card_to_card-56d2836d877c9887.d: examples/card_to_card.rs
+
+/root/repo/target/debug/examples/libcard_to_card-56d2836d877c9887.rmeta: examples/card_to_card.rs
+
+examples/card_to_card.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/card_to_card-94048c2a47f1326a.d: examples/card_to_card.rs
+
+/root/repo/target/debug/examples/card_to_card-94048c2a47f1326a: examples/card_to_card.rs
+
+examples/card_to_card.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/card_to_card-b918ea2a81d37920.d: examples/card_to_card.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcard_to_card-b918ea2a81d37920.rmeta: examples/card_to_card.rs Cargo.toml
+
+examples/card_to_card.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

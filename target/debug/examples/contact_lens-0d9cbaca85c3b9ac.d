@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/contact_lens-0d9cbaca85c3b9ac.d: examples/contact_lens.rs
+
+/root/repo/target/debug/examples/libcontact_lens-0d9cbaca85c3b9ac.rmeta: examples/contact_lens.rs
+
+examples/contact_lens.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/contact_lens-29d636d5291cdf4b.d: examples/contact_lens.rs
+
+/root/repo/target/debug/examples/contact_lens-29d636d5291cdf4b: examples/contact_lens.rs
+
+examples/contact_lens.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/contact_lens-489c844049cbc4ea.d: examples/contact_lens.rs
+
+/root/repo/target/debug/examples/contact_lens-489c844049cbc4ea: examples/contact_lens.rs
+
+examples/contact_lens.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/contact_lens-fe1ca44f579e02d9.d: examples/contact_lens.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcontact_lens-fe1ca44f579e02d9.rmeta: examples/contact_lens.rs Cargo.toml
+
+examples/contact_lens.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

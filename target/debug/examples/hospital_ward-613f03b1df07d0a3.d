@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hospital_ward-613f03b1df07d0a3.d: examples/hospital_ward.rs
+
+/root/repo/target/debug/examples/libhospital_ward-613f03b1df07d0a3.rmeta: examples/hospital_ward.rs
+
+examples/hospital_ward.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hospital_ward-68e1f465c6344dc7.d: examples/hospital_ward.rs
+
+/root/repo/target/debug/examples/hospital_ward-68e1f465c6344dc7: examples/hospital_ward.rs
+
+examples/hospital_ward.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hospital_ward-b3578e9dbbd7feca.d: examples/hospital_ward.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhospital_ward-b3578e9dbbd7feca.rmeta: examples/hospital_ward.rs Cargo.toml
+
+examples/hospital_ward.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

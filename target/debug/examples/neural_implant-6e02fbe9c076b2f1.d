@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/neural_implant-6e02fbe9c076b2f1.d: examples/neural_implant.rs Cargo.toml
+
+/root/repo/target/debug/examples/libneural_implant-6e02fbe9c076b2f1.rmeta: examples/neural_implant.rs Cargo.toml
+
+examples/neural_implant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

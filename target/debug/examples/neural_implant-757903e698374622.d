@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/neural_implant-757903e698374622.d: examples/neural_implant.rs
+
+/root/repo/target/debug/examples/neural_implant-757903e698374622: examples/neural_implant.rs
+
+examples/neural_implant.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/neural_implant-842c5c219e3977b4.d: examples/neural_implant.rs
+
+/root/repo/target/debug/examples/neural_implant-842c5c219e3977b4: examples/neural_implant.rs
+
+examples/neural_implant.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/neural_implant-eb64ed0eea2e0973.d: examples/neural_implant.rs
+
+/root/repo/target/debug/examples/libneural_implant-eb64ed0eea2e0973.rmeta: examples/neural_implant.rs
+
+examples/neural_implant.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-04db68768062c0ce.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-04db68768062c0ce.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6f197671b0a7f4b1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6f197671b0a7f4b1: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-da9eac0323568ea6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-da9eac0323568ea6: examples/quickstart.rs
+
+examples/quickstart.rs:

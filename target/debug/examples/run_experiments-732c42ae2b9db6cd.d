@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/run_experiments-732c42ae2b9db6cd.d: examples/run_experiments.rs
+
+/root/repo/target/debug/examples/run_experiments-732c42ae2b9db6cd: examples/run_experiments.rs
+
+examples/run_experiments.rs:

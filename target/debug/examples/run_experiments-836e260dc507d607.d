@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/run_experiments-836e260dc507d607.d: examples/run_experiments.rs
+
+/root/repo/target/debug/examples/librun_experiments-836e260dc507d607.rmeta: examples/run_experiments.rs
+
+examples/run_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/run_experiments-9af11fa844d341fe.d: examples/run_experiments.rs
+
+/root/repo/target/debug/examples/run_experiments-9af11fa844d341fe: examples/run_experiments.rs
+
+examples/run_experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/run_experiments-e7bb3e8030ba6fa1.d: examples/run_experiments.rs Cargo.toml
+
+/root/repo/target/debug/examples/librun_experiments-e7bb3e8030ba6fa1.rmeta: examples/run_experiments.rs Cargo.toml
+
+examples/run_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spectrum_ssb-1eb6aa340b40458c.d: examples/spectrum_ssb.rs
+
+/root/repo/target/debug/examples/spectrum_ssb-1eb6aa340b40458c: examples/spectrum_ssb.rs
+
+examples/spectrum_ssb.rs:

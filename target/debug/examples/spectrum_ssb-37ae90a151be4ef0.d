@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spectrum_ssb-37ae90a151be4ef0.d: examples/spectrum_ssb.rs
+
+/root/repo/target/debug/examples/spectrum_ssb-37ae90a151be4ef0: examples/spectrum_ssb.rs
+
+examples/spectrum_ssb.rs:

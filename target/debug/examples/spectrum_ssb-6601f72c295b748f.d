@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spectrum_ssb-6601f72c295b748f.d: examples/spectrum_ssb.rs
+
+/root/repo/target/debug/examples/libspectrum_ssb-6601f72c295b748f.rmeta: examples/spectrum_ssb.rs
+
+examples/spectrum_ssb.rs:

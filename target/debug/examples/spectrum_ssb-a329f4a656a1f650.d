@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spectrum_ssb-a329f4a656a1f650.d: examples/spectrum_ssb.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspectrum_ssb-a329f4a656a1f650.rmeta: examples/spectrum_ssb.rs Cargo.toml
+
+examples/spectrum_ssb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/zigbee_sensor-001c1f6dc8e23a7d.d: examples/zigbee_sensor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libzigbee_sensor-001c1f6dc8e23a7d.rmeta: examples/zigbee_sensor.rs Cargo.toml
+
+examples/zigbee_sensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

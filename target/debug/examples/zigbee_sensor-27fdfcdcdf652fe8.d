@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zigbee_sensor-27fdfcdcdf652fe8.d: examples/zigbee_sensor.rs
+
+/root/repo/target/debug/examples/libzigbee_sensor-27fdfcdcdf652fe8.rmeta: examples/zigbee_sensor.rs
+
+examples/zigbee_sensor.rs:

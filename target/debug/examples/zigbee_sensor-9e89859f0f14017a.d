@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zigbee_sensor-9e89859f0f14017a.d: examples/zigbee_sensor.rs
+
+/root/repo/target/debug/examples/zigbee_sensor-9e89859f0f14017a: examples/zigbee_sensor.rs
+
+examples/zigbee_sensor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zigbee_sensor-d1448046468aae61.d: examples/zigbee_sensor.rs
+
+/root/repo/target/debug/examples/zigbee_sensor-d1448046468aae61: examples/zigbee_sensor.rs
+
+examples/zigbee_sensor.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libinterscatter_bench.rlib: /root/repo/crates/bench/src/lib.rs

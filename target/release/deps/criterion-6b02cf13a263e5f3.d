@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-6b02cf13a263e5f3.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-6b02cf13a263e5f3.rlib: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-6b02cf13a263e5f3.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/interscatter-3668b66677382f77.d: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+/root/repo/target/release/deps/libinterscatter-3668b66677382f77.rlib: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+/root/repo/target/release/deps/libinterscatter-3668b66677382f77.rmeta: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+crates/core/src/lib.rs:
+crates/core/src/prelude.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/interscatter-bc4a1b3311d0c0de.d: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+/root/repo/target/release/deps/libinterscatter-bc4a1b3311d0c0de.rlib: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+/root/repo/target/release/deps/libinterscatter-bc4a1b3311d0c0de.rmeta: crates/core/src/lib.rs crates/core/src/prelude.rs
+
+crates/core/src/lib.rs:
+crates/core/src/prelude.rs:

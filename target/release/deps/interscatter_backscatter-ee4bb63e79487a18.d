@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/interscatter_backscatter-ee4bb63e79487a18.d: crates/backscatter/src/lib.rs crates/backscatter/src/clocks.rs crates/backscatter/src/dsb.rs crates/backscatter/src/envelope.rs crates/backscatter/src/impedance.rs crates/backscatter/src/power.rs crates/backscatter/src/ssb.rs crates/backscatter/src/tag.rs
+
+/root/repo/target/release/deps/libinterscatter_backscatter-ee4bb63e79487a18.rlib: crates/backscatter/src/lib.rs crates/backscatter/src/clocks.rs crates/backscatter/src/dsb.rs crates/backscatter/src/envelope.rs crates/backscatter/src/impedance.rs crates/backscatter/src/power.rs crates/backscatter/src/ssb.rs crates/backscatter/src/tag.rs
+
+/root/repo/target/release/deps/libinterscatter_backscatter-ee4bb63e79487a18.rmeta: crates/backscatter/src/lib.rs crates/backscatter/src/clocks.rs crates/backscatter/src/dsb.rs crates/backscatter/src/envelope.rs crates/backscatter/src/impedance.rs crates/backscatter/src/power.rs crates/backscatter/src/ssb.rs crates/backscatter/src/tag.rs
+
+crates/backscatter/src/lib.rs:
+crates/backscatter/src/clocks.rs:
+crates/backscatter/src/dsb.rs:
+crates/backscatter/src/envelope.rs:
+crates/backscatter/src/impedance.rs:
+crates/backscatter/src/power.rs:
+crates/backscatter/src/ssb.rs:
+crates/backscatter/src/tag.rs:

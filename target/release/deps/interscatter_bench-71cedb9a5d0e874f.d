@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/interscatter_bench-71cedb9a5d0e874f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libinterscatter_bench-71cedb9a5d0e874f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libinterscatter_bench-71cedb9a5d0e874f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/interscatter_ble-8a6c3c70847accd6.d: crates/ble/src/lib.rs crates/ble/src/channels.rs crates/ble/src/device.rs crates/ble/src/gfsk.rs crates/ble/src/packet.rs crates/ble/src/single_tone.rs crates/ble/src/timing.rs
+
+/root/repo/target/release/deps/libinterscatter_ble-8a6c3c70847accd6.rlib: crates/ble/src/lib.rs crates/ble/src/channels.rs crates/ble/src/device.rs crates/ble/src/gfsk.rs crates/ble/src/packet.rs crates/ble/src/single_tone.rs crates/ble/src/timing.rs
+
+/root/repo/target/release/deps/libinterscatter_ble-8a6c3c70847accd6.rmeta: crates/ble/src/lib.rs crates/ble/src/channels.rs crates/ble/src/device.rs crates/ble/src/gfsk.rs crates/ble/src/packet.rs crates/ble/src/single_tone.rs crates/ble/src/timing.rs
+
+crates/ble/src/lib.rs:
+crates/ble/src/channels.rs:
+crates/ble/src/device.rs:
+crates/ble/src/gfsk.rs:
+crates/ble/src/packet.rs:
+crates/ble/src/single_tone.rs:
+crates/ble/src/timing.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/interscatter_channel-3655acd67b169ca0.d: crates/channel/src/lib.rs crates/channel/src/antenna.rs crates/channel/src/link.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/tissue.rs
+
+/root/repo/target/release/deps/libinterscatter_channel-3655acd67b169ca0.rlib: crates/channel/src/lib.rs crates/channel/src/antenna.rs crates/channel/src/link.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/tissue.rs
+
+/root/repo/target/release/deps/libinterscatter_channel-3655acd67b169ca0.rmeta: crates/channel/src/lib.rs crates/channel/src/antenna.rs crates/channel/src/link.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/tissue.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/antenna.rs:
+crates/channel/src/link.rs:
+crates/channel/src/noise.rs:
+crates/channel/src/pathloss.rs:
+crates/channel/src/tissue.rs:

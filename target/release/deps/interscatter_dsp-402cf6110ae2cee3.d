@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/interscatter_dsp-402cf6110ae2cee3.d: crates/dsp/src/lib.rs crates/dsp/src/bits.rs crates/dsp/src/complex.rs crates/dsp/src/constellation.rs crates/dsp/src/correlate.rs crates/dsp/src/crc.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/gaussian.rs crates/dsp/src/iq.rs crates/dsp/src/lfsr.rs crates/dsp/src/spectrum.rs crates/dsp/src/units.rs crates/dsp/src/window.rs
+
+/root/repo/target/release/deps/libinterscatter_dsp-402cf6110ae2cee3.rlib: crates/dsp/src/lib.rs crates/dsp/src/bits.rs crates/dsp/src/complex.rs crates/dsp/src/constellation.rs crates/dsp/src/correlate.rs crates/dsp/src/crc.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/gaussian.rs crates/dsp/src/iq.rs crates/dsp/src/lfsr.rs crates/dsp/src/spectrum.rs crates/dsp/src/units.rs crates/dsp/src/window.rs
+
+/root/repo/target/release/deps/libinterscatter_dsp-402cf6110ae2cee3.rmeta: crates/dsp/src/lib.rs crates/dsp/src/bits.rs crates/dsp/src/complex.rs crates/dsp/src/constellation.rs crates/dsp/src/correlate.rs crates/dsp/src/crc.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/gaussian.rs crates/dsp/src/iq.rs crates/dsp/src/lfsr.rs crates/dsp/src/spectrum.rs crates/dsp/src/units.rs crates/dsp/src/window.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/bits.rs:
+crates/dsp/src/complex.rs:
+crates/dsp/src/constellation.rs:
+crates/dsp/src/correlate.rs:
+crates/dsp/src/crc.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/gaussian.rs:
+crates/dsp/src/iq.rs:
+crates/dsp/src/lfsr.rs:
+crates/dsp/src/spectrum.rs:
+crates/dsp/src/units.rs:
+crates/dsp/src/window.rs:

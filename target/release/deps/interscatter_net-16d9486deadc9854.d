@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/interscatter_net-16d9486deadc9854.d: crates/net/src/lib.rs crates/net/src/engine.rs crates/net/src/entities.rs crates/net/src/event.rs crates/net/src/links.rs crates/net/src/medium.rs crates/net/src/metrics.rs crates/net/src/runner.rs crates/net/src/scenario.rs crates/net/src/time.rs
+
+/root/repo/target/release/deps/libinterscatter_net-16d9486deadc9854.rlib: crates/net/src/lib.rs crates/net/src/engine.rs crates/net/src/entities.rs crates/net/src/event.rs crates/net/src/links.rs crates/net/src/medium.rs crates/net/src/metrics.rs crates/net/src/runner.rs crates/net/src/scenario.rs crates/net/src/time.rs
+
+/root/repo/target/release/deps/libinterscatter_net-16d9486deadc9854.rmeta: crates/net/src/lib.rs crates/net/src/engine.rs crates/net/src/entities.rs crates/net/src/event.rs crates/net/src/links.rs crates/net/src/medium.rs crates/net/src/metrics.rs crates/net/src/runner.rs crates/net/src/scenario.rs crates/net/src/time.rs
+
+crates/net/src/lib.rs:
+crates/net/src/engine.rs:
+crates/net/src/entities.rs:
+crates/net/src/event.rs:
+crates/net/src/links.rs:
+crates/net/src/medium.rs:
+crates/net/src/metrics.rs:
+crates/net/src/runner.rs:
+crates/net/src/scenario.rs:
+crates/net/src/time.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/interscatter_net-cb982b0c772d5ffe.d: crates/net/src/lib.rs
+
+/root/repo/target/release/deps/libinterscatter_net-cb982b0c772d5ffe.rlib: crates/net/src/lib.rs
+
+/root/repo/target/release/deps/libinterscatter_net-cb982b0c772d5ffe.rmeta: crates/net/src/lib.rs
+
+crates/net/src/lib.rs:

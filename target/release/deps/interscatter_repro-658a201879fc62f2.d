@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/interscatter_repro-658a201879fc62f2.d: src/lib.rs
+
+/root/repo/target/release/deps/libinterscatter_repro-658a201879fc62f2.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libinterscatter_repro-658a201879fc62f2.rmeta: src/lib.rs
+
+src/lib.rs:

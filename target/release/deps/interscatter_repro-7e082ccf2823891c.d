@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/interscatter_repro-7e082ccf2823891c.d: src/lib.rs
+
+/root/repo/target/release/deps/libinterscatter_repro-7e082ccf2823891c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libinterscatter_repro-7e082ccf2823891c.rmeta: src/lib.rs
+
+src/lib.rs:

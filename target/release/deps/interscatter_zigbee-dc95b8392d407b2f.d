@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/interscatter_zigbee-dc95b8392d407b2f.d: crates/zigbee/src/lib.rs crates/zigbee/src/chips.rs crates/zigbee/src/frame.rs crates/zigbee/src/oqpsk.rs crates/zigbee/src/phy.rs
+
+/root/repo/target/release/deps/libinterscatter_zigbee-dc95b8392d407b2f.rlib: crates/zigbee/src/lib.rs crates/zigbee/src/chips.rs crates/zigbee/src/frame.rs crates/zigbee/src/oqpsk.rs crates/zigbee/src/phy.rs
+
+/root/repo/target/release/deps/libinterscatter_zigbee-dc95b8392d407b2f.rmeta: crates/zigbee/src/lib.rs crates/zigbee/src/chips.rs crates/zigbee/src/frame.rs crates/zigbee/src/oqpsk.rs crates/zigbee/src/phy.rs
+
+crates/zigbee/src/lib.rs:
+crates/zigbee/src/chips.rs:
+crates/zigbee/src/frame.rs:
+crates/zigbee/src/oqpsk.rs:
+crates/zigbee/src/phy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/net_engine-ce47f9bbe4c25a7e.d: crates/bench/benches/net_engine.rs
+
+/root/repo/target/release/deps/net_engine-ce47f9bbe4c25a7e: crates/bench/benches/net_engine.rs
+
+crates/bench/benches/net_engine.rs:

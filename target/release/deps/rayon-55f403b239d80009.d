@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-55f403b239d80009.d: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-55f403b239d80009.rlib: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-55f403b239d80009.rmeta: crates/shims/rayon/src/lib.rs
+
+crates/shims/rayon/src/lib.rs:

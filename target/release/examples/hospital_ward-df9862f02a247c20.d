@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hospital_ward-df9862f02a247c20.d: examples/hospital_ward.rs
+
+/root/repo/target/release/examples/hospital_ward-df9862f02a247c20: examples/hospital_ward.rs
+
+examples/hospital_ward.rs:

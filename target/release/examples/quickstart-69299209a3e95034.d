@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-69299209a3e95034.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-69299209a3e95034: examples/quickstart.rs
+
+examples/quickstart.rs:

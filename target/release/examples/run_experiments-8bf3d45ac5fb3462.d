@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/run_experiments-8bf3d45ac5fb3462.d: examples/run_experiments.rs
+
+/root/repo/target/release/examples/run_experiments-8bf3d45ac5fb3462: examples/run_experiments.rs
+
+examples/run_experiments.rs:

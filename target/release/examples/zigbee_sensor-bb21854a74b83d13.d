@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/zigbee_sensor-bb21854a74b83d13.d: examples/zigbee_sensor.rs
+
+/root/repo/target/release/examples/zigbee_sensor-bb21854a74b83d13: examples/zigbee_sensor.rs
+
+examples/zigbee_sensor.rs:
