@@ -1,0 +1,71 @@
+//! Throughput of the closed-loop poll/ack MAC vs. fleet size: how many
+//! complete poll → backscatter → ack transactions per second the engine
+//! sustains with 1, 10 and 100 tags, and what the downlink leg costs over
+//! the open-loop schedule. This anchors the closed loop's performance
+//! trajectory the way `net_engine` anchors the uplink-only engine's.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use interscatter_net::engine::NetworkSim;
+use interscatter_net::scenario::Scenario;
+
+/// A 1-second closed-loop ward sized to `n` tags, traces off.
+fn ward(n: usize) -> Scenario {
+    let mut scenario = Scenario::hospital_ward(n).closed_loop();
+    scenario.duration_s = 1.0;
+    scenario
+}
+
+fn bench_transaction_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_downlink");
+    group.sample_size(20);
+    for n in [1usize, 10, 100] {
+        let scenario = ward(n);
+        // Annotate with the completed-transaction count of the measured
+        // run so criterion reports transactions per wall-clock second.
+        let transactions = NetworkSim::new(&scenario, 42)
+            .with_trace(false)
+            .run()
+            .unwrap()
+            .metrics
+            .completed_transactions();
+        group.throughput(Throughput::Elements(transactions.max(1) as u64));
+        group.bench_function(format!("ward_{n}_tags"), |b| {
+            b.iter(|| {
+                NetworkSim::new(&scenario, 42)
+                    .with_trace(false)
+                    .run()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_loop_overhead(c: &mut Criterion) {
+    // The closed loop trades three on-air frames per delivery for
+    // feedback; this pair quantifies the simulation cost of that choice.
+    let mut group = c.benchmark_group("net_mac_mode");
+    group.sample_size(20);
+    let mut open = Scenario::hospital_ward(20);
+    open.duration_s = 1.0;
+    group.bench_function("open_loop_ward_20", |b| {
+        b.iter(|| NetworkSim::new(&open, 42).with_trace(false).run().unwrap())
+    });
+    let closed = ward(20);
+    group.bench_function("closed_loop_ward_20", |b| {
+        b.iter(|| {
+            NetworkSim::new(&closed, 42)
+                .with_trace(false)
+                .run()
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = downlink;
+    config = Criterion::default().sample_size(20);
+    targets = bench_transaction_scaling, bench_loop_overhead
+}
+criterion_main!(downlink);

@@ -21,6 +21,7 @@ pub use crate::channel::link::BackscatterLink;
 pub use crate::channel::pathloss::LogDistanceModel;
 pub use crate::dsp::Cplx;
 pub use crate::net::engine::{NetRunResult, NetworkSim};
+pub use crate::net::mac::{MacLoop, MacMode};
 pub use crate::net::runner::{MonteCarlo, MonteCarloReport};
 pub use crate::net::scenario::Scenario;
 pub use crate::sim::downlink::DownlinkScenario;

@@ -168,6 +168,9 @@ pub struct CarrierSource {
     pub slot_interval_s: f64,
     /// Usable single-tone window per activation, seconds.
     pub slot_window_s: f64,
+    /// Minimum RSSI the carrier's conventional radio can decode, dBm —
+    /// what a closed-loop ack frame from the sink must clear.
+    pub ack_sensitivity_dbm: f64,
 }
 
 impl CarrierSource {
@@ -180,6 +183,7 @@ impl CarrierSource {
             ble_channel: BleChannel::ADV_38,
             slot_interval_s,
             slot_window_s: interscatter_ble::timing::MAX_PAYLOAD_DURATION_S,
+            ack_sensitivity_dbm: -85.0,
         }
     }
 
@@ -255,6 +259,10 @@ pub struct SinkReceiver {
     /// Fraction of airtime its channel is occupied by *other* (external)
     /// Wi-Fi traffic the engine does not model packet-by-packet, in [0, 1].
     pub external_occupancy: f64,
+    /// Transmit power of the sink's AM-OFDM downlink (closed-loop acks),
+    /// dBm. APs transmit at the §4.4 bench's 15 dBm; hubs and card hosts
+    /// are weaker.
+    pub downlink_tx_power_dbm: f64,
 }
 
 impl SinkReceiver {
@@ -265,6 +273,7 @@ impl SinkReceiver {
             kind: SinkKind::Wifi { channel },
             sensitivity_dbm: -88.0,
             external_occupancy: 0.0,
+            downlink_tx_power_dbm: 15.0,
         }
     }
 
@@ -276,6 +285,7 @@ impl SinkReceiver {
             kind: SinkKind::Zigbee { channel },
             sensitivity_dbm: -94.0,
             external_occupancy: 0.0,
+            downlink_tx_power_dbm: 10.0,
         }
     }
 
@@ -287,6 +297,7 @@ impl SinkReceiver {
             kind: SinkKind::Envelope,
             sensitivity_dbm: -58.0,
             external_occupancy: 0.0,
+            downlink_tx_power_dbm: 4.0,
         }
     }
 

@@ -9,6 +9,15 @@ use crate::time::Time;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// Which leg of a closed-loop transaction an AM downlink frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DownlinkKind {
+    /// The carrier's poll, decoded by the tag's envelope detector.
+    Poll,
+    /// The sink's ack, decoded by the carrier's radio.
+    Ack,
+}
+
 /// What happens when an event fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
@@ -29,6 +38,20 @@ pub enum EventKind {
         /// Identifier of the in-flight transmission in the medium.
         tx_id: u64,
         /// When the transmission went on the air.
+        started: Time,
+    },
+    /// An AM-OFDM downlink frame of a closed-loop transaction completes:
+    /// a carrier's poll or a sink's ack (see
+    /// [`crate::mac`] for the transaction structure). Fires at the frame's
+    /// end, when the addressed listener decides whether it decoded.
+    DownlinkEmission {
+        /// Poll or ack.
+        kind: DownlinkKind,
+        /// The tag whose transaction the frame belongs to.
+        tag: usize,
+        /// Identifier of the in-flight frame in the medium.
+        tx_id: u64,
+        /// When the frame went on the air.
         started: Time,
     },
     /// End of the simulated horizon; processing stops here.

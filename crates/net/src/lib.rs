@@ -50,6 +50,12 @@
 //!   ([`links::LinkMatrix`], built from `interscatter-channel`'s pathloss,
 //!   tissue and noise models) draws per-packet shadowing, and the outcome
 //!   lands in [`metrics::NetworkMetrics`].
+//! * `DownlinkEmission` — in closed-loop scenarios
+//!   ([`mac::MacMode::ClosedLoop`]), an AM-OFDM poll or ack frame
+//!   completes and the addressed listener (the tag's envelope detector,
+//!   or the carrier's radio) decides whether it decoded. The [`mac`]
+//!   module documents the poll → backscatter response → ack transaction
+//!   and the physics that assigns each leg its transmitter.
 //!
 //! Every entity owns a `SmallRng` seeded from the scenario seed and its
 //! entity id, so identical seeds reproduce byte-identical event traces and
@@ -79,6 +85,7 @@ pub mod engine;
 pub mod entities;
 pub mod event;
 pub mod links;
+pub mod mac;
 pub mod medium;
 pub mod metrics;
 pub mod runner;
@@ -124,6 +131,7 @@ impl From<interscatter_sim::SimError> for NetError {
 pub mod prelude {
     pub use crate::engine::{NetRunResult, NetworkSim};
     pub use crate::entities::{CarrierSource, NetPhy, SinkReceiver, TagNode, TagProfile};
+    pub use crate::mac::{MacLoop, MacMode};
     pub use crate::metrics::NetworkMetrics;
     pub use crate::runner::{MonteCarlo, MonteCarloReport};
     pub use crate::scenario::Scenario;

@@ -12,25 +12,48 @@
 //! The matrix also precomputes every tag's signal strength at every *other*
 //! receiver: that is what turns an overlapping transmission into a
 //! measurable interferer during collision arbitration (capture effect).
+//!
+//! For closed-loop scenarios ([`crate::mac::MacMode::ClosedLoop`]) the
+//! matrix additionally holds the **downlink** budgets of the poll/ack MAC:
+//!
+//! * a *poll* budget per tag — the carrier's AM-OFDM frame, one
+//!   conventional forward hop into the tag's passive envelope detector
+//!   (−32 dBm sensitivity, §4.4 / Fig. 13, the regime `sim::downlink`
+//!   reproduces at the waveform level), and
+//! * an *ack* budget per tag — the sink device's AM-OFDM frame decoded by
+//!   the carrier's conventional radio (the §2.3.3 helper device, which
+//!   relays the outcome to its tag over the short illumination-range hop),
+//!
+//! plus the median power of **every** emitter kind (tag, carrier, sink) at
+//! every listener kind (receiver, tag, carrier), so downlink collisions are
+//! arbitrated with the same capture rule as the uplink.
 
 use crate::entities::TagProfile;
+use crate::mac::MacMode;
+use crate::medium::Emitter;
 use crate::scenario::Scenario;
 use crate::NetError;
+use interscatter_backscatter::envelope::EnvelopeDetector;
 use interscatter_backscatter::tag::SidebandMode;
+use interscatter_channel::antenna::Antenna;
 use interscatter_channel::link::{BackscatterLink, ConversionLoss};
+use interscatter_channel::noise::NoiseModel;
 use interscatter_channel::pathloss::{gaussian, LogDistanceModel};
+use interscatter_wifi::ofdm::OFDM_SAMPLE_RATE;
 use rand::Rng;
 
-/// The budget of one tag's uplink to its destination receiver.
+/// The budget of one point-to-point reception: a tag's uplink to its
+/// destination receiver, a poll into a tag's envelope detector, or an ack
+/// into a carrier's radio.
 #[derive(Debug, Clone, Copy)]
 pub struct LinkBudget {
-    /// Median RSSI at the destination receiver, dBm.
+    /// Median RSSI at the destination, dBm.
     pub median_rssi_dbm: f64,
-    /// Combined lognormal shadowing standard deviation of both hops, dB.
+    /// Combined lognormal shadowing standard deviation of the path, dB.
     pub shadow_sigma_db: f64,
-    /// The destination receiver's sensitivity, dBm.
+    /// The destination's sensitivity, dBm.
     pub sensitivity_dbm: f64,
-    /// The destination receiver's noise floor, dBm.
+    /// The destination's noise floor, dBm.
     pub noise_floor_dbm: f64,
 }
 
@@ -53,14 +76,95 @@ impl LinkBudget {
     }
 }
 
-/// Precomputed budgets for every tag, and every tag's interference power
-/// at every receiver.
+/// Where a signal is being received during collision arbitration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Listener {
+    /// A sink receiver decoding a tag's uplink packet.
+    Receiver(usize),
+    /// A tag's envelope detector decoding a poll.
+    Tag(usize),
+    /// A carrier's radio decoding an ack.
+    Carrier(usize),
+}
+
+/// The closed-loop extension: downlink budgets plus the full emitter ×
+/// listener power tables (only built for `MacMode::ClosedLoop` scenarios —
+/// open-loop runs never arbitrate at tags or carriers).
+#[derive(Debug, Clone)]
+struct ClosedLoopTables {
+    /// Per tag: carrier poll → the tag's envelope detector.
+    poll_budgets: Vec<LinkBudget>,
+    /// Per tag: sink ack → the tag's carrier radio.
+    ack_budgets: Vec<LinkBudget>,
+    /// `tag_at_tag[u][t]`: tag `u`'s emission at tag `t`'s detector, dBm.
+    tag_at_tag: Vec<Vec<f64>>,
+    /// `tag_at_carrier[u][c]`: tag `u`'s emission at carrier `c`, dBm.
+    tag_at_carrier: Vec<Vec<f64>>,
+    /// `carrier_at[c][..]`: carrier `c`'s poll at every listener, dBm.
+    carrier_at_rx: Vec<Vec<f64>>,
+    carrier_at_tag: Vec<Vec<f64>>,
+    carrier_at_carrier: Vec<Vec<f64>>,
+    /// `sink_at[s][..]`: sink `s`'s ack at every listener, dBm.
+    sink_at_rx: Vec<Vec<f64>>,
+    sink_at_tag: Vec<Vec<f64>>,
+    sink_at_carrier: Vec<Vec<f64>>,
+}
+
+/// Precomputed budgets for every tag, and every emitter's interference
+/// power at every listener.
 #[derive(Debug, Clone)]
 pub struct LinkMatrix {
     budgets: Vec<LinkBudget>,
     /// `interference_dbm[tag][rx]`: median power of `tag`'s emission at
     /// receiver `rx`, dBm.
     interference_dbm: Vec<Vec<f64>>,
+    closed_loop: Option<ClosedLoopTables>,
+}
+
+/// The two-hop backscatter model of tag `t`'s uplink.
+fn uplink_model(scenario: &Scenario, t: usize) -> BackscatterLink {
+    let tag = &scenario.tags[t];
+    let carrier = &scenario.carriers[tag.carrier];
+    let carrier_freq = carrier.carrier_freq_hz();
+    let emission_freq = tag.phy.center_freq_hz(carrier_freq);
+    let conversion = match (tag.profile, tag.sideband) {
+        // Card-to-card OOK is energy detection of both sidebands.
+        (TagProfile::Card, _) => ConversionLoss::double_sideband(),
+        (_, SidebandMode::Single) => ConversionLoss::single_sideband(),
+        (_, SidebandMode::Double) => ConversionLoss::double_sideband(),
+    };
+    BackscatterLink {
+        tx_power_dbm: carrier.tx_power_dbm,
+        tx_antenna: Antenna::monopole_2dbi(),
+        tag_antenna: tag.profile.antenna(),
+        rx_antenna: Antenna::monopole_2dbi(),
+        source_to_tag: LogDistanceModel::indoor_los(carrier_freq),
+        tag_to_rx: LogDistanceModel::indoor_los(emission_freq),
+        tissue_source_to_tag: tag.profile.tissue(),
+        tissue_tag_to_rx: tag.profile.tissue(),
+        conversion,
+    }
+}
+
+/// Median power of a conventional one-hop transmission (2 dBi transmit
+/// antenna) at a listener with the given receive package, dBm.
+fn one_hop_dbm(
+    tx_power_dbm: f64,
+    freq_hz: f64,
+    distance_m: f64,
+    rx_gain_dbi: f64,
+    rx_tissue_db: f64,
+) -> f64 {
+    tx_power_dbm + 2.0 + rx_gain_dbi
+        - LogDistanceModel::indoor_los(freq_hz).path_loss_db(distance_m)
+        - rx_tissue_db
+}
+
+/// The frequency sink `s` transmits its AM downlink on: its own listening
+/// band. Envelope-detector sinks (card peers) sit on the carrier tone; the
+/// card scenario has a single carrier, so its tone stands in for them.
+fn sink_freq_hz(scenario: &Scenario, s: usize) -> f64 {
+    scenario.receivers[s].center_freq_hz(scenario.carriers[0].carrier_freq_hz())
 }
 
 impl LinkMatrix {
@@ -68,27 +172,9 @@ impl LinkMatrix {
     pub fn build(scenario: &Scenario) -> Result<LinkMatrix, NetError> {
         let mut budgets = Vec::with_capacity(scenario.tags.len());
         let mut interference_dbm = Vec::with_capacity(scenario.tags.len());
-        for tag in &scenario.tags {
+        for (t, tag) in scenario.tags.iter().enumerate() {
             let carrier = &scenario.carriers[tag.carrier];
-            let carrier_freq = carrier.carrier_freq_hz();
-            let emission_freq = tag.phy.center_freq_hz(carrier_freq);
-            let conversion = match (tag.profile, tag.sideband) {
-                // Card-to-card OOK is energy detection of both sidebands.
-                (TagProfile::Card, _) => ConversionLoss::double_sideband(),
-                (_, SidebandMode::Single) => ConversionLoss::single_sideband(),
-                (_, SidebandMode::Double) => ConversionLoss::double_sideband(),
-            };
-            let link = BackscatterLink {
-                tx_power_dbm: carrier.tx_power_dbm,
-                tx_antenna: interscatter_channel::antenna::Antenna::monopole_2dbi(),
-                tag_antenna: tag.profile.antenna(),
-                rx_antenna: interscatter_channel::antenna::Antenna::monopole_2dbi(),
-                source_to_tag: LogDistanceModel::indoor_los(carrier_freq),
-                tag_to_rx: LogDistanceModel::indoor_los(emission_freq),
-                tissue_source_to_tag: tag.profile.tissue(),
-                tissue_tag_to_rx: tag.profile.tissue(),
-                conversion,
-            };
+            let link = uplink_model(scenario, t);
             link.validate()?;
             let d_carrier_tag = carrier.position.distance_m(&tag.position);
             let noise = tag.phy.noise_model();
@@ -110,10 +196,165 @@ impl LinkMatrix {
             });
             interference_dbm.push(row);
         }
+        let closed_loop = match scenario.mac {
+            MacMode::OpenLoop => None,
+            MacMode::ClosedLoop => Some(Self::build_closed_loop(scenario)),
+        };
         Ok(LinkMatrix {
             budgets,
             interference_dbm,
+            closed_loop,
         })
+    }
+
+    /// Builds the downlink budgets and the emitter × listener power tables.
+    fn build_closed_loop(scenario: &Scenario) -> ClosedLoopTables {
+        let detector_sensitivity = EnvelopeDetector::new(OFDM_SAMPLE_RATE).sensitivity_dbm;
+        let envelope_noise = NoiseModel::envelope_detector().noise_floor_dbm();
+        let radio_noise = NoiseModel::wifi_dsss().noise_floor_dbm();
+        // Per-tag receive package: the antenna the envelope detector hangs
+        // off, plus the tissue covering it (one forward hop).
+        let tag_rx = |t: usize, freq_hz: f64| -> (f64, f64) {
+            let profile = scenario.tags[t].profile;
+            (
+                profile.antenna().effective_gain_dbi(),
+                profile.tissue().attenuation_db(freq_hz),
+            )
+        };
+
+        let mut poll_budgets = Vec::with_capacity(scenario.tags.len());
+        let mut ack_budgets = Vec::with_capacity(scenario.tags.len());
+        for (t, tag) in scenario.tags.iter().enumerate() {
+            let carrier = &scenario.carriers[tag.carrier];
+            let sink = &scenario.receivers[tag.receiver];
+            let freq = sink_freq_hz(scenario, tag.receiver);
+            let sigma = LogDistanceModel::indoor_los(freq).shadowing_sigma_db;
+            let (gain, tissue) = tag_rx(t, freq);
+            poll_budgets.push(LinkBudget {
+                median_rssi_dbm: one_hop_dbm(
+                    carrier.tx_power_dbm,
+                    freq,
+                    carrier.position.distance_m(&tag.position),
+                    gain,
+                    tissue,
+                ),
+                shadow_sigma_db: sigma,
+                sensitivity_dbm: detector_sensitivity,
+                noise_floor_dbm: envelope_noise,
+            });
+            ack_budgets.push(LinkBudget {
+                median_rssi_dbm: one_hop_dbm(
+                    sink.downlink_tx_power_dbm,
+                    freq,
+                    sink.position.distance_m(&carrier.position),
+                    2.0,
+                    0.0,
+                ),
+                shadow_sigma_db: sigma,
+                sensitivity_dbm: carrier.ack_sensitivity_dbm,
+                noise_floor_dbm: radio_noise,
+            });
+        }
+
+        // Tag emissions at tags and carriers: the two-hop backscatter model
+        // with the victim's receive package swapped in for the built-in
+        // 2 dBi monopole.
+        let mut tag_at_tag = Vec::with_capacity(scenario.tags.len());
+        let mut tag_at_carrier = Vec::with_capacity(scenario.tags.len());
+        for (u, tag) in scenario.tags.iter().enumerate() {
+            let link = uplink_model(scenario, u);
+            let d1 = scenario.carriers[tag.carrier]
+                .position
+                .distance_m(&tag.position);
+            let freq = link.tag_to_rx.freq_hz;
+            tag_at_tag.push(
+                (0..scenario.tags.len())
+                    .map(|t| {
+                        let d2 = tag.position.distance_m(&scenario.tags[t].position);
+                        let (gain, tissue) = tag_rx(t, freq);
+                        link.received_power_dbm(d1, d2) - 2.0 + gain - tissue
+                    })
+                    .collect(),
+            );
+            tag_at_carrier.push(
+                scenario
+                    .carriers
+                    .iter()
+                    .map(|c| link.received_power_dbm(d1, tag.position.distance_m(&c.position)))
+                    .collect(),
+            );
+        }
+
+        // Poll and ack frames are conventional one-hop emissions; the tone
+        // (respectively sink) frequency stands in for the per-poll channel,
+        // an error well under a dB across the 2.4 GHz band.
+        let one_hop_rows = |tx_power: f64, freq: f64, from: crate::entities::Position| {
+            let at_rx: Vec<f64> = scenario
+                .receivers
+                .iter()
+                .map(|r| one_hop_dbm(tx_power, freq, from.distance_m(&r.position), 2.0, 0.0))
+                .collect();
+            let at_tag: Vec<f64> = (0..scenario.tags.len())
+                .map(|t| {
+                    let (gain, tissue) = tag_rx(t, freq);
+                    one_hop_dbm(
+                        tx_power,
+                        freq,
+                        from.distance_m(&scenario.tags[t].position),
+                        gain,
+                        tissue,
+                    )
+                })
+                .collect();
+            let at_carrier: Vec<f64> = scenario
+                .carriers
+                .iter()
+                .map(|c| one_hop_dbm(tx_power, freq, from.distance_m(&c.position), 2.0, 0.0))
+                .collect();
+            (at_rx, at_tag, at_carrier)
+        };
+
+        let mut carrier_at_rx = Vec::new();
+        let mut carrier_at_tag = Vec::new();
+        let mut carrier_at_carrier = Vec::new();
+        for c in &scenario.carriers {
+            let (rx, tag, carrier) = one_hop_rows(c.tx_power_dbm, c.carrier_freq_hz(), c.position);
+            carrier_at_rx.push(rx);
+            carrier_at_tag.push(tag);
+            carrier_at_carrier.push(carrier);
+        }
+        let mut sink_at_rx = Vec::new();
+        let mut sink_at_tag = Vec::new();
+        let mut sink_at_carrier = Vec::new();
+        for (s, sink) in scenario.receivers.iter().enumerate() {
+            let (rx, tag, carrier) = one_hop_rows(
+                sink.downlink_tx_power_dbm,
+                sink_freq_hz(scenario, s),
+                sink.position,
+            );
+            sink_at_rx.push(rx);
+            sink_at_tag.push(tag);
+            sink_at_carrier.push(carrier);
+        }
+
+        ClosedLoopTables {
+            poll_budgets,
+            ack_budgets,
+            tag_at_tag,
+            tag_at_carrier,
+            carrier_at_rx,
+            carrier_at_tag,
+            carrier_at_carrier,
+            sink_at_rx,
+            sink_at_tag,
+            sink_at_carrier,
+        }
+    }
+
+    fn closed(&self) -> &ClosedLoopTables {
+        self.closed_loop
+            .as_ref()
+            .expect("closed-loop tables are only built for MacMode::ClosedLoop scenarios")
     }
 
     /// The budget of `tag`'s uplink.
@@ -121,9 +362,38 @@ impl LinkMatrix {
         &self.budgets[tag]
     }
 
+    /// The budget of the poll downlink into `tag`'s envelope detector
+    /// (closed-loop scenarios only).
+    pub fn poll_budget(&self, tag: usize) -> &LinkBudget {
+        &self.closed().poll_budgets[tag]
+    }
+
+    /// The budget of the ack downlink from `tag`'s sink into its carrier's
+    /// radio (closed-loop scenarios only).
+    pub fn ack_budget(&self, tag: usize) -> &LinkBudget {
+        &self.closed().ack_budgets[tag]
+    }
+
     /// Median power of `tag`'s emission at receiver `rx`, dBm.
     pub fn interference_dbm(&self, tag: usize, rx: usize) -> f64 {
         self.interference_dbm[tag][rx]
+    }
+
+    /// Median power of emitter `from`'s signal at listener `at`, dBm. Used
+    /// for capture arbitration; every pairing except tag → receiver needs
+    /// the closed-loop tables.
+    pub fn power_dbm(&self, from: Emitter, at: Listener) -> f64 {
+        match (from, at) {
+            (Emitter::Tag(u), Listener::Receiver(r)) => self.interference_dbm[u][r],
+            (Emitter::Tag(u), Listener::Tag(t)) => self.closed().tag_at_tag[u][t],
+            (Emitter::Tag(u), Listener::Carrier(c)) => self.closed().tag_at_carrier[u][c],
+            (Emitter::Carrier(p), Listener::Receiver(r)) => self.closed().carrier_at_rx[p][r],
+            (Emitter::Carrier(p), Listener::Tag(t)) => self.closed().carrier_at_tag[p][t],
+            (Emitter::Carrier(p), Listener::Carrier(c)) => self.closed().carrier_at_carrier[p][c],
+            (Emitter::Sink(s), Listener::Receiver(r)) => self.closed().sink_at_rx[s][r],
+            (Emitter::Sink(s), Listener::Tag(t)) => self.closed().sink_at_tag[s][t],
+            (Emitter::Sink(s), Listener::Carrier(c)) => self.closed().sink_at_carrier[s][c],
+        }
     }
 
     /// Number of tags covered.
@@ -188,5 +458,65 @@ mod tests {
         let weak_ok = (0..200).filter(|_| weak.packet_outcome(&mut rng).0).count();
         assert_eq!(strong_ok, 200);
         assert!(weak_ok < 20, "weak link delivered {weak_ok}/200");
+    }
+
+    #[test]
+    fn closed_loop_budgets_close_the_loop() {
+        // The §2.3.3 geometry must make the loop viable: the bedside
+        // carrier's poll reaches the implant's −32 dBm envelope detector,
+        // and the AP's ack reaches the carrier's conventional radio — while
+        // the AP's own AM frame is *below* the detector sensitivity at ward
+        // distance, which is exactly why the carrier does the polling.
+        let scenario = Scenario::hospital_ward(12).closed_loop();
+        let matrix = LinkMatrix::build(&scenario).unwrap();
+        for t in 0..scenario.tags.len() {
+            let poll = matrix.poll_budget(t);
+            assert!(
+                poll.margin_db() > 3.0,
+                "tag {t}: poll margin {:.1} dB",
+                poll.margin_db()
+            );
+            let ack = matrix.ack_budget(t);
+            assert!(
+                ack.margin_db() > 10.0,
+                "tag {t}: ack margin {:.1} dB",
+                ack.margin_db()
+            );
+            // An AP cannot poll the implant directly across the ward.
+            let ap_at_tag =
+                matrix.power_dbm(Emitter::Sink(scenario.tags[t].receiver), Listener::Tag(t));
+            assert!(
+                ap_at_tag < poll.sensitivity_dbm,
+                "tag {t}: AP downlink {ap_at_tag:.1} dBm would reach the detector"
+            );
+        }
+    }
+
+    #[test]
+    fn power_tables_cover_every_emitter_listener_pair() {
+        let scenario = Scenario::contact_lens_fleet(6).closed_loop();
+        let matrix = LinkMatrix::build(&scenario).unwrap();
+        for from in [Emitter::Tag(1), Emitter::Carrier(0), Emitter::Sink(0)] {
+            for at in [
+                Listener::Receiver(0),
+                Listener::Tag(2),
+                Listener::Carrier(1),
+            ] {
+                let p = matrix.power_dbm(from, at);
+                assert!(p.is_finite() && p < 25.0, "{from:?} at {at:?}: {p} dBm");
+            }
+        }
+        // A carrier is loudest at its own tags.
+        let near = matrix.power_dbm(Emitter::Carrier(0), Listener::Tag(0));
+        let far = matrix.power_dbm(Emitter::Carrier(2), Listener::Tag(0));
+        assert!(near > far, "near {near} dBm vs far {far} dBm");
+    }
+
+    #[test]
+    #[should_panic(expected = "closed-loop tables")]
+    fn open_loop_matrices_have_no_downlink_tables() {
+        let scenario = Scenario::hospital_ward(4);
+        let matrix = LinkMatrix::build(&scenario).unwrap();
+        let _ = matrix.poll_budget(0);
     }
 }

@@ -4,10 +4,13 @@
 //! The medium tracks every in-flight emission as one or two frequency
 //! bands: the synthesized packet itself, and — for double-sideband tags —
 //! the *mirror copy* at `2·f_carrier − f_packet` (§2.3.1: the unwanted
-//! sideband single-sideband backscatter exists to eliminate). Two emissions
-//! interfere when any of their bands overlap in frequency while both are on
-//! the air; the engine then applies a capture margin at the victim's
-//! receiver to decide who survives.
+//! sideband single-sideband backscatter exists to eliminate). Since the
+//! closed-loop MAC landed, not only tags emit: carriers transmit AM-OFDM
+//! *poll* frames and sink devices transmit AM-OFDM *ack* frames
+//! ([`Emitter`] names who owns an emission). Two emissions interfere when
+//! any of their bands overlap in frequency while both are on the air; the
+//! engine then applies a capture margin at the victim's receiver to decide
+//! who survives.
 //!
 //! CSMA and the §2.3.3 CTS-to-Self optimisation are modelled here too: a
 //! carrier checks [`Medium::busy`] before granting a slot (carrier-sense),
@@ -40,16 +43,27 @@ impl Band {
     }
 }
 
-/// One in-flight tag transmission.
+/// Who put an emission on the air.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Emitter {
+    /// A backscatter tag's synthesized uplink packet.
+    Tag(usize),
+    /// A carrier device's AM-OFDM downlink poll frame.
+    Carrier(usize),
+    /// A sink device's AM-OFDM downlink ack frame.
+    Sink(usize),
+}
+
+/// One in-flight transmission.
 #[derive(Debug, Clone)]
 struct Emission {
     tx_id: u64,
-    tag: usize,
+    who: Emitter,
     primary: Band,
     mirror: Option<Band>,
     end: Time,
-    /// Tags whose emissions overlapped this one while it was on the air.
-    interferers: Vec<usize>,
+    /// Emissions that overlapped this one while it was on the air.
+    interferers: Vec<Interferer>,
 }
 
 impl Emission {
@@ -60,6 +74,14 @@ impl Emission {
     fn overlaps(&self, other: &Emission) -> bool {
         self.bands().any(|a| other.bands().any(|b| a.overlaps(b)))
     }
+
+    fn as_interferer(&self) -> Interferer {
+        Interferer {
+            who: self.who,
+            primary: self.primary,
+            mirror: self.mirror,
+        }
+    }
 }
 
 /// A CTS-to-Self reservation keeping other tags off a band.
@@ -69,12 +91,32 @@ struct Reservation {
     end: Time,
 }
 
+/// One emission that overlapped a finished transmission, with the bands it
+/// occupied — enough for the engine to decide whether the interference
+/// actually landed in a victim's listening band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interferer {
+    /// Who the interfering emission belonged to.
+    pub who: Emitter,
+    /// The interferer's primary band.
+    pub primary: Band,
+    /// The interferer's double-sideband mirror copy, if it had one.
+    pub mirror: Option<Band>,
+}
+
+impl Interferer {
+    /// True when any of the interferer's bands lands in `band`.
+    pub fn lands_in(&self, band: &Band) -> bool {
+        self.primary.overlaps(band) || self.mirror.as_ref().is_some_and(|m| m.overlaps(band))
+    }
+}
+
 /// What the medium observed about a finished transmission.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TxReport {
-    /// Tags whose emissions overlapped this one (dedup'd, in first-overlap
-    /// order).
-    pub interferers: Vec<usize>,
+    /// Emissions that overlapped this one (dedup'd by owner, in
+    /// first-overlap order).
+    pub interferers: Vec<Interferer>,
 }
 
 /// The shared-medium arbiter.
@@ -120,7 +162,7 @@ impl Medium {
     /// sides.
     pub fn start(
         &mut self,
-        tag: usize,
+        who: Emitter,
         primary: Band,
         mirror: Option<Band>,
         now: Time,
@@ -131,7 +173,7 @@ impl Medium {
         self.next_tx_id += 1;
         let mut emission = Emission {
             tx_id,
-            tag,
+            who,
             primary,
             mirror,
             end,
@@ -139,11 +181,11 @@ impl Medium {
         };
         for other in self.active.iter_mut().filter(|e| e.end > now) {
             if other.overlaps(&emission) {
-                if !emission.interferers.contains(&other.tag) {
-                    emission.interferers.push(other.tag);
+                if !emission.interferers.iter().any(|i| i.who == other.who) {
+                    emission.interferers.push(other.as_interferer());
                 }
-                if !other.interferers.contains(&tag) {
-                    other.interferers.push(tag);
+                if !other.interferers.iter().any(|i| i.who == who) {
+                    other.interferers.push(emission.as_interferer());
                 }
             }
         }
@@ -180,6 +222,10 @@ mod tests {
         Band::new(center, 22e6)
     }
 
+    fn who(report: &TxReport) -> Vec<Emitter> {
+        report.interferers.iter().map(|i| i.who).collect()
+    }
+
     #[test]
     fn band_overlap_geometry() {
         // Adjacent Wi-Fi channels (25 MHz apart, 22 MHz wide) do not
@@ -193,19 +239,25 @@ mod tests {
     #[test]
     fn overlapping_transmissions_interfere_both_ways() {
         let mut medium = Medium::new();
-        let a = medium.start(0, wifi(CH11), None, Time(0), Time(200_000));
-        let b = medium.start(1, wifi(CH11), None, Time(50_000), Time(250_000));
+        let a = medium.start(Emitter::Tag(0), wifi(CH11), None, Time(0), Time(200_000));
+        let b = medium.start(
+            Emitter::Tag(1),
+            wifi(CH11),
+            None,
+            Time(50_000),
+            Time(250_000),
+        );
         assert_eq!(medium.on_air(), 2);
-        assert_eq!(medium.finish(a).interferers, vec![1]);
-        assert_eq!(medium.finish(b).interferers, vec![0]);
+        assert_eq!(who(&medium.finish(a)), vec![Emitter::Tag(1)]);
+        assert_eq!(who(&medium.finish(b)), vec![Emitter::Tag(0)]);
         assert_eq!(medium.on_air(), 0);
     }
 
     #[test]
     fn disjoint_channels_do_not_interfere() {
         let mut medium = Medium::new();
-        let a = medium.start(0, wifi(CH11), None, Time(0), Time(200_000));
-        let b = medium.start(1, wifi(CH6), None, Time(0), Time(200_000));
+        let a = medium.start(Emitter::Tag(0), wifi(CH11), None, Time(0), Time(200_000));
+        let b = medium.start(Emitter::Tag(1), wifi(CH6), None, Time(0), Time(200_000));
         assert!(medium.finish(a).interferers.is_empty());
         assert!(medium.finish(b).interferers.is_empty());
     }
@@ -216,22 +268,62 @@ mod tests {
         // DSB tag: primary on ch 1 (2.412 GHz), mirror at 2.440 GHz
         // (carrier 2.426 GHz), which lands inside channel 6.
         let dsb = medium.start(
-            0,
+            Emitter::Tag(0),
             wifi(2.412e9),
             Some(wifi(2.440e9)),
             Time(0),
             Time(200_000),
         );
-        let victim = medium.start(1, wifi(CH6), None, Time(0), Time(200_000));
-        assert_eq!(medium.finish(victim).interferers, vec![0]);
-        assert_eq!(medium.finish(dsb).interferers, vec![1]);
+        let victim = medium.start(Emitter::Tag(1), wifi(CH6), None, Time(0), Time(200_000));
+        let victim_report = medium.finish(victim);
+        assert_eq!(who(&victim_report), vec![Emitter::Tag(0)]);
+        // The victim can tell the hit came from the mirror copy, not the
+        // interferer's primary band.
+        let hit = &victim_report.interferers[0];
+        assert!(!hit.primary.overlaps(&wifi(CH6)));
+        assert!(hit.lands_in(&wifi(CH6)));
+        assert_eq!(who(&medium.finish(dsb)), vec![Emitter::Tag(1)]);
+    }
+
+    #[test]
+    fn downlink_emitters_are_distinguished_from_tags() {
+        let mut medium = Medium::new();
+        // A carrier's poll and a sink's ack collide with a tag's packet on
+        // the same channel; the reports identify each emitter kind.
+        let poll = medium.start(Emitter::Carrier(2), wifi(CH6), None, Time(0), Time(150_000));
+        let data = medium.start(
+            Emitter::Tag(7),
+            wifi(CH6),
+            None,
+            Time(10_000),
+            Time(230_000),
+        );
+        let ack = medium.start(
+            Emitter::Sink(1),
+            wifi(CH6),
+            None,
+            Time(20_000),
+            Time(100_000),
+        );
+        assert_eq!(
+            who(&medium.finish(poll)),
+            vec![Emitter::Tag(7), Emitter::Sink(1)]
+        );
+        assert_eq!(
+            who(&medium.finish(data)),
+            vec![Emitter::Carrier(2), Emitter::Sink(1)]
+        );
+        assert_eq!(
+            who(&medium.finish(ack)),
+            vec![Emitter::Carrier(2), Emitter::Tag(7)]
+        );
     }
 
     #[test]
     fn csma_sees_emissions_and_reservations() {
         let mut medium = Medium::new();
         assert!(!medium.busy(wifi(CH11), Time(0)));
-        medium.start(0, wifi(CH11), None, Time(0), Time(100_000));
+        medium.start(Emitter::Tag(0), wifi(CH11), None, Time(0), Time(100_000));
         assert!(medium.busy(wifi(CH11), Time(50_000)));
         assert!(!medium.busy(wifi(CH6), Time(50_000)));
         // After the emission ends it no longer blocks the band (even while

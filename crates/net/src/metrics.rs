@@ -26,6 +26,32 @@ pub struct TagStats {
     pub csma_defers: usize,
     /// Application bits delivered.
     pub delivered_bits: usize,
+    /// Closed loop: poll frames addressed to this tag.
+    pub polls: usize,
+    /// Closed loop: polls the tag's envelope detector failed to decode
+    /// (collision, external traffic or the downlink link budget).
+    pub poll_losses: usize,
+    /// Closed loop: polls decoded whose backscattered response was lost —
+    /// the sink waited out the response window for nothing.
+    pub timeouts: usize,
+    /// Closed loop: responses the sink decoded whose ack the carrier failed
+    /// to decode, forcing a retransmission of delivered data.
+    pub ack_losses: usize,
+    /// Closed loop: completed poll → response → ack transactions.
+    pub transactions: usize,
+    /// Closed loop: summed poll-start → ack-decode spans of completed
+    /// transactions, nanoseconds (kept integral so metrics stay `Eq`).
+    pub transaction_ns: u64,
+}
+
+impl TagStats {
+    /// Mean completed-transaction span, milliseconds.
+    pub fn mean_transaction_ms(&self) -> f64 {
+        if self.transactions == 0 {
+            return 0.0;
+        }
+        self.transaction_ns as f64 / self.transactions as f64 / 1e6
+    }
 }
 
 /// Aggregated results of one simulation run.
@@ -37,6 +63,9 @@ pub struct NetworkMetrics {
     pub tags: Vec<TagStats>,
     /// Delivery latency samples, milliseconds (arrival → delivery).
     pub latency_ms: Cdf,
+    /// Closed loop: completed-transaction spans (poll start → ack decode),
+    /// milliseconds.
+    pub transaction_latency_ms: Cdf,
     /// Per-receiver airtime punctured by double-sideband mirror copies,
     /// seconds — the coexistence cost the §2.3.1 single-sideband design
     /// removes (cf. Fig. 12).
@@ -51,6 +80,7 @@ impl NetworkMetrics {
             duration_s,
             tags: vec![TagStats::default(); n_tags],
             latency_ms: Cdf::new(),
+            transaction_latency_ms: Cdf::new(),
             mirror_airtime_s: vec![0.0; n_receivers],
         }
     }
@@ -97,6 +127,34 @@ impl NetworkMetrics {
         self.delivered_packets() as f64 / offered as f64
     }
 
+    /// Closed loop: total poll frames sent.
+    pub fn polls(&self) -> usize {
+        self.tags.iter().map(|t| t.polls).sum()
+    }
+
+    /// Closed loop: total completed transactions.
+    pub fn completed_transactions(&self) -> usize {
+        self.tags.iter().map(|t| t.transactions).sum()
+    }
+
+    /// Closed loop: completed transactions per poll sent — how often a poll
+    /// turns into an acked delivery (1.0 when nothing sent yet).
+    pub fn transaction_completion_rate(&self) -> f64 {
+        let polls = self.polls();
+        if polls == 0 {
+            return 1.0;
+        }
+        self.completed_transactions() as f64 / polls as f64
+    }
+
+    /// Closed loop: completed transactions per simulated second.
+    pub fn transactions_per_sec(&self) -> f64 {
+        if self.duration_s <= 0.0 {
+            return 0.0;
+        }
+        self.completed_transactions() as f64 / self.duration_s
+    }
+
     /// Jain's fairness index over per-tag delivered bits: 1 when every tag
     /// got the same throughput, → 1/n when one tag starved the rest.
     pub fn jain_fairness(&self) -> f64 {
@@ -141,6 +199,26 @@ impl NetworkMetrics {
         out.push_str(&format!(
             "losses: {collided} tag-tag, {external} external, {link} link; {defers} CSMA defers\n"
         ));
+        if self.polls() > 0 {
+            let poll_losses: usize = self.tags.iter().map(|t| t.poll_losses).sum();
+            let timeouts: usize = self.tags.iter().map(|t| t.timeouts).sum();
+            let ack_losses: usize = self.tags.iter().map(|t| t.ack_losses).sum();
+            out.push_str(&format!(
+                "closed loop: {} polls, {poll_losses} poll losses, {timeouts} timeouts, \
+                 {ack_losses} ack losses, {} transactions (completion {:.3})\n",
+                self.polls(),
+                self.completed_transactions(),
+                self.transaction_completion_rate(),
+            ));
+            if let (Some(p50), Some(p95)) = (
+                self.transaction_latency_ms.median(),
+                self.transaction_latency_ms.quantile(0.95),
+            ) {
+                out.push_str(&format!(
+                    "transaction span p50 {p50:.3} ms  p95 {p95:.3} ms\n"
+                ));
+            }
+        }
         for (rx, _) in self
             .mirror_airtime_s
             .iter()
@@ -232,5 +310,36 @@ mod tests {
         assert_eq!(empty.delivery_ratio(), 1.0);
         assert_eq!(empty.throughput_bps(), 0.0);
         assert_eq!(empty.jain_fairness(), 1.0);
+    }
+
+    #[test]
+    fn closed_loop_counters_aggregate() {
+        let mut m = NetworkMetrics::new(2, 1, 10.0);
+        m.tags[0] = TagStats {
+            polls: 10,
+            poll_losses: 2,
+            timeouts: 1,
+            ack_losses: 1,
+            transactions: 6,
+            transaction_ns: 6 * 600_000,
+            ..Default::default()
+        };
+        m.tags[1] = TagStats {
+            polls: 6,
+            transactions: 6,
+            transaction_ns: 6 * 500_000,
+            ..Default::default()
+        };
+        assert_eq!(m.polls(), 16);
+        assert_eq!(m.completed_transactions(), 12);
+        assert!((m.transaction_completion_rate() - 12.0 / 16.0).abs() < 1e-12);
+        assert!((m.transactions_per_sec() - 1.2).abs() < 1e-12);
+        assert!((m.tags[0].mean_transaction_ms() - 0.6).abs() < 1e-12);
+        assert_eq!(TagStats::default().mean_transaction_ms(), 0.0);
+        let report = m.report();
+        assert!(report.contains("closed loop: 16 polls"));
+        assert!(report.contains("12 transactions"));
+        // Open-loop metrics stay silent about the closed loop.
+        assert!(!NetworkMetrics::new(1, 1, 1.0).report().contains("closed"));
     }
 }

@@ -9,6 +9,7 @@
 //! the tag), while the receiver can be across the room.
 
 use crate::entities::{CarrierSource, NetPhy, Position, SinkReceiver, TagNode, TagProfile};
+use crate::mac::MacMode;
 use crate::NetError;
 use interscatter_backscatter::tag::SidebandMode;
 use interscatter_wifi::dot11b::DsssRate;
@@ -31,6 +32,9 @@ pub struct Scenario {
     pub cts_to_self: bool,
     /// Per-tag queue capacity; arrivals beyond this are dropped.
     pub max_queue: usize,
+    /// Open-loop slot granting or the closed poll/ack loop
+    /// ([`crate::mac`]).
+    pub mac: MacMode,
 }
 
 impl Scenario {
@@ -167,6 +171,7 @@ impl Scenario {
             receivers,
             cts_to_self: true,
             max_queue: 64,
+            mac: MacMode::OpenLoop,
         }
     }
 
@@ -212,6 +217,7 @@ impl Scenario {
             receivers,
             cts_to_self: true,
             max_queue: 32,
+            mac: MacMode::OpenLoop,
         }
     }
 
@@ -268,6 +274,7 @@ impl Scenario {
             receivers,
             cts_to_self: false,
             max_queue: 16,
+            mac: MacMode::OpenLoop,
         }
     }
 
@@ -316,7 +323,24 @@ impl Scenario {
             receivers,
             cts_to_self: false,
             max_queue: 32,
+            mac: MacMode::OpenLoop,
         }
+    }
+
+    /// The closed-loop variant of any preset: carriers poll their tags with
+    /// AM-OFDM downlink frames, tags respond with backscattered uplink, and
+    /// the sink acks — see [`crate::mac`]. Works on all four builders:
+    ///
+    /// ```
+    /// use interscatter_net::scenario::Scenario;
+    /// let ward = Scenario::hospital_ward(8).closed_loop();
+    /// assert!(ward.name.ends_with("closed-loop"));
+    /// ward.validate().unwrap();
+    /// ```
+    pub fn closed_loop(mut self) -> Scenario {
+        self.mac = MacMode::ClosedLoop;
+        self.name = format!("{}-closed-loop", self.name);
+        self
     }
 }
 
@@ -386,6 +410,33 @@ mod tests {
                 .validate()
                 .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
         }
+    }
+
+    #[test]
+    fn every_preset_has_a_closed_loop_variant() {
+        for scenario in [
+            Scenario::hospital_ward(10).closed_loop(),
+            Scenario::contact_lens_fleet(8).closed_loop(),
+            Scenario::card_to_card_room(5).closed_loop(),
+            Scenario::zigbee_wing(12).closed_loop(),
+        ] {
+            assert_eq!(scenario.mac, MacMode::ClosedLoop);
+            assert!(
+                scenario.name.ends_with("closed-loop"),
+                "name {}",
+                scenario.name
+            );
+            scenario
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        }
+        // The combinator changes the MAC mode and nothing else about the
+        // deployment.
+        let open = Scenario::hospital_ward(10);
+        let closed = Scenario::hospital_ward(10).closed_loop();
+        assert_eq!(open.tags.len(), closed.tags.len());
+        assert_eq!(open.carriers.len(), closed.carriers.len());
+        assert_eq!(open.mac, MacMode::OpenLoop);
     }
 
     #[test]

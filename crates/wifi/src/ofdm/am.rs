@@ -29,6 +29,23 @@ use rand::Rng;
 /// Downlink bit rate achieved by the two-symbol encoding (1 bit per 8 µs).
 pub const DOWNLINK_BIT_RATE: f64 = 125e3;
 
+/// Duration of one OFDM symbol (80 samples at 20 MS/s), seconds.
+pub const SYMBOL_DURATION_S: f64 = SYMBOL_LEN as f64 / super::OFDM_SAMPLE_RATE;
+
+/// Duration of the 802.11g legacy preamble plus SIGNAL symbol that leads
+/// every AM frame (two training sequences of 8 µs plus one 4 µs SIGNAL
+/// symbol), seconds.
+pub const PREAMBLE_DURATION_S: f64 = 20e-6;
+
+/// On-air duration of an AM downlink frame carrying `downlink_bits` bits:
+/// the legacy preamble plus two 4 µs OFDM symbols per downlink bit
+/// (Fig. 8's Random/Constant pair encoding). This is what a network-level
+/// simulation charges the medium for a poll or ack frame without
+/// synthesizing the waveform.
+pub fn am_frame_airtime_s(downlink_bits: usize) -> f64 {
+    PREAMBLE_DURATION_S + downlink_bits as f64 * 2.0 * SYMBOL_DURATION_S
+}
+
 /// Which envelope class an OFDM symbol should belong to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SymbolClass {
@@ -365,6 +382,22 @@ mod tests {
     fn downlink_bit_rate_is_125_kbps() {
         // 2 symbols × 4 µs per bit.
         assert!((DOWNLINK_BIT_RATE - 1.0 / 8e-6).abs() < 1.0);
+    }
+
+    #[test]
+    fn am_frame_airtime_matches_the_waveform() {
+        assert!((SYMBOL_DURATION_S - 4e-6).abs() < 1e-12);
+        // Airtime = preamble + one Random/Constant symbol pair per bit, so
+        // the analytic duration must match the synthesized sample count.
+        let tx = OfdmTransmitter::new(OfdmRate::Mbps36, 0x2D);
+        let bits = vec![1, 0, 1, 1];
+        let am = build_am_frame(&tx, &bits, &mut rng()).unwrap();
+        let body_s = am.frame.samples.len() as f64 / super::super::OFDM_SAMPLE_RATE;
+        let analytic = am_frame_airtime_s(bits.len());
+        assert!((analytic - PREAMBLE_DURATION_S - body_s).abs() < 1e-12);
+        // More bits, longer frame; never shorter than the preamble.
+        assert!(am_frame_airtime_s(8) > am_frame_airtime_s(2));
+        assert!(am_frame_airtime_s(1) > PREAMBLE_DURATION_S);
     }
 
     #[test]

@@ -13,6 +13,13 @@ fn scenarios() -> Vec<Scenario> {
         Scenario::contact_lens_fleet(10),
         Scenario::card_to_card_room(6),
         Scenario::zigbee_wing(12),
+        // The closed-loop variants run the poll/ack MAC: their traces
+        // interleave downlink frames with the uplink and must reproduce
+        // just as exactly.
+        Scenario::hospital_ward(24).closed_loop(),
+        Scenario::contact_lens_fleet(10).closed_loop(),
+        Scenario::card_to_card_room(6).closed_loop(),
+        Scenario::zigbee_wing(12).closed_loop(),
     ]
 }
 
@@ -82,4 +89,27 @@ fn trace_is_meaningful() {
         assert!(ns >= last, "trace timestamps must be monotone");
         last = ns;
     }
+}
+
+#[test]
+fn closed_loop_trace_shows_whole_transactions() {
+    let scenario = Scenario::hospital_ward(8).closed_loop();
+    let a = NetworkSim::new(&scenario, 5).run().unwrap();
+    let b = NetworkSim::new(&scenario, 5).run().unwrap();
+    assert_eq!(
+        a.trace.to_bytes(),
+        b.trace.to_bytes(),
+        "closed-loop traces must be byte-identical per seed"
+    );
+    let text = String::from_utf8(a.trace.to_bytes()).unwrap();
+    // The poll → backscatter → ack chain must be visible in order for at
+    // least one transaction.
+    let poll = text.find("poll decoded").expect("a decoded poll");
+    let response = text[poll..]
+        .find("backscatter response start")
+        .expect("a response after the poll");
+    let ack = text[poll + response..]
+        .find("ack decoded (transaction complete")
+        .expect("an ack after the response");
+    assert!(ack > 0 && a.metrics.completed_transactions() > 0);
 }
