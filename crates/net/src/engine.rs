@@ -18,12 +18,13 @@
 //! an AM-OFDM poll from the carrier and an AM-OFDM ack from the sink
 //! (see [`crate::mac`] for the transaction structure and its physics).
 
-use crate::entities::NetPhy;
+use crate::entities::{NetPhy, Position};
 use crate::event::{DownlinkKind, EventKind, EventQueue, EventTrace};
-use crate::links::{LinkBudget, LinkMatrix, Listener};
+use crate::links::{EntityId, LinkBudget, LinkMatrix, Listener};
 use crate::mac::{self, LoopPhase, MacLoop, MacMode};
 use crate::medium::{Band, Emitter, Medium, TxReport};
-use crate::metrics::NetworkMetrics;
+use crate::metrics::{MobilitySample, NetworkMetrics};
+use crate::mobility::{MobilityConfig, MotionState};
 use crate::scenario::Scenario;
 use crate::time::Time;
 use crate::NetError;
@@ -63,7 +64,34 @@ struct CarrierState {
     members: Vec<usize>,
     /// Round-robin cursor into `members`.
     cursor: usize,
+    /// Slot period on the integer-nanosecond grid (quantized once, so
+    /// slot `k` fires at exactly `offset + k · period` — re-rounding the
+    /// f64 period every slot would accumulate cadence drift).
+    slot_interval_ns: u64,
     rng: SmallRng,
+}
+
+/// Runtime state of the mobility subsystem (only present when the scenario
+/// attaches a non-static [`MobilityConfig`]).
+#[derive(Debug)]
+struct MobilityRuntime {
+    config: MobilityConfig,
+    /// Tick period on the integer-nanosecond grid (quantized once).
+    tick_ns: u64,
+    /// Per-tag kinematic state.
+    states: Vec<MotionState>,
+    /// Per-tag mobility RNG stream, independent of the traffic streams.
+    rngs: Vec<SmallRng>,
+    /// Per-carrier scenario placement, the reference for body-worn
+    /// carriers that follow their tag.
+    carrier_origin: Vec<Position>,
+    /// For each carrier with exactly one assigned tag: that tag (the
+    /// wearer). Shared carriers stay put.
+    carrier_wearer: Vec<Option<usize>>,
+    /// Per-tag delivery/attempt counters at the previous tick, for the
+    /// PRR-vs-displacement series.
+    prev_delivered: Vec<usize>,
+    prev_attempts: Vec<usize>,
 }
 
 /// How one reception attempt resolved, in arbitration order.
@@ -129,7 +157,7 @@ impl<'a> NetworkSim<'a> {
     pub fn run(self) -> Result<NetRunResult, NetError> {
         let scenario = self.scenario;
         scenario.validate()?;
-        let links = LinkMatrix::build(scenario)?;
+        let mut links = LinkMatrix::build(scenario)?;
         let horizon = Time::from_secs(scenario.duration_s);
 
         let mut queue = EventQueue::new();
@@ -160,9 +188,37 @@ impl<'a> NetworkSim<'a> {
                     .map(|(t, _)| t)
                     .collect(),
                 cursor: 0,
+                slot_interval_ns: Time::from_secs(scenario.carriers[c].slot_interval_s)
+                    .as_nanos()
+                    .max(1),
                 rng: SmallRng::seed_from_u64(derive_seed(self.seed, 2, c)),
             })
             .collect();
+        let mut mobility: Option<MobilityRuntime> = scenario
+            .mobility
+            .filter(|config| !config.model.is_static())
+            .map(|config| MobilityRuntime {
+                config,
+                tick_ns: Time::from_secs(config.tick_interval_s).as_nanos().max(1),
+                states: scenario
+                    .tags
+                    .iter()
+                    .map(|t| MotionState::at(t.position()))
+                    .collect(),
+                rngs: (0..scenario.tags.len())
+                    .map(|t| SmallRng::seed_from_u64(derive_seed(self.seed, 3, t)))
+                    .collect(),
+                carrier_origin: scenario.carriers.iter().map(|c| c.position()).collect(),
+                carrier_wearer: carriers
+                    .iter()
+                    .map(|state| match state.members.as_slice() {
+                        [only] => Some(*only),
+                        _ => None,
+                    })
+                    .collect(),
+                prev_delivered: vec![0; scenario.tags.len()],
+                prev_attempts: vec![0; scenario.tags.len()],
+            });
 
         // Prime the queue: first packet arrival per tag, first slot per
         // carrier (staggered within one interval so co-located carriers do
@@ -183,11 +239,77 @@ impl<'a> NetworkSim<'a> {
                 EventKind::CarrierSlot { carrier: c },
             );
         }
+        if let Some(mob) = &mobility {
+            queue.schedule(Time::ZERO.after_nanos(mob.tick_ns), EventKind::MobilityTick);
+        }
         queue.schedule(horizon, EventKind::Horizon);
 
         while let Some(event) = queue.pop() {
             match event.kind {
                 EventKind::Horizon => break,
+                EventKind::MobilityTick => {
+                    let now = event.at;
+                    let mob = mobility.as_mut().expect("tick without mobility");
+                    queue.schedule(now.after_nanos(mob.tick_ns), EventKind::MobilityTick);
+                    // Advance every tag's walk from its own RNG stream (in
+                    // index order — the determinism contract), pushing new
+                    // positions into the matrix as dirty rows.
+                    let dt_s = mob.tick_ns as f64 / 1e9;
+                    let mut moved = 0usize;
+                    for t in 0..scenario.tags.len() {
+                        let before = mob.states[t].position;
+                        mob.config.model.step(
+                            &mut mob.states[t],
+                            &mob.config.bounds,
+                            dt_s,
+                            &mut mob.rngs[t],
+                        );
+                        if mob.states[t].position != before {
+                            links.set_position(EntityId::Tag(t), mob.states[t].position);
+                            moved += 1;
+                        }
+                    }
+                    if mob.config.carriers_follow {
+                        // Body-worn carriers ride rigidly with their single
+                        // wearer tag, preserving the scenario offset.
+                        for (c, wearer) in mob.carrier_wearer.iter().enumerate() {
+                            let Some(t) = *wearer else { continue };
+                            let state = &mob.states[t];
+                            let origin = mob.carrier_origin[c];
+                            let p = Position::new(
+                                origin.x + (state.position.x - state.origin.x),
+                                origin.y + (state.position.y - state.origin.y),
+                                origin.z + (state.position.z - state.origin.z),
+                            );
+                            if p != links.position(EntityId::Carrier(c)) {
+                                links.set_position(EntityId::Carrier(c), p);
+                            }
+                        }
+                    }
+                    let refreshed = links.flush(scenario);
+                    // One PRR-vs-displacement sample per tag per tick.
+                    let mut max_disp_mm = 0u64;
+                    for t in 0..scenario.tags.len() {
+                        let stats = &metrics.tags[t];
+                        let (attempts, delivered) = (stats.attempts, stats.delivered);
+                        metrics.mobility_series[t].push(MobilitySample {
+                            at_s: now.as_secs(),
+                            displacement_m: mob.states[t].displacement_m(),
+                            attempts: attempts - mob.prev_attempts[t],
+                            delivered: delivered - mob.prev_delivered[t],
+                        });
+                        mob.prev_attempts[t] = attempts;
+                        mob.prev_delivered[t] = delivered;
+                        max_disp_mm =
+                            max_disp_mm.max((mob.states[t].displacement_m() * 1e3).round() as u64);
+                    }
+                    trace.record(now, || {
+                        format!(
+                            "mobility tick: {moved} moved, {refreshed} entities refreshed, \
+                             max displacement {max_disp_mm} mm"
+                        )
+                    });
+                }
                 EventKind::PacketArrival { tag } => {
                     let now = event.at;
                     let rate = scenario.tags[tag].arrival_rate_pps;
@@ -211,7 +333,7 @@ impl<'a> NetworkSim<'a> {
                     let now = event.at;
                     let spec = &scenario.carriers[carrier];
                     queue.schedule(
-                        now.after_secs(spec.slot_interval_s),
+                        now.after_nanos(carriers[carrier].slot_interval_ns),
                         EventKind::CarrierSlot { carrier },
                     );
                     let Some(tag) =
@@ -700,6 +822,7 @@ pub(crate) fn derive_seed(base: u64, stream: u64, index: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mobility::{Bounds, MobilityModel, RandomWaypoint};
     use crate::scenario::Scenario;
 
     #[test]
@@ -874,6 +997,114 @@ mod tests {
         assert_eq!(format!("{:?}", a.metrics), format!("{:?}", b.metrics));
         let c = NetworkSim::new(&scenario, 124).run().unwrap();
         assert_ne!(a.trace.to_bytes(), c.trace.to_bytes());
+    }
+
+    #[test]
+    fn mobile_runs_are_deterministic_and_track_displacement() {
+        let scenario = Scenario::ambulatory_ward(8);
+        let a = NetworkSim::new(&scenario, 5).run().unwrap();
+        let b = NetworkSim::new(&scenario, 5).run().unwrap();
+        assert_eq!(a.trace.to_bytes(), b.trace.to_bytes());
+        assert_eq!(format!("{:?}", a.metrics), format!("{:?}", b.metrics));
+        let c = NetworkSim::new(&scenario, 6).run().unwrap();
+        assert_ne!(a.trace.to_bytes(), c.trace.to_bytes());
+
+        let text = String::from_utf8(a.trace.to_bytes()).unwrap();
+        assert!(text.contains("mobility tick"), "no ticks traced");
+        // 10 s at a 100 ms tick: one PRR sample per tick per tag.
+        assert!(
+            a.metrics.mobility_series[0].len() >= 99,
+            "samples {}",
+            a.metrics.mobility_series[0].len()
+        );
+        // Patients actually walk: metres of displacement by the horizon.
+        assert!(
+            a.metrics.max_displacement_m() > 1.0,
+            "max displacement {}",
+            a.metrics.max_displacement_m()
+        );
+        // Worn carriers keep the illumination hop alive, so traffic still
+        // flows while patients wander.
+        assert!(a.metrics.delivered_packets() > 0);
+    }
+
+    #[test]
+    fn walking_away_from_a_bedside_carrier_starves_the_uplink() {
+        // Same ward, but the helpers stay at the bedside while the
+        // patients walk: the carrier → tag hop collapses with distance and
+        // delivery must fall well below the static ward's.
+        let static_ward = Scenario::hospital_ward(10);
+        let mobile_ward = Scenario::hospital_ward(10).with_mobility(MobilityConfig {
+            model: MobilityModel::RandomWaypoint(RandomWaypoint {
+                speed_min_mps: 0.8,
+                speed_max_mps: 1.5,
+                pause_s: 0.5,
+            }),
+            tick_interval_s: 0.1,
+            bounds: Bounds::room(12.0, 9.0, 1.0),
+            carriers_follow: false,
+        });
+        let fixed = NetworkSim::new(&static_ward, 11)
+            .with_trace(false)
+            .run()
+            .unwrap()
+            .metrics;
+        let walking = NetworkSim::new(&mobile_ward, 11)
+            .with_trace(false)
+            .run()
+            .unwrap()
+            .metrics;
+        assert!(fixed.mobility_series.iter().all(|s| s.is_empty()));
+        assert!(
+            walking.delivery_ratio() < fixed.delivery_ratio() - 0.2,
+            "static {} vs walking {}",
+            fixed.delivery_ratio(),
+            walking.delivery_ratio()
+        );
+        // The PRR-vs-displacement series shows the same story: links near
+        // the starting geometry beat links far from it.
+        let near = walking.prr_in_displacement_band(0.0, 1.0);
+        let far = walking.prr_in_displacement_band(3.0, f64::INFINITY);
+        if let (Some((near_prr, _)), Some((far_prr, _))) = (near, far) {
+            assert!(
+                near_prr > far_prr,
+                "near PRR {near_prr} vs far PRR {far_prr}"
+            );
+        } else {
+            panic!("both displacement bands must see attempts: {near:?} vs {far:?}");
+        }
+    }
+
+    #[test]
+    fn closed_loop_survives_mobility() {
+        let scenario = Scenario::ambulatory_ward(6).closed_loop();
+        let result = NetworkSim::new(&scenario, 13).run().unwrap();
+        let m = &result.metrics;
+        assert!(m.polls() > 0);
+        assert!(
+            m.completed_transactions() > 0,
+            "no transactions completed while walking"
+        );
+        assert_eq!(m.completed_transactions(), m.delivered_packets());
+        assert!(m.max_displacement_m() > 1.0);
+        // Determinism holds with the full poll/ack loop and mobility
+        // interleaved.
+        let replay = NetworkSim::new(&scenario, 13).run().unwrap();
+        assert_eq!(result.trace.to_bytes(), replay.trace.to_bytes());
+    }
+
+    #[test]
+    fn static_mobility_config_schedules_no_ticks() {
+        let scenario = Scenario::hospital_ward(4).with_mobility(MobilityConfig {
+            model: MobilityModel::Static,
+            tick_interval_s: 0.1,
+            bounds: Bounds::room(12.0, 9.0, 1.0),
+            carriers_follow: false,
+        });
+        let result = NetworkSim::new(&scenario, 3).run().unwrap();
+        let text = String::from_utf8(result.trace.to_bytes()).unwrap();
+        assert!(!text.contains("mobility tick"));
+        assert!(result.metrics.mobility_series.iter().all(|s| s.is_empty()));
     }
 
     #[test]

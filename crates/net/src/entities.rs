@@ -158,8 +158,15 @@ impl NetPhy {
 /// for up to `slot_window_s`.
 #[derive(Debug, Clone)]
 pub struct CarrierSource {
-    /// Where the Bluetooth device sits.
-    pub position: Position,
+    /// Where the Bluetooth device sits. Private: a scenario's positions
+    /// are build-time inputs; the *live* geometry belongs to
+    /// [`crate::links::LinkMatrix`], whose `set_position` marks the
+    /// affected budget rows dirty. Mutating a position here after the
+    /// matrix was built would silently leave every budget stale — the
+    /// bug this field's privacy removes. Read with
+    /// [`CarrierSource::position`]; reposition before the run with
+    /// [`crate::scenario::Scenario::place_carrier`].
+    pub(crate) position: Position,
     /// Transmit power, dBm.
     pub tx_power_dbm: f64,
     /// BLE advertising channel the tone is emitted on.
@@ -201,13 +208,25 @@ impl CarrierSource {
     pub fn carrier_freq_hz(&self) -> f64 {
         self.ble_channel.center_freq_hz()
     }
+
+    /// Where the Bluetooth device sits (the scenario's build-time
+    /// placement; a mobile run's live position lives in the
+    /// [`crate::links::LinkMatrix`]).
+    pub fn position(&self) -> Position {
+        self.position
+    }
 }
 
 /// A backscatter tag with its application traffic source.
 #[derive(Debug, Clone)]
 pub struct TagNode {
-    /// Where the tag sits.
-    pub position: Position,
+    /// Where the tag sits. Private for the same reason as
+    /// [`CarrierSource::position`]: post-build mutation would leave the
+    /// [`crate::links::LinkMatrix`] silently stale. Read with
+    /// [`TagNode::position`]; reposition before the run with
+    /// [`crate::scenario::Scenario::place_tag`]; attach a
+    /// [`crate::mobility::MobilityConfig`] to move tags *during* a run.
+    pub(crate) position: Position,
     /// Antenna/tissue package.
     pub profile: TagProfile,
     /// Single- or double-sideband modulator.
@@ -227,6 +246,14 @@ pub struct TagNode {
     /// How many carrier slots a packet may be retried in before it is
     /// dropped.
     pub max_retries: u32,
+}
+
+impl TagNode {
+    /// Where the tag sits (build-time placement; a mobile run's live
+    /// position lives in the [`crate::links::LinkMatrix`]).
+    pub fn position(&self) -> Position {
+        self.position
+    }
 }
 
 /// What kind of radio a receiver is.
@@ -250,8 +277,11 @@ pub enum SinkKind {
 /// A device that decodes tag transmissions.
 #[derive(Debug, Clone)]
 pub struct SinkReceiver {
-    /// Where the receiver sits.
-    pub position: Position,
+    /// Where the receiver sits. Private for the same reason as
+    /// [`CarrierSource::position`]; read with [`SinkReceiver::position`],
+    /// reposition before the run with
+    /// [`crate::scenario::Scenario::place_sink`].
+    pub(crate) position: Position,
     /// What kind of radio it is.
     pub kind: SinkKind,
     /// Minimum RSSI it can decode, dBm.
@@ -299,6 +329,12 @@ impl SinkReceiver {
             external_occupancy: 0.0,
             downlink_tx_power_dbm: 4.0,
         }
+    }
+
+    /// Where the receiver sits (build-time placement; a mobile run's live
+    /// position lives in the [`crate::links::LinkMatrix`]).
+    pub fn position(&self) -> Position {
+        self.position
     }
 
     /// Centre frequency the receiver listens at, Hz. For an envelope

@@ -54,6 +54,12 @@ pub enum EventKind {
         /// When the frame went on the air.
         started: Time,
     },
+    /// A mobility tick: every mobile entity advances one
+    /// [`crate::mobility::Mobility::step`] and the engine refreshes the
+    /// dirty [`crate::links::LinkMatrix`] rows. Scheduled on the
+    /// integer-nanosecond grid (tick `k` fires at exactly `k · period`),
+    /// so the cadence never drifts against the carrier slots.
+    MobilityTick,
     /// End of the simulated horizon; processing stops here.
     Horizon,
 }

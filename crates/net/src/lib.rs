@@ -57,6 +57,15 @@
 //!   module documents the poll → backscatter response → ack transaction
 //!   and the physics that assigns each leg its transmitter.
 //!
+//! * `MobilityTick` — when the scenario attaches a
+//!   [`mobility::MobilityConfig`], every tag advances one step of its
+//!   mobility model (random waypoint or random walk, each tag walking its
+//!   own seeded stream) and the [`links::LinkMatrix`] recomputes **only the
+//!   budget rows touching the moved entities** from cached
+//!   position-independent terms — link quality tracks geometry tick by
+//!   tick without rebuilding the matrix (the `net_mobility` bench anchors
+//!   the row-level path against a full rebuild).
+//!
 //! Every entity owns a `SmallRng` seeded from the scenario seed and its
 //! entity id, so identical seeds reproduce byte-identical event traces and
 //! metrics — see [`engine::NetRunResult::trace`] and the
@@ -88,6 +97,7 @@ pub mod links;
 pub mod mac;
 pub mod medium;
 pub mod metrics;
+pub mod mobility;
 pub mod runner;
 pub mod scenario;
 pub mod time;
@@ -130,9 +140,11 @@ impl From<interscatter_sim::SimError> for NetError {
 /// The commonly used types in one import.
 pub mod prelude {
     pub use crate::engine::{NetRunResult, NetworkSim};
-    pub use crate::entities::{CarrierSource, NetPhy, SinkReceiver, TagNode, TagProfile};
+    pub use crate::entities::{CarrierSource, NetPhy, Position, SinkReceiver, TagNode, TagProfile};
+    pub use crate::links::{EntityId, LinkMatrix};
     pub use crate::mac::{MacLoop, MacMode};
     pub use crate::metrics::NetworkMetrics;
+    pub use crate::mobility::{Bounds, Mobility, MobilityConfig, MobilityModel};
     pub use crate::runner::{MonteCarlo, MonteCarloReport};
     pub use crate::scenario::Scenario;
     pub use crate::time::Time;

@@ -1,4 +1,4 @@
-//! Position-dependent link budgets, precomputed once per scenario.
+//! Position-dependent link budgets with **row-level incremental update**.
 //!
 //! Every tag's uplink is the two-hop backscatter budget of
 //! [`interscatter_channel::link::BackscatterLink`]: carrier → tag (at the
@@ -27,8 +27,27 @@
 //! plus the median power of **every** emitter kind (tag, carrier, sink) at
 //! every listener kind (receiver, tag, carrier), so downlink collisions are
 //! arbitrated with the same capture rule as the uplink.
+//!
+//! ## Live geometry and invalidation
+//!
+//! Since mobility landed ([`crate::mobility`]), the matrix owns the *live*
+//! geometry: a position per entity, initialised from the scenario and
+//! updated through [`LinkMatrix::set_position`]. Moving an entity marks its
+//! rows dirty; [`LinkMatrix::flush`] then recomputes **only the uplink,
+//! poll, ack and emitter × listener capture rows touching the moved
+//! entities**, from position-independent terms (antenna gains, tissue
+//! attenuations, conversion losses, per-frequency path-loss models) cached
+//! once at build time. A mobility tick over a hundred tags therefore costs
+//! a few `log10`s per affected row instead of rebuilding every table —
+//! anchored by the `net_mobility` bench against a full
+//! [`LinkMatrix::build`].
+//!
+//! The scenario's own entity positions are private (build-time inputs, see
+//! [`crate::entities`]); they cannot be mutated behind the matrix's back,
+//! which closes the stale-geometry bug where a caller repositioned a tag
+//! and silently kept the old budgets.
 
-use crate::entities::TagProfile;
+use crate::entities::{Position, TagProfile};
 use crate::mac::MacMode;
 use crate::medium::Emitter;
 use crate::scenario::Scenario;
@@ -87,6 +106,71 @@ pub enum Listener {
     Carrier(usize),
 }
 
+/// One entity of the scenario, for geometry updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EntityId {
+    /// A backscatter tag.
+    Tag(usize),
+    /// A carrier device.
+    Carrier(usize),
+    /// A sink receiver.
+    Sink(usize),
+}
+
+/// A log-distance path-loss evaluator with the reference loss folded in:
+/// one comparison and one `log10` per call. `LogDistanceModel::path_loss_db`
+/// recomputes its reference Friis loss (a second `log10`, a `powi` and a
+/// wavelength division) on every call — too slow for the mobility tick's
+/// row refreshes, which evaluate tens of thousands of pairs.
+#[derive(Debug, Clone, Copy)]
+struct FastPathLoss {
+    /// Friis loss at the 1 m reference distance, dB.
+    ref_loss_db: f64,
+    /// dB per decade of *squared* distance beyond the reference
+    /// (10 × exponent / 2 — [`log_distance`] hands over `log10(d²)`).
+    half_decade_db: f64,
+}
+
+impl FastPathLoss {
+    fn new(model: &LogDistanceModel) -> Self {
+        // The folded form below assumes the 1 m reference every model in
+        // this crate uses (`LogDistanceModel::indoor_los`).
+        debug_assert!((model.reference_m - 1.0).abs() < 1e-12);
+        FastPathLoss {
+            ref_loss_db: model.path_loss_db(model.reference_m),
+            half_decade_db: 5.0 * model.exponent,
+        }
+    }
+
+    /// Median path loss from a precomputed [`log_distance`] — the hottest
+    /// pairs in a mobility tick evaluate two models (one per direction)
+    /// over the same distance, and this shares the single `log10` between
+    /// them.
+    #[inline]
+    fn db_at(&self, log10_q: f64, within_ref: bool) -> f64 {
+        if within_ref {
+            // Friis: 20·log10(d) = 10·log10(d²).
+            self.ref_loss_db + 10.0 * log10_q
+        } else {
+            self.ref_loss_db + self.half_decade_db * log10_q
+        }
+    }
+}
+
+/// `(log10(d²), d ≤ reference)` between two positions, with the 1 cm floor
+/// every path-loss model applies — the shared prefix of
+/// [`FastPathLoss::db_at`]. Works on the *squared* distance
+/// (`log10(d) = log10(d²) / 2`, folded into the slope), so the hot row
+/// refreshes take neither a square root nor a division.
+#[inline]
+fn log_distance(a: &Position, b: &Position) -> (f64, bool) {
+    let dx = a.x - b.x;
+    let dy = a.y - b.y;
+    let dz = a.z - b.z;
+    let q = (dx * dx + dy * dy + dz * dz).max(1e-4);
+    (q.log10(), q <= 1.0)
+}
+
 /// The closed-loop extension: downlink budgets plus the full emitter ×
 /// listener power tables (only built for `MacMode::ClosedLoop` scenarios —
 /// open-loop runs never arbitrate at tags or carriers).
@@ -102,16 +186,35 @@ struct ClosedLoopTables {
     tag_at_carrier: Vec<Vec<f64>>,
     /// `carrier_at[c][..]`: carrier `c`'s poll at every listener, dBm.
     carrier_at_rx: Vec<Vec<f64>>,
+    /// `carrier_at_tag[t][c]`: carrier `c`'s poll at tag `t`'s detector,
+    /// dBm — tag-major so a moved tag's refresh writes one contiguous row.
     carrier_at_tag: Vec<Vec<f64>>,
     carrier_at_carrier: Vec<Vec<f64>>,
     /// `sink_at[s][..]`: sink `s`'s ack at every listener, dBm.
     sink_at_rx: Vec<Vec<f64>>,
+    /// `sink_at_tag[t][s]`: sink `s`'s ack at tag `t`'s detector, dBm
+    /// (tag-major, like `carrier_at_tag`).
     sink_at_tag: Vec<Vec<f64>>,
     sink_at_carrier: Vec<Vec<f64>>,
+    // --- position-independent terms cached for row recomputes ---
+    /// Per carrier: path-loss evaluator at its tone frequency.
+    pl_carrier: Vec<FastPathLoss>,
+    /// Per sink: path-loss evaluator at its downlink frequency.
+    pl_sink: Vec<FastPathLoss>,
+    /// `pkg_at_tag_freq[u][t]`: tag `t`'s receive package (antenna gain −
+    /// tissue) at tag `u`'s emission frequency, dB.
+    pkg_at_tag_freq: Vec<Vec<f64>>,
+    /// `pkg_at_carrier_freq[t][c]`: ditto at carrier `c`'s tone frequency
+    /// (tag-major, matching the refresh loops' access order).
+    pkg_at_carrier_freq: Vec<Vec<f64>>,
+    /// `pkg_at_sink_freq[t][s]`: ditto at sink `s`'s downlink frequency
+    /// (tag-major).
+    pkg_at_sink_freq: Vec<Vec<f64>>,
 }
 
-/// Precomputed budgets for every tag, and every emitter's interference
-/// power at every listener.
+/// Precomputed budgets for every tag, every emitter's interference power at
+/// every listener, the live geometry they were computed from, and the
+/// cached terms that make row-level recomputation cheap.
 #[derive(Debug, Clone)]
 pub struct LinkMatrix {
     budgets: Vec<LinkBudget>,
@@ -119,6 +222,24 @@ pub struct LinkMatrix {
     /// receiver `rx`, dBm.
     interference_dbm: Vec<Vec<f64>>,
     closed_loop: Option<ClosedLoopTables>,
+    // --- live geometry ---
+    tag_pos: Vec<Position>,
+    carrier_pos: Vec<Position>,
+    sink_pos: Vec<Position>,
+    // --- position-independent uplink terms ---
+    /// Per tag: every term of the two-hop uplink budget except the two
+    /// path losses (with the standard 2 dBi listener package).
+    up_fixed_db: Vec<f64>,
+    /// Per tag: path-loss evaluator of the carrier → tag hop.
+    up_pl_src: Vec<FastPathLoss>,
+    /// Per tag: path-loss evaluator of the tag → listener hop.
+    up_pl_emit: Vec<FastPathLoss>,
+    /// Per tag: `up_fixed_db − pl_src(d(carrier, tag))` at the current
+    /// geometry — the emitter base every row sharing this tag reuses.
+    /// Maintained by `refresh_uplink_row`.
+    up_base_db: Vec<f64>,
+    /// Entities whose rows are stale, pending a [`LinkMatrix::flush`].
+    dirty: Vec<EntityId>,
 }
 
 /// The two-hop backscatter model of tag `t`'s uplink.
@@ -146,20 +267,6 @@ fn uplink_model(scenario: &Scenario, t: usize) -> BackscatterLink {
     }
 }
 
-/// Median power of a conventional one-hop transmission (2 dBi transmit
-/// antenna) at a listener with the given receive package, dBm.
-fn one_hop_dbm(
-    tx_power_dbm: f64,
-    freq_hz: f64,
-    distance_m: f64,
-    rx_gain_dbi: f64,
-    rx_tissue_db: f64,
-) -> f64 {
-    tx_power_dbm + 2.0 + rx_gain_dbi
-        - LogDistanceModel::indoor_los(freq_hz).path_loss_db(distance_m)
-        - rx_tissue_db
-}
-
 /// The frequency sink `s` transmits its AM downlink on: its own listening
 /// band. Envelope-detector sinks (card peers) sit on the carrier tone; the
 /// card scenario has a single carrier, so its tone stands in for them.
@@ -167,187 +274,462 @@ fn sink_freq_hz(scenario: &Scenario, s: usize) -> f64 {
     scenario.receivers[s].center_freq_hz(scenario.carriers[0].carrier_freq_hz())
 }
 
+/// Tag `t`'s receive package at `freq_hz`: effective antenna gain minus
+/// the tissue covering it (one forward hop), dB.
+fn tag_rx_pkg_db(scenario: &Scenario, t: usize, freq_hz: f64) -> f64 {
+    let profile = scenario.tags[t].profile;
+    profile.antenna().effective_gain_dbi() - profile.tissue().attenuation_db(freq_hz)
+}
+
 impl LinkMatrix {
-    /// Builds the matrix for a validated scenario.
+    /// Builds the matrix for a validated scenario, caching the
+    /// position-independent terms and filling every table through the same
+    /// row functions [`LinkMatrix::flush`] uses — so an incremental update
+    /// lands on exactly the values a fresh build would produce.
     pub fn build(scenario: &Scenario) -> Result<LinkMatrix, NetError> {
-        let mut budgets = Vec::with_capacity(scenario.tags.len());
-        let mut interference_dbm = Vec::with_capacity(scenario.tags.len());
+        let n_tags = scenario.tags.len();
+        let n_rx = scenario.receivers.len();
+        let n_carriers = scenario.carriers.len();
+
+        let tag_pos: Vec<Position> = scenario.tags.iter().map(|t| t.position()).collect();
+        let carrier_pos: Vec<Position> = scenario.carriers.iter().map(|c| c.position()).collect();
+        let sink_pos: Vec<Position> = scenario.receivers.iter().map(|r| r.position()).collect();
+
+        let mut budgets = Vec::with_capacity(n_tags);
+        let mut up_fixed_db = Vec::with_capacity(n_tags);
+        let mut up_pl_src = Vec::with_capacity(n_tags);
+        let mut up_pl_emit = Vec::with_capacity(n_tags);
+        let mut emit_freqs = Vec::with_capacity(n_tags);
         for (t, tag) in scenario.tags.iter().enumerate() {
-            let carrier = &scenario.carriers[tag.carrier];
             let link = uplink_model(scenario, t);
             link.validate()?;
-            let d_carrier_tag = carrier.position.distance_m(&tag.position);
-            let noise = tag.phy.noise_model();
-
-            let mut row = Vec::with_capacity(scenario.receivers.len());
-            for rx in &scenario.receivers {
-                let d_tag_rx = tag.position.distance_m(&rx.position);
-                row.push(link.received_power_dbm(d_carrier_tag, d_tag_rx));
-            }
-
-            let destination = &scenario.receivers[tag.receiver];
+            // Every term except the two path losses: evaluate the full
+            // budget at the reference geometry and add the reference path
+            // losses back, so the fixed part stays consistent with
+            // `BackscatterLink::received_power_dbm` by construction.
+            let fixed = link.received_power_dbm(1.0, 1.0)
+                + link.source_to_tag.path_loss_db(1.0)
+                + link.tag_to_rx.path_loss_db(1.0);
             let s1 = link.source_to_tag.shadowing_sigma_db;
             let s2 = link.tag_to_rx.shadowing_sigma_db;
+            let noise = tag.phy.noise_model();
             budgets.push(LinkBudget {
-                median_rssi_dbm: row[tag.receiver],
+                median_rssi_dbm: 0.0, // filled by refresh_uplink_row below
                 shadow_sigma_db: (s1 * s1 + s2 * s2).sqrt(),
-                sensitivity_dbm: destination.sensitivity_dbm,
+                sensitivity_dbm: scenario.receivers[tag.receiver].sensitivity_dbm,
                 noise_floor_dbm: noise.noise_floor_dbm(),
             });
-            interference_dbm.push(row);
+            up_fixed_db.push(fixed);
+            up_pl_src.push(FastPathLoss::new(&link.source_to_tag));
+            up_pl_emit.push(FastPathLoss::new(&link.tag_to_rx));
+            emit_freqs.push(link.tag_to_rx.freq_hz);
         }
+
         let closed_loop = match scenario.mac {
             MacMode::OpenLoop => None,
-            MacMode::ClosedLoop => Some(Self::build_closed_loop(scenario)),
-        };
-        Ok(LinkMatrix {
-            budgets,
-            interference_dbm,
-            closed_loop,
-        })
-    }
-
-    /// Builds the downlink budgets and the emitter × listener power tables.
-    fn build_closed_loop(scenario: &Scenario) -> ClosedLoopTables {
-        let detector_sensitivity = EnvelopeDetector::new(OFDM_SAMPLE_RATE).sensitivity_dbm;
-        let envelope_noise = NoiseModel::envelope_detector().noise_floor_dbm();
-        let radio_noise = NoiseModel::wifi_dsss().noise_floor_dbm();
-        // Per-tag receive package: the antenna the envelope detector hangs
-        // off, plus the tissue covering it (one forward hop).
-        let tag_rx = |t: usize, freq_hz: f64| -> (f64, f64) {
-            let profile = scenario.tags[t].profile;
-            (
-                profile.antenna().effective_gain_dbi(),
-                profile.tissue().attenuation_db(freq_hz),
-            )
-        };
-
-        let mut poll_budgets = Vec::with_capacity(scenario.tags.len());
-        let mut ack_budgets = Vec::with_capacity(scenario.tags.len());
-        for (t, tag) in scenario.tags.iter().enumerate() {
-            let carrier = &scenario.carriers[tag.carrier];
-            let sink = &scenario.receivers[tag.receiver];
-            let freq = sink_freq_hz(scenario, tag.receiver);
-            let sigma = LogDistanceModel::indoor_los(freq).shadowing_sigma_db;
-            let (gain, tissue) = tag_rx(t, freq);
-            poll_budgets.push(LinkBudget {
-                median_rssi_dbm: one_hop_dbm(
-                    carrier.tx_power_dbm,
-                    freq,
-                    carrier.position.distance_m(&tag.position),
-                    gain,
-                    tissue,
-                ),
-                shadow_sigma_db: sigma,
-                sensitivity_dbm: detector_sensitivity,
-                noise_floor_dbm: envelope_noise,
-            });
-            ack_budgets.push(LinkBudget {
-                median_rssi_dbm: one_hop_dbm(
-                    sink.downlink_tx_power_dbm,
-                    freq,
-                    sink.position.distance_m(&carrier.position),
-                    2.0,
-                    0.0,
-                ),
-                shadow_sigma_db: sigma,
-                sensitivity_dbm: carrier.ack_sensitivity_dbm,
-                noise_floor_dbm: radio_noise,
-            });
-        }
-
-        // Tag emissions at tags and carriers: the two-hop backscatter model
-        // with the victim's receive package swapped in for the built-in
-        // 2 dBi monopole.
-        let mut tag_at_tag = Vec::with_capacity(scenario.tags.len());
-        let mut tag_at_carrier = Vec::with_capacity(scenario.tags.len());
-        for (u, tag) in scenario.tags.iter().enumerate() {
-            let link = uplink_model(scenario, u);
-            let d1 = scenario.carriers[tag.carrier]
-                .position
-                .distance_m(&tag.position);
-            let freq = link.tag_to_rx.freq_hz;
-            tag_at_tag.push(
-                (0..scenario.tags.len())
-                    .map(|t| {
-                        let d2 = tag.position.distance_m(&scenario.tags[t].position);
-                        let (gain, tissue) = tag_rx(t, freq);
-                        link.received_power_dbm(d1, d2) - 2.0 + gain - tissue
-                    })
-                    .collect(),
-            );
-            tag_at_carrier.push(
-                scenario
+            MacMode::ClosedLoop => {
+                let detector_sensitivity = EnvelopeDetector::new(OFDM_SAMPLE_RATE).sensitivity_dbm;
+                let envelope_noise = NoiseModel::envelope_detector().noise_floor_dbm();
+                let radio_noise = NoiseModel::wifi_dsss().noise_floor_dbm();
+                let carrier_models: Vec<LogDistanceModel> = scenario
                     .carriers
                     .iter()
-                    .map(|c| link.received_power_dbm(d1, tag.position.distance_m(&c.position)))
-                    .collect(),
-            );
-        }
-
-        // Poll and ack frames are conventional one-hop emissions; the tone
-        // (respectively sink) frequency stands in for the per-poll channel,
-        // an error well under a dB across the 2.4 GHz band.
-        let one_hop_rows = |tx_power: f64, freq: f64, from: crate::entities::Position| {
-            let at_rx: Vec<f64> = scenario
-                .receivers
-                .iter()
-                .map(|r| one_hop_dbm(tx_power, freq, from.distance_m(&r.position), 2.0, 0.0))
-                .collect();
-            let at_tag: Vec<f64> = (0..scenario.tags.len())
-                .map(|t| {
-                    let (gain, tissue) = tag_rx(t, freq);
-                    one_hop_dbm(
-                        tx_power,
-                        freq,
-                        from.distance_m(&scenario.tags[t].position),
-                        gain,
-                        tissue,
-                    )
+                    .map(|c| LogDistanceModel::indoor_los(c.carrier_freq_hz()))
+                    .collect();
+                let sink_models: Vec<LogDistanceModel> = (0..n_rx)
+                    .map(|s| LogDistanceModel::indoor_los(sink_freq_hz(scenario, s)))
+                    .collect();
+                let pkg_at_tag_freq: Vec<Vec<f64>> = emit_freqs
+                    .iter()
+                    .map(|&freq| {
+                        (0..n_tags)
+                            .map(|t| tag_rx_pkg_db(scenario, t, freq))
+                            .collect()
+                    })
+                    .collect();
+                let pkg_at_carrier_freq: Vec<Vec<f64>> = (0..n_tags)
+                    .map(|t| {
+                        carrier_models
+                            .iter()
+                            .map(|pl| tag_rx_pkg_db(scenario, t, pl.freq_hz))
+                            .collect()
+                    })
+                    .collect();
+                let pkg_at_sink_freq: Vec<Vec<f64>> = (0..n_tags)
+                    .map(|t| {
+                        sink_models
+                            .iter()
+                            .map(|pl| tag_rx_pkg_db(scenario, t, pl.freq_hz))
+                            .collect()
+                    })
+                    .collect();
+                let sink_sigma_db: Vec<f64> =
+                    sink_models.iter().map(|m| m.shadowing_sigma_db).collect();
+                let budget = |sensitivity_dbm: f64, noise_floor_dbm: f64, sigma: f64| LinkBudget {
+                    median_rssi_dbm: 0.0, // filled by the row functions below
+                    shadow_sigma_db: sigma,
+                    sensitivity_dbm,
+                    noise_floor_dbm,
+                };
+                Some(ClosedLoopTables {
+                    poll_budgets: scenario
+                        .tags
+                        .iter()
+                        .map(|tag| {
+                            budget(
+                                detector_sensitivity,
+                                envelope_noise,
+                                sink_sigma_db[tag.receiver],
+                            )
+                        })
+                        .collect(),
+                    ack_budgets: scenario
+                        .tags
+                        .iter()
+                        .map(|tag| {
+                            budget(
+                                scenario.carriers[tag.carrier].ack_sensitivity_dbm,
+                                radio_noise,
+                                sink_sigma_db[tag.receiver],
+                            )
+                        })
+                        .collect(),
+                    tag_at_tag: vec![vec![0.0; n_tags]; n_tags],
+                    tag_at_carrier: vec![vec![0.0; n_carriers]; n_tags],
+                    carrier_at_rx: vec![vec![0.0; n_rx]; n_carriers],
+                    carrier_at_tag: vec![vec![0.0; n_carriers]; n_tags],
+                    carrier_at_carrier: vec![vec![0.0; n_carriers]; n_carriers],
+                    sink_at_rx: vec![vec![0.0; n_rx]; n_rx],
+                    sink_at_tag: vec![vec![0.0; n_rx]; n_tags],
+                    sink_at_carrier: vec![vec![0.0; n_carriers]; n_rx],
+                    pl_carrier: carrier_models.iter().map(FastPathLoss::new).collect(),
+                    pl_sink: sink_models.iter().map(FastPathLoss::new).collect(),
+                    pkg_at_tag_freq,
+                    pkg_at_carrier_freq,
+                    pkg_at_sink_freq,
                 })
-                .collect();
-            let at_carrier: Vec<f64> = scenario
-                .carriers
-                .iter()
-                .map(|c| one_hop_dbm(tx_power, freq, from.distance_m(&c.position), 2.0, 0.0))
-                .collect();
-            (at_rx, at_tag, at_carrier)
+            }
         };
 
-        let mut carrier_at_rx = Vec::new();
-        let mut carrier_at_tag = Vec::new();
-        let mut carrier_at_carrier = Vec::new();
-        for c in &scenario.carriers {
-            let (rx, tag, carrier) = one_hop_rows(c.tx_power_dbm, c.carrier_freq_hz(), c.position);
-            carrier_at_rx.push(rx);
-            carrier_at_tag.push(tag);
-            carrier_at_carrier.push(carrier);
+        let mut matrix = LinkMatrix {
+            budgets,
+            interference_dbm: vec![vec![0.0; n_rx]; n_tags],
+            closed_loop,
+            tag_pos,
+            carrier_pos,
+            sink_pos,
+            up_fixed_db,
+            up_pl_src,
+            up_pl_emit,
+            up_base_db: vec![0.0; n_tags],
+            dirty: Vec::new(),
+        };
+        // Every tag's pass writes its own rows; with every peer marked as
+        // having its own pass, the columns complete each other exactly
+        // once.
+        let everyone = vec![true; n_tags];
+        for t in 0..n_tags {
+            matrix.refresh_tag(scenario, t, &everyone);
         }
-        let mut sink_at_rx = Vec::new();
-        let mut sink_at_tag = Vec::new();
-        let mut sink_at_carrier = Vec::new();
-        for (s, sink) in scenario.receivers.iter().enumerate() {
-            let (rx, tag, carrier) = one_hop_rows(
-                sink.downlink_tx_power_dbm,
-                sink_freq_hz(scenario, s),
-                sink.position,
-            );
-            sink_at_rx.push(rx);
-            sink_at_tag.push(tag);
-            sink_at_carrier.push(carrier);
+        for c in 0..n_carriers {
+            matrix.refresh_carrier_rows(scenario, c);
         }
+        for s in 0..n_rx {
+            matrix.refresh_sink_rows(scenario, s);
+        }
+        Ok(matrix)
+    }
 
-        ClosedLoopTables {
-            poll_budgets,
-            ack_budgets,
-            tag_at_tag,
-            tag_at_carrier,
-            carrier_at_rx,
-            carrier_at_tag,
-            carrier_at_carrier,
-            sink_at_rx,
-            sink_at_tag,
-            sink_at_carrier,
+    /// The live position of `id`.
+    pub fn position(&self, id: EntityId) -> Position {
+        match id {
+            EntityId::Tag(t) => self.tag_pos[t],
+            EntityId::Carrier(c) => self.carrier_pos[c],
+            EntityId::Sink(s) => self.sink_pos[s],
+        }
+    }
+
+    /// Moves `id` to `position` and marks every row touching it dirty. The
+    /// tables keep their old values until [`LinkMatrix::flush`] runs.
+    pub fn set_position(&mut self, id: EntityId, position: Position) {
+        match id {
+            EntityId::Tag(t) => self.tag_pos[t] = position,
+            EntityId::Carrier(c) => self.carrier_pos[c] = position,
+            EntityId::Sink(s) => self.sink_pos[s] = position,
+        }
+        self.invalidate_entity(id);
+    }
+
+    /// Marks every row touching `id` dirty without moving it (for callers
+    /// that batch position writes themselves).
+    pub fn invalidate_entity(&mut self, id: EntityId) {
+        self.dirty.push(id);
+    }
+
+    /// Number of entities with stale rows.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Recomputes the rows of every dirty entity from the cached
+    /// position-independent terms and the live geometry, returning how many
+    /// entities were refreshed. Each affected row costs a handful of
+    /// `log10`s; nothing else of the build is repeated.
+    pub fn flush(&mut self, scenario: &Scenario) -> usize {
+        let mut dirty = std::mem::take(&mut self.dirty);
+        dirty.sort_unstable();
+        dirty.dedup();
+        let refreshed = dirty.len();
+        if refreshed == 0 {
+            return 0;
+        }
+        // Expand the dirty set: a moved carrier changes both hops of every
+        // tag it illuminates (uplink base, poll and ack geometry).
+        let mut tag_dirty = vec![false; scenario.tags.len()];
+        let mut carriers = Vec::new();
+        let mut sinks = Vec::new();
+        for id in dirty {
+            match id {
+                EntityId::Tag(t) => tag_dirty[t] = true,
+                EntityId::Carrier(c) => {
+                    for (t, tag) in scenario.tags.iter().enumerate() {
+                        if tag.carrier == c {
+                            tag_dirty[t] = true;
+                        }
+                    }
+                    carriers.push(c);
+                }
+                EntityId::Sink(s) => sinks.push(s),
+            }
+        }
+        // Dirty tags first (their passes refresh the cached bases the
+        // carrier and sink rows reuse); each pass leaves the cells owned
+        // by another dirty tag's pass to that pass, so when the whole
+        // fleet moves in one tick no cell is computed twice.
+        for t in 0..scenario.tags.len() {
+            if tag_dirty[t] {
+                self.refresh_tag(scenario, t, &tag_dirty);
+            }
+        }
+        for c in carriers {
+            self.refresh_carrier_rows(scenario, c);
+        }
+        for s in sinks {
+            self.refresh_sink_rows(scenario, s);
+        }
+        refreshed
+    }
+
+    /// Tag `t` as **emitter and listener**: recomputes every row and
+    /// column touching it — uplink interference and budget, and (closed
+    /// loop) its power at every detector/radio, every emitter's power at
+    /// its detector, and its poll/ack budgets. Each peer pair costs one
+    /// distance and one `log10`, shared between the two directions.
+    ///
+    /// `peer_dirty[v]` marks tags whose own refresh runs in the same
+    /// flush: their `[v][t]` cells are left to that refresh (and the
+    /// cached base of a dirty peer may be stale, so it must not be read).
+    fn refresh_tag(&mut self, scenario: &Scenario, t: usize, peer_dirty: &[bool]) {
+        // The tag being refreshed must be marked as having its own pass —
+        // the tag ↔ tag loop below relies on it to skip the self-cell
+        // while its row is detached.
+        debug_assert!(peer_dirty[t]);
+        let tag = &scenario.tags[t];
+        let pos = self.tag_pos[t];
+        let pl_emit_t = self.up_pl_emit[t];
+        // The carrier → tag hop: the base every cell of this emitter row
+        // shares, and (closed loop) the poll distance.
+        let hop1 = log_distance(&self.carrier_pos[tag.carrier], &pos);
+        let base_t = self.up_fixed_db[t] - self.up_pl_src[t].db_at(hop1.0, hop1.1);
+        self.up_base_db[t] = base_t;
+        for (s, s_pos) in self.sink_pos.iter().enumerate() {
+            let (l, near) = log_distance(&pos, s_pos);
+            self.interference_dbm[t][s] = base_t - pl_emit_t.db_at(l, near);
+        }
+        self.budgets[t].median_rssi_dbm = self.interference_dbm[t][tag.receiver];
+
+        let Self {
+            ref tag_pos,
+            ref carrier_pos,
+            ref sink_pos,
+            up_base_db: ref up_base,
+            up_pl_emit: ref pl_emit,
+            ref mut closed_loop,
+            ..
+        } = *self;
+        let Some(cl) = closed_loop.as_mut() else {
+            return;
+        };
+        let s = tag.receiver;
+        // Poll: the carrier's AM frame on the tag's service band, one
+        // conventional hop into the envelope detector (same distance as
+        // the illumination hop above).
+        cl.poll_budgets[t].median_rssi_dbm =
+            scenario.carriers[tag.carrier].tx_power_dbm + 2.0 + cl.pkg_at_sink_freq[t][s]
+                - cl.pl_sink[s].db_at(hop1.0, hop1.1);
+        // Ack: the sink's AM frame into the carrier's radio. Independent
+        // of the tag's own position but cheap, and it keeps every budget
+        // of tag `t` fresh through one entry point.
+        let ack_hop = log_distance(&sink_pos[s], &carrier_pos[tag.carrier]);
+        cl.ack_budgets[t].median_rssi_dbm = scenario.receivers[s].downlink_tx_power_dbm + 2.0 + 2.0
+            - cl.pl_sink[s].db_at(ack_hop.0, ack_hop.1);
+        // Tag ↔ tag: both directions of every pair this pass owns, one
+        // log-distance each. A pair of tags that are *both* dirty in this
+        // flush belongs to the higher-indexed tag's pass (passes run in
+        // ascending order, so the lower peer's base is fresh by then);
+        // pairs with an unmoved peer belong to the moved tag. The forward
+        // row walks four slices in lockstep — this is the hottest loop of
+        // a mobility tick.
+        {
+            let mut row = std::mem::take(&mut cl.tag_at_tag[t]);
+            for ((((v, v_pos), cell), &pkg), &dirty) in tag_pos
+                .iter()
+                .enumerate()
+                .zip(row.iter_mut())
+                .zip(cl.pkg_at_tag_freq[t].iter())
+                .zip(peer_dirty.iter())
+            {
+                if dirty && v > t {
+                    continue; // v's own pass owns this pair
+                }
+                let (l, near) = log_distance(&pos, v_pos);
+                *cell = base_t - pl_emit_t.db_at(l, near) - 2.0 + pkg;
+                if v != t {
+                    cl.tag_at_tag[v][t] =
+                        up_base[v] - pl_emit[v].db_at(l, near) - 2.0 + cl.pkg_at_tag_freq[v][t];
+                }
+            }
+            cl.tag_at_tag[t] = row;
+        }
+        // Tag ↔ carrier: t's emission at every radio, every poll at t's
+        // detector (both tables are tag-major, so these are contiguous
+        // row writes).
+        {
+            let tac_row = &mut cl.tag_at_carrier[t];
+            let cat_row = &mut cl.carrier_at_tag[t];
+            let pkg_row = &cl.pkg_at_carrier_freq[t];
+            for ((((c_spec, c_pos), pl_c), (tac, cat)), &pkg) in scenario
+                .carriers
+                .iter()
+                .zip(carrier_pos.iter())
+                .zip(cl.pl_carrier.iter())
+                .zip(tac_row.iter_mut().zip(cat_row.iter_mut()))
+                .zip(pkg_row.iter())
+            {
+                let (l, near) = log_distance(&pos, c_pos);
+                *tac = base_t - pl_emit_t.db_at(l, near);
+                *cat = c_spec.tx_power_dbm + 2.0 + pkg - pl_c.db_at(l, near);
+            }
+        }
+        // Sink → tag: every ack frame at t's detector.
+        for (s2, s2_pos) in sink_pos.iter().enumerate() {
+            let (l, near) = log_distance(&pos, s2_pos);
+            cl.sink_at_tag[t][s2] =
+                scenario.receivers[s2].downlink_tx_power_dbm + 2.0 + cl.pkg_at_sink_freq[t][s2]
+                    - cl.pl_sink[s2].db_at(l, near);
+        }
+    }
+
+    /// Carrier `c` as an **emitter and listener** (closed loop): its poll
+    /// power at every listener, and every emitter's power at its radio.
+    fn refresh_carrier_rows(&mut self, scenario: &Scenario, c: usize) {
+        let Self {
+            ref tag_pos,
+            ref carrier_pos,
+            ref sink_pos,
+            up_base_db: ref up_base,
+            up_pl_emit: ref pl_emit,
+            ref mut closed_loop,
+            ..
+        } = *self;
+        let Some(cl) = closed_loop.as_mut() else {
+            return;
+        };
+        let pos = carrier_pos[c];
+        let spec = &scenario.carriers[c];
+        // Carrier c's poll at every receiver, and tag ↔ carrier both ways
+        // (one log-distance per pair, the same formulas `refresh_tag`
+        // writes — bases are fresh: a carrier move marks its tags dirty
+        // and their passes run first).
+        for (r, r_pos) in sink_pos.iter().enumerate() {
+            let (l, near) = log_distance(&pos, r_pos);
+            cl.carrier_at_rx[c][r] =
+                spec.tx_power_dbm + 2.0 + 2.0 - cl.pl_carrier[c].db_at(l, near);
+        }
+        for (t, t_pos) in tag_pos.iter().enumerate() {
+            let (l, near) = log_distance(&pos, t_pos);
+            cl.carrier_at_tag[t][c] = spec.tx_power_dbm + 2.0 + cl.pkg_at_carrier_freq[t][c]
+                - cl.pl_carrier[c].db_at(l, near);
+            cl.tag_at_carrier[t][c] = up_base[t] - pl_emit[t].db_at(l, near);
+        }
+        for (c2, c2_pos) in carrier_pos.iter().enumerate() {
+            let (l, near) = log_distance(&pos, c2_pos);
+            cl.carrier_at_carrier[c][c2] =
+                spec.tx_power_dbm + 2.0 + 2.0 - cl.pl_carrier[c].db_at(l, near);
+            // The reverse direction: c2's poll at the moved carrier c.
+            cl.carrier_at_carrier[c2][c] =
+                scenario.carriers[c2].tx_power_dbm + 2.0 + 2.0 - cl.pl_carrier[c2].db_at(l, near);
+        }
+        for (s, s_spec) in scenario.receivers.iter().enumerate() {
+            let (l, near) = log_distance(&sink_pos[s], &pos);
+            cl.sink_at_carrier[s][c] =
+                s_spec.downlink_tx_power_dbm + 2.0 + 2.0 - cl.pl_sink[s].db_at(l, near);
+            // Ack budgets of every tag served by carrier c and sink s.
+            for (t, tag) in scenario.tags.iter().enumerate() {
+                if tag.carrier == c && tag.receiver == s {
+                    cl.ack_budgets[t].median_rssi_dbm = cl.sink_at_carrier[s][c];
+                }
+            }
+        }
+    }
+
+    /// Sink `s` as an **emitter and listener**: every tag's uplink power at
+    /// it, and — closed loop — its ack power at every listener.
+    fn refresh_sink_rows(&mut self, scenario: &Scenario, s: usize) {
+        let pos = self.sink_pos[s];
+        for (u, tag) in scenario.tags.iter().enumerate() {
+            let (l, near) = log_distance(&self.tag_pos[u], &pos);
+            self.interference_dbm[u][s] = self.up_base_db[u] - self.up_pl_emit[u].db_at(l, near);
+            if tag.receiver == s {
+                self.budgets[u].median_rssi_dbm = self.interference_dbm[u][s];
+            }
+        }
+        let Self {
+            ref tag_pos,
+            ref carrier_pos,
+            ref sink_pos,
+            ref mut closed_loop,
+            ..
+        } = *self;
+        let Some(cl) = closed_loop.as_mut() else {
+            return;
+        };
+        let spec = &scenario.receivers[s];
+        for (r, r_pos) in sink_pos.iter().enumerate() {
+            let (l, near) = log_distance(&pos, r_pos);
+            cl.sink_at_rx[s][r] =
+                spec.downlink_tx_power_dbm + 2.0 + 2.0 - cl.pl_sink[s].db_at(l, near);
+            // The reverse direction: r's ack at the moved sink s.
+            cl.sink_at_rx[r][s] = scenario.receivers[r].downlink_tx_power_dbm + 2.0 + 2.0
+                - cl.pl_sink[r].db_at(l, near);
+        }
+        for (t, t_pos) in tag_pos.iter().enumerate() {
+            let (l, near) = log_distance(&pos, t_pos);
+            cl.sink_at_tag[t][s] = spec.downlink_tx_power_dbm + 2.0 + cl.pkg_at_sink_freq[t][s]
+                - cl.pl_sink[s].db_at(l, near);
+        }
+        for (c, c_pos) in carrier_pos.iter().enumerate() {
+            let (l, near) = log_distance(&pos, c_pos);
+            cl.sink_at_carrier[s][c] =
+                spec.downlink_tx_power_dbm + 2.0 + 2.0 - cl.pl_sink[s].db_at(l, near);
+            cl.carrier_at_rx[c][s] =
+                scenario.carriers[c].tx_power_dbm + 2.0 + 2.0 - cl.pl_carrier[c].db_at(l, near);
+        }
+        // Ack budgets of every tag this sink serves.
+        for (t, tag) in scenario.tags.iter().enumerate() {
+            if tag.receiver == s {
+                cl.ack_budgets[t].median_rssi_dbm = cl.sink_at_carrier[s][tag.carrier];
+            }
         }
     }
 
@@ -388,10 +770,10 @@ impl LinkMatrix {
             (Emitter::Tag(u), Listener::Tag(t)) => self.closed().tag_at_tag[u][t],
             (Emitter::Tag(u), Listener::Carrier(c)) => self.closed().tag_at_carrier[u][c],
             (Emitter::Carrier(p), Listener::Receiver(r)) => self.closed().carrier_at_rx[p][r],
-            (Emitter::Carrier(p), Listener::Tag(t)) => self.closed().carrier_at_tag[p][t],
+            (Emitter::Carrier(p), Listener::Tag(t)) => self.closed().carrier_at_tag[t][p],
             (Emitter::Carrier(p), Listener::Carrier(c)) => self.closed().carrier_at_carrier[p][c],
             (Emitter::Sink(s), Listener::Receiver(r)) => self.closed().sink_at_rx[s][r],
-            (Emitter::Sink(s), Listener::Tag(t)) => self.closed().sink_at_tag[s][t],
+            (Emitter::Sink(s), Listener::Tag(t)) => self.closed().sink_at_tag[t][s],
             (Emitter::Sink(s), Listener::Carrier(c)) => self.closed().sink_at_carrier[s][c],
         }
     }
@@ -518,5 +900,143 @@ mod tests {
         let scenario = Scenario::hospital_ward(4);
         let matrix = LinkMatrix::build(&scenario).unwrap();
         let _ = matrix.poll_budget(0);
+    }
+
+    /// Every table of two matrices agrees to within floating-point noise.
+    fn assert_tables_match(a: &LinkMatrix, b: &LinkMatrix, what: &str) {
+        let close = |x: f64, y: f64| (x - y).abs() < 1e-9;
+        for t in 0..a.len() {
+            assert!(
+                close(a.budget(t).median_rssi_dbm, b.budget(t).median_rssi_dbm),
+                "{what}: uplink budget of tag {t}"
+            );
+            for r in 0..a.interference_dbm[t].len() {
+                assert!(
+                    close(a.interference_dbm(t, r), b.interference_dbm(t, r)),
+                    "{what}: interference {t}→{r}"
+                );
+            }
+        }
+        if let (Some(ca), Some(cb)) = (a.closed_loop.as_ref(), b.closed_loop.as_ref()) {
+            for t in 0..a.len() {
+                assert!(
+                    close(
+                        ca.poll_budgets[t].median_rssi_dbm,
+                        cb.poll_budgets[t].median_rssi_dbm
+                    ),
+                    "{what}: poll budget of tag {t}"
+                );
+                assert!(
+                    close(
+                        ca.ack_budgets[t].median_rssi_dbm,
+                        cb.ack_budgets[t].median_rssi_dbm
+                    ),
+                    "{what}: ack budget of tag {t}"
+                );
+            }
+            let tables = [
+                (&ca.tag_at_tag, &cb.tag_at_tag, "tag_at_tag"),
+                (&ca.tag_at_carrier, &cb.tag_at_carrier, "tag_at_carrier"),
+                (&ca.carrier_at_rx, &cb.carrier_at_rx, "carrier_at_rx"),
+                (&ca.carrier_at_tag, &cb.carrier_at_tag, "carrier_at_tag"),
+                (
+                    &ca.carrier_at_carrier,
+                    &cb.carrier_at_carrier,
+                    "carrier_at_carrier",
+                ),
+                (&ca.sink_at_rx, &cb.sink_at_rx, "sink_at_rx"),
+                (&ca.sink_at_tag, &cb.sink_at_tag, "sink_at_tag"),
+                (&ca.sink_at_carrier, &cb.sink_at_carrier, "sink_at_carrier"),
+            ];
+            for (ta, tb, name) in tables {
+                for (i, (ra, rb)) in ta.iter().zip(tb).enumerate() {
+                    for (j, (&va, &vb)) in ra.iter().zip(rb).enumerate() {
+                        assert!(close(va, vb), "{what}: {name}[{i}][{j}]: {va} vs {vb}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_update_matches_full_rebuild() {
+        // Move a tag, a carrier and a sink through the incremental path and
+        // through a from-scratch build of the moved scenario: every table
+        // must agree.
+        for base in [
+            Scenario::hospital_ward(10),
+            Scenario::hospital_ward(10).closed_loop(),
+            Scenario::card_to_card_room(5).closed_loop(),
+        ] {
+            let mut matrix = LinkMatrix::build(&base).unwrap();
+            let mut moved = base.clone();
+            let new_tag_pos = Position::new(4.5, 6.5, 1.1);
+            let new_carrier_pos = Position::new(2.0, 2.5, 1.0);
+            let new_sink_pos = Position::new(9.0, 1.0, 2.0);
+            moved.place_tag(0, new_tag_pos);
+            moved.place_carrier(0, new_carrier_pos);
+            moved.place_sink(0, new_sink_pos);
+
+            matrix.set_position(EntityId::Tag(0), new_tag_pos);
+            matrix.set_position(EntityId::Carrier(0), new_carrier_pos);
+            matrix.set_position(EntityId::Sink(0), new_sink_pos);
+            assert_eq!(matrix.dirty_len(), 3);
+            assert_eq!(matrix.flush(&base), 3);
+            assert_eq!(matrix.dirty_len(), 0);
+
+            let rebuilt = LinkMatrix::build(&moved).unwrap();
+            assert_tables_match(&matrix, &rebuilt, &base.name);
+        }
+    }
+
+    #[test]
+    fn moving_a_tag_changes_its_decode_probability() {
+        // Regression for the stale-geometry bug: a repositioned tag must
+        // see a different link budget (and hence decode probability) — the
+        // matrix can no longer be silently reused with old geometry,
+        // because positions are only reachable through the dirty-marking
+        // setter.
+        let scenario = Scenario::hospital_ward(4);
+        let mut matrix = LinkMatrix::build(&scenario).unwrap();
+        let before = *matrix.budget(0);
+        // Walk the tag away from its carrier and across the ward.
+        let far = Position::new(11.5, 0.5, 1.0);
+        matrix.set_position(EntityId::Tag(0), far);
+        matrix.flush(&scenario);
+        let after = *matrix.budget(0);
+        assert!(
+            after.median_rssi_dbm < before.median_rssi_dbm - 10.0,
+            "median {} → {} dBm",
+            before.median_rssi_dbm,
+            after.median_rssi_dbm
+        );
+        // The decode probability itself moves: the strong bedside link
+        // delivers essentially always, the walked-away link does not.
+        let decode_rate = |budget: &LinkBudget| {
+            let mut rng = SmallRng::seed_from_u64(9);
+            (0..500)
+                .filter(|_| budget.packet_outcome(&mut rng).0)
+                .count() as f64
+                / 500.0
+        };
+        let (p_before, p_after) = (decode_rate(&before), decode_rate(&after));
+        assert!(
+            p_before - p_after > 0.3,
+            "decode probability {p_before} → {p_after}"
+        );
+    }
+
+    #[test]
+    fn flush_without_moves_is_a_no_op() {
+        let scenario = Scenario::contact_lens_fleet(4).closed_loop();
+        let mut matrix = LinkMatrix::build(&scenario).unwrap();
+        let reference = matrix.clone();
+        assert_eq!(matrix.flush(&scenario), 0);
+        // Invalidating without moving recomputes in place to the same
+        // values.
+        matrix.invalidate_entity(EntityId::Tag(1));
+        matrix.invalidate_entity(EntityId::Tag(1));
+        assert_eq!(matrix.flush(&scenario), 1, "duplicates must dedup");
+        assert_tables_match(&matrix, &reference, "no-op flush");
     }
 }

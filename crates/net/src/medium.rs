@@ -16,6 +16,24 @@
 //! carrier checks [`Medium::busy`] before granting a slot (carrier-sense),
 //! and may place a [`Medium::reserve`] entry that keeps *other* in-model
 //! tags off the band for the packet's duration.
+//!
+//! ## Boundary semantics
+//!
+//! Time intervals at the medium follow two pinned conventions (see the
+//! `boundary_instants_are_exact` test):
+//!
+//! * An **emission** occupies the half-open window `[start, end)`: at the
+//!   instant `end` its energy is gone, so an emission starting exactly at
+//!   another's `end` neither defers to it nor collides with it. SIFS-
+//!   chained transaction frames rely on this — consecutive frames may
+//!   share a boundary nanosecond without interfering.
+//! * A **reservation** (CTS-to-Self NAV) protects `[placement, end]`,
+//!   *inclusive* of its final instant: 802.11's NAV duration means "the
+//!   medium is busy through this instant; access may begin strictly
+//!   after". An emission starting exactly at `end` still sees the channel
+//!   busy; the first free instant is `end + 1` ns. A tie between a NAV
+//!   boundary and a carrier-sense check therefore always resolves in the
+//!   reservation holder's favour.
 
 use crate::time::Time;
 
@@ -84,7 +102,8 @@ impl Emission {
     }
 }
 
-/// A CTS-to-Self reservation keeping other tags off a band.
+/// A CTS-to-Self reservation keeping other tags off a band through `end`
+/// *inclusive* (the NAV convention — see the module docs).
 #[derive(Debug, Clone, Copy)]
 struct Reservation {
     band: Band,
@@ -133,16 +152,19 @@ impl Medium {
         Medium::default()
     }
 
-    /// Drops emissions and reservations that ended at or before `now`.
+    /// Drops reservations whose protected window `[.., end]` has passed.
+    /// A reservation ending exactly at `now` is *kept*: it still blocks an
+    /// emission starting at `now` (NAV is inclusive of its final instant).
     ///
     /// Finished emissions are only pruned after [`Medium::finish`] collects
     /// them, so this keeps `active` sized to the true in-flight set.
     fn prune(&mut self, now: Time) {
-        self.reservations.retain(|r| r.end > now);
+        self.reservations.retain(|r| r.end >= now);
     }
 
-    /// Carrier-sense: is any emission or reservation occupying a band that
-    /// overlaps `band` at time `now`?
+    /// Carrier-sense: is any emission (`[start, end)`) or reservation
+    /// (`[start, end]`) occupying a band that overlaps `band` at time
+    /// `now`?
     pub fn busy(&mut self, band: Band, now: Time) -> bool {
         self.prune(now);
         self.active
@@ -152,7 +174,8 @@ impl Medium {
             || self.reservations.iter().any(|r| r.band.overlaps(&band))
     }
 
-    /// Places a CTS-to-Self reservation on `band` until `end`.
+    /// Places a CTS-to-Self reservation on `band` protecting every instant
+    /// up to and including `end`.
     pub fn reserve(&mut self, band: Band, end: Time) {
         self.reservations.push(Reservation { band, end });
     }
@@ -332,7 +355,42 @@ mod tests {
 
         medium.reserve(wifi(CH6), Time(300_000));
         assert!(medium.busy(wifi(CH6), Time(200_000)));
-        // Reservations expire.
-        assert!(!medium.busy(wifi(CH6), Time(300_000)));
+        // Reservations expire strictly after their final protected instant.
+        assert!(!medium.busy(wifi(CH6), Time(300_001)));
+    }
+
+    #[test]
+    fn boundary_instants_are_exact() {
+        // Emissions are half-open [start, end): at the exact end instant
+        // the band is free, and a new start at that instant records no
+        // interference against the ended emission — SIFS-chained frames
+        // may share a boundary nanosecond.
+        let mut medium = Medium::new();
+        let first = medium.start(Emitter::Tag(0), wifi(CH11), None, Time(0), Time(100_000));
+        assert!(medium.busy(wifi(CH11), Time(99_999)));
+        assert!(!medium.busy(wifi(CH11), Time(100_000)));
+        let second = medium.start(
+            Emitter::Tag(1),
+            wifi(CH11),
+            None,
+            Time(100_000),
+            Time(200_000),
+        );
+        assert!(medium.finish(first).interferers.is_empty());
+        assert!(medium.finish(second).interferers.is_empty());
+
+        // Reservations protect [start, end] inclusive: an emission
+        // starting exactly when the NAV ends must still see the channel
+        // busy — the tie goes to the reservation holder. The first free
+        // instant is one nanosecond later.
+        medium.reserve(wifi(CH6), Time(300_000));
+        assert!(medium.busy(wifi(CH6), Time(299_999)));
+        assert!(
+            medium.busy(wifi(CH6), Time(300_000)),
+            "an emission starting at the NAV's end instant must defer"
+        );
+        assert!(!medium.busy(wifi(CH6), Time(300_001)));
+        // And once expired it stays expired (prune is monotone).
+        assert!(!medium.busy(wifi(CH6), Time(400_000)));
     }
 }

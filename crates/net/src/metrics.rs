@@ -54,6 +54,29 @@ impl TagStats {
     }
 }
 
+/// One point of a tag's PRR-vs-displacement series, recorded at a mobility
+/// tick: where the tag was relative to its starting position, and how its
+/// attempts fared since the previous tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MobilitySample {
+    /// Simulated time of the tick, seconds.
+    pub at_s: f64,
+    /// Straight-line distance from the tag's starting position, metres.
+    pub displacement_m: f64,
+    /// Transmission attempts since the previous tick.
+    pub attempts: usize,
+    /// Deliveries since the previous tick.
+    pub delivered: usize,
+}
+
+impl MobilitySample {
+    /// Packet reception ratio over the tick's attempts (`None` when the
+    /// tag did not transmit in this tick).
+    pub fn prr(&self) -> Option<f64> {
+        (self.attempts > 0).then(|| self.delivered as f64 / self.attempts as f64)
+    }
+}
+
 /// Aggregated results of one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct NetworkMetrics {
@@ -70,6 +93,10 @@ pub struct NetworkMetrics {
     /// seconds — the coexistence cost the §2.3.1 single-sideband design
     /// removes (cf. Fig. 12).
     pub mirror_airtime_s: Vec<f64>,
+    /// Per-tag PRR-vs-displacement series, one entry per mobility tick
+    /// (empty vectors for static runs) — how link quality tracks motion,
+    /// indexed like the scenario's tag list.
+    pub mobility_series: Vec<Vec<MobilitySample>>,
 }
 
 impl NetworkMetrics {
@@ -82,7 +109,34 @@ impl NetworkMetrics {
             latency_ms: Cdf::new(),
             transaction_latency_ms: Cdf::new(),
             mirror_airtime_s: vec![0.0; n_receivers],
+            mobility_series: vec![Vec::new(); n_tags],
         }
+    }
+
+    /// Pooled PRR of all mobility samples whose displacement falls in
+    /// `[min_m, max_m)`, with the number of attempts it is based on —
+    /// the paper-style "how far can the tag wander before the link dies"
+    /// readout. `None` when no attempts landed in the band.
+    pub fn prr_in_displacement_band(&self, min_m: f64, max_m: f64) -> Option<(f64, usize)> {
+        let (mut attempts, mut delivered) = (0usize, 0usize);
+        for series in &self.mobility_series {
+            for s in series {
+                if s.displacement_m >= min_m && s.displacement_m < max_m {
+                    attempts += s.attempts;
+                    delivered += s.delivered;
+                }
+            }
+        }
+        (attempts > 0).then(|| (delivered as f64 / attempts as f64, attempts))
+    }
+
+    /// Largest displacement any tag reached, metres (0 for static runs).
+    pub fn max_displacement_m(&self) -> f64 {
+        self.mobility_series
+            .iter()
+            .flatten()
+            .map(|s| s.displacement_m)
+            .fold(0.0, f64::max)
     }
 
     /// Total packets the applications offered.
@@ -230,6 +284,20 @@ impl NetworkMetrics {
                 self.mirror_duty(rx)
             ));
         }
+        let max_disp = self.max_displacement_m();
+        if max_disp > 0.0 {
+            out.push_str(&format!("mobility: max displacement {max_disp:.2} m"));
+            let half = max_disp / 2.0;
+            if let (Some((near, _)), Some((far, _))) = (
+                self.prr_in_displacement_band(0.0, half),
+                self.prr_in_displacement_band(half, f64::INFINITY),
+            ) {
+                out.push_str(&format!(
+                    "  PRR near (<{half:.1} m) {near:.3}  far (≥{half:.1} m) {far:.3}"
+                ));
+            }
+            out.push('\n');
+        }
         out
     }
 }
@@ -310,6 +378,35 @@ mod tests {
         assert_eq!(empty.delivery_ratio(), 1.0);
         assert_eq!(empty.throughput_bps(), 0.0);
         assert_eq!(empty.jain_fairness(), 1.0);
+    }
+
+    #[test]
+    fn mobility_series_aggregates_prr_by_displacement() {
+        let mut m = NetworkMetrics::new(2, 1, 10.0);
+        assert_eq!(m.max_displacement_m(), 0.0);
+        assert!(m.prr_in_displacement_band(0.0, f64::INFINITY).is_none());
+        assert!(!m.report().contains("mobility"));
+
+        let sample = |d: f64, attempts: usize, delivered: usize| MobilitySample {
+            at_s: 0.1,
+            displacement_m: d,
+            attempts,
+            delivered,
+        };
+        m.mobility_series[0] = vec![sample(0.5, 4, 4), sample(3.0, 4, 1)];
+        m.mobility_series[1] = vec![sample(1.0, 2, 2), sample(0.0, 0, 0)];
+        assert_eq!(m.max_displacement_m(), 3.0);
+        let (near, near_n) = m.prr_in_displacement_band(0.0, 1.5).unwrap();
+        assert!((near - 1.0).abs() < 1e-12 && near_n == 6);
+        let (far, far_n) = m.prr_in_displacement_band(1.5, f64::INFINITY).unwrap();
+        assert!((far - 0.25).abs() < 1e-12 && far_n == 4);
+        assert_eq!(sample(0.0, 0, 0).prr(), None);
+        assert_eq!(sample(1.0, 4, 3).prr(), Some(0.75));
+        let report = m.report();
+        assert!(
+            report.contains("mobility: max displacement 3.00 m"),
+            "{report}"
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::entities::{CarrierSource, NetPhy, Position, SinkReceiver, TagNode, TagProfile};
 use crate::mac::MacMode;
+use crate::mobility::{Bounds, MobilityConfig, MobilityModel, RandomWaypoint};
 use crate::NetError;
 use interscatter_backscatter::tag::SidebandMode;
 use interscatter_wifi::dot11b::DsssRate;
@@ -35,6 +36,10 @@ pub struct Scenario {
     /// Open-loop slot granting or the closed poll/ack loop
     /// ([`crate::mac`]).
     pub mac: MacMode,
+    /// How (and whether) the tags move during the run
+    /// ([`crate::mobility`]). `None` keeps every entity where the builder
+    /// placed it.
+    pub mobility: Option<MobilityConfig>,
 }
 
 impl Scenario {
@@ -98,7 +103,30 @@ impl Scenario {
                 )));
             }
         }
+        if let Some(mobility) = &self.mobility {
+            mobility
+                .validate()
+                .map_err(|e| NetError::InvalidScenario(format!("mobility: {e}")))?;
+        }
         Ok(())
+    }
+
+    /// Repositions tag `t` before the run. Positions are private — this is
+    /// the only way to move a tag between building a scenario and running
+    /// it, so a [`crate::links::LinkMatrix`] can never be built from one
+    /// geometry and silently reused with another.
+    pub fn place_tag(&mut self, t: usize, position: Position) {
+        self.tags[t].position = position;
+    }
+
+    /// Repositions carrier `c` before the run (see [`Scenario::place_tag`]).
+    pub fn place_carrier(&mut self, c: usize, position: Position) {
+        self.carriers[c].position = position;
+    }
+
+    /// Repositions sink `s` before the run (see [`Scenario::place_tag`]).
+    pub fn place_sink(&mut self, s: usize, position: Position) {
+        self.receivers[s].position = position;
     }
 
     /// A hospital ward of implanted sensors (cf. the in-body sub-network
@@ -172,6 +200,7 @@ impl Scenario {
             cts_to_self: true,
             max_queue: 64,
             mac: MacMode::OpenLoop,
+            mobility: None,
         }
     }
 
@@ -218,6 +247,7 @@ impl Scenario {
             cts_to_self: true,
             max_queue: 32,
             mac: MacMode::OpenLoop,
+            mobility: None,
         }
     }
 
@@ -275,6 +305,7 @@ impl Scenario {
             cts_to_self: false,
             max_queue: 16,
             mac: MacMode::OpenLoop,
+            mobility: None,
         }
     }
 
@@ -324,6 +355,7 @@ impl Scenario {
             cts_to_self: false,
             max_queue: 32,
             mac: MacMode::OpenLoop,
+            mobility: None,
         }
     }
 
@@ -341,6 +373,104 @@ impl Scenario {
         self.mac = MacMode::ClosedLoop;
         self.name = format!("{}-closed-loop", self.name);
         self
+    }
+
+    /// The mobile variant of any preset: attaches a mobility model that
+    /// moves every tag during the run, with the engine re-deriving the
+    /// affected [`crate::links::LinkMatrix`] rows at every tick. Works on
+    /// all builders and composes with [`Scenario::closed_loop`]:
+    ///
+    /// ```
+    /// use interscatter_net::mobility::{Bounds, MobilityConfig, MobilityModel, RandomWalk};
+    /// use interscatter_net::scenario::Scenario;
+    /// let ward = Scenario::contact_lens_fleet(8).with_mobility(MobilityConfig {
+    ///     model: MobilityModel::RandomWalk(RandomWalk { speed_mps: 0.3, turn_rad: 0.8 }),
+    ///     tick_interval_s: 0.1,
+    ///     bounds: Bounds::room(3.0, 3.0, 1.2),
+    ///     carriers_follow: false,
+    /// });
+    /// assert!(ward.name.ends_with("mobile"));
+    /// ward.validate().unwrap();
+    /// ```
+    pub fn with_mobility(mut self, config: MobilityConfig) -> Scenario {
+        self.mobility = Some(config);
+        self.name = format!("{}-mobile", self.name);
+        self
+    }
+
+    /// An ambulatory hospital ward: `n_tags` implanted patients *walking*
+    /// a 12 m × 9 m ward under a random-waypoint model, each wearing their
+    /// own 20 dBm helper beacon 0.3 m from the implant (the §2.3.3 helper
+    /// device, body-worn so it stays inside the ~1 m illumination range
+    /// while the patient moves). The three wall APs are fixed, so the
+    /// tag → AP leg sweeps metres of path loss as patients wander — the
+    /// regime where link budgets must track geometry tick by tick.
+    pub fn ambulatory_ward(n_tags: usize) -> Scenario {
+        let n = n_tags.max(1);
+        let (width, depth) = (12.0, 9.0);
+        let (patients, _) = couple_positions(n, width, depth, 1.0, 1.0);
+
+        // One body-worn helper per patient, polled on a 5 ms cadence.
+        let carriers: Vec<CarrierSource> = patients
+            .iter()
+            .map(|p| CarrierSource::helper(Position::new(p.x + 0.3, p.y, p.z), 5e-3))
+            .collect();
+
+        let ap_channels = [1u8, 6, 11];
+        let receivers: Vec<SinkReceiver> = ap_channels
+            .iter()
+            .enumerate()
+            .map(|(i, &ch)| {
+                let x = width * (i as f64 + 0.5) / 3.0;
+                let mut ap = SinkReceiver::wifi_ap(Position::new(x, depth - 0.5, 2.5), ch);
+                ap.external_occupancy = if ch == 6 { 0.2 } else { 0.05 };
+                ap
+            })
+            .collect();
+
+        let tags: Vec<TagNode> = patients
+            .iter()
+            .enumerate()
+            .map(|(t, &position)| {
+                let rx = t % receivers.len();
+                TagNode {
+                    position,
+                    profile: TagProfile::NeuralImplant,
+                    sideband: SidebandMode::Single,
+                    phy: NetPhy::Wifi {
+                        rate: DsssRate::Mbps2,
+                        channel: ap_channels[rx],
+                    },
+                    carrier: t,
+                    receiver: rx,
+                    payload_bytes: 31,
+                    arrival_rate_pps: 2.0,
+                    max_retries: 8,
+                }
+            })
+            .collect();
+
+        Scenario {
+            name: format!("ambulatory-ward-{n}"),
+            duration_s: 10.0,
+            carriers,
+            tags,
+            receivers,
+            cts_to_self: true,
+            max_queue: 64,
+            mac: MacMode::OpenLoop,
+            mobility: None,
+        }
+        .with_mobility(MobilityConfig {
+            model: MobilityModel::RandomWaypoint(RandomWaypoint {
+                speed_min_mps: 0.6,
+                speed_max_mps: 1.2,
+                pause_s: 2.0,
+            }),
+            tick_interval_s: 0.1,
+            bounds: Bounds::room(width, depth, 1.0),
+            carriers_follow: true,
+        })
     }
 }
 
@@ -396,6 +526,7 @@ fn nearest_index(receivers: &[SinkReceiver], position: &Position) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mobility::RandomWalk;
 
     #[test]
     fn builders_produce_valid_scenarios() {
@@ -481,6 +612,76 @@ mod tests {
         let a = Scenario::hospital_ward(20);
         let b = Scenario::hospital_ward(20);
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let c = Scenario::ambulatory_ward(20);
+        let d = Scenario::ambulatory_ward(20);
+        assert_eq!(format!("{c:?}"), format!("{d:?}"));
+    }
+
+    #[test]
+    fn ambulatory_ward_wears_its_helpers() {
+        let ward = Scenario::ambulatory_ward(12);
+        ward.validate().unwrap();
+        assert!(ward.name.starts_with("ambulatory-ward-12"));
+        let mobility = ward.mobility.expect("preset attaches mobility");
+        assert!(mobility.carriers_follow);
+        assert!(!mobility.model.is_static());
+        // One body-worn helper per patient, 0.3 m from the implant.
+        assert_eq!(ward.carriers.len(), ward.tags.len());
+        for (t, tag) in ward.tags.iter().enumerate() {
+            assert_eq!(tag.carrier, t);
+            let d = ward.carriers[t].position().distance_m(&tag.position());
+            assert!((d - 0.3).abs() < 1e-9, "tag {t} helper at {d} m");
+        }
+        // Composes with the closed loop.
+        let closed = Scenario::ambulatory_ward(6).closed_loop();
+        closed.validate().unwrap();
+        assert_eq!(closed.mac, MacMode::ClosedLoop);
+        assert!(closed.mobility.is_some());
+    }
+
+    #[test]
+    fn every_preset_takes_mobility() {
+        let config = MobilityConfig {
+            model: MobilityModel::RandomWalk(RandomWalk {
+                speed_mps: 0.2,
+                turn_rad: 0.5,
+            }),
+            tick_interval_s: 0.2,
+            bounds: Bounds::room(12.0, 9.0, 1.0),
+            carriers_follow: false,
+        };
+        for scenario in [
+            Scenario::hospital_ward(8).with_mobility(config),
+            Scenario::contact_lens_fleet(6).with_mobility(config),
+            Scenario::card_to_card_room(4).with_mobility(config),
+            Scenario::zigbee_wing(8).with_mobility(config),
+        ] {
+            assert!(scenario.name.ends_with("mobile"), "name {}", scenario.name);
+            assert_eq!(scenario.mobility, Some(config));
+            scenario
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        }
+        // Invalid mobility configs are rejected at validation.
+        let mut bad = Scenario::hospital_ward(4).with_mobility(config);
+        bad.mobility = Some(MobilityConfig {
+            tick_interval_s: 0.0,
+            ..config
+        });
+        assert!(matches!(bad.validate(), Err(NetError::InvalidScenario(_))));
+    }
+
+    #[test]
+    fn placement_setters_move_entities_before_the_run() {
+        let mut s = Scenario::hospital_ward(4);
+        let p = Position::new(1.5, 2.5, 1.0);
+        s.place_tag(0, p);
+        s.place_carrier(1, p);
+        s.place_sink(2, p);
+        assert_eq!(s.tags[0].position(), p);
+        assert_eq!(s.carriers[1].position(), p);
+        assert_eq!(s.receivers[2].position(), p);
+        s.validate().unwrap();
     }
 
     #[test]

@@ -13,7 +13,20 @@ impl Time {
     /// The start of the simulation.
     pub const ZERO: Time = Time(0);
 
+    /// Builds an instant from integer nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Time {
+        Time(nanos)
+    }
+
     /// Converts a duration in seconds to integer nanoseconds (rounded).
+    ///
+    /// The rounding makes this conversion safe exactly **once** per
+    /// duration: a periodic schedule that re-rounds every step (`t =
+    /// t.after_secs(period)`) picks up the same sub-nanosecond bias each
+    /// tick and drifts without bound. Periodic schedules (carrier slots,
+    /// mobility ticks) must convert the period once and advance with
+    /// [`Time::after_nanos`], which is exact — see
+    /// `periodic_schedules_must_use_integer_nanos` below for the contract.
     pub fn from_secs(seconds: f64) -> Time {
         debug_assert!(seconds >= 0.0, "negative duration");
         Time((seconds * 1e9).round() as u64)
@@ -75,5 +88,41 @@ mod tests {
     fn ordering_is_exact() {
         assert!(Time(1) < Time(2));
         assert_eq!(Time::from_secs(96e-6).as_nanos(), 96_000);
+        assert_eq!(Time::from_nanos(96_000), Time::from_secs(96e-6));
+    }
+
+    #[test]
+    fn periodic_schedules_use_the_integer_nanosecond_grid() {
+        // A period whose nanosecond count is not exactly representable:
+        // 1/3 µs is 333.33… ns, rounded to 333 ns per conversion.
+        let period_s = 1e-6 / 3.0;
+        let period_ns = Time::from_secs(period_s).as_nanos();
+        assert_eq!(period_ns, 333);
+
+        // The engine's contract: a period is quantized to the ns grid
+        // exactly once, and tick k fires at exactly k · period_ns — no
+        // accumulation on top of that single rounding, even over a
+        // million ticks.
+        let mut t = Time::ZERO;
+        for _ in 0..1_000_000 {
+            t = t.after_nanos(period_ns);
+        }
+        assert_eq!(t.as_nanos(), 1_000_000 * period_ns);
+
+        // Chaining `after_secs` instead re-rounds the period through f64
+        // nanoseconds at every step, burying the same sub-ns bias a
+        // million times over: the millionth tick lands 333 µs away from
+        // the single-rounding conversion of the same total duration.
+        // That silent cadence redefinition is why carrier slots and
+        // mobility ticks advance with `after_nanos`.
+        let chained = (0..1_000_000).fold(Time::ZERO, |acc, _| acc.after_secs(period_s));
+        let single = Time::from_secs(1_000_000.0 * period_s);
+        assert_eq!(chained, t, "per-step rounding bias is what accumulates");
+        assert!(
+            single.as_nanos() - chained.as_nanos() > 300_000,
+            "chained {} vs single-rounded {}",
+            chained.as_nanos(),
+            single.as_nanos()
+        );
     }
 }

@@ -1,0 +1,171 @@
+//! Uplink contract tests — the twin of `tests/closed_loop.rs` for the
+//! *backscatter* direction: the engine's analytic margin model for uplink
+//! decode must agree with `sim::uplink`'s full-receiver trials (DSSS
+//! synthesis, noise, Barker despreading, FCS), the ROADMAP's uplink
+//! spot-check item. One case samples the geometry **mid-walk** from a
+//! mobility model, pinning the engine's moving-tag budgets against the
+//! waveform pipeline at the same coordinates.
+
+use interscatter::channel::tissue::TissuePath;
+use interscatter::net::entities::TagProfile;
+use interscatter::net::links::{EntityId, LinkBudget, LinkMatrix};
+use interscatter::net::mobility::{Bounds, MobilityModel, MotionState, RandomWaypoint};
+use interscatter::net::scenario::Scenario;
+use interscatter::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The tag → receiver distance at which `scenario`'s median RSSI hits
+/// `target_dbm` (the two-hop budget is monotone in either distance).
+fn distance_for_rssi(scenario: &UplinkScenario, target_dbm: f64) -> f64 {
+    let (mut lo, mut hi) = (0.01, 1000.0);
+    for _ in 0..60 {
+        let mid = (lo + hi) / 2.0;
+        let mut probe = scenario.clone();
+        probe.tag_to_rx_m = mid;
+        if probe.rssi_dbm() > target_dbm {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+/// Delivery rate of `trials` full-receiver packets at the scenario's
+/// (shadowed) link budget.
+fn waveform_delivery(scenario: &UplinkScenario, trials: usize, seed: u64) -> f64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let (per, _) = scenario.wifi_error_rates(31, trials, &mut rng).unwrap();
+    1.0 - per.per()
+}
+
+/// Delivery rate of the engine's margin model: shadowed RSSI draws against
+/// the sensitivity cliff, exactly what `crates/net` runs per packet.
+fn engine_delivery(budget: &LinkBudget, trials: usize, seed: u64) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let ok = (0..trials)
+        .filter(|_| budget.packet_outcome(&mut rng).0)
+        .count();
+    ok as f64 / trials as f64
+}
+
+/// The engine's uplink budget shape for a Fig. 10 bench geometry: the
+/// same combined two-hop shadowing sigma `LinkMatrix` computes, against a
+/// Wi-Fi AP's −88 dBm sensitivity.
+fn bench_budget(scenario: &UplinkScenario) -> LinkBudget {
+    let sigma = scenario.propagation.shadowing_sigma_db;
+    LinkBudget {
+        median_rssi_dbm: scenario.rssi_dbm(),
+        shadow_sigma_db: (2.0 * sigma * sigma).sqrt(),
+        sensitivity_dbm: -88.0,
+        noise_floor_dbm: -93.6,
+    }
+}
+
+#[test]
+fn engine_uplink_decode_matches_full_receiver_trials() {
+    let base = UplinkScenario::fig10_bench(20.0, 3.0, 10.0);
+
+    // +10 dB above the AP sensitivity the engine assumes: both models sit
+    // on the good side of the cliff.
+    let mut strong = base.clone();
+    strong.tag_to_rx_m = distance_for_rssi(&base, -88.0 + 10.0);
+    let waveform = waveform_delivery(&strong, 25, 0x09_11);
+    let engine = engine_delivery(&bench_budget(&strong), 4000, 0xE28);
+    assert!(
+        waveform > 0.85 && engine > 0.85,
+        "at +10 dB ({:.2} m): waveform {waveform:.3} vs engine {engine:.3}",
+        strong.tag_to_rx_m
+    );
+    assert!(
+        (waveform - engine).abs() < 0.15,
+        "at +10 dB: waveform {waveform:.3} vs engine {engine:.3}"
+    );
+
+    // 10 dB below: both models collapse on the cliff's far side.
+    let mut weak = base.clone();
+    weak.tag_to_rx_m = distance_for_rssi(&base, -88.0 - 10.0);
+    let waveform_far = waveform_delivery(&weak, 15, 0x09_12);
+    let engine_far = engine_delivery(&bench_budget(&weak), 4000, 0xE29);
+    assert!(
+        waveform_far < 0.15 && engine_far < 0.15,
+        "at -10 dB ({:.2} m): waveform {waveform_far:.3} vs engine {engine_far:.3}",
+        weak.tag_to_rx_m
+    );
+}
+
+#[test]
+fn mobile_tag_budget_matches_waveform_geometry_mid_walk() {
+    // Walk a patient through the ward with the same random-waypoint model
+    // the engine ticks, and freeze the geometry mid-walk.
+    let ward = Scenario::hospital_ward(4);
+    let bounds = Bounds::room(12.0, 9.0, 1.0);
+    let model = MobilityModel::RandomWaypoint(RandomWaypoint {
+        speed_min_mps: 0.8,
+        speed_max_mps: 1.2,
+        pause_s: 0.5,
+    });
+    let mut state = MotionState::at(ward.tags[0].position());
+    let mut rng = SmallRng::seed_from_u64(0x0005_7A1C);
+    for _ in 0..150 {
+        model.step(&mut state, &bounds, 0.1, &mut rng);
+    }
+    let mid_walk = state.position;
+    assert!(state.displacement_m() > 0.5, "the tag must actually move");
+
+    // The engine's budget at the frozen geometry.
+    let mut moved = ward.clone();
+    moved.place_tag(0, mid_walk);
+    let matrix = LinkMatrix::build(&moved).unwrap();
+    let budget = *matrix.budget(0);
+    assert_eq!(matrix.position(EntityId::Tag(0)), mid_walk);
+
+    // The same geometry through `sim::uplink`'s link model: an implant
+    // package (loop antenna + tissue on both hops) illuminated by the
+    // 20 dBm bedside helper, received on Wi-Fi channel 1.
+    let d1 = ward.carriers[0].position().distance_m(&mid_walk);
+    let d2 = ward.receivers[ward.tags[0].receiver]
+        .position()
+        .distance_m(&mid_walk);
+    let twin = UplinkScenario {
+        ble_tx_power_dbm: 20.0,
+        source_to_tag_m: d1,
+        tag_to_rx_m: d2,
+        target: TargetPhy::Wifi(DsssRate::Mbps2),
+        sideband: SidebandMode::Single,
+        tag_antenna: TagProfile::NeuralImplant.antenna(),
+        tag_tissue: TissuePath::neural_implant(),
+        propagation: LogDistanceModel::indoor_los(2.412e9),
+    };
+    // The engine evaluates the illumination hop at the BLE tone frequency
+    // (2.426 GHz) while the twin uses one model for both hops; across the
+    // 2.4 GHz band that is a sub-dB difference.
+    assert!(
+        (budget.median_rssi_dbm - twin.rssi_dbm()).abs() < 0.5,
+        "mid-walk at d1 {d1:.2} m, d2 {d2:.2} m: engine {:.2} dBm vs twin {:.2} dBm",
+        budget.median_rssi_dbm,
+        twin.rssi_dbm()
+    );
+
+    // And the decode rates agree at this geometry too: full-receiver
+    // trials vs the engine's margin draw.
+    let waveform = waveform_delivery(&twin, 20, 0x3A1);
+    let engine = engine_delivery(&budget, 4000, 0x3A2);
+    if engine > 0.9 {
+        assert!(
+            waveform > 0.6,
+            "engine {engine:.3} vs waveform {waveform:.3}"
+        );
+    } else if engine < 0.1 {
+        assert!(
+            waveform < 0.4,
+            "engine {engine:.3} vs waveform {waveform:.3}"
+        );
+    } else {
+        assert!(
+            (waveform - engine).abs() < 0.35,
+            "engine {engine:.3} vs waveform {waveform:.3}"
+        );
+    }
+}
