@@ -112,7 +112,7 @@ pub fn switching_waveform(config: &SsbConfig, len: usize) -> Result<Vec<Cplx>, B
 /// Combines the frequency-shifting waveform with a baseband symbol stream
 /// (one complex value per output sample, typically a sample-and-hold
 /// upsampled 802.11b chip stream) to produce the reflection-coefficient
-/// sequence Γ[n] the tag applies. Each product is re-quantised onto the four
+/// sequence Γ\[n\] the tag applies. Each product is re-quantised onto the four
 /// achievable states when `quantize_to_states` is set.
 pub fn reflection_sequence(
     config: &SsbConfig,

@@ -178,6 +178,14 @@ pub struct CarrierSource {
     /// Minimum RSSI the carrier's conventional radio can decode, dBm —
     /// what a closed-loop ack frame from the sink must clear.
     pub ack_sensitivity_dbm: f64,
+    /// The Wi-Fi sub-band stripe this carrier's tags synthesize onto
+    /// (0 unless the scenario striped its carriers across channels with
+    /// [`crate::scenario::Scenario::with_subband_striping`]). Striping
+    /// itself acts at build time — it retunes the tags' channels — and
+    /// the stripe index is carried into
+    /// [`crate::sched::CarrierSched::subband`] so future arbitration
+    /// policies can key on it; none of the built-in four does yet.
+    pub subband: usize,
 }
 
 impl CarrierSource {
@@ -191,6 +199,7 @@ impl CarrierSource {
             slot_interval_s,
             slot_window_s: interscatter_ble::timing::MAX_PAYLOAD_DURATION_S,
             ack_sensitivity_dbm: -85.0,
+            subband: 0,
         }
     }
 

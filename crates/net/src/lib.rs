@@ -41,8 +41,10 @@
 //!
 //! * `PacketArrival` — a tag's application emits a packet and schedules the
 //!   next arrival from its *own* seeded RNG stream.
-//! * `CarrierSlot` — a carrier activates: the arbiter picks a tag, checks
-//!   the medium (CSMA, optionally a CTS-to-Self reservation), and starts a
+//! * `CarrierSlot` — a carrier activates: the scenario's arbitration
+//!   policy ([`sched::SchedPolicy`] — round-robin, proportional-fair,
+//!   deadline-aware or margin-aware) picks a tag, the engine checks the
+//!   medium (CSMA, optionally a CTS-to-Self reservation), and starts a
 //!   transmission.
 //! * `TxEnd` — a transmission completes: the [`medium::Medium`] reports
 //!   tag-to-tag collisions (including the *mirror copies* double-sideband
@@ -100,6 +102,7 @@ pub mod metrics;
 pub mod mobility;
 pub mod runner;
 pub mod scenario;
+pub mod sched;
 pub mod time;
 
 /// Errors surfaced by the network engine.
@@ -147,6 +150,7 @@ pub mod prelude {
     pub use crate::mobility::{Bounds, Mobility, MobilityConfig, MobilityModel};
     pub use crate::runner::{MonteCarlo, MonteCarloReport};
     pub use crate::scenario::Scenario;
+    pub use crate::sched::{CarrierSched, SchedPolicy, Scheduler};
     pub use crate::time::Time;
     pub use crate::NetError;
 }

@@ -761,6 +761,15 @@ impl LinkMatrix {
         self.interference_dbm[tag][rx]
     }
 
+    /// Live margin of `tag`'s uplink above its receiver's sensitivity
+    /// cliff, dB — the signal [`crate::sched::SchedPolicy::MarginAware`]
+    /// polls every carrier slot. Fresh after every mobility-tick
+    /// [`LinkMatrix::flush`], so a walking tag's fade shows up within one
+    /// tick.
+    pub fn uplink_margin_db(&self, tag: usize) -> f64 {
+        self.budgets[tag].margin_db()
+    }
+
     /// Median power of emitter `from`'s signal at listener `at`, dBm. Used
     /// for capture arbitration; every pairing except tag → receiver needs
     /// the closed-loop tables.

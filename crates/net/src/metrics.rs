@@ -24,6 +24,14 @@ pub struct TagStats {
     pub link_losses: usize,
     /// Carrier slots skipped because carrier-sense found the band busy.
     pub csma_defers: usize,
+    /// Carrier slots the scheduler granted to this tag (open loop: grants
+    /// become transmissions; closed loop: grants become polls).
+    pub grants: usize,
+    /// Grants whose head-of-queue packet had already outlived the
+    /// scheduler's service deadline
+    /// ([`crate::sched::SchedPolicy::DeadlineAware`]; always 0 for
+    /// deadline-blind policies).
+    pub deadline_misses: usize,
     /// Application bits delivered.
     pub delivered_bits: usize,
     /// Closed loop: poll frames addressed to this tag.
@@ -89,6 +97,11 @@ pub struct NetworkMetrics {
     /// Closed loop: completed-transaction spans (poll start → ack decode),
     /// milliseconds.
     pub transaction_latency_ms: Cdf,
+    /// Per-grant poll latency, milliseconds: how long the granted packet
+    /// sat at the head of its tag's queue before the scheduler gave it a
+    /// slot — the queueing delay the arbitration policy controls, one
+    /// sample per grant.
+    pub poll_latency_ms: Cdf,
     /// Per-receiver airtime punctured by double-sideband mirror copies,
     /// seconds — the coexistence cost the §2.3.1 single-sideband design
     /// removes (cf. Fig. 12).
@@ -108,6 +121,7 @@ impl NetworkMetrics {
             tags: vec![TagStats::default(); n_tags],
             latency_ms: Cdf::new(),
             transaction_latency_ms: Cdf::new(),
+            poll_latency_ms: Cdf::new(),
             mirror_airtime_s: vec![0.0; n_receivers],
             mobility_series: vec![Vec::new(); n_tags],
         }
@@ -209,10 +223,39 @@ impl NetworkMetrics {
         self.completed_transactions() as f64 / self.duration_s
     }
 
+    /// Total carrier slots the schedulers granted.
+    pub fn grants(&self) -> usize {
+        self.tags.iter().map(|t| t.grants).sum()
+    }
+
+    /// Total grants that missed their scheduler deadline.
+    pub fn deadline_misses(&self) -> usize {
+        self.tags.iter().map(|t| t.deadline_misses).sum()
+    }
+
+    /// Deadline misses per grant (0 when nothing was granted, or for
+    /// deadline-blind policies).
+    pub fn deadline_miss_rate(&self) -> f64 {
+        let grants = self.grants();
+        if grants == 0 {
+            return 0.0;
+        }
+        self.deadline_misses() as f64 / grants as f64
+    }
+
     /// Jain's fairness index over per-tag delivered bits: 1 when every tag
     /// got the same throughput, → 1/n when one tag starved the rest.
     pub fn jain_fairness(&self) -> f64 {
         let xs: Vec<f64> = self.tags.iter().map(|t| t.delivered_bits as f64).collect();
+        jain_index(&xs)
+    }
+
+    /// Jain's fairness index over per-tag *grants* — how evenly the
+    /// scheduler spread slots, regardless of whether the attempts
+    /// delivered (a margin-aware policy may be grant-unfair on purpose
+    /// while a fade lasts; the starvation bound caps how unfair).
+    pub fn grant_fairness(&self) -> f64 {
+        let xs: Vec<f64> = self.tags.iter().map(|t| t.grants as f64).collect();
         jain_index(&xs)
     }
 
@@ -245,6 +288,27 @@ impl NetworkMetrics {
         ));
         if let (Some(p50), Some(p95)) = (self.latency_ms.median(), self.latency_ms.quantile(0.95)) {
             out.push_str(&format!("latency p50 {p50:.2} ms  p95 {p95:.2} ms\n"));
+        }
+        if self.grants() > 0 {
+            out.push_str(&format!(
+                "scheduler: {} grants  grant fairness {:.3}",
+                self.grants(),
+                self.grant_fairness(),
+            ));
+            if let (Some(p50), Some(p95)) = (
+                self.poll_latency_ms.median(),
+                self.poll_latency_ms.quantile(0.95),
+            ) {
+                out.push_str(&format!("  poll latency p50 {p50:.2} ms  p95 {p95:.2} ms"));
+            }
+            if self.deadline_misses() > 0 {
+                out.push_str(&format!(
+                    "  deadline misses {} (rate {:.3})",
+                    self.deadline_misses(),
+                    self.deadline_miss_rate(),
+                ));
+            }
+            out.push('\n');
         }
         let collided: usize = self.tags.iter().map(|t| t.collided).sum();
         let external: usize = self.tags.iter().map(|t| t.external_collisions).sum();
@@ -363,6 +427,56 @@ mod tests {
         assert!((hog - 0.25).abs() < 1e-12);
         let skew = jain_index(&[4.0, 1.0]);
         assert!(skew < 0.8 && skew > 0.25 + 1e-12, "skew {skew}");
+    }
+
+    #[test]
+    fn scheduler_metrics_aggregate() {
+        let mut m = NetworkMetrics::new(3, 1, 10.0);
+        m.tags[0] = TagStats {
+            grants: 40,
+            deadline_misses: 10,
+            ..Default::default()
+        };
+        m.tags[1] = TagStats {
+            grants: 40,
+            ..Default::default()
+        };
+        m.tags[2] = TagStats {
+            grants: 20,
+            deadline_misses: 5,
+            ..Default::default()
+        };
+        m.poll_latency_ms.push(2.0);
+        m.poll_latency_ms.push(4.0);
+        m.poll_latency_ms.push(6.0);
+        assert_eq!(m.grants(), 100);
+        assert_eq!(m.deadline_misses(), 15);
+        assert!((m.deadline_miss_rate() - 0.15).abs() < 1e-12);
+        // Jain over (40, 40, 20): (100²)/(3·3600) = 0.9259…
+        assert!((m.grant_fairness() - 100.0 * 100.0 / (3.0 * 3600.0)).abs() < 1e-12);
+        assert_eq!(m.poll_latency_ms.median(), Some(4.0));
+        let report = m.report();
+        assert!(report.contains("scheduler: 100 grants"), "{report}");
+        assert!(
+            report.contains("deadline misses 15 (rate 0.150)"),
+            "{report}"
+        );
+        assert!(report.contains("poll latency p50 4.00 ms"), "{report}");
+    }
+
+    #[test]
+    fn scheduler_metrics_empty_cases() {
+        let empty = NetworkMetrics::default();
+        assert_eq!(empty.grants(), 0);
+        assert_eq!(empty.deadline_miss_rate(), 0.0);
+        assert_eq!(empty.grant_fairness(), 1.0);
+        assert!(!empty.report().contains("scheduler"));
+        // Grants without misses keep the miss clause out of the report.
+        let mut m = NetworkMetrics::new(1, 1, 1.0);
+        m.tags[0].grants = 3;
+        assert_eq!(m.deadline_miss_rate(), 0.0);
+        assert!(m.report().contains("scheduler: 3 grants"));
+        assert!(!m.report().contains("deadline misses"));
     }
 
     #[test]

@@ -72,6 +72,12 @@ pub struct MonteCarloReport {
     pub fairness: Cdf,
     /// Pooled delivery-latency samples across all trials, milliseconds.
     pub latency_ms: Cdf,
+    /// Pooled per-grant poll-latency samples across all trials,
+    /// milliseconds — the queueing delay the arbitration policy controls.
+    pub poll_latency_ms: Cdf,
+    /// Per-trial deadline-miss-rate samples (all zero unless the scenario
+    /// runs a deadline-aware scheduler).
+    pub deadline_miss_rate: Cdf,
 }
 
 impl MonteCarloReport {
@@ -80,6 +86,8 @@ impl MonteCarloReport {
         let mut per = Cdf::new();
         let mut fairness = Cdf::new();
         let mut latency = Cdf::new();
+        let mut poll_latency = Cdf::new();
+        let mut miss_rate = Cdf::new();
         for m in &trials {
             throughput.push(m.throughput_bps());
             per.push(m.per());
@@ -87,6 +95,10 @@ impl MonteCarloReport {
             for &sample in m.latency_ms.samples() {
                 latency.push(sample);
             }
+            for &sample in m.poll_latency_ms.samples() {
+                poll_latency.push(sample);
+            }
+            miss_rate.push(m.deadline_miss_rate());
         }
         MonteCarloReport {
             scenario_name: scenario.name.clone(),
@@ -95,6 +107,8 @@ impl MonteCarloReport {
             per,
             fairness,
             latency_ms: latency,
+            poll_latency_ms: poll_latency,
+            deadline_miss_rate: miss_rate,
         }
     }
 
@@ -147,6 +161,16 @@ impl MonteCarloReport {
         if let (Some(p50), Some(p95)) = (self.latency_ms.median(), self.latency_ms.quantile(0.95)) {
             out.push_str(&format!("latency p50 {p50:.2} ms  p95 {p95:.2} ms\n"));
         }
+        if let Some(p50) = self.poll_latency_ms.median() {
+            out.push_str(&format!(
+                "poll latency p50 {p50:.2} ms  p95 {:.2} ms\n",
+                self.poll_latency_ms.quantile(0.95).unwrap_or(0.0)
+            ));
+        }
+        let mean_miss = mean(self.deadline_miss_rate.samples());
+        if mean_miss > 0.0 {
+            out.push_str(&format!("deadline miss rate {mean_miss:.3}\n"));
+        }
         out
     }
 }
@@ -181,6 +205,21 @@ mod tests {
         let text = report.report();
         assert!(text.contains("card-to-card-4"));
         assert!(text.contains("throughput"));
+    }
+
+    #[test]
+    fn report_pools_scheduler_aggregates() {
+        let mc = MonteCarlo::new(
+            Scenario::hospital_ward(6).with_scheduler(crate::sched::SchedPolicy::deadline_aware()),
+            3,
+            7,
+        );
+        let report = mc.run().unwrap();
+        // Every granted slot contributed a poll-latency sample, pooled
+        // across trials; the miss-rate Cdf holds one sample per trial.
+        assert!(report.poll_latency_ms.median().is_some());
+        assert_eq!(report.deadline_miss_rate.samples().len(), 3);
+        assert!(report.report().contains("poll latency p50"));
     }
 
     #[test]

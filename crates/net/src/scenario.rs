@@ -8,9 +8,12 @@
 //! carrier (Figs. 10/15/16 place the Bluetooth source inches to feet from
 //! the tag), while the receiver can be across the room.
 
-use crate::entities::{CarrierSource, NetPhy, Position, SinkReceiver, TagNode, TagProfile};
+use crate::entities::{
+    CarrierSource, NetPhy, Position, SinkKind, SinkReceiver, TagNode, TagProfile,
+};
 use crate::mac::MacMode;
 use crate::mobility::{Bounds, MobilityConfig, MobilityModel, RandomWaypoint};
+use crate::sched::SchedPolicy;
 use crate::NetError;
 use interscatter_backscatter::tag::SidebandMode;
 use interscatter_wifi::dot11b::DsssRate;
@@ -40,6 +43,10 @@ pub struct Scenario {
     /// ([`crate::mobility`]). `None` keeps every entity where the builder
     /// placed it.
     pub mobility: Option<MobilityConfig>,
+    /// Which tag each carrier slot illuminates ([`crate::sched`]). The
+    /// default [`SchedPolicy::RoundRobin`] reproduces the pre-extraction
+    /// engine byte for byte.
+    pub scheduler: SchedPolicy,
 }
 
 impl Scenario {
@@ -108,6 +115,9 @@ impl Scenario {
                 .validate()
                 .map_err(|e| NetError::InvalidScenario(format!("mobility: {e}")))?;
         }
+        self.scheduler
+            .validate()
+            .map_err(|e| NetError::InvalidScenario(format!("scheduler: {e}")))?;
         Ok(())
     }
 
@@ -201,6 +211,7 @@ impl Scenario {
             max_queue: 64,
             mac: MacMode::OpenLoop,
             mobility: None,
+            scheduler: SchedPolicy::RoundRobin,
         }
     }
 
@@ -248,6 +259,7 @@ impl Scenario {
             max_queue: 32,
             mac: MacMode::OpenLoop,
             mobility: None,
+            scheduler: SchedPolicy::RoundRobin,
         }
     }
 
@@ -306,6 +318,7 @@ impl Scenario {
             max_queue: 16,
             mac: MacMode::OpenLoop,
             mobility: None,
+            scheduler: SchedPolicy::RoundRobin,
         }
     }
 
@@ -356,6 +369,7 @@ impl Scenario {
             max_queue: 32,
             mac: MacMode::OpenLoop,
             mobility: None,
+            scheduler: SchedPolicy::RoundRobin,
         }
     }
 
@@ -395,6 +409,63 @@ impl Scenario {
     pub fn with_mobility(mut self, config: MobilityConfig) -> Scenario {
         self.mobility = Some(config);
         self.name = format!("{}-mobile", self.name);
+        self
+    }
+
+    /// Swaps the carrier arbitration policy of any preset
+    /// ([`crate::sched`]): which backlogged tag a carrier slot illuminates.
+    /// Works on all builders and composes with [`Scenario::closed_loop`]
+    /// and [`Scenario::with_mobility`]:
+    ///
+    /// ```
+    /// use interscatter_net::sched::SchedPolicy;
+    /// use interscatter_net::scenario::Scenario;
+    /// let ward = Scenario::hospital_ward(8).with_scheduler(SchedPolicy::margin_aware());
+    /// assert!(ward.name.ends_with("margin-aware"));
+    /// ward.validate().unwrap();
+    /// ```
+    pub fn with_scheduler(mut self, policy: SchedPolicy) -> Scenario {
+        self.scheduler = policy;
+        self.name = format!("{}-{}", self.name, policy.slug());
+        self
+    }
+
+    /// Stripes the carriers across the scenario's Wi-Fi channels, making
+    /// spectrum a scheduler-visible axis (cf. Wi-Fi 6 resource-unit
+    /// sharing and the in-body sub-band allocation comparison): carrier
+    /// `c` is assigned sub-band `c mod n_wifi_aps`, and every Wi-Fi tag it
+    /// illuminates is retuned to that sub-band's AP and channel. Adjacent
+    /// carriers — the ones whose slots actually overlap in space — then
+    /// synthesize onto *different* channels, so their tags stop colliding
+    /// with each other and only contend within their stripe.
+    ///
+    /// Scenarios without at least two Wi-Fi APs (card table, ZigBee wing)
+    /// are returned unchanged apart from the name.
+    pub fn with_subband_striping(mut self) -> Scenario {
+        let wifi_rx: Vec<usize> = self
+            .receivers
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r.kind, SinkKind::Wifi { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        if wifi_rx.len() > 1 {
+            for (c, carrier) in self.carriers.iter_mut().enumerate() {
+                carrier.subband = c % wifi_rx.len();
+            }
+            for tag in &mut self.tags {
+                let NetPhy::Wifi { rate, .. } = tag.phy else {
+                    continue;
+                };
+                let rx = wifi_rx[self.carriers[tag.carrier].subband];
+                let SinkKind::Wifi { channel } = self.receivers[rx].kind else {
+                    unreachable!("wifi_rx only holds Wi-Fi sinks");
+                };
+                tag.receiver = rx;
+                tag.phy = NetPhy::Wifi { rate, channel };
+            }
+        }
+        self.name = format!("{}-striped", self.name);
         self
     }
 
@@ -460,6 +531,7 @@ impl Scenario {
             max_queue: 64,
             mac: MacMode::OpenLoop,
             mobility: None,
+            scheduler: SchedPolicy::RoundRobin,
         }
         .with_mobility(MobilityConfig {
             model: MobilityModel::RandomWaypoint(RandomWaypoint {
@@ -470,6 +542,27 @@ impl Scenario {
             tick_interval_s: 0.1,
             bounds: Bounds::room(width, depth, 1.0),
             carriers_follow: true,
+        })
+    }
+
+    /// The arbitration-stress ward: `n_tags` implanted patients *walking*
+    /// the 12 m × 9 m hospital ward while the **shared bedside helpers
+    /// stay put** — the opposite trade of [`Scenario::ambulatory_ward`].
+    /// Every carrier keeps two members to arbitrate between, and each
+    /// tag's uplink margin sweeps tens of dB per walk, so which tag a
+    /// slot illuminates actually matters: this is the geometry the
+    /// `scheduler_shootout` example and the scheduler regression tests
+    /// compare policies on.
+    pub fn walking_ward(n_tags: usize) -> Scenario {
+        Scenario::hospital_ward(n_tags).with_mobility(MobilityConfig {
+            model: MobilityModel::RandomWaypoint(RandomWaypoint {
+                speed_min_mps: 0.8,
+                speed_max_mps: 1.5,
+                pause_s: 0.5,
+            }),
+            tick_interval_s: 0.1,
+            bounds: Bounds::room(12.0, 9.0, 1.0),
+            carriers_follow: false,
         })
     }
 }
@@ -536,6 +629,7 @@ mod tests {
             Scenario::contact_lens_fleet(12),
             Scenario::card_to_card_room(9),
             Scenario::zigbee_wing(30),
+            Scenario::walking_ward(12),
         ] {
             scenario
                 .validate()
@@ -669,6 +763,74 @@ mod tests {
             ..config
         });
         assert!(matches!(bad.validate(), Err(NetError::InvalidScenario(_))));
+    }
+
+    #[test]
+    fn every_preset_takes_a_scheduler() {
+        use crate::sched::{DeadlineAware, SchedPolicy};
+        for scenario in [
+            Scenario::hospital_ward(8).with_scheduler(SchedPolicy::proportional_fair()),
+            Scenario::contact_lens_fleet(6).with_scheduler(SchedPolicy::deadline_aware()),
+            Scenario::card_to_card_room(4).with_scheduler(SchedPolicy::margin_aware()),
+            Scenario::zigbee_wing(8).with_scheduler(SchedPolicy::RoundRobin),
+            Scenario::ambulatory_ward(4)
+                .closed_loop()
+                .with_scheduler(SchedPolicy::margin_aware()),
+        ] {
+            assert!(
+                scenario.name.ends_with(scenario.scheduler.slug()),
+                "name {} vs policy {}",
+                scenario.name,
+                scenario.scheduler.slug()
+            );
+            scenario
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        }
+        // Presets default to the baseline, and bad parameters are caught
+        // at validation.
+        assert_eq!(
+            Scenario::hospital_ward(4).scheduler,
+            SchedPolicy::RoundRobin
+        );
+        let bad =
+            Scenario::hospital_ward(4).with_scheduler(SchedPolicy::DeadlineAware(DeadlineAware {
+                deadline_s: -1.0,
+            }));
+        assert!(matches!(bad.validate(), Err(NetError::InvalidScenario(_))));
+    }
+
+    #[test]
+    fn subband_striping_retunes_wifi_tags_only() {
+        let striped = Scenario::hospital_ward(20).with_subband_striping();
+        striped.validate().unwrap();
+        for tag in &striped.tags {
+            let subband = striped.carriers[tag.carrier].subband;
+            assert_eq!(tag.receiver, subband);
+            let NetPhy::Wifi { channel, .. } = tag.phy else {
+                panic!("ward tags are Wi-Fi")
+            };
+            let SinkKind::Wifi { channel: rx_ch } = striped.receivers[tag.receiver].kind else {
+                panic!("ward sinks are Wi-Fi")
+            };
+            assert_eq!(channel, rx_ch);
+        }
+        // Adjacent carriers land on different stripes.
+        assert_ne!(striped.carriers[0].subband, striped.carriers[1].subband);
+
+        // Single-AP and non-Wi-Fi scenarios pass through unchanged (but
+        // for the name).
+        for scenario in [
+            Scenario::contact_lens_fleet(6).with_subband_striping(),
+            Scenario::card_to_card_room(4).with_subband_striping(),
+            Scenario::zigbee_wing(8).with_subband_striping(),
+        ] {
+            assert!(scenario.name.ends_with("striped"));
+            assert!(scenario.carriers.iter().all(|c| c.subband == 0));
+            scenario
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        }
     }
 
     #[test]

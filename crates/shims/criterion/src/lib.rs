@@ -9,6 +9,19 @@
 //! reporting min/mean/max per iteration. It has none of criterion's
 //! statistics, but keeps `cargo bench` runnable and the numbers comparable
 //! across commits on the same machine.
+//!
+//! Two command-line flags (read from the arguments cargo forwards after
+//! `cargo bench … --`) serve the CI perf trajectory:
+//!
+//! * `--json` — after each human-readable line, also emit one JSON object
+//!   per benchmark (`{"bench":…,"mean_ns":…,"min_ns":…,"max_ns":…,…}`) so
+//!   a workflow can `grep '^{'` the summaries into an artifact like
+//!   `BENCH_net.json` and diff trajectories across commits.
+//! * `--quick` — cap samples at 10 and shrink the warm-up budget, the
+//!   low-noise-enough tier CI can afford on every push.
+//!
+//! Unknown flags (cargo's own `--bench`, test filters) are ignored, like
+//! real criterion does.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,15 +43,45 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// Output/duration modifiers parsed from the benchmark binary's command
+/// line — the subset of criterion's CLI this workspace uses.
+#[derive(Debug, Clone, Copy, Default)]
+struct Mode {
+    /// Emit one JSON summary line per benchmark alongside the human line.
+    json: bool,
+    /// Cap samples at 10 and shrink the warm-up budget.
+    quick: bool,
+}
+
+impl Mode {
+    /// Reads `--json`/`--quick` from the process arguments, ignoring
+    /// whatever else cargo forwards (`--bench`, filter strings).
+    fn from_args() -> Self {
+        let mut mode = Mode::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--json" => mode.json = true,
+                "--quick" => mode.quick = true,
+                _ => {}
+            }
+        }
+        mode
+    }
+}
+
 /// The benchmark driver handed to every target function.
 #[derive(Debug, Clone)]
 pub struct Criterion {
     sample_size: usize,
+    mode: Mode,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 50 }
+        Criterion {
+            sample_size: 50,
+            mode: Mode::from_args(),
+        }
     }
 }
 
@@ -49,23 +92,39 @@ impl Criterion {
         self
     }
 
+    /// Forces JSON summary lines on or off, overriding the command line
+    /// (shim extension, mainly for tests).
+    pub fn with_json(mut self, json: bool) -> Self {
+        self.mode.json = json;
+        self
+    }
+
+    /// Forces quick mode on or off, overriding the command line (shim
+    /// extension, mainly for tests).
+    pub fn with_quick(mut self, quick: bool) -> Self {
+        self.mode.quick = quick;
+        self
+    }
+
     /// Runs a single named benchmark.
     pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        run_benchmark(&name.into(), self.sample_size, None, f);
+        run_benchmark(&name.into(), self.sample_size, None, self.mode, f);
         self
     }
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = self.sample_size;
+        let mode = self.mode;
         BenchmarkGroup {
             _criterion: self,
             name: name.into(),
             sample_size,
             throughput: None,
+            mode,
         }
     }
 }
@@ -76,6 +135,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
+    mode: Mode,
 }
 
 impl BenchmarkGroup<'_> {
@@ -97,7 +157,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, name.into());
-        run_benchmark(&full, self.sample_size, self.throughput, f);
+        run_benchmark(&full, self.sample_size, self.throughput, self.mode, f);
         self
     }
 
@@ -125,20 +185,27 @@ impl Bencher {
 }
 
 /// One warm-up pass to choose an iteration count, then `samples` timed runs.
-fn run_benchmark<F>(name: &str, samples: usize, throughput: Option<Throughput>, mut f: F)
-where
+fn run_benchmark<F>(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mode: Mode,
+    mut f: F,
+) where
     F: FnMut(&mut Bencher),
 {
-    // Warm-up: find how many iterations fit in ~50 ms so short routines are
-    // timed in batches and long routines run once per sample.
+    let samples = if mode.quick { samples.min(10) } else { samples };
+    // Warm-up: find how many iterations fit in the per-sample budget so
+    // short routines are timed in batches and long routines run once per
+    // sample.
+    let budget = Duration::from_millis(if mode.quick { 10 } else { 50 });
     let mut bencher = Bencher {
         iters: 1,
         elapsed: Duration::ZERO,
     };
     f(&mut bencher);
     let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
-    let iters_per_sample =
-        (Duration::from_millis(50).as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+    let iters_per_sample = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
 
     let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
     for _ in 0..samples {
@@ -168,6 +235,20 @@ where
         format_ns(min),
         format_ns(max),
     );
+    if mode.json {
+        // One object per line (JSON-lines): easy to `grep '^{'` into an
+        // artifact and to diff across commits.
+        let throughput_field = match throughput {
+            Some(Throughput::Elements(n)) => format!(",\"elements_per_iter\":{n}"),
+            Some(Throughput::Bytes(n)) => format!(",\"bytes_per_iter\":{n}"),
+            None => String::new(),
+        };
+        println!(
+            "{{\"bench\":\"{name}\",\"mean_ns\":{mean:.1},\"min_ns\":{min:.1},\
+             \"max_ns\":{max:.1},\"samples\":{samples},\"iters_per_sample\":{iters_per_sample}\
+             {throughput_field}}}"
+        );
+    }
 }
 
 fn format_ns(ns: f64) -> String {
@@ -227,5 +308,23 @@ mod tests {
         shim_group();
         let mut c = Criterion::default().sample_size(2);
         c.bench_function("direct", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn json_and_quick_modes_run() {
+        // The JSON emitter and the quick-tier sample cap share the same
+        // code path as the human output; exercise both together.
+        let mut c = Criterion::default()
+            .sample_size(40)
+            .with_json(true)
+            .with_quick(true);
+        let mut group = c.benchmark_group("modes");
+        group.throughput(Throughput::Bytes(64));
+        group.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        group.finish();
+        // Flags default off unless the process args carry them (the test
+        // binary's args do not).
+        let plain = Criterion::default();
+        assert!(!plain.mode.json && !plain.mode.quick);
     }
 }

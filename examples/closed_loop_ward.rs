@@ -50,18 +50,8 @@ fn main() {
             "event trace: {} records, {} bytes, digest {:016x}\n",
             result.trace.records().len(),
             trace_bytes.len(),
-            fnv1a(&trace_bytes),
+            result.trace.digest(),
         );
     }
     println!("(re-run with the same seed: identical digests; different seed: different digests)");
-}
-
-/// FNV-1a, enough to fingerprint a trace for eyeballing reproducibility.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xCBF2_9CE4_8422_2325u64;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
 }

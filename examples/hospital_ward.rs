@@ -42,7 +42,7 @@ fn main() {
         "\nevent trace: {} records, {} bytes, digest {:016x}",
         result.trace.records().len(),
         trace_bytes.len(),
-        fnv1a(&trace_bytes),
+        result.trace.digest(),
     );
     println!("(re-run with the same seed: identical digest; different seed: different digest)");
 
@@ -50,14 +50,4 @@ fn main() {
     let mc = MonteCarlo::new(scenario, 8, seed);
     let report = mc.run().expect("trials run");
     println!("\n{}", report.report());
-}
-
-/// FNV-1a, enough to fingerprint a trace for eyeballing reproducibility.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xCBF2_9CE4_8422_2325u64;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
 }

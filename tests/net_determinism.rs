@@ -6,6 +6,7 @@
 use interscatter::net::engine::NetworkSim;
 use interscatter::net::runner::MonteCarlo;
 use interscatter::net::scenario::Scenario;
+use interscatter::net::sched::SchedPolicy;
 
 fn scenarios() -> Vec<Scenario> {
     vec![
@@ -25,6 +26,20 @@ fn scenarios() -> Vec<Scenario> {
         // itself must replay exactly from the seed.
         Scenario::ambulatory_ward(12),
         Scenario::ambulatory_ward(12).closed_loop(),
+        // One case per arbitration policy: every scheduler is RNG-free, so
+        // its picks — and hence the whole trace — replay exactly from the
+        // seed (round-robin is the default everywhere above; the
+        // margin-aware case also exercises the sub-band striping axis).
+        Scenario::hospital_ward(16).with_scheduler(SchedPolicy::proportional_fair()),
+        Scenario::hospital_ward(16)
+            .closed_loop()
+            .with_scheduler(SchedPolicy::deadline_aware()),
+        Scenario::ambulatory_ward(10)
+            .closed_loop()
+            .with_scheduler(SchedPolicy::margin_aware()),
+        Scenario::hospital_ward(16)
+            .with_subband_striping()
+            .with_scheduler(SchedPolicy::margin_aware()),
     ]
 }
 
