@@ -54,6 +54,22 @@ pub enum EventKind {
         /// When the frame went on the air.
         started: Time,
     },
+    /// An external coexistence source ([`crate::coex::CoexSource`]) wants
+    /// to start its next emission. CSMA-abiding sources re-schedule
+    /// themselves with a backoff when the band is busy; the rest go
+    /// straight on the air.
+    CoexStart {
+        /// Index of the source in the scenario's coex config.
+        source: usize,
+    },
+    /// An external emission ends: the medium is released and the source
+    /// draws its next arrival from its own RNG stream.
+    CoexEnd {
+        /// Index of the source in the scenario's coex config.
+        source: usize,
+        /// Identifier of the in-flight emission in the medium.
+        tx_id: u64,
+    },
     /// A mobility tick: every mobile entity advances one
     /// [`crate::mobility::Mobility::step`] and the engine refreshes the
     /// dirty [`crate::links::LinkMatrix`] rows. Scheduled on the

@@ -67,6 +67,13 @@
 //!   position-independent terms — link quality tracks geometry tick by
 //!   tick without rebuilding the matrix (the `net_mobility` bench anchors
 //!   the row-level path against a full rebuild).
+//! * `CoexStart` / `CoexEnd` — when the scenario attaches a
+//!   [`coex::CoexConfig`], external traffic sources (bursty Wi-Fi, BLE
+//!   advertising, ZigBee chatter, a microwave duty cycle) put *real timed
+//!   emissions* on the medium from their own seeded streams, carriers
+//!   sense per-channel occupancy, and an optional [`coex::ReStripe`]
+//!   policy re-tunes congested carriers (and their tags) to the
+//!   least-occupied sub-band mid-run.
 //!
 //! Every entity owns a `SmallRng` seeded from the scenario seed and its
 //! entity id, so identical seeds reproduce byte-identical event traces and
@@ -92,6 +99,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coex;
 pub mod engine;
 pub mod entities;
 pub mod event;
@@ -142,6 +150,7 @@ impl From<interscatter_sim::SimError> for NetError {
 
 /// The commonly used types in one import.
 pub mod prelude {
+    pub use crate::coex::{CoexConfig, CoexModel, CoexSource, CoexTraffic, ReStripe, SenseConfig};
     pub use crate::engine::{NetRunResult, NetworkSim};
     pub use crate::entities::{CarrierSource, NetPhy, Position, SinkReceiver, TagNode, TagProfile};
     pub use crate::links::{EntityId, LinkMatrix};

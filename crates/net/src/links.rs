@@ -47,7 +47,7 @@
 //! which closes the stale-geometry bug where a caller repositioned a tag
 //! and silently kept the old budgets.
 
-use crate::entities::{Position, TagProfile};
+use crate::entities::{NetPhy, Position, TagProfile};
 use crate::mac::MacMode;
 use crate::medium::Emitter;
 use crate::scenario::Scenario;
@@ -210,6 +210,37 @@ struct ClosedLoopTables {
     /// `pkg_at_sink_freq[t][s]`: ditto at sink `s`'s downlink frequency
     /// (tag-major).
     pkg_at_sink_freq: Vec<Vec<f64>>,
+    /// Per sink: the shadowing sigma of its downlink path-loss model — the
+    /// value a re-tuned tag's poll/ack budgets pick up.
+    sink_sigma_db: Vec<f64>,
+}
+
+/// Power a silent external source contributes: effectively nothing.
+const SILENT_DBM: f64 = -300.0;
+
+/// Median power of every external coexistence source at every listener
+/// kind (only built when the scenario attaches [`crate::coex::CoexSource`]s
+/// with real emission bands). Sources never move, so these rows are only
+/// refreshed when the *listener* moves.
+#[derive(Debug, Clone)]
+struct ExtTables {
+    /// `at_rx[k][r]`: source `k`'s emission at receiver `r`, dBm.
+    at_rx: Vec<Vec<f64>>,
+    /// `at_tag[t][k]`: source `k`'s emission at tag `t`'s detector, dBm
+    /// (tag-major, like the closed-loop tables).
+    at_tag: Vec<Vec<f64>>,
+    /// `at_carrier[k][c]`: source `k`'s emission at carrier `c`, dBm.
+    at_carrier: Vec<Vec<f64>>,
+    /// Per source: path-loss evaluator at its emission frequency (`None`
+    /// for silent models).
+    pl: Vec<Option<FastPathLoss>>,
+    /// Per source: transmit power + antenna gain, dBm.
+    eirp_dbm: Vec<f64>,
+    /// `pkg_at_ext_freq[t][k]`: tag `t`'s receive package at source `k`'s
+    /// emission frequency, dB.
+    pkg_at_ext_freq: Vec<Vec<f64>>,
+    /// Per source: where it sits (static for the whole run).
+    pos: Vec<Position>,
 }
 
 /// Precomputed budgets for every tag, every emitter's interference power at
@@ -222,10 +253,24 @@ pub struct LinkMatrix {
     /// receiver `rx`, dBm.
     interference_dbm: Vec<Vec<f64>>,
     closed_loop: Option<ClosedLoopTables>,
+    ext: Option<ExtTables>,
     // --- live geometry ---
     tag_pos: Vec<Position>,
     carrier_pos: Vec<Position>,
     sink_pos: Vec<Position>,
+    // --- live assignment ---
+    /// Per tag: the receiver it currently delivers to. Initialised from
+    /// the scenario; adaptive re-striping re-tunes it through
+    /// [`LinkMatrix::retune_tag`].
+    tag_rx: Vec<usize>,
+    /// Per carrier: the tags it illuminates, hoisted once at build so a
+    /// moved or re-tuned carrier refreshes exactly its own members instead
+    /// of scanning O(carriers × sinks × tags) — the membership never
+    /// changes during a run.
+    carrier_tags: Vec<Vec<usize>>,
+    /// Per sink: the tags currently delivering to it (in ascending tag
+    /// order; follows `tag_rx` across re-stripes).
+    sink_tags: Vec<Vec<usize>>,
     // --- position-independent uplink terms ---
     /// Per tag: every term of the two-hop uplink budget except the two
     /// path losses (with the standard 2 dBi listener package).
@@ -242,12 +287,14 @@ pub struct LinkMatrix {
     dirty: Vec<EntityId>,
 }
 
-/// The two-hop backscatter model of tag `t`'s uplink.
-fn uplink_model(scenario: &Scenario, t: usize) -> BackscatterLink {
+/// The two-hop backscatter model of tag `t`'s uplink, synthesizing `phy`
+/// (the scenario's PHY at build time; possibly a re-tuned channel after a
+/// re-stripe).
+fn uplink_model(scenario: &Scenario, t: usize, phy: &NetPhy) -> BackscatterLink {
     let tag = &scenario.tags[t];
     let carrier = &scenario.carriers[tag.carrier];
     let carrier_freq = carrier.carrier_freq_hz();
-    let emission_freq = tag.phy.center_freq_hz(carrier_freq);
+    let emission_freq = phy.center_freq_hz(carrier_freq);
     let conversion = match (tag.profile, tag.sideband) {
         // Card-to-card OOK is energy detection of both sidebands.
         (TagProfile::Card, _) => ConversionLoss::double_sideband(),
@@ -265,6 +312,20 @@ fn uplink_model(scenario: &Scenario, t: usize) -> BackscatterLink {
         tissue_tag_to_rx: tag.profile.tissue(),
         conversion,
     }
+}
+
+/// Every term of the uplink budget except the two path losses, plus the
+/// combined shadowing sigma — shared by the build and by
+/// [`LinkMatrix::retune_tag`]. Evaluating the full budget at the reference
+/// geometry and adding the reference path losses back keeps the fixed part
+/// consistent with `BackscatterLink::received_power_dbm` by construction.
+fn uplink_fixed_terms(link: &BackscatterLink) -> (f64, f64) {
+    let fixed = link.received_power_dbm(1.0, 1.0)
+        + link.source_to_tag.path_loss_db(1.0)
+        + link.tag_to_rx.path_loss_db(1.0);
+    let s1 = link.source_to_tag.shadowing_sigma_db;
+    let s2 = link.tag_to_rx.shadowing_sigma_db;
+    (fixed, (s1 * s1 + s2 * s2).sqrt())
 }
 
 /// The frequency sink `s` transmits its AM downlink on: its own listening
@@ -301,21 +362,13 @@ impl LinkMatrix {
         let mut up_pl_emit = Vec::with_capacity(n_tags);
         let mut emit_freqs = Vec::with_capacity(n_tags);
         for (t, tag) in scenario.tags.iter().enumerate() {
-            let link = uplink_model(scenario, t);
+            let link = uplink_model(scenario, t, &tag.phy);
             link.validate()?;
-            // Every term except the two path losses: evaluate the full
-            // budget at the reference geometry and add the reference path
-            // losses back, so the fixed part stays consistent with
-            // `BackscatterLink::received_power_dbm` by construction.
-            let fixed = link.received_power_dbm(1.0, 1.0)
-                + link.source_to_tag.path_loss_db(1.0)
-                + link.tag_to_rx.path_loss_db(1.0);
-            let s1 = link.source_to_tag.shadowing_sigma_db;
-            let s2 = link.tag_to_rx.shadowing_sigma_db;
+            let (fixed, sigma) = uplink_fixed_terms(&link);
             let noise = tag.phy.noise_model();
             budgets.push(LinkBudget {
                 median_rssi_dbm: 0.0, // filled by refresh_uplink_row below
-                shadow_sigma_db: (s1 * s1 + s2 * s2).sqrt(),
+                shadow_sigma_db: sigma,
                 sensitivity_dbm: scenario.receivers[tag.receiver].sensitivity_dbm,
                 noise_floor_dbm: noise.noise_floor_dbm(),
             });
@@ -407,17 +460,69 @@ impl LinkMatrix {
                     pkg_at_tag_freq,
                     pkg_at_carrier_freq,
                     pkg_at_sink_freq,
+                    sink_sigma_db,
                 })
             }
         };
+
+        // External coexistence sources: static emitters whose power at
+        // every listener feeds the same capture arbitration as in-model
+        // traffic.
+        let ext = scenario
+            .coex
+            .as_ref()
+            .filter(|cfg| !cfg.sources.is_empty())
+            .map(|cfg| {
+                let n_src = cfg.sources.len();
+                ExtTables {
+                    at_rx: vec![vec![SILENT_DBM; n_rx]; n_src],
+                    at_tag: vec![vec![SILENT_DBM; n_src]; n_tags],
+                    at_carrier: vec![vec![SILENT_DBM; n_carriers]; n_src],
+                    pl: cfg
+                        .sources
+                        .iter()
+                        .map(|s| {
+                            s.model.traffic().band().map(|b| {
+                                FastPathLoss::new(&LogDistanceModel::indoor_los(b.center_hz))
+                            })
+                        })
+                        .collect(),
+                    eirp_dbm: cfg.sources.iter().map(|s| s.tx_power_dbm + 2.0).collect(),
+                    pkg_at_ext_freq: (0..n_tags)
+                        .map(|t| {
+                            cfg.sources
+                                .iter()
+                                .map(|s| match s.model.traffic().band() {
+                                    Some(b) => tag_rx_pkg_db(scenario, t, b.center_hz),
+                                    None => 0.0,
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                    pos: cfg.sources.iter().map(|s| s.position).collect(),
+                }
+            });
+
+        let mut carrier_tags: Vec<Vec<usize>> = vec![Vec::new(); n_carriers];
+        for (t, tag) in scenario.tags.iter().enumerate() {
+            carrier_tags[tag.carrier].push(t);
+        }
+        let mut sink_tags: Vec<Vec<usize>> = vec![Vec::new(); n_rx];
+        for (t, tag) in scenario.tags.iter().enumerate() {
+            sink_tags[tag.receiver].push(t);
+        }
 
         let mut matrix = LinkMatrix {
             budgets,
             interference_dbm: vec![vec![0.0; n_rx]; n_tags],
             closed_loop,
+            ext,
             tag_pos,
             carrier_pos,
             sink_pos,
+            tag_rx: scenario.tags.iter().map(|t| t.receiver).collect(),
+            carrier_tags,
+            sink_tags,
             up_fixed_db,
             up_pl_src,
             up_pl_emit,
@@ -492,10 +597,10 @@ impl LinkMatrix {
             match id {
                 EntityId::Tag(t) => tag_dirty[t] = true,
                 EntityId::Carrier(c) => {
-                    for (t, tag) in scenario.tags.iter().enumerate() {
-                        if tag.carrier == c {
-                            tag_dirty[t] = true;
-                        }
+                    // The hoisted member index: a moved carrier dirties
+                    // exactly the tags it illuminates, no fleet scan.
+                    for &t in &self.carrier_tags[c] {
+                        tag_dirty[t] = true;
                     }
                     carriers.push(c);
                 }
@@ -537,6 +642,9 @@ impl LinkMatrix {
         let tag = &scenario.tags[t];
         let pos = self.tag_pos[t];
         let pl_emit_t = self.up_pl_emit[t];
+        // The tag's *live* destination: the scenario's assignment, unless a
+        // re-stripe re-tuned it ([`LinkMatrix::retune_tag`]).
+        let rx_s = self.tag_rx[t];
         // The carrier → tag hop: the base every cell of this emitter row
         // shares, and (closed loop) the poll distance.
         let hop1 = log_distance(&self.carrier_pos[tag.carrier], &pos);
@@ -546,7 +654,17 @@ impl LinkMatrix {
             let (l, near) = log_distance(&pos, s_pos);
             self.interference_dbm[t][s] = base_t - pl_emit_t.db_at(l, near);
         }
-        self.budgets[t].median_rssi_dbm = self.interference_dbm[t][tag.receiver];
+        self.budgets[t].median_rssi_dbm = self.interference_dbm[t][rx_s];
+
+        // External sources at this tag's detector (sources are static, so
+        // only the tag's own motion dirties this row).
+        if let Some(ext) = self.ext.as_mut() {
+            for k in 0..ext.pos.len() {
+                let Some(pl) = ext.pl[k] else { continue };
+                let (l, near) = log_distance(&pos, &ext.pos[k]);
+                ext.at_tag[t][k] = ext.eirp_dbm[k] + ext.pkg_at_ext_freq[t][k] - pl.db_at(l, near);
+            }
+        }
 
         let Self {
             ref tag_pos,
@@ -560,7 +678,7 @@ impl LinkMatrix {
         let Some(cl) = closed_loop.as_mut() else {
             return;
         };
-        let s = tag.receiver;
+        let s = rx_s;
         // Poll: the carrier's AM frame on the tag's service band, one
         // conventional hop into the envelope detector (same distance as
         // the illumination hop above).
@@ -633,10 +751,21 @@ impl LinkMatrix {
     /// Carrier `c` as an **emitter and listener** (closed loop): its poll
     /// power at every listener, and every emitter's power at its radio.
     fn refresh_carrier_rows(&mut self, scenario: &Scenario, c: usize) {
+        let pos = self.carrier_pos[c];
+        // External sources at this carrier's radio.
+        if let Some(ext) = self.ext.as_mut() {
+            for k in 0..ext.pos.len() {
+                let Some(pl) = ext.pl[k] else { continue };
+                let (l, near) = log_distance(&pos, &ext.pos[k]);
+                ext.at_carrier[k][c] = ext.eirp_dbm[k] + 2.0 - pl.db_at(l, near);
+            }
+        }
         let Self {
             ref tag_pos,
             ref carrier_pos,
             ref sink_pos,
+            ref tag_rx,
+            ref carrier_tags,
             up_base_db: ref up_base,
             up_pl_emit: ref pl_emit,
             ref mut closed_loop,
@@ -645,7 +774,6 @@ impl LinkMatrix {
         let Some(cl) = closed_loop.as_mut() else {
             return;
         };
-        let pos = carrier_pos[c];
         let spec = &scenario.carriers[c];
         // Carrier c's poll at every receiver, and tag ↔ carrier both ways
         // (one log-distance per pair, the same formulas `refresh_tag`
@@ -674,12 +802,12 @@ impl LinkMatrix {
             let (l, near) = log_distance(&sink_pos[s], &pos);
             cl.sink_at_carrier[s][c] =
                 s_spec.downlink_tx_power_dbm + 2.0 + 2.0 - cl.pl_sink[s].db_at(l, near);
-            // Ack budgets of every tag served by carrier c and sink s.
-            for (t, tag) in scenario.tags.iter().enumerate() {
-                if tag.carrier == c && tag.receiver == s {
-                    cl.ack_budgets[t].median_rssi_dbm = cl.sink_at_carrier[s][c];
-                }
-            }
+        }
+        // Ack budgets of the tags this carrier serves — the hoisted
+        // member index replaces the old O(sinks × tags) fleet scan, which
+        // re-striping turned into a hot path.
+        for &t in &carrier_tags[c] {
+            cl.ack_budgets[t].median_rssi_dbm = cl.sink_at_carrier[tag_rx[t]][c];
         }
     }
 
@@ -687,17 +815,26 @@ impl LinkMatrix {
     /// it, and — closed loop — its ack power at every listener.
     fn refresh_sink_rows(&mut self, scenario: &Scenario, s: usize) {
         let pos = self.sink_pos[s];
-        for (u, tag) in scenario.tags.iter().enumerate() {
+        for u in 0..scenario.tags.len() {
             let (l, near) = log_distance(&self.tag_pos[u], &pos);
             self.interference_dbm[u][s] = self.up_base_db[u] - self.up_pl_emit[u].db_at(l, near);
-            if tag.receiver == s {
+            if self.tag_rx[u] == s {
                 self.budgets[u].median_rssi_dbm = self.interference_dbm[u][s];
+            }
+        }
+        // External sources at this receiver.
+        if let Some(ext) = self.ext.as_mut() {
+            for k in 0..ext.pos.len() {
+                let Some(pl) = ext.pl[k] else { continue };
+                let (l, near) = log_distance(&pos, &ext.pos[k]);
+                ext.at_rx[k][s] = ext.eirp_dbm[k] + 2.0 - pl.db_at(l, near);
             }
         }
         let Self {
             ref tag_pos,
             ref carrier_pos,
             ref sink_pos,
+            ref sink_tags,
             ref mut closed_loop,
             ..
         } = *self;
@@ -725,18 +862,79 @@ impl LinkMatrix {
             cl.carrier_at_rx[c][s] =
                 scenario.carriers[c].tx_power_dbm + 2.0 + 2.0 - cl.pl_carrier[c].db_at(l, near);
         }
-        // Ack budgets of every tag this sink serves.
-        for (t, tag) in scenario.tags.iter().enumerate() {
-            if tag.receiver == s {
-                cl.ack_budgets[t].median_rssi_dbm = cl.sink_at_carrier[s][tag.carrier];
-            }
+        // Ack budgets of every tag this sink currently serves (the live
+        // assignment index, maintained across re-stripes).
+        for &t in &sink_tags[s] {
+            cl.ack_budgets[t].median_rssi_dbm = cl.sink_at_carrier[s][scenario.tags[t].carrier];
         }
+    }
+
+    /// Re-tunes tag `t` to deliver to `new_rx` synthesizing `new_phy` —
+    /// the adaptive re-striping entry point ([`crate::coex::ReStripe`]).
+    /// Recomputes the position-independent terms that depend on the
+    /// emission frequency and destination (uplink fixed terms, path-loss
+    /// evaluator, sensitivity/noise, the tag's `pkg_at_tag_freq` emitter
+    /// row and the poll/ack shadowing sigmas), then marks the tag dirty:
+    /// call [`LinkMatrix::flush`] afterwards to land the new budgets, the
+    /// same way a mobility tick does.
+    pub fn retune_tag(&mut self, scenario: &Scenario, t: usize, new_rx: usize, new_phy: NetPhy) {
+        debug_assert!(
+            scenario.receivers[new_rx].accepts(&new_phy),
+            "tag {t}: receiver {new_rx} cannot decode the re-tuned PHY"
+        );
+        let old_rx = self.tag_rx[t];
+        if old_rx != new_rx {
+            self.sink_tags[old_rx].retain(|&u| u != t);
+            let row = &mut self.sink_tags[new_rx];
+            let at = row.partition_point(|&u| u < t);
+            row.insert(at, t);
+            self.tag_rx[t] = new_rx;
+        }
+        let link = uplink_model(scenario, t, &new_phy);
+        let (fixed, sigma) = uplink_fixed_terms(&link);
+        self.up_fixed_db[t] = fixed;
+        self.up_pl_src[t] = FastPathLoss::new(&link.source_to_tag);
+        self.up_pl_emit[t] = FastPathLoss::new(&link.tag_to_rx);
+        self.budgets[t].shadow_sigma_db = sigma;
+        self.budgets[t].sensitivity_dbm = scenario.receivers[new_rx].sensitivity_dbm;
+        self.budgets[t].noise_floor_dbm = new_phy.noise_model().noise_floor_dbm();
+        let emission_freq = link.tag_to_rx.freq_hz;
+        if let Some(cl) = self.closed_loop.as_mut() {
+            // The tag's emitter row: every peer's receive package at the
+            // *new* emission frequency. (The columns `[v][t]` — this tag's
+            // package at the peers' frequencies — do not depend on where
+            // this tag transmits.)
+            for v in 0..scenario.tags.len() {
+                cl.pkg_at_tag_freq[t][v] = tag_rx_pkg_db(scenario, v, emission_freq);
+            }
+            cl.poll_budgets[t].shadow_sigma_db = cl.sink_sigma_db[new_rx];
+            cl.ack_budgets[t].shadow_sigma_db = cl.sink_sigma_db[new_rx];
+        }
+        self.invalidate_entity(EntityId::Tag(t));
+    }
+
+    /// The receiver tag `t` currently delivers to (the scenario's
+    /// assignment until a re-stripe re-tunes it).
+    pub fn tag_receiver(&self, t: usize) -> usize {
+        self.tag_rx[t]
+    }
+
+    /// The tags carrier `c` illuminates, in ascending index order — the
+    /// hoisted membership index (fixed for the run).
+    pub fn carrier_tags(&self, c: usize) -> &[usize] {
+        &self.carrier_tags[c]
     }
 
     fn closed(&self) -> &ClosedLoopTables {
         self.closed_loop
             .as_ref()
             .expect("closed-loop tables are only built for MacMode::ClosedLoop scenarios")
+    }
+
+    fn ext(&self) -> &ExtTables {
+        self.ext
+            .as_ref()
+            .expect("external power tables are only built for scenarios with coex sources")
     }
 
     /// The budget of `tag`'s uplink.
@@ -784,6 +982,9 @@ impl LinkMatrix {
             (Emitter::Sink(s), Listener::Receiver(r)) => self.closed().sink_at_rx[s][r],
             (Emitter::Sink(s), Listener::Tag(t)) => self.closed().sink_at_tag[t][s],
             (Emitter::Sink(s), Listener::Carrier(c)) => self.closed().sink_at_carrier[s][c],
+            (Emitter::External(k), Listener::Receiver(r)) => self.ext().at_rx[k][r],
+            (Emitter::External(k), Listener::Tag(t)) => self.ext().at_tag[t][k],
+            (Emitter::External(k), Listener::Carrier(c)) => self.ext().at_carrier[k][c],
         }
     }
 
@@ -1033,6 +1234,87 @@ mod tests {
             p_before - p_after > 0.3,
             "decode probability {p_before} → {p_after}"
         );
+    }
+
+    #[test]
+    fn retune_matches_a_rebuilt_scenario() {
+        use interscatter_wifi::dot11b::DsssRate;
+        // Re-tuning a tag through the incremental path (the re-striping
+        // entry point) must land on exactly the tables a from-scratch
+        // build of the re-tuned scenario produces — including after a
+        // subsequent carrier move, which exercises the hoisted
+        // carrier → tags index against live assignments.
+        for base in [
+            Scenario::hospital_ward(10),
+            Scenario::hospital_ward(10).closed_loop(),
+        ] {
+            let mut matrix = LinkMatrix::build(&base).unwrap();
+            // Tag 1 delivers to AP 1 (channel 6); re-tune it to AP 0
+            // (channel 1), as a stripe-1 → stripe-0 re-stripe would.
+            let new_phy = NetPhy::Wifi {
+                rate: DsssRate::Mbps2,
+                channel: 1,
+            };
+            matrix.retune_tag(&base, 1, 0, new_phy);
+            assert_eq!(matrix.tag_receiver(1), 0);
+            let moved = Position::new(3.0, 2.0, 1.0);
+            matrix.set_position(EntityId::Carrier(0), moved);
+            matrix.flush(&base);
+
+            let mut retuned = base.clone();
+            retuned.tags[1].receiver = 0;
+            retuned.tags[1].phy = new_phy;
+            retuned.place_carrier(0, moved);
+            retuned.validate().unwrap();
+            let rebuilt = LinkMatrix::build(&retuned).unwrap();
+            assert_tables_match(&matrix, &rebuilt, &base.name);
+            // The sigma/sensitivity terms re-derive too, not just medians.
+            let (a, b) = (matrix.budget(1), rebuilt.budget(1));
+            assert!((a.shadow_sigma_db - b.shadow_sigma_db).abs() < 1e-9);
+            assert!((a.sensitivity_dbm - b.sensitivity_dbm).abs() < 1e-9);
+            assert!((a.noise_floor_dbm - b.noise_floor_dbm).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn carrier_tags_index_matches_the_fleet_scan() {
+        let scenario = Scenario::hospital_ward(11);
+        let matrix = LinkMatrix::build(&scenario).unwrap();
+        for c in 0..scenario.carriers.len() {
+            let scanned: Vec<usize> = scenario
+                .tags
+                .iter()
+                .enumerate()
+                .filter(|(_, tag)| tag.carrier == c)
+                .map(|(t, _)| t)
+                .collect();
+            assert_eq!(matrix.carrier_tags(c), scanned.as_slice());
+        }
+        for (t, tag) in scenario.tags.iter().enumerate() {
+            assert_eq!(matrix.tag_receiver(t), tag.receiver);
+        }
+    }
+
+    #[test]
+    fn external_sources_feed_the_power_tables() {
+        let scenario = Scenario::congested_ward(12).closed_loop();
+        let matrix = LinkMatrix::build(&scenario).unwrap();
+        // The hidden source sits beside the channel-6 AP (index 1): its
+        // power there dwarfs its power at the far channel-1 AP.
+        let near = matrix.power_dbm(Emitter::External(0), Listener::Receiver(1));
+        let far = matrix.power_dbm(Emitter::External(0), Listener::Receiver(0));
+        assert!(near.is_finite() && far.is_finite());
+        assert!(near > far + 3.0, "near {near} dBm vs far {far} dBm");
+        // Tag and carrier listeners are covered too (closed loop).
+        for at in [Listener::Tag(0), Listener::Carrier(0)] {
+            let p = matrix.power_dbm(Emitter::External(0), at);
+            assert!(p.is_finite() && p < 25.0, "{at:?}: {p} dBm");
+        }
+        // A silent (constant) source contributes effectively nothing.
+        let silent = Scenario::hospital_ward(4).with_constant_coex();
+        let m2 = LinkMatrix::build(&silent).unwrap();
+        let p = m2.power_dbm(Emitter::External(1), Listener::Receiver(1));
+        assert!(p < -250.0, "silent source at {p} dBm");
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! the *mirror copy* at `2·f_carrier − f_packet` (§2.3.1: the unwanted
 //! sideband single-sideband backscatter exists to eliminate). Since the
 //! closed-loop MAC landed, not only tags emit: carriers transmit AM-OFDM
-//! *poll* frames and sink devices transmit AM-OFDM *ack* frames
+//! *poll* frames, sink devices transmit AM-OFDM *ack* frames, and — since
+//! the coex subsystem ([`crate::coex`]) — external sources inject other
+//! people's Wi-Fi/BLE/ZigBee traffic as real emissions
 //! ([`Emitter`] names who owns an emission). Two emissions interfere when
 //! any of their bands overlap in frequency while both are on the air; the
 //! engine then applies a capture margin at the victim's receiver to decide
@@ -70,6 +72,10 @@ pub enum Emitter {
     Carrier(usize),
     /// A sink device's AM-OFDM downlink ack frame.
     Sink(usize),
+    /// An external coexistence source's emission
+    /// ([`crate::coex::CoexSource`], by its index in the scenario's coex
+    /// config) — other people's Wi-Fi, BLE, ZigBee or a microwave oven.
+    External(usize),
 }
 
 /// One in-flight transmission.
@@ -80,6 +86,10 @@ struct Emission {
     primary: Band,
     mirror: Option<Band>,
     end: Time,
+    /// A hidden-terminal emission: invisible to [`Medium::busy`]
+    /// (carrier-sense at the transmitting side cannot hear it) but still
+    /// interfering and still counted by [`Medium::occupied`].
+    hidden: bool,
     /// Emissions that overlapped this one while it was on the air.
     interferers: Vec<Interferer>,
 }
@@ -164,14 +174,30 @@ impl Medium {
 
     /// Carrier-sense: is any emission (`[start, end)`) or reservation
     /// (`[start, end]`) occupying a band that overlaps `band` at time
-    /// `now`?
+    /// `now`? Hidden-terminal emissions are *not* heard here — carrier-
+    /// sense happens at the transmitting side, which by definition cannot
+    /// hear a hidden node (use [`Medium::occupied`] for the receive-side
+    /// truth).
     pub fn busy(&mut self, band: Band, now: Time) -> bool {
         self.prune(now);
         self.active
             .iter()
-            .filter(|e| e.end > now)
+            .filter(|e| !e.hidden && e.end > now)
             .any(|e| e.bands().any(|b| b.overlaps(&band)))
             || self.reservations.iter().any(|r| r.band.overlaps(&band))
+    }
+
+    /// Occupancy sensing: is any emission — hidden or not — on a band
+    /// overlapping `band` at `now`? This is the *receive-side* channel
+    /// load an AP measures and reports (802.11's QBSS load element), which
+    /// is what the coex subsystem's per-carrier EWMA estimators sample:
+    /// unlike [`Medium::busy`] it hears hidden terminals, and it ignores
+    /// NAV reservations (a reservation is protocol state, not energy).
+    pub fn occupied(&self, band: Band, now: Time) -> bool {
+        self.active
+            .iter()
+            .filter(|e| e.end > now)
+            .any(|e| e.bands().any(|b| b.overlaps(&band)))
     }
 
     /// Places a CTS-to-Self reservation on `band` protecting every instant
@@ -191,6 +217,32 @@ impl Medium {
         now: Time,
         end: Time,
     ) -> u64 {
+        self.start_with(who, primary, mirror, now, end, false)
+    }
+
+    /// [`Medium::start`] for a hidden-terminal emission: it interferes and
+    /// counts toward [`Medium::occupied`], but [`Medium::busy`] cannot
+    /// hear it.
+    pub fn start_hidden(
+        &mut self,
+        who: Emitter,
+        primary: Band,
+        mirror: Option<Band>,
+        now: Time,
+        end: Time,
+    ) -> u64 {
+        self.start_with(who, primary, mirror, now, end, true)
+    }
+
+    fn start_with(
+        &mut self,
+        who: Emitter,
+        primary: Band,
+        mirror: Option<Band>,
+        now: Time,
+        end: Time,
+        hidden: bool,
+    ) -> u64 {
         self.prune(now);
         let tx_id = self.next_tx_id;
         self.next_tx_id += 1;
@@ -200,6 +252,7 @@ impl Medium {
             primary,
             mirror,
             end,
+            hidden,
             interferers: Vec::new(),
         };
         for other in self.active.iter_mut().filter(|e| e.end > now) {
@@ -357,6 +410,44 @@ mod tests {
         assert!(medium.busy(wifi(CH6), Time(200_000)));
         // Reservations expire strictly after their final protected instant.
         assert!(!medium.busy(wifi(CH6), Time(300_001)));
+    }
+
+    #[test]
+    fn hidden_emissions_collide_but_escape_carrier_sense() {
+        let mut medium = Medium::new();
+        // A hidden external burst occupies channel 6 for the AP…
+        let ext = medium.start_hidden(
+            Emitter::External(0),
+            wifi(CH6),
+            None,
+            Time(0),
+            Time(500_000),
+        );
+        // …but the transmitting side cannot hear it: carrier-sense says
+        // idle while receive-side occupancy says busy.
+        assert!(!medium.busy(wifi(CH6), Time(100_000)));
+        assert!(medium.occupied(wifi(CH6), Time(100_000)));
+        assert!(!medium.occupied(wifi(CH11), Time(100_000)));
+        // A tag transmission launched into the hidden burst collides with
+        // it, both ways.
+        let tag = medium.start(
+            Emitter::Tag(3),
+            wifi(CH6),
+            None,
+            Time(100_000),
+            Time(300_000),
+        );
+        assert_eq!(who(&medium.finish(tag)), vec![Emitter::External(0)]);
+        assert_eq!(who(&medium.finish(ext)), vec![Emitter::Tag(3)]);
+
+        // A visible (non-hidden) external emission trips carrier-sense
+        // like any in-model emission, while reservations stay invisible to
+        // occupancy sensing (protocol state, not energy).
+        medium.start(Emitter::External(1), wifi(CH6), None, Time(0), Time(50_000));
+        assert!(medium.busy(wifi(CH6), Time(10_000)));
+        medium.reserve(wifi(CH11), Time(400_000));
+        assert!(medium.busy(wifi(CH11), Time(350_000)));
+        assert!(!medium.occupied(wifi(CH11), Time(350_000)));
     }
 
     #[test]

@@ -17,8 +17,9 @@ pub struct TagStats {
     pub attempts: usize,
     /// Attempts lost to tag-to-tag (or mirror-copy) collisions.
     pub collided: usize,
-    /// Attempts lost to collisions with external (unmodelled) Wi-Fi
-    /// traffic.
+    /// Attempts lost to external traffic: collisions whose in-band
+    /// interferers were all coex-source emissions ([`crate::coex`]), or
+    /// the legacy occupancy-scalar fold.
     pub external_collisions: usize,
     /// Attempts lost to the link budget (shadowed RSSI under sensitivity).
     pub link_losses: usize,
@@ -85,6 +86,40 @@ impl MobilitySample {
     }
 }
 
+/// One point of a carrier's sensed-occupancy series, recorded on the
+/// [`crate::coex::SenseConfig`] cadence: what the carrier's EWMA busy
+/// estimator reads on its own stripe, and how its member tags' attempts
+/// fared since the previous sample — the raw material of the
+/// PRR-under-congestion readout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OccupancySample {
+    /// Simulated time of the sample, seconds.
+    pub at_s: f64,
+    /// The sub-band stripe the carrier was tuned to when sampling.
+    pub subband: usize,
+    /// EWMA busy-airtime estimate of the carrier's own channel, in [0, 1].
+    pub occupancy: f64,
+    /// Member-tag transmission attempts since the previous sample.
+    pub attempts: usize,
+    /// Member-tag deliveries since the previous sample.
+    pub delivered: usize,
+}
+
+/// One adaptive re-striping decision ([`crate::coex::ReStripe`]): a
+/// carrier — and every Wi-Fi tag it illuminates — re-tuned from one
+/// sub-band stripe to another because its sensed occupancy spiked.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReStripeEvent {
+    /// Simulated time of the decision (slot-aligned), seconds.
+    pub at_s: f64,
+    /// The carrier that re-tuned.
+    pub carrier: usize,
+    /// The stripe it left.
+    pub from_subband: usize,
+    /// The stripe it re-tuned to (the least-occupied candidate).
+    pub to_subband: usize,
+}
+
 /// Aggregated results of one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct NetworkMetrics {
@@ -110,6 +145,19 @@ pub struct NetworkMetrics {
     /// (empty vectors for static runs) — how link quality tracks motion,
     /// indexed like the scenario's tag list.
     pub mobility_series: Vec<Vec<MobilitySample>>,
+    /// Per-carrier sensed-occupancy series (empty unless the scenario
+    /// attaches a [`crate::coex::CoexConfig`]), indexed like the
+    /// scenario's carrier list.
+    pub occupancy_series: Vec<Vec<OccupancySample>>,
+    /// Every adaptive re-striping decision of the run, in time order.
+    pub restripe_events: Vec<ReStripeEvent>,
+    /// Per external source: emissions put on the air, indexed like the
+    /// coex config's source list.
+    pub coex_emissions: Vec<usize>,
+    /// Per external source: summed on-air time, seconds.
+    pub coex_airtime_s: Vec<f64>,
+    /// Per external source: CSMA deferrals (busy band or NAV honoured).
+    pub coex_defers: Vec<usize>,
 }
 
 impl NetworkMetrics {
@@ -124,7 +172,22 @@ impl NetworkMetrics {
             poll_latency_ms: Cdf::new(),
             mirror_airtime_s: vec![0.0; n_receivers],
             mobility_series: vec![Vec::new(); n_tags],
+            occupancy_series: Vec::new(),
+            restripe_events: Vec::new(),
+            coex_emissions: Vec::new(),
+            coex_airtime_s: Vec::new(),
+            coex_defers: Vec::new(),
         }
+    }
+
+    /// Sizes the coexistence series for `n_carriers` carriers and
+    /// `n_sources` external sources (called by the engine when the
+    /// scenario attaches a coex config).
+    pub fn init_coex(&mut self, n_carriers: usize, n_sources: usize) {
+        self.occupancy_series = vec![Vec::new(); n_carriers];
+        self.coex_emissions = vec![0; n_sources];
+        self.coex_airtime_s = vec![0.0; n_sources];
+        self.coex_defers = vec![0; n_sources];
     }
 
     /// Pooled PRR of all mobility samples whose displacement falls in
@@ -142,6 +205,51 @@ impl NetworkMetrics {
             }
         }
         (attempts > 0).then(|| (delivered as f64 / attempts as f64, attempts))
+    }
+
+    /// Pooled member-tag PRR of all occupancy samples whose sensed
+    /// occupancy falls in `[min_occ, max_occ)`, with the number of
+    /// attempts it is based on — the PRR-under-congestion readout: how the
+    /// fleet fares while its channels are externally loaded vs. quiet.
+    /// `None` when no attempts landed in the band.
+    pub fn prr_in_occupancy_band(&self, min_occ: f64, max_occ: f64) -> Option<(f64, usize)> {
+        let (mut attempts, mut delivered) = (0usize, 0usize);
+        for series in &self.occupancy_series {
+            for s in series {
+                if s.occupancy >= min_occ && s.occupancy < max_occ {
+                    attempts += s.attempts;
+                    delivered += s.delivered;
+                }
+            }
+        }
+        (attempts > 0).then(|| (delivered as f64 / attempts as f64, attempts))
+    }
+
+    /// Highest occupancy carrier `c` ever sensed on its own stripe
+    /// (`None` without a coex config or before the first sample).
+    pub fn peak_occupancy(&self, c: usize) -> Option<f64> {
+        self.occupancy_series
+            .get(c)?
+            .iter()
+            .map(|s| s.occupancy)
+            .fold(None, |acc: Option<f64>, o| {
+                Some(acc.map_or(o, |a| a.max(o)))
+            })
+    }
+
+    /// Total adaptive re-striping decisions of the run.
+    pub fn restripes(&self) -> usize {
+        self.restripe_events.len()
+    }
+
+    /// Total external emissions the coex sources put on the air.
+    pub fn external_emissions(&self) -> usize {
+        self.coex_emissions.iter().sum()
+    }
+
+    /// Total external on-air time across sources, seconds.
+    pub fn external_airtime_s(&self) -> f64 {
+        self.coex_airtime_s.iter().sum()
     }
 
     /// Largest displacement any tag reached, metres (0 for static runs).
@@ -348,6 +456,23 @@ impl NetworkMetrics {
                 self.mirror_duty(rx)
             ));
         }
+        if self.external_emissions() > 0 || self.restripes() > 0 {
+            let defers: usize = self.coex_defers.iter().sum();
+            out.push_str(&format!(
+                "coex: {} external emissions ({:.3} s on air, {defers} defers), {} re-stripes\n",
+                self.external_emissions(),
+                self.external_airtime_s(),
+                self.restripes(),
+            ));
+            if let (Some((quiet, _)), Some((busy, _))) = (
+                self.prr_in_occupancy_band(0.0, 0.3),
+                self.prr_in_occupancy_band(0.3, f64::INFINITY),
+            ) {
+                out.push_str(&format!(
+                    "PRR under occupancy <0.3: {quiet:.3}  ≥0.3: {busy:.3}\n"
+                ));
+            }
+        }
         let max_disp = self.max_displacement_m();
         if max_disp > 0.0 {
             out.push_str(&format!("mobility: max displacement {max_disp:.2} m"));
@@ -519,6 +644,58 @@ mod tests {
         let report = m.report();
         assert!(
             report.contains("mobility: max displacement 3.00 m"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn coex_series_aggregate_and_report() {
+        let mut m = NetworkMetrics::new(2, 1, 10.0);
+        assert_eq!(m.restripes(), 0);
+        assert_eq!(m.external_emissions(), 0);
+        assert!(m.peak_occupancy(0).is_none());
+        assert!(m.prr_in_occupancy_band(0.0, 1.0).is_none());
+        assert!(!m.report().contains("coex"));
+
+        m.init_coex(2, 3);
+        assert_eq!(m.occupancy_series.len(), 2);
+        assert!(m.peak_occupancy(0).is_none(), "no samples yet");
+        let sample = |occ: f64, attempts: usize, delivered: usize| OccupancySample {
+            at_s: 1.0,
+            subband: 0,
+            occupancy: occ,
+            attempts,
+            delivered,
+        };
+        m.occupancy_series[0] = vec![sample(0.05, 10, 10), sample(0.6, 10, 3)];
+        m.occupancy_series[1] = vec![sample(0.1, 4, 4)];
+        assert_eq!(m.peak_occupancy(0), Some(0.6));
+        assert_eq!(m.peak_occupancy(1), Some(0.1));
+        let (quiet, quiet_n) = m.prr_in_occupancy_band(0.0, 0.3).unwrap();
+        assert!((quiet - 1.0).abs() < 1e-12 && quiet_n == 14);
+        let (busy, busy_n) = m.prr_in_occupancy_band(0.3, f64::INFINITY).unwrap();
+        assert!((busy - 0.3).abs() < 1e-12 && busy_n == 10);
+
+        m.coex_emissions = vec![100, 0, 5];
+        m.coex_airtime_s = vec![0.4, 0.0, 0.1];
+        m.coex_defers = vec![7, 0, 0];
+        m.restripe_events.push(ReStripeEvent {
+            at_s: 3.1,
+            carrier: 1,
+            from_subband: 1,
+            to_subband: 0,
+        });
+        assert_eq!(m.external_emissions(), 105);
+        assert!((m.external_airtime_s() - 0.5).abs() < 1e-12);
+        assert_eq!(m.restripes(), 1);
+        let report = m.report();
+        assert!(
+            report
+                .contains("coex: 105 external emissions (0.500 s on air, 7 defers), 1 re-stripes"),
+            "{report}"
+        );
+        assert!(
+            report.contains("PRR under occupancy <0.3: 1.000"),
             "{report}"
         );
     }

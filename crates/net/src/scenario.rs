@@ -8,6 +8,7 @@
 //! carrier (Figs. 10/15/16 place the Bluetooth source inches to feet from
 //! the tag), while the receiver can be across the room.
 
+use crate::coex::{CoexConfig, CoexSource, ReStripe};
 use crate::entities::{
     CarrierSource, NetPhy, Position, SinkKind, SinkReceiver, TagNode, TagProfile,
 };
@@ -47,6 +48,12 @@ pub struct Scenario {
     /// default [`SchedPolicy::RoundRobin`] reproduces the pre-extraction
     /// engine byte for byte.
     pub scheduler: SchedPolicy,
+    /// External coexistence traffic, occupancy sensing and (optionally)
+    /// adaptive sub-band re-striping ([`crate::coex`]). `None` keeps the
+    /// legacy behaviour: each sink's static `external_occupancy` scalar is
+    /// folded into its delivery probability and nothing external ever
+    /// touches the medium.
+    pub coex: Option<CoexConfig>,
 }
 
 impl Scenario {
@@ -118,6 +125,10 @@ impl Scenario {
         self.scheduler
             .validate()
             .map_err(|e| NetError::InvalidScenario(format!("scheduler: {e}")))?;
+        if let Some(coex) = &self.coex {
+            coex.validate(self.receivers.len())
+                .map_err(|e| NetError::InvalidScenario(format!("coex: {e}")))?;
+        }
         Ok(())
     }
 
@@ -212,6 +223,7 @@ impl Scenario {
             mac: MacMode::OpenLoop,
             mobility: None,
             scheduler: SchedPolicy::RoundRobin,
+            coex: None,
         }
     }
 
@@ -260,6 +272,7 @@ impl Scenario {
             mac: MacMode::OpenLoop,
             mobility: None,
             scheduler: SchedPolicy::RoundRobin,
+            coex: None,
         }
     }
 
@@ -319,6 +332,7 @@ impl Scenario {
             mac: MacMode::OpenLoop,
             mobility: None,
             scheduler: SchedPolicy::RoundRobin,
+            coex: None,
         }
     }
 
@@ -370,6 +384,7 @@ impl Scenario {
             mac: MacMode::OpenLoop,
             mobility: None,
             scheduler: SchedPolicy::RoundRobin,
+            coex: None,
         }
     }
 
@@ -469,6 +484,91 @@ impl Scenario {
         self
     }
 
+    /// Attaches a coexistence configuration ([`crate::coex`]): external
+    /// traffic sources sharing the band, per-carrier occupancy sensing,
+    /// and (optionally) adaptive re-striping. Works on all builders and
+    /// composes with every other combinator:
+    ///
+    /// ```
+    /// use interscatter_net::coex::{CoexConfig, CoexSource};
+    /// use interscatter_net::entities::Position;
+    /// use interscatter_net::scenario::Scenario;
+    /// let ward = Scenario::hospital_ward(8).with_coex(CoexConfig::with_sources(vec![
+    ///     CoexSource::wifi_neighbor(Position::new(6.0, 4.0, 2.0), 6, 0.3),
+    /// ]));
+    /// assert!(ward.name.ends_with("coex"));
+    /// ward.validate().unwrap();
+    /// ```
+    pub fn with_coex(mut self, config: CoexConfig) -> Scenario {
+        self.coex = Some(config);
+        self.name = format!("{}-coex", self.name);
+        self
+    }
+
+    /// The backward-compatibility bridge: attaches a coex config whose
+    /// only sources are [`crate::coex::CoexModel::Constant`] scalars
+    /// mirroring each sink's legacy `external_occupancy`. The engine then
+    /// takes the *same* per-sink delivery-probability fold with the same
+    /// RNG draws, so trace digests reproduce the pre-coex engine byte for
+    /// byte (pinned by `constant_coex_reproduces_legacy_digests`).
+    pub fn with_constant_coex(self) -> Scenario {
+        let sources = self
+            .receivers
+            .iter()
+            .enumerate()
+            .map(|(s, rx)| CoexSource::constant(s, rx.external_occupancy))
+            .collect();
+        self.with_coex(CoexConfig::with_sources(sources))
+    }
+
+    /// Attaches (or swaps) the adaptive re-striping policy on a scenario
+    /// that already carries a coex config. A scenario without one gets the
+    /// [`Scenario::with_constant_coex`] bridge config first (each sink's
+    /// legacy scalar mirrored as a `Constant` source), so attaching the
+    /// policy alone never changes the external-loss baseline — any
+    /// adaptive-vs-static difference is the re-striping, not a silently
+    /// zeroed occupancy fold.
+    pub fn with_restripe(mut self, policy: ReStripe) -> Scenario {
+        let config = self.coex.take().unwrap_or_else(|| {
+            CoexConfig::with_sources(
+                self.receivers
+                    .iter()
+                    .enumerate()
+                    .map(|(s, rx)| CoexSource::constant(s, rx.external_occupancy))
+                    .collect(),
+            )
+        });
+        self.coex = Some(config.with_restripe(policy));
+        self.name = format!("{}-adaptive", self.name);
+        self
+    }
+
+    /// The congestion-stress ward: the striped hospital ward (carriers and
+    /// tags spread across the three AP channels), except that from `t =
+    /// 3 s` a **hidden** Wi-Fi transmitter hammers channel 6 at ~60% load
+    /// — too far to trip the helpers' carrier-sense, close enough to the
+    /// wall APs to collide with everything the stripe-1 tags send. Static
+    /// striping rides the collapse out; attach
+    /// [`Scenario::with_restripe`] and the stripe-1 carriers sense the
+    /// spike and re-tune themselves (and their tags) to the quietest
+    /// sub-band. This is the geometry the `coex_shootout` example and the
+    /// re-striping regression tests compare policies on.
+    pub fn congested_ward(n_tags: usize) -> Scenario {
+        let n = n_tags.max(1);
+        let mut ward = Scenario::hospital_ward(n)
+            .with_subband_striping()
+            .with_coex(CoexConfig::with_sources(vec![CoexSource::hidden_wifi(
+                // Beside the channel-6 AP on the far wall: loud at the
+                // APs, unheard at the bedside helpers.
+                Position::new(6.0, 8.0, 2.0),
+                6,
+                0.6,
+            )
+            .active(3.0, f64::INFINITY)]));
+        ward.name = format!("congested-ward-{n}");
+        ward
+    }
+
     /// An ambulatory hospital ward: `n_tags` implanted patients *walking*
     /// a 12 m × 9 m ward under a random-waypoint model, each wearing their
     /// own 20 dBm helper beacon 0.3 m from the implant (the §2.3.3 helper
@@ -532,6 +632,7 @@ impl Scenario {
             mac: MacMode::OpenLoop,
             mobility: None,
             scheduler: SchedPolicy::RoundRobin,
+            coex: None,
         }
         .with_mobility(MobilityConfig {
             model: MobilityModel::RandomWaypoint(RandomWaypoint {
@@ -831,6 +932,90 @@ mod tests {
                 .validate()
                 .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
         }
+    }
+
+    #[test]
+    fn every_preset_takes_coex() {
+        use crate::coex::{CoexConfig, CoexSource, ReStripe};
+        let config = CoexConfig::with_sources(vec![
+            CoexSource::microwave_oven(Position::new(5.0, 5.0, 1.0)),
+            CoexSource::ble_beacon(Position::new(1.0, 1.0, 1.0), 0.1),
+        ]);
+        for scenario in [
+            Scenario::hospital_ward(8).with_coex(config.clone()),
+            Scenario::contact_lens_fleet(6).with_coex(config.clone()),
+            Scenario::card_to_card_room(4).with_coex(config.clone()),
+            Scenario::zigbee_wing(8).with_coex(config.clone()),
+            Scenario::ambulatory_ward(4)
+                .closed_loop()
+                .with_coex(config.clone()),
+        ] {
+            assert!(scenario.name.ends_with("coex"), "name {}", scenario.name);
+            assert_eq!(scenario.coex, Some(config.clone()));
+            scenario
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        }
+        // The constant bridge mirrors each sink's legacy scalar.
+        let bridged = Scenario::hospital_ward(8).with_constant_coex();
+        let cfg = bridged.coex.as_ref().unwrap();
+        assert_eq!(cfg.sources.len(), bridged.receivers.len());
+        for (s, rx) in bridged.receivers.iter().enumerate() {
+            assert_eq!(cfg.constant_occupancy(s), rx.external_occupancy);
+        }
+        bridged.validate().unwrap();
+        // with_restripe composes (and bootstraps a config when absent).
+        let adaptive = Scenario::hospital_ward(8)
+            .with_subband_striping()
+            .with_restripe(ReStripe::default());
+        assert!(adaptive.name.ends_with("adaptive"));
+        assert_eq!(
+            adaptive.coex.as_ref().and_then(|c| c.restripe),
+            Some(ReStripe::default())
+        );
+        // The bootstrap mirrors the legacy scalars (it must not silently
+        // zero the external-loss baseline the policy is compared against).
+        let cfg = adaptive.coex.as_ref().unwrap();
+        for (s, rx) in adaptive.receivers.iter().enumerate() {
+            assert_eq!(cfg.constant_occupancy(s), rx.external_occupancy);
+        }
+        adaptive.validate().unwrap();
+        // Bad coex parameters are rejected at validation.
+        let bad = Scenario::hospital_ward(4)
+            .with_coex(CoexConfig::with_sources(vec![CoexSource::constant(9, 0.1)]));
+        assert!(matches!(bad.validate(), Err(NetError::InvalidScenario(_))));
+    }
+
+    #[test]
+    fn congested_ward_hammers_channel_6_mid_run() {
+        let ward = Scenario::congested_ward(12);
+        ward.validate().unwrap();
+        assert!(ward.name.starts_with("congested-ward-12"));
+        // Striped deployment: carriers spread over the three APs.
+        assert_ne!(ward.carriers[0].subband, ward.carriers[1].subband);
+        let cfg = ward.coex.as_ref().expect("preset attaches coex");
+        assert_eq!(cfg.sources.len(), 1);
+        let source = &cfg.sources[0];
+        assert_eq!(source.start_s, 3.0, "the hammer starts mid-run");
+        assert!(matches!(
+            source.model,
+            crate::coex::CoexModel::WifiBursty(w) if w.channel == 6
+                && w.access == crate::coex::MediumAccess::Hidden
+        ));
+        // Scalars are out of the picture: no constant sources.
+        for s in 0..ward.receivers.len() {
+            assert_eq!(cfg.constant_occupancy(s), 0.0);
+        }
+        assert!(cfg.restripe.is_none(), "static striping by default");
+        // Composes with the closed loop and the adaptive policy.
+        Scenario::congested_ward(8)
+            .closed_loop()
+            .validate()
+            .unwrap();
+        Scenario::congested_ward(8)
+            .with_restripe(ReStripe::default())
+            .validate()
+            .unwrap();
     }
 
     #[test]

@@ -37,8 +37,9 @@
 use crate::links::LinkMatrix;
 use crate::time::Time;
 
-/// What a policy may inspect while picking: the simulated instant and the
-/// live link matrix (fresh margins every mobility tick).
+/// What a policy may inspect while picking: the simulated instant, the
+/// live link matrix (fresh margins every mobility tick) and the carrier's
+/// sensed channel occupancy.
 #[derive(Debug, Clone, Copy)]
 pub struct SlotView<'a> {
     /// When the carrier slot fires.
@@ -46,6 +47,11 @@ pub struct SlotView<'a> {
     /// Live link budgets; [`LinkMatrix::uplink_margin_db`] is the signal
     /// the margin-aware policy keys on.
     pub links: &'a LinkMatrix,
+    /// The carrier's live EWMA busy-airtime estimate of its own stripe
+    /// ([`crate::coex`]), in [0, 1] — 0.0 when the scenario attaches no
+    /// coex config. None of the built-in policies key on it yet; it is
+    /// here so occupancy-aware arbitration needs no new plumbing.
+    pub occupancy: f64,
 }
 
 /// Eligibility oracle the engine hands to a pick: `Some(arrived)` with the
@@ -490,6 +496,13 @@ impl CarrierSched {
         self.subband
     }
 
+    /// Re-tunes the carrier to `subband` — the adaptive re-striping hook
+    /// ([`crate::coex::ReStripe`]): the stripe stays scheduler-visible
+    /// after a mid-run move.
+    pub fn set_subband(&mut self, subband: usize) {
+        self.subband = subband;
+    }
+
     /// Picks the member to grant this slot (see [`Scheduler::pick`]).
     pub fn pick(&mut self, backlog: &Backlog, view: &SlotView) -> Option<usize> {
         let Self { members, state, .. } = self;
@@ -573,6 +586,7 @@ mod tests {
         let view = SlotView {
             now: Time(0),
             links: &links,
+            occupancy: 0.0,
         };
         let mut sched = CarrierSched::new(SchedPolicy::RoundRobin, vec![0, 1, 2, 3], 0);
         let all = backlog_at(&[0, 1, 2, 3], 0);
@@ -600,6 +614,7 @@ mod tests {
         let view = SlotView {
             now: Time(0),
             links: &links,
+            occupancy: 0.0,
         };
         let mut sched = CarrierSched::new(SchedPolicy::proportional_fair(), vec![0, 1], 0);
         let all = backlog_at(&[0, 1], 0);
@@ -625,6 +640,7 @@ mod tests {
         let view = SlotView {
             now: Time(1_000_000_000),
             links: &links,
+            occupancy: 0.0,
         };
         let mut sched = CarrierSched::new(
             SchedPolicy::DeadlineAware(DeadlineAware { deadline_s: 0.1 }),
@@ -653,6 +669,7 @@ mod tests {
         let view = SlotView {
             now: Time(0),
             links: &links,
+            occupancy: 0.0,
         };
         // The ward's real margins are all comfortably positive, so a
         // threshold above them blanks every member…

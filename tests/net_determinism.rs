@@ -3,7 +3,9 @@
 //! different seed must produce a different trace. This is what makes a
 //! reported fleet result reproducible from `(scenario, seed)` alone.
 
+use interscatter::net::coex::{CoexConfig, CoexSource, ReStripe};
 use interscatter::net::engine::NetworkSim;
+use interscatter::net::prelude::Position;
 use interscatter::net::runner::MonteCarlo;
 use interscatter::net::scenario::Scenario;
 use interscatter::net::sched::SchedPolicy;
@@ -40,6 +42,31 @@ fn scenarios() -> Vec<Scenario> {
         Scenario::hospital_ward(16)
             .with_subband_striping()
             .with_scheduler(SchedPolicy::margin_aware()),
+        // Coexistence cases: every external generator kind injects real
+        // seeded emissions into the medium, and each source's arrival
+        // process rides its own RNG stream — so the trace (including every
+        // collision with external traffic) replays exactly from the seed.
+        Scenario::hospital_ward(12).with_coex(CoexConfig::with_sources(vec![
+            CoexSource::wifi_neighbor(Position::new(6.0, 8.0, 2.0), 6, 0.3),
+            CoexSource::hidden_wifi(Position::new(2.0, 8.0, 2.0), 1, 0.15),
+            CoexSource::ble_beacon(Position::new(0.5, 0.5, 1.0), 0.05),
+            CoexSource::zigbee_neighbor(Position::new(11.0, 1.0, 1.0), 17, 40.0),
+            CoexSource::microwave_oven(Position::new(11.5, 8.5, 1.0)),
+            CoexSource::constant(2, 0.1),
+        ])),
+        // The legacy bridge: constant sources mirroring the sink scalars.
+        Scenario::hospital_ward(12)
+            .closed_loop()
+            .with_constant_coex(),
+        // The congestion preset, static and with a mid-run adaptive
+        // re-stripe (the re-tuned tags' new channels, budgets and the
+        // trace line of the decision itself must all replay byte for
+        // byte), open and closed loop.
+        Scenario::congested_ward(12),
+        Scenario::congested_ward(12).with_restripe(ReStripe::default()),
+        Scenario::congested_ward(10)
+            .closed_loop()
+            .with_restripe(ReStripe::default()),
     ]
 }
 
@@ -109,6 +136,23 @@ fn trace_is_meaningful() {
         assert!(ns >= last, "trace timestamps must be monotone");
         last = ns;
     }
+}
+
+#[test]
+fn mid_run_restripe_replays_exactly() {
+    // The sharpest determinism case: a congested run whose carriers
+    // re-tune themselves (and their tags' channels, receivers and link
+    // budgets) mid-run. Both the decision and everything downstream of it
+    // must replay byte for byte.
+    let scenario = Scenario::congested_ward(12).with_restripe(ReStripe::default());
+    let a = NetworkSim::new(&scenario, 0xC0EC).run().unwrap();
+    let b = NetworkSim::new(&scenario, 0xC0EC).run().unwrap();
+    assert_eq!(a.trace.to_bytes(), b.trace.to_bytes());
+    assert_eq!(format!("{:?}", a.metrics), format!("{:?}", b.metrics));
+    assert!(a.metrics.restripes() > 0, "the run must actually re-stripe");
+    let text = String::from_utf8(a.trace.to_bytes()).unwrap();
+    assert!(text.contains("re-stripe: subband"));
+    assert!(text.contains("coex wifi-bursty"));
 }
 
 #[test]
