@@ -28,6 +28,10 @@ use crate::metrics::{MobilitySample, NetworkMetrics, OccupancySample, ReStripeEv
 use crate::mobility::{MobilityConfig, MotionState};
 use crate::scenario::Scenario;
 use crate::sched::{CarrierSched, SlotView};
+use crate::telemetry::{
+    LossKind, MetricsMode, ProgressRuntime, TelemetryEvent, TelemetryKind, TelemetryReport,
+    TelemetryRuntime,
+};
 use crate::time::Time;
 use crate::NetError;
 use interscatter_backscatter::tag::SidebandMode;
@@ -168,6 +172,10 @@ pub struct NetRunResult {
     pub metrics: NetworkMetrics,
     /// The event trace (empty if tracing was disabled).
     pub trace: EventTrace,
+    /// What the run's telemetry subscriptions reduced to, plus any
+    /// collected progress lines ([`crate::telemetry`]). Empty (but for the
+    /// event count) when the scenario registers no subscriptions.
+    pub telemetry: TelemetryReport,
 }
 
 /// A configured simulation, ready to run.
@@ -211,6 +219,22 @@ impl<'a> NetworkSim<'a> {
             scenario.receivers.len(),
             scenario.duration_s,
         );
+        if scenario.telemetry.mode == MetricsMode::Streaming {
+            metrics.enable_streaming();
+        }
+        // The subscription layer: filters compiled to a per-kind dispatch
+        // mask, so each emit site below pays one dead branch when nothing
+        // is subscribed. Telemetry consumes no RNG and never touches the
+        // queue or the medium — traces stay byte-identical regardless.
+        let mut tele = TelemetryRuntime::new(
+            &scenario.telemetry,
+            scenario.tags.len(),
+            scenario.carriers.len(),
+        );
+        let mut progress: Option<ProgressRuntime> = scenario
+            .telemetry
+            .progress_every_s
+            .map(|every| ProgressRuntime::new(every, scenario.telemetry.live_progress));
         let mut mac_loop = match scenario.mac {
             MacMode::OpenLoop => None,
             MacMode::ClosedLoop => Some(MacLoop::new(scenario.tags.len())),
@@ -363,6 +387,26 @@ impl<'a> NetworkSim<'a> {
         queue.schedule(horizon, EventKind::Horizon);
 
         while let Some(event) = queue.pop() {
+            tele.tick_event();
+            if let Some(p) = progress.as_mut() {
+                // One status line per elapsed cadence period, driven by
+                // simulated time so the output is deterministic (events
+                // per *simulated* second, no wall clock).
+                if p.due(event.at) {
+                    let (mut attempts, mut delivered) = (0usize, 0usize);
+                    for t in &metrics.tags {
+                        attempts += t.attempts;
+                        delivered += t.delivered;
+                    }
+                    p.emit(
+                        event.at,
+                        tele.events(),
+                        attempts,
+                        delivered,
+                        metrics.restripes(),
+                    );
+                }
+            }
             match event.kind {
                 EventKind::Horizon => break,
                 EventKind::MobilityTick => {
@@ -410,12 +454,15 @@ impl<'a> NetworkSim<'a> {
                     for t in 0..scenario.tags.len() {
                         let stats = &metrics.tags[t];
                         let (attempts, delivered) = (stats.attempts, stats.delivered);
-                        metrics.mobility_series[t].push(MobilitySample {
-                            at_s: now.as_secs(),
-                            displacement_m: mob.states[t].displacement_m(),
-                            attempts: attempts - mob.prev_attempts[t],
-                            delivered: delivered - mob.prev_delivered[t],
-                        });
+                        metrics.record_mobility_sample(
+                            t,
+                            MobilitySample {
+                                at_s: now.as_secs(),
+                                displacement_m: mob.states[t].displacement_m(),
+                                attempts: attempts - mob.prev_attempts[t],
+                                delivered: delivered - mob.prev_delivered[t],
+                            },
+                        );
                         mob.prev_attempts[t] = attempts;
                         mob.prev_delivered[t] = delivered;
                         max_disp_mm =
@@ -491,6 +538,9 @@ impl<'a> NetworkSim<'a> {
                     let rate = scenario.tags[tag].arrival_rate_pps;
                     let state = &mut tags[tag];
                     metrics.tags[tag].offered += 1;
+                    if tele.wants(TelemetryKind::Offered) {
+                        tele.emit(now, &TelemetryEvent::Offered { tag });
+                    }
                     if state.queue.len() < scenario.max_queue {
                         state.queue.push_back(QueuedPacket {
                             arrived: now,
@@ -500,6 +550,9 @@ impl<'a> NetworkSim<'a> {
                         trace.record(now, || format!("tag {tag} arrival (queue {depth})"));
                     } else {
                         metrics.tags[tag].dropped += 1;
+                        if tele.wants(TelemetryKind::Dropped) {
+                            tele.emit(now, &TelemetryEvent::Dropped { tag });
+                        }
                         trace.record(now, || format!("tag {tag} arrival dropped (queue full)"));
                     }
                     let dt = exponential_s(&mut state.rng, rate);
@@ -531,6 +584,7 @@ impl<'a> NetworkSim<'a> {
                             &airborne,
                             mac_loop.as_ref(),
                             &mut metrics,
+                            &mut tele,
                             &mut trace,
                         ),
                     };
@@ -579,9 +633,12 @@ impl<'a> NetworkSim<'a> {
                             }
                             grant_slot(
                                 &mut carriers[carrier],
+                                carrier,
                                 &tags,
                                 &mut metrics,
                                 &links,
+                                &mut tele,
+                                progress.as_mut(),
                                 tag,
                                 now,
                                 occupancy,
@@ -636,9 +693,12 @@ impl<'a> NetworkSim<'a> {
                             }
                             grant_slot(
                                 &mut carriers[carrier],
+                                carrier,
                                 &tags,
                                 &mut metrics,
                                 &links,
+                                &mut tele,
+                                progress.as_mut(),
                                 tag,
                                 now,
                                 occupancy,
@@ -744,7 +804,14 @@ impl<'a> NetworkSim<'a> {
                         });
                     } else {
                         metrics.tags[tag].poll_losses += 1;
-                        retry_packet(&mut tags[tag], tag_spec.max_retries, &mut metrics, tag);
+                        retry_packet(
+                            &mut tags[tag],
+                            tag_spec.max_retries,
+                            &mut metrics,
+                            &mut tele,
+                            tag,
+                            now,
+                        );
                         mac_loop.as_mut().expect("closed loop").finish(tag);
                         trace.record(now, || {
                             format!(
@@ -788,10 +855,28 @@ impl<'a> NetworkSim<'a> {
                             stats.transactions += 1;
                             let span = now.since(poll_started);
                             stats.transaction_ns += span.as_nanos();
-                            metrics
-                                .latency_ms
-                                .push(now.since(packet.arrived).as_secs() * 1e3);
-                            metrics.transaction_latency_ms.push(span.as_secs() * 1e3);
+                            let latency = now.since(packet.arrived);
+                            metrics.record_latency_ms(latency.as_secs() * 1e3);
+                            metrics.record_transaction_ms(span.as_secs() * 1e3);
+                            if tele.wants(TelemetryKind::Delivery) {
+                                tele.emit(
+                                    now,
+                                    &TelemetryEvent::Delivery {
+                                        tag,
+                                        latency_ns: latency.as_nanos(),
+                                        bits,
+                                    },
+                                );
+                            }
+                            if tele.wants(TelemetryKind::Transaction) {
+                                tele.emit(
+                                    now,
+                                    &TelemetryEvent::Transaction {
+                                        tag,
+                                        span_ns: span.as_nanos(),
+                                    },
+                                );
+                            }
                         }
                         trace.record(now, || {
                             format!(
@@ -801,7 +886,14 @@ impl<'a> NetworkSim<'a> {
                         });
                     } else {
                         metrics.tags[tag].ack_losses += 1;
-                        retry_packet(&mut tags[tag], tag_spec.max_retries, &mut metrics, tag);
+                        retry_packet(
+                            &mut tags[tag],
+                            tag_spec.max_retries,
+                            &mut metrics,
+                            &mut tele,
+                            tag,
+                            now,
+                        );
                         trace.record(now, || {
                             format!(
                                 "tag {tag} ack lost ({}, {} interferer(s))",
@@ -823,6 +915,9 @@ impl<'a> NetworkSim<'a> {
                     let rx_idx = tuned_rx[tag];
                     let rx = &scenario.receivers[rx_idx];
                     metrics.tags[tag].attempts += 1;
+                    if tele.wants(TelemetryKind::Attempt) {
+                        tele.emit(now, &TelemetryEvent::Attempt { tag });
+                    }
 
                     let own_carrier_freq = scenario.carriers[tag_spec.carrier].carrier_freq_hz();
                     let rx_band = Band::new(rx.center_freq_hz(own_carrier_freq), rx.bandwidth_hz());
@@ -841,6 +936,14 @@ impl<'a> NetworkSim<'a> {
                         RxOutcome::External => metrics.tags[tag].external_collisions += 1,
                         RxOutcome::LinkLoss => metrics.tags[tag].link_losses += 1,
                         RxOutcome::Delivered => {}
+                    }
+                    if outcome != RxOutcome::Delivered && tele.wants(TelemetryKind::Loss) {
+                        let loss = match outcome {
+                            RxOutcome::Collision => LossKind::Collision,
+                            RxOutcome::External => LossKind::External,
+                            _ => LossKind::LinkBudget,
+                        };
+                        tele.emit(now, &TelemetryEvent::Loss { tag, loss });
                     }
 
                     let closed_loop_response = mac_loop
@@ -873,7 +976,14 @@ impl<'a> NetworkSim<'a> {
                             // The response never made it: the sink times
                             // out and the carrier will re-poll.
                             metrics.tags[tag].timeouts += 1;
-                            retry_packet(&mut tags[tag], tag_spec.max_retries, &mut metrics, tag);
+                            retry_packet(
+                                &mut tags[tag],
+                                tag_spec.max_retries,
+                                &mut metrics,
+                                &mut tele,
+                                tag,
+                                now,
+                            );
                             mac_loop.as_mut().expect("closed loop").finish(tag);
                             trace.record(now, || {
                                 format!(
@@ -893,11 +1003,28 @@ impl<'a> NetworkSim<'a> {
                                 carriers[tag_spec.carrier].sched.delivered(tag, bits);
                                 metrics.tags[tag].delivered += 1;
                                 metrics.tags[tag].delivered_bits += bits;
-                                let latency_ms = now.since(packet.arrived).as_secs() * 1e3;
-                                metrics.latency_ms.push(latency_ms);
+                                let latency = now.since(packet.arrived);
+                                metrics.record_latency_ms(latency.as_secs() * 1e3);
+                                if tele.wants(TelemetryKind::Delivery) {
+                                    tele.emit(
+                                        now,
+                                        &TelemetryEvent::Delivery {
+                                            tag,
+                                            latency_ns: latency.as_nanos(),
+                                            bits,
+                                        },
+                                    );
+                                }
                             }
                         } else {
-                            retry_packet(&mut tags[tag], tag_spec.max_retries, &mut metrics, tag);
+                            retry_packet(
+                                &mut tags[tag],
+                                tag_spec.max_retries,
+                                &mut metrics,
+                                &mut tele,
+                                tag,
+                                now,
+                            );
                         }
                         trace.record(now, || {
                             format!(
@@ -912,7 +1039,16 @@ impl<'a> NetworkSim<'a> {
             }
         }
 
-        Ok(NetRunResult { metrics, trace })
+        let telemetry = tele.finish(
+            progress
+                .map(ProgressRuntime::into_lines)
+                .unwrap_or_default(),
+        );
+        Ok(NetRunResult {
+            metrics,
+            trace,
+            telemetry,
+        })
     }
 }
 
@@ -994,6 +1130,7 @@ fn sense_and_restripe(
     airborne: &[bool],
     mac: Option<&MacLoop>,
     metrics: &mut NetworkMetrics,
+    tele: &mut TelemetryRuntime,
     trace: &mut EventTrace,
 ) -> f64 {
     let CoexRuntime {
@@ -1042,13 +1179,27 @@ fn sense_and_restripe(
             attempts += metrics.tags[t].attempts;
             delivered += metrics.tags[t].delivered;
         }
-        metrics.occupancy_series[carrier].push(OccupancySample {
-            at_s: now.as_secs(),
-            subband: carriers[carrier].sched.subband(),
-            occupancy: occ,
-            attempts: attempts - sense.prev_attempts,
-            delivered: delivered - sense.prev_delivered,
-        });
+        let subband = carriers[carrier].sched.subband();
+        metrics.record_occupancy_sample(
+            carrier,
+            OccupancySample {
+                at_s: now.as_secs(),
+                subband,
+                occupancy: occ,
+                attempts: attempts - sense.prev_attempts,
+                delivered: delivered - sense.prev_delivered,
+            },
+        );
+        if tele.wants(TelemetryKind::Occupancy) {
+            tele.emit(
+                now,
+                &TelemetryEvent::Occupancy {
+                    carrier,
+                    subband,
+                    occupancy: occ,
+                },
+            );
+        }
         sense.prev_attempts = attempts;
         sense.prev_delivered = delivered;
     }
@@ -1116,6 +1267,16 @@ fn sense_and_restripe(
         from_subband: cur,
         to_subband: best,
     });
+    if tele.wants(TelemetryKind::Restripe) {
+        tele.emit(
+            now,
+            &TelemetryEvent::Restripe {
+                carrier,
+                from_subband: cur,
+                to_subband: best,
+            },
+        );
+    }
     let (from_pct, to_pct) = (
         (cur_occ * 100.0).round() as u64,
         (best_occ * 100.0).round() as u64,
@@ -1185,13 +1346,24 @@ fn receive_outcome<R: Rng>(
 }
 
 /// Burns one retry on the packet at the head of `tag`'s queue, dropping it
-/// once the retry budget is exhausted.
-fn retry_packet(state: &mut TagState, max_retries: u32, metrics: &mut NetworkMetrics, tag: usize) {
+/// once the retry budget is exhausted (the retry-exhaustion
+/// [`TelemetryKind::Dropped`] emit site).
+fn retry_packet(
+    state: &mut TagState,
+    max_retries: u32,
+    metrics: &mut NetworkMetrics,
+    tele: &mut TelemetryRuntime,
+    tag: usize,
+    now: Time,
+) {
     if let Some(packet) = state.queue.front_mut() {
         packet.retries += 1;
         if packet.retries > max_retries {
             state.queue.pop_front();
             metrics.tags[tag].dropped += 1;
+            if tele.wants(TelemetryKind::Dropped) {
+                tele.emit(now, &TelemetryEvent::Dropped { tag });
+            }
         }
     }
 }
@@ -1200,12 +1372,18 @@ fn retry_packet(state: &mut TagState, max_retries: u32, metrics: &mut NetworkMet
 /// scheduler (cursor/counter updates and the deadline check live there,
 /// not in the engine) and records the scheduler-facing metrics — the
 /// grant count, any deadline miss, and the head packet's poll latency
-/// (how long it waited in queue before winning this slot).
+/// (how long it waited in queue before winning this slot). The grant is
+/// also the [`TelemetryKind::Grant`] emit site and what feeds the
+/// progress line's live P² poll-latency estimator.
+#[allow(clippy::too_many_arguments)]
 fn grant_slot(
     carrier: &mut CarrierState,
+    carrier_idx: usize,
     tags: &[TagState],
     metrics: &mut NetworkMetrics,
     links: &LinkMatrix,
+    tele: &mut TelemetryRuntime,
+    progress: Option<&mut ProgressRuntime>,
     tag: usize,
     now: Time,
     occupancy: f64,
@@ -1225,9 +1403,21 @@ fn grant_slot(
     if missed {
         stats.deadline_misses += 1;
     }
-    metrics
-        .poll_latency_ms
-        .push(now.since(head_arrived).as_secs() * 1e3);
+    let waited = now.since(head_arrived);
+    metrics.record_poll_latency_ms(waited.as_secs() * 1e3);
+    if tele.wants(TelemetryKind::Grant) {
+        tele.emit(
+            now,
+            &TelemetryEvent::Grant {
+                tag,
+                carrier: carrier_idx,
+                waited_ns: waited.as_nanos(),
+            },
+        );
+    }
+    if let Some(p) = progress {
+        p.p2_poll_ms.add(waited.as_secs() * 1e3);
+    }
 }
 
 /// An exponential inter-arrival draw with mean `1/rate_pps` seconds.

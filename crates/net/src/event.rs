@@ -198,14 +198,11 @@ impl EventTrace {
 
     /// FNV-1a fingerprint of [`EventTrace::to_bytes`] — what the
     /// digest-checked examples print so two runs are easy to compare by
-    /// eye, and what the regression tests pin across refactors.
+    /// eye, and what the regression tests pin across refactors. The hash
+    /// itself lives in [`crate::trace_digest`], shared with every other
+    /// digest-checked surface.
     pub fn digest(&self) -> u64 {
-        let mut hash = 0xCBF2_9CE4_8422_2325u64;
-        for &b in &self.to_bytes() {
-            hash ^= b as u64;
-            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-        hash
+        crate::trace_digest::fnv1a(&self.to_bytes())
     }
 }
 

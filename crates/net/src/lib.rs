@@ -80,11 +80,29 @@
 //! metrics — see [`engine::NetRunResult::trace`] and the
 //! `net_determinism` integration test — while different seeds decorrelate.
 //!
+//! ## Observability
+//!
+//! The [`telemetry`] module layers zero-cost **subscriptions** over the
+//! event stream: a [`telemetry::Filter`] (tags, carriers, event kinds,
+//! time window) compiled into a per-event-kind dispatch mask — one dead
+//! branch per emit site when nothing is subscribed — feeding online
+//! sketches ([`telemetry::LatencySketch`] streaming quantiles,
+//! [`telemetry::P2Quantile`], windowed PRR/occupancy rings, counters)
+//! instead of stored samples. [`telemetry::MetricsMode::Streaming`]
+//! rebuilds the [`metrics::NetworkMetrics`] report on the same sketches so
+//! soak runs hold memory O(subscriptions), not O(events), and
+//! [`telemetry::TelemetryConfig::with_progress`] emits a deterministic
+//! one-line status on a simulated-time cadence. Subscriptions never touch
+//! the RNG streams, so the event trace stays byte-identical with any
+//! number attached.
+//!
 //! ## Monte-Carlo runs
 //!
 //! [`runner::MonteCarlo`] fans trials out across threads (one derived seed
 //! per trial) and aggregates throughput, PER, latency and Jain fairness
-//! into a [`runner::MonteCarloReport`].
+//! into a [`runner::MonteCarloReport`]. In streaming mode the per-trial
+//! sketches are pooled by exact bucket-count merge, in trial order, so the
+//! pooled quantiles are deterministic regardless of thread interleaving.
 //!
 //! ```
 //! use interscatter_net::prelude::*;
@@ -111,7 +129,9 @@ pub mod mobility;
 pub mod runner;
 pub mod scenario;
 pub mod sched;
+pub mod telemetry;
 pub mod time;
+pub mod trace_digest;
 
 /// Errors surfaced by the network engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -160,6 +180,10 @@ pub mod prelude {
     pub use crate::runner::{MonteCarlo, MonteCarloReport};
     pub use crate::scenario::Scenario;
     pub use crate::sched::{CarrierSched, SchedPolicy, Scheduler};
+    pub use crate::telemetry::{
+        Dataset, Filter, LatencySketch, MetricsMode, P2Quantile, SinkReport, SinkSpec,
+        Subscription, TelemetryConfig, TelemetryEvent, TelemetryKind, TelemetryReport,
+    };
     pub use crate::time::Time;
     pub use crate::NetError;
 }

@@ -3,7 +3,7 @@
 //! and aggregated into a fleet-level report.
 
 use crate::engine::NetworkSim;
-use crate::metrics::NetworkMetrics;
+use crate::metrics::{NetworkMetrics, StreamingSeries};
 use crate::scenario::Scenario;
 use crate::NetError;
 use interscatter_sim::measurements::{mean, Cdf};
@@ -78,6 +78,12 @@ pub struct MonteCarloReport {
     /// Per-trial deadline-miss-rate samples (all zero unless the scenario
     /// runs a deadline-aware scheduler).
     pub deadline_miss_rate: Cdf,
+    /// Pooled streaming sketches when the scenario ran in
+    /// [`crate::telemetry::MetricsMode::Streaming`]: the per-trial
+    /// [`StreamingSeries`] merged **in trial order** by exact bucket-count
+    /// addition, so the pooled quantiles are deterministic regardless of
+    /// which worker thread finished first. `None` in stored mode.
+    pub streaming: Option<StreamingSeries>,
 }
 
 impl MonteCarloReport {
@@ -88,6 +94,7 @@ impl MonteCarloReport {
         let mut latency = Cdf::new();
         let mut poll_latency = Cdf::new();
         let mut miss_rate = Cdf::new();
+        let mut streaming: Option<StreamingSeries> = None;
         for m in &trials {
             throughput.push(m.throughput_bps());
             per.push(m.per());
@@ -99,6 +106,15 @@ impl MonteCarloReport {
                 poll_latency.push(sample);
             }
             miss_rate.push(m.deadline_miss_rate());
+            // Trials arrive in index order (the par_iter collects into a
+            // positional Vec), so this merge is deterministic by
+            // construction — and exact, so order would not change the
+            // pooled values anyway.
+            if let Some(s) = &m.streaming {
+                streaming
+                    .get_or_insert_with(StreamingSeries::default)
+                    .merge(s);
+            }
         }
         MonteCarloReport {
             scenario_name: scenario.name.clone(),
@@ -109,7 +125,26 @@ impl MonteCarloReport {
             latency_ms: latency,
             poll_latency_ms: poll_latency,
             deadline_miss_rate: miss_rate,
+            streaming,
         }
+    }
+
+    /// Pooled delivery-latency quantile: the stored-sample Cdf when trials
+    /// ran in stored mode, the pooled [`StreamingSeries`] sketch otherwise.
+    pub fn latency_quantile(&self, q: f64) -> Option<f64> {
+        if let Some(s) = &self.streaming {
+            return s.latency_ms.quantile(q);
+        }
+        self.latency_ms.quantile(q)
+    }
+
+    /// Pooled poll-latency quantile, with the same stored/streaming routing
+    /// as [`MonteCarloReport::latency_quantile`].
+    pub fn poll_latency_quantile(&self, q: f64) -> Option<f64> {
+        if let Some(s) = &self.streaming {
+            return s.poll_latency_ms.quantile(q);
+        }
+        self.poll_latency_ms.quantile(q)
     }
 
     /// Mean aggregate throughput across trials, bits per second.
@@ -158,13 +193,13 @@ impl MonteCarloReport {
             self.per.median().unwrap_or(0.0),
             self.mean_fairness(),
         ));
-        if let (Some(p50), Some(p95)) = (self.latency_ms.median(), self.latency_ms.quantile(0.95)) {
+        if let (Some(p50), Some(p95)) = (self.latency_quantile(0.5), self.latency_quantile(0.95)) {
             out.push_str(&format!("latency p50 {p50:.2} ms  p95 {p95:.2} ms\n"));
         }
-        if let Some(p50) = self.poll_latency_ms.median() {
+        if let Some(p50) = self.poll_latency_quantile(0.5) {
             out.push_str(&format!(
                 "poll latency p50 {p50:.2} ms  p95 {:.2} ms\n",
-                self.poll_latency_ms.quantile(0.95).unwrap_or(0.0)
+                self.poll_latency_quantile(0.95).unwrap_or(0.0)
             ));
         }
         let mean_miss = mean(self.deadline_miss_rate.samples());
@@ -220,6 +255,27 @@ mod tests {
         assert!(report.poll_latency_ms.median().is_some());
         assert_eq!(report.deadline_miss_rate.samples().len(), 3);
         assert!(report.report().contains("poll latency p50"));
+    }
+
+    #[test]
+    fn streaming_trials_pool_sketches_deterministically() {
+        let mc = MonteCarlo::new(Scenario::hospital_ward(6).with_streaming_metrics(), 4, 1234);
+        let a = mc.run().unwrap();
+        let b = mc.run().unwrap();
+        assert_eq!(a.streaming, b.streaming);
+        let pooled = a.streaming.as_ref().expect("streaming trials pool");
+        // Exact merge: the pooled sketch holds every trial's samples.
+        let total: u64 = a
+            .trials
+            .iter()
+            .map(|m| m.streaming.as_ref().unwrap().latency_ms.count())
+            .sum();
+        assert_eq!(pooled.latency_ms.count(), total);
+        assert!(total > 0);
+        // Stored Cdfs stay empty; report falls back to sketch quantiles.
+        assert!(a.latency_ms.is_empty());
+        assert!(a.latency_quantile(0.5).is_some());
+        assert!(a.report().contains("latency p50"));
     }
 
     #[test]

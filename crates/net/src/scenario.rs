@@ -15,6 +15,7 @@ use crate::entities::{
 use crate::mac::MacMode;
 use crate::mobility::{Bounds, MobilityConfig, MobilityModel, RandomWaypoint};
 use crate::sched::SchedPolicy;
+use crate::telemetry::{Subscription, TelemetryConfig};
 use crate::NetError;
 use interscatter_backscatter::tag::SidebandMode;
 use interscatter_wifi::dot11b::DsssRate;
@@ -54,6 +55,15 @@ pub struct Scenario {
     /// folded into its delivery probability and nothing external ever
     /// touches the medium.
     pub coex: Option<CoexConfig>,
+    /// Streaming-telemetry configuration ([`crate::telemetry`]):
+    /// subscriptions over the event stream, the metrics storage mode and
+    /// the soak-run progress cadence. The default (no subscriptions,
+    /// stored metrics, no progress) reproduces the pre-telemetry engine
+    /// byte for byte — and so does any other value, since telemetry never
+    /// consumes RNG draws or touches the medium. Telemetry deliberately
+    /// does **not** rename the scenario: observing a run must not change
+    /// what the run reports itself as.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Scenario {
@@ -129,6 +139,9 @@ impl Scenario {
             coex.validate(self.receivers.len())
                 .map_err(|e| NetError::InvalidScenario(format!("coex: {e}")))?;
         }
+        self.telemetry
+            .validate(self.tags.len(), self.carriers.len())
+            .map_err(|e| NetError::InvalidScenario(format!("telemetry: {e}")))?;
         Ok(())
     }
 
@@ -224,6 +237,7 @@ impl Scenario {
             mobility: None,
             scheduler: SchedPolicy::RoundRobin,
             coex: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -273,6 +287,7 @@ impl Scenario {
             mobility: None,
             scheduler: SchedPolicy::RoundRobin,
             coex: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -333,6 +348,7 @@ impl Scenario {
             mobility: None,
             scheduler: SchedPolicy::RoundRobin,
             coex: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -385,6 +401,7 @@ impl Scenario {
             mobility: None,
             scheduler: SchedPolicy::RoundRobin,
             coex: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -543,6 +560,55 @@ impl Scenario {
         self
     }
 
+    /// Replaces the whole telemetry configuration ([`crate::telemetry`]).
+    /// Unlike every other combinator this does **not** rename the
+    /// scenario: observing a run must not change what the run reports
+    /// itself as, and the trace stays byte-identical either way.
+    ///
+    /// ```
+    /// use interscatter_net::prelude::*;
+    /// let ward = Scenario::hospital_ward(8).with_telemetry(
+    ///     TelemetryConfig::new()
+    ///         .subscribe(Subscription::new(
+    ///             "poll-tail",
+    ///             Filter::all(),
+    ///             SinkSpec::Quantiles(Dataset::PollLatencyMs),
+    ///         ))
+    ///         .with_progress(1.0),
+    /// );
+    /// assert_eq!(ward.name, Scenario::hospital_ward(8).name);
+    /// ward.validate().unwrap();
+    /// ```
+    pub fn with_telemetry(mut self, config: TelemetryConfig) -> Scenario {
+        self.telemetry = config;
+        self
+    }
+
+    /// Registers one telemetry subscription on top of whatever the
+    /// scenario already carries (see [`Scenario::with_telemetry`]).
+    pub fn subscribe(mut self, sub: Subscription) -> Scenario {
+        self.telemetry.subscriptions.push(sub);
+        self
+    }
+
+    /// Switches the metrics pipeline to streaming sketches
+    /// ([`crate::telemetry::MetricsMode::Streaming`]): sample `Vec`s stay
+    /// empty, quantiles come from mergeable sketches, memory stays
+    /// O(entities + subscriptions) however long the run.
+    pub fn with_streaming_metrics(mut self) -> Scenario {
+        self.telemetry.mode = crate::telemetry::MetricsMode::Streaming;
+        self
+    }
+
+    /// Emits a one-line run status every `every_s` simulated seconds
+    /// (collected into [`crate::engine::NetRunResult::telemetry`]; pass
+    /// `live` to also mirror each line to stderr as the run executes).
+    pub fn with_progress(mut self, every_s: f64, live: bool) -> Scenario {
+        self.telemetry.progress_every_s = Some(every_s);
+        self.telemetry.live_progress = live;
+        self
+    }
+
     /// The congestion-stress ward: the striped hospital ward (carriers and
     /// tags spread across the three AP channels), except that from `t =
     /// 3 s` a **hidden** Wi-Fi transmitter hammers channel 6 at ~60% load
@@ -633,6 +699,7 @@ impl Scenario {
             mobility: None,
             scheduler: SchedPolicy::RoundRobin,
             coex: None,
+            telemetry: TelemetryConfig::default(),
         }
         .with_mobility(MobilityConfig {
             model: MobilityModel::RandomWaypoint(RandomWaypoint {
@@ -1016,6 +1083,57 @@ mod tests {
             .with_restripe(ReStripe::default())
             .validate()
             .unwrap();
+    }
+
+    #[test]
+    fn every_preset_takes_telemetry() {
+        use crate::telemetry::{Dataset, Filter, SinkSpec, Subscription, TelemetryConfig};
+        let config = TelemetryConfig::new()
+            .subscribe(Subscription::new(
+                "tail",
+                Filter::all(),
+                SinkSpec::Quantiles(Dataset::PollLatencyMs),
+            ))
+            .streaming()
+            .with_progress(1.0);
+        for scenario in [
+            Scenario::hospital_ward(8).with_telemetry(config.clone()),
+            Scenario::contact_lens_fleet(6).with_telemetry(config.clone()),
+            Scenario::card_to_card_room(4).with_telemetry(config.clone()),
+            Scenario::zigbee_wing(8).with_telemetry(config.clone()),
+            Scenario::congested_ward(8)
+                .closed_loop()
+                .with_telemetry(config.clone()),
+        ] {
+            assert_eq!(scenario.telemetry, config);
+            scenario
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        }
+        // Telemetry never renames: observation is invisible to reports.
+        assert_eq!(
+            Scenario::hospital_ward(8).with_telemetry(config).name,
+            Scenario::hospital_ward(8).name
+        );
+        // Incremental combinators compose.
+        let ward = Scenario::hospital_ward(4)
+            .subscribe(Subscription::new("c", Filter::all(), SinkSpec::Counters))
+            .with_streaming_metrics()
+            .with_progress(0.5, false);
+        assert_eq!(ward.telemetry.subscriptions.len(), 1);
+        assert_eq!(
+            ward.telemetry.mode,
+            crate::telemetry::MetricsMode::Streaming
+        );
+        assert_eq!(ward.telemetry.progress_every_s, Some(0.5));
+        ward.validate().unwrap();
+        // Out-of-range filters are rejected at validation.
+        let bad = Scenario::hospital_ward(4).subscribe(Subscription::new(
+            "bad",
+            Filter::all().tags([99]),
+            SinkSpec::Counters,
+        ));
+        assert!(matches!(bad.validate(), Err(NetError::InvalidScenario(_))));
     }
 
     #[test]

@@ -14,6 +14,24 @@ base="${1:?usage: bench_trend.sh BASE.json HEAD.json [threshold_pct]}"
 head="${2:?usage: bench_trend.sh BASE.json HEAD.json [threshold_pct]}"
 threshold="${3:-25}"
 
+# Degrade gracefully when the base branch never produced an artifact (first
+# run of the workflow, expired retention, renamed artifact): note it and
+# succeed, so the trend table never blocks a PR it cannot inform.
+if [ ! -s "$base" ]; then
+  echo "## Bench trend vs base"
+  echo
+  echo "No base BENCH_net.json to compare against (missing or empty:" \
+    "\`$base\`); skipping the trend table."
+  exit 0
+fi
+if [ ! -s "$head" ]; then
+  echo "## Bench trend vs base"
+  echo
+  echo "No head BENCH_net.json was produced (missing or empty:" \
+    "\`$head\`); skipping the trend table."
+  exit 0
+fi
+
 jq -n -r \
   --slurpfile base "$base" \
   --slurpfile head "$head" \

@@ -9,6 +9,7 @@ use interscatter::net::prelude::Position;
 use interscatter::net::runner::MonteCarlo;
 use interscatter::net::scenario::Scenario;
 use interscatter::net::sched::SchedPolicy;
+use interscatter::net::trace_digest::fnv1a;
 
 fn scenarios() -> Vec<Scenario> {
     vec![
@@ -85,6 +86,14 @@ fn same_seed_same_bytes() {
             bytes_a,
             b.trace.to_bytes(),
             "{}: same-seed traces must be byte-identical",
+            scenario.name
+        );
+        // The shared FNV-1a helper and the trace's own digest agree — the
+        // same 64-bit fingerprint identifies the run everywhere.
+        assert_eq!(
+            fnv1a(&bytes_a),
+            b.trace.digest(),
+            "{}: shared digest helper must match EventTrace::digest",
             scenario.name
         );
         assert_eq!(
