@@ -1,0 +1,42 @@
+//! Event throughput of the engine at city scale: the `campus` closed-loop
+//! preset (shared striped helpers, coex load, streaming metrics) at 10k
+//! and 100k tags. This is the scale target of the engine-core work — the
+//! timing-wheel event queue, the band-indexed medium and the SoA link
+//! tables — and the quick tier tracks its events/sec in `BENCH_net.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use interscatter_net::engine::NetworkSim;
+use interscatter_net::scenario::Scenario;
+
+fn bench_campus_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_campus");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        let scenario = Scenario::campus(n);
+        // One calibration run supplies the exact engine event count, so
+        // the reported throughput is events/sec, not an approximation.
+        let events = NetworkSim::new(&scenario, 42)
+            .with_trace(false)
+            .run()
+            .unwrap()
+            .telemetry
+            .events;
+        group.throughput(Throughput::Elements(events));
+        group.bench_function(format!("campus_{}k_tags", n / 1000), |b| {
+            b.iter(|| {
+                NetworkSim::new(&scenario, 42)
+                    .with_trace(false)
+                    .run()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = campus;
+    config = Criterion::default().sample_size(10);
+    targets = bench_campus_scaling
+}
+criterion_main!(campus);

@@ -24,7 +24,7 @@ use crate::event::{DownlinkKind, EventKind, EventQueue, EventTrace};
 use crate::links::{EntityId, LinkBudget, LinkMatrix, Listener};
 use crate::mac::{self, LoopPhase, MacLoop, MacMode};
 use crate::medium::{Band, Emitter, Medium, TxReport};
-use crate::metrics::{MobilitySample, NetworkMetrics, OccupancySample, ReStripeEvent};
+use crate::metrics::{MobilitySample, NetworkMetrics, OccupancySample, ReStripeEvent, TagTable};
 use crate::mobility::{MobilityConfig, MotionState};
 use crate::scenario::Scenario;
 use crate::sched::{CarrierSched, SlotView};
@@ -96,8 +96,8 @@ struct MobilityRuntime {
     carrier_wearer: Vec<Option<usize>>,
     /// Per-tag delivery/attempt counters at the previous tick, for the
     /// PRR-vs-displacement series.
-    prev_delivered: Vec<usize>,
-    prev_attempts: Vec<usize>,
+    prev_delivered: Vec<u64>,
+    prev_attempts: Vec<u64>,
 }
 
 /// Runtime state of the coexistence subsystem (only present when the
@@ -131,8 +131,8 @@ struct CarrierSense {
     /// When the last [`OccupancySample`] was recorded.
     last_sample: Time,
     /// Member-tag counters at the last sample, for the PRR deltas.
-    prev_attempts: usize,
-    prev_delivered: usize,
+    prev_attempts: u64,
+    prev_delivered: u64,
     /// Slots seen so far (the re-striping check cadence counts these).
     slots: u32,
     /// When the carrier last re-striped (the dwell-time hysteresis).
@@ -219,6 +219,10 @@ impl<'a> NetworkSim<'a> {
             scenario.receivers.len(),
             scenario.duration_s,
         );
+        // The hot-path counter table: struct-of-arrays columns the event
+        // loop bumps, materialised into `metrics.tags` once at the end of
+        // the run.
+        let mut tag_stats = TagTable::new(scenario.tags.len());
         if scenario.telemetry.mode == MetricsMode::Streaming {
             metrics.enable_streaming();
         }
@@ -393,16 +397,13 @@ impl<'a> NetworkSim<'a> {
                 // simulated time so the output is deterministic (events
                 // per *simulated* second, no wall clock).
                 if p.due(event.at) {
-                    let (mut attempts, mut delivered) = (0usize, 0usize);
-                    for t in &metrics.tags {
-                        attempts += t.attempts;
-                        delivered += t.delivered;
-                    }
+                    let attempts: u64 = tag_stats.attempts.iter().sum();
+                    let delivered: u64 = tag_stats.delivered.iter().sum();
                     p.emit(
                         event.at,
                         tele.events(),
-                        attempts,
-                        delivered,
+                        attempts as usize,
+                        delivered as usize,
                         metrics.restripes(),
                     );
                 }
@@ -452,15 +453,14 @@ impl<'a> NetworkSim<'a> {
                     // One PRR-vs-displacement sample per tag per tick.
                     let mut max_disp_mm = 0u64;
                     for t in 0..scenario.tags.len() {
-                        let stats = &metrics.tags[t];
-                        let (attempts, delivered) = (stats.attempts, stats.delivered);
+                        let (attempts, delivered) = (tag_stats.attempts[t], tag_stats.delivered[t]);
                         metrics.record_mobility_sample(
                             t,
                             MobilitySample {
                                 at_s: now.as_secs(),
                                 displacement_m: mob.states[t].displacement_m(),
-                                attempts: attempts - mob.prev_attempts[t],
-                                delivered: delivered - mob.prev_delivered[t],
+                                attempts: (attempts - mob.prev_attempts[t]) as usize,
+                                delivered: (delivered - mob.prev_delivered[t]) as usize,
                             },
                         );
                         mob.prev_attempts[t] = attempts;
@@ -537,7 +537,7 @@ impl<'a> NetworkSim<'a> {
                     let now = event.at;
                     let rate = scenario.tags[tag].arrival_rate_pps;
                     let state = &mut tags[tag];
-                    metrics.tags[tag].offered += 1;
+                    tag_stats.offered[tag] += 1;
                     if tele.wants(TelemetryKind::Offered) {
                         tele.emit(now, &TelemetryEvent::Offered { tag });
                     }
@@ -549,7 +549,7 @@ impl<'a> NetworkSim<'a> {
                         let depth = state.queue.len();
                         trace.record(now, || format!("tag {tag} arrival (queue {depth})"));
                     } else {
-                        metrics.tags[tag].dropped += 1;
+                        tag_stats.dropped[tag] += 1;
                         if tele.wants(TelemetryKind::Dropped) {
                             tele.emit(now, &TelemetryEvent::Dropped { tag });
                         }
@@ -584,6 +584,7 @@ impl<'a> NetworkSim<'a> {
                             &airborne,
                             mac_loop.as_ref(),
                             &mut metrics,
+                            &tag_stats,
                             &mut tele,
                             &mut trace,
                         ),
@@ -625,7 +626,7 @@ impl<'a> NetworkSim<'a> {
                             let primary =
                                 Band::new(phy.center_freq_hz(carrier_freq), phy.bandwidth_hz());
                             if medium.busy(primary, now) {
-                                metrics.tags[tag].csma_defers += 1;
+                                tag_stats.csma_defers[tag] += 1;
                                 trace.record(now, || {
                                     format!("carrier {carrier} slot: tag {tag} defers (band busy)")
                                 });
@@ -636,6 +637,7 @@ impl<'a> NetworkSim<'a> {
                                 carrier,
                                 &tags,
                                 &mut metrics,
+                                &mut tag_stats,
                                 &links,
                                 &mut tele,
                                 progress.as_mut(),
@@ -685,7 +687,7 @@ impl<'a> NetworkSim<'a> {
                             // poll on the tag's service band.
                             let band = downlink_band(scenario, tuned_rx[tag], carrier_freq);
                             if medium.busy(band, now) {
-                                metrics.tags[tag].csma_defers += 1;
+                                tag_stats.csma_defers[tag] += 1;
                                 trace.record(now, || {
                                     format!("carrier {carrier} poll: tag {tag} defers (band busy)")
                                 });
@@ -696,6 +698,7 @@ impl<'a> NetworkSim<'a> {
                                 carrier,
                                 &tags,
                                 &mut metrics,
+                                &mut tag_stats,
                                 &links,
                                 &mut tele,
                                 progress.as_mut(),
@@ -717,7 +720,7 @@ impl<'a> NetworkSim<'a> {
                             let tx_id =
                                 medium.start(Emitter::Carrier(carrier), band, None, now, end);
                             mac_state.poll_started(tag, now);
-                            metrics.tags[tag].polls += 1;
+                            tag_stats.polls[tag] += 1;
                             queue.schedule(
                                 end,
                                 EventKind::DownlinkEmission {
@@ -803,11 +806,11 @@ impl<'a> NetworkSim<'a> {
                             )
                         });
                     } else {
-                        metrics.tags[tag].poll_losses += 1;
+                        tag_stats.poll_losses[tag] += 1;
                         retry_packet(
                             &mut tags[tag],
                             tag_spec.max_retries,
-                            &mut metrics,
+                            &mut tag_stats,
                             &mut tele,
                             tag,
                             now,
@@ -849,12 +852,11 @@ impl<'a> NetworkSim<'a> {
                         if let Some(packet) = tags[tag].queue.pop_front() {
                             let bits = tag_spec.phy.payload_bits(tag_spec.payload_bytes);
                             carriers[carrier_idx].sched.delivered(tag, bits);
-                            let stats = &mut metrics.tags[tag];
-                            stats.delivered += 1;
-                            stats.delivered_bits += bits;
-                            stats.transactions += 1;
+                            tag_stats.delivered[tag] += 1;
+                            tag_stats.delivered_bits[tag] += bits as u64;
+                            tag_stats.transactions[tag] += 1;
                             let span = now.since(poll_started);
-                            stats.transaction_ns += span.as_nanos();
+                            tag_stats.transaction_ns[tag] += span.as_nanos();
                             let latency = now.since(packet.arrived);
                             metrics.record_latency_ms(latency.as_secs() * 1e3);
                             metrics.record_transaction_ms(span.as_secs() * 1e3);
@@ -885,11 +887,11 @@ impl<'a> NetworkSim<'a> {
                             )
                         });
                     } else {
-                        metrics.tags[tag].ack_losses += 1;
+                        tag_stats.ack_losses[tag] += 1;
                         retry_packet(
                             &mut tags[tag],
                             tag_spec.max_retries,
-                            &mut metrics,
+                            &mut tag_stats,
                             &mut tele,
                             tag,
                             now,
@@ -914,7 +916,7 @@ impl<'a> NetworkSim<'a> {
                     let tag_spec = &scenario.tags[tag];
                     let rx_idx = tuned_rx[tag];
                     let rx = &scenario.receivers[rx_idx];
-                    metrics.tags[tag].attempts += 1;
+                    tag_stats.attempts[tag] += 1;
                     if tele.wants(TelemetryKind::Attempt) {
                         tele.emit(now, &TelemetryEvent::Attempt { tag });
                     }
@@ -932,9 +934,9 @@ impl<'a> NetworkSim<'a> {
                         &mut tags[tag].rng,
                     );
                     match outcome {
-                        RxOutcome::Collision => metrics.tags[tag].collided += 1,
-                        RxOutcome::External => metrics.tags[tag].external_collisions += 1,
-                        RxOutcome::LinkLoss => metrics.tags[tag].link_losses += 1,
+                        RxOutcome::Collision => tag_stats.collided[tag] += 1,
+                        RxOutcome::External => tag_stats.external_collisions[tag] += 1,
+                        RxOutcome::LinkLoss => tag_stats.link_losses[tag] += 1,
                         RxOutcome::Delivered => {}
                     }
                     if outcome != RxOutcome::Delivered && tele.wants(TelemetryKind::Loss) {
@@ -975,11 +977,11 @@ impl<'a> NetworkSim<'a> {
                         } else {
                             // The response never made it: the sink times
                             // out and the carrier will re-poll.
-                            metrics.tags[tag].timeouts += 1;
+                            tag_stats.timeouts[tag] += 1;
                             retry_packet(
                                 &mut tags[tag],
                                 tag_spec.max_retries,
-                                &mut metrics,
+                                &mut tag_stats,
                                 &mut tele,
                                 tag,
                                 now,
@@ -1001,8 +1003,8 @@ impl<'a> NetworkSim<'a> {
                             if let Some(packet) = tags[tag].queue.pop_front() {
                                 let bits = tag_spec.phy.payload_bits(tag_spec.payload_bytes);
                                 carriers[tag_spec.carrier].sched.delivered(tag, bits);
-                                metrics.tags[tag].delivered += 1;
-                                metrics.tags[tag].delivered_bits += bits;
+                                tag_stats.delivered[tag] += 1;
+                                tag_stats.delivered_bits[tag] += bits as u64;
                                 let latency = now.since(packet.arrived);
                                 metrics.record_latency_ms(latency.as_secs() * 1e3);
                                 if tele.wants(TelemetryKind::Delivery) {
@@ -1020,7 +1022,7 @@ impl<'a> NetworkSim<'a> {
                             retry_packet(
                                 &mut tags[tag],
                                 tag_spec.max_retries,
-                                &mut metrics,
+                                &mut tag_stats,
                                 &mut tele,
                                 tag,
                                 now,
@@ -1039,6 +1041,9 @@ impl<'a> NetworkSim<'a> {
             }
         }
 
+        // Materialise the hot-path columns into the public row-per-tag
+        // view before handing the metrics out.
+        tag_stats.materialize_into(&mut metrics.tags);
         let telemetry = tele.finish(
             progress
                 .map(ProgressRuntime::into_lines)
@@ -1130,6 +1135,7 @@ fn sense_and_restripe(
     airborne: &[bool],
     mac: Option<&MacLoop>,
     metrics: &mut NetworkMetrics,
+    tag_stats: &TagTable,
     tele: &mut TelemetryRuntime,
     trace: &mut EventTrace,
 ) -> f64 {
@@ -1174,10 +1180,10 @@ fn sense_and_restripe(
 
     if now.since(sense.last_sample).as_nanos() >= *sample_ns {
         sense.last_sample = now;
-        let (mut attempts, mut delivered) = (0usize, 0usize);
+        let (mut attempts, mut delivered) = (0u64, 0u64);
         for &t in carriers[carrier].sched.members() {
-            attempts += metrics.tags[t].attempts;
-            delivered += metrics.tags[t].delivered;
+            attempts += tag_stats.attempts[t];
+            delivered += tag_stats.delivered[t];
         }
         let subband = carriers[carrier].sched.subband();
         metrics.record_occupancy_sample(
@@ -1186,8 +1192,8 @@ fn sense_and_restripe(
                 at_s: now.as_secs(),
                 subband,
                 occupancy: occ,
-                attempts: attempts - sense.prev_attempts,
-                delivered: delivered - sense.prev_delivered,
+                attempts: (attempts - sense.prev_attempts) as usize,
+                delivered: (delivered - sense.prev_delivered) as usize,
             },
         );
         if tele.wants(TelemetryKind::Occupancy) {
@@ -1351,7 +1357,7 @@ fn receive_outcome<R: Rng>(
 fn retry_packet(
     state: &mut TagState,
     max_retries: u32,
-    metrics: &mut NetworkMetrics,
+    tag_stats: &mut TagTable,
     tele: &mut TelemetryRuntime,
     tag: usize,
     now: Time,
@@ -1360,7 +1366,7 @@ fn retry_packet(
         packet.retries += 1;
         if packet.retries > max_retries {
             state.queue.pop_front();
-            metrics.tags[tag].dropped += 1;
+            tag_stats.dropped[tag] += 1;
             if tele.wants(TelemetryKind::Dropped) {
                 tele.emit(now, &TelemetryEvent::Dropped { tag });
             }
@@ -1381,6 +1387,7 @@ fn grant_slot(
     carrier_idx: usize,
     tags: &[TagState],
     metrics: &mut NetworkMetrics,
+    tag_stats: &mut TagTable,
     links: &LinkMatrix,
     tele: &mut TelemetryRuntime,
     progress: Option<&mut ProgressRuntime>,
@@ -1398,10 +1405,9 @@ fn grant_slot(
             occupancy,
         },
     );
-    let stats = &mut metrics.tags[tag];
-    stats.grants += 1;
+    tag_stats.grants[tag] += 1;
     if missed {
-        stats.deadline_misses += 1;
+        tag_stats.deadline_misses[tag] += 1;
     }
     let waited = now.since(head_arrived);
     metrics.record_poll_latency_ms(waited.as_secs() * 1e3);
@@ -1777,6 +1783,126 @@ mod tests {
             assert_eq!(
                 digest, expect,
                 "{what}: trace digest {digest:#018X} != pre-extraction {expect:#018X}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_core_swap_reproduces_pre_refactor_traces() {
+        // Digests captured from the engine *before* the city-scale core
+        // swap (binary-heap EventQueue → hierarchical timing wheel,
+        // linear-scan medium → band-indexed emission set, AoS hot tables →
+        // SoA): every preset across every axis — open/closed loop,
+        // mobility, scheduling policies, sub-band striping, coexistence,
+        // mid-run re-striping — must keep producing these exact bytes.
+        // (Like the digests above, the constants assume the usual glibc
+        // libm rounding.)
+        use crate::coex::ReStripe;
+        use crate::sched::SchedPolicy;
+        let cases: Vec<(&str, Scenario, u64)> = vec![
+            (
+                "hospital_ward_12_open",
+                Scenario::hospital_ward(12),
+                0x90B0_EB83_F4F6_9E17,
+            ),
+            (
+                "hospital_ward_12_closed",
+                Scenario::hospital_ward(12).closed_loop(),
+                0x6455_9DBC_CAF9_81EF,
+            ),
+            (
+                "contact_lens_8_open",
+                Scenario::contact_lens_fleet(8),
+                0xEA8D_FD36_BBD3_8671,
+            ),
+            (
+                "contact_lens_8_closed",
+                Scenario::contact_lens_fleet(8).closed_loop(),
+                0xC50B_2F9E_9D51_5AE2,
+            ),
+            (
+                "card_room_6_open",
+                Scenario::card_to_card_room(6),
+                0x8792_1070_7FB0_CDCA,
+            ),
+            (
+                "card_room_6_closed",
+                Scenario::card_to_card_room(6).closed_loop(),
+                0x071D_B96D_E091_78D4,
+            ),
+            (
+                "zigbee_wing_10_open",
+                Scenario::zigbee_wing(10),
+                0x7A6B_6E55_5F1D_38AD,
+            ),
+            (
+                "zigbee_wing_10_closed",
+                Scenario::zigbee_wing(10).closed_loop(),
+                0xEA04_B1B9_EB0D_F36D,
+            ),
+            (
+                "ambulatory_8_open",
+                Scenario::ambulatory_ward(8),
+                0x479B_17BF_EC48_1775,
+            ),
+            (
+                "ambulatory_8_closed",
+                Scenario::ambulatory_ward(8).closed_loop(),
+                0xFA55_BB09_E675_951E,
+            ),
+            (
+                "walking_8",
+                Scenario::walking_ward(8),
+                0x575B_4B06_5573_0AC7,
+            ),
+            (
+                "walking_8_margin",
+                Scenario::walking_ward(8).with_scheduler(SchedPolicy::margin_aware()),
+                0xF140_4873_4D67_7F54,
+            ),
+            (
+                "congested_10_open",
+                Scenario::congested_ward(10),
+                0x3219_5606_8ED4_A18A,
+            ),
+            (
+                "congested_10_restripe",
+                Scenario::congested_ward(10).with_restripe(ReStripe::default()),
+                0x0C1E_CF22_AA41_DFF3,
+            ),
+            (
+                "congested_8_closed_restripe",
+                Scenario::congested_ward(8)
+                    .closed_loop()
+                    .with_restripe(ReStripe::default()),
+                0xB83F_C0B5_6039_5C1E,
+            ),
+            (
+                "hospital_16_striped_pf",
+                Scenario::hospital_ward(16)
+                    .with_subband_striping()
+                    .with_scheduler(SchedPolicy::proportional_fair()),
+                0xDAC0_2872_E363_DFB1,
+            ),
+            (
+                "hospital_12_constant_coex",
+                Scenario::hospital_ward(12).with_constant_coex(),
+                0x90B0_EB83_F4F6_9E17,
+            ),
+            (
+                "hospital_12_deadline_closed",
+                Scenario::hospital_ward(12)
+                    .closed_loop()
+                    .with_scheduler(SchedPolicy::deadline_aware()),
+                0x6217_9E49_3798_3BEF,
+            ),
+        ];
+        for (what, scenario, expect) in cases {
+            let result = NetworkSim::new(&scenario, 42).run().unwrap();
+            let digest = result.trace.digest();
+            assert_eq!(
+                digest, expect,
+                "{what}: trace digest {digest:#018X} != pre-refactor {expect:#018X}"
             );
         }
     }

@@ -33,10 +33,11 @@
 //! ## Event model
 //!
 //! The engine ([`engine::NetworkSim`]) is a classic discrete-event
-//! simulation: a binary-heap [`event::EventQueue`] orders
+//! simulation: a hierarchical timing-wheel [`event::EventQueue`] orders
 //! [`event::EventKind`]s by integer-nanosecond timestamps
 //! ([`time::Time`]), with a monotone sequence number breaking ties so the
-//! execution order is total and reproducible. Three event kinds drive
+//! execution order is total and reproducible (and byte-identical to the
+//! binary-heap queue it replaced). Three event kinds drive
 //! everything:
 //!
 //! * `PacketArrival` — a tag's application emits a packet and schedules the
@@ -134,6 +135,12 @@ pub mod time;
 pub mod trace_digest;
 
 /// Errors surfaced by the network engine.
+///
+/// Marked `#[non_exhaustive]`: future validation variants (say, a
+/// dedicated geometry error) must not be breaking changes, so downstream
+/// matches need a wildcard arm. [`std::error::Error::source`] chains to
+/// the underlying channel- or sim-layer cause where one exists.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq)]
 pub enum NetError {
     /// A scenario parameter was invalid.
@@ -154,7 +161,15 @@ impl core::fmt::Display for NetError {
     }
 }
 
-impl std::error::Error for NetError {}
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::InvalidScenario(_) => None,
+            NetError::Channel(e) => Some(e),
+            NetError::Sim(e) => Some(e),
+        }
+    }
+}
 
 impl From<interscatter_channel::ChannelError> for NetError {
     fn from(e: interscatter_channel::ChannelError) -> Self {
@@ -168,6 +183,27 @@ impl From<interscatter_sim::SimError> for NetError {
     }
 }
 
+#[cfg(test)]
+mod tests {
+    use super::NetError;
+    use std::error::Error;
+
+    #[test]
+    fn net_error_chains_to_its_cause() {
+        assert!(NetError::InvalidScenario("x".into()).source().is_none());
+
+        let channel = interscatter_channel::ChannelError::InvalidParameter("distance");
+        let err = NetError::from(channel.clone());
+        let source = err.source().expect("channel cause is chained");
+        assert_eq!(source.to_string(), channel.to_string());
+
+        let sim = interscatter_sim::SimError::InvalidScenario("bad");
+        let err = NetError::from(sim.clone());
+        let source = err.source().expect("sim cause is chained");
+        assert_eq!(source.to_string(), sim.to_string());
+    }
+}
+
 /// The commonly used types in one import.
 pub mod prelude {
     pub use crate::coex::{CoexConfig, CoexModel, CoexSource, CoexTraffic, ReStripe, SenseConfig};
@@ -178,7 +214,7 @@ pub mod prelude {
     pub use crate::metrics::NetworkMetrics;
     pub use crate::mobility::{Bounds, Mobility, MobilityConfig, MobilityModel};
     pub use crate::runner::{MonteCarlo, MonteCarloReport};
-    pub use crate::scenario::Scenario;
+    pub use crate::scenario::{RadioSection, Scenario, ScenarioBuilder};
     pub use crate::sched::{CarrierSched, SchedPolicy, Scheduler};
     pub use crate::telemetry::{
         Dataset, Filter, LatencySketch, MetricsMode, P2Quantile, SinkReport, SinkSpec,

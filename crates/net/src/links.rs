@@ -171,6 +171,84 @@ fn log_distance(a: &Position, b: &Position) -> (f64, bool) {
     (q.log10(), q <= 1.0)
 }
 
+/// A dense 2-D power table in one flat row-major allocation — the
+/// struct-of-arrays replacement for the old jagged `Vec<Vec<f64>>` layout:
+/// one contiguous block instead of `rows + 1` allocations, `u32`
+/// dimensions (dense-id tables never need more), and row access without
+/// per-row pointer chasing in the refresh loops.
+#[derive(Debug, Clone)]
+struct Table2d {
+    cols: u32,
+    data: Vec<f64>,
+}
+
+impl Table2d {
+    fn new(rows: usize, cols: usize, fill: f64) -> Self {
+        assert!(
+            rows <= u32::MAX as usize && cols <= u32::MAX as usize,
+            "table ids are dense u32s"
+        );
+        Table2d {
+            cols: cols as u32,
+            data: vec![fill; rows * cols],
+        }
+    }
+
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols as usize + c]
+    }
+
+    #[inline]
+    fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols as usize + c] = v;
+    }
+}
+
+/// Fleet size up to which the tag-pair tables are materialised densely.
+/// Above it, [`PairTables::Lazy`] evaluates pair powers on demand: the
+/// dense n² layout for a 100k-tag campus would need tens of gigabytes,
+/// while the lazy path recomputes the *same expressions from the same
+/// cached terms* — bitwise-identical f64 results, pinned by the
+/// `lazy_pair_tables_match_dense_bitwise` test.
+const DENSE_TAG_PAIR_LIMIT: usize = 4096;
+
+/// The closed loop's tag-pair power tables, in one of two layouts chosen
+/// by fleet size at build time.
+#[derive(Debug, Clone)]
+enum PairTables {
+    /// Materialised tables, refreshed incrementally on motion/re-tunes —
+    /// the O(n²)-memory layout every preset-sized scenario uses.
+    Dense {
+        /// `[u][t]`: tag `u`'s emission at tag `t`'s detector, dBm.
+        tag_at_tag: Table2d,
+        /// `[u][c]`: tag `u`'s emission at carrier `c`, dBm.
+        tag_at_carrier: Table2d,
+        /// `[t][c]`: carrier `c`'s poll at tag `t`'s detector, dBm —
+        /// tag-major so a moved tag's refresh writes one contiguous row.
+        carrier_at_tag: Table2d,
+        /// `[u][t]`: tag `t`'s receive package (antenna gain − tissue) at
+        /// tag `u`'s emission frequency, dB.
+        pkg_at_tag_freq: Table2d,
+        /// `[t][c]`: ditto at carrier `c`'s tone frequency (tag-major).
+        pkg_at_carrier_freq: Table2d,
+    },
+    /// City-scale: pair powers evaluated on demand from the live geometry
+    /// and the cached position-independent terms. A capture arbitration
+    /// touches a handful of interferer pairs per reception, so paying one
+    /// `log10` per query beats holding (and refreshing) n² cells.
+    Lazy {
+        /// Per tag: its emission frequency, Hz (follows re-tunes).
+        emit_freq_hz: Vec<f64>,
+        /// Per tag: its package profile (fixed for the run).
+        profiles: Vec<TagProfile>,
+        /// Per carrier: transmit power, dBm.
+        carrier_tx_dbm: Vec<f64>,
+        /// Per carrier: tone frequency, Hz.
+        carrier_freq_hz: Vec<f64>,
+    },
+}
+
 /// The closed-loop extension: downlink budgets plus the full emitter ×
 /// listener power tables (only built for `MacMode::ClosedLoop` scenarios —
 /// open-loop runs never arbitrate at tags or carriers).
@@ -180,36 +258,26 @@ struct ClosedLoopTables {
     poll_budgets: Vec<LinkBudget>,
     /// Per tag: sink ack → the tag's carrier radio.
     ack_budgets: Vec<LinkBudget>,
-    /// `tag_at_tag[u][t]`: tag `u`'s emission at tag `t`'s detector, dBm.
-    tag_at_tag: Vec<Vec<f64>>,
-    /// `tag_at_carrier[u][c]`: tag `u`'s emission at carrier `c`, dBm.
-    tag_at_carrier: Vec<Vec<f64>>,
-    /// `carrier_at[c][..]`: carrier `c`'s poll at every listener, dBm.
-    carrier_at_rx: Vec<Vec<f64>>,
-    /// `carrier_at_tag[t][c]`: carrier `c`'s poll at tag `t`'s detector,
-    /// dBm — tag-major so a moved tag's refresh writes one contiguous row.
-    carrier_at_tag: Vec<Vec<f64>>,
-    carrier_at_carrier: Vec<Vec<f64>>,
-    /// `sink_at[s][..]`: sink `s`'s ack at every listener, dBm.
-    sink_at_rx: Vec<Vec<f64>>,
-    /// `sink_at_tag[t][s]`: sink `s`'s ack at tag `t`'s detector, dBm
-    /// (tag-major, like `carrier_at_tag`).
-    sink_at_tag: Vec<Vec<f64>>,
-    sink_at_carrier: Vec<Vec<f64>>,
+    /// The tag-pair tables (dense or lazy by fleet size).
+    pairs: PairTables,
+    /// `[c][r]`: carrier `c`'s poll at receiver `r`, dBm.
+    carrier_at_rx: Table2d,
+    /// `[c][c2]`: carrier `c`'s poll at carrier `c2`, dBm.
+    carrier_at_carrier: Table2d,
+    /// `[s][r]`: sink `s`'s ack at receiver `r`, dBm.
+    sink_at_rx: Table2d,
+    /// `[t][s]`: sink `s`'s ack at tag `t`'s detector, dBm (tag-major).
+    sink_at_tag: Table2d,
+    /// `[s][c]`: sink `s`'s ack at carrier `c`, dBm.
+    sink_at_carrier: Table2d,
     // --- position-independent terms cached for row recomputes ---
     /// Per carrier: path-loss evaluator at its tone frequency.
     pl_carrier: Vec<FastPathLoss>,
     /// Per sink: path-loss evaluator at its downlink frequency.
     pl_sink: Vec<FastPathLoss>,
-    /// `pkg_at_tag_freq[u][t]`: tag `t`'s receive package (antenna gain −
-    /// tissue) at tag `u`'s emission frequency, dB.
-    pkg_at_tag_freq: Vec<Vec<f64>>,
-    /// `pkg_at_carrier_freq[t][c]`: ditto at carrier `c`'s tone frequency
-    /// (tag-major, matching the refresh loops' access order).
-    pkg_at_carrier_freq: Vec<Vec<f64>>,
-    /// `pkg_at_sink_freq[t][s]`: ditto at sink `s`'s downlink frequency
-    /// (tag-major).
-    pkg_at_sink_freq: Vec<Vec<f64>>,
+    /// `[t][s]`: tag `t`'s receive package at sink `s`'s downlink
+    /// frequency, dB (tag-major).
+    pkg_at_sink_freq: Table2d,
     /// Per sink: the shadowing sigma of its downlink path-loss model — the
     /// value a re-tuned tag's poll/ack budgets pick up.
     sink_sigma_db: Vec<f64>,
@@ -225,12 +293,12 @@ const SILENT_DBM: f64 = -300.0;
 #[derive(Debug, Clone)]
 struct ExtTables {
     /// `at_rx[k][r]`: source `k`'s emission at receiver `r`, dBm.
-    at_rx: Vec<Vec<f64>>,
+    at_rx: Table2d,
     /// `at_tag[t][k]`: source `k`'s emission at tag `t`'s detector, dBm
     /// (tag-major, like the closed-loop tables).
-    at_tag: Vec<Vec<f64>>,
+    at_tag: Table2d,
     /// `at_carrier[k][c]`: source `k`'s emission at carrier `c`, dBm.
-    at_carrier: Vec<Vec<f64>>,
+    at_carrier: Table2d,
     /// Per source: path-loss evaluator at its emission frequency (`None`
     /// for silent models).
     pl: Vec<Option<FastPathLoss>>,
@@ -238,7 +306,7 @@ struct ExtTables {
     eirp_dbm: Vec<f64>,
     /// `pkg_at_ext_freq[t][k]`: tag `t`'s receive package at source `k`'s
     /// emission frequency, dB.
-    pkg_at_ext_freq: Vec<Vec<f64>>,
+    pkg_at_ext_freq: Table2d,
     /// Per source: where it sits (static for the whole run).
     pos: Vec<Position>,
 }
@@ -251,7 +319,7 @@ pub struct LinkMatrix {
     budgets: Vec<LinkBudget>,
     /// `interference_dbm[tag][rx]`: median power of `tag`'s emission at
     /// receiver `rx`, dBm.
-    interference_dbm: Vec<Vec<f64>>,
+    interference_dbm: Table2d,
     closed_loop: Option<ClosedLoopTables>,
     ext: Option<ExtTables>,
     // --- live geometry ---
@@ -335,11 +403,16 @@ fn sink_freq_hz(scenario: &Scenario, s: usize) -> f64 {
     scenario.receivers[s].center_freq_hz(scenario.carriers[0].carrier_freq_hz())
 }
 
-/// Tag `t`'s receive package at `freq_hz`: effective antenna gain minus
-/// the tissue covering it (one forward hop), dB.
-fn tag_rx_pkg_db(scenario: &Scenario, t: usize, freq_hz: f64) -> f64 {
-    let profile = scenario.tags[t].profile;
+/// A tag's receive package at `freq_hz`: effective antenna gain minus the
+/// tissue covering it (one forward hop), dB — the shared kernel of the
+/// dense table fills and the lazy on-demand pair evaluations.
+fn rx_pkg_db(profile: TagProfile, freq_hz: f64) -> f64 {
     profile.antenna().effective_gain_dbi() - profile.tissue().attenuation_db(freq_hz)
+}
+
+/// Tag `t`'s receive package at `freq_hz`, dB.
+fn tag_rx_pkg_db(scenario: &Scenario, t: usize, freq_hz: f64) -> f64 {
+    rx_pkg_db(scenario.tags[t].profile, freq_hz)
 }
 
 impl LinkMatrix {
@@ -348,6 +421,12 @@ impl LinkMatrix {
     /// row functions [`LinkMatrix::flush`] uses — so an incremental update
     /// lands on exactly the values a fresh build would produce.
     pub fn build(scenario: &Scenario) -> Result<LinkMatrix, NetError> {
+        Self::build_with_layout(scenario, scenario.tags.len() <= DENSE_TAG_PAIR_LIMIT)
+    }
+
+    /// [`LinkMatrix::build`] with the tag-pair layout forced — the lazy/
+    /// dense equivalence test drives both layouts over the same fleet.
+    fn build_with_layout(scenario: &Scenario, dense_pairs: bool) -> Result<LinkMatrix, NetError> {
         let n_tags = scenario.tags.len();
         let n_rx = scenario.receivers.len();
         let n_carriers = scenario.carriers.len();
@@ -392,30 +471,40 @@ impl LinkMatrix {
                 let sink_models: Vec<LogDistanceModel> = (0..n_rx)
                     .map(|s| LogDistanceModel::indoor_los(sink_freq_hz(scenario, s)))
                     .collect();
-                let pkg_at_tag_freq: Vec<Vec<f64>> = emit_freqs
-                    .iter()
-                    .map(|&freq| {
-                        (0..n_tags)
-                            .map(|t| tag_rx_pkg_db(scenario, t, freq))
-                            .collect()
-                    })
-                    .collect();
-                let pkg_at_carrier_freq: Vec<Vec<f64>> = (0..n_tags)
-                    .map(|t| {
-                        carrier_models
-                            .iter()
-                            .map(|pl| tag_rx_pkg_db(scenario, t, pl.freq_hz))
-                            .collect()
-                    })
-                    .collect();
-                let pkg_at_sink_freq: Vec<Vec<f64>> = (0..n_tags)
-                    .map(|t| {
-                        sink_models
-                            .iter()
-                            .map(|pl| tag_rx_pkg_db(scenario, t, pl.freq_hz))
-                            .collect()
-                    })
-                    .collect();
+                let pairs = if dense_pairs {
+                    let mut pkg_at_tag_freq = Table2d::new(n_tags, n_tags, 0.0);
+                    for (u, &freq) in emit_freqs.iter().enumerate() {
+                        for t in 0..n_tags {
+                            pkg_at_tag_freq.set(u, t, tag_rx_pkg_db(scenario, t, freq));
+                        }
+                    }
+                    let mut pkg_at_carrier_freq = Table2d::new(n_tags, n_carriers, 0.0);
+                    for t in 0..n_tags {
+                        for (c, pl) in carrier_models.iter().enumerate() {
+                            pkg_at_carrier_freq.set(t, c, tag_rx_pkg_db(scenario, t, pl.freq_hz));
+                        }
+                    }
+                    PairTables::Dense {
+                        tag_at_tag: Table2d::new(n_tags, n_tags, 0.0),
+                        tag_at_carrier: Table2d::new(n_tags, n_carriers, 0.0),
+                        carrier_at_tag: Table2d::new(n_tags, n_carriers, 0.0),
+                        pkg_at_tag_freq,
+                        pkg_at_carrier_freq,
+                    }
+                } else {
+                    PairTables::Lazy {
+                        emit_freq_hz: emit_freqs.clone(),
+                        profiles: scenario.tags.iter().map(|t| t.profile).collect(),
+                        carrier_tx_dbm: scenario.carriers.iter().map(|c| c.tx_power_dbm).collect(),
+                        carrier_freq_hz: carrier_models.iter().map(|m| m.freq_hz).collect(),
+                    }
+                };
+                let mut pkg_at_sink_freq = Table2d::new(n_tags, n_rx, 0.0);
+                for t in 0..n_tags {
+                    for (s, pl) in sink_models.iter().enumerate() {
+                        pkg_at_sink_freq.set(t, s, tag_rx_pkg_db(scenario, t, pl.freq_hz));
+                    }
+                }
                 let sink_sigma_db: Vec<f64> =
                     sink_models.iter().map(|m| m.shadowing_sigma_db).collect();
                 let budget = |sensitivity_dbm: f64, noise_floor_dbm: f64, sigma: f64| LinkBudget {
@@ -447,18 +536,14 @@ impl LinkMatrix {
                             )
                         })
                         .collect(),
-                    tag_at_tag: vec![vec![0.0; n_tags]; n_tags],
-                    tag_at_carrier: vec![vec![0.0; n_carriers]; n_tags],
-                    carrier_at_rx: vec![vec![0.0; n_rx]; n_carriers],
-                    carrier_at_tag: vec![vec![0.0; n_carriers]; n_tags],
-                    carrier_at_carrier: vec![vec![0.0; n_carriers]; n_carriers],
-                    sink_at_rx: vec![vec![0.0; n_rx]; n_rx],
-                    sink_at_tag: vec![vec![0.0; n_rx]; n_tags],
-                    sink_at_carrier: vec![vec![0.0; n_carriers]; n_rx],
+                    pairs,
+                    carrier_at_rx: Table2d::new(n_carriers, n_rx, 0.0),
+                    carrier_at_carrier: Table2d::new(n_carriers, n_carriers, 0.0),
+                    sink_at_rx: Table2d::new(n_rx, n_rx, 0.0),
+                    sink_at_tag: Table2d::new(n_tags, n_rx, 0.0),
+                    sink_at_carrier: Table2d::new(n_rx, n_carriers, 0.0),
                     pl_carrier: carrier_models.iter().map(FastPathLoss::new).collect(),
                     pl_sink: sink_models.iter().map(FastPathLoss::new).collect(),
-                    pkg_at_tag_freq,
-                    pkg_at_carrier_freq,
                     pkg_at_sink_freq,
                     sink_sigma_db,
                 })
@@ -474,10 +559,18 @@ impl LinkMatrix {
             .filter(|cfg| !cfg.sources.is_empty())
             .map(|cfg| {
                 let n_src = cfg.sources.len();
+                let mut pkg_at_ext_freq = Table2d::new(n_tags, n_src, 0.0);
+                for t in 0..n_tags {
+                    for (k, s) in cfg.sources.iter().enumerate() {
+                        if let Some(b) = s.model.traffic().band() {
+                            pkg_at_ext_freq.set(t, k, tag_rx_pkg_db(scenario, t, b.center_hz));
+                        }
+                    }
+                }
                 ExtTables {
-                    at_rx: vec![vec![SILENT_DBM; n_rx]; n_src],
-                    at_tag: vec![vec![SILENT_DBM; n_src]; n_tags],
-                    at_carrier: vec![vec![SILENT_DBM; n_carriers]; n_src],
+                    at_rx: Table2d::new(n_src, n_rx, SILENT_DBM),
+                    at_tag: Table2d::new(n_tags, n_src, SILENT_DBM),
+                    at_carrier: Table2d::new(n_src, n_carriers, SILENT_DBM),
                     pl: cfg
                         .sources
                         .iter()
@@ -488,17 +581,7 @@ impl LinkMatrix {
                         })
                         .collect(),
                     eirp_dbm: cfg.sources.iter().map(|s| s.tx_power_dbm + 2.0).collect(),
-                    pkg_at_ext_freq: (0..n_tags)
-                        .map(|t| {
-                            cfg.sources
-                                .iter()
-                                .map(|s| match s.model.traffic().band() {
-                                    Some(b) => tag_rx_pkg_db(scenario, t, b.center_hz),
-                                    None => 0.0,
-                                })
-                                .collect()
-                        })
-                        .collect(),
+                    pkg_at_ext_freq,
                     pos: cfg.sources.iter().map(|s| s.position).collect(),
                 }
             });
@@ -514,7 +597,7 @@ impl LinkMatrix {
 
         let mut matrix = LinkMatrix {
             budgets,
-            interference_dbm: vec![vec![0.0; n_rx]; n_tags],
+            interference_dbm: Table2d::new(n_tags, n_rx, 0.0),
             closed_loop,
             ext,
             tag_pos,
@@ -652,9 +735,10 @@ impl LinkMatrix {
         self.up_base_db[t] = base_t;
         for (s, s_pos) in self.sink_pos.iter().enumerate() {
             let (l, near) = log_distance(&pos, s_pos);
-            self.interference_dbm[t][s] = base_t - pl_emit_t.db_at(l, near);
+            self.interference_dbm
+                .set(t, s, base_t - pl_emit_t.db_at(l, near));
         }
-        self.budgets[t].median_rssi_dbm = self.interference_dbm[t][rx_s];
+        self.budgets[t].median_rssi_dbm = self.interference_dbm.at(t, rx_s);
 
         // External sources at this tag's detector (sources are static, so
         // only the tag's own motion dirties this row).
@@ -662,7 +746,11 @@ impl LinkMatrix {
             for k in 0..ext.pos.len() {
                 let Some(pl) = ext.pl[k] else { continue };
                 let (l, near) = log_distance(&pos, &ext.pos[k]);
-                ext.at_tag[t][k] = ext.eirp_dbm[k] + ext.pkg_at_ext_freq[t][k] - pl.db_at(l, near);
+                ext.at_tag.set(
+                    t,
+                    k,
+                    ext.eirp_dbm[k] + ext.pkg_at_ext_freq.at(t, k) - pl.db_at(l, near),
+                );
             }
         }
 
@@ -683,7 +771,7 @@ impl LinkMatrix {
         // conventional hop into the envelope detector (same distance as
         // the illumination hop above).
         cl.poll_budgets[t].median_rssi_dbm =
-            scenario.carriers[tag.carrier].tx_power_dbm + 2.0 + cl.pkg_at_sink_freq[t][s]
+            scenario.carriers[tag.carrier].tx_power_dbm + 2.0 + cl.pkg_at_sink_freq.at(t, s)
                 - cl.pl_sink[s].db_at(hop1.0, hop1.1);
         // Ack: the sink's AM frame into the carrier's radio. Independent
         // of the tag's own position but cheap, and it keeps every budget
@@ -691,60 +779,69 @@ impl LinkMatrix {
         let ack_hop = log_distance(&sink_pos[s], &carrier_pos[tag.carrier]);
         cl.ack_budgets[t].median_rssi_dbm = scenario.receivers[s].downlink_tx_power_dbm + 2.0 + 2.0
             - cl.pl_sink[s].db_at(ack_hop.0, ack_hop.1);
-        // Tag ↔ tag: both directions of every pair this pass owns, one
-        // log-distance each. A pair of tags that are *both* dirty in this
-        // flush belongs to the higher-indexed tag's pass (passes run in
-        // ascending order, so the lower peer's base is fresh by then);
-        // pairs with an unmoved peer belong to the moved tag. The forward
-        // row walks four slices in lockstep — this is the hottest loop of
-        // a mobility tick.
+        // Tag ↔ tag and tag ↔ carrier: only the dense layout materialises
+        // these; the lazy layout evaluates pairs on demand from the live
+        // geometry, so there is nothing to refresh.
+        if let PairTables::Dense {
+            tag_at_tag,
+            tag_at_carrier,
+            carrier_at_tag,
+            pkg_at_tag_freq,
+            pkg_at_carrier_freq,
+        } = &mut cl.pairs
         {
-            let mut row = std::mem::take(&mut cl.tag_at_tag[t]);
-            for ((((v, v_pos), cell), &pkg), &dirty) in tag_pos
-                .iter()
-                .enumerate()
-                .zip(row.iter_mut())
-                .zip(cl.pkg_at_tag_freq[t].iter())
-                .zip(peer_dirty.iter())
-            {
+            // Tag ↔ tag: both directions of every pair this pass owns, one
+            // log-distance each. A pair of tags that are *both* dirty in
+            // this flush belongs to the higher-indexed tag's pass (passes
+            // run in ascending order, so the lower peer's base is fresh by
+            // then); pairs with an unmoved peer belong to the moved tag.
+            // This is the hottest loop of a mobility tick.
+            for ((v, v_pos), &dirty) in tag_pos.iter().enumerate().zip(peer_dirty.iter()) {
                 if dirty && v > t {
                     continue; // v's own pass owns this pair
                 }
                 let (l, near) = log_distance(&pos, v_pos);
-                *cell = base_t - pl_emit_t.db_at(l, near) - 2.0 + pkg;
+                tag_at_tag.set(
+                    t,
+                    v,
+                    base_t - pl_emit_t.db_at(l, near) - 2.0 + pkg_at_tag_freq.at(t, v),
+                );
                 if v != t {
-                    cl.tag_at_tag[v][t] =
-                        up_base[v] - pl_emit[v].db_at(l, near) - 2.0 + cl.pkg_at_tag_freq[v][t];
+                    tag_at_tag.set(
+                        v,
+                        t,
+                        up_base[v] - pl_emit[v].db_at(l, near) - 2.0 + pkg_at_tag_freq.at(v, t),
+                    );
                 }
             }
-            cl.tag_at_tag[t] = row;
-        }
-        // Tag ↔ carrier: t's emission at every radio, every poll at t's
-        // detector (both tables are tag-major, so these are contiguous
-        // row writes).
-        {
-            let tac_row = &mut cl.tag_at_carrier[t];
-            let cat_row = &mut cl.carrier_at_tag[t];
-            let pkg_row = &cl.pkg_at_carrier_freq[t];
-            for ((((c_spec, c_pos), pl_c), (tac, cat)), &pkg) in scenario
+            // Tag ↔ carrier: t's emission at every radio, every poll at
+            // t's detector (both tables are tag-major, so these are
+            // contiguous row writes).
+            for (c, ((c_spec, c_pos), pl_c)) in scenario
                 .carriers
                 .iter()
                 .zip(carrier_pos.iter())
                 .zip(cl.pl_carrier.iter())
-                .zip(tac_row.iter_mut().zip(cat_row.iter_mut()))
-                .zip(pkg_row.iter())
+                .enumerate()
             {
                 let (l, near) = log_distance(&pos, c_pos);
-                *tac = base_t - pl_emit_t.db_at(l, near);
-                *cat = c_spec.tx_power_dbm + 2.0 + pkg - pl_c.db_at(l, near);
+                tag_at_carrier.set(t, c, base_t - pl_emit_t.db_at(l, near));
+                carrier_at_tag.set(
+                    t,
+                    c,
+                    c_spec.tx_power_dbm + 2.0 + pkg_at_carrier_freq.at(t, c) - pl_c.db_at(l, near),
+                );
             }
         }
         // Sink → tag: every ack frame at t's detector.
         for (s2, s2_pos) in sink_pos.iter().enumerate() {
             let (l, near) = log_distance(&pos, s2_pos);
-            cl.sink_at_tag[t][s2] =
-                scenario.receivers[s2].downlink_tx_power_dbm + 2.0 + cl.pkg_at_sink_freq[t][s2]
-                    - cl.pl_sink[s2].db_at(l, near);
+            cl.sink_at_tag.set(
+                t,
+                s2,
+                scenario.receivers[s2].downlink_tx_power_dbm + 2.0 + cl.pkg_at_sink_freq.at(t, s2)
+                    - cl.pl_sink[s2].db_at(l, near),
+            );
         }
     }
 
@@ -757,7 +854,8 @@ impl LinkMatrix {
             for k in 0..ext.pos.len() {
                 let Some(pl) = ext.pl[k] else { continue };
                 let (l, near) = log_distance(&pos, &ext.pos[k]);
-                ext.at_carrier[k][c] = ext.eirp_dbm[k] + 2.0 - pl.db_at(l, near);
+                ext.at_carrier
+                    .set(k, c, ext.eirp_dbm[k] + 2.0 - pl.db_at(l, near));
             }
         }
         let Self {
@@ -781,33 +879,59 @@ impl LinkMatrix {
         // and their passes run first).
         for (r, r_pos) in sink_pos.iter().enumerate() {
             let (l, near) = log_distance(&pos, r_pos);
-            cl.carrier_at_rx[c][r] =
-                spec.tx_power_dbm + 2.0 + 2.0 - cl.pl_carrier[c].db_at(l, near);
+            cl.carrier_at_rx.set(
+                c,
+                r,
+                spec.tx_power_dbm + 2.0 + 2.0 - cl.pl_carrier[c].db_at(l, near),
+            );
         }
-        for (t, t_pos) in tag_pos.iter().enumerate() {
-            let (l, near) = log_distance(&pos, t_pos);
-            cl.carrier_at_tag[t][c] = spec.tx_power_dbm + 2.0 + cl.pkg_at_carrier_freq[t][c]
-                - cl.pl_carrier[c].db_at(l, near);
-            cl.tag_at_carrier[t][c] = up_base[t] - pl_emit[t].db_at(l, near);
+        // Tag ↔ carrier rows only exist in the dense layout (the lazy one
+        // reads live geometry on demand).
+        if let PairTables::Dense {
+            tag_at_carrier,
+            carrier_at_tag,
+            pkg_at_carrier_freq,
+            ..
+        } = &mut cl.pairs
+        {
+            for (t, t_pos) in tag_pos.iter().enumerate() {
+                let (l, near) = log_distance(&pos, t_pos);
+                carrier_at_tag.set(
+                    t,
+                    c,
+                    spec.tx_power_dbm + 2.0 + pkg_at_carrier_freq.at(t, c)
+                        - cl.pl_carrier[c].db_at(l, near),
+                );
+                tag_at_carrier.set(t, c, up_base[t] - pl_emit[t].db_at(l, near));
+            }
         }
         for (c2, c2_pos) in carrier_pos.iter().enumerate() {
             let (l, near) = log_distance(&pos, c2_pos);
-            cl.carrier_at_carrier[c][c2] =
-                spec.tx_power_dbm + 2.0 + 2.0 - cl.pl_carrier[c].db_at(l, near);
+            cl.carrier_at_carrier.set(
+                c,
+                c2,
+                spec.tx_power_dbm + 2.0 + 2.0 - cl.pl_carrier[c].db_at(l, near),
+            );
             // The reverse direction: c2's poll at the moved carrier c.
-            cl.carrier_at_carrier[c2][c] =
-                scenario.carriers[c2].tx_power_dbm + 2.0 + 2.0 - cl.pl_carrier[c2].db_at(l, near);
+            cl.carrier_at_carrier.set(
+                c2,
+                c,
+                scenario.carriers[c2].tx_power_dbm + 2.0 + 2.0 - cl.pl_carrier[c2].db_at(l, near),
+            );
         }
         for (s, s_spec) in scenario.receivers.iter().enumerate() {
             let (l, near) = log_distance(&sink_pos[s], &pos);
-            cl.sink_at_carrier[s][c] =
-                s_spec.downlink_tx_power_dbm + 2.0 + 2.0 - cl.pl_sink[s].db_at(l, near);
+            cl.sink_at_carrier.set(
+                s,
+                c,
+                s_spec.downlink_tx_power_dbm + 2.0 + 2.0 - cl.pl_sink[s].db_at(l, near),
+            );
         }
         // Ack budgets of the tags this carrier serves — the hoisted
         // member index replaces the old O(sinks × tags) fleet scan, which
         // re-striping turned into a hot path.
         for &t in &carrier_tags[c] {
-            cl.ack_budgets[t].median_rssi_dbm = cl.sink_at_carrier[tag_rx[t]][c];
+            cl.ack_budgets[t].median_rssi_dbm = cl.sink_at_carrier.at(tag_rx[t], c);
         }
     }
 
@@ -817,9 +941,10 @@ impl LinkMatrix {
         let pos = self.sink_pos[s];
         for u in 0..scenario.tags.len() {
             let (l, near) = log_distance(&self.tag_pos[u], &pos);
-            self.interference_dbm[u][s] = self.up_base_db[u] - self.up_pl_emit[u].db_at(l, near);
+            self.interference_dbm
+                .set(u, s, self.up_base_db[u] - self.up_pl_emit[u].db_at(l, near));
             if self.tag_rx[u] == s {
-                self.budgets[u].median_rssi_dbm = self.interference_dbm[u][s];
+                self.budgets[u].median_rssi_dbm = self.interference_dbm.at(u, s);
             }
         }
         // External sources at this receiver.
@@ -827,7 +952,8 @@ impl LinkMatrix {
             for k in 0..ext.pos.len() {
                 let Some(pl) = ext.pl[k] else { continue };
                 let (l, near) = log_distance(&pos, &ext.pos[k]);
-                ext.at_rx[k][s] = ext.eirp_dbm[k] + 2.0 - pl.db_at(l, near);
+                ext.at_rx
+                    .set(k, s, ext.eirp_dbm[k] + 2.0 - pl.db_at(l, near));
             }
         }
         let Self {
@@ -844,28 +970,45 @@ impl LinkMatrix {
         let spec = &scenario.receivers[s];
         for (r, r_pos) in sink_pos.iter().enumerate() {
             let (l, near) = log_distance(&pos, r_pos);
-            cl.sink_at_rx[s][r] =
-                spec.downlink_tx_power_dbm + 2.0 + 2.0 - cl.pl_sink[s].db_at(l, near);
+            cl.sink_at_rx.set(
+                s,
+                r,
+                spec.downlink_tx_power_dbm + 2.0 + 2.0 - cl.pl_sink[s].db_at(l, near),
+            );
             // The reverse direction: r's ack at the moved sink s.
-            cl.sink_at_rx[r][s] = scenario.receivers[r].downlink_tx_power_dbm + 2.0 + 2.0
-                - cl.pl_sink[r].db_at(l, near);
+            cl.sink_at_rx.set(
+                r,
+                s,
+                scenario.receivers[r].downlink_tx_power_dbm + 2.0 + 2.0
+                    - cl.pl_sink[r].db_at(l, near),
+            );
         }
         for (t, t_pos) in tag_pos.iter().enumerate() {
             let (l, near) = log_distance(&pos, t_pos);
-            cl.sink_at_tag[t][s] = spec.downlink_tx_power_dbm + 2.0 + cl.pkg_at_sink_freq[t][s]
-                - cl.pl_sink[s].db_at(l, near);
+            cl.sink_at_tag.set(
+                t,
+                s,
+                spec.downlink_tx_power_dbm + 2.0 + cl.pkg_at_sink_freq.at(t, s)
+                    - cl.pl_sink[s].db_at(l, near),
+            );
         }
         for (c, c_pos) in carrier_pos.iter().enumerate() {
             let (l, near) = log_distance(&pos, c_pos);
-            cl.sink_at_carrier[s][c] =
-                spec.downlink_tx_power_dbm + 2.0 + 2.0 - cl.pl_sink[s].db_at(l, near);
-            cl.carrier_at_rx[c][s] =
-                scenario.carriers[c].tx_power_dbm + 2.0 + 2.0 - cl.pl_carrier[c].db_at(l, near);
+            cl.sink_at_carrier.set(
+                s,
+                c,
+                spec.downlink_tx_power_dbm + 2.0 + 2.0 - cl.pl_sink[s].db_at(l, near),
+            );
+            cl.carrier_at_rx.set(
+                c,
+                s,
+                scenario.carriers[c].tx_power_dbm + 2.0 + 2.0 - cl.pl_carrier[c].db_at(l, near),
+            );
         }
         // Ack budgets of every tag this sink currently serves (the live
         // assignment index, maintained across re-stripes).
         for &t in &sink_tags[s] {
-            cl.ack_budgets[t].median_rssi_dbm = cl.sink_at_carrier[s][scenario.tags[t].carrier];
+            cl.ack_budgets[t].median_rssi_dbm = cl.sink_at_carrier.at(s, scenario.tags[t].carrier);
         }
     }
 
@@ -900,12 +1043,21 @@ impl LinkMatrix {
         self.budgets[t].noise_floor_dbm = new_phy.noise_model().noise_floor_dbm();
         let emission_freq = link.tag_to_rx.freq_hz;
         if let Some(cl) = self.closed_loop.as_mut() {
-            // The tag's emitter row: every peer's receive package at the
-            // *new* emission frequency. (The columns `[v][t]` — this tag's
-            // package at the peers' frequencies — do not depend on where
-            // this tag transmits.)
-            for v in 0..scenario.tags.len() {
-                cl.pkg_at_tag_freq[t][v] = tag_rx_pkg_db(scenario, v, emission_freq);
+            match &mut cl.pairs {
+                // The tag's emitter row: every peer's receive package at
+                // the *new* emission frequency. (The columns `[v][t]` —
+                // this tag's package at the peers' frequencies — do not
+                // depend on where this tag transmits.)
+                PairTables::Dense {
+                    pkg_at_tag_freq, ..
+                } => {
+                    for v in 0..scenario.tags.len() {
+                        pkg_at_tag_freq.set(t, v, tag_rx_pkg_db(scenario, v, emission_freq));
+                    }
+                }
+                // The lazy layout derives the packages from the emission
+                // frequency at query time.
+                PairTables::Lazy { emit_freq_hz, .. } => emit_freq_hz[t] = emission_freq,
             }
             cl.poll_budgets[t].shadow_sigma_db = cl.sink_sigma_db[new_rx];
             cl.ack_budgets[t].shadow_sigma_db = cl.sink_sigma_db[new_rx];
@@ -956,7 +1108,55 @@ impl LinkMatrix {
 
     /// Median power of `tag`'s emission at receiver `rx`, dBm.
     pub fn interference_dbm(&self, tag: usize, rx: usize) -> f64 {
-        self.interference_dbm[tag][rx]
+        self.interference_dbm.at(tag, rx)
+    }
+
+    /// Tag `u`'s emission at tag `t`'s detector, dBm — dense table read or
+    /// lazy on-demand evaluation of the *same expression* the dense
+    /// refresh writes (bitwise-identical: `log_distance` is symmetric and
+    /// every cached term is shared).
+    fn tag_at_tag_dbm(&self, u: usize, t: usize) -> f64 {
+        match &self.closed().pairs {
+            PairTables::Dense { tag_at_tag, .. } => tag_at_tag.at(u, t),
+            PairTables::Lazy {
+                emit_freq_hz,
+                profiles,
+                ..
+            } => {
+                let (l, near) = log_distance(&self.tag_pos[u], &self.tag_pos[t]);
+                self.up_base_db[u] - self.up_pl_emit[u].db_at(l, near) - 2.0
+                    + rx_pkg_db(profiles[t], emit_freq_hz[u])
+            }
+        }
+    }
+
+    /// Tag `u`'s emission at carrier `c`'s radio, dBm.
+    fn tag_at_carrier_dbm(&self, u: usize, c: usize) -> f64 {
+        match &self.closed().pairs {
+            PairTables::Dense { tag_at_carrier, .. } => tag_at_carrier.at(u, c),
+            PairTables::Lazy { .. } => {
+                let (l, near) = log_distance(&self.tag_pos[u], &self.carrier_pos[c]);
+                self.up_base_db[u] - self.up_pl_emit[u].db_at(l, near)
+            }
+        }
+    }
+
+    /// Carrier `p`'s poll at tag `t`'s detector, dBm.
+    fn carrier_at_tag_dbm(&self, p: usize, t: usize) -> f64 {
+        let cl = self.closed();
+        match &cl.pairs {
+            PairTables::Dense { carrier_at_tag, .. } => carrier_at_tag.at(t, p),
+            PairTables::Lazy {
+                profiles,
+                carrier_tx_dbm,
+                carrier_freq_hz,
+                ..
+            } => {
+                let (l, near) = log_distance(&self.tag_pos[t], &self.carrier_pos[p]);
+                carrier_tx_dbm[p] + 2.0 + rx_pkg_db(profiles[t], carrier_freq_hz[p])
+                    - cl.pl_carrier[p].db_at(l, near)
+            }
+        }
     }
 
     /// Live margin of `tag`'s uplink above its receiver's sensitivity
@@ -973,18 +1173,20 @@ impl LinkMatrix {
     /// the closed-loop tables.
     pub fn power_dbm(&self, from: Emitter, at: Listener) -> f64 {
         match (from, at) {
-            (Emitter::Tag(u), Listener::Receiver(r)) => self.interference_dbm[u][r],
-            (Emitter::Tag(u), Listener::Tag(t)) => self.closed().tag_at_tag[u][t],
-            (Emitter::Tag(u), Listener::Carrier(c)) => self.closed().tag_at_carrier[u][c],
-            (Emitter::Carrier(p), Listener::Receiver(r)) => self.closed().carrier_at_rx[p][r],
-            (Emitter::Carrier(p), Listener::Tag(t)) => self.closed().carrier_at_tag[t][p],
-            (Emitter::Carrier(p), Listener::Carrier(c)) => self.closed().carrier_at_carrier[p][c],
-            (Emitter::Sink(s), Listener::Receiver(r)) => self.closed().sink_at_rx[s][r],
-            (Emitter::Sink(s), Listener::Tag(t)) => self.closed().sink_at_tag[t][s],
-            (Emitter::Sink(s), Listener::Carrier(c)) => self.closed().sink_at_carrier[s][c],
-            (Emitter::External(k), Listener::Receiver(r)) => self.ext().at_rx[k][r],
-            (Emitter::External(k), Listener::Tag(t)) => self.ext().at_tag[t][k],
-            (Emitter::External(k), Listener::Carrier(c)) => self.ext().at_carrier[k][c],
+            (Emitter::Tag(u), Listener::Receiver(r)) => self.interference_dbm.at(u, r),
+            (Emitter::Tag(u), Listener::Tag(t)) => self.tag_at_tag_dbm(u, t),
+            (Emitter::Tag(u), Listener::Carrier(c)) => self.tag_at_carrier_dbm(u, c),
+            (Emitter::Carrier(p), Listener::Receiver(r)) => self.closed().carrier_at_rx.at(p, r),
+            (Emitter::Carrier(p), Listener::Tag(t)) => self.carrier_at_tag_dbm(p, t),
+            (Emitter::Carrier(p), Listener::Carrier(c)) => {
+                self.closed().carrier_at_carrier.at(p, c)
+            }
+            (Emitter::Sink(s), Listener::Receiver(r)) => self.closed().sink_at_rx.at(s, r),
+            (Emitter::Sink(s), Listener::Tag(t)) => self.closed().sink_at_tag.at(t, s),
+            (Emitter::Sink(s), Listener::Carrier(c)) => self.closed().sink_at_carrier.at(s, c),
+            (Emitter::External(k), Listener::Receiver(r)) => self.ext().at_rx.at(k, r),
+            (Emitter::External(k), Listener::Tag(t)) => self.ext().at_tag.at(t, k),
+            (Emitter::External(k), Listener::Carrier(c)) => self.ext().at_carrier.at(k, c),
         }
     }
 
@@ -1112,59 +1314,119 @@ mod tests {
         let _ = matrix.poll_budget(0);
     }
 
-    /// Every table of two matrices agrees to within floating-point noise.
+    /// Every emitter × listener pairing of two matrices (and every budget)
+    /// agrees to within floating-point noise, read through the public
+    /// query surface so it covers both pair-table layouts.
     fn assert_tables_match(a: &LinkMatrix, b: &LinkMatrix, what: &str) {
         let close = |x: f64, y: f64| (x - y).abs() < 1e-9;
+        let n_rx = a.sink_pos.len();
+        let n_carriers = a.carrier_pos.len();
         for t in 0..a.len() {
             assert!(
                 close(a.budget(t).median_rssi_dbm, b.budget(t).median_rssi_dbm),
                 "{what}: uplink budget of tag {t}"
             );
-            for r in 0..a.interference_dbm[t].len() {
+            for r in 0..n_rx {
                 assert!(
                     close(a.interference_dbm(t, r), b.interference_dbm(t, r)),
                     "{what}: interference {t}→{r}"
                 );
             }
         }
-        if let (Some(ca), Some(cb)) = (a.closed_loop.as_ref(), b.closed_loop.as_ref()) {
-            for t in 0..a.len() {
-                assert!(
-                    close(
-                        ca.poll_budgets[t].median_rssi_dbm,
-                        cb.poll_budgets[t].median_rssi_dbm
-                    ),
-                    "{what}: poll budget of tag {t}"
-                );
-                assert!(
-                    close(
-                        ca.ack_budgets[t].median_rssi_dbm,
-                        cb.ack_budgets[t].median_rssi_dbm
-                    ),
-                    "{what}: ack budget of tag {t}"
-                );
-            }
-            let tables = [
-                (&ca.tag_at_tag, &cb.tag_at_tag, "tag_at_tag"),
-                (&ca.tag_at_carrier, &cb.tag_at_carrier, "tag_at_carrier"),
-                (&ca.carrier_at_rx, &cb.carrier_at_rx, "carrier_at_rx"),
-                (&ca.carrier_at_tag, &cb.carrier_at_tag, "carrier_at_tag"),
-                (
-                    &ca.carrier_at_carrier,
-                    &cb.carrier_at_carrier,
-                    "carrier_at_carrier",
+        if a.closed_loop.is_none() {
+            return;
+        }
+        for t in 0..a.len() {
+            assert!(
+                close(
+                    a.poll_budget(t).median_rssi_dbm,
+                    b.poll_budget(t).median_rssi_dbm
                 ),
-                (&ca.sink_at_rx, &cb.sink_at_rx, "sink_at_rx"),
-                (&ca.sink_at_tag, &cb.sink_at_tag, "sink_at_tag"),
-                (&ca.sink_at_carrier, &cb.sink_at_carrier, "sink_at_carrier"),
-            ];
-            for (ta, tb, name) in tables {
-                for (i, (ra, rb)) in ta.iter().zip(tb).enumerate() {
-                    for (j, (&va, &vb)) in ra.iter().zip(rb).enumerate() {
-                        assert!(close(va, vb), "{what}: {name}[{i}][{j}]: {va} vs {vb}");
+                "{what}: poll budget of tag {t}"
+            );
+            assert!(
+                close(
+                    a.ack_budget(t).median_rssi_dbm,
+                    b.ack_budget(t).median_rssi_dbm
+                ),
+                "{what}: ack budget of tag {t}"
+            );
+        }
+        let mut emitters: Vec<Emitter> = Vec::new();
+        let mut listeners: Vec<Listener> = Vec::new();
+        for t in 0..a.len() {
+            emitters.push(Emitter::Tag(t));
+            listeners.push(Listener::Tag(t));
+        }
+        for c in 0..n_carriers {
+            emitters.push(Emitter::Carrier(c));
+            listeners.push(Listener::Carrier(c));
+        }
+        for s in 0..n_rx {
+            emitters.push(Emitter::Sink(s));
+            listeners.push(Listener::Receiver(s));
+        }
+        for &from in &emitters {
+            for &at in &listeners {
+                let (pa, pb) = (a.power_dbm(from, at), b.power_dbm(from, at));
+                assert!(close(pa, pb), "{what}: {from:?} at {at:?}: {pa} vs {pb}");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_pair_tables_match_dense_bitwise() {
+        use interscatter_wifi::dot11b::DsssRate;
+        // The on-demand pair evaluation must reproduce the dense tables
+        // bit for bit — same expressions over the same cached terms — and
+        // keep doing so through motion and a re-stripe re-tune.
+        for base in [
+            Scenario::hospital_ward(10).closed_loop(),
+            Scenario::congested_ward(12).closed_loop(),
+        ] {
+            let mut dense = LinkMatrix::build_with_layout(&base, true).unwrap();
+            let mut lazy = LinkMatrix::build_with_layout(&base, false).unwrap();
+            let check = |dense: &LinkMatrix, lazy: &LinkMatrix, when: &str| {
+                for u in 0..base.tags.len() {
+                    for t in 0..base.tags.len() {
+                        let (d, l) = (
+                            dense.power_dbm(Emitter::Tag(u), Listener::Tag(t)),
+                            lazy.power_dbm(Emitter::Tag(u), Listener::Tag(t)),
+                        );
+                        assert_eq!(d.to_bits(), l.to_bits(), "{when}: tag {u} at tag {t}");
+                    }
+                    for c in 0..base.carriers.len() {
+                        let (d, l) = (
+                            dense.power_dbm(Emitter::Tag(u), Listener::Carrier(c)),
+                            lazy.power_dbm(Emitter::Tag(u), Listener::Carrier(c)),
+                        );
+                        assert_eq!(d.to_bits(), l.to_bits(), "{when}: tag {u} at carrier {c}");
+                        let (d, l) = (
+                            dense.power_dbm(Emitter::Carrier(c), Listener::Tag(u)),
+                            lazy.power_dbm(Emitter::Carrier(c), Listener::Tag(u)),
+                        );
+                        assert_eq!(d.to_bits(), l.to_bits(), "{when}: carrier {c} at tag {u}");
                     }
                 }
-            }
+            };
+            check(&dense, &lazy, "fresh build");
+
+            let moved = Position::new(4.5, 6.5, 1.1);
+            dense.set_position(EntityId::Tag(0), moved);
+            lazy.set_position(EntityId::Tag(0), moved);
+            dense.flush(&base);
+            lazy.flush(&base);
+            check(&dense, &lazy, "after a move");
+
+            let new_phy = NetPhy::Wifi {
+                rate: DsssRate::Mbps2,
+                channel: 1,
+            };
+            dense.retune_tag(&base, 1, 0, new_phy);
+            lazy.retune_tag(&base, 1, 0, new_phy);
+            dense.flush(&base);
+            lazy.flush(&base);
+            check(&dense, &lazy, "after a re-tune");
         }
     }
 

@@ -85,6 +85,10 @@ struct Emission {
     who: Emitter,
     primary: Band,
     mirror: Option<Band>,
+    /// Index of `primary` in the medium's distinct-band registry.
+    primary_bid: u32,
+    /// Index of `mirror` in the registry (`None` for single-sideband).
+    mirror_bid: Option<u32>,
     end: Time,
     /// A hidden-terminal emission: invisible to [`Medium::busy`]
     /// (carrier-sense at the transmitting side cannot hear it) but still
@@ -149,17 +153,60 @@ pub struct TxReport {
 }
 
 /// The shared-medium arbiter.
+///
+/// The active-emission set is **indexed by band**: every distinct band
+/// value ever emitted on gets a registry id, and each id keeps the list of
+/// on-air transmissions occupying it. Carrier-sense ([`Medium::busy`]),
+/// occupancy sensing ([`Medium::occupied`]) and capture resolution
+/// (interferer recording in [`Medium::start`]) walk only the lists of
+/// bands that overlap the query band, instead of scanning every on-air
+/// source — with coex sources raising the on-air population and carriers
+/// sensing every channel every slot, the same-band walk is what keeps a
+/// 100k-tag run's medium cost proportional to actual contention. The set
+/// of distinct bands is small (Wi-Fi/ZigBee/BLE channels plus the mirror
+/// images DSB tags add), so the per-query registry sweep is a handful of
+/// float compares.
+///
+/// Interferer lists record in the *storage order* of the active set
+/// (positions, sorted), which is exactly the scan order of the pre-index
+/// linear implementation — the engine sums interferer powers in list
+/// order, so this is what keeps trace digests byte-identical across the
+/// index swap.
 #[derive(Debug, Default)]
 pub struct Medium {
     active: Vec<Emission>,
     reservations: Vec<Reservation>,
     next_tx_id: u64,
+    /// Distinct band values seen so far, identified bit-exactly. Never
+    /// shrinks; bounded by the scenario's channel plan.
+    bands: Vec<Band>,
+    /// Per distinct band: tx ids of the active emissions occupying it.
+    members: Vec<Vec<u64>>,
+    /// Active tx id → position in `active` (maintained across the
+    /// swap-removes of [`Medium::finish`]).
+    index: std::collections::HashMap<u64, usize>,
 }
 
 impl Medium {
     /// An idle medium.
     pub fn new() -> Self {
         Medium::default()
+    }
+
+    /// The registry id of `band`, inserting it on first sight. Identity is
+    /// bit-exact: band values come from the same deterministic frequency
+    /// arithmetic on every run, so equal bands compare equal.
+    fn band_id(&mut self, band: Band) -> u32 {
+        if let Some(i) = self
+            .bands
+            .iter()
+            .position(|b| b.center_hz == band.center_hz && b.bandwidth_hz == band.bandwidth_hz)
+        {
+            return i as u32;
+        }
+        self.bands.push(band);
+        self.members.push(Vec::new());
+        (self.bands.len() - 1) as u32
     }
 
     /// Drops reservations whose protected window `[.., end]` has passed.
@@ -180,11 +227,18 @@ impl Medium {
     /// truth).
     pub fn busy(&mut self, band: Band, now: Time) -> bool {
         self.prune(now);
-        self.active
-            .iter()
-            .filter(|e| !e.hidden && e.end > now)
-            .any(|e| e.bands().any(|b| b.overlaps(&band)))
-            || self.reservations.iter().any(|r| r.band.overlaps(&band))
+        for (bid, b) in self.bands.iter().enumerate() {
+            if !b.overlaps(&band) {
+                continue;
+            }
+            for tx in &self.members[bid] {
+                let e = &self.active[self.index[tx]];
+                if !e.hidden && e.end > now {
+                    return true;
+                }
+            }
+        }
+        self.reservations.iter().any(|r| r.band.overlaps(&band))
     }
 
     /// Occupancy sensing: is any emission — hidden or not — on a band
@@ -194,10 +248,17 @@ impl Medium {
     /// unlike [`Medium::busy`] it hears hidden terminals, and it ignores
     /// NAV reservations (a reservation is protocol state, not energy).
     pub fn occupied(&self, band: Band, now: Time) -> bool {
-        self.active
-            .iter()
-            .filter(|e| e.end > now)
-            .any(|e| e.bands().any(|b| b.overlaps(&band)))
+        for (bid, b) in self.bands.iter().enumerate() {
+            if !b.overlaps(&band) {
+                continue;
+            }
+            for tx in &self.members[bid] {
+                if self.active[self.index[tx]].end > now {
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// Places a CTS-to-Self reservation on `band` protecting every instant
@@ -246,23 +307,46 @@ impl Medium {
         self.prune(now);
         let tx_id = self.next_tx_id;
         self.next_tx_id += 1;
+        let primary_bid = self.band_id(primary);
+        let mirror_bid = mirror.map(|m| self.band_id(m));
         let mut emission = Emission {
             tx_id,
             who,
             primary,
             mirror,
+            primary_bid,
+            mirror_bid,
             end,
             hidden,
             interferers: Vec::new(),
         };
-        for other in self.active.iter_mut().filter(|e| e.end > now) {
-            if other.overlaps(&emission) {
+        // Gather candidates from every band list overlapping ours, then
+        // visit them in storage order (sorted positions) so the recorded
+        // interferer order matches the old full linear scan exactly.
+        let mut candidates: Vec<usize> = Vec::new();
+        for (bid, b) in self.bands.iter().enumerate() {
+            if emission.bands().any(|eb| eb.overlaps(b)) {
+                candidates.extend(self.members[bid].iter().map(|tx| self.index[tx]));
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        for idx in candidates {
+            let other = &mut self.active[idx];
+            if other.end > now && other.overlaps(&emission) {
                 if !emission.interferers.iter().any(|i| i.who == other.who) {
                     emission.interferers.push(other.as_interferer());
                 }
                 if !other.interferers.iter().any(|i| i.who == who) {
                     other.interferers.push(emission.as_interferer());
                 }
+            }
+        }
+        self.index.insert(tx_id, self.active.len());
+        self.members[primary_bid as usize].push(tx_id);
+        if let Some(mb) = mirror_bid {
+            if mb != primary_bid {
+                self.members[mb as usize].push(tx_id);
             }
         }
         self.active.push(emission);
@@ -272,10 +356,26 @@ impl Medium {
     /// Takes a finished transmission off the air, returning what the
     /// medium observed about it.
     pub fn finish(&mut self, tx_id: u64) -> TxReport {
-        let Some(idx) = self.active.iter().position(|e| e.tx_id == tx_id) else {
+        let Some(idx) = self.index.remove(&tx_id) else {
             return TxReport::default();
         };
         let emission = self.active.swap_remove(idx);
+        if idx < self.active.len() {
+            let moved = self.active[idx].tx_id;
+            self.index.insert(moved, idx);
+        }
+        let mut drop_member = |bid: u32| {
+            let list = &mut self.members[bid as usize];
+            if let Some(pos) = list.iter().position(|&tx| tx == tx_id) {
+                list.swap_remove(pos);
+            }
+        };
+        drop_member(emission.primary_bid);
+        if let Some(mb) = emission.mirror_bid {
+            if mb != emission.primary_bid {
+                drop_member(mb);
+            }
+        }
         TxReport {
             interferers: emission.interferers,
         }
@@ -448,6 +548,146 @@ mod tests {
         medium.reserve(wifi(CH11), Time(400_000));
         assert!(medium.busy(wifi(CH11), Time(350_000)));
         assert!(!medium.occupied(wifi(CH11), Time(350_000)));
+    }
+
+    /// The pre-index linear implementation, kept as a reference oracle:
+    /// every query scans the whole active set in storage order.
+    #[derive(Default)]
+    struct LinearMedium {
+        active: Vec<Emission>,
+        reservations: Vec<Reservation>,
+        next_tx_id: u64,
+    }
+
+    impl LinearMedium {
+        fn busy(&mut self, band: Band, now: Time) -> bool {
+            self.reservations.retain(|r| r.end >= now);
+            self.active
+                .iter()
+                .filter(|e| !e.hidden && e.end > now)
+                .any(|e| e.bands().any(|b| b.overlaps(&band)))
+                || self.reservations.iter().any(|r| r.band.overlaps(&band))
+        }
+
+        fn occupied(&self, band: Band, now: Time) -> bool {
+            self.active
+                .iter()
+                .filter(|e| e.end > now)
+                .any(|e| e.bands().any(|b| b.overlaps(&band)))
+        }
+
+        fn start(
+            &mut self,
+            who: Emitter,
+            primary: Band,
+            mirror: Option<Band>,
+            now: Time,
+            end: Time,
+            hidden: bool,
+        ) -> u64 {
+            self.reservations.retain(|r| r.end >= now);
+            let tx_id = self.next_tx_id;
+            self.next_tx_id += 1;
+            let mut emission = Emission {
+                tx_id,
+                who,
+                primary,
+                mirror,
+                primary_bid: 0,
+                mirror_bid: None,
+                end,
+                hidden,
+                interferers: Vec::new(),
+            };
+            for other in self.active.iter_mut().filter(|e| e.end > now) {
+                if other.overlaps(&emission) {
+                    if !emission.interferers.iter().any(|i| i.who == other.who) {
+                        emission.interferers.push(other.as_interferer());
+                    }
+                    if !other.interferers.iter().any(|i| i.who == who) {
+                        other.interferers.push(emission.as_interferer());
+                    }
+                }
+            }
+            self.active.push(emission);
+            tx_id
+        }
+
+        fn finish(&mut self, tx_id: u64) -> TxReport {
+            let Some(idx) = self.active.iter().position(|e| e.tx_id == tx_id) else {
+                return TxReport::default();
+            };
+            let emission = self.active.swap_remove(idx);
+            TxReport {
+                interferers: emission.interferers,
+            }
+        }
+    }
+
+    #[test]
+    fn band_index_matches_linear_reference() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+        // The scenario channel plan: a handful of Wi-Fi channels, two
+        // ZigBee slivers, and a DSB mirror landing spot.
+        let plan = [
+            wifi(2.412e9),
+            wifi(CH6),
+            wifi(CH11),
+            Band::new(2.430e9, 2e6),
+            Band::new(2.480e9, 2e6),
+            wifi(2.440e9),
+        ];
+        for trial in 0..10u64 {
+            let mut rng = SmallRng::seed_from_u64(0xBA2D ^ trial);
+            let mut indexed = Medium::new();
+            let mut linear = LinearMedium::default();
+            let mut live: Vec<u64> = Vec::new();
+            let mut now = 0u64;
+            for _ in 0..2_000 {
+                now += rng.gen_range(0u64..50_000);
+                let t = Time(now);
+                let band = plan[rng.gen_range(0usize..plan.len())];
+                match rng.gen_range(0u32..10) {
+                    0..=3 => {
+                        let mirror = if rng.gen_bool(0.3) {
+                            Some(plan[rng.gen_range(0usize..plan.len())])
+                        } else {
+                            None
+                        };
+                        let who = Emitter::Tag(rng.gen_range(0usize..32));
+                        let hidden = rng.gen_bool(0.2);
+                        let end = Time(now + rng.gen_range(1u64..200_000));
+                        let a = indexed.start_with(who, band, mirror, t, end, hidden);
+                        let b = linear.start(who, band, mirror, t, end, hidden);
+                        assert_eq!(a, b, "tx id allocation must match");
+                        live.push(a);
+                    }
+                    4..=6 => {
+                        if !live.is_empty() {
+                            let tx = live.swap_remove(rng.gen_range(0usize..live.len()));
+                            assert_eq!(
+                                indexed.finish(tx),
+                                linear.finish(tx),
+                                "interferer reports must match in content and order"
+                            );
+                        }
+                    }
+                    7 => {
+                        let end = Time(now + rng.gen_range(1u64..100_000));
+                        indexed.reserve(band, end);
+                        linear.reservations.push(Reservation { band, end });
+                    }
+                    8 => assert_eq!(indexed.busy(band, t), linear.busy(band, t)),
+                    _ => assert_eq!(indexed.occupied(band, t), linear.occupied(band, t)),
+                }
+            }
+            // Drain everything still on the air; reports must agree.
+            for tx in live {
+                assert_eq!(indexed.finish(tx), linear.finish(tx));
+            }
+            assert_eq!(indexed.on_air(), 0);
+        }
     }
 
     #[test]

@@ -120,6 +120,113 @@ impl TagStats {
     }
 }
 
+/// Struct-of-arrays twin of [`TagStats`]: one dense column per counter,
+/// indexed by tag id. The engine's hot path bumps these columns — one
+/// 8-byte cell in a contiguous per-counter array instead of a full
+/// [`TagStats`] row — and materialises the public
+/// [`NetworkMetrics::tags`] view once at the end of the run. Ids are
+/// dense `u32`s: the constructor rejects larger fleets.
+#[derive(Debug, Clone, Default)]
+pub struct TagTable {
+    /// Column of [`TagStats::offered`].
+    pub offered: Vec<u64>,
+    /// Column of [`TagStats::delivered`].
+    pub delivered: Vec<u64>,
+    /// Column of [`TagStats::dropped`].
+    pub dropped: Vec<u64>,
+    /// Column of [`TagStats::attempts`].
+    pub attempts: Vec<u64>,
+    /// Column of [`TagStats::collided`].
+    pub collided: Vec<u64>,
+    /// Column of [`TagStats::external_collisions`].
+    pub external_collisions: Vec<u64>,
+    /// Column of [`TagStats::link_losses`].
+    pub link_losses: Vec<u64>,
+    /// Column of [`TagStats::csma_defers`].
+    pub csma_defers: Vec<u64>,
+    /// Column of [`TagStats::grants`].
+    pub grants: Vec<u64>,
+    /// Column of [`TagStats::deadline_misses`].
+    pub deadline_misses: Vec<u64>,
+    /// Column of [`TagStats::delivered_bits`].
+    pub delivered_bits: Vec<u64>,
+    /// Column of [`TagStats::polls`].
+    pub polls: Vec<u64>,
+    /// Column of [`TagStats::poll_losses`].
+    pub poll_losses: Vec<u64>,
+    /// Column of [`TagStats::timeouts`].
+    pub timeouts: Vec<u64>,
+    /// Column of [`TagStats::ack_losses`].
+    pub ack_losses: Vec<u64>,
+    /// Column of [`TagStats::transactions`].
+    pub transactions: Vec<u64>,
+    /// Column of [`TagStats::transaction_ns`].
+    pub transaction_ns: Vec<u64>,
+}
+
+impl TagTable {
+    /// A zeroed table covering `n_tags` dense ids.
+    pub fn new(n_tags: usize) -> TagTable {
+        assert!(n_tags <= u32::MAX as usize, "tag ids are dense u32s");
+        TagTable {
+            offered: vec![0; n_tags],
+            delivered: vec![0; n_tags],
+            dropped: vec![0; n_tags],
+            attempts: vec![0; n_tags],
+            collided: vec![0; n_tags],
+            external_collisions: vec![0; n_tags],
+            link_losses: vec![0; n_tags],
+            csma_defers: vec![0; n_tags],
+            grants: vec![0; n_tags],
+            deadline_misses: vec![0; n_tags],
+            delivered_bits: vec![0; n_tags],
+            polls: vec![0; n_tags],
+            poll_losses: vec![0; n_tags],
+            timeouts: vec![0; n_tags],
+            ack_losses: vec![0; n_tags],
+            transactions: vec![0; n_tags],
+            transaction_ns: vec![0; n_tags],
+        }
+    }
+
+    /// Number of tags covered.
+    pub fn len(&self) -> usize {
+        self.offered.len()
+    }
+
+    /// True when the table covers no tags.
+    pub fn is_empty(&self) -> bool {
+        self.offered.is_empty()
+    }
+
+    /// Writes every column back into the row-per-tag view (`tags` must
+    /// have the table's length).
+    pub fn materialize_into(&self, tags: &mut [TagStats]) {
+        assert_eq!(tags.len(), self.len());
+        for (t, out) in tags.iter_mut().enumerate() {
+            *out = TagStats {
+                offered: self.offered[t] as usize,
+                delivered: self.delivered[t] as usize,
+                dropped: self.dropped[t] as usize,
+                attempts: self.attempts[t] as usize,
+                collided: self.collided[t] as usize,
+                external_collisions: self.external_collisions[t] as usize,
+                link_losses: self.link_losses[t] as usize,
+                csma_defers: self.csma_defers[t] as usize,
+                grants: self.grants[t] as usize,
+                deadline_misses: self.deadline_misses[t] as usize,
+                delivered_bits: self.delivered_bits[t] as usize,
+                polls: self.polls[t] as usize,
+                poll_losses: self.poll_losses[t] as usize,
+                timeouts: self.timeouts[t] as usize,
+                ack_losses: self.ack_losses[t] as usize,
+                transactions: self.transactions[t] as usize,
+                transaction_ns: self.transaction_ns[t],
+            };
+        }
+    }
+}
+
 /// One point of a tag's PRR-vs-displacement series, recorded at a mobility
 /// tick: where the tag was relative to its starting position, and how its
 /// attempts fared since the previous tick.

@@ -415,10 +415,22 @@ impl Scenario {
     /// assert!(ward.name.ends_with("closed-loop"));
     /// ward.validate().unwrap();
     /// ```
+    ///
+    /// *Legacy shim* over [`ScenarioBuilder::radio`] (via
+    /// [`RadioSection::mac`]); prefer the builder for eager validation.
+    /// This combinator additionally renames the scenario and keeps
+    /// validation deferred, so existing call sites behave unchanged.
     pub fn closed_loop(mut self) -> Scenario {
-        self.mac = MacMode::ClosedLoop;
         self.name = format!("{}-closed-loop", self.name);
-        self
+        let radio = RadioSection::new(
+            std::mem::take(&mut self.carriers),
+            std::mem::take(&mut self.tags),
+            std::mem::take(&mut self.receivers),
+        )
+        .cts_to_self(self.cts_to_self)
+        .max_queue(self.max_queue)
+        .mac(MacMode::ClosedLoop);
+        self.builder().radio(radio).finish_deferred()
     }
 
     /// The mobile variant of any preset: attaches a mobility model that
@@ -438,10 +450,14 @@ impl Scenario {
     /// assert!(ward.name.ends_with("mobile"));
     /// ward.validate().unwrap();
     /// ```
+    ///
+    /// *Legacy shim* over [`ScenarioBuilder::mobility`]; prefer
+    /// `.builder().mobility(config).build()` for eager validation. This
+    /// combinator additionally renames the scenario and keeps validation
+    /// deferred, so existing call sites behave unchanged.
     pub fn with_mobility(mut self, config: MobilityConfig) -> Scenario {
-        self.mobility = Some(config);
         self.name = format!("{}-mobile", self.name);
-        self
+        self.builder().mobility(config).finish_deferred()
     }
 
     /// Swaps the carrier arbitration policy of any preset
@@ -456,10 +472,14 @@ impl Scenario {
     /// assert!(ward.name.ends_with("margin-aware"));
     /// ward.validate().unwrap();
     /// ```
+    ///
+    /// *Legacy shim* over [`ScenarioBuilder::scheduling`]; prefer
+    /// `.builder().scheduling(policy).build()` for eager validation.
+    /// This combinator additionally renames the scenario and keeps
+    /// validation deferred, so existing call sites behave unchanged.
     pub fn with_scheduler(mut self, policy: SchedPolicy) -> Scenario {
-        self.scheduler = policy;
         self.name = format!("{}-{}", self.name, policy.slug());
-        self
+        self.builder().scheduling(policy).finish_deferred()
     }
 
     /// Stripes the carriers across the scenario's Wi-Fi channels, making
@@ -516,10 +536,14 @@ impl Scenario {
     /// assert!(ward.name.ends_with("coex"));
     /// ward.validate().unwrap();
     /// ```
+    ///
+    /// *Legacy shim* over [`ScenarioBuilder::coex`]; prefer
+    /// `.builder().coex(config).build()` for eager validation. This
+    /// combinator additionally renames the scenario and keeps validation
+    /// deferred, so existing call sites behave unchanged.
     pub fn with_coex(mut self, config: CoexConfig) -> Scenario {
-        self.coex = Some(config);
         self.name = format!("{}-coex", self.name);
-        self
+        self.builder().coex(config).finish_deferred()
     }
 
     /// The backward-compatibility bridge: attaches a coex config whose
@@ -555,9 +579,10 @@ impl Scenario {
                     .collect(),
             )
         });
-        self.coex = Some(config.with_restripe(policy));
         self.name = format!("{}-adaptive", self.name);
-        self
+        self.builder()
+            .coex(config.with_restripe(policy))
+            .finish_deferred()
     }
 
     /// Replaces the whole telemetry configuration ([`crate::telemetry`]).
@@ -579,16 +604,18 @@ impl Scenario {
     /// assert_eq!(ward.name, Scenario::hospital_ward(8).name);
     /// ward.validate().unwrap();
     /// ```
-    pub fn with_telemetry(mut self, config: TelemetryConfig) -> Scenario {
-        self.telemetry = config;
-        self
+    ///
+    /// *Legacy shim* over [`ScenarioBuilder::telemetry`]; prefer
+    /// `.builder().telemetry(config).build()` for eager validation.
+    pub fn with_telemetry(self, config: TelemetryConfig) -> Scenario {
+        self.builder().telemetry(config).finish_deferred()
     }
 
     /// Registers one telemetry subscription on top of whatever the
     /// scenario already carries (see [`Scenario::with_telemetry`]).
     pub fn subscribe(mut self, sub: Subscription) -> Scenario {
-        self.telemetry.subscriptions.push(sub);
-        self
+        let telemetry = std::mem::take(&mut self.telemetry).subscribe(sub);
+        self.builder().telemetry(telemetry).finish_deferred()
     }
 
     /// Switches the metrics pipeline to streaming sketches
@@ -596,17 +623,17 @@ impl Scenario {
     /// empty, quantiles come from mergeable sketches, memory stays
     /// O(entities + subscriptions) however long the run.
     pub fn with_streaming_metrics(mut self) -> Scenario {
-        self.telemetry.mode = crate::telemetry::MetricsMode::Streaming;
-        self
+        let telemetry = std::mem::take(&mut self.telemetry).streaming();
+        self.builder().telemetry(telemetry).finish_deferred()
     }
 
     /// Emits a one-line run status every `every_s` simulated seconds
     /// (collected into [`crate::engine::NetRunResult::telemetry`]; pass
     /// `live` to also mirror each line to stderr as the run executes).
     pub fn with_progress(mut self, every_s: f64, live: bool) -> Scenario {
-        self.telemetry.progress_every_s = Some(every_s);
-        self.telemetry.live_progress = live;
-        self
+        let mut telemetry = std::mem::take(&mut self.telemetry).with_progress(every_s);
+        telemetry.live_progress = live;
+        self.builder().telemetry(telemetry).finish_deferred()
     }
 
     /// The congestion-stress ward: the striped hospital ward (carriers and
@@ -732,6 +759,366 @@ impl Scenario {
             bounds: Bounds::room(12.0, 9.0, 1.0),
             carriers_follow: false,
         })
+    }
+
+    /// The city-scale stress preset: `n_tags` implants clustered around
+    /// **shared** 20 dBm helper beacons on a campus quad, polled closed
+    /// loop with streaming metrics — the deployment regime the paper's
+    /// "internet connectivity for implanted devices" vision implies, and
+    /// the scale target of the engine-core work (timing wheel, band
+    /// index, SoA link tables).
+    ///
+    /// Layout: clusters of up to 256 implants ring one helper each (every
+    /// tag inside the ~1 m illumination range), cluster centres on an
+    /// 8 m grid. A 4 × 4 lattice of Wi-Fi APs covers the quad, channels
+    /// cycling 1/6/11; each helper is *striped* onto the sub-band of its
+    /// nearest AP and its implants are tuned to that AP's channel, so
+    /// adjacent clusters synthesize onto different channels — the
+    /// campus-scale version of [`Scenario::with_subband_striping`].
+    /// Three neighbour Wi-Fi networks (one per channel) load the band
+    /// through [`crate::coex`].
+    ///
+    /// Carrier count stays O(`n_tags` / 256): the only dense
+    /// carrier × carrier link table then stays tiny while the per-tag
+    /// pair tables switch to the lazy layout above
+    /// [`crate::links`]' dense-pair limit.
+    ///
+    /// ```
+    /// use interscatter_net::scenario::Scenario;
+    /// let quad = Scenario::campus(5_000);
+    /// assert_eq!(quad.tags.len(), 5_000);
+    /// quad.validate().unwrap();
+    /// ```
+    pub fn campus(n_tags: usize) -> Scenario {
+        let n = n_tags.max(1);
+        const TAGS_PER_CLUSTER: usize = 256;
+        let clusters = n.div_ceil(TAGS_PER_CLUSTER);
+        let cols = (clusters as f64).sqrt().ceil() as usize;
+        let rows = clusters.div_ceil(cols);
+        // 3 m between cluster centres: the 4 × 4 AP lattice then keeps
+        // every cluster within ward-like range (~11 m) of its AP even at
+        // the 100k-tag quad (~60 m a side).
+        let pitch = 3.0;
+        let (width, depth) = (cols as f64 * pitch, rows as f64 * pitch);
+
+        // One shared helper per cluster, cycling the three BLE
+        // advertising channels so the tones spread over three collision
+        // domains. The 50 ms cadence keeps the aggregate tone duty near
+        // 60% of those domains at 100k tags — any faster and every slot
+        // carrier-senses busy: at this scale spectrum, not airtime, is
+        // the bottleneck.
+        let mut carriers: Vec<CarrierSource> = (0..clusters)
+            .map(|c| {
+                let centre = Position::new(
+                    pitch * ((c % cols) as f64 + 0.5),
+                    pitch * ((c / cols) as f64 + 0.5),
+                    1.0,
+                );
+                CarrierSource {
+                    ble_channel: interscatter_ble::channels::ADVERTISING_CHANNELS[c % 3],
+                    ..CarrierSource::helper(centre, 50e-3)
+                }
+            })
+            .collect();
+
+        let ap_channels = [1u8, 6, 11];
+        let receivers: Vec<SinkReceiver> = (0..16)
+            .map(|a| {
+                let ch = ap_channels[a % ap_channels.len()];
+                let position = Position::new(
+                    width * ((a % 4) as f64 + 0.5) / 4.0,
+                    depth * ((a / 4) as f64 + 0.5) / 4.0,
+                    3.0,
+                );
+                let mut ap = SinkReceiver::wifi_ap(position, ch);
+                ap.external_occupancy = if ch == 6 { 0.2 } else { 0.05 };
+                ap
+            })
+            .collect();
+
+        // Stripe each helper onto its nearest AP's sub-band; the channel
+        // cycle along the AP lattice then puts adjacent clusters on
+        // different channels.
+        for carrier in &mut carriers {
+            carrier.subband = nearest_index(&receivers, &carrier.position);
+        }
+
+        let tags: Vec<TagNode> = (0..n)
+            .map(|t| {
+                let cluster = t / TAGS_PER_CLUSTER;
+                let centre = carriers[cluster].position;
+                // Golden-angle ring keeps every implant 0.4–0.9 m from
+                // its helper, deterministically spread.
+                let k = (t % TAGS_PER_CLUSTER) as f64;
+                let angle = 2.399_963_229_728_653 * k;
+                let radius = 0.4 + 0.5 * (k / TAGS_PER_CLUSTER as f64);
+                let rx = carriers[cluster].subband;
+                let SinkKind::Wifi { channel } = receivers[rx].kind else {
+                    unreachable!("campus sinks are all Wi-Fi APs");
+                };
+                TagNode {
+                    position: Position::new(
+                        centre.x + radius * angle.cos(),
+                        centre.y + radius * angle.sin(),
+                        1.0,
+                    ),
+                    profile: TagProfile::NeuralImplant,
+                    sideband: SidebandMode::Single,
+                    phy: NetPhy::Wifi {
+                        rate: DsssRate::Mbps2,
+                        channel,
+                    },
+                    carrier: cluster,
+                    receiver: rx,
+                    payload_bytes: 31,
+                    arrival_rate_pps: 0.2,
+                    max_retries: 4,
+                }
+            })
+            .collect();
+
+        let coex = CoexConfig::with_sources(
+            ap_channels
+                .iter()
+                .enumerate()
+                .map(|(i, &ch)| {
+                    CoexSource::wifi_neighbor(
+                        Position::new(width * (i as f64 + 0.5) / 3.0, depth / 2.0, 6.0),
+                        ch,
+                        if ch == 6 { 0.3 } else { 0.15 },
+                    )
+                })
+                .collect(),
+        );
+
+        Scenario {
+            name: format!("campus-{n}"),
+            duration_s: 2.0,
+            carriers,
+            tags,
+            receivers,
+            cts_to_self: true,
+            max_queue: 8,
+            mac: MacMode::ClosedLoop,
+            mobility: None,
+            scheduler: SchedPolicy::RoundRobin,
+            coex: Some(coex),
+            telemetry: TelemetryConfig::default(),
+        }
+        .with_streaming_metrics()
+    }
+
+    /// Opens the typed builder API on this scenario: section setters
+    /// ([`ScenarioBuilder::radio`], [`ScenarioBuilder::mobility`],
+    /// [`ScenarioBuilder::scheduling`], [`ScenarioBuilder::coex`],
+    /// [`ScenarioBuilder::telemetry`]) and **eager** validation on
+    /// [`ScenarioBuilder::build`]. Start from a preset to reconfigure a
+    /// deployment, or from [`ScenarioBuilder::new`] to assemble one from
+    /// scratch:
+    ///
+    /// ```
+    /// use interscatter_net::prelude::*;
+    /// let ward = Scenario::hospital_ward(8)
+    ///     .builder()
+    ///     .scheduling(SchedPolicy::margin_aware())
+    ///     .coex(CoexConfig::with_sources(vec![CoexSource::ble_beacon(
+    ///         Position::new(1.0, 1.0, 1.0),
+    ///         0.1,
+    ///     )]))
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(ward.name, Scenario::hospital_ward(8).name);
+    /// ```
+    ///
+    /// Unlike the legacy `.with_*()` combinators the builder never
+    /// renames the scenario, and a configuration `validate()` would
+    /// reject is refused at `build()` time instead of at run time.
+    pub fn builder(self) -> ScenarioBuilder {
+        ScenarioBuilder { scenario: self }
+    }
+}
+
+/// The deployment section of a [`ScenarioBuilder`]: who is on the air —
+/// carriers, tags, sinks — plus the MAC parameters governing how they
+/// share it (CTS-to-Self, queue depth, open vs closed loop).
+#[derive(Debug, Clone)]
+pub struct RadioSection {
+    carriers: Vec<CarrierSource>,
+    tags: Vec<TagNode>,
+    receivers: Vec<SinkReceiver>,
+    cts_to_self: bool,
+    max_queue: usize,
+    mac: MacMode,
+}
+
+impl RadioSection {
+    /// A radio section over the given entities with the ward defaults:
+    /// CTS-to-Self on, 64-deep tag queues, open-loop MAC.
+    pub fn new(
+        carriers: Vec<CarrierSource>,
+        tags: Vec<TagNode>,
+        receivers: Vec<SinkReceiver>,
+    ) -> RadioSection {
+        RadioSection {
+            carriers,
+            tags,
+            receivers,
+            cts_to_self: true,
+            max_queue: 64,
+            mac: MacMode::OpenLoop,
+        }
+    }
+
+    /// Whether carriers place CTS-to-Self reservations before triggering
+    /// a tag (§2.3.3).
+    pub fn cts_to_self(mut self, on: bool) -> RadioSection {
+        self.cts_to_self = on;
+        self
+    }
+
+    /// Per-tag queue capacity; arrivals beyond this are dropped.
+    pub fn max_queue(mut self, depth: usize) -> RadioSection {
+        self.max_queue = depth;
+        self
+    }
+
+    /// Open-loop slot granting or the closed poll/ack loop
+    /// ([`crate::mac`]).
+    pub fn mac(mut self, mode: MacMode) -> RadioSection {
+        self.mac = mode;
+        self
+    }
+}
+
+/// Assembles a [`Scenario`] out of cohesive sections — radio, mobility,
+/// scheduling, coex, telemetry — with **eager** validation:
+/// [`ScenarioBuilder::build`] runs [`Scenario::validate`] and refuses an
+/// ill-formed configuration at construction time, where the legacy
+/// `.with_*()` combinators deferred the error to run time.
+///
+/// ```
+/// use interscatter_net::prelude::*;
+/// use interscatter_net::scenario::{RadioSection, ScenarioBuilder};
+///
+/// // From scratch: an empty deployment is rejected at build time...
+/// assert!(ScenarioBuilder::new().build().is_err());
+///
+/// // ...and a well-formed one comes back validated.
+/// let donor = Scenario::contact_lens_fleet(4);
+/// let built = ScenarioBuilder::new()
+///     .name("clinic")
+///     .duration_s(5.0)
+///     .radio(RadioSection::new(
+///         donor.carriers.clone(),
+///         donor.tags.clone(),
+///         donor.receivers.clone(),
+///     ))
+///     .telemetry(TelemetryConfig::new().streaming())
+///     .build()
+///     .unwrap();
+/// assert_eq!(built.name, "clinic");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        ScenarioBuilder::new()
+    }
+}
+
+impl ScenarioBuilder {
+    /// A blank builder: no entities yet (so [`ScenarioBuilder::build`]
+    /// fails until a [`ScenarioBuilder::radio`] section is supplied),
+    /// 1 s duration, round-robin scheduling, no mobility, no coex, the
+    /// default telemetry.
+    pub fn new() -> ScenarioBuilder {
+        ScenarioBuilder {
+            scenario: Scenario {
+                name: "scenario".into(),
+                duration_s: 1.0,
+                carriers: Vec::new(),
+                tags: Vec::new(),
+                receivers: Vec::new(),
+                cts_to_self: true,
+                max_queue: 64,
+                mac: MacMode::OpenLoop,
+                mobility: None,
+                scheduler: SchedPolicy::RoundRobin,
+                coex: None,
+                telemetry: TelemetryConfig::default(),
+            },
+        }
+    }
+
+    /// Human-readable name, used in reports. The builder never renames
+    /// implicitly — what you set here is what the run reports itself as.
+    pub fn name(mut self, name: impl Into<String>) -> ScenarioBuilder {
+        self.scenario.name = name.into();
+        self
+    }
+
+    /// Simulated duration, seconds.
+    pub fn duration_s(mut self, duration_s: f64) -> ScenarioBuilder {
+        self.scenario.duration_s = duration_s;
+        self
+    }
+
+    /// Replaces the deployment section: entities on the air and the MAC
+    /// parameters that govern how they share it.
+    pub fn radio(mut self, radio: RadioSection) -> ScenarioBuilder {
+        self.scenario.carriers = radio.carriers;
+        self.scenario.tags = radio.tags;
+        self.scenario.receivers = radio.receivers;
+        self.scenario.cts_to_self = radio.cts_to_self;
+        self.scenario.max_queue = radio.max_queue;
+        self.scenario.mac = radio.mac;
+        self
+    }
+
+    /// Sets the mobility section ([`crate::mobility`]): how (and
+    /// whether) the tags move during the run.
+    pub fn mobility(mut self, config: MobilityConfig) -> ScenarioBuilder {
+        self.scenario.mobility = Some(config);
+        self
+    }
+
+    /// Sets the scheduling section ([`crate::sched`]): which backlogged
+    /// tag a carrier slot illuminates.
+    pub fn scheduling(mut self, policy: SchedPolicy) -> ScenarioBuilder {
+        self.scenario.scheduler = policy;
+        self
+    }
+
+    /// Sets the coexistence section ([`crate::coex`]): external traffic
+    /// sources, occupancy sensing and (optionally) adaptive re-striping.
+    pub fn coex(mut self, config: CoexConfig) -> ScenarioBuilder {
+        self.scenario.coex = Some(config);
+        self
+    }
+
+    /// Sets the telemetry section ([`crate::telemetry`]): subscriptions,
+    /// the metrics storage mode and the progress cadence.
+    pub fn telemetry(mut self, config: TelemetryConfig) -> ScenarioBuilder {
+        self.scenario.telemetry = config;
+        self
+    }
+
+    /// Validates eagerly and returns the finished scenario — every check
+    /// [`Scenario::validate`] performs, but at construction time.
+    pub fn build(self) -> Result<Scenario, NetError> {
+        self.scenario.validate()?;
+        Ok(self.scenario)
+    }
+
+    /// The legacy escape hatch the `.with_*()` shims delegate through:
+    /// returns the scenario with validation still deferred to
+    /// [`Scenario::validate`] / run time, preserving those combinators'
+    /// long-standing contract.
+    pub(crate) fn finish_deferred(self) -> Scenario {
+        self.scenario
     }
 }
 
@@ -1134,6 +1521,179 @@ mod tests {
             SinkSpec::Counters,
         ));
         assert!(matches!(bad.validate(), Err(NetError::InvalidScenario(_))));
+    }
+
+    #[test]
+    fn builder_reconstructs_presets_digest_identically() {
+        use crate::engine::NetworkSim;
+        let presets = [
+            Scenario::hospital_ward(10),
+            Scenario::contact_lens_fleet(8).closed_loop(),
+            Scenario::card_to_card_room(5),
+            Scenario::zigbee_wing(12),
+            Scenario::walking_ward(8),
+            Scenario::congested_ward(12).with_restripe(ReStripe::default()),
+        ];
+        for mut preset in presets {
+            preset.duration_s = 2.0;
+            let mut builder = ScenarioBuilder::new()
+                .name(preset.name.clone())
+                .duration_s(preset.duration_s)
+                .radio(
+                    RadioSection::new(
+                        preset.carriers.clone(),
+                        preset.tags.clone(),
+                        preset.receivers.clone(),
+                    )
+                    .cts_to_self(preset.cts_to_self)
+                    .max_queue(preset.max_queue)
+                    .mac(preset.mac),
+                )
+                .scheduling(preset.scheduler)
+                .telemetry(preset.telemetry.clone());
+            if let Some(mobility) = preset.mobility {
+                builder = builder.mobility(mobility);
+            }
+            if let Some(coex) = preset.coex.clone() {
+                builder = builder.coex(coex);
+            }
+            let rebuilt = builder
+                .build()
+                .unwrap_or_else(|e| panic!("{}: {e}", preset.name));
+            let original = NetworkSim::new(&preset, 42).run().unwrap();
+            let replayed = NetworkSim::new(&rebuilt, 42).run().unwrap();
+            assert_eq!(
+                original.trace.to_bytes(),
+                replayed.trace.to_bytes(),
+                "{}: builder reconstruction diverges",
+                preset.name
+            );
+        }
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs_at_build_time() {
+        use crate::coex::{CoexConfig, CoexSource};
+        use crate::sched::DeadlineAware;
+        use crate::telemetry::{Filter, SinkSpec};
+        let donor = Scenario::hospital_ward(4);
+
+        // build() surfaces exactly the validate() error, eagerly.
+        let mut bad = donor.clone();
+        bad.tags[0].carrier = 99;
+        assert_eq!(
+            bad.validate().unwrap_err(),
+            bad.clone().builder().build().unwrap_err()
+        );
+
+        assert!(matches!(
+            ScenarioBuilder::new().build(),
+            Err(NetError::InvalidScenario(_))
+        ));
+        assert!(donor.clone().builder().duration_s(0.0).build().is_err());
+        let radio = RadioSection::new(
+            donor.carriers.clone(),
+            donor.tags.clone(),
+            donor.receivers.clone(),
+        )
+        .max_queue(0);
+        assert!(donor.clone().builder().radio(radio).build().is_err());
+        assert!(donor
+            .clone()
+            .builder()
+            .scheduling(SchedPolicy::DeadlineAware(DeadlineAware {
+                deadline_s: -1.0
+            }))
+            .build()
+            .is_err());
+        assert!(donor
+            .clone()
+            .builder()
+            .coex(CoexConfig::with_sources(vec![CoexSource::constant(9, 0.1)]))
+            .build()
+            .is_err());
+        assert!(donor
+            .clone()
+            .builder()
+            .mobility(MobilityConfig {
+                model: MobilityModel::RandomWalk(RandomWalk {
+                    speed_mps: 0.2,
+                    turn_rad: 0.5,
+                }),
+                tick_interval_s: 0.0,
+                bounds: Bounds::room(12.0, 9.0, 1.0),
+                carriers_follow: false,
+            })
+            .build()
+            .is_err());
+        assert!(donor
+            .clone()
+            .builder()
+            .telemetry(TelemetryConfig::new().subscribe(Subscription::new(
+                "bad",
+                Filter::all().tags([99]),
+                SinkSpec::Counters,
+            )))
+            .build()
+            .is_err());
+
+        // And an untouched preset round-trips through build().
+        assert!(donor.builder().build().is_ok());
+    }
+
+    #[test]
+    fn campus_preset_is_city_scale_and_striped() {
+        let quad = Scenario::campus(100_000);
+        quad.validate().unwrap();
+        assert_eq!(quad.tags.len(), 100_000);
+        assert_eq!(quad.mac, MacMode::ClosedLoop);
+        assert_eq!(
+            quad.telemetry.mode,
+            crate::telemetry::MetricsMode::Streaming,
+            "city scale requires streaming metrics"
+        );
+        assert!(quad.coex.is_some(), "preset attaches coex load");
+        // Shared helpers, O(n / 256): the one dense carrier × carrier
+        // link table stays tiny while the per-tag pair tables go lazy.
+        assert_eq!(quad.carriers.len(), 100_000usize.div_ceil(256));
+        // Striped: the helpers spread across several sub-bands, and each
+        // implant is tuned to its helper's stripe.
+        let subbands: std::collections::HashSet<usize> =
+            quad.carriers.iter().map(|c| c.subband).collect();
+        assert!(subbands.len() > 1, "campus helpers use one sub-band");
+        for (t, tag) in quad.tags.iter().enumerate().step_by(9973) {
+            assert_eq!(tag.receiver, quad.carriers[tag.carrier].subband);
+            let d = quad.carriers[tag.carrier]
+                .position
+                .distance_m(&tag.position);
+            assert!(d < 1.0, "tag {t} is {d:.2} m from its helper");
+        }
+    }
+
+    #[test]
+    fn campus_closed_loop_runs_above_the_dense_pair_limit() {
+        use crate::engine::NetworkSim;
+        // 4200 tags: past the dense-pair limit, so this run exercises the
+        // lazy link-table layout end to end.
+        let quad = Scenario::campus(4_200);
+        let run = |seed| {
+            NetworkSim::new(&quad, seed)
+                .with_trace(false)
+                .run()
+                .unwrap()
+        };
+        let a = run(42);
+        assert!(a.metrics.delivered_packets() > 0, "campus delivers nothing");
+        // Streaming contract: no per-event samples at this scale.
+        assert!(a.metrics.latency_ms.is_empty());
+        assert!(a.metrics.poll_latency_ms.is_empty());
+        // Same seed, same report — the campus smoke example's CI contract.
+        let b = run(42);
+        assert_eq!(a.metrics.report(), b.metrics.report());
+        assert_eq!(
+            format!("{:?}", a.metrics.tags),
+            format!("{:?}", b.metrics.tags)
+        );
     }
 
     #[test]
