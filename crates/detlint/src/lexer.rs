@@ -1,0 +1,392 @@
+//! A hand-rolled Rust lexer, just deep enough for token-stream linting.
+//!
+//! The rules in [`crate::rules`] match on identifier tokens, so the one
+//! job of this lexer is to never confuse an identifier with the *contents*
+//! of a string, comment, char literal or lifetime — a rule keyed on
+//! `HashMap` must stay silent on `"HashMap"` in a diagnostic message and
+//! on `// HashMap` in prose. Everything else (numeric fine structure,
+//! operator gluing) is deliberately crude: numbers and punctuation only
+//! need to be *skipped over* correctly, not understood.
+//!
+//! Handled corner cases: nested block comments, doc comments, raw strings
+//! with arbitrary `#` fences (`r##"…"##`), byte strings (`b"…"`, `br#"…"#`),
+//! char-vs-lifetime disambiguation (`'a'` vs `'a`), escaped chars
+//! (`'\''`, `'\u{1F600}'`) and raw identifiers (`r#match`).
+
+/// What a token is, as far as the rule engine cares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `fn`, `unsafe`).
+    Ident,
+    /// A numeric literal (possibly split across `.`/sign punctuation —
+    /// the rules never inspect numbers, they only step over them).
+    Num,
+    /// A string or byte-string literal, raw or not. `text` is empty: rule
+    /// matching must never see string contents.
+    Str,
+    /// A char or byte-char literal. `text` is empty.
+    Char,
+    /// A lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// A single punctuation character.
+    Punct,
+    /// A `//` comment (incl. `///`/`//!` doc comments); `text` holds the
+    /// body after the slashes, which is where allow-pragmas live.
+    LineComment,
+    /// A `/* … */` comment (nested fences handled); `text` holds the body.
+    BlockComment,
+}
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// Identifier name, comment body, or punctuation char; empty for
+    /// string/char literals and numbers.
+    pub text: String,
+    /// 1-indexed line the token *starts* on.
+    pub line: u32,
+}
+
+/// Lexes `src` into a token stream. Comments are kept (pragmas live
+/// there); whitespace is dropped. The lexer never fails: any byte it does
+/// not understand becomes a [`TokKind::Punct`].
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, keeping the line counter honest.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                '\'' => self.char_or_lifetime(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ if c == '_' || c.is_alphabetic() => self.ident_or_prefixed(line),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut body = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            body.push(c);
+            self.bump();
+        }
+        self.push(TokKind::LineComment, body, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut body = String::new();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                    body.push_str("/*");
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                    if depth > 0 {
+                        body.push_str("*/");
+                    }
+                }
+                (Some(c), _) => {
+                    body.push(c);
+                    self.bump();
+                }
+                (None, _) => break, // unterminated; tolerate
+            }
+        }
+        self.push(TokKind::BlockComment, body, line);
+    }
+
+    /// A non-raw string body, opening quote not yet consumed.
+    fn string(&mut self, line: u32) {
+        self.bump(); // "
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // whatever is escaped, incl. \" and \\
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    /// A raw string body: `hashes` `#` fences then `"` were already
+    /// consumed; reads until `"` followed by the same fence count.
+    fn raw_string(&mut self, hashes: usize, line: u32) {
+        while let Some(c) = self.bump() {
+            if c == '"' && (0..hashes).all(|i| self.peek(i) == Some('#')) {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    /// `'` not yet consumed: a char literal (`'a'`, `'\n'`) or a
+    /// lifetime/label (`'a`, `'static`). A lifetime is a quote followed by
+    /// an identifier *not* closed by another quote.
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // '
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume until the closing quote.
+                self.bump();
+                self.bump(); // the escaped char (or the 'u' of \u{…})
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Char, String::new(), line);
+            }
+            Some(c) if (c == '_' || c.is_alphabetic()) && self.peek(1) != Some('\'') => {
+                // Lifetime or label.
+                let mut name = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lifetime, name, line);
+            }
+            Some(_) => {
+                // Plain char literal: one char then the closing quote.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Char, String::new(), line);
+            }
+            None => self.push(TokKind::Punct, "'".into(), line),
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        // Digits, type suffixes and `_` separators; `1.5` lexes as
+        // Num Punct Num, which the rules never care about.
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_ascii_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, String::new(), line);
+    }
+
+    /// An identifier, or one of the literal prefixes `r`/`b`/`br` glued to
+    /// a string (`r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#`) or a raw
+    /// identifier (`r#match`).
+    fn ident_or_prefixed(&mut self, line: u32) {
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let is_str_prefix = matches!(name.as_str(), "r" | "b" | "br");
+        match (is_str_prefix, self.peek(0)) {
+            (true, Some('"')) => {
+                self.bump();
+                if name.starts_with('r') || name == "br" {
+                    self.raw_string(0, line);
+                } else {
+                    // b"…": ordinary escapes apply.
+                    while let Some(c) = self.bump() {
+                        match c {
+                            '\\' => {
+                                self.bump();
+                            }
+                            '"' => break,
+                            _ => {}
+                        }
+                    }
+                    self.push(TokKind::Str, String::new(), line);
+                }
+            }
+            (true, Some('#')) if name != "b" => {
+                // Count the fence: raw string r#"…"# / r##"…"##, or a raw
+                // identifier r#match (single # followed by ident-start).
+                let mut hashes = 0;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    for _ in 0..=hashes {
+                        self.bump(); // the fence and the opening quote
+                    }
+                    self.raw_string(hashes, line);
+                } else if hashes == 1 && self.peek(1).is_some_and(|c| c == '_' || c.is_alphabetic())
+                {
+                    // Raw identifier: emit the unprefixed name.
+                    self.bump(); // #
+                    let mut raw = String::new();
+                    while let Some(c) = self.peek(0) {
+                        if c == '_' || c.is_alphanumeric() {
+                            raw.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokKind::Ident, raw, line);
+                } else {
+                    self.push(TokKind::Ident, name, line);
+                }
+            }
+            (true, Some('\'')) if name == "b" => {
+                // Byte-char literal b'x'.
+                self.char_or_lifetime(line);
+                if let Some(last) = self.out.last_mut() {
+                    last.kind = TokKind::Char;
+                }
+            }
+            _ => self.push(TokKind::Ident, name, line),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // None of the quoted words may surface as identifiers.
+        let src = r##"let m = "HashMap"; let r = r"Instant"; let f = r#"thread_rng "quoted" inside"#; let b = b"SystemTime";"##;
+        let ids = idents(src);
+        assert_eq!(ids, ["let", "m", "let", "r", "let", "f", "let", "b"]);
+    }
+
+    #[test]
+    fn comments_are_kept_but_separate() {
+        let src = "// HashMap in prose\n/* Instant\n nested /* SystemTime */ done */\nlet x = 1;";
+        let toks = lex(src);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::LineComment && t.text.contains("HashMap")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::BlockComment && t.text.contains("SystemTime")));
+        assert_eq!(idents(src), ["let", "x"]);
+        // The let sits on line 4 (block comment spans lines 2-3).
+        let let_tok = toks.iter().find(|t| t.text == "let").unwrap();
+        assert_eq!(let_tok.line, 4);
+    }
+
+    #[test]
+    fn chars_and_lifetimes_disambiguate() {
+        let src =
+            "fn f<'a>(x: &'a str) -> char { let c = 'h'; let e = '\\''; let u = '\\u{1F600}'; c }";
+        let toks = lex(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Char).count(),
+            3,
+            "'h', '\\'' and '\\u{{…}}' are all char literals"
+        );
+        // The identifier h from 'h' must not leak out.
+        assert!(!idents(src).iter().any(|i| i == "h"));
+    }
+
+    #[test]
+    fn raw_identifiers_unprefix() {
+        assert_eq!(idents("let r#match = 1;"), ["let", "match"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_strings() {
+        let src = "let a = \"multi\nline\nstring\";\nlet b = 2;";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_idents() {
+        assert_eq!(idents("let x = 1.0e-3f64 + 0xFFu8; x"), ["let", "x", "x"]);
+    }
+}

@@ -1,0 +1,87 @@
+//! The `detlint` binary: scan the workspace for determinism hazards.
+//!
+//! ```text
+//! detlint [--json] [--root <dir>]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error. With
+//! `--json` the report is JSON lines (one object per finding plus a
+//! summary line) on stdout, mirroring the criterion shim's `--json`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("detlint: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("usage: detlint [--json] [--root <dir>]");
+                println!("scans the workspace for determinism hazards; exit 1 on findings");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("detlint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("detlint: cannot read current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match detlint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("detlint: no [workspace] Cargo.toml above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match detlint::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("detlint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json_lines());
+    } else {
+        for f in &report.findings {
+            println!("{}", f.render());
+        }
+        println!(
+            "detlint: {} file(s) scanned, {} finding(s)",
+            report.files.len(),
+            report.findings.len()
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

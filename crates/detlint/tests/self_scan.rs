@@ -1,0 +1,38 @@
+//! The workspace self-scan: the repository must be detlint-clean. This is
+//! the tier-1 incarnation of the CI gate — `cargo test -q` fails the
+//! moment a determinism hazard lands anywhere in the tree.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_detlint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = detlint::scan_workspace(&root).expect("workspace scan");
+    assert!(
+        report.files.len() > 50,
+        "suspiciously small scan ({} files) — walker broke?",
+        report.files.len()
+    );
+    // The engine sources must be in the sweep (the two historical hazards
+    // lived there).
+    assert!(report.files.iter().any(|f| f == "crates/net/src/medium.rs"));
+    assert!(report.files.iter().any(|f| f == "src/lib.rs"));
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.render()).collect();
+    assert!(
+        report.is_clean(),
+        "detlint found {} hazard(s):\n{}",
+        report.findings.len(),
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn json_report_matches_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = detlint::scan_workspace(&root).expect("workspace scan");
+    let json = report.to_json_lines();
+    let last = json.lines().last().expect("summary line");
+    assert!(last.contains("\"summary\":true"));
+    assert!(last.contains(&format!("\"findings\":{}", report.findings.len())));
+    assert_eq!(json.lines().count(), report.findings.len() + 1);
+}

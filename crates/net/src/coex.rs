@@ -31,7 +31,8 @@
 //!    [`crate::metrics::ReStripeEvent`].
 //!
 //! Determinism: every generator draws only from its own
-//! `derive_seed(seed, 4, source_index)` stream, sensing and re-striping
+//! [`crate::entities::streams::coex_rng`] stream (stream 4 of the named
+//! per-entity derivation), sensing and re-striping
 //! draw nothing, and all decision ties break toward the lower index — so
 //! coex scenarios keep the byte-identical-trace contract
 //! (`tests/net_determinism.rs` runs every generator kind, including a
@@ -633,6 +634,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn rng() -> SmallRng {
+        // detlint: allow(stray_rng): test-local stream driving generators directly, not an engine entity
         SmallRng::seed_from_u64(7)
     }
 

@@ -19,7 +19,7 @@
 //! (see [`crate::mac`] for the transaction structure and its physics).
 
 use crate::coex::{CoexConfig, MediumAccess};
-use crate::entities::{NetPhy, Position, SinkKind};
+use crate::entities::{streams, NetPhy, Position, SinkKind};
 use crate::event::{DownlinkKind, EventKind, EventQueue, EventTrace};
 use crate::links::{EntityId, LinkBudget, LinkMatrix, Listener};
 use crate::mac::{self, LoopPhase, MacLoop, MacMode};
@@ -37,7 +37,7 @@ use crate::NetError;
 use interscatter_backscatter::tag::SidebandMode;
 use interscatter_sim::mac::backscatter_delivery_probability;
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use std::collections::VecDeque;
 
 /// How much stronger than the sum of its interferers a packet must be at
@@ -246,7 +246,7 @@ impl<'a> NetworkSim<'a> {
         let mut tags: Vec<TagState> = (0..scenario.tags.len())
             .map(|t| TagState {
                 queue: VecDeque::new(),
-                rng: SmallRng::seed_from_u64(derive_seed(self.seed, 1, t)),
+                rng: streams::tag_rng(self.seed, t),
             })
             .collect();
         let mut carriers: Vec<CarrierState> = (0..scenario.carriers.len())
@@ -261,7 +261,7 @@ impl<'a> NetworkSim<'a> {
                 slot_interval_ns: Time::from_secs(scenario.carriers[c].slot_interval_s)
                     .as_nanos()
                     .max(1),
-                rng: SmallRng::seed_from_u64(derive_seed(self.seed, 2, c)),
+                rng: streams::carrier_rng(self.seed, c),
             })
             .collect();
         let mut mobility: Option<MobilityRuntime> = scenario
@@ -276,7 +276,7 @@ impl<'a> NetworkSim<'a> {
                     .map(|t| MotionState::at(t.position()))
                     .collect(),
                 rngs: (0..scenario.tags.len())
-                    .map(|t| SmallRng::seed_from_u64(derive_seed(self.seed, 3, t)))
+                    .map(|t| streams::mobility_rng(self.seed, t))
                     .collect(),
                 carrier_origin: scenario.carriers.iter().map(|c| c.position()).collect(),
                 carrier_wearer: carriers
@@ -321,7 +321,7 @@ impl<'a> NetworkSim<'a> {
             CoexRuntime {
                 config,
                 rngs: (0..config.sources.len())
-                    .map(|k| SmallRng::seed_from_u64(derive_seed(self.seed, 4, k)))
+                    .map(|k| streams::coex_rng(self.seed, k))
                     .collect(),
                 pending_dur_s: vec![0.0; config.sources.len()],
                 rx_bands: scenario
@@ -1432,17 +1432,6 @@ fn exponential_s<R: Rng>(rng: &mut R, rate_pps: f64) -> f64 {
     -u.ln() / rate_pps
 }
 
-/// Mixes a scenario seed with an entity's kind and index into an
-/// independent stream seed (SplitMix64-style finalizer).
-pub(crate) fn derive_seed(base: u64, stream: u64, index: usize) -> u64 {
-    let mut z = base
-        .wrapping_add(stream.wrapping_mul(0xD6E8_FEB8_6659_FD93))
-        .wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2322,10 +2311,10 @@ mod tests {
 
     #[test]
     fn derive_seed_separates_streams() {
-        let a = derive_seed(1, 1, 0);
-        let b = derive_seed(1, 1, 1);
-        let c = derive_seed(1, 2, 0);
-        let d = derive_seed(2, 1, 0);
+        let a = rand::derive_stream_seed(1, 1, 0);
+        let b = rand::derive_stream_seed(1, 1, 1);
+        let c = rand::derive_stream_seed(1, 2, 0);
+        let d = rand::derive_stream_seed(2, 1, 0);
         assert!(a != b && a != c && a != d && b != c);
     }
 }

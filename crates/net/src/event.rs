@@ -431,6 +431,7 @@ mod tests {
         use rand::rngs::SmallRng;
         use rand::{Rng, SeedableRng};
         for trial in 0..20u64 {
+            // detlint: allow(stray_rng): property-test stream fuzzing the wheel, not an engine entity
             let mut rng = SmallRng::seed_from_u64(0x57EE1 ^ trial);
             let mut wheel = EventQueue::new();
             let mut reference = ReferenceQueue::default();

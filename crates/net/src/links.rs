@@ -1245,6 +1245,7 @@ mod tests {
         };
         assert!(strong.margin_db() > 20.0);
         assert!(strong.median_snr_db() > strong.margin_db());
+        // detlint: allow(stray_rng): test-local stream sampling packet outcomes, not an engine entity
         let mut rng = SmallRng::seed_from_u64(1);
         let strong_ok = (0..200)
             .filter(|_| strong.packet_outcome(&mut rng).0)
@@ -1485,6 +1486,7 @@ mod tests {
         // The decode probability itself moves: the strong bedside link
         // delivers essentially always, the walked-away link does not.
         let decode_rate = |budget: &LinkBudget| {
+            // detlint: allow(stray_rng): test-local stream sampling packet outcomes, not an engine entity
             let mut rng = SmallRng::seed_from_u64(9);
             (0..500)
                 .filter(|_| budget.packet_outcome(&mut rng).0)

@@ -183,8 +183,24 @@ pub struct Medium {
     /// Per distinct band: tx ids of the active emissions occupying it.
     members: Vec<Vec<u64>>,
     /// Active tx id → position in `active` (maintained across the
-    /// swap-removes of [`Medium::finish`]).
-    index: std::collections::HashMap<u64, usize>,
+    /// swap-removes of [`Medium::finish`]). A `Vec` sorted by tx id, not a
+    /// hash table: ids are allocated monotonically so insertion is a push,
+    /// lookups binary-search, and — the reason it matters — there is no
+    /// seeded iteration order anywhere near the hot path (detlint's
+    /// `hash_iter` rule keeps it that way).
+    index: Vec<(u64, usize)>,
+}
+
+impl Medium {
+    /// Position in `active` of the emission with `tx_id`. Panics when the
+    /// id is not on the air (same contract as the indexing it replaced).
+    fn slot(&self, tx_id: u64) -> usize {
+        let i = self
+            .index
+            .binary_search_by_key(&tx_id, |&(tx, _)| tx)
+            .expect("tx id not on the air");
+        self.index[i].1
+    }
 }
 
 impl Medium {
@@ -232,7 +248,7 @@ impl Medium {
                 continue;
             }
             for tx in &self.members[bid] {
-                let e = &self.active[self.index[tx]];
+                let e = &self.active[self.slot(*tx)];
                 if !e.hidden && e.end > now {
                     return true;
                 }
@@ -253,7 +269,7 @@ impl Medium {
                 continue;
             }
             for tx in &self.members[bid] {
-                if self.active[self.index[tx]].end > now {
+                if self.active[self.slot(*tx)].end > now {
                     return true;
                 }
             }
@@ -326,7 +342,7 @@ impl Medium {
         let mut candidates: Vec<usize> = Vec::new();
         for (bid, b) in self.bands.iter().enumerate() {
             if emission.bands().any(|eb| eb.overlaps(b)) {
-                candidates.extend(self.members[bid].iter().map(|tx| self.index[tx]));
+                candidates.extend(self.members[bid].iter().map(|tx| self.slot(*tx)));
             }
         }
         candidates.sort_unstable();
@@ -342,7 +358,9 @@ impl Medium {
                 }
             }
         }
-        self.index.insert(tx_id, self.active.len());
+        // tx ids are monotonic, so appending keeps the index sorted.
+        debug_assert!(self.index.last().is_none_or(|&(tx, _)| tx < tx_id));
+        self.index.push((tx_id, self.active.len()));
         self.members[primary_bid as usize].push(tx_id);
         if let Some(mb) = mirror_bid {
             if mb != primary_bid {
@@ -356,13 +374,18 @@ impl Medium {
     /// Takes a finished transmission off the air, returning what the
     /// medium observed about it.
     pub fn finish(&mut self, tx_id: u64) -> TxReport {
-        let Some(idx) = self.index.remove(&tx_id) else {
+        let Ok(at) = self.index.binary_search_by_key(&tx_id, |&(tx, _)| tx) else {
             return TxReport::default();
         };
+        let (_, idx) = self.index.remove(at);
         let emission = self.active.swap_remove(idx);
         if idx < self.active.len() {
             let moved = self.active[idx].tx_id;
-            self.index.insert(moved, idx);
+            let slot = self
+                .index
+                .binary_search_by_key(&moved, |&(tx, _)| tx)
+                .expect("moved tx id stays indexed");
+            self.index[slot].1 = idx;
         }
         let mut drop_member = |bid: u32| {
             let list = &mut self.members[bid as usize];
@@ -639,6 +662,7 @@ mod tests {
             wifi(2.440e9),
         ];
         for trial in 0..10u64 {
+            // detlint: allow(stray_rng): property-test stream fuzzing the band index, not an engine entity
             let mut rng = SmallRng::seed_from_u64(0xBA2D ^ trial);
             let mut indexed = Medium::new();
             let mut linear = LinearMedium::default();

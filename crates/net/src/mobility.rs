@@ -347,6 +347,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn rng(seed: u64) -> SmallRng {
+        // detlint: allow(stray_rng): test-local stream stepping models directly, not an engine entity
         SmallRng::seed_from_u64(seed)
     }
 

@@ -3,11 +3,11 @@
 //! and aggregated into a fleet-level report.
 
 use crate::engine::NetworkSim;
+use crate::entities::streams;
 use crate::metrics::{NetworkMetrics, StreamingSeries};
 use crate::scenario::Scenario;
 use crate::NetError;
 use interscatter_sim::measurements::{mean, Cdf};
-use rayon::prelude::*;
 
 /// A Monte-Carlo experiment over one scenario.
 #[derive(Debug, Clone)]
@@ -30,25 +30,23 @@ impl MonteCarlo {
         }
     }
 
-    /// The seed trial `i` runs with: the engine's entity-seed derivation
-    /// on a stream reserved for trials, so neighbouring trials get
-    /// decorrelated streams.
+    /// The seed trial `i` runs with: the named trial stream (stream 0) of
+    /// the entity-seed derivation, so neighbouring trials get decorrelated
+    /// streams.
     pub fn trial_seed(&self, trial: usize) -> u64 {
-        crate::engine::derive_seed(self.base_seed, 0, trial)
+        streams::trial_seed(self.base_seed, trial)
     }
 
     /// Runs every trial (in parallel, traces disabled) and aggregates.
     pub fn run(&self) -> Result<MonteCarloReport, NetError> {
         self.scenario.validate()?;
-        let results: Vec<Result<NetworkMetrics, NetError>> = (0..self.trials)
-            .into_par_iter()
-            .map(|trial| {
+        let results: Vec<Result<NetworkMetrics, NetError>> =
+            rayon::det::map_indexed_ordered(self.trials, |trial| {
                 NetworkSim::new(&self.scenario, self.trial_seed(trial))
                     .with_trace(false)
                     .run()
                     .map(|r| r.metrics)
-            })
-            .collect();
+            });
         let mut trials = Vec::with_capacity(results.len());
         for r in results {
             trials.push(r?);
@@ -106,9 +104,9 @@ impl MonteCarloReport {
                 poll_latency.push(sample);
             }
             miss_rate.push(m.deadline_miss_rate());
-            // Trials arrive in index order (the par_iter collects into a
-            // positional Vec), so this merge is deterministic by
-            // construction — and exact, so order would not change the
+            // Trials arrive in index order (`rayon::det::map_indexed_ordered`
+            // is the deterministic merge), so this pooling is deterministic
+            // by construction — and exact, so order would not change the
             // pooled values anyway.
             if let Some(s) = &m.streaming {
                 streaming

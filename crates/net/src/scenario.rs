@@ -1162,10 +1162,12 @@ fn nearest_index(receivers: &[SinkReceiver], position: &Position) -> usize {
         .iter()
         .enumerate()
         .min_by(|(_, a), (_, b)| {
+            // total_cmp, not partial_cmp: distances are finite here, so the
+            // order is identical — but the comparator stays consistent (and
+            // detlint-clean) even if a NaN ever leaks in.
             a.position
                 .distance_m(position)
-                .partial_cmp(&b.position.distance_m(position))
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&b.position.distance_m(position))
         })
         .map(|(i, _)| i)
         .unwrap_or(0)
@@ -1658,8 +1660,11 @@ mod tests {
         assert_eq!(quad.carriers.len(), 100_000usize.div_ceil(256));
         // Striped: the helpers spread across several sub-bands, and each
         // implant is tuned to its helper's stripe.
-        let subbands: std::collections::HashSet<usize> =
-            quad.carriers.iter().map(|c| c.subband).collect();
+        // Sorted + deduped, not a hash set: any future iteration (say an
+        // error message listing stripes) reads in stripe order.
+        let mut subbands: Vec<usize> = quad.carriers.iter().map(|c| c.subband).collect();
+        subbands.sort_unstable();
+        subbands.dedup();
         assert!(subbands.len() > 1, "campus helpers use one sub-band");
         for (t, tag) in quad.tags.iter().enumerate().step_by(9973) {
             assert_eq!(tag.receiver, quad.carriers[tag.carrier].subband);

@@ -655,8 +655,9 @@ impl P2Quantile {
             self.heights[self.seen] = value;
             self.seen += 1;
             if self.seen == 5 {
-                self.heights
-                    .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                // total_cmp: identical order for the finite samples the
+                // sketches feed in, but a consistent comparator under NaN.
+                self.heights.sort_by(f64::total_cmp);
             }
             return;
         }
@@ -719,7 +720,7 @@ impl P2Quantile {
             0 => None,
             n @ 1..=4 => {
                 let mut head: Vec<f64> = self.heights[..n].to_vec();
-                head.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                head.sort_by(f64::total_cmp);
                 let idx = ((n - 1) as f64 * self.q).round() as usize;
                 Some(head[idx])
             }

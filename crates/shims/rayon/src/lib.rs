@@ -171,6 +171,39 @@ pub mod prelude {
     pub use super::{IntoParallelIterator, IntoParallelRefIterator};
 }
 
+/// Deterministic-merge helpers: the sanctioned entry points for parallel
+/// work in the simulation crates.
+///
+/// Raw parallel-iterator chains leave the merge discipline at every call
+/// site; these helpers bake it in — results always come back **in input
+/// order**, regardless of which worker finished first, so a parallel run
+/// is byte-identical to the sequential equivalent. The `detlint` pass's
+/// `ordered_merge` rule steers all simulation-crate callers here, which
+/// also pre-paves the sharded-executor work: a sharded campus run will
+/// merge per-shard results through this same ordered surface.
+pub mod det {
+    /// Maps `f` over `items` across worker threads and returns the
+    /// results in input order (the deterministic merge).
+    pub fn map_ordered<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        super::parallel_map(items, &f)
+    }
+
+    /// [`map_ordered`] over an index range — the common "N independent
+    /// trials" shape without materializing the input vector at call sites.
+    pub fn map_indexed_ordered<U, F>(n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        map_ordered((0..n).collect(), f)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -197,5 +230,16 @@ mod tests {
         assert!(out.is_empty());
         let one: Vec<u32> = (5u32..6).into_par_iter().map(|i| i * i).collect();
         assert_eq!(one, vec![25]);
+    }
+
+    #[test]
+    fn det_merge_preserves_input_order() {
+        let out = super::det::map_ordered((0u64..500).collect(), |i| i * 3);
+        let expected: Vec<u64> = (0u64..500).map(|i| i * 3).collect();
+        assert_eq!(out, expected);
+        let idx = super::det::map_indexed_ordered(100, |i| i + 1);
+        let expected: Vec<usize> = (1..=100).collect();
+        assert_eq!(idx, expected);
+        assert!(super::det::map_ordered(Vec::<u8>::new(), |x| x).is_empty());
     }
 }

@@ -181,7 +181,9 @@ mod tests {
         assert!(seeds.iter().all(|&s| (1..=127).contains(&s)));
         // Not all equal, and not simply incrementing.
         assert!(seeds.windows(2).any(|w| w[1] != w[0].wrapping_add(1)));
-        let distinct: std::collections::HashSet<u8> = seeds.iter().copied().collect();
+        let mut distinct = seeds.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
         assert!(distinct.len() > 10);
     }
 }
