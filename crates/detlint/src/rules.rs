@@ -45,6 +45,12 @@ pub enum RuleId {
     /// A direct parallel-iterator call bypassing the rayon shim's
     /// deterministic-merge helper.
     OrderedMerge,
+    /// A shared-state or message-passing primitive (`Mutex`, `RwLock`,
+    /// `Atomic*`, `mpsc`, raw `thread` spawns …) in the engine crate:
+    /// cross-shard state must flow through the epoch-boundary
+    /// drain → merge → inject surface of the sharded executor, never
+    /// through a side channel whose observation order the scheduler picks.
+    ShardExchange,
     /// A malformed allow-pragma: unknown rule name or missing
     /// justification.
     BadPragma,
@@ -60,6 +66,7 @@ impl RuleId {
             RuleId::ForbidUnsafe => "forbid_unsafe",
             RuleId::FloatKey => "float_key",
             RuleId::OrderedMerge => "ordered_merge",
+            RuleId::ShardExchange => "shard_exchange",
             RuleId::BadPragma => "bad_pragma",
         }
     }
@@ -74,6 +81,7 @@ impl RuleId {
             "forbid_unsafe" => Some(RuleId::ForbidUnsafe),
             "float_key" => Some(RuleId::FloatKey),
             "ordered_merge" => Some(RuleId::OrderedMerge),
+            "shard_exchange" => Some(RuleId::ShardExchange),
             _ => None,
         }
     }
@@ -106,6 +114,11 @@ impl RuleId {
             RuleId::OrderedMerge => {
                 "call rayon::det::map_ordered (the deterministic-merge helper) \
                  instead of raw parallel iterators, so results merge in input order"
+            }
+            RuleId::ShardExchange => {
+                "cross-shard state must cross cell boundaries through the sharded \
+                 executor's epoch exchange (net::shard's drain/merge/inject path over \
+                 rayon::det), not through locks, atomics, channels or raw threads"
             }
             RuleId::BadPragma => {
                 "write // detlint: allow(<rule>): <justification> — the \
@@ -170,6 +183,9 @@ fn in_scope(rule: RuleId, path: &str) -> bool {
         RuleId::FloatKey => path.starts_with("crates/net/src/"),
         // The rayon shim hosts the deterministic-merge helper itself.
         RuleId::OrderedMerge => !path.starts_with("crates/shims/rayon"),
+        // The engine crate carries the sharding contract; the rayon shim
+        // is the one sanctioned holder of scoped threads.
+        RuleId::ShardExchange => path.starts_with("crates/net/src/"),
         RuleId::BadPragma => true,
     }
 }
@@ -357,6 +373,46 @@ fn check_idents(path: &str, code: &[&Token], findings: &mut Vec<Finding>) {
                     t.text
                 ),
             ),
+            "Mutex" | "RwLock" | "Condvar" | "Barrier" | "mpsc" | "sync_channel" => report(
+                RuleId::ShardExchange,
+                t.line,
+                format!(
+                    "`{}` is a cross-shard side channel: shard state may only \
+                     cross cell boundaries through the epoch exchange",
+                    t.text
+                ),
+            ),
+            name if name.starts_with("Atomic") && name.len() > "Atomic".len() => report(
+                RuleId::ShardExchange,
+                t.line,
+                format!(
+                    "`{}` shares mutable state across workers outside the \
+                     epoch exchange; observation order is scheduler-picked",
+                    t.text
+                ),
+            ),
+            "thread" if prev_ident != Some("use") => {
+                // `std::thread::spawn`/`scope` in the engine crate: raw
+                // threads bypass the ordered chunking of `rayon::det`.
+                let colon = |t: Option<&&Token>| {
+                    t.is_some_and(|t| t.kind == TokKind::Punct && t.text == ":")
+                };
+                if colon(code.get(i + 1))
+                    && colon(code.get(i + 2))
+                    && code.get(i + 3).is_some_and(|what| {
+                        what.kind == TokKind::Ident
+                            && matches!(what.text.as_str(), "spawn" | "scope" | "Builder")
+                    })
+                {
+                    report(
+                        RuleId::ShardExchange,
+                        t.line,
+                        "raw thread spawned in the engine crate: parallel work \
+                         must run through rayon::det's ordered chunking"
+                            .to_string(),
+                    );
+                }
+            }
             _ => {}
         }
     }

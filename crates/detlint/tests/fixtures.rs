@@ -190,6 +190,48 @@ fn ordered_merge_silent_on_the_helper_and_inside_the_shim() {
     );
 }
 
+// ------------------------------------------------------------- shard_exchange
+
+#[test]
+fn shard_exchange_fires_on_sync_primitives_in_the_engine_crate() {
+    let lock = "fn f() { let shared = std::sync::Mutex::new(Vec::<u64>::new()); }\n";
+    assert_eq!(fire(NET, lock, RuleId::ShardExchange), 1);
+    let rw = "fn f() { let shared = std::sync::RwLock::new(0u64); }\n";
+    assert_eq!(fire(NET, rw, RuleId::ShardExchange), 1);
+    let atomic = "fn f() { let n = std::sync::atomic::AtomicU64::new(0); }\n";
+    assert_eq!(fire(NET, atomic, RuleId::ShardExchange), 1);
+    let chan = "fn f() { let (tx, rx) = std::sync::mpsc::channel::<u64>(); }\n";
+    assert_eq!(fire(NET, chan, RuleId::ShardExchange), 1);
+    let spawn = "fn f() { std::thread::spawn(|| {}); }\n";
+    assert_eq!(fire(NET, spawn, RuleId::ShardExchange), 1);
+    let scope = "fn f() { std::thread::scope(|s| {}); }\n";
+    assert_eq!(fire(NET, scope, RuleId::ShardExchange), 1);
+}
+
+#[test]
+fn shard_exchange_silent_on_the_epoch_exchange_and_outside_the_engine() {
+    // The sanctioned path: ordered chunking plus the boundary drain/inject.
+    let ok = "fn step(cores: &mut [EngineCore]) {\n  rayon::det::for_each_mut_ordered(4, cores, |_, c| c.run_until(limit));\n  let rows: Vec<_> = cores.iter_mut().map(|c| c.drain_boundary()).collect();\n}\n";
+    assert_eq!(fire(NET, ok, RuleId::ShardExchange), 0);
+    // The rayon shim holds the scoped threads; bench code times freely.
+    let shim = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+    assert_eq!(
+        fire("crates/shims/rayon/src/lib.rs", shim, RuleId::ShardExchange),
+        0
+    );
+    assert_eq!(
+        fire(
+            "crates/bench/benches/net_campus.rs",
+            shim,
+            RuleId::ShardExchange
+        ),
+        0
+    );
+    // Plain identifiers that merely *contain* the words are no hazard.
+    let vocab = "fn f() { let atomic_swap_count = 3; thread_local_name(); }\n";
+    assert_eq!(fire(NET, vocab, RuleId::ShardExchange), 0);
+}
+
 // -------------------------------------------------------------------- pragmas
 
 #[test]

@@ -205,15 +205,113 @@ impl<'a> NetworkSim<'a> {
     }
 
     /// Runs the simulation to its horizon.
+    ///
+    /// This is the legacy single-engine reference path: one event loop over
+    /// the whole scenario, no cell partition, no epoch chunking. The
+    /// sharded executor ([`crate::run`] / [`crate::shard`]) drives the same
+    /// engine core per spatial cell instead.
     pub fn run(self) -> Result<NetRunResult, NetError> {
-        let scenario = self.scenario;
+        let mut core = EngineCore::new(self.scenario, self.seed, self.record_trace)?;
+        core.run_until(Time::from_nanos(u64::MAX));
+        Ok(core.finish())
+    }
+}
+
+/// Per-band in-model emission airtime accumulated since the last epoch
+/// boundary. The sharded executor drains this at every boundary and turns
+/// each cell's foreign share into a hidden ghost window in every *other*
+/// cell ([`crate::shard`]). Rows stay sorted by the canonical band order
+/// (`total_cmp` on center, then bandwidth bits), so the drain order is
+/// deterministic and independent of emission arrival order.
+#[derive(Debug, Default)]
+pub(crate) struct BoundaryAccum {
+    rows: Vec<(Band, f64)>,
+}
+
+/// The canonical cross-cell band order: bit-exact float comparison, the
+/// same identity the medium's band registry uses.
+pub(crate) fn band_order(a: &Band, b: &Band) -> std::cmp::Ordering {
+    a.center_hz
+        .total_cmp(&b.center_hz)
+        .then(a.bandwidth_hz.total_cmp(&b.bandwidth_hz))
+}
+
+impl BoundaryAccum {
+    fn charge(&mut self, band: Band, airtime_s: f64) {
+        match self.rows.binary_search_by(|(b, _)| band_order(b, &band)) {
+            Ok(i) => self.rows[i].1 += airtime_s,
+            Err(i) => self.rows.insert(i, (band, airtime_s)),
+        }
+    }
+}
+
+/// Charges an in-model emission window to the boundary accumulator (no-op
+/// on the legacy unsharded path, where `boundary` is `None`).
+fn charge_boundary(
+    boundary: &mut Option<BoundaryAccum>,
+    primary: Band,
+    mirror: Option<Band>,
+    window_s: f64,
+) {
+    let Some(b) = boundary.as_mut() else { return };
+    b.charge(primary, window_s);
+    if let Some(m) = mirror {
+        b.charge(m, window_s);
+    }
+}
+
+/// The resumable engine: all of a run's state behind a `run_until` cursor.
+///
+/// [`NetworkSim::run`] is `new` + `run_until(u64::MAX)` + `finish` — one
+/// uninterrupted pass, byte-identical to the pre-refactor engine. The
+/// sharded executor instead interleaves `run_until(epoch_k)` calls across
+/// cells with an interference exchange between epochs; the
+/// [`crate::event::EventQueue::pop_before`] gate guarantees the chunked
+/// pop sequence is identical to the uninterrupted one.
+pub(crate) struct EngineCore<'a> {
+    scenario: &'a Scenario,
+    links: LinkMatrix,
+    queue: EventQueue,
+    medium: Medium,
+    trace: EventTrace,
+    metrics: NetworkMetrics,
+    tag_stats: TagTable,
+    tele: TelemetryRuntime,
+    progress: Option<ProgressRuntime>,
+    mac_loop: Option<MacLoop>,
+    tags: Vec<TagState>,
+    carriers: Vec<CarrierState>,
+    mobility: Option<MobilityRuntime>,
+    tuned_phy: Vec<NetPhy>,
+    tuned_rx: Vec<usize>,
+    airborne: Vec<bool>,
+    ext_occ: Vec<f64>,
+    coex: Option<CoexRuntime<'a>>,
+    /// `Some` only in sharded mode: per-band airtime for the exchange.
+    boundary: Option<BoundaryAccum>,
+    /// Pending ghost windows: `(band, end)` per [`EventKind::GhostStart`]
+    /// index. Band/Time live here because [`EventKind`] derives `Eq` and
+    /// [`Band`] holds floats.
+    ghosts: Vec<(Band, Time)>,
+    /// Index of the cell's ghost coex source (sharded mode only).
+    ghost_source: Option<usize>,
+    done: bool,
+}
+
+impl<'a> EngineCore<'a> {
+    /// Validates the scenario, builds the link matrix and primes the queue.
+    pub(crate) fn new(
+        scenario: &'a Scenario,
+        seed: u64,
+        record_trace: bool,
+    ) -> Result<EngineCore<'a>, NetError> {
         scenario.validate()?;
-        let mut links = LinkMatrix::build(scenario)?;
+        let links = LinkMatrix::build(scenario)?;
         let horizon = Time::from_secs(scenario.duration_s);
 
         let mut queue = EventQueue::new();
-        let mut medium = Medium::new();
-        let mut trace = EventTrace::new(self.record_trace);
+        let medium = Medium::new();
+        let trace = EventTrace::new(record_trace);
         let mut metrics = NetworkMetrics::new(
             scenario.tags.len(),
             scenario.receivers.len(),
@@ -222,7 +320,7 @@ impl<'a> NetworkSim<'a> {
         // The hot-path counter table: struct-of-arrays columns the event
         // loop bumps, materialised into `metrics.tags` once at the end of
         // the run.
-        let mut tag_stats = TagTable::new(scenario.tags.len());
+        let tag_stats = TagTable::new(scenario.tags.len());
         if scenario.telemetry.mode == MetricsMode::Streaming {
             metrics.enable_streaming();
         }
@@ -230,23 +328,23 @@ impl<'a> NetworkSim<'a> {
         // mask, so each emit site below pays one dead branch when nothing
         // is subscribed. Telemetry consumes no RNG and never touches the
         // queue or the medium — traces stay byte-identical regardless.
-        let mut tele = TelemetryRuntime::new(
+        let tele = TelemetryRuntime::new(
             &scenario.telemetry,
             scenario.tags.len(),
             scenario.carriers.len(),
         );
-        let mut progress: Option<ProgressRuntime> = scenario
+        let progress: Option<ProgressRuntime> = scenario
             .telemetry
             .progress_every_s
             .map(|every| ProgressRuntime::new(every, scenario.telemetry.live_progress));
-        let mut mac_loop = match scenario.mac {
+        let mac_loop = match scenario.mac {
             MacMode::OpenLoop => None,
             MacMode::ClosedLoop => Some(MacLoop::new(scenario.tags.len())),
         };
         let mut tags: Vec<TagState> = (0..scenario.tags.len())
             .map(|t| TagState {
                 queue: VecDeque::new(),
-                rng: streams::tag_rng(self.seed, t),
+                rng: streams::tag_rng(seed, t),
             })
             .collect();
         let mut carriers: Vec<CarrierState> = (0..scenario.carriers.len())
@@ -261,10 +359,10 @@ impl<'a> NetworkSim<'a> {
                 slot_interval_ns: Time::from_secs(scenario.carriers[c].slot_interval_s)
                     .as_nanos()
                     .max(1),
-                rng: streams::carrier_rng(self.seed, c),
+                rng: streams::carrier_rng(seed, c),
             })
             .collect();
-        let mut mobility: Option<MobilityRuntime> = scenario
+        let mobility: Option<MobilityRuntime> = scenario
             .mobility
             .filter(|config| !config.model.is_static())
             .map(|config| MobilityRuntime {
@@ -276,7 +374,7 @@ impl<'a> NetworkSim<'a> {
                     .map(|t| MotionState::at(t.position()))
                     .collect(),
                 rngs: (0..scenario.tags.len())
-                    .map(|t| streams::mobility_rng(self.seed, t))
+                    .map(|t| streams::mobility_rng(seed, t))
                     .collect(),
                 carrier_origin: scenario.carriers.iter().map(|c| c.position()).collect(),
                 carrier_wearer: carriers
@@ -294,11 +392,11 @@ impl<'a> NetworkSim<'a> {
         // until an adaptive re-stripe re-tunes a carrier's members. When
         // nothing re-stripes these mirror the scenario exactly, so legacy
         // runs reproduce byte for byte.
-        let mut tuned_phy: Vec<NetPhy> = scenario.tags.iter().map(|t| t.phy).collect();
-        let mut tuned_rx: Vec<usize> = scenario.tags.iter().map(|t| t.receiver).collect();
+        let tuned_phy: Vec<NetPhy> = scenario.tags.iter().map(|t| t.phy).collect();
+        let tuned_rx: Vec<usize> = scenario.tags.iter().map(|t| t.receiver).collect();
         // Per tag: an uplink emission is on the air (re-striping waits for
         // quiescence so a tag is never re-tuned mid-flight).
-        let mut airborne = vec![false; scenario.tags.len()];
+        let airborne = vec![false; scenario.tags.len()];
 
         // The per-sink *scalar* external occupancy folded into delivery
         // probabilities: the legacy `external_occupancy` field without a
@@ -321,7 +419,7 @@ impl<'a> NetworkSim<'a> {
             CoexRuntime {
                 config,
                 rngs: (0..config.sources.len())
-                    .map(|k| streams::coex_rng(self.seed, k))
+                    .map(|k| streams::coex_rng(seed, k))
                     .collect(),
                 pending_dur_s: vec![0.0; config.sources.len()],
                 rx_bands: scenario
@@ -390,7 +488,110 @@ impl<'a> NetworkSim<'a> {
         }
         queue.schedule(horizon, EventKind::Horizon);
 
-        while let Some(event) = queue.pop() {
+        Ok(EngineCore {
+            scenario,
+            links,
+            queue,
+            medium,
+            trace,
+            metrics,
+            tag_stats,
+            tele,
+            progress,
+            mac_loop,
+            tags,
+            carriers,
+            mobility,
+            tuned_phy,
+            tuned_rx,
+            airborne,
+            ext_occ,
+            coex,
+            boundary: None,
+            ghosts: Vec::new(),
+            ghost_source: None,
+            done: false,
+        })
+    }
+
+    /// Switches the core into sharded mode: accumulate per-band in-model
+    /// airtime for the epoch-boundary exchange, and resolve the cell's
+    /// ghost coex source (the emitter foreign interference is charged to).
+    pub(crate) fn enable_boundary_exchange(&mut self) {
+        self.boundary = Some(BoundaryAccum::default());
+        self.ghost_source = self.scenario.coex.as_ref().and_then(|cfg| {
+            cfg.sources
+                .iter()
+                .position(|s| matches!(s.model, crate::coex::CoexModel::Ghost(_)))
+        });
+    }
+
+    /// Drains the per-band airtime charged since the previous drain, in
+    /// the canonical band order. Empty on the legacy unsharded path.
+    pub(crate) fn drain_boundary(&mut self) -> Vec<(Band, f64)> {
+        match self.boundary.as_mut() {
+            Some(b) => std::mem::take(&mut b.rows),
+            None => Vec::new(),
+        }
+    }
+
+    /// Schedules a hidden cross-cell interference window `[at, end)` on
+    /// `band`, emitted by the cell's ghost coex source. Only the sharded
+    /// executor calls this, between epochs.
+    pub(crate) fn inject_ghost(&mut self, at: Time, band: Band, end: Time) {
+        debug_assert!(
+            self.ghost_source.is_some(),
+            "inject_ghost without enable_boundary_exchange"
+        );
+        let ghost = self.ghosts.len();
+        self.ghosts.push((band, end));
+        self.queue.schedule(at, EventKind::GhostStart { ghost });
+    }
+
+    /// True once the horizon event has been consumed.
+    pub(crate) fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Engine events processed so far (the sharded executor's progress
+    /// lines sum this across cells mid-run).
+    pub(crate) fn events_so_far(&self) -> u64 {
+        self.tele.events()
+    }
+
+    /// Pops and handles every event strictly before `limit` (and nothing
+    /// at or after it), stopping early at the horizon. Calling this with
+    /// an ascending sequence of limits handles exactly the events — in
+    /// exactly the order — one `run_until(MAX)` would.
+    pub(crate) fn run_until(&mut self, limit: Time) {
+        if self.done {
+            return;
+        }
+        let EngineCore {
+            scenario,
+            ref mut links,
+            ref mut queue,
+            ref mut medium,
+            ref mut trace,
+            ref mut metrics,
+            ref mut tag_stats,
+            ref mut tele,
+            ref mut progress,
+            ref mut mac_loop,
+            ref mut tags,
+            ref mut carriers,
+            ref mut mobility,
+            ref mut tuned_phy,
+            ref mut tuned_rx,
+            ref mut airborne,
+            ref ext_occ,
+            ref mut coex,
+            ref mut boundary,
+            ref ghosts,
+            ghost_source,
+            ref mut done,
+        } = *self;
+        while let Some(event) = queue.pop_before(limit) {
             tele.tick_event();
             if let Some(p) = progress.as_mut() {
                 // One status line per elapsed cadence period, driven by
@@ -409,7 +610,10 @@ impl<'a> NetworkSim<'a> {
                 }
             }
             match event.kind {
-                EventKind::Horizon => break,
+                EventKind::Horizon => {
+                    *done = true;
+                    break;
+                }
                 EventKind::MobilityTick => {
                     let now = event.at;
                     let mob = mobility.as_mut().expect("tick without mobility");
@@ -576,17 +780,17 @@ impl<'a> NetworkSim<'a> {
                             scenario,
                             carrier,
                             now,
-                            &mut carriers,
-                            &mut links,
-                            &medium,
-                            &mut tuned_phy,
-                            &mut tuned_rx,
-                            &airborne,
+                            carriers,
+                            links,
+                            medium,
+                            tuned_phy,
+                            tuned_rx,
+                            airborne,
                             mac_loop.as_ref(),
-                            &mut metrics,
-                            &tag_stats,
-                            &mut tele,
-                            &mut trace,
+                            metrics,
+                            tag_stats,
+                            tele,
+                            trace,
                         ),
                     };
                     // Consult the scenario's scheduler: the backlog oracle
@@ -605,7 +809,7 @@ impl<'a> NetworkSim<'a> {
                             &backlog,
                             &SlotView {
                                 now,
-                                links: &links,
+                                links,
                                 occupancy,
                             },
                         )
@@ -635,11 +839,11 @@ impl<'a> NetworkSim<'a> {
                             grant_slot(
                                 &mut carriers[carrier],
                                 carrier,
-                                &tags,
-                                &mut metrics,
-                                &mut tag_stats,
-                                &links,
-                                &mut tele,
+                                tags,
+                                metrics,
+                                tag_stats,
+                                links,
+                                tele,
                                 progress.as_mut(),
                                 tag,
                                 now,
@@ -658,13 +862,14 @@ impl<'a> NetworkSim<'a> {
                             let mirror = mirror_band(tag_spec.sideband, phy, carrier_freq, primary);
                             charge_mirror_airtime(
                                 scenario,
-                                &mut metrics,
+                                metrics,
                                 tuned_rx[tag],
                                 tag_spec.carrier,
                                 mirror,
                                 airtime,
                             );
                             let tx_id = medium.start(Emitter::Tag(tag), primary, mirror, now, end);
+                            charge_boundary(boundary, primary, mirror, airtime);
                             airborne[tag] = true;
                             queue.schedule(
                                 end,
@@ -696,11 +901,11 @@ impl<'a> NetworkSim<'a> {
                             grant_slot(
                                 &mut carriers[carrier],
                                 carrier,
-                                &tags,
-                                &mut metrics,
-                                &mut tag_stats,
-                                &links,
-                                &mut tele,
+                                tags,
+                                metrics,
+                                tag_stats,
+                                links,
+                                tele,
                                 progress.as_mut(),
                                 tag,
                                 now,
@@ -719,6 +924,7 @@ impl<'a> NetworkSim<'a> {
                             }
                             let tx_id =
                                 medium.start(Emitter::Carrier(carrier), band, None, now, end);
+                            charge_boundary(boundary, band, None, poll_air);
                             mac_state.poll_started(tag, now);
                             tag_stats.polls[tag] += 1;
                             queue.schedule(
@@ -751,7 +957,7 @@ impl<'a> NetworkSim<'a> {
                     let carrier_freq = scenario.carriers[tag_spec.carrier].carrier_freq_hz();
                     let band = downlink_band(scenario, tuned_rx[tag], carrier_freq);
                     let outcome = receive_outcome(
-                        &links,
+                        links,
                         links.poll_budget(tag),
                         &report,
                         band,
@@ -772,7 +978,7 @@ impl<'a> NetworkSim<'a> {
                         let mirror = mirror_band(tag_spec.sideband, phy, carrier_freq, primary);
                         charge_mirror_airtime(
                             scenario,
-                            &mut metrics,
+                            metrics,
                             tuned_rx[tag],
                             tag_spec.carrier,
                             mirror,
@@ -784,6 +990,12 @@ impl<'a> NetworkSim<'a> {
                         // emission window: the band is held anyway.
                         let tx_id =
                             medium.start(Emitter::Tag(tag), primary, mirror, now, response_end);
+                        charge_boundary(
+                            boundary,
+                            primary,
+                            mirror,
+                            response_end.since(now).as_secs(),
+                        );
                         airborne[tag] = true;
                         mac_loop
                             .as_mut()
@@ -810,8 +1022,8 @@ impl<'a> NetworkSim<'a> {
                         retry_packet(
                             &mut tags[tag],
                             tag_spec.max_retries,
-                            &mut tag_stats,
-                            &mut tele,
+                            tag_stats,
+                            tele,
                             tag,
                             now,
                         );
@@ -838,7 +1050,7 @@ impl<'a> NetworkSim<'a> {
                     let carrier_freq = scenario.carriers[carrier_idx].carrier_freq_hz();
                     let band = downlink_band(scenario, tuned_rx[tag], carrier_freq);
                     let outcome = receive_outcome(
-                        &links,
+                        links,
                         links.ack_budget(tag),
                         &report,
                         band,
@@ -891,8 +1103,8 @@ impl<'a> NetworkSim<'a> {
                         retry_packet(
                             &mut tags[tag],
                             tag_spec.max_retries,
-                            &mut tag_stats,
-                            &mut tele,
+                            tag_stats,
+                            tele,
                             tag,
                             now,
                         );
@@ -924,7 +1136,7 @@ impl<'a> NetworkSim<'a> {
                     let own_carrier_freq = scenario.carriers[tag_spec.carrier].carrier_freq_hz();
                     let rx_band = Band::new(rx.center_freq_hz(own_carrier_freq), rx.bandwidth_hz());
                     let outcome = receive_outcome(
-                        &links,
+                        links,
                         links.budget(tag),
                         &report,
                         rx_band,
@@ -961,6 +1173,7 @@ impl<'a> NetworkSim<'a> {
                             let ack_end = ack_start.after_secs(mac::ack_airtime_s());
                             let ack_tx =
                                 medium.start(Emitter::Sink(rx_idx), band, None, now, ack_end);
+                            charge_boundary(boundary, band, None, ack_end.since(now).as_secs());
                             mac_loop.as_mut().expect("closed loop").ack_started(tag);
                             queue.schedule(
                                 ack_end,
@@ -981,8 +1194,8 @@ impl<'a> NetworkSim<'a> {
                             retry_packet(
                                 &mut tags[tag],
                                 tag_spec.max_retries,
-                                &mut tag_stats,
-                                &mut tele,
+                                tag_stats,
+                                tele,
                                 tag,
                                 now,
                             );
@@ -1022,8 +1235,8 @@ impl<'a> NetworkSim<'a> {
                             retry_packet(
                                 &mut tags[tag],
                                 tag_spec.max_retries,
-                                &mut tag_stats,
-                                &mut tele,
+                                tag_stats,
+                                tele,
                                 tag,
                                 now,
                             );
@@ -1038,9 +1251,46 @@ impl<'a> NetworkSim<'a> {
                         });
                     }
                 }
+                EventKind::GhostStart { ghost } => {
+                    let now = event.at;
+                    let (band, end) = ghosts[ghost];
+                    let source = ghost_source.expect("ghost window without a ghost source");
+                    // Hidden, like a distant transmitter: invisible to the
+                    // fleet's carrier-sense, but its power lands in the
+                    // capture arbitration and the AP-side occupancy that
+                    // sensing reads.
+                    let tx_id =
+                        medium.start_hidden(Emitter::External(source), band, None, now, end);
+                    queue.schedule(end, EventKind::GhostEnd { ghost, tx_id });
+                    trace.record(now, || {
+                        format!(
+                            "ghost window: {} ns foreign airtime on {} Hz",
+                            end.since(now).as_nanos(),
+                            band.center_hz as u64
+                        )
+                    });
+                }
+                EventKind::GhostEnd { ghost: _, tx_id } => {
+                    // Like an external burst's end, the report is nobody's
+                    // business: in-model victims collect it at their own
+                    // finishes.
+                    let _ = medium.finish(tx_id);
+                }
             }
         }
+    }
 
+    /// Materialises the hot-path columns and the telemetry report into the
+    /// public run result.
+    pub(crate) fn finish(self) -> NetRunResult {
+        let EngineCore {
+            tag_stats,
+            mut metrics,
+            tele,
+            progress,
+            trace,
+            ..
+        } = self;
         // Materialise the hot-path columns into the public row-per-tag
         // view before handing the metrics out.
         tag_stats.materialize_into(&mut metrics.tags);
@@ -1049,11 +1299,11 @@ impl<'a> NetworkSim<'a> {
                 .map(ProgressRuntime::into_lines)
                 .unwrap_or_default(),
         );
-        Ok(NetRunResult {
+        NetRunResult {
             metrics,
             trace,
             telemetry,
-        })
+        }
     }
 }
 

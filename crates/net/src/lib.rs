@@ -130,6 +130,7 @@ pub mod mobility;
 pub mod runner;
 pub mod scenario;
 pub mod sched;
+pub mod shard;
 pub mod telemetry;
 pub mod time;
 pub mod trace_digest;
@@ -204,6 +205,70 @@ mod tests {
     }
 }
 
+/// Runs `scenario` once with `seed` through the sharded executor and
+/// returns its metrics, event trace and telemetry report.
+///
+/// This is the unified entrypoint behind every run shape: the execution
+/// knobs — shard count, epoch length, trace recording — come from the
+/// scenario's [`scenario::ExecutionConfig`], set through
+/// [`scenario::ExecutionSection`] on the builder. The result is
+/// byte-identical at any shard count (see [`shard`]), and on single-cell
+/// scenarios byte-identical to the legacy
+/// [`engine::NetworkSim::run`].
+///
+/// ```
+/// use interscatter_net::prelude::*;
+///
+/// let scenario = Scenario::hospital_ward(8)
+///     .builder()
+///     .execution(ExecutionSection::new().shards(4))
+///     .build()
+///     .unwrap();
+/// let result = interscatter_net::run(&scenario, 42).unwrap();
+/// let legacy = NetworkSim::new(&Scenario::hospital_ward(8), 42).run().unwrap();
+/// assert_eq!(result.trace.digest(), legacy.trace.digest());
+/// ```
+pub fn run(scenario: &scenario::Scenario, seed: u64) -> Result<engine::NetRunResult, NetError> {
+    shard::execute(scenario, seed, scenario.execution.trace)
+}
+
+/// Runs the scenario's Monte-Carlo trials
+/// ([`scenario::ExecutionConfig::trials`], one derived seed per trial,
+/// traces disabled) through the sharded executor and aggregates them into
+/// a [`runner::MonteCarloReport`].
+///
+/// ```
+/// use interscatter_net::prelude::*;
+///
+/// let scenario = Scenario::hospital_ward(6)
+///     .builder()
+///     .execution(ExecutionSection::new().trials(4))
+///     .build()
+///     .unwrap();
+/// let report = interscatter_net::run_trials(&scenario, 7).unwrap();
+/// assert_eq!(report.trials.len(), 4);
+/// ```
+pub fn run_trials(
+    scenario: &scenario::Scenario,
+    base_seed: u64,
+) -> Result<runner::MonteCarloReport, NetError> {
+    scenario.validate()?;
+    let results: Vec<Result<metrics::NetworkMetrics, NetError>> =
+        rayon::det::map_indexed_ordered(scenario.execution.trials, |trial| {
+            shard::execute(
+                scenario,
+                entities::streams::trial_seed(base_seed, trial),
+                false,
+            )
+            .map(|r| r.metrics)
+        });
+    let mut trials = Vec::with_capacity(results.len());
+    for r in results {
+        trials.push(r?);
+    }
+    Ok(runner::MonteCarloReport::aggregate(scenario, trials))
+}
+
 /// The commonly used types in one import.
 pub mod prelude {
     pub use crate::coex::{CoexConfig, CoexModel, CoexSource, CoexTraffic, ReStripe, SenseConfig};
@@ -214,12 +279,16 @@ pub mod prelude {
     pub use crate::metrics::NetworkMetrics;
     pub use crate::mobility::{Bounds, Mobility, MobilityConfig, MobilityModel};
     pub use crate::runner::{MonteCarlo, MonteCarloReport};
-    pub use crate::scenario::{RadioSection, Scenario, ScenarioBuilder};
+    pub use crate::scenario::{
+        ExecutionConfig, ExecutionSection, RadioSection, Scenario, ScenarioBuilder,
+    };
     pub use crate::sched::{CarrierSched, SchedPolicy, Scheduler};
+    pub use crate::shard::Cell;
     pub use crate::telemetry::{
         Dataset, Filter, LatencySketch, MetricsMode, P2Quantile, SinkReport, SinkSpec,
         Subscription, TelemetryConfig, TelemetryEvent, TelemetryKind, TelemetryReport,
     };
     pub use crate::time::Time;
     pub use crate::NetError;
+    pub use crate::{run, run_trials};
 }

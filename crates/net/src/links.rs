@@ -415,6 +415,45 @@ fn tag_rx_pkg_db(scenario: &Scenario, t: usize, freq_hz: f64) -> f64 {
     rx_pkg_db(scenario.tags[t].profile, freq_hz)
 }
 
+/// Tag `t`'s position-independent uplink terms, one row of the parallel
+/// fill in [`LinkMatrix::build`]: the budget skeleton, the fixed dB term
+/// and the two cached path-loss models.
+struct UplinkRowTerms {
+    budget: LinkBudget,
+    fixed_db: f64,
+    pl_src: FastPathLoss,
+    pl_emit: FastPathLoss,
+    emit_freq_hz: f64,
+}
+
+fn uplink_row_terms(scenario: &Scenario, t: usize) -> Result<UplinkRowTerms, NetError> {
+    let tag = &scenario.tags[t];
+    let link = uplink_model(scenario, t, &tag.phy);
+    link.validate()?;
+    let (fixed, sigma) = uplink_fixed_terms(&link);
+    let noise = tag.phy.noise_model();
+    Ok(UplinkRowTerms {
+        budget: LinkBudget {
+            median_rssi_dbm: 0.0, // filled by refresh_tag during the build
+            shadow_sigma_db: sigma,
+            sensitivity_dbm: scenario.receivers[tag.receiver].sensitivity_dbm,
+            noise_floor_dbm: noise.noise_floor_dbm(),
+        },
+        fixed_db: fixed,
+        pl_src: FastPathLoss::new(&link.source_to_tag),
+        pl_emit: FastPathLoss::new(&link.tag_to_rx),
+        emit_freq_hz: link.tag_to_rx.freq_hz,
+    })
+}
+
+/// Every tag's receive package at one emitter's frequency — one row of
+/// the dense `pkg_at_tag_freq` table, filled in parallel by the build.
+fn pkg_row(scenario: &Scenario, freq_hz: f64) -> Vec<f64> {
+    (0..scenario.tags.len())
+        .map(|t| tag_rx_pkg_db(scenario, t, freq_hz))
+        .collect()
+}
+
 impl LinkMatrix {
     /// Builds the matrix for a validated scenario, caching the
     /// position-independent terms and filling every table through the same
@@ -435,26 +474,22 @@ impl LinkMatrix {
         let carrier_pos: Vec<Position> = scenario.carriers.iter().map(|c| c.position()).collect();
         let sink_pos: Vec<Position> = scenario.receivers.iter().map(|r| r.position()).collect();
 
+        // The per-tag rows are independent of each other, so they fill
+        // across worker threads through the ordered merge — results come
+        // back in tag order, bit-for-bit what the serial loop produced
+        // (pinned by `parallel_build_matches_serial_bit_for_bit`).
         let mut budgets = Vec::with_capacity(n_tags);
         let mut up_fixed_db = Vec::with_capacity(n_tags);
         let mut up_pl_src = Vec::with_capacity(n_tags);
         let mut up_pl_emit = Vec::with_capacity(n_tags);
         let mut emit_freqs = Vec::with_capacity(n_tags);
-        for (t, tag) in scenario.tags.iter().enumerate() {
-            let link = uplink_model(scenario, t, &tag.phy);
-            link.validate()?;
-            let (fixed, sigma) = uplink_fixed_terms(&link);
-            let noise = tag.phy.noise_model();
-            budgets.push(LinkBudget {
-                median_rssi_dbm: 0.0, // filled by refresh_uplink_row below
-                shadow_sigma_db: sigma,
-                sensitivity_dbm: scenario.receivers[tag.receiver].sensitivity_dbm,
-                noise_floor_dbm: noise.noise_floor_dbm(),
-            });
-            up_fixed_db.push(fixed);
-            up_pl_src.push(FastPathLoss::new(&link.source_to_tag));
-            up_pl_emit.push(FastPathLoss::new(&link.tag_to_rx));
-            emit_freqs.push(link.tag_to_rx.freq_hz);
+        for row in rayon::det::map_indexed_ordered(n_tags, |t| uplink_row_terms(scenario, t)) {
+            let row = row?;
+            budgets.push(row.budget);
+            up_fixed_db.push(row.fixed_db);
+            up_pl_src.push(row.pl_src);
+            up_pl_emit.push(row.pl_emit);
+            emit_freqs.push(row.emit_freq_hz);
         }
 
         let closed_loop = match scenario.mac {
@@ -472,10 +507,17 @@ impl LinkMatrix {
                     .map(|s| LogDistanceModel::indoor_los(sink_freq_hz(scenario, s)))
                     .collect();
                 let pairs = if dense_pairs {
+                    // The n² package-gain table is the expensive part of a
+                    // dense build; each row depends only on its emitter's
+                    // frequency, so rows fill in parallel and land in
+                    // emitter order.
                     let mut pkg_at_tag_freq = Table2d::new(n_tags, n_tags, 0.0);
-                    for (u, &freq) in emit_freqs.iter().enumerate() {
-                        for t in 0..n_tags {
-                            pkg_at_tag_freq.set(u, t, tag_rx_pkg_db(scenario, t, freq));
+                    let rows = rayon::det::map_indexed_ordered(n_tags, |u| {
+                        pkg_row(scenario, emit_freqs[u])
+                    });
+                    for (u, row) in rows.into_iter().enumerate() {
+                        for (t, v) in row.into_iter().enumerate() {
+                            pkg_at_tag_freq.set(u, t, v);
                         }
                     }
                     let mut pkg_at_carrier_freq = Table2d::new(n_tags, n_carriers, 0.0);
@@ -1207,6 +1249,56 @@ mod tests {
     use crate::scenario::Scenario;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn parallel_build_matches_serial_bit_for_bit() {
+        // The build's parallel row fills (per-tag uplink terms, dense
+        // pkg table) must land exactly what the serial loops produced —
+        // equal to the last mantissa bit, both layouts.
+        for (scenario, dense) in [
+            (Scenario::hospital_ward(24).closed_loop(), true),
+            (Scenario::hospital_ward(24).closed_loop(), false),
+            (Scenario::congested_ward(16), true),
+        ] {
+            let matrix = LinkMatrix::build_with_layout(&scenario, dense).unwrap();
+            for t in 0..scenario.tags.len() {
+                let row = uplink_row_terms(&scenario, t).unwrap();
+                let b = (&matrix.budgets[t], &row.budget);
+                assert_eq!(b.0.shadow_sigma_db.to_bits(), b.1.shadow_sigma_db.to_bits());
+                assert_eq!(b.0.sensitivity_dbm.to_bits(), b.1.sensitivity_dbm.to_bits());
+                assert_eq!(b.0.noise_floor_dbm.to_bits(), b.1.noise_floor_dbm.to_bits());
+                assert_eq!(matrix.up_fixed_db[t].to_bits(), row.fixed_db.to_bits());
+                assert_eq!(
+                    matrix.up_pl_src[t].ref_loss_db.to_bits(),
+                    row.pl_src.ref_loss_db.to_bits()
+                );
+                assert_eq!(
+                    matrix.up_pl_src[t].half_decade_db.to_bits(),
+                    row.pl_src.half_decade_db.to_bits()
+                );
+                assert_eq!(
+                    matrix.up_pl_emit[t].ref_loss_db.to_bits(),
+                    row.pl_emit.ref_loss_db.to_bits()
+                );
+                assert_eq!(
+                    matrix.up_pl_emit[t].half_decade_db.to_bits(),
+                    row.pl_emit.half_decade_db.to_bits()
+                );
+            }
+            if let Some(PairTables::Dense {
+                pkg_at_tag_freq, ..
+            }) = matrix.closed_loop.as_ref().map(|cl| &cl.pairs)
+            {
+                assert!(dense);
+                for u in 0..scenario.tags.len() {
+                    let freq = uplink_row_terms(&scenario, u).unwrap().emit_freq_hz;
+                    for (t, &v) in pkg_row(&scenario, freq).iter().enumerate() {
+                        assert_eq!(pkg_at_tag_freq.at(u, t).to_bits(), v.to_bits());
+                    }
+                }
+            }
+        }
+    }
 
     #[test]
     fn nearer_tags_have_stronger_links() {

@@ -2,7 +2,6 @@
 //! scenario, one derived seed per trial, fanned out across worker threads
 //! and aggregated into a fleet-level report.
 
-use crate::engine::NetworkSim;
 use crate::entities::streams;
 use crate::metrics::{NetworkMetrics, StreamingSeries};
 use crate::scenario::Scenario;
@@ -38,13 +37,18 @@ impl MonteCarlo {
     }
 
     /// Runs every trial (in parallel, traces disabled) and aggregates.
+    ///
+    /// Legacy shim over the sharded executor: each trial now runs through
+    /// [`crate::run`]'s engine, honouring
+    /// [`crate::scenario::ExecutionConfig::shards`]. Prefer
+    /// [`crate::run_trials`] with the trial count set through
+    /// [`crate::scenario::ExecutionSection::trials`]; this entrypoint
+    /// stays for source compatibility and produces identical reports.
     pub fn run(&self) -> Result<MonteCarloReport, NetError> {
         self.scenario.validate()?;
         let results: Vec<Result<NetworkMetrics, NetError>> =
             rayon::det::map_indexed_ordered(self.trials, |trial| {
-                NetworkSim::new(&self.scenario, self.trial_seed(trial))
-                    .with_trace(false)
-                    .run()
+                crate::shard::execute(&self.scenario, self.trial_seed(trial), false)
                     .map(|r| r.metrics)
             });
         let mut trials = Vec::with_capacity(results.len());
@@ -85,7 +89,7 @@ pub struct MonteCarloReport {
 }
 
 impl MonteCarloReport {
-    fn aggregate(scenario: &Scenario, trials: Vec<NetworkMetrics>) -> Self {
+    pub(crate) fn aggregate(scenario: &Scenario, trials: Vec<NetworkMetrics>) -> Self {
         let mut throughput = Cdf::new();
         let mut per = Cdf::new();
         let mut fairness = Cdf::new();

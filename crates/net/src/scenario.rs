@@ -15,7 +15,7 @@ use crate::entities::{
 use crate::mac::MacMode;
 use crate::mobility::{Bounds, MobilityConfig, MobilityModel, RandomWaypoint};
 use crate::sched::SchedPolicy;
-use crate::telemetry::{Subscription, TelemetryConfig};
+use crate::telemetry::{MetricsMode, Subscription, TelemetryConfig};
 use crate::NetError;
 use interscatter_backscatter::tag::SidebandMode;
 use interscatter_wifi::dot11b::DsssRate;
@@ -64,6 +64,71 @@ pub struct Scenario {
     /// does **not** rename the scenario: observing a run must not change
     /// what the run reports itself as.
     pub telemetry: TelemetryConfig,
+    /// Run-shape knobs ([`ExecutionConfig`]): shard count, epoch length,
+    /// Monte-Carlo trial count and trace recording. The default (one
+    /// shard, tracing on) reproduces the unsharded engine byte for byte;
+    /// the sharded executor ([`crate::shard`]) guarantees byte-identical
+    /// trace digests at *any* shard count, so this section never changes
+    /// what a run computes — only how it is scheduled onto cores.
+    pub execution: ExecutionConfig,
+}
+
+/// How a scenario is executed ([`Scenario::execution`]): the run-shape
+/// knobs that do not change *what* is simulated, only how the work is
+/// scheduled and what is recorded.
+///
+/// The sharded executor partitions the scenario into interference cells
+/// and chunks the fixed cell list into `shards` worker groups, exchanging
+/// cross-cell interference at `epoch_s` boundaries — the cell structure
+/// (and therefore every digest and metric) depends only on the scenario,
+/// never on `shards`. See [`crate::shard`] for the determinism contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionConfig {
+    /// Worker groups the partitioned cells are chunked into (≥ 1). One
+    /// shard runs every cell on the calling thread; the digest is
+    /// byte-identical at any value.
+    pub shards: usize,
+    /// Epoch length of the cross-shard interference exchange, simulated
+    /// seconds (> 0). Only multi-cell runs consult it: cells run
+    /// independently inside an epoch and exchange foreign-airtime
+    /// summaries at each boundary.
+    pub epoch_s: f64,
+    /// Monte-Carlo trial count used by [`crate::run_trials`] (≥ 1).
+    pub trials: usize,
+    /// Whether the run records its event trace ([`crate::event::EventTrace`]).
+    /// [`crate::run_trials`] always disables tracing per trial, matching
+    /// the legacy [`crate::runner::MonteCarlo`] behaviour.
+    pub trace: bool,
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        ExecutionConfig {
+            shards: 1,
+            epoch_s: 0.01,
+            trials: 1,
+            trace: true,
+        }
+    }
+}
+
+impl ExecutionConfig {
+    /// Checks the run-shape knobs are usable.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards == 0 {
+            return Err("shards must be at least 1".into());
+        }
+        if !(self.epoch_s > 0.0 && self.epoch_s.is_finite()) {
+            return Err(format!(
+                "epoch {} s must be positive and finite",
+                self.epoch_s
+            ));
+        }
+        if self.trials == 0 {
+            return Err("trials must be at least 1".into());
+        }
+        Ok(())
+    }
 }
 
 impl Scenario {
@@ -142,6 +207,9 @@ impl Scenario {
         self.telemetry
             .validate(self.tags.len(), self.carriers.len())
             .map_err(|e| NetError::InvalidScenario(format!("telemetry: {e}")))?;
+        self.execution
+            .validate()
+            .map_err(|e| NetError::InvalidScenario(format!("execution: {e}")))?;
         Ok(())
     }
 
@@ -238,6 +306,7 @@ impl Scenario {
             scheduler: SchedPolicy::RoundRobin,
             coex: None,
             telemetry: TelemetryConfig::default(),
+            execution: ExecutionConfig::default(),
         }
     }
 
@@ -288,6 +357,7 @@ impl Scenario {
             scheduler: SchedPolicy::RoundRobin,
             coex: None,
             telemetry: TelemetryConfig::default(),
+            execution: ExecutionConfig::default(),
         }
     }
 
@@ -349,6 +419,7 @@ impl Scenario {
             scheduler: SchedPolicy::RoundRobin,
             coex: None,
             telemetry: TelemetryConfig::default(),
+            execution: ExecutionConfig::default(),
         }
     }
 
@@ -402,6 +473,7 @@ impl Scenario {
             scheduler: SchedPolicy::RoundRobin,
             coex: None,
             telemetry: TelemetryConfig::default(),
+            execution: ExecutionConfig::default(),
         }
     }
 
@@ -622,6 +694,12 @@ impl Scenario {
     /// ([`crate::telemetry::MetricsMode::Streaming`]): sample `Vec`s stay
     /// empty, quantiles come from mergeable sketches, memory stays
     /// O(entities + subscriptions) however long the run.
+    ///
+    /// *Legacy shim* over the execution section; prefer
+    /// `.builder().execution(ExecutionSection::new().metrics(MetricsMode::Streaming)).build()`
+    /// ([`ExecutionSection::metrics`]) for eager validation. This
+    /// combinator keeps validation deferred, so existing call sites
+    /// behave unchanged.
     pub fn with_streaming_metrics(mut self) -> Scenario {
         let telemetry = std::mem::take(&mut self.telemetry).streaming();
         self.builder().telemetry(telemetry).finish_deferred()
@@ -630,6 +708,12 @@ impl Scenario {
     /// Emits a one-line run status every `every_s` simulated seconds
     /// (collected into [`crate::engine::NetRunResult::telemetry`]; pass
     /// `live` to also mirror each line to stderr as the run executes).
+    ///
+    /// *Legacy shim* over the execution section; prefer
+    /// `.builder().execution(ExecutionSection::new().progress(every_s, live)).build()`
+    /// ([`ExecutionSection::progress`]) for eager validation. This
+    /// combinator keeps validation deferred, so existing call sites
+    /// behave unchanged.
     pub fn with_progress(mut self, every_s: f64, live: bool) -> Scenario {
         let mut telemetry = std::mem::take(&mut self.telemetry).with_progress(every_s);
         telemetry.live_progress = live;
@@ -727,6 +811,7 @@ impl Scenario {
             scheduler: SchedPolicy::RoundRobin,
             coex: None,
             telemetry: TelemetryConfig::default(),
+            execution: ExecutionConfig::default(),
         }
         .with_mobility(MobilityConfig {
             model: MobilityModel::RandomWaypoint(RandomWaypoint {
@@ -904,6 +989,7 @@ impl Scenario {
             scheduler: SchedPolicy::RoundRobin,
             coex: Some(coex),
             telemetry: TelemetryConfig::default(),
+            execution: ExecutionConfig::default(),
         }
         .with_streaming_metrics()
     }
@@ -990,6 +1076,94 @@ impl RadioSection {
     }
 }
 
+/// The execution section of a [`ScenarioBuilder`]: every run-shape knob in
+/// one typed value — shard count, exchange epoch, Monte-Carlo trial count,
+/// trace recording, the metrics storage mode and the progress cadence.
+///
+/// The first four land in [`Scenario::execution`]; the metrics mode and
+/// progress cadence are *applied onto* the scenario's telemetry section
+/// (they have always lived in [`TelemetryConfig`]) so the section
+/// subsumes the scattered legacy knobs — `.with_streaming_metrics()`,
+/// `.with_progress(..)`, `NetworkSim::with_trace(..)` and
+/// `MonteCarlo::new(.., trials, ..)` — without forking their storage.
+/// Leaving [`ExecutionSection::metrics`]/[`ExecutionSection::progress`]
+/// unset keeps whatever the telemetry section already configured, so
+/// `.execution(..)` composes with `.telemetry(..)` in either order.
+///
+/// ```
+/// use interscatter_net::prelude::*;
+/// use interscatter_net::scenario::ExecutionSection;
+/// let quad = Scenario::campus(1_000)
+///     .builder()
+///     .execution(ExecutionSection::new().shards(4).trials(8).trace(false))
+///     .build()
+///     .unwrap();
+/// assert_eq!(quad.execution.shards, 4);
+/// // Ill-formed run shapes are refused eagerly, at build() time:
+/// assert!(Scenario::campus(1_000)
+///     .builder()
+///     .execution(ExecutionSection::new().epoch_s(0.0))
+///     .build()
+///     .is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionSection {
+    config: ExecutionConfig,
+    metrics: Option<MetricsMode>,
+    progress: Option<(f64, bool)>,
+}
+
+impl ExecutionSection {
+    /// The default run shape: one shard, a 10 ms exchange epoch, one
+    /// trial, tracing on, telemetry section untouched.
+    pub fn new() -> ExecutionSection {
+        ExecutionSection::default()
+    }
+
+    /// Worker groups the partitioned cells are chunked into
+    /// ([`ExecutionConfig::shards`]).
+    pub fn shards(mut self, shards: usize) -> ExecutionSection {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Epoch length of the cross-shard interference exchange, simulated
+    /// seconds ([`ExecutionConfig::epoch_s`]).
+    pub fn epoch_s(mut self, epoch_s: f64) -> ExecutionSection {
+        self.config.epoch_s = epoch_s;
+        self
+    }
+
+    /// Monte-Carlo trial count for [`crate::run_trials`]
+    /// ([`ExecutionConfig::trials`]).
+    pub fn trials(mut self, trials: usize) -> ExecutionSection {
+        self.config.trials = trials;
+        self
+    }
+
+    /// Whether the run records its event trace
+    /// ([`ExecutionConfig::trace`]).
+    pub fn trace(mut self, on: bool) -> ExecutionSection {
+        self.config.trace = on;
+        self
+    }
+
+    /// Metrics storage mode, applied onto the telemetry section
+    /// ([`TelemetryConfig::mode`]): stored samples or streaming sketches.
+    pub fn metrics(mut self, mode: MetricsMode) -> ExecutionSection {
+        self.metrics = Some(mode);
+        self
+    }
+
+    /// Progress cadence, applied onto the telemetry section: one status
+    /// line every `every_s` simulated seconds, mirrored to stderr when
+    /// `live` is set.
+    pub fn progress(mut self, every_s: f64, live: bool) -> ExecutionSection {
+        self.progress = Some((every_s, live));
+        self
+    }
+}
+
 /// Assembles a [`Scenario`] out of cohesive sections — radio, mobility,
 /// scheduling, coex, telemetry — with **eager** validation:
 /// [`ScenarioBuilder::build`] runs [`Scenario::validate`] and refuses an
@@ -1049,6 +1223,7 @@ impl ScenarioBuilder {
                 scheduler: SchedPolicy::RoundRobin,
                 coex: None,
                 telemetry: TelemetryConfig::default(),
+                execution: ExecutionConfig::default(),
             },
         }
     }
@@ -1103,6 +1278,23 @@ impl ScenarioBuilder {
     /// the metrics storage mode and the progress cadence.
     pub fn telemetry(mut self, config: TelemetryConfig) -> ScenarioBuilder {
         self.scenario.telemetry = config;
+        self
+    }
+
+    /// Sets the execution section ([`ExecutionSection`]): shard count,
+    /// exchange epoch, trial count, trace recording — plus the metrics
+    /// mode and progress cadence, which it applies onto the telemetry
+    /// section. Like every section it is validated eagerly at
+    /// [`ScenarioBuilder::build`].
+    pub fn execution(mut self, section: ExecutionSection) -> ScenarioBuilder {
+        self.scenario.execution = section.config;
+        if let Some(mode) = section.metrics {
+            self.scenario.telemetry.mode = mode;
+        }
+        if let Some((every_s, live)) = section.progress {
+            self.scenario.telemetry.progress_every_s = Some(every_s);
+            self.scenario.telemetry.live_progress = live;
+        }
         self
     }
 

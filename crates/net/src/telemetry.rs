@@ -1277,6 +1277,22 @@ impl RateBins {
         self.bins[idx].1 += delivered;
     }
 
+    /// Adds another set of bins in, index by index (exact integer sums, so
+    /// merge order cannot change any readout — the sharded executor and
+    /// Monte-Carlo pooling rely on this). Both sides must use the same
+    /// bin width, which every engine-built instance does
+    /// ([`crate::metrics::DISPLACEMENT_BIN_M`] /
+    /// [`crate::metrics::OCCUPANCY_BIN`]).
+    pub fn merge(&mut self, other: &RateBins) {
+        if other.bins.len() > self.bins.len() {
+            self.bins.resize(other.bins.len(), (0, 0));
+        }
+        for (mine, &(attempts, delivered)) in self.bins.iter_mut().zip(&other.bins) {
+            mine.0 += attempts;
+            mine.1 += delivered;
+        }
+    }
+
     /// Pooled rate over `[min, max)` (bins overlapping the range), with
     /// the attempt count it is based on; `None` when no attempts landed
     /// there.

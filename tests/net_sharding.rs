@@ -1,0 +1,141 @@
+//! The sharded-execution determinism contract: a scenario's trace digest,
+//! metrics report and telemetry are **byte-identical at any shard count**
+//! (the shard knob chunks the fixed cell list, it never changes the cell
+//! structure), and on single-cell scenarios the sharded executor is
+//! byte-identical to the legacy unsharded engine. See `net::shard` for
+//! the partitioning model and the epoch-exchange relaxation.
+
+use interscatter::net::engine::NetworkSim;
+use interscatter::net::prelude::ExecutionSection;
+use interscatter::net::scenario::Scenario;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn with_shards(scenario: &Scenario, shards: usize) -> Scenario {
+    scenario
+        .clone()
+        .builder()
+        .execution(ExecutionSection::new().shards(shards))
+        .build()
+        .unwrap()
+}
+
+/// Every closed-loop preset, bedside through campus — the matrix the
+/// digest-invariance contract is pinned on.
+fn closed_loop_presets() -> Vec<Scenario> {
+    vec![
+        Scenario::hospital_ward(8).closed_loop(),
+        Scenario::contact_lens_fleet(6).closed_loop(),
+        Scenario::card_to_card_room(5).closed_loop(),
+        Scenario::zigbee_wing(40).closed_loop(),
+        Scenario::congested_ward(9),
+        Scenario::campus(768),
+    ]
+}
+
+#[test]
+fn every_preset_digest_is_shard_count_invariant() {
+    for scenario in closed_loop_presets() {
+        let reference = interscatter::net::run(&with_shards(&scenario, 1), 42)
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        assert!(
+            !reference.trace.to_bytes().is_empty(),
+            "{}: empty trace",
+            scenario.name
+        );
+        for shards in SHARD_COUNTS {
+            let run = interscatter::net::run(&with_shards(&scenario, shards), 42).unwrap();
+            assert_eq!(
+                run.trace.digest(),
+                reference.trace.digest(),
+                "{} diverged at {shards} shards",
+                scenario.name
+            );
+            assert_eq!(
+                run.metrics.report(),
+                reference.metrics.report(),
+                "{} report diverged at {shards} shards",
+                scenario.name
+            );
+            assert_eq!(
+                run.telemetry, reference.telemetry,
+                "{} telemetry diverged at {shards} shards",
+                scenario.name
+            );
+        }
+    }
+}
+
+#[test]
+fn single_cell_presets_reproduce_the_legacy_engine() {
+    // One interference cell (shared receivers couple everything): the
+    // sharded executor must reproduce `NetworkSim::run` byte for byte,
+    // whatever the shard count.
+    for scenario in [
+        Scenario::hospital_ward(8),
+        Scenario::hospital_ward(8).closed_loop(),
+        Scenario::contact_lens_fleet(6).closed_loop(),
+        Scenario::card_to_card_room(5).closed_loop(),
+    ] {
+        let legacy = NetworkSim::new(&scenario, 42).run().unwrap();
+        for shards in SHARD_COUNTS {
+            let run = interscatter::net::run(&with_shards(&scenario, shards), 42).unwrap();
+            assert_eq!(
+                run.trace.to_bytes(),
+                legacy.trace.to_bytes(),
+                "{} at {shards} shards",
+                scenario.name
+            );
+            assert_eq!(run.metrics.report(), legacy.metrics.report());
+        }
+    }
+}
+
+#[test]
+fn random_epoch_lengths_keep_sharded_equal_to_single_shard() {
+    // Property: for ANY epoch length, the digest at 4 shards equals the
+    // digest at 1 shard (same epoch) — the exchange cadence may change
+    // what the simulation computes, but never lets worker count in.
+    let mut rng = StdRng::seed_from_u64(0x5EED_541A);
+    let multi = Scenario::campus(512);
+    let single = Scenario::hospital_ward(6).closed_loop();
+    let legacy_single = NetworkSim::new(&single, 7).run().unwrap();
+    for case in 0..8 {
+        let epoch_s = 10f64.powf(rng.gen_range(-4.0..-0.3));
+        for scenario in [&multi, &single] {
+            let shape = |shards: usize| {
+                scenario
+                    .clone()
+                    .builder()
+                    .execution(ExecutionSection::new().shards(shards).epoch_s(epoch_s))
+                    .build()
+                    .unwrap()
+            };
+            let one = interscatter::net::run(&shape(1), 7).unwrap();
+            let four = interscatter::net::run(&shape(4), 7).unwrap();
+            assert_eq!(
+                one.trace.digest(),
+                four.trace.digest(),
+                "case {case}: {} diverged at epoch {epoch_s} s",
+                scenario.name
+            );
+            assert_eq!(one.metrics.report(), four.metrics.report());
+        }
+        // Single-cell runs chunk the legacy engine's own event loop, so
+        // any epoch length reproduces it exactly.
+        let chunked = single
+            .clone()
+            .builder()
+            .execution(ExecutionSection::new().epoch_s(epoch_s))
+            .build()
+            .unwrap();
+        let run = interscatter::net::run(&chunked, 7).unwrap();
+        assert_eq!(
+            run.trace.to_bytes(),
+            legacy_single.trace.to_bytes(),
+            "case {case}: epoch {epoch_s} s perturbed the single-cell run"
+        );
+    }
+}
