@@ -82,6 +82,18 @@ fn wall_clock_silent_on_virtual_time_and_in_benches() {
     );
 }
 
+#[test]
+fn wall_clock_allowance_is_scoped_to_the_prof_module() {
+    // prof.rs is the one sanctioned home for Instant in the engine crate.
+    let src = "fn f() { let t = std::time::Instant::now(); }\n";
+    assert_eq!(fire("crates/net/src/prof.rs", src, RuleId::WallClock), 0);
+    // The allowance does not leak to siblings, the hot path, or lookalike
+    // paths elsewhere in the tree.
+    assert_eq!(fire("crates/net/src/engine.rs", src, RuleId::WallClock), 1);
+    assert_eq!(fire("crates/net/src/shard.rs", src, RuleId::WallClock), 1);
+    assert_eq!(fire("crates/sim/src/prof.rs", src, RuleId::WallClock), 1);
+}
+
 // ----------------------------------------------------------------- stray_rng
 
 #[test]

@@ -26,6 +26,7 @@ use crate::mac::{self, LoopPhase, MacLoop, MacMode};
 use crate::medium::{Band, Emitter, Medium, TxReport};
 use crate::metrics::{MobilitySample, NetworkMetrics, OccupancySample, ReStripeEvent, TagTable};
 use crate::mobility::{MobilityConfig, MotionState};
+use crate::prof::{CellProf, ProfReport};
 use crate::scenario::Scenario;
 use crate::sched::{CarrierSched, SlotView};
 use crate::telemetry::{
@@ -176,6 +177,11 @@ pub struct NetRunResult {
     /// collected progress lines ([`crate::telemetry`]). Empty (but for the
     /// event count) when the scenario registers no subscriptions.
     pub telemetry: TelemetryReport,
+    /// The run's self-profile ([`crate::prof`]): wall-clock span timeline
+    /// plus phase/shard-load summary. `Some` only when
+    /// [`crate::scenario::ExecutionConfig::profile`] was set; never
+    /// consulted by the simulation, so digests are identical either way.
+    pub prof: Option<ProfReport>,
 }
 
 /// A configured simulation, ready to run.
@@ -295,6 +301,10 @@ pub(crate) struct EngineCore<'a> {
     ghosts: Vec<(Band, Time)>,
     /// Index of the cell's ghost coex source (sharded mode only).
     ghost_source: Option<usize>,
+    /// Self-profiling recorder, `Some` only when the scenario enables
+    /// profiling. Wall-clock state stays out of the event loop's inputs —
+    /// detlint's `wall_clock` rule keeps `Instant` itself in `prof.rs`.
+    prof: Option<CellProf>,
     done: bool,
 }
 
@@ -305,8 +315,14 @@ impl<'a> EngineCore<'a> {
         seed: u64,
         record_trace: bool,
     ) -> Result<EngineCore<'a>, NetError> {
+        let mut prof = scenario.execution.profile.then(|| CellProf::wall(0));
+        let init_tok = prof.as_mut().map(|p| p.begin("engine_init"));
         scenario.validate()?;
+        let link_tok = prof.as_mut().map(|p| p.begin("link_build"));
         let links = LinkMatrix::build(scenario)?;
+        if let (Some(p), Some(tok)) = (prof.as_mut(), link_tok) {
+            p.end(tok);
+        }
         let horizon = Time::from_secs(scenario.duration_s);
 
         let mut queue = EventQueue::new();
@@ -488,6 +504,9 @@ impl<'a> EngineCore<'a> {
         }
         queue.schedule(horizon, EventKind::Horizon);
 
+        if let (Some(p), Some(tok)) = (prof.as_mut(), init_tok) {
+            p.end(tok);
+        }
         Ok(EngineCore {
             scenario,
             links,
@@ -510,8 +529,18 @@ impl<'a> EngineCore<'a> {
             boundary: None,
             ghosts: Vec::new(),
             ghost_source: None,
+            prof,
             done: false,
         })
+    }
+
+    /// Re-tags the core's profiling spans onto cell `cell`'s track. The
+    /// sharded executor calls this after construction — init spans are
+    /// recorded before the core knows which cell it runs.
+    pub(crate) fn set_prof_track(&mut self, cell: u32) {
+        if let Some(p) = self.prof.as_mut() {
+            p.set_track(cell + 1);
+        }
     }
 
     /// Switches the core into sharded mode: accumulate per-band in-model
@@ -567,6 +596,7 @@ impl<'a> EngineCore<'a> {
         if self.done {
             return;
         }
+        let epoch_tok = self.prof.as_mut().map(CellProf::begin_epoch);
         let EngineCore {
             scenario,
             ref mut links,
@@ -589,6 +619,7 @@ impl<'a> EngineCore<'a> {
             ref mut boundary,
             ref ghosts,
             ghost_source,
+            ref mut prof,
             ref mut done,
         } = *self;
         while let Some(event) = queue.pop_before(limit) {
@@ -653,7 +684,11 @@ impl<'a> EngineCore<'a> {
                             }
                         }
                     }
+                    let flush_tok = prof.as_mut().map(|p| p.begin("link_flush"));
                     let refreshed = links.flush(scenario);
+                    if let (Some(p), Some(tok)) = (prof.as_mut(), flush_tok) {
+                        p.end(tok);
+                    }
                     // One PRR-vs-displacement sample per tag per tick.
                     let mut max_disp_mm = 0u64;
                     for t in 0..scenario.tags.len() {
@@ -1278,6 +1313,9 @@ impl<'a> EngineCore<'a> {
                 }
             }
         }
+        if let (Some(p), Some(tok)) = (prof.as_mut(), epoch_tok) {
+            p.end(tok);
+        }
     }
 
     /// Materialises the hot-path columns and the telemetry report into the
@@ -1289,8 +1327,10 @@ impl<'a> EngineCore<'a> {
             tele,
             progress,
             trace,
+            mut prof,
             ..
         } = self;
+        let fin_tok = prof.as_mut().map(|p| p.begin("finalize"));
         // Materialise the hot-path columns into the public row-per-tag
         // view before handing the metrics out.
         tag_stats.materialize_into(&mut metrics.tags);
@@ -1299,10 +1339,14 @@ impl<'a> EngineCore<'a> {
                 .map(ProgressRuntime::into_lines)
                 .unwrap_or_default(),
         );
+        if let (Some(p), Some(tok)) = (prof.as_mut(), fin_tok) {
+            p.end(tok);
+        }
         NetRunResult {
             metrics,
             trace,
             telemetry,
+            prof: prof.map(CellProf::finish),
         }
     }
 }

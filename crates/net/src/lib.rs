@@ -127,6 +127,7 @@ pub mod mac;
 pub mod medium;
 pub mod metrics;
 pub mod mobility;
+pub mod prof;
 pub mod runner;
 pub mod scenario;
 pub mod sched;
@@ -253,20 +254,27 @@ pub fn run_trials(
     base_seed: u64,
 ) -> Result<runner::MonteCarloReport, NetError> {
     scenario.validate()?;
-    let results: Vec<Result<metrics::NetworkMetrics, NetError>> =
+    type TrialOut = (metrics::NetworkMetrics, Option<prof::ProfSummary>);
+    let results: Vec<Result<TrialOut, NetError>> =
         rayon::det::map_indexed_ordered(scenario.execution.trials, |trial| {
             shard::execute(
                 scenario,
                 entities::streams::trial_seed(base_seed, trial),
                 false,
             )
-            .map(|r| r.metrics)
+            .map(|r| {
+                let prof = r.prof.map(|p| p.summary());
+                (r.metrics, prof)
+            })
         });
     let mut trials = Vec::with_capacity(results.len());
+    let mut prof = Vec::new();
     for r in results {
-        trials.push(r?);
+        let (metrics, summary) = r?;
+        trials.push(metrics);
+        prof.extend(summary);
     }
-    Ok(runner::MonteCarloReport::aggregate(scenario, trials))
+    Ok(runner::MonteCarloReport::aggregate(scenario, trials, prof))
 }
 
 /// The commonly used types in one import.
@@ -276,8 +284,9 @@ pub mod prelude {
     pub use crate::entities::{CarrierSource, NetPhy, Position, SinkReceiver, TagNode, TagProfile};
     pub use crate::links::{EntityId, LinkMatrix};
     pub use crate::mac::{MacLoop, MacMode};
-    pub use crate::metrics::NetworkMetrics;
+    pub use crate::metrics::{NetworkMetrics, ShardLoad};
     pub use crate::mobility::{Bounds, Mobility, MobilityConfig, MobilityModel};
+    pub use crate::prof::{ProfReport, ProfSummary, Profiler};
     pub use crate::runner::{MonteCarlo, MonteCarloReport};
     pub use crate::scenario::{
         ExecutionConfig, ExecutionSection, RadioSection, Scenario, ScenarioBuilder,

@@ -4,6 +4,7 @@
 
 use crate::entities::streams;
 use crate::metrics::{NetworkMetrics, StreamingSeries};
+use crate::prof::ProfSummary;
 use crate::scenario::Scenario;
 use crate::NetError;
 use interscatter_sim::measurements::{mean, Cdf};
@@ -46,16 +47,21 @@ impl MonteCarlo {
     /// stays for source compatibility and produces identical reports.
     pub fn run(&self) -> Result<MonteCarloReport, NetError> {
         self.scenario.validate()?;
-        let results: Vec<Result<NetworkMetrics, NetError>> =
+        let results: Vec<Result<(NetworkMetrics, Option<ProfSummary>), NetError>> =
             rayon::det::map_indexed_ordered(self.trials, |trial| {
-                crate::shard::execute(&self.scenario, self.trial_seed(trial), false)
-                    .map(|r| r.metrics)
+                crate::shard::execute(&self.scenario, self.trial_seed(trial), false).map(|r| {
+                    let prof = r.prof.map(|p| p.summary());
+                    (r.metrics, prof)
+                })
             });
         let mut trials = Vec::with_capacity(results.len());
+        let mut prof = Vec::new();
         for r in results {
-            trials.push(r?);
+            let (metrics, summary) = r?;
+            trials.push(metrics);
+            prof.extend(summary);
         }
-        Ok(MonteCarloReport::aggregate(&self.scenario, trials))
+        Ok(MonteCarloReport::aggregate(&self.scenario, trials, prof))
     }
 }
 
@@ -86,10 +92,19 @@ pub struct MonteCarloReport {
     /// addition, so the pooled quantiles are deterministic regardless of
     /// which worker thread finished first. `None` in stored mode.
     pub streaming: Option<StreamingSeries>,
+    /// Per-trial self-profiling summaries, **in trial order**, when the
+    /// scenario ran with [`crate::scenario::ExecutionConfig::profile`]
+    /// set. Empty otherwise — and never consulted by the aggregates
+    /// above, so reports are identical with profiling on or off.
+    pub prof: Vec<ProfSummary>,
 }
 
 impl MonteCarloReport {
-    pub(crate) fn aggregate(scenario: &Scenario, trials: Vec<NetworkMetrics>) -> Self {
+    pub(crate) fn aggregate(
+        scenario: &Scenario,
+        trials: Vec<NetworkMetrics>,
+        prof: Vec<ProfSummary>,
+    ) -> Self {
         let mut throughput = Cdf::new();
         let mut per = Cdf::new();
         let mut fairness = Cdf::new();
@@ -128,6 +143,7 @@ impl MonteCarloReport {
             poll_latency_ms: poll_latency,
             deadline_miss_rate: miss_rate,
             streaming,
+            prof,
         }
     }
 

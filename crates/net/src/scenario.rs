@@ -82,7 +82,7 @@ pub struct Scenario {
 /// cross-cell interference at `epoch_s` boundaries — the cell structure
 /// (and therefore every digest and metric) depends only on the scenario,
 /// never on `shards`. See [`crate::shard`] for the determinism contract.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ExecutionConfig {
     /// Worker groups the partitioned cells are chunked into (≥ 1). One
     /// shard runs every cell on the calling thread; the digest is
@@ -99,6 +99,30 @@ pub struct ExecutionConfig {
     /// [`crate::run_trials`] always disables tracing per trial, matching
     /// the legacy [`crate::runner::MonteCarlo`] behaviour.
     pub trace: bool,
+    /// Whether the run records a self-profile ([`crate::prof`]): wall-clock
+    /// span timelines and a phase/shard-load summary. Digest-neutral —
+    /// traces, metrics reports and telemetry are byte-identical with
+    /// profiling on or off; wall time lives only in the prof output.
+    pub profile: bool,
+    /// Wall time [`ScenarioBuilder::build`] took, nanoseconds, stashed here
+    /// when `profile` is set so the executor can prepend a
+    /// `scenario_build` span. Never affects simulation state, and is
+    /// ignored by `PartialEq` so wall-clock jitter cannot leak into
+    /// scenario comparisons.
+    pub build_ns: Option<u64>,
+}
+
+impl PartialEq for ExecutionConfig {
+    fn eq(&self, other: &Self) -> bool {
+        // build_ns is a wall-clock measurement, not configuration: two
+        // scenarios with the same run shape must compare equal even when
+        // one was timed and the other was not.
+        self.shards == other.shards
+            && self.epoch_s == other.epoch_s
+            && self.trials == other.trials
+            && self.trace == other.trace
+            && self.profile == other.profile
+    }
 }
 
 impl Default for ExecutionConfig {
@@ -108,6 +132,8 @@ impl Default for ExecutionConfig {
             epoch_s: 0.01,
             trials: 1,
             trace: true,
+            profile: false,
+            build_ns: None,
         }
     }
 }
@@ -1148,6 +1174,15 @@ impl ExecutionSection {
         self
     }
 
+    /// Whether the run records a self-profile
+    /// ([`ExecutionConfig::profile`]): span timelines and a shard-load
+    /// summary, exported via [`crate::engine::NetRunResult::prof`].
+    /// Digest-neutral.
+    pub fn profile(mut self, on: bool) -> ExecutionSection {
+        self.config.profile = on;
+        self
+    }
+
     /// Metrics storage mode, applied onto the telemetry section
     /// ([`TelemetryConfig::mode`]): stored samples or streaming sketches.
     pub fn metrics(mut self, mode: MetricsMode) -> ExecutionSection {
@@ -1299,9 +1334,18 @@ impl ScenarioBuilder {
     }
 
     /// Validates eagerly and returns the finished scenario — every check
-    /// [`Scenario::validate`] performs, but at construction time.
-    pub fn build(self) -> Result<Scenario, NetError> {
-        self.scenario.validate()?;
+    /// [`Scenario::validate`] performs, but at construction time. When the
+    /// execution section enables profiling, the validation wall time is
+    /// stashed in [`ExecutionConfig::build_ns`] so the run's profile can
+    /// open with a `scenario_build` span.
+    pub fn build(mut self) -> Result<Scenario, NetError> {
+        if self.scenario.execution.profile {
+            let (res, ns) = crate::prof::measure_ns(|| self.scenario.validate());
+            res?;
+            self.scenario.execution.build_ns = Some(ns);
+        } else {
+            self.scenario.validate()?;
+        }
         Ok(self.scenario)
     }
 

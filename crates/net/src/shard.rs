@@ -59,7 +59,8 @@ use crate::engine::{band_order, EngineCore, NetRunResult};
 use crate::entities::Position;
 use crate::event::{EventTrace, TraceRecord};
 use crate::medium::Band;
-use crate::metrics::{NetworkMetrics, DISPLACEMENT_BIN_M, OCCUPANCY_BIN};
+use crate::metrics::{NetworkMetrics, ShardLoad, DISPLACEMENT_BIN_M, OCCUPANCY_BIN};
+use crate::prof::Profiler;
 use crate::scenario::{ExecutionConfig, Scenario};
 use crate::telemetry::{MetricsMode, RateBins, SinkReport, TelemetryReport};
 use crate::time::Time;
@@ -296,7 +297,13 @@ fn sub_scenario(scenario: &Scenario, cell: &Cell) -> Scenario {
         scheduler: scenario.scheduler,
         coex: Some(coex),
         telemetry,
-        execution: ExecutionConfig::default(),
+        execution: ExecutionConfig {
+            // Profiling rides into the cell cores (their init/epoch spans);
+            // everything else about the sub-scenario's run shape is the
+            // executor's business, not the cell's.
+            profile: scenario.execution.profile,
+            ..ExecutionConfig::default()
+        },
     }
 }
 
@@ -309,10 +316,18 @@ pub(crate) fn execute(
     record_trace: bool,
 ) -> Result<NetRunResult, NetError> {
     scenario.validate()?;
+    let mut profiler = scenario
+        .execution
+        .profile
+        .then(|| Profiler::wall(scenario.execution.build_ns));
     let epoch_ns = Time::from_secs(scenario.execution.epoch_s)
         .as_nanos()
         .max(1);
+    let part_tok = profiler.as_mut().map(|p| p.begin("partition"));
     let cells = partition(scenario);
+    if let (Some(p), Some(tok)) = (profiler.as_mut(), part_tok) {
+        p.end(tok);
+    }
     if cells.len() <= 1 {
         // One cell: run the *original* scenario (original entity ids keep
         // the RNG streams, and therefore the digest, byte-identical to
@@ -323,7 +338,14 @@ pub(crate) fn execute(
             core.run_until(Time(limit));
             limit = limit.saturating_add(epoch_ns);
         }
-        return Ok(core.finish());
+        let mut result = core.finish();
+        if let Some(mut p) = profiler {
+            if let Some(cell) = result.prof.take() {
+                p.absorb(cell);
+            }
+            result.prof = Some(p.finish(&scenario.name));
+        }
+        return Ok(result);
     }
 
     let subs: Vec<Scenario> = cells
@@ -331,9 +353,10 @@ pub(crate) fn execute(
         .map(|cell| sub_scenario(scenario, cell))
         .collect();
     let mut cores = Vec::with_capacity(subs.len());
-    for sub in &subs {
+    for (i, sub) in subs.iter().enumerate() {
         let mut core = EngineCore::new(sub, seed, record_trace)?;
         core.enable_boundary_exchange();
+        core.set_prof_track(i as u32);
         cores.push(core);
     }
 
@@ -346,6 +369,14 @@ pub(crate) fn execute(
     let mut progress_lines = Vec::new();
     let mut next_progress = progress_every_ns.unwrap_or(u64::MAX);
 
+    // The deterministic shard-load ledger ([`ShardLoad`]), recorded on
+    // every multi-cell run regardless of profiling: event counts derive
+    // from the event loop alone, so the metrics report stays byte-
+    // identical with profiling on or off.
+    let mut prev_events: Vec<u64> = vec![0; cores.len()];
+    let mut epoch_events: Vec<Vec<u64>> = Vec::new();
+    let mut ghost_windows: Vec<u64> = vec![0; cores.len()];
+
     let mut boundary = epoch_ns;
     while cores.iter().any(|core| !core.is_done()) {
         let limit = Time(boundary);
@@ -354,10 +385,19 @@ pub(crate) fn execute(
         // state, only wall-clock.
         rayon::det::for_each_mut_ordered(shards, &mut cores, |_, core| core.run_until(limit));
 
+        let mut row = Vec::with_capacity(cores.len());
+        for (i, core) in cores.iter().enumerate() {
+            let events = core.events_so_far();
+            row.push(events.saturating_sub(prev_events[i]));
+            prev_events[i] = events;
+        }
+        epoch_events.push(row);
+
         // The exchange: drain every cell's banded airtime, then inject
         // each cell's *foreign* total as hidden ghost windows opening at
         // the boundary, clamped to one epoch. Cell order and the
         // canonical band order make the merge deterministic.
+        let exch_tok = profiler.as_mut().map(|p| p.begin("exchange"));
         let drained: Vec<Vec<(Band, f64)>> =
             cores.iter_mut().map(|core| core.drain_boundary()).collect();
         for (i, core) in cores.iter_mut().enumerate() {
@@ -384,17 +424,25 @@ pub(crate) fn execute(
                 }
                 let window = Time::from_secs(airtime_s).as_nanos().clamp(1, epoch_ns);
                 core.inject_ghost(limit, band, Time(boundary.saturating_add(window)));
+                ghost_windows[i] += 1;
             }
+        }
+        if let (Some(p), Some(tok)) = (profiler.as_mut(), exch_tok) {
+            p.end(tok);
         }
 
         while boundary >= next_progress {
-            let events: u64 = cores.iter().map(|core| core.events_so_far()).sum();
-            let done = cores.iter().filter(|core| core.is_done()).count();
+            let events: u64 = prev_events.iter().sum();
+            let epoch = epoch_events.len().saturating_sub(1);
+            let ev_epoch: u64 = epoch_events.last().map(|row| row.iter().sum()).unwrap_or(0);
+            let active = cores.iter().filter(|core| !core.is_done()).count();
             let line = format!(
-                "[{:>12}] sharded progress: {} events  {}/{} cells done",
+                "[{:>12}] sharded progress: epoch {}  {} events  {} ev/epoch  {}/{} cells active",
                 next_progress,
+                epoch,
                 events,
-                done,
+                ev_epoch,
+                active,
                 cores.len()
             );
             if live {
@@ -406,14 +454,33 @@ pub(crate) fn execute(
         boundary = boundary.saturating_add(epoch_ns);
     }
 
-    let results: Vec<NetRunResult> = cores.into_iter().map(EngineCore::finish).collect();
-    Ok(merge_results(
+    let mut results: Vec<NetRunResult> = cores.into_iter().map(EngineCore::finish).collect();
+    if let Some(p) = profiler.as_mut() {
+        for result in &mut results {
+            if let Some(cell) = result.prof.take() {
+                p.absorb(cell);
+            }
+        }
+    }
+    let load = ShardLoad {
+        cell_events: prev_events,
+        epoch_events,
+        ghost_windows,
+    };
+    let merge_tok = profiler.as_mut().map(|p| p.begin("merge_finalize"));
+    let mut merged = merge_results(
         scenario,
         &cells,
         results,
         record_trace,
         progress_lines,
-    ))
+        Some(load),
+    );
+    if let (Some(p), Some(tok)) = (profiler.as_mut(), merge_tok) {
+        p.end(tok);
+    }
+    merged.prof = profiler.map(|p| p.finish(&scenario.name));
+    Ok(merged)
 }
 
 fn merge_results(
@@ -422,6 +489,7 @@ fn merge_results(
     mut results: Vec<NetRunResult>,
     record_trace: bool,
     progress: Vec<String>,
+    load: Option<ShardLoad>,
 ) -> NetRunResult {
     // Trace: prefix each cell's lines with its cell id and interleave by
     // (time, cell, emission order) — a stable sort on an already
@@ -541,10 +609,12 @@ fn merge_results(
         metrics.coex_defers = first.coex_defers.iter().take(n).copied().collect();
     }
 
+    metrics.shard_load = load;
     NetRunResult {
         metrics,
         trace,
         telemetry,
+        prof: None,
     }
 }
 

@@ -1,20 +1,26 @@
 //! The city-scale smoke run: the `campus` preset at 100 000 closed-loop
-//! tags — shared striped helpers, coex load, streaming metrics — in one
-//! single-threaded simulation. This is the scale target of the engine
-//! core (timing-wheel scheduler, band-indexed medium, SoA link tables);
-//! the run holds memory O(entities) and finishes in seconds.
+//! tags — shared striped helpers, coex load, streaming metrics — through
+//! the sharded executor. This is the scale target of the engine core
+//! (timing-wheel scheduler, band-indexed medium, SoA link tables); the
+//! run holds memory O(entities) and finishes in seconds.
 //!
-//! Run with an optional seed (default 42):
+//! Run with an optional seed (default 42) and shard count (default 1):
 //!
 //! ```text
-//! cargo run --release --example campus_smoke [seed]
+//! cargo run --release --example campus_smoke [seed] [shards]
 //! ```
 //!
 //! Stdout carries the deterministic report plus an FNV-1a digest of the
 //! whole thing, so two same-seed runs are byte-comparable (the CI smoke
-//! loop diffs them).
+//! loop diffs them) — at any shard count, with or without profiling.
+//!
+//! Set `PROF_OUT=<path>` and/or `PROF_TRACE_OUT=<path>` to run the
+//! execution observatory alongside: the first writes the `PROF_net.json`
+//! summary (phase totals, per-cell loads, Jain fairness), the second a
+//! Chrome/Perfetto trace. Both are side files — stdout stays byte-
+//! identical to an unprofiled run, per the `net::prof` contract.
 
-use interscatter::net::engine::NetworkSim;
+use interscatter::net::prelude::ExecutionSection;
 use interscatter::net::scenario::Scenario;
 use interscatter::net::trace_digest::fnv1a_str;
 
@@ -26,8 +32,26 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
+    let shards: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let prof_out = std::env::var_os("PROF_OUT");
+    let prof_trace_out = std::env::var_os("PROF_TRACE_OUT");
+    let profile = prof_out.is_some() || prof_trace_out.is_some();
 
-    let scenario = Scenario::campus(N_TAGS);
+    // The trace is the one O(events) artifact left — a city-scale run
+    // disables it; reproducibility is checked through the report digest.
+    let scenario = Scenario::campus(N_TAGS)
+        .builder()
+        .execution(
+            ExecutionSection::new()
+                .trace(false)
+                .shards(shards)
+                .profile(profile),
+        )
+        .build()
+        .expect("campus preset is valid");
     println!(
         "=== campus smoke: {} ===\n{} tags, {} shared helpers, {} APs, {:.0} s simulated, seed {seed}\n",
         scenario.name,
@@ -37,12 +61,7 @@ fn main() {
         scenario.duration_s,
     );
 
-    // The trace is the one O(events) artifact left — a city-scale run
-    // disables it; reproducibility is checked through the report digest.
-    let result = NetworkSim::new(&scenario, seed)
-        .with_trace(false)
-        .run()
-        .expect("campus preset is valid");
+    let result = interscatter::net::run(&scenario, seed).expect("campus preset runs");
 
     // The streaming contract: nothing accumulated per event.
     let m = &result.metrics;
@@ -64,4 +83,21 @@ fn main() {
         result.telemetry.events,
     );
     println!("(re-run with the same seed: identical digest)");
+
+    // Observatory output goes to side files and stderr only — never to
+    // the digest-checked stdout above.
+    if let Some(prof) = &result.prof {
+        if let Some(path) = &prof_out {
+            let doc = prof.summary().to_json(m.shard_load.as_ref());
+            std::fs::write(path, doc).expect("write PROF summary");
+            eprintln!("profile summary written to {}", path.to_string_lossy());
+        }
+        if let Some(path) = &prof_trace_out {
+            std::fs::write(path, prof.to_chrome_trace()).expect("write PROF trace");
+            eprintln!(
+                "chrome trace written to {} (load in ui.perfetto.dev)",
+                path.to_string_lossy()
+            );
+        }
+    }
 }

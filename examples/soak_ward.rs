@@ -13,8 +13,13 @@
 //! Progress lines stream to stderr as the run advances; stdout carries the
 //! deterministic report plus an FNV-1a digest of the whole thing, so two
 //! same-seed runs are byte-comparable (the CI smoke loop diffs them).
+//!
+//! Set `PROF_OUT=<path>` and/or `PROF_TRACE_OUT=<path>` to run the
+//! execution observatory alongside: a `PROF_net.json` phase summary and a
+//! Chrome/Perfetto trace, written as side files — stdout stays
+//! byte-identical to an unprofiled run, per the `net::prof` contract.
 
-use interscatter::net::engine::NetworkSim;
+use interscatter::net::prelude::ExecutionSection;
 use interscatter::net::scenario::Scenario;
 use interscatter::net::telemetry::{Dataset, Filter, SinkSpec, Subscription};
 use interscatter::net::trace_digest::fnv1a_str;
@@ -60,10 +65,18 @@ fn main() {
 
     // The trace is the one O(events) artifact left — a soak run disables
     // it; reproducibility is checked through the report digest instead.
-    let result = NetworkSim::new(&scenario, seed)
-        .with_trace(false)
-        .run()
+    // Profiling rides along when PROF_OUT / PROF_TRACE_OUT ask for it;
+    // this single-cell run stays byte-identical to the legacy engine
+    // either way.
+    let prof_out = std::env::var_os("PROF_OUT");
+    let prof_trace_out = std::env::var_os("PROF_TRACE_OUT");
+    let profile = prof_out.is_some() || prof_trace_out.is_some();
+    let scenario = scenario
+        .builder()
+        .execution(ExecutionSection::new().trace(false).profile(profile))
+        .build()
         .expect("scenario is valid");
+    let result = interscatter::net::run(&scenario, seed).expect("scenario runs");
 
     // The streaming contract: nothing accumulated per event.
     let m = &result.metrics;
@@ -87,4 +100,21 @@ fn main() {
         result.telemetry.events,
     );
     println!("(re-run with the same seed: identical digest)");
+
+    // Observatory output goes to side files and stderr only — never to
+    // the digest-checked stdout above.
+    if let Some(prof) = &result.prof {
+        if let Some(path) = &prof_out {
+            let doc = prof.summary().to_json(m.shard_load.as_ref());
+            std::fs::write(path, doc).expect("write PROF summary");
+            eprintln!("profile summary written to {}", path.to_string_lossy());
+        }
+        if let Some(path) = &prof_trace_out {
+            std::fs::write(path, prof.to_chrome_trace()).expect("write PROF trace");
+            eprintln!(
+                "chrome trace written to {} (load in ui.perfetto.dev)",
+                path.to_string_lossy()
+            );
+        }
+    }
 }

@@ -1,0 +1,178 @@
+//! The execution observatory's determinism contract: profiling is
+//! **byte-neutral** — the event trace, the metrics report and the
+//! telemetry output are identical with profiling on or off, at every
+//! shard count — while the prof output itself carries the phase totals,
+//! per-cell loads and Chrome-trace export `PROF_net.json` is built from.
+//! See `net::prof` for the contract and detlint's `wall_clock` scoping.
+
+use interscatter::net::engine::NetworkSim;
+use interscatter::net::prelude::ExecutionSection;
+use interscatter::net::scenario::Scenario;
+use std::collections::BTreeMap;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn shaped(scenario: &Scenario, shards: usize, profile: bool) -> Scenario {
+    scenario
+        .clone()
+        .builder()
+        .execution(ExecutionSection::new().shards(shards).profile(profile))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn profiling_is_byte_neutral_at_every_shard_count() {
+    // The acceptance matrix: a single-cell preset (congested_ward) and a
+    // multi-cell one (campus), profile on vs off, shards 1/2/4/8.
+    for scenario in [Scenario::congested_ward(9), Scenario::campus(768)] {
+        for shards in SHARD_COUNTS {
+            let off = interscatter::net::run(&shaped(&scenario, shards, false), 42).unwrap();
+            let on = interscatter::net::run(&shaped(&scenario, shards, true), 42).unwrap();
+            assert_eq!(
+                on.trace.digest(),
+                off.trace.digest(),
+                "{}: profiling changed the digest at {shards} shards",
+                scenario.name
+            );
+            assert_eq!(
+                on.metrics.report(),
+                off.metrics.report(),
+                "{}: profiling changed the report at {shards} shards",
+                scenario.name
+            );
+            assert_eq!(
+                on.telemetry, off.telemetry,
+                "{}: profiling changed the telemetry at {shards} shards",
+                scenario.name
+            );
+            // The prof report exists exactly when asked for — and only
+            // there do wall-clock quantities live.
+            assert!(off.prof.is_none());
+            let prof = on.prof.expect("profiled run carries a report");
+            assert!(!prof.spans.is_empty());
+            assert_eq!(prof.scenario, scenario.name);
+        }
+    }
+}
+
+#[test]
+fn profiled_single_cell_runs_still_reproduce_the_legacy_engine() {
+    let scenario = Scenario::hospital_ward(8).closed_loop();
+    let legacy = NetworkSim::new(&scenario, 42).run().unwrap();
+    for shards in SHARD_COUNTS {
+        let run = interscatter::net::run(&shaped(&scenario, shards, true), 42).unwrap();
+        assert_eq!(
+            run.trace.to_bytes(),
+            legacy.trace.to_bytes(),
+            "profiled run diverged from the legacy engine at {shards} shards"
+        );
+        assert_eq!(run.metrics.report(), legacy.metrics.report());
+        // Shard-load telemetry is a multi-cell quantity; single-cell runs
+        // keep the legacy metrics shape byte for byte.
+        assert!(run.metrics.shard_load.is_none());
+    }
+}
+
+#[test]
+fn profiled_campus_summary_carries_phases_loads_and_exports() {
+    let scenario = shaped(&Scenario::campus(768), 4, true);
+    // The builder timed its validation pass for the scenario_build span.
+    assert!(scenario.execution.build_ns.is_some());
+
+    let run = interscatter::net::run(&scenario, 42).unwrap();
+    let prof = run.prof.as_ref().expect("profiled run carries a report");
+    let summary = prof.summary();
+
+    let phases: BTreeMap<&str, u64> = summary
+        .phase_totals_ns
+        .iter()
+        .map(|(name, ns)| (name.as_str(), *ns))
+        .collect();
+    for phase in [
+        "scenario_build",
+        "partition",
+        "engine_init",
+        "link_build",
+        "epoch",
+        "exchange",
+        "finalize",
+        "merge_finalize",
+    ] {
+        assert!(phases.contains_key(phase), "missing phase {phase}");
+    }
+    assert!(phases["epoch"] > 0, "epoch busy time is empty");
+    assert!(summary.exchange_ns > 0, "exchange overhead is empty");
+
+    // The deterministic shard-load ledger: every engine event is charged
+    // to exactly one cell, and the profile sees the same cells.
+    let load = run
+        .metrics
+        .shard_load
+        .as_ref()
+        .expect("multi-cell run records shard load");
+    assert!(load.cell_events.len() > 1);
+    assert_eq!(load.cell_events.iter().sum::<u64>(), run.telemetry.events);
+    assert_eq!(summary.cells.len(), load.cell_events.len());
+    assert!(summary.cells.iter().all(|c| !c.epochs.is_empty()));
+    let fairness = load.load_fairness();
+    assert!((0.0..=1.0).contains(&fairness) && fairness > 0.0);
+    assert!(summary.critical_path_epoch.is_some());
+
+    // Chrome trace export: complete events, one tid per track.
+    let chrome = prof.to_chrome_trace();
+    assert!(chrome.starts_with("{\"traceEvents\":["));
+    assert!(chrome.contains("\"ph\":\"X\""));
+    assert!(chrome.contains("\"name\":\"epoch\""));
+    assert!(chrome.contains("\"displayTimeUnit\":\"ms\""));
+
+    // The PROF_net.json document joins the summary with the load block.
+    let doc = summary.to_json(run.metrics.shard_load.as_ref());
+    assert!(doc.contains("\"phase_totals_ns\""));
+    assert!(doc.contains("\"load\""));
+    assert!(doc.contains("\"fairness\""));
+}
+
+#[test]
+fn sharded_progress_lines_carry_execution_context() {
+    let scenario = Scenario::campus(768)
+        .builder()
+        .execution(ExecutionSection::new().progress(0.5, false))
+        .build()
+        .unwrap();
+    let run = interscatter::net::run(&scenario, 42).unwrap();
+    let lines = &run.telemetry.progress;
+    assert!(!lines.is_empty(), "no progress lines collected");
+    for line in lines {
+        assert!(line.contains("sharded progress: epoch "), "{line}");
+        assert!(line.contains("ev/epoch"), "{line}");
+        assert!(line.contains("cells active"), "{line}");
+    }
+}
+
+#[test]
+fn monte_carlo_pools_per_trial_profiles_in_trial_order() {
+    let shape = |profile: bool| {
+        Scenario::hospital_ward(6)
+            .builder()
+            .execution(ExecutionSection::new().trials(3).profile(profile))
+            .build()
+            .unwrap()
+    };
+    let profiled = interscatter::net::run_trials(&shape(true), 7).unwrap();
+    assert_eq!(profiled.trials.len(), 3);
+    assert_eq!(profiled.prof.len(), 3);
+    for summary in &profiled.prof {
+        assert!(summary
+            .phase_totals_ns
+            .iter()
+            .any(|(name, _)| name == "epoch"));
+    }
+    // Profiling never perturbs the aggregated metrics.
+    let plain = interscatter::net::run_trials(&shape(false), 7).unwrap();
+    assert!(plain.prof.is_empty());
+    assert_eq!(
+        format!("{:?}", profiled.trials),
+        format!("{:?}", plain.trials)
+    );
+}
